@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks of the simulator's hot primitives: PMP
+// checks, TLB lookups, full translations, kernel accesses, token
+// validation, context switches, and fork — useful for keeping the simulator
+// itself fast enough for paper-scale runs.
+#include <benchmark/benchmark.h>
+
+#include "isa/assembler.h"
+#include "kernel/guest.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+SystemConfig bench_cfg() {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  return cfg;
+}
+
+void BM_PmpCheck(benchmark::State& state) {
+  System sys(bench_cfg());
+  const PmpUnit& pmp = sys.core().pmp();
+  PhysAddr pa = kDramBase + MiB(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmp.check(pa, 8, AccessType::kRead,
+                                       AccessKind::kRegular, Privilege::kSupervisor));
+    pa += 64;
+    if (pa > kDramBase + MiB(64)) pa = kDramBase + MiB(32);
+  }
+}
+BENCHMARK(BM_PmpCheck);
+
+void BM_PmpIsSecure(benchmark::State& state) {
+  System sys(bench_cfg());
+  const PmpUnit& pmp = sys.core().pmp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmp.is_secure(sys.sbi().sr_get().base + 0x100, 8));
+  }
+}
+BENCHMARK(BM_PmpIsSecure);
+
+void BM_TranslateTlbHit(benchmark::State& state) {
+  System sys(bench_cfg());
+  Mmu& mmu = sys.core().mmu();
+  const TranslationContext ctx{Privilege::kSupervisor, false, false};
+  (void)mmu.translate(kDramBase + MiB(40), AccessType::kRead, AccessKind::kRegular, ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mmu.translate(kDramBase + MiB(40), AccessType::kRead, AccessKind::kRegular, ctx));
+  }
+}
+BENCHMARK(BM_TranslateTlbHit);
+
+void BM_KernelLoad(benchmark::State& state) {
+  System sys(bench_cfg());
+  KernelMem& km = sys.kernel().kmem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(km.ld(kDramBase + MiB(48)));
+  }
+}
+BENCHMARK(BM_KernelLoad);
+
+void BM_TokenValidate(benchmark::State& state) {
+  System sys(bench_cfg());
+  Process& init = sys.init();
+  const u64 tok = sys.kernel().processes().pcb_token(init);
+  const u64 pgd = sys.kernel().processes().pcb_pgd(init);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sys.kernel().tokens().validate(tok, init.pcb_token_field(), pgd));
+  }
+}
+BENCHMARK(BM_TokenValidate);
+
+void BM_ContextSwitch(benchmark::State& state) {
+  System sys(bench_cfg());
+  Process* a = sys.kernel().processes().fork(sys.init());
+  Process* b = sys.kernel().processes().fork(sys.init());
+  for (auto _ : state) {
+    sys.kernel().processes().switch_to(*a);
+    sys.kernel().processes().switch_to(*b);
+  }
+}
+BENCHMARK(BM_ContextSwitch);
+
+void BM_ForkExit(benchmark::State& state) {
+  System sys(bench_cfg());
+  for (auto _ : state) {
+    Process* c = sys.kernel().processes().fork(sys.init());
+    sys.kernel().processes().exit(*c);
+  }
+}
+BENCHMARK(BM_ForkExit);
+
+void BM_GuestSliceSwitch(benchmark::State& state) {
+  // Full scheduler quantum: context restore, satp switch with token check,
+  // a short burst of interpreted user code, context save.
+  System sys(bench_cfg());
+  GuestRunner runner(sys.kernel());
+  Process* a = sys.kernel().processes().fork(sys.init());
+  Process* b = sys.kernel().processes().fork(sys.init());
+  const VirtAddr entry = kUserSpaceBase + MiB(64);
+  isa::Assembler prog(entry);
+  auto loop = prog.make_label();
+  prog.bind(loop);
+  prog.addi(isa::Reg::kA0, isa::Reg::kA0, 1);
+  prog.j(loop);
+  runner.load_program(*a, entry, prog.finish());
+  runner.load_program(*b, entry, prog.finish());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_slice(*a, entry, 50));
+    benchmark::DoNotOptimize(runner.run_slice(*b, entry, 50));
+  }
+}
+BENCHMARK(BM_GuestSliceSwitch);
+
+void BM_ConsoleWrite(benchmark::State& state) {
+  System sys(bench_cfg());
+  const std::string line = "the quick brown fox\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.kernel().console_write(line));
+  }
+}
+BENCHMARK(BM_ConsoleWrite);
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  // Raw interpreter throughput on a tight guest loop.
+  PhysMem mem(kDramBase, MiB(32));
+  CoreConfig ccfg;
+  Core core(mem, ccfg);
+  isa::Assembler a(kDramBase);
+  auto loop = a.make_label();
+  a.li(isa::Reg::kA0, 1'000'000'000);
+  a.bind(loop);
+  a.addi(isa::Reg::kA0, isa::Reg::kA0, -1);
+  a.bnez(isa::Reg::kA0, loop);
+  core.load_code(kDramBase, a.finish());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.run(10'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+}  // namespace
+}  // namespace ptstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces the §V-E security analysis as an executable defence matrix:
+// all six attack classes against the unprotected baseline, a CFI-only
+// kernel, and the full CFI+PTStore system.
+#include "attacks/scenarios.h"
+#include "bench_util.h"
+
+using namespace ptstore;
+using namespace ptstore::attacks;
+
+namespace {
+
+void run_config(const char* name, const SystemConfig& cfg, bool expect_defended) {
+  std::printf("\n--- %s ---\n", name);
+  int defended = 0;
+  const auto reports = run_all(cfg);
+  for (const auto& r : reports) {
+    std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
+                r.detail.c_str());
+    defended += r.defended() ? 1 : 0;
+  }
+  std::printf("  => %d/%zu attack classes defended (expected: %s)\n", defended,
+              reports.size(), expect_defended ? "all" : "none");
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Security analysis (paper §V-E) — attack classes vs. configurations\n"
+      "PT-Tampering / PT-Injection / PT-Reuse (§II-B), allocator-metadata\n"
+      "(§V-E3), VM-metadata (§V-E4), TLB-inconsistency (§V-E5)");
+
+  SystemConfig base = SystemConfig::baseline();
+  base.dram_size = MiB(256);
+  run_config("baseline (no CFI, no PTStore)", base, false);
+
+  SystemConfig cfi = SystemConfig::cfi();
+  cfi.dram_size = MiB(256);
+  run_config("CFI only (data-only attacks bypass CFI)", cfi, false);
+
+  SystemConfig pt = SystemConfig::cfi_ptstore();
+  pt.dram_size = MiB(256);
+  run_config("CFI + PTStore", pt, true);
+
+  // Defence-in-depth ablation: which mechanism catches PT-Injection.
+  SystemConfig no_token = pt;
+  no_token.kernel.token_check = false;
+  std::printf("\n--- ablation: PTStore without token check ---\n");
+  {
+    System sys(no_token);
+    const AttackReport r = pt_injection(sys);
+    std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
+                r.detail.c_str());
+    std::printf("  => the satp.S walker check stops injection even without tokens\n");
+  }
+  return 0;
+}

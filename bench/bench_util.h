@@ -1,0 +1,31 @@
+// Shared formatting for the table/figure reproduction benches: each bench
+// prints the paper's reported numbers next to the model's, so the shape
+// comparison is visible in raw bench output (and is copied into
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workloads/runner.h"
+
+namespace ptstore::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_header() {
+  std::printf("%-18s %10s %14s %14s %12s\n", "benchmark", "CFI %", "CFI+PTStore %",
+              "PTStore-only %", "base cycles");
+}
+
+inline void print_row(const workloads::Measurement& m) {
+  std::printf("%-18s %10.2f %14.2f %14.2f %12llu\n", m.name.c_str(), m.cfi_pct(),
+              m.cfi_ptstore_pct(), m.ptstore_only_pct(),
+              static_cast<unsigned long long>(m.base));
+}
+
+}  // namespace ptstore::bench

@@ -1,0 +1,109 @@
+// Generality demo (paper §V-F): PTStore's secure region is not limited to
+// page tables. Here a bare-metal system marks its watchdog timer's MMIO
+// window as a secure region: the firmware's watchdog driver (compiled to
+// use sd.pt) keeps petting it, while a compromised task's regular stores —
+// e.g. trying to disable the watchdog before wedging the system — fault.
+//
+//   $ ./examples/bare_metal_guard
+#include <cstdio>
+
+#include "cpu/core.h"
+#include "isa/assembler.h"
+
+using namespace ptstore;
+
+namespace {
+
+/// A watchdog timer peripheral: enable / timeout / kick registers.
+class Watchdog : public MmioDevice {
+ public:
+  static constexpr u64 kEnableOff = 0x0;
+  static constexpr u64 kTimeoutOff = 0x8;
+  static constexpr u64 kKickOff = 0x10;
+
+  u64 mmio_read(u64 offset, unsigned) override {
+    switch (offset) {
+      case kEnableOff: return enabled_ ? 1 : 0;
+      case kTimeoutOff: return timeout_;
+      case kKickOff: return kicks_;
+    }
+    return 0;
+  }
+  void mmio_write(u64 offset, unsigned, u64 value) override {
+    switch (offset) {
+      case kEnableOff: enabled_ = value != 0; break;
+      case kTimeoutOff: timeout_ = value; break;
+      case kKickOff: ++kicks_; break;
+    }
+  }
+
+  bool enabled_ = true;
+  u64 timeout_ = 1000;
+  u64 kicks_ = 0;
+};
+
+constexpr PhysAddr kWdtBase = 0x1000'0000;
+
+}  // namespace
+
+int main() {
+  PhysMem mem(kDramBase, MiB(32));
+  Watchdog wdt;
+  mem.map_device(kWdtBase, kPageSize, &wdt);
+
+  CoreConfig ccfg;
+  Core core(mem, ccfg);
+
+  // Boot firmware (M-mode): mark the watchdog window secure (NAPOT, 4 KiB,
+  // RW+S at PMP entry 0) and open the rest of the machine (TOR at entry 1).
+  namespace csr = isa::csr;
+  const u64 napot = (kWdtBase >> 2) | ((kPageSize / 8) - 1);
+  core.write_csr(csr::kPmpaddr0, napot, Privilege::kMachine);
+  core.write_csr(csr::kPmpaddr0 + 1, mem.dram_end() >> 2, Privilege::kMachine);
+  const u64 cfg0 = pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
+                   (static_cast<u64>(PmpMatch::kNapot) << pmpcfg::kAShift);
+  const u64 cfg1 = pmpcfg::kR | pmpcfg::kW | pmpcfg::kX |
+                   (static_cast<u64>(PmpMatch::kTor) << pmpcfg::kAShift);
+  core.write_csr(csr::kPmpcfg0, cfg0 | (cfg1 << 8), Privilege::kMachine);
+  std::printf("PMP layout:\n%s\n", core.pmp().describe().c_str());
+
+  // The trusted watchdog driver: pets the dog via sd.pt in a loop.
+  using isa::Reg;
+  isa::Assembler driver(kDramBase);
+  driver.li(Reg::kS0, kWdtBase);
+  driver.li(Reg::kT0, 5);  // Pet five times.
+  auto loop = driver.make_label();
+  driver.bind(loop);
+  driver.sd_pt(Reg::kT1, Reg::kS0, Watchdog::kKickOff);
+  driver.addi(Reg::kT0, Reg::kT0, -1);
+  driver.bnez(Reg::kT0, loop);
+  driver.ld_pt(Reg::kA0, Reg::kS0, Watchdog::kKickOff);  // Read kick count.
+  driver.ebreak();
+  core.load_code(kDramBase, driver.finish());
+  core.set_pc(kDramBase);
+  core.set_priv(Privilege::kSupervisor);
+  const StepResult r = core.run(1000);
+  std::printf("driver (sd.pt): %s — watchdog kicked %llu times, reads %llu\n",
+              r.stop == StopReason::kEbreakHalt ? "ran" : "FAILED",
+              (unsigned long long)wdt.kicks_, (unsigned long long)core.reg(10));
+
+  // The compromised task: tries to disable the watchdog with a regular
+  // store (the move a kernel exploit would make before taking over).
+  isa::Assembler attacker(kDramBase + MiB(1));
+  attacker.li(Reg::kS0, kWdtBase);
+  attacker.sd(Reg::kZero, Reg::kS0, Watchdog::kEnableOff);  // enable = 0
+  core.load_code(kDramBase + MiB(1), attacker.finish());
+  core.set_pc(kDramBase + MiB(1));
+  StepResult denied{};
+  for (int i = 0; i < 100; ++i) {
+    denied = core.step();
+    if (denied.stop != StopReason::kNone) break;
+  }
+  std::printf("attacker (regular sd to wdt.enable): %s\n",
+              denied.trap == isa::TrapCause::kStoreAccessFault
+                  ? "access fault — watchdog protected ✓"
+                  : "UNEXPECTEDLY SUCCEEDED");
+  std::printf("watchdog still enabled: %s\n", wdt.enabled_ ? "yes" : "NO");
+
+  return wdt.enabled_ && denied.trap == isa::TrapCause::kStoreAccessFault ? 0 : 1;
+}

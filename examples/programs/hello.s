@@ -1,0 +1,15 @@
+# hello.s — print a greeting and exit(0).
+# Run: ./build/examples/guest_cli --asm examples/programs/hello.s
+    li   sp, 0x107ff00000      # scratch space near the stack top
+    li   t0, 0x50202C6F6C6C6548   # "Hello, P"
+    sd   t0, 0(sp)
+    li   t0, 0x0A2154             # "T!\n"
+    sw   t0, 8(sp)
+    li   a0, 1                 # fd = stdout
+    mv   a1, sp
+    li   a2, 11
+    li   a7, 64                # write
+    ecall
+    li   a0, 0
+    li   a7, 93                # exit
+    ecall

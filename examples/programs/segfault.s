@@ -1,0 +1,6 @@
+# segfault.s — touch an unmapped address; the kernel reports a load fault.
+# Run: ./build/examples/guest_cli --asm examples/programs/segfault.s
+    li   t0, 0x7f00000000      # far outside every VMA
+    ld   a0, 0(t0)
+    li   a7, 93
+    ecall

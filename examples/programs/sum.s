@@ -1,0 +1,10 @@
+# sum.s — compute 1+2+...+1000 and exit with the low byte of the result.
+# Run: ./build/examples/guest_cli --asm examples/programs/sum.s
+    li   t0, 1000
+    li   a0, 0
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a7, 93                # exit(500500 & 0xff = 0x14)
+    ecall

@@ -1,0 +1,41 @@
+// The attacker of the threat model (paper §III-A): full control of a
+// non-root process plus a powerful kernel memory-corruption vulnerability
+// giving repeatable arbitrary read/write *with regular instructions* at
+// kernel privilege. CFI is assumed deployed, so the attacker cannot execute
+// ld.pt/sd.pt gadgets — only regular loads/stores, which is exactly what
+// this primitive issues.
+#pragma once
+
+#include "kernel/kmem.h"
+
+namespace ptstore {
+
+class ArbitraryRw {
+ public:
+  explicit ArbitraryRw(Core& core) : core_(core) {}
+
+  /// Arbitrary 64-bit read at kernel privilege via a regular load.
+  KAccess read(VirtAddr va) {
+    const MemAccessResult r = core_.access_as(va, 8, AccessType::kRead,
+                                              AccessKind::kRegular,
+                                              Privilege::kSupervisor);
+    if (!r.ok) return {false, r.fault, 0};
+    return {true, isa::TrapCause::kNone, r.value};
+  }
+
+  /// Arbitrary 64-bit write at kernel privilege via a regular store.
+  KAccess write(VirtAddr va, u64 value) {
+    const MemAccessResult r = core_.access_as(va, 8, AccessType::kWrite,
+                                              AccessKind::kRegular,
+                                              Privilege::kSupervisor, value);
+    if (!r.ok) return {false, r.fault, 0};
+    return {true, isa::TrapCause::kNone, 0};
+  }
+
+  Core& core() { return core_; }
+
+ private:
+  Core& core_;
+};
+
+}  // namespace ptstore

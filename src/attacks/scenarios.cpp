@@ -1,0 +1,395 @@
+#include "attacks/scenarios.h"
+
+#include "common/bits.h"
+#include "mmu/pte.h"
+
+namespace ptstore::attacks {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kSucceeded: return "ATTACK SUCCEEDED";
+    case Outcome::kBlockedFault: return "blocked (access fault)";
+    case Outcome::kDetectedToken: return "detected (token check)";
+    case Outcome::kDetectedZero: return "detected (zero check)";
+    case Outcome::kContained: return "contained (no protected state reached)";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr VirtAddr kVictimVa = kUserSpaceBase + MiB(4);
+
+/// Omniscient (host-side) Sv39 walk to the physical address of the leaf PTE
+/// slot for `va`. This models the paper's assumption that a sophisticated
+/// attacker can *locate* page tables (e.g. via PT-Rand-style info leaks) —
+/// locating is free; *accessing* must go through the architecture.
+std::optional<PhysAddr> find_leaf_slot(System& sys, PhysAddr root, VirtAddr va) {
+  PhysAddr table = root;
+  for (unsigned level = 2; level > 0; --level) {
+    const PhysAddr slot = table + bits(va, 12 + 9 * level, 9) * kPteSize;
+    const u64 entry = sys.mem().read_u64(slot);
+    if (!pte::is_table(entry)) return std::nullopt;
+    table = pte::pa(entry);
+  }
+  return table + bits(va, 12, 9) * kPteSize;
+}
+
+/// Fork a victim process off init with one user page mapped at kVictimVa.
+Process* setup_victim(System& sys, u64 prot = pte::kR | pte::kW) {
+  Kernel& k = sys.kernel();
+  Process* victim = k.processes().fork(sys.init());
+  if (victim == nullptr) return nullptr;
+  if (!k.processes().add_vma(*victim, kVictimVa, kPageSize, prot)) return nullptr;
+  if (k.processes().switch_to(*victim) != SwitchResult::kOk) return nullptr;
+  if (!k.user_access(*victim, kVictimVa, (prot & pte::kW) != 0)) return nullptr;
+  return victim;
+}
+
+/// U-mode probe access issued directly (no kernel demand-paging behind it).
+MemAccessResult user_probe(System& sys, VirtAddr va, bool write) {
+  return sys.core().access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
+                              AccessKind::kRegular, Privilege::kUser,
+                              0x4141414141414141);
+}
+
+/// Restore a sane address space after an attack wedged satp (harness-only
+/// recovery so later assertions can run; M-mode write bypasses S-mode state).
+void restore_kernel_satp(System& sys) {
+  const u64 satp_v = isa::satp::make(
+      isa::satp::kModeSv39, sys.kernel().config().kernel_asid,
+      sys.kernel().kernel_root() >> kPageShift,
+      sys.kernel().config().ptstore && sys.kernel().config().ptw_check);
+  sys.core().write_csr(isa::csr::kSatp, satp_v, Privilege::kMachine);
+  sys.core().mmu().sfence(std::nullopt, std::nullopt);
+}
+
+}  // namespace
+
+AttackReport pt_tampering(System& sys) {
+  AttackReport rep{.name = "PT-Tampering", .outcome = Outcome::kSucceeded, .detail = {}};
+  Process* victim = setup_victim(sys, pte::kR);  // Read-only victim page.
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+  const PhysAddr root = sys.kernel().processes().pcb_pgd(*victim);
+  const auto slot = find_leaf_slot(sys, root, kVictimVa);
+  if (!slot) {
+    rep.detail = "victim PTE not found";
+    return rep;
+  }
+
+  // Flip W (and keep U) on the victim's read-only page — the classic
+  // permission-bit attack — with a regular arbitrary write.
+  ArbitraryRw rw(sys.core());
+  const u64 old_pte = sys.mem().read_u64(*slot);
+  const KAccess w = rw.write(*slot, old_pte | pte::kW | pte::kD);
+  if (!w.ok) {
+    rep.outcome = Outcome::kBlockedFault;
+    rep.detail = std::string("store to PTE raised ") + isa::to_string(w.fault);
+    return rep;
+  }
+
+  // Write went through; confirm the compromise is architecturally real.
+  sys.core().mmu().sfence(std::nullopt, std::nullopt);  // Attacker-forced flush.
+  const MemAccessResult probe = user_probe(sys, kVictimVa, /*write=*/true);
+  rep.outcome = probe.ok ? Outcome::kSucceeded : Outcome::kContained;
+  rep.detail = probe.ok ? "read-only page is now writable from user mode"
+                        : "PTE modified but probe still faulted";
+  return rep;
+}
+
+AttackReport pt_tampering_kernel_expose(System& sys) {
+  AttackReport rep{.name = "PT-Tampering (U-bit)", .outcome = Outcome::kSucceeded, .detail = {}};
+  Process* victim = setup_victim(sys);
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+  // Target: the gigapage direct-map entry covering DRAM in the *active*
+  // root — flipping its U bit exposes all kernel memory to user mode (the
+  // SMEP/SMAP-bypass flavour of §II-B). In our model each user root carries
+  // its own copy of the kernel entries, so the attacker edits the root the
+  // victim is running on.
+  const PhysAddr root = sys.kernel().processes().pcb_pgd(*victim);
+  const PhysAddr dram = sys.mem().dram_base();
+  const PhysAddr slot = root + bits(dram, 30, 9) * kPteSize;
+
+  ArbitraryRw rw(sys.core());
+  const u64 old_pte = sys.mem().read_u64(slot);
+  const KAccess w = rw.write(slot, old_pte | pte::kU);
+  if (!w.ok) {
+    rep.outcome = Outcome::kBlockedFault;
+    rep.detail = std::string("store to kernel PTE raised ") + isa::to_string(w.fault);
+    return rep;
+  }
+  sys.core().mmu().sfence(std::nullopt, std::nullopt);
+  // Probe: user-mode read of kernel memory (a secret in the direct map).
+  sys.mem().write_u64(dram + MiB(20), 0x5EC2E7);
+  const MemAccessResult probe = user_probe(sys, dram + MiB(20), /*write=*/false);
+  rep.outcome = probe.ok && probe.value == 0x5EC2E7 ? Outcome::kSucceeded
+                                                    : Outcome::kContained;
+  rep.detail = probe.ok ? "user mode reads kernel memory through the flipped U bit"
+                        : "PTE modified but the probe still faulted";
+  return rep;
+}
+
+AttackReport pt_injection(System& sys) {
+  AttackReport rep{.name = "PT-Injection", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* victim = setup_victim(sys);
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  // Target: make the kernel-root page (a secure-region page on PTStore,
+  // plain memory on the baseline) writable from user mode.
+  const PhysAddr target_pa = k.kernel_root();
+
+  // The attacker sprays a fake 3-level hierarchy into normal memory. Grab
+  // three free normal pages (spraying stands in for the allocation).
+  PhysAddr fake[3];
+  for (auto& f : fake) {
+    const auto pg = k.pages().alloc_pages(Gfp::kUser, 0);
+    if (!pg) {
+      rep.detail = "no memory for fake tables";
+      return rep;
+    }
+    f = *pg;
+    sys.mem().fill(f, 0, kPageSize);
+  }
+  ArbitraryRw rw(sys.core());
+  // Level-2 kernel identity entries are architecturally determined — the
+  // attacker reconstructs them without reading the real root.
+  const u64 giga = u64{1} << 30;
+  for (PhysAddr pa = 0; pa < align_up(sys.mem().dram_end(), giga); pa += giga) {
+    const u64 e = pte::make_from_pa(
+        pa, pte::kV | pte::kR | pte::kW | pte::kX | pte::kA | pte::kD | pte::kG);
+    if (!rw.write(fake[0] + bits(pa, 30, 9) * kPteSize, e).ok) {
+      rep.outcome = Outcome::kBlockedFault;
+      rep.detail = "could not even write fake tables";
+      return rep;
+    }
+  }
+  const VirtAddr evil_va = kUserSpaceBase + GiB(32);
+  rw.write(fake[0] + bits(evil_va, 30, 9) * kPteSize, pte::make_from_pa(fake[1], pte::kV));
+  rw.write(fake[1] + bits(evil_va, 21, 9) * kPteSize, pte::make_from_pa(fake[2], pte::kV));
+  rw.write(fake[2] + bits(evil_va, 12, 9) * kPteSize,
+           pte::make_from_pa(target_pa,
+                             pte::kV | pte::kR | pte::kW | pte::kU | pte::kA | pte::kD));
+
+  // Hijack the victim's page-table pointer (PCB lives in normal memory, so
+  // this write always succeeds — the defence must catch what follows).
+  if (!rw.write(victim->pcb_pgd_field(), fake[0]).ok) {
+    rep.outcome = Outcome::kBlockedFault;
+    rep.detail = "PCB write unexpectedly blocked";
+    return rep;
+  }
+
+  // Victim gets scheduled.
+  const SwitchResult sw = k.processes().switch_to(*victim);
+  if (sw == SwitchResult::kTokenInvalid) {
+    rep.outcome = Outcome::kDetectedToken;
+    rep.detail = "switch_mm rejected the hijacked pgd: token mismatch";
+    return rep;
+  }
+
+  // satp now points at the fake root. Probe the injected mapping.
+  const MemAccessResult probe = user_probe(sys, evil_va, /*write=*/true);
+  restore_kernel_satp(sys);
+  if (!probe.ok) {
+    rep.outcome = Outcome::kBlockedFault;
+    rep.detail = std::string("PTW refused the injected tables: ") +
+                 isa::to_string(probe.fault);
+    return rep;
+  }
+  rep.outcome = Outcome::kSucceeded;
+  rep.detail = "user-mode write to the kernel page-table root succeeded";
+  return rep;
+}
+
+AttackReport pt_reuse(System& sys) {
+  AttackReport rep{.name = "PT-Reuse", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* attacker = setup_victim(sys);
+  Process* victim = k.processes().fork(sys.init());  // Root-privileged victim.
+  if (attacker == nullptr || victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  // Replace the victim's page-table pointer (and token pointer — the
+  // attacker copies everything it can see) with the attacker's.
+  ArbitraryRw rw(sys.core());
+  const u64 attacker_pgd = rw.read(attacker->pcb_pgd_field()).value;
+  const u64 attacker_token = rw.read(attacker->pcb_token_field()).value;
+  rw.write(victim->pcb_pgd_field(), attacker_pgd);
+  rw.write(victim->pcb_token_field(), attacker_token);
+
+  const SwitchResult sw = k.processes().switch_to(*victim);
+  if (sw == SwitchResult::kTokenInvalid) {
+    rep.outcome = Outcome::kDetectedToken;
+    rep.detail = "token's user pointer does not point back at the victim PCB";
+    return rep;
+  }
+  // The root-privileged victim now runs on the attacker's address space —
+  // the attacker's code executes with the victim's privileges.
+  const u64 satp_now = sys.core().mmu().satp();
+  const bool reused = isa::satp::ppn(satp_now) == (attacker_pgd >> kPageShift);
+  restore_kernel_satp(sys);
+  rep.outcome = reused ? Outcome::kSucceeded : Outcome::kContained;
+  rep.detail = reused ? "victim switched onto the attacker's page table"
+                      : "satp does not carry the attacker's root";
+  return rep;
+}
+
+AttackReport allocator_metadata(System& sys) {
+  AttackReport rep{.name = "Allocator-metadata", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* victim = setup_victim(sys);
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  // Corrupt the buddy free lists so the next page-table allocation returns
+  // the victim's *live* root table.
+  const PhysAddr victim_root = k.processes().pcb_pgd(*victim);
+  BuddyZone& pt_zone =
+      k.config().ptstore ? k.pages().ptstore() : k.pages().normal();
+  pt_zone.force_next_alloc(victim_root);
+
+  // Watch the victim root's *user-half* entry (its kVictimVa subtree
+  // pointer): a re-issued root gets zeroed/rebuilt and loses it.
+  const PhysAddr watch_slot = victim_root + bits(kVictimVa, 30, 9) * kPteSize;
+  const u64 sentinel = sys.mem().read_u64(watch_slot);
+  PtStatus st;
+  Process* child = k.processes().fork(sys.init(), &st);
+
+  if (child == nullptr && st.attack_detected) {
+    rep.outcome = Outcome::kDetectedZero;
+    rep.detail = "new PT page was not all-zero: overlapping allocation rejected";
+    return rep;
+  }
+  const u64 now = sys.mem().read_u64(watch_slot);
+  if (now != sentinel) {
+    rep.outcome = Outcome::kSucceeded;
+    rep.detail = "victim's live root table was re-issued and clobbered";
+    return rep;
+  }
+  rep.outcome = Outcome::kContained;
+  rep.detail = "allocation proceeded without touching the victim root";
+  return rep;
+}
+
+AttackReport vm_metadata(System& sys) {
+  AttackReport rep{.name = "VM-metadata", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* victim = setup_victim(sys, pte::kR);  // Read-only VMA.
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  // Corrupt the VMA metadata (kernel heap — attacker-writable): the
+  // read-only area becomes writable, and the next fault maps it writable.
+  for (auto& v : victim->vmas) {
+    if (v.start == kVictimVa) v.prot |= pte::kW;
+  }
+  const VirtAddr va2 = kVictimVa;  // Re-fault after unmap to pick up perms.
+  (void)k.processes().remove_vma(*victim, kVictimVa, kPageSize);
+  (void)k.processes().add_vma(*victim, va2, kPageSize, pte::kR | pte::kW);
+  if (!k.user_access(*victim, va2, /*write=*/true)) {
+    rep.outcome = Outcome::kContained;
+    rep.detail = "tainted VMA did not yield a writable mapping";
+    return rep;
+  }
+
+  // The attacker owns a writable *user* page. Escalation still requires
+  // touching page tables — which is exactly what PTStore guards (§V-E4:
+  // VMAs hold only user-space state, so the kernel address space and the
+  // secure region are unaffected).
+  const PhysAddr root = k.processes().pcb_pgd(*victim);
+  const auto slot = find_leaf_slot(sys, root, va2);
+  ArbitraryRw rw(sys.core());
+  const KAccess w = rw.write(*slot, 0);
+  if (!w.ok) {
+    rep.outcome = Outcome::kContained;
+    rep.detail = "writable user page gained, but page tables remain unreachable";
+    return rep;
+  }
+  rep.outcome = Outcome::kSucceeded;
+  rep.detail = "tainted VM metadata chained into direct page-table tampering";
+  return rep;
+}
+
+AttackReport tlb_inconsistency(System& sys) {
+  AttackReport rep{.name = "TLB-inconsistency", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* victim = setup_victim(sys);
+  if (victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  // Inject the TLB-inconsistency bug (paper §V-E5): a stale writable
+  // user-level translation whose target physical page now holds a live page
+  // table. VM-based protections are blind to it; PTStore's PMP check is
+  // physical and per-access.
+  const PhysAddr target_pa = k.processes().pcb_pgd(*victim);
+  const VirtAddr stale_va = kUserSpaceBase + GiB(48);
+  const u64 stale_pte = pte::make_from_pa(
+      target_pa, pte::kV | pte::kR | pte::kW | pte::kU | pte::kA | pte::kD);
+  sys.core().mmu().dtlb().insert(stale_va, victim->asid, /*level=*/0, stale_pte,
+                                 /*global=*/false);
+
+  const u64 sentinel = sys.mem().read_u64(target_pa);
+  const MemAccessResult probe = user_probe(sys, stale_va, /*write=*/true);
+  if (!probe.ok) {
+    rep.outcome = Outcome::kBlockedFault;
+    rep.detail = std::string("stale-TLB store hit PMP: ") + isa::to_string(probe.fault);
+    return rep;
+  }
+  rep.outcome = sys.mem().read_u64(target_pa) != sentinel ? Outcome::kSucceeded
+                                                          : Outcome::kContained;
+  rep.detail = "stale writable translation reached the live page table";
+  return rep;
+}
+
+std::vector<AttackReport> run_all(const SystemConfig& cfg) {
+  std::vector<AttackReport> out;
+  out.reserve(7);
+  {
+    System sys(cfg);
+    out.push_back(pt_tampering(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(pt_tampering_kernel_expose(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(pt_injection(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(pt_reuse(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(allocator_metadata(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(vm_metadata(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(tlb_inconsistency(sys));
+  }
+  return out;
+}
+
+}  // namespace ptstore::attacks

@@ -1,0 +1,65 @@
+// The five attack classes of the paper's security analysis (§II-B, §V-E),
+// each runnable against any system configuration. Every scenario returns a
+// structured outcome so the security bench can print the defence matrix and
+// the tests can assert exact behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/primitive.h"
+#include "kernel/system.h"
+
+namespace ptstore::attacks {
+
+enum class Outcome : u8 {
+  kSucceeded = 0,   ///< Attack achieved its goal — system compromised.
+  kBlockedFault,    ///< Hardware raised an access fault (PMP / PTW check).
+  kDetectedToken,   ///< Token validation rejected the hijacked pointer.
+  kDetectedZero,    ///< Zero-check rejected the overlapping allocation.
+  kContained,       ///< Attack ran but could not affect protected state.
+};
+
+const char* to_string(Outcome o);
+
+struct AttackReport {
+  std::string name;
+  Outcome outcome = Outcome::kSucceeded;
+  std::string detail;
+  bool defended() const { return outcome != Outcome::kSucceeded; }
+};
+
+/// §II-B PT-Tampering: write a victim leaf PTE directly (flip W/U bits)
+/// through the arbitrary-write primitive.
+AttackReport pt_tampering(System& sys);
+
+/// §II-B PT-Tampering, kernel-space variant: flip the U bit on a kernel
+/// direct-map entry so user mode can read kernel memory (the SMEP/SMAP
+/// bypass the paper describes).
+AttackReport pt_tampering_kernel_expose(System& sys);
+
+/// §II-B PT-Injection: craft a fake page-table hierarchy in normal memory,
+/// hijack the victim PCB's pgd pointer at it, get the victim scheduled.
+AttackReport pt_injection(System& sys);
+
+/// §II-B PT-Reuse: redirect a root-privileged victim's pgd (and token
+/// pointer) at the attacker process's existing page table.
+AttackReport pt_reuse(System& sys);
+
+/// §V-E3: corrupt allocator metadata so a new page-table page overlaps an
+/// in-use page table, then trigger a PT allocation via fork.
+AttackReport allocator_metadata(System& sys);
+
+/// §V-E4: tamper with VM-area metadata to gain writable user mappings, then
+/// try to reach kernel/page-table state through them.
+AttackReport vm_metadata(System& sys);
+
+/// §V-E5: exploit a (injected) TLB-inconsistency bug — a stale writable
+/// translation aimed at a physical page that now holds page tables.
+AttackReport tlb_inconsistency(System& sys);
+
+/// Run the full battery (7 scenarios), each against a fresh system instance
+/// (scenarios corrupt kernel state by design and are not composable).
+std::vector<AttackReport> run_all(const SystemConfig& cfg);
+
+}  // namespace ptstore::attacks

@@ -1,0 +1,72 @@
+#include "cache/cache.h"
+
+namespace ptstore {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(is_pow2(cfg.size_bytes) && is_pow2(cfg.line_bytes));
+  assert(cfg.ways >= 1);
+  const u64 num_lines = cfg.size_bytes / cfg.line_bytes;
+  assert(num_lines % cfg.ways == 0);
+  num_sets_ = static_cast<unsigned>(num_lines / cfg.ways);
+  assert(is_pow2(num_sets_));
+  line_shift_ = log2_exact(cfg.line_bytes);
+  lines_.resize(num_lines);
+}
+
+CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
+  const u64 block = pa >> line_shift_;
+  const unsigned set = static_cast<unsigned>(block & (num_sets_ - 1));
+  const u64 tag = block >> log2_exact(num_sets_);
+  Line* row = &lines_[static_cast<size_t>(set) * cfg_.ways];
+  ++tick_;
+
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& ln = row[w];
+    if (ln.valid && ln.tag == tag) {
+      ln.lru_tick = tick_;
+      ln.dirty = ln.dirty || is_write;
+      stats_.add(cfg_.name + ".hits");
+      return {true, cfg_.hit_latency};
+    }
+  }
+
+  // Miss: pick the LRU victim (preferring an invalid way).
+  Line* victim = &row[0];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& ln = row[w];
+    if (!ln.valid) {
+      victim = &ln;
+      break;
+    }
+    if (ln.lru_tick < victim->lru_tick) victim = &ln;
+  }
+
+  Cycles cycles = cfg_.hit_latency + cfg_.miss_penalty;
+  if (victim->valid && victim->dirty) {
+    cycles += cfg_.dirty_evict_penalty;
+    stats_.add(cfg_.name + ".writebacks");
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru_tick = tick_;
+  stats_.add(cfg_.name + ".misses");
+  return {false, cycles};
+}
+
+Cycles Cache::hierarchy_access(Cache& l1, Cache* l2, PhysAddr pa, bool is_write) {
+  const CacheAccessResult r1 = l1.access(pa, is_write);
+  if (r1.hit || l2 == nullptr) return r1.cycles - l1.config().hit_latency;
+  // L1 missed: replace its DRAM penalty with the L2 lookup (which itself
+  // pays DRAM only on an L2 miss). Writebacks keep their cost.
+  const Cycles l1_extra = r1.cycles - l1.config().hit_latency - l1.config().miss_penalty;
+  const CacheAccessResult r2 = l2->access(pa, is_write);
+  return l1_extra + r2.cycles;
+}
+
+void Cache::invalidate_all() {
+  for (auto& ln : lines_) ln = Line{};
+  stats_.add(cfg_.name + ".flushes");
+}
+
+}  // namespace ptstore

@@ -1,0 +1,72 @@
+// Set-associative cache timing model (tag array only — data lives in
+// PhysMem). Mirrors the paper's prototype config: 16 KiB 4-way L1I/L1D with
+// 64 B lines. Used purely for cycle accounting; correctness never depends
+// on it.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ptstore {
+
+struct CacheConfig {
+  std::string name = "L1";
+  u64 size_bytes = KiB(16);
+  unsigned ways = 4;
+  unsigned line_bytes = 64;
+  Cycles hit_latency = 1;
+  Cycles miss_penalty = 30;        ///< DRAM access on miss.
+  Cycles dirty_evict_penalty = 8;  ///< Extra writeback cost.
+};
+
+/// Result of one cache access, in cycles.
+struct CacheAccessResult {
+  bool hit = false;
+  Cycles cycles = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Two-level helper: access `l1`, and on a miss charge the `l2` lookup
+  /// instead of l1's DRAM penalty (l2 == nullptr degrades to l1-only).
+  /// Returns the cycles *beyond* l1's hit latency — the "excess" the core
+  /// charges on top of its base CPI.
+  static Cycles hierarchy_access(Cache& l1, Cache* l2, PhysAddr pa, bool is_write);
+
+  /// Simulate an access to physical address `pa`. Write accesses mark the
+  /// line dirty (write-allocate, write-back policy).
+  CacheAccessResult access(PhysAddr pa, bool is_write);
+
+  /// Drop every line (e.g., fence.i on the I-cache).
+  void invalidate_all();
+
+  const CacheConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  unsigned num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    u64 tag = 0;
+    u64 lru_tick = 0;
+  };
+
+  CacheConfig cfg_;
+  unsigned num_sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;  // num_sets_ * ways, row-major by set.
+  u64 tick_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,66 @@
+// Fully-associative TLB model with ASID tagging and Sv39 superpage support.
+// The paper's prototype uses a 32-entry I-TLB and an 8-entry D-TLB.
+//
+// TLB entries cache the *virtual* permission bits of a translation. PTStore's
+// key point against TLB-inconsistency attacks (paper §V-E5) is that its
+// secure-region check is physical (PMP) and applied on every access — so a
+// stale writable TLB entry still cannot write the secure region. The model
+// deliberately reproduces stale-entry behaviour so the attack scenario is
+// faithful.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ptstore {
+
+/// One cached translation. `level` is the Sv39 leaf level: 0 = 4 KiB page,
+/// 1 = 2 MiB, 2 = 1 GiB superpage.
+struct TlbEntry {
+  bool valid = false;
+  bool global = false;
+  u16 asid = 0;
+  VirtAddr vpn = 0;  ///< VA >> 12, canonical low 27 bits.
+  unsigned level = 0;
+  u64 pte = 0;  ///< Raw leaf PTE (permissions + PPN).
+  u64 lru_tick = 0;
+};
+
+struct TlbConfig {
+  std::string name = "TLB";
+  unsigned entries = 32;
+  Cycles hit_latency = 0;  ///< Folded into the access pipeline.
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& cfg) : cfg_(cfg), slots_(cfg.entries) {}
+
+  /// Look up virtual address `va` under `asid`. Superpage entries match any
+  /// VA within their reach.
+  const TlbEntry* lookup(VirtAddr va, u16 asid);
+
+  /// Insert a translation; evicts LRU.
+  void insert(VirtAddr va, u16 asid, unsigned level, u64 pte, bool global);
+
+  /// sfence.vma semantics. `va`/`asid` of nullopt mean "all".
+  void flush(std::optional<VirtAddr> va, std::optional<u16> asid);
+
+  const TlbConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  unsigned occupancy() const;
+
+ private:
+  static u64 vpn_mask(unsigned level);
+  TlbConfig cfg_;
+  std::vector<TlbEntry> slots_;
+  u64 tick_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,76 @@
+// Bit-manipulation helpers used by the ISA, PMP, and MMU models.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.h"
+
+namespace ptstore {
+
+/// Mask with the low `n` bits set. n may be 0..64.
+constexpr u64 mask_lo(unsigned n) {
+  return n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
+/// Extract bits [lo, lo+width) of v.
+constexpr u64 bits(u64 v, unsigned lo, unsigned width) {
+  assert(lo < 64 && width >= 1 && width <= 64);
+  return (v >> lo) & mask_lo(width);
+}
+
+/// Extract single bit `pos` of v.
+constexpr u64 bit(u64 v, unsigned pos) { return (v >> pos) & 1; }
+
+/// Return v with bits [lo, lo+width) replaced by the low bits of field.
+constexpr u64 insert_bits(u64 v, unsigned lo, unsigned width, u64 field) {
+  const u64 m = mask_lo(width) << lo;
+  return (v & ~m) | ((field << lo) & m);
+}
+
+/// Sign-extend the low `width` bits of v to 64 bits.
+constexpr i64 sign_extend(u64 v, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<i64>(v);
+  const u64 sign = u64{1} << (width - 1);
+  return static_cast<i64>(((v & mask_lo(width)) ^ sign)) - static_cast<i64>(sign);
+}
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr u64 align_down(u64 v, u64 align) {
+  assert(is_pow2(align));
+  return v & ~(align - 1);
+}
+
+constexpr u64 align_up(u64 v, u64 align) {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr bool is_aligned(u64 v, u64 align) { return align_down(v, align) == v; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(u64 v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Smallest power of two >= v (v must be nonzero and representable).
+constexpr u64 round_up_pow2(u64 v) {
+  assert(v != 0);
+  return std::bit_ceil(v);
+}
+
+/// True if [a, a+na) and [b, b+nb) overlap. Empty ranges never overlap.
+constexpr bool ranges_overlap(u64 a, u64 na, u64 b, u64 nb) {
+  if (na == 0 || nb == 0) return false;
+  return a < b + nb && b < a + na;
+}
+
+/// True if [inner, inner+ni) is contained in [outer, outer+no).
+constexpr bool range_contains(u64 outer, u64 no, u64 inner, u64 ni) {
+  return inner >= outer && inner + ni <= outer + no && inner + ni >= inner;
+}
+
+}  // namespace ptstore

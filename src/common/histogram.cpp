@@ -1,0 +1,11 @@
+#include "common/histogram.h"
+#include <sstream>
+namespace ptstore {
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << static_cast<u64>(mean())
+     << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max_;
+  return os.str();
+}
+}  // namespace ptstore

@@ -1,0 +1,82 @@
+// Log₂-bucketed histogram for latency distributions: constant-size, O(1)
+// insert, percentile queries with intra-bucket interpolation. Used by the
+// kernel's optional per-syscall latency collection and the latency bench.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <string>
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace ptstore {
+
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 64;
+
+  void record(u64 value) {
+    const unsigned b = value == 0 ? 0 : 64 - static_cast<unsigned>(std::countl_zero(value));
+    ++buckets_[std::min(b, kBuckets - 1)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  u64 count() const { return count_; }
+  u64 min() const { return count_ ? min_ : 0; }
+  u64 max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at percentile p (0 < p <= 100), linearly interpolated within the
+  /// containing power-of-two bucket. Zero when empty.
+  u64 percentile(double p) const {
+    if (count_ == 0) return 0;
+    assert(p > 0.0 && p <= 100.0);
+    const double target = p / 100.0 * static_cast<double>(count_);
+    u64 seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (static_cast<double>(seen + buckets_[b]) >= target) {
+        const u64 lo = b == 0 ? 0 : u64{1} << (b - 1);
+        const u64 hi = b == 0 ? 1 : (b >= 63 ? ~u64{0} : (u64{1} << b));
+        const double frac = (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets_[b]);
+        const u64 v = lo + static_cast<u64>(static_cast<double>(hi - lo) * frac);
+        // Interpolation cannot produce values outside the observed range.
+        return std::clamp(v, min_, max_);
+      }
+      seen += buckets_[b];
+    }
+    return max_;
+  }
+
+  void merge(const Histogram& other) {
+    for (unsigned b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    if (other.count_ != 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void clear() { *this = Histogram{}; }
+
+  /// "n=.. mean=.. p50=.. p99=.. max=.." summary line.
+  std::string summary() const;
+
+ private:
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+}  // namespace ptstore

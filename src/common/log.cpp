@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace ptstore {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lv) { g_level = lv; }
+
+void log_message(LogLevel lv, const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(lv), tag, msg.c_str());
+}
+
+namespace detail {
+std::string format_args(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n <= 0) {
+    va_end(ap2);
+    return {};
+  }
+  std::vector<char> buf(static_cast<size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+  va_end(ap2);
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+}  // namespace detail
+
+}  // namespace ptstore

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Simulation components log through this so tests
+// can silence or capture output deterministically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ptstore {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Global log threshold; messages above it are dropped. Defaults to kWarn so
+/// test and benchmark output stays clean.
+LogLevel log_level();
+void set_log_level(LogLevel lv);
+
+void log_message(LogLevel lv, const char* tag, const std::string& msg);
+
+namespace detail {
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define PTSTORE_LOG(lv, tag, ...)                                        \
+  do {                                                                    \
+    if (static_cast<int>(lv) <= static_cast<int>(::ptstore::log_level())) \
+      ::ptstore::log_message(lv, tag, ::ptstore::detail::format_args(__VA_ARGS__)); \
+  } while (0)
+
+#define LOG_ERROR(tag, ...) PTSTORE_LOG(::ptstore::LogLevel::kError, tag, __VA_ARGS__)
+#define LOG_WARN(tag, ...) PTSTORE_LOG(::ptstore::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LOG_INFO(tag, ...) PTSTORE_LOG(::ptstore::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LOG_DEBUG(tag, ...) PTSTORE_LOG(::ptstore::LogLevel::kDebug, tag, __VA_ARGS__)
+
+}  // namespace ptstore

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generator (xoshiro256**), seeded
+// explicitly so every simulation run and workload trace is reproducible.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace ptstore {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // SplitMix64 to expand the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EB;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) {
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+      const u64 r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) {
+    assert(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+}  // namespace ptstore

@@ -1,0 +1,13 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace ptstore {
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << " = " << v << "\n";
+  return os.str();
+}
+
+}  // namespace ptstore

@@ -1,0 +1,50 @@
+// Named statistic counters. Hardware and kernel models register counters in
+// a StatSet; benches and tests read them back for reporting and assertions.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace ptstore {
+
+/// A flat collection of named 64-bit counters plus derived-ratio helpers.
+class StatSet {
+ public:
+  /// Add `delta` to counter `name`, creating it at zero if absent.
+  void add(const std::string& name, u64 delta = 1) { counters_[name] += delta; }
+
+  void set(const std::string& name, u64 value) { counters_[name] = value; }
+
+  /// Value of counter `name`, 0 if it has never been touched.
+  u64 get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  bool has(const std::string& name) const { return counters_.count(name) != 0; }
+
+  /// numerator/(numerator+denominator)-style hit ratio; 0 when empty.
+  double ratio(const std::string& num, const std::string& den) const {
+    const u64 n = get(num);
+    const u64 d = get(den);
+    return (n + d) == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(n + d);
+  }
+
+  void clear() { counters_.clear(); }
+
+  const std::map<std::string, u64>& counters() const { return counters_; }
+
+  /// Merge all counters from `other` into this set.
+  void merge(const StatSet& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,32 @@
+#include "common/types.h"
+
+namespace ptstore {
+
+const char* to_string(Privilege p) {
+  switch (p) {
+    case Privilege::kUser: return "U";
+    case Privilege::kSupervisor: return "S";
+    case Privilege::kMachine: return "M";
+  }
+  return "?";
+}
+
+const char* to_string(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRegular: return "regular";
+    case AccessKind::kPtInsn: return "pt-insn";
+    case AccessKind::kPtw: return "ptw";
+  }
+  return "?";
+}
+
+const char* to_string(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return "read";
+    case AccessType::kWrite: return "write";
+    case AccessType::kExecute: return "execute";
+  }
+  return "?";
+}
+
+}  // namespace ptstore

@@ -1,0 +1,68 @@
+// Core scalar types and architectural constants shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptstore {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Physical address in the simulated machine.
+using PhysAddr = u64;
+/// Virtual address in the simulated machine (Sv39: 39 significant bits).
+using VirtAddr = u64;
+/// Cycle count of the timing model.
+using Cycles = u64;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+/// Size of one page-table entry (Sv39).
+inline constexpr u64 kPteSize = 8;
+/// Number of PTEs per 4 KiB page-table page.
+inline constexpr u64 kPtesPerPage = kPageSize / kPteSize;
+
+/// Base of simulated DRAM (matches common RISC-V platform maps).
+inline constexpr PhysAddr kDramBase = 0x8000'0000;
+
+inline constexpr u64 KiB(u64 n) { return n << 10; }
+inline constexpr u64 MiB(u64 n) { return n << 20; }
+inline constexpr u64 GiB(u64 n) { return n << 30; }
+
+/// RISC-V privilege levels.
+enum class Privilege : u8 {
+  kUser = 0,
+  kSupervisor = 1,
+  kMachine = 3,
+};
+
+/// What kind of agent issues a memory access. PTStore's PMP extension
+/// distinguishes these three: regular instructions, the dedicated
+/// ld.pt/sd.pt instructions, and hardware page-table-walker fetches.
+enum class AccessKind : u8 {
+  kRegular = 0,   ///< Ordinary load/store/fetch.
+  kPtInsn = 1,    ///< ld.pt / sd.pt secure-region instructions.
+  kPtw = 2,       ///< MMU page-table walker PTE fetch.
+};
+
+/// Read/write/execute intent of a memory access.
+enum class AccessType : u8 {
+  kRead = 0,
+  kWrite = 1,
+  kExecute = 2,
+};
+
+const char* to_string(Privilege p);
+const char* to_string(AccessKind k);
+const char* to_string(AccessType t);
+
+}  // namespace ptstore

@@ -1,0 +1,33 @@
+#include "cpu/tracer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ptstore {
+
+namespace {
+std::string format_one(const TraceRecord& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10llx", static_cast<unsigned long long>(r.pc));
+  std::ostringstream os;
+  os << buf << ": [" << to_string(r.priv) << "] " << isa::disassemble(r.inst);
+  return os.str();
+}
+}  // namespace
+
+std::vector<std::string> Tracer::format_tail(size_t n) const {
+  std::vector<std::string> out;
+  const size_t start = records_.size() > n ? records_.size() - n : 0;
+  for (size_t i = start; i < records_.size(); ++i) {
+    out.push_back(format_one(records_[i]));
+  }
+  return out;
+}
+
+std::string Tracer::dump() const {
+  std::ostringstream os;
+  for (const auto& r : records_) os << format_one(r) << "\n";
+  return os.str();
+}
+
+}  // namespace ptstore

@@ -1,0 +1,61 @@
+// Instruction tracer: plugs into Core's trace hook and records (or prints)
+// a disassembled execution history — the debugging tool you want when a
+// guest program walks off a cliff. Bounded ring buffer so tracing a
+// billion-instruction run cannot exhaust host memory.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+
+namespace ptstore {
+
+struct TraceRecord {
+  u64 pc = 0;
+  isa::Inst inst;
+  Privilege priv = Privilege::kMachine;
+  u64 instret = 0;
+};
+
+class Tracer {
+ public:
+  /// Keep at most `capacity` most-recent records.
+  explicit Tracer(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Attach to a core (replaces any existing trace hook).
+  void attach(Core& core) {
+    core.set_trace_hook([this](const Core& c, u64 pc, const isa::Inst& in) {
+      on_step(c, pc, in);
+    });
+  }
+  /// Detach (clears the core's hook). The recorded history is kept.
+  void detach(Core& core) { core.set_trace_hook(nullptr); }
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  u64 total_traced() const { return total_; }
+  void clear() {
+    records_.clear();
+    total_ = 0;
+  }
+
+  /// Last `n` records rendered as "pc: <priv> disassembly" lines.
+  std::vector<std::string> format_tail(size_t n) const;
+
+  /// Full formatted dump of the retained window.
+  std::string dump() const;
+
+ private:
+  void on_step(const Core& core, u64 pc, const isa::Inst& in) {
+    if (records_.size() == capacity_) records_.pop_front();
+    records_.push_back(TraceRecord{pc, in, core.priv(), core.instret()});
+    ++total_;
+  }
+
+  size_t capacity_;
+  std::deque<TraceRecord> records_;
+  u64 total_ = 0;
+};
+
+}  // namespace ptstore

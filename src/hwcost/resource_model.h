@@ -1,0 +1,88 @@
+// Parametric FPGA resource model for PTStore's hardware additions
+// (reproduces Table III of the paper).
+//
+// The paper synthesizes a SmallBoom RV64IMAC core (FPU off) to a Xilinx
+// Kintex-7 XC7K420T with Vivado 2021.2 at Ftarget = 90 MHz and reports
+// LUT/FF usage of the core and the whole system, with and without PTStore.
+// We cannot run Vivado, so we estimate the *delta* from the sizes of the
+// added structures — the additions are small and regular enough (CSR bits,
+// comparators, decode terms, pipeline tag bits) that first-order gate
+// counts are meaningful — and we take the published baseline as the
+// denominator. EXPERIMENTS.md records model-vs-paper for every cell.
+//
+// Structures PTStore adds (paper §IV-A1):
+//   1. pmpcfg S-bits: one CSR flop per PMP entry + the secure-match term in
+//      every PMP comparator lane.
+//   2. Decoder: two new load/store opcodes (custom-0/custom-1) and an
+//      access-kind tag plumbed down the LSU pipeline and queues.
+//   3. satp.S bit + the PTW's secure-region check (reuses the PMP match
+//      network; adds the enable/deny term).
+//   4. Access-fault generation for the three new deny conditions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::hwcost {
+
+/// Microarchitectural parameters of the modelled core (SmallBoom defaults,
+/// Table II of the paper).
+struct CoreParams {
+  unsigned pmp_entries = 16;
+  unsigned paddr_bits = 34;    ///< Physical address width checked by PMP.
+  unsigned ldq_entries = 8;    ///< Load queue (SmallBoom).
+  unsigned stq_entries = 8;    ///< Store queue.
+  unsigned lsu_pipe_stages = 3;
+  unsigned decode_width = 1;
+  unsigned mem_width = 1;      ///< Memory-issue lanes (PMP check lanes).
+};
+
+/// Published baseline (the "without PTStore" row of Table III).
+struct BaselineUsage {
+  u64 core_lut = 55367;
+  u64 core_ff = 37327;
+  u64 system_lut = 71633;
+  u64 system_ff = 57151;
+  double wss_ns = 0.033;
+  double fmax_mhz = 90.269;
+};
+
+/// One modelled component of the PTStore delta.
+struct ComponentCost {
+  std::string name;
+  u64 luts = 0;
+  u64 ffs = 0;
+  std::string rationale;
+};
+
+struct DeltaEstimate {
+  std::vector<ComponentCost> components;
+  u64 total_luts() const;
+  u64 total_ffs() const;
+};
+
+/// Estimate the LUT/FF delta PTStore adds to a core with `p`.
+DeltaEstimate estimate_delta(const CoreParams& p);
+
+/// A full Table III row set: baseline, modelled with-PTStore, percentages.
+struct TableIII {
+  BaselineUsage base;
+  u64 core_lut_with = 0;
+  u64 core_ff_with = 0;
+  u64 system_lut_with = 0;
+  u64 system_ff_with = 0;
+  double core_lut_pct = 0, core_ff_pct = 0;
+  double system_lut_pct = 0, system_ff_pct = 0;
+  double wss_with_ns = 0;
+  double fmax_with_mhz = 0;
+};
+
+TableIII build_table(const CoreParams& p, const BaselineUsage& base);
+
+/// Timing model: the new PMP term is one extra LUT level on a path with
+/// slack; estimate the WSS/Fmax of the modified design.
+double estimate_wss_ns(const CoreParams& p, const BaselineUsage& base);
+
+}  // namespace ptstore::hwcost

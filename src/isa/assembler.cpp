@@ -1,0 +1,246 @@
+#include "isa/assembler.h"
+
+#include "common/bits.h"
+
+namespace ptstore::isa {
+
+namespace {
+
+u32 enc_r(u32 opcode, u32 f3, u32 f7, Reg rd, Reg rs1, Reg rs2) {
+  return opcode | (u32{regno(rd)} << 7) | (f3 << 12) | (u32{regno(rs1)} << 15) |
+         (u32{regno(rs2)} << 20) | (f7 << 25);
+}
+
+u32 enc_i(u32 opcode, u32 f3, Reg rd, Reg rs1, i64 imm) {
+  assert(imm >= -2048 && imm <= 2047 && "I-type immediate out of range");
+  return opcode | (u32{regno(rd)} << 7) | (f3 << 12) | (u32{regno(rs1)} << 15) |
+         (static_cast<u32>(imm & 0xFFF) << 20);
+}
+
+u32 enc_i_shift(u32 opcode, u32 f3, u32 f6, Reg rd, Reg rs1, unsigned shamt) {
+  assert(shamt < 64);
+  return opcode | (u32{regno(rd)} << 7) | (f3 << 12) | (u32{regno(rs1)} << 15) |
+         (static_cast<u32>(shamt) << 20) | (f6 << 26);
+}
+
+u32 enc_s(u32 opcode, u32 f3, Reg rs1, Reg rs2, i64 imm) {
+  assert(imm >= -2048 && imm <= 2047 && "S-type immediate out of range");
+  const u32 u = static_cast<u32>(imm & 0xFFF);
+  return opcode | ((u & 0x1F) << 7) | (f3 << 12) | (u32{regno(rs1)} << 15) |
+         (u32{regno(rs2)} << 20) | ((u >> 5) << 25);
+}
+
+u32 enc_b(u32 opcode, u32 f3, Reg rs1, Reg rs2, i64 imm) {
+  assert(imm >= -4096 && imm <= 4094 && (imm & 1) == 0 && "B-type displacement");
+  const u32 u = static_cast<u32>(imm & 0x1FFF);
+  return opcode | ((bit(u, 11)) << 7) | ((bits(u, 1, 4)) << 8) | (f3 << 12) |
+         (u32{regno(rs1)} << 15) | (u32{regno(rs2)} << 20) |
+         (static_cast<u32>(bits(u, 5, 6)) << 25) | (static_cast<u32>(bit(u, 12)) << 31);
+}
+
+u32 enc_u(u32 opcode, Reg rd, i64 imm20) {
+  assert(imm20 >= -(1 << 19) && imm20 < (1 << 19));
+  return opcode | (u32{regno(rd)} << 7) | ((static_cast<u32>(imm20) & 0xFFFFF) << 12);
+}
+
+u32 enc_j(u32 opcode, Reg rd, i64 imm) {
+  assert(imm >= -(1 << 20) && imm < (1 << 20) && (imm & 1) == 0 && "J displacement");
+  const u32 u = static_cast<u32>(imm & 0x1FFFFF);
+  return opcode | (u32{regno(rd)} << 7) | (static_cast<u32>(bits(u, 12, 8)) << 12) |
+         (static_cast<u32>(bit(u, 11)) << 20) | (static_cast<u32>(bits(u, 1, 10)) << 21) |
+         (static_cast<u32>(bit(u, 20)) << 31);
+}
+
+u32 enc_amo(u32 f5, u32 f3, Reg rd, Reg rs1, Reg rs2) {
+  return enc_r(0b0101111, f3, f5 << 2, rd, rs1, rs2);
+}
+
+constexpr u32 kLoad = 0b0000011;
+constexpr u32 kStore = 0b0100011;
+constexpr u32 kOpImm = 0b0010011;
+constexpr u32 kOpImm32 = 0b0011011;
+constexpr u32 kOp = 0b0110011;
+constexpr u32 kOp32 = 0b0111011;
+constexpr u32 kBranch = 0b1100011;
+constexpr u32 kSystem = 0b1110011;
+constexpr u32 kCustom0 = 0b0001011;  // ld.pt
+constexpr u32 kCustom1 = 0b0101011;  // sd.pt
+
+}  // namespace
+
+Assembler::Label Assembler::make_label() {
+  label_offsets_.push_back(-1);
+  return Label{label_offsets_.size() - 1};
+}
+
+void Assembler::bind(Label l) {
+  assert(l.id < label_offsets_.size());
+  assert(label_offsets_[l.id] == -1 && "label bound twice");
+  label_offsets_[l.id] = static_cast<i64>(4 * words_.size());
+}
+
+std::vector<u32> Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    assert(label_offsets_[f.label_id] >= 0 && "unbound label");
+    const i64 disp = label_offsets_[f.label_id] - static_cast<i64>(4 * f.word_index);
+    u32& w = words_[f.word_index];
+    if (f.kind == FixupKind::kBranch) {
+      const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+      const Reg rs1 = static_cast<Reg>(bits(w, 15, 5));
+      const Reg rs2 = static_cast<Reg>(bits(w, 20, 5));
+      w = enc_b(kBranch, f3, rs1, rs2, disp);
+    } else {
+      const Reg rd = static_cast<Reg>(bits(w, 7, 5));
+      w = enc_j(0b1101111, rd, disp);
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+void Assembler::lui(Reg rd, i64 imm20) { emit(enc_u(0b0110111, rd, imm20)); }
+void Assembler::auipc(Reg rd, i64 imm20) { emit(enc_u(0b0010111, rd, imm20)); }
+
+void Assembler::jal(Reg rd, Label target) {
+  fixups_.push_back({words_.size(), target.id, FixupKind::kJal});
+  emit(enc_j(0b1101111, rd, 0));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, i64 imm) { emit(enc_i(0b1100111, 0, rd, rs1, imm)); }
+
+void Assembler::emit_branch(u32 f3, Reg rs1, Reg rs2, Label t) {
+  fixups_.push_back({words_.size(), t.id, FixupKind::kBranch});
+  emit(enc_b(kBranch, f3, rs1, rs2, 0));
+}
+
+void Assembler::beq(Reg a, Reg b, Label t) { emit_branch(0b000, a, b, t); }
+void Assembler::bne(Reg a, Reg b, Label t) { emit_branch(0b001, a, b, t); }
+void Assembler::blt(Reg a, Reg b, Label t) { emit_branch(0b100, a, b, t); }
+void Assembler::bge(Reg a, Reg b, Label t) { emit_branch(0b101, a, b, t); }
+void Assembler::bltu(Reg a, Reg b, Label t) { emit_branch(0b110, a, b, t); }
+void Assembler::bgeu(Reg a, Reg b, Label t) { emit_branch(0b111, a, b, t); }
+
+void Assembler::lb(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b000, rd, rs1, imm)); }
+void Assembler::lh(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b001, rd, rs1, imm)); }
+void Assembler::lw(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b010, rd, rs1, imm)); }
+void Assembler::ld(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b011, rd, rs1, imm)); }
+void Assembler::lbu(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b100, rd, rs1, imm)); }
+void Assembler::lhu(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b101, rd, rs1, imm)); }
+void Assembler::lwu(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kLoad, 0b110, rd, rs1, imm)); }
+
+void Assembler::sb(Reg rs2, Reg rs1, i64 imm) { emit(enc_s(kStore, 0b000, rs1, rs2, imm)); }
+void Assembler::sh(Reg rs2, Reg rs1, i64 imm) { emit(enc_s(kStore, 0b001, rs1, rs2, imm)); }
+void Assembler::sw(Reg rs2, Reg rs1, i64 imm) { emit(enc_s(kStore, 0b010, rs1, rs2, imm)); }
+void Assembler::sd(Reg rs2, Reg rs1, i64 imm) { emit(enc_s(kStore, 0b011, rs1, rs2, imm)); }
+
+void Assembler::addi(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b000, rd, rs1, imm)); }
+void Assembler::slti(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b010, rd, rs1, imm)); }
+void Assembler::sltiu(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b011, rd, rs1, imm)); }
+void Assembler::xori(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b100, rd, rs1, imm)); }
+void Assembler::ori(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b110, rd, rs1, imm)); }
+void Assembler::andi(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm, 0b111, rd, rs1, imm)); }
+void Assembler::slli(Reg rd, Reg rs1, unsigned s) { emit(enc_i_shift(kOpImm, 0b001, 0b000000, rd, rs1, s)); }
+void Assembler::srli(Reg rd, Reg rs1, unsigned s) { emit(enc_i_shift(kOpImm, 0b101, 0b000000, rd, rs1, s)); }
+void Assembler::srai(Reg rd, Reg rs1, unsigned s) { emit(enc_i_shift(kOpImm, 0b101, 0b010000, rd, rs1, s)); }
+
+void Assembler::add(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b000, 0, rd, a, b)); }
+void Assembler::sub(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b000, 0b0100000, rd, a, b)); }
+void Assembler::sll(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b001, 0, rd, a, b)); }
+void Assembler::slt(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b010, 0, rd, a, b)); }
+void Assembler::sltu(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b011, 0, rd, a, b)); }
+void Assembler::xor_(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b100, 0, rd, a, b)); }
+void Assembler::srl(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b101, 0, rd, a, b)); }
+void Assembler::sra(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b101, 0b0100000, rd, a, b)); }
+void Assembler::or_(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b110, 0, rd, a, b)); }
+void Assembler::and_(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b111, 0, rd, a, b)); }
+
+void Assembler::addiw(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kOpImm32, 0b000, rd, rs1, imm)); }
+void Assembler::slliw(Reg rd, Reg rs1, unsigned s) { assert(s < 32); emit(enc_i_shift(kOpImm32, 0b001, 0b000000, rd, rs1, s)); }
+void Assembler::srliw(Reg rd, Reg rs1, unsigned s) { assert(s < 32); emit(enc_i_shift(kOpImm32, 0b101, 0b000000, rd, rs1, s)); }
+void Assembler::sraiw(Reg rd, Reg rs1, unsigned s) { assert(s < 32); emit(enc_i_shift(kOpImm32, 0b101, 0b010000, rd, rs1, s)); }
+void Assembler::addw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b000, 0, rd, a, b)); }
+void Assembler::subw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b000, 0b0100000, rd, a, b)); }
+void Assembler::sllw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b001, 0, rd, a, b)); }
+void Assembler::srlw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b101, 0, rd, a, b)); }
+void Assembler::sraw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b101, 0b0100000, rd, a, b)); }
+void Assembler::mulw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b000, 1, rd, a, b)); }
+void Assembler::divw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b100, 1, rd, a, b)); }
+void Assembler::divuw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b101, 1, rd, a, b)); }
+void Assembler::remw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b110, 1, rd, a, b)); }
+void Assembler::remuw(Reg rd, Reg a, Reg b) { emit(enc_r(kOp32, 0b111, 1, rd, a, b)); }
+
+void Assembler::fence() { emit(0x0FF0000F); }
+void Assembler::fence_i() { emit(0x0000100F); }
+void Assembler::ecall() { emit(0x00000073); }
+void Assembler::ebreak() { emit(0x00100073); }
+
+void Assembler::mul(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b000, 1, rd, a, b)); }
+void Assembler::mulh(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b001, 1, rd, a, b)); }
+void Assembler::mulhsu(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b010, 1, rd, a, b)); }
+void Assembler::mulhu(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b011, 1, rd, a, b)); }
+void Assembler::div(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b100, 1, rd, a, b)); }
+void Assembler::divu(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b101, 1, rd, a, b)); }
+void Assembler::rem(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b110, 1, rd, a, b)); }
+void Assembler::remu(Reg rd, Reg a, Reg b) { emit(enc_r(kOp, 0b111, 1, rd, a, b)); }
+
+void Assembler::lr_d(Reg rd, Reg rs1) { emit(enc_amo(0b00010, 0b011, rd, rs1, Reg::kZero)); }
+void Assembler::sc_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00011, 0b011, rd, rs1, rs2)); }
+void Assembler::amoswap_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00001, 0b011, rd, rs1, rs2)); }
+void Assembler::amoadd_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00000, 0b011, rd, rs1, rs2)); }
+void Assembler::amoxor_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00100, 0b011, rd, rs1, rs2)); }
+void Assembler::amoand_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b01100, 0b011, rd, rs1, rs2)); }
+void Assembler::amoor_d(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b01000, 0b011, rd, rs1, rs2)); }
+void Assembler::lr_w(Reg rd, Reg rs1) { emit(enc_amo(0b00010, 0b010, rd, rs1, Reg::kZero)); }
+void Assembler::sc_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00011, 0b010, rd, rs1, rs2)); }
+void Assembler::amoswap_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00001, 0b010, rd, rs1, rs2)); }
+void Assembler::amoadd_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00000, 0b010, rd, rs1, rs2)); }
+void Assembler::amoxor_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b00100, 0b010, rd, rs1, rs2)); }
+void Assembler::amoand_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b01100, 0b010, rd, rs1, rs2)); }
+void Assembler::amoor_w(Reg rd, Reg rs2, Reg rs1) { emit(enc_amo(0b01000, 0b010, rd, rs1, rs2)); }
+
+void Assembler::csrrw(Reg rd, u32 csr, Reg rs1) { emit(enc_i(kSystem, 0b001, rd, rs1, static_cast<i64>(sign_extend(csr, 12)))); }
+void Assembler::csrrs(Reg rd, u32 csr, Reg rs1) { emit(enc_i(kSystem, 0b010, rd, rs1, static_cast<i64>(sign_extend(csr, 12)))); }
+void Assembler::csrrc(Reg rd, u32 csr, Reg rs1) { emit(enc_i(kSystem, 0b011, rd, rs1, static_cast<i64>(sign_extend(csr, 12)))); }
+void Assembler::csrrwi(Reg rd, u32 csr, u8 uimm) { emit(enc_i(kSystem, 0b101, rd, static_cast<Reg>(uimm & 0x1F), static_cast<i64>(sign_extend(csr, 12)))); }
+void Assembler::csrrsi(Reg rd, u32 csr, u8 uimm) { emit(enc_i(kSystem, 0b110, rd, static_cast<Reg>(uimm & 0x1F), static_cast<i64>(sign_extend(csr, 12)))); }
+void Assembler::csrrci(Reg rd, u32 csr, u8 uimm) { emit(enc_i(kSystem, 0b111, rd, static_cast<Reg>(uimm & 0x1F), static_cast<i64>(sign_extend(csr, 12)))); }
+
+void Assembler::mret() { emit(0x30200073); }
+void Assembler::sret() { emit(0x10200073); }
+void Assembler::wfi() { emit(0x10500073); }
+void Assembler::sfence_vma(Reg rs1, Reg rs2) { emit(enc_r(kSystem, 0b000, 0b0001001, Reg::kZero, rs1, rs2)); }
+
+void Assembler::ld_pt(Reg rd, Reg rs1, i64 imm) { emit(enc_i(kCustom0, 0b011, rd, rs1, imm)); }
+void Assembler::sd_pt(Reg rs2, Reg rs1, i64 imm) { emit(enc_s(kCustom1, 0b011, rs1, rs2, imm)); }
+
+void Assembler::li(Reg rd, u64 value) {
+  const i64 sv = static_cast<i64>(value);
+  if (sv >= -2048 && sv <= 2047) {
+    addi(rd, Reg::kZero, sv);
+    return;
+  }
+  if (sv >= INT32_MIN && sv <= INT32_MAX) {
+    // lui + addiw covers any signed 32-bit constant (addiw, not addi: the
+    // 32-bit wrap-and-sign-extend is what makes the 0x7FFFF800..0x7FFFFFFF
+    // corner work on RV64).
+    i64 hi = (sv + 0x800) >> 12;
+    const i64 lo = sv - (hi << 12);
+    hi = sign_extend(static_cast<u64>(hi) & mask_lo(20), 20);
+    lui(rd, hi);
+    if (lo != 0) addiw(rd, rd, lo);
+    return;
+  }
+  // General 64-bit: build the high 32 bits, then shift in the low 32 bits as
+  // 11+11+10-bit chunks (ori immediates are signed, so chunks stay positive).
+  const i64 hi32 = sv >> 32;
+  const u64 lo32 = value & 0xFFFFFFFF;
+  li(rd, static_cast<u64>(hi32));
+  slli(rd, rd, 11);
+  ori(rd, rd, static_cast<i64>((lo32 >> 21) & 0x7FF));
+  slli(rd, rd, 11);
+  ori(rd, rd, static_cast<i64>((lo32 >> 10) & 0x7FF));
+  slli(rd, rd, 10);
+  ori(rd, rd, static_cast<i64>(lo32 & 0x3FF));
+}
+
+}  // namespace ptstore::isa

@@ -1,0 +1,200 @@
+// Programmatic RV64 assembler. Tests, examples, and the kernel's
+// "compiled" page-table accessors use it to build real machine code that the
+// interpreter executes — including the PTStore ld.pt/sd.pt encodings the
+// paper adds to the LLVM back-end.
+//
+// Usage:
+//   Assembler a(0x8000'0000);
+//   auto loop = a.make_label();
+//   a.li(Reg::kA0, 10);
+//   a.bind(loop);
+//   a.addi(Reg::kA0, Reg::kA0, -1);
+//   a.bnez(Reg::kA0, loop);
+//   a.ebreak();
+//   std::vector<u32> code = a.finish();
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+
+/// ABI register numbers.
+enum class Reg : u8 {
+  kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+  kT0 = 5, kT1 = 6, kT2 = 7,
+  kS0 = 8, kS1 = 9,
+  kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15, kA6 = 16, kA7 = 17,
+  kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23, kS8 = 24,
+  kS9 = 25, kS10 = 26, kS11 = 27,
+  kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+constexpr u8 regno(Reg r) { return static_cast<u8>(r); }
+
+class Assembler {
+ public:
+  /// `base` is the address the first emitted word will live at; branch and
+  /// jump targets are resolved against it.
+  explicit Assembler(u64 base) : base_(base) {}
+
+  struct Label {
+    size_t id = static_cast<size_t>(-1);
+  };
+
+  Label make_label();
+  /// Bind a label to the current position. Each label binds exactly once.
+  void bind(Label l);
+
+  u64 base() const { return base_; }
+  u64 pc() const { return base_ + 4 * words_.size(); }
+  size_t size_words() const { return words_.size(); }
+
+  /// Resolve all fixups and return the encoded words. Asserts that every
+  /// referenced label was bound and every displacement fits its field.
+  std::vector<u32> finish();
+
+  // ---- raw emit ----
+  void emit(u32 word) { words_.push_back(word); }
+
+  // ---- RV64I ----
+  void lui(Reg rd, i64 imm20);
+  void auipc(Reg rd, i64 imm20);
+  void jal(Reg rd, Label target);
+  void jalr(Reg rd, Reg rs1, i64 imm);
+  void beq(Reg rs1, Reg rs2, Label t);
+  void bne(Reg rs1, Reg rs2, Label t);
+  void blt(Reg rs1, Reg rs2, Label t);
+  void bge(Reg rs1, Reg rs2, Label t);
+  void bltu(Reg rs1, Reg rs2, Label t);
+  void bgeu(Reg rs1, Reg rs2, Label t);
+  void lb(Reg rd, Reg rs1, i64 imm);
+  void lh(Reg rd, Reg rs1, i64 imm);
+  void lw(Reg rd, Reg rs1, i64 imm);
+  void ld(Reg rd, Reg rs1, i64 imm);
+  void lbu(Reg rd, Reg rs1, i64 imm);
+  void lhu(Reg rd, Reg rs1, i64 imm);
+  void lwu(Reg rd, Reg rs1, i64 imm);
+  void sb(Reg rs2, Reg rs1, i64 imm);
+  void sh(Reg rs2, Reg rs1, i64 imm);
+  void sw(Reg rs2, Reg rs1, i64 imm);
+  void sd(Reg rs2, Reg rs1, i64 imm);
+  void addi(Reg rd, Reg rs1, i64 imm);
+  void slti(Reg rd, Reg rs1, i64 imm);
+  void sltiu(Reg rd, Reg rs1, i64 imm);
+  void xori(Reg rd, Reg rs1, i64 imm);
+  void ori(Reg rd, Reg rs1, i64 imm);
+  void andi(Reg rd, Reg rs1, i64 imm);
+  void slli(Reg rd, Reg rs1, unsigned shamt);
+  void srli(Reg rd, Reg rs1, unsigned shamt);
+  void srai(Reg rd, Reg rs1, unsigned shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void addiw(Reg rd, Reg rs1, i64 imm);
+  void slliw(Reg rd, Reg rs1, unsigned shamt);
+  void srliw(Reg rd, Reg rs1, unsigned shamt);
+  void sraiw(Reg rd, Reg rs1, unsigned shamt);
+  void addw(Reg rd, Reg rs1, Reg rs2);
+  void subw(Reg rd, Reg rs1, Reg rs2);
+  void sllw(Reg rd, Reg rs1, Reg rs2);
+  void srlw(Reg rd, Reg rs1, Reg rs2);
+  void sraw(Reg rd, Reg rs1, Reg rs2);
+  void fence();
+  void fence_i();
+  void ecall();
+  void ebreak();
+
+  // ---- M ----
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+  void mulw(Reg rd, Reg rs1, Reg rs2);
+  void divw(Reg rd, Reg rs1, Reg rs2);
+  void divuw(Reg rd, Reg rs1, Reg rs2);
+  void remw(Reg rd, Reg rs1, Reg rs2);
+  void remuw(Reg rd, Reg rs1, Reg rs2);
+
+  // ---- A ----
+  void lr_d(Reg rd, Reg rs1);
+  void sc_d(Reg rd, Reg rs2, Reg rs1);
+  void amoswap_d(Reg rd, Reg rs2, Reg rs1);
+  void amoadd_d(Reg rd, Reg rs2, Reg rs1);
+  void amoxor_d(Reg rd, Reg rs2, Reg rs1);
+  void amoand_d(Reg rd, Reg rs2, Reg rs1);
+  void amoor_d(Reg rd, Reg rs2, Reg rs1);
+  void lr_w(Reg rd, Reg rs1);
+  void sc_w(Reg rd, Reg rs2, Reg rs1);
+  void amoswap_w(Reg rd, Reg rs2, Reg rs1);
+  void amoadd_w(Reg rd, Reg rs2, Reg rs1);
+  void amoxor_w(Reg rd, Reg rs2, Reg rs1);
+  void amoand_w(Reg rd, Reg rs2, Reg rs1);
+  void amoor_w(Reg rd, Reg rs2, Reg rs1);
+
+  // ---- Zicsr ----
+  void csrrw(Reg rd, u32 csr, Reg rs1);
+  void csrrs(Reg rd, u32 csr, Reg rs1);
+  void csrrc(Reg rd, u32 csr, Reg rs1);
+  void csrrwi(Reg rd, u32 csr, u8 uimm);
+  void csrrsi(Reg rd, u32 csr, u8 uimm);
+  void csrrci(Reg rd, u32 csr, u8 uimm);
+
+  // ---- privileged ----
+  void mret();
+  void sret();
+  void wfi();
+  void sfence_vma(Reg rs1 = Reg::kZero, Reg rs2 = Reg::kZero);
+
+  // ---- PTStore extension ----
+  /// ld.pt rd, imm(rs1) — load doubleword, secure-region-only.
+  void ld_pt(Reg rd, Reg rs1, i64 imm);
+  /// sd.pt rs2, imm(rs1) — store doubleword, secure-region-only.
+  void sd_pt(Reg rs2, Reg rs1, i64 imm);
+
+  // ---- pseudo-instructions ----
+  void nop() { addi(Reg::kZero, Reg::kZero, 0); }
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void not_(Reg rd, Reg rs) { xori(rd, rs, -1); }
+  void neg(Reg rd, Reg rs) { sub(rd, Reg::kZero, rs); }
+  void seqz(Reg rd, Reg rs) { sltiu(rd, rs, 1); }
+  void snez(Reg rd, Reg rs) { sltu(rd, Reg::kZero, rs); }
+  void beqz(Reg rs, Label t) { beq(rs, Reg::kZero, t); }
+  void bnez(Reg rs, Label t) { bne(rs, Reg::kZero, t); }
+  void j(Label t) { jal(Reg::kZero, t); }
+  void ret() { jalr(Reg::kZero, Reg::kRa, 0); }
+  /// Load an arbitrary 64-bit constant (expands to up to 8 instructions).
+  void li(Reg rd, u64 value);
+
+ private:
+  enum class FixupKind { kBranch, kJal };
+  struct Fixup {
+    size_t word_index;
+    size_t label_id;
+    FixupKind kind;
+  };
+
+  void emit_branch(u32 funct3, Reg rs1, Reg rs2, Label t);
+
+  u64 base_;
+  std::vector<u32> words_;
+  std::vector<i64> label_offsets_;  // byte offset from base, -1 if unbound.
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace ptstore::isa

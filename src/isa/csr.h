@@ -1,0 +1,93 @@
+// CSR numbers for the registers the simulator implements, plus the layout
+// of satp with PTStore's new S-bit.
+#pragma once
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace ptstore::isa::csr {
+
+// Machine-mode CSRs.
+inline constexpr u32 kMstatus = 0x300;
+inline constexpr u32 kMisa = 0x301;
+inline constexpr u32 kMedeleg = 0x302;
+inline constexpr u32 kMideleg = 0x303;
+inline constexpr u32 kMie = 0x304;
+inline constexpr u32 kMtvec = 0x305;
+inline constexpr u32 kMscratch = 0x340;
+inline constexpr u32 kMepc = 0x341;
+inline constexpr u32 kMcause = 0x342;
+inline constexpr u32 kMtval = 0x343;
+inline constexpr u32 kMip = 0x344;
+inline constexpr u32 kMhartid = 0xF14;
+
+// PMP CSRs: pmpcfg0/pmpcfg2 pack 8 entry-config bytes each (RV64).
+inline constexpr u32 kPmpcfg0 = 0x3A0;
+inline constexpr u32 kPmpcfg2 = 0x3A2;
+inline constexpr u32 kPmpaddr0 = 0x3B0;  // ..kPmpaddr0+15
+
+// Supervisor-mode CSRs.
+inline constexpr u32 kSstatus = 0x100;
+inline constexpr u32 kSie = 0x104;
+inline constexpr u32 kStvec = 0x105;
+inline constexpr u32 kSscratch = 0x140;
+inline constexpr u32 kSepc = 0x141;
+inline constexpr u32 kScause = 0x142;
+inline constexpr u32 kStval = 0x143;
+inline constexpr u32 kSip = 0x144;
+inline constexpr u32 kSatp = 0x180;
+
+// Machine timer compare (CLINT mtimecmp equivalent, exposed as a custom
+// M-mode CSR at 0x7C0 so guest code can program it with csrrw).
+inline constexpr u32 kMtimecmp = 0x7C0;
+
+// Unprivileged counters.
+inline constexpr u32 kCycle = 0xC00;
+inline constexpr u32 kTime = 0xC01;
+inline constexpr u32 kInstret = 0xC02;
+
+// mstatus fields used by the simulator.
+// Interrupt bit positions in mip/mie and cause codes (interrupt bit set).
+namespace irq {
+inline constexpr unsigned kSsi = 1;  ///< Supervisor software interrupt.
+inline constexpr unsigned kMsi = 3;
+inline constexpr unsigned kSti = 5;  ///< Supervisor timer interrupt.
+inline constexpr unsigned kMti = 7;  ///< Machine timer interrupt.
+inline constexpr u64 kCauseInterrupt = u64{1} << 63;
+}  // namespace irq
+
+namespace mstatus {
+inline constexpr u64 kSie = u64{1} << 1;
+inline constexpr u64 kMie = u64{1} << 3;
+inline constexpr u64 kSpie = u64{1} << 5;
+inline constexpr u64 kMpie = u64{1} << 7;
+inline constexpr u64 kSpp = u64{1} << 8;     // Previous privilege (S-level trap)
+inline constexpr unsigned kMppShift = 11;    // MPP: bits [12:11]
+inline constexpr u64 kMpp = u64{0b11} << kMppShift;
+inline constexpr u64 kSum = u64{1} << 18;
+inline constexpr u64 kMxr = u64{1} << 19;
+}  // namespace mstatus
+
+}  // namespace ptstore::isa::csr
+
+namespace ptstore::isa::satp {
+
+// satp (RV64): MODE [63:60], ASID [59:44], PPN [43:0].
+//
+// PTStore repurposes bit 59 — the top ASID bit, unused by our 15-bit ASID
+// space — as the new S-bit that enables the page-table walker's
+// secure-region check (paper §IV-A1; bit choice documented in DESIGN.md §5).
+inline constexpr u64 kModeBare = 0;
+inline constexpr u64 kModeSv39 = 8;
+
+inline constexpr u64 mode(u64 satp) { return bits(satp, 60, 4); }
+inline constexpr u64 asid(u64 satp) { return bits(satp, 44, 15); }
+inline constexpr u64 ppn(u64 satp) { return bits(satp, 0, 44); }
+inline constexpr bool secure_check(u64 satp) { return bit(satp, 59) != 0; }
+
+inline constexpr u64 make(u64 mode_v, u64 asid_v, u64 root_ppn, bool s_bit) {
+  return (mode_v << 60) | (static_cast<u64>(s_bit ? 1 : 0) << 59) |
+         ((asid_v & mask_lo(15)) << 44) | (root_ppn & mask_lo(44));
+}
+
+}  // namespace ptstore::isa::satp

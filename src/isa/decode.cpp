@@ -1,0 +1,361 @@
+#include "common/bits.h"
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+
+namespace {
+
+// Major opcodes (bits [6:0]).
+constexpr u32 kOpLoad = 0b0000011;
+constexpr u32 kOpLoadFp = 0b0000111;
+constexpr u32 kOpCustom0 = 0b0001011;  // PTStore ld.pt
+constexpr u32 kOpMiscMem = 0b0001111;
+constexpr u32 kOpOpImm = 0b0010011;
+constexpr u32 kOpAuipc = 0b0010111;
+constexpr u32 kOpOpImm32 = 0b0011011;
+constexpr u32 kOpStore = 0b0100011;
+constexpr u32 kOpCustom1 = 0b0101011;  // PTStore sd.pt
+constexpr u32 kOpAmo = 0b0101111;
+constexpr u32 kOpOp = 0b0110011;
+constexpr u32 kOpLui = 0b0110111;
+constexpr u32 kOpOp32 = 0b0111011;
+constexpr u32 kOpBranch = 0b1100011;
+constexpr u32 kOpJalr = 0b1100111;
+constexpr u32 kOpJal = 0b1101111;
+constexpr u32 kOpSystem = 0b1110011;
+
+i64 imm_i(u32 w) { return sign_extend(bits(w, 20, 12), 12); }
+i64 imm_s(u32 w) {
+  return sign_extend((bits(w, 25, 7) << 5) | bits(w, 7, 5), 12);
+}
+i64 imm_b(u32 w) {
+  const u64 v = (bit(w, 31) << 12) | (bit(w, 7) << 11) | (bits(w, 25, 6) << 5) |
+                (bits(w, 8, 4) << 1);
+  return sign_extend(v, 13);
+}
+i64 imm_u(u32 w) { return sign_extend(bits(w, 12, 20) << 12, 32); }
+i64 imm_j(u32 w) {
+  const u64 v = (bit(w, 31) << 20) | (bits(w, 12, 8) << 12) | (bit(w, 20) << 11) |
+                (bits(w, 21, 10) << 1);
+  return sign_extend(v, 21);
+}
+
+Inst make(Op op, u32 w, u8 rd, u8 rs1, u8 rs2, i64 imm) {
+  return Inst{op, rd, rs1, rs2, imm, w};
+}
+
+Inst decode_load(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const i64 imm = imm_i(w);
+  switch (bits(w, 12, 3)) {
+    case 0b000: return make(Op::kLb, w, rd, rs1, 0, imm);
+    case 0b001: return make(Op::kLh, w, rd, rs1, 0, imm);
+    case 0b010: return make(Op::kLw, w, rd, rs1, 0, imm);
+    case 0b011: return make(Op::kLd, w, rd, rs1, 0, imm);
+    case 0b100: return make(Op::kLbu, w, rd, rs1, 0, imm);
+    case 0b101: return make(Op::kLhu, w, rd, rs1, 0, imm);
+    case 0b110: return make(Op::kLwu, w, rd, rs1, 0, imm);
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_store(u32 w) {
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const i64 imm = imm_s(w);
+  switch (bits(w, 12, 3)) {
+    case 0b000: return make(Op::kSb, w, 0, rs1, rs2, imm);
+    case 0b001: return make(Op::kSh, w, 0, rs1, rs2, imm);
+    case 0b010: return make(Op::kSw, w, 0, rs1, rs2, imm);
+    case 0b011: return make(Op::kSd, w, 0, rs1, rs2, imm);
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_op_imm(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const i64 imm = imm_i(w);
+  const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+  const u32 f6 = static_cast<u32>(bits(w, 26, 6));  // RV64 shamt is 6 bits.
+  const i64 shamt = static_cast<i64>(bits(w, 20, 6));
+  switch (f3) {
+    case 0b000: return make(Op::kAddi, w, rd, rs1, 0, imm);
+    case 0b010: return make(Op::kSlti, w, rd, rs1, 0, imm);
+    case 0b011: return make(Op::kSltiu, w, rd, rs1, 0, imm);
+    case 0b100: return make(Op::kXori, w, rd, rs1, 0, imm);
+    case 0b110: return make(Op::kOri, w, rd, rs1, 0, imm);
+    case 0b111: return make(Op::kAndi, w, rd, rs1, 0, imm);
+    case 0b001:
+      if (f6 == 0) return make(Op::kSlli, w, rd, rs1, 0, shamt);
+      break;
+    case 0b101:
+      if (f6 == 0b000000) return make(Op::kSrli, w, rd, rs1, 0, shamt);
+      if (f6 == 0b010000) return make(Op::kSrai, w, rd, rs1, 0, shamt);
+      break;
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_op_imm32(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const i64 imm = imm_i(w);
+  const u32 f7 = static_cast<u32>(bits(w, 25, 7));
+  const i64 shamt = static_cast<i64>(bits(w, 20, 5));
+  switch (bits(w, 12, 3)) {
+    case 0b000: return make(Op::kAddiw, w, rd, rs1, 0, imm);
+    case 0b001:
+      if (f7 == 0) return make(Op::kSlliw, w, rd, rs1, 0, shamt);
+      break;
+    case 0b101:
+      if (f7 == 0b0000000) return make(Op::kSrliw, w, rd, rs1, 0, shamt);
+      if (f7 == 0b0100000) return make(Op::kSraiw, w, rd, rs1, 0, shamt);
+      break;
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_op(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+  const u32 f7 = static_cast<u32>(bits(w, 25, 7));
+  if (f7 == 0b0000001) {  // M extension
+    switch (f3) {
+      case 0b000: return make(Op::kMul, w, rd, rs1, rs2, 0);
+      case 0b001: return make(Op::kMulh, w, rd, rs1, rs2, 0);
+      case 0b010: return make(Op::kMulhsu, w, rd, rs1, rs2, 0);
+      case 0b011: return make(Op::kMulhu, w, rd, rs1, rs2, 0);
+      case 0b100: return make(Op::kDiv, w, rd, rs1, rs2, 0);
+      case 0b101: return make(Op::kDivu, w, rd, rs1, rs2, 0);
+      case 0b110: return make(Op::kRem, w, rd, rs1, rs2, 0);
+      case 0b111: return make(Op::kRemu, w, rd, rs1, rs2, 0);
+    }
+  }
+  switch (f3) {
+    case 0b000:
+      if (f7 == 0) return make(Op::kAdd, w, rd, rs1, rs2, 0);
+      if (f7 == 0b0100000) return make(Op::kSub, w, rd, rs1, rs2, 0);
+      break;
+    case 0b001:
+      if (f7 == 0) return make(Op::kSll, w, rd, rs1, rs2, 0);
+      break;
+    case 0b010:
+      if (f7 == 0) return make(Op::kSlt, w, rd, rs1, rs2, 0);
+      break;
+    case 0b011:
+      if (f7 == 0) return make(Op::kSltu, w, rd, rs1, rs2, 0);
+      break;
+    case 0b100:
+      if (f7 == 0) return make(Op::kXor, w, rd, rs1, rs2, 0);
+      break;
+    case 0b101:
+      if (f7 == 0) return make(Op::kSrl, w, rd, rs1, rs2, 0);
+      if (f7 == 0b0100000) return make(Op::kSra, w, rd, rs1, rs2, 0);
+      break;
+    case 0b110:
+      if (f7 == 0) return make(Op::kOr, w, rd, rs1, rs2, 0);
+      break;
+    case 0b111:
+      if (f7 == 0) return make(Op::kAnd, w, rd, rs1, rs2, 0);
+      break;
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_op32(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+  const u32 f7 = static_cast<u32>(bits(w, 25, 7));
+  if (f7 == 0b0000001) {  // M extension, word forms
+    switch (f3) {
+      case 0b000: return make(Op::kMulw, w, rd, rs1, rs2, 0);
+      case 0b100: return make(Op::kDivw, w, rd, rs1, rs2, 0);
+      case 0b101: return make(Op::kDivuw, w, rd, rs1, rs2, 0);
+      case 0b110: return make(Op::kRemw, w, rd, rs1, rs2, 0);
+      case 0b111: return make(Op::kRemuw, w, rd, rs1, rs2, 0);
+    }
+  }
+  switch (f3) {
+    case 0b000:
+      if (f7 == 0) return make(Op::kAddw, w, rd, rs1, rs2, 0);
+      if (f7 == 0b0100000) return make(Op::kSubw, w, rd, rs1, rs2, 0);
+      break;
+    case 0b001:
+      if (f7 == 0) return make(Op::kSllw, w, rd, rs1, rs2, 0);
+      break;
+    case 0b101:
+      if (f7 == 0) return make(Op::kSrlw, w, rd, rs1, rs2, 0);
+      if (f7 == 0b0100000) return make(Op::kSraw, w, rd, rs1, rs2, 0);
+      break;
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_branch(u32 w) {
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const i64 imm = imm_b(w);
+  switch (bits(w, 12, 3)) {
+    case 0b000: return make(Op::kBeq, w, 0, rs1, rs2, imm);
+    case 0b001: return make(Op::kBne, w, 0, rs1, rs2, imm);
+    case 0b100: return make(Op::kBlt, w, 0, rs1, rs2, imm);
+    case 0b101: return make(Op::kBge, w, 0, rs1, rs2, imm);
+    case 0b110: return make(Op::kBltu, w, 0, rs1, rs2, imm);
+    case 0b111: return make(Op::kBgeu, w, 0, rs1, rs2, imm);
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_amo(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+  const u32 f5 = static_cast<u32>(bits(w, 27, 5));
+  if (f3 == 0b010) {  // .W
+    switch (f5) {
+      case 0b00010: return rs2 == 0 ? make(Op::kLrW, w, rd, rs1, 0, 0) : Inst{.raw = w};
+      case 0b00011: return make(Op::kScW, w, rd, rs1, rs2, 0);
+      case 0b00001: return make(Op::kAmoSwapW, w, rd, rs1, rs2, 0);
+      case 0b00000: return make(Op::kAmoAddW, w, rd, rs1, rs2, 0);
+      case 0b00100: return make(Op::kAmoXorW, w, rd, rs1, rs2, 0);
+      case 0b01100: return make(Op::kAmoAndW, w, rd, rs1, rs2, 0);
+      case 0b01000: return make(Op::kAmoOrW, w, rd, rs1, rs2, 0);
+    }
+  } else if (f3 == 0b011) {  // .D
+    switch (f5) {
+      case 0b00010: return rs2 == 0 ? make(Op::kLrD, w, rd, rs1, 0, 0) : Inst{.raw = w};
+      case 0b00011: return make(Op::kScD, w, rd, rs1, rs2, 0);
+      case 0b00001: return make(Op::kAmoSwapD, w, rd, rs1, rs2, 0);
+      case 0b00000: return make(Op::kAmoAddD, w, rd, rs1, rs2, 0);
+      case 0b00100: return make(Op::kAmoXorD, w, rd, rs1, rs2, 0);
+      case 0b01100: return make(Op::kAmoAndD, w, rd, rs1, rs2, 0);
+      case 0b01000: return make(Op::kAmoOrD, w, rd, rs1, rs2, 0);
+    }
+  }
+  return Inst{.raw = w};
+}
+
+Inst decode_system(u32 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs1 = static_cast<u8>(bits(w, 15, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 20, 5));
+  const u32 f3 = static_cast<u32>(bits(w, 12, 3));
+  const u32 f12 = static_cast<u32>(bits(w, 20, 12));
+  const u32 f7 = static_cast<u32>(bits(w, 25, 7));
+  const i64 csr = static_cast<i64>(f12);
+  switch (f3) {
+    case 0b000:
+      if (f12 == 0 && rd == 0 && rs1 == 0) return make(Op::kEcall, w, 0, 0, 0, 0);
+      if (f12 == 1 && rd == 0 && rs1 == 0) return make(Op::kEbreak, w, 0, 0, 0, 0);
+      if (f12 == 0b001100000010 && rd == 0 && rs1 == 0) return make(Op::kMret, w, 0, 0, 0, 0);
+      if (f12 == 0b000100000010 && rd == 0 && rs1 == 0) return make(Op::kSret, w, 0, 0, 0, 0);
+      if (f12 == 0b000100000101 && rd == 0 && rs1 == 0) return make(Op::kWfi, w, 0, 0, 0, 0);
+      if (f7 == 0b0001001 && rd == 0) return make(Op::kSfenceVma, w, 0, rs1, rs2, 0);
+      break;
+    case 0b001: return make(Op::kCsrrw, w, rd, rs1, 0, csr);
+    case 0b010: return make(Op::kCsrrs, w, rd, rs1, 0, csr);
+    case 0b011: return make(Op::kCsrrc, w, rd, rs1, 0, csr);
+    case 0b101: return make(Op::kCsrrwi, w, rd, rs1, 0, csr);  // rs1 = uimm
+    case 0b110: return make(Op::kCsrrsi, w, rd, rs1, 0, csr);
+    case 0b111: return make(Op::kCsrrci, w, rd, rs1, 0, csr);
+  }
+  return Inst{.raw = w};
+}
+
+}  // namespace
+
+Inst decode(u32 w) {
+  const u32 major = w & 0x7F;
+  switch (major) {
+    case kOpLoad: return decode_load(w);
+    case kOpStore: return decode_store(w);
+    case kOpOpImm: return decode_op_imm(w);
+    case kOpOpImm32: return decode_op_imm32(w);
+    case kOpOp: return decode_op(w);
+    case kOpOp32: return decode_op32(w);
+    case kOpBranch: return decode_branch(w);
+    case kOpAmo: return decode_amo(w);
+    case kOpSystem: return decode_system(w);
+    case kOpLui:
+      return make(Op::kLui, w, static_cast<u8>(bits(w, 7, 5)), 0, 0, imm_u(w));
+    case kOpAuipc:
+      return make(Op::kAuipc, w, static_cast<u8>(bits(w, 7, 5)), 0, 0, imm_u(w));
+    case kOpJal:
+      return make(Op::kJal, w, static_cast<u8>(bits(w, 7, 5)), 0, 0, imm_j(w));
+    case kOpJalr:
+      if (bits(w, 12, 3) == 0) {
+        return make(Op::kJalr, w, static_cast<u8>(bits(w, 7, 5)),
+                    static_cast<u8>(bits(w, 15, 5)), 0, imm_i(w));
+      }
+      break;
+    case kOpMiscMem:
+      if (bits(w, 12, 3) == 0b000) return make(Op::kFence, w, 0, 0, 0, 0);
+      if (bits(w, 12, 3) == 0b001) return make(Op::kFenceI, w, 0, 0, 0, 0);
+      break;
+    case kOpCustom0:  // PTStore ld.pt: I-type, funct3 = 011 (doubleword).
+      if (bits(w, 12, 3) == 0b011) {
+        return make(Op::kLdPt, w, static_cast<u8>(bits(w, 7, 5)),
+                    static_cast<u8>(bits(w, 15, 5)), 0, imm_i(w));
+      }
+      break;
+    case kOpCustom1:  // PTStore sd.pt: S-type, funct3 = 011 (doubleword).
+      if (bits(w, 12, 3) == 0b011) {
+        return make(Op::kSdPt, w, 0, static_cast<u8>(bits(w, 15, 5)),
+                    static_cast<u8>(bits(w, 20, 5)), imm_s(w));
+      }
+      break;
+    case kOpLoadFp:
+      break;  // FPU disabled in the prototype (paper §V-A); decodes as illegal.
+  }
+  return Inst{.raw = w};
+}
+
+bool Inst::is_load() const {
+  switch (op) {
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu: case Op::kLdPt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Inst::is_store() const {
+  switch (op) {
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: case Op::kSdPt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Inst::is_branch() const {
+  switch (op) {
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Inst::is_amo() const {
+  switch (op) {
+    case Op::kLrW: case Op::kScW: case Op::kAmoSwapW: case Op::kAmoAddW:
+    case Op::kAmoXorW: case Op::kAmoAndW: case Op::kAmoOrW:
+    case Op::kLrD: case Op::kScD: case Op::kAmoSwapD: case Op::kAmoAddD:
+    case Op::kAmoXorD: case Op::kAmoAndD: case Op::kAmoOrD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ptstore::isa

@@ -1,0 +1,184 @@
+#include <sstream>
+
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+
+const char* reg_name(unsigned reg) {
+  static const char* kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return reg < 32 ? kNames[reg] : "x?";
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLd: return "ld";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kLwu: return "lwu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kSd: return "sd";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kAddiw: return "addiw";
+    case Op::kSlliw: return "slliw";
+    case Op::kSrliw: return "srliw";
+    case Op::kSraiw: return "sraiw";
+    case Op::kAddw: return "addw";
+    case Op::kSubw: return "subw";
+    case Op::kSllw: return "sllw";
+    case Op::kSrlw: return "srlw";
+    case Op::kSraw: return "sraw";
+    case Op::kFence: return "fence";
+    case Op::kFenceI: return "fence.i";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kMulw: return "mulw";
+    case Op::kDivw: return "divw";
+    case Op::kDivuw: return "divuw";
+    case Op::kRemw: return "remw";
+    case Op::kRemuw: return "remuw";
+    case Op::kLrW: return "lr.w";
+    case Op::kScW: return "sc.w";
+    case Op::kAmoSwapW: return "amoswap.w";
+    case Op::kAmoAddW: return "amoadd.w";
+    case Op::kAmoXorW: return "amoxor.w";
+    case Op::kAmoAndW: return "amoand.w";
+    case Op::kAmoOrW: return "amoor.w";
+    case Op::kLrD: return "lr.d";
+    case Op::kScD: return "sc.d";
+    case Op::kAmoSwapD: return "amoswap.d";
+    case Op::kAmoAddD: return "amoadd.d";
+    case Op::kAmoXorD: return "amoxor.d";
+    case Op::kAmoAndD: return "amoand.d";
+    case Op::kAmoOrD: return "amoor.d";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc";
+    case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi";
+    case Op::kCsrrci: return "csrrci";
+    case Op::kMret: return "mret";
+    case Op::kSret: return "sret";
+    case Op::kWfi: return "wfi";
+    case Op::kSfenceVma: return "sfence.vma";
+    case Op::kLdPt: return "ld.pt";
+    case Op::kSdPt: return "sd.pt";
+  }
+  return "?";
+}
+
+std::string disassemble(const Inst& in) {
+  std::ostringstream os;
+  os << op_name(in.op);
+  switch (in.op) {
+    case Op::kIllegal:
+    case Op::kFence:
+    case Op::kFenceI:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kSret:
+    case Op::kWfi:
+      break;
+    case Op::kSfenceVma:
+      os << " " << reg_name(in.rs1) << ", " << reg_name(in.rs2);
+      break;
+    case Op::kLui:
+    case Op::kAuipc:
+      os << " " << reg_name(in.rd) << ", 0x" << std::hex
+         << ((static_cast<u64>(in.imm) >> 12) & 0xFFFFF);
+      break;
+    case Op::kJal:
+      os << " " << reg_name(in.rd) << ", " << std::dec << in.imm;
+      break;
+    case Op::kJalr:
+      os << " " << reg_name(in.rd) << ", " << std::dec << in.imm << "("
+         << reg_name(in.rs1) << ")";
+      break;
+    case Op::kBeq: case Op::kBne: case Op::kBlt:
+    case Op::kBge: case Op::kBltu: case Op::kBgeu:
+      os << " " << reg_name(in.rs1) << ", " << reg_name(in.rs2) << ", "
+         << std::dec << in.imm;
+      break;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu: case Op::kLdPt:
+      os << " " << reg_name(in.rd) << ", " << std::dec << in.imm << "("
+         << reg_name(in.rs1) << ")";
+      break;
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: case Op::kSdPt:
+      os << " " << reg_name(in.rs2) << ", " << std::dec << in.imm << "("
+         << reg_name(in.rs1) << ")";
+      break;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      os << " " << reg_name(in.rd) << ", 0x" << std::hex << in.imm << ", "
+         << reg_name(in.rs1);
+      break;
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      os << " " << reg_name(in.rd) << ", 0x" << std::hex << in.imm << ", "
+         << std::dec << static_cast<unsigned>(in.rs1);
+      break;
+    default:
+      if (in.is_amo()) {
+        os << " " << reg_name(in.rd) << ", " << reg_name(in.rs2) << ", ("
+           << reg_name(in.rs1) << ")";
+      } else if (in.imm != 0 || in.op == Op::kAddi || in.op == Op::kSlti ||
+                 in.op == Op::kSltiu || in.op == Op::kXori || in.op == Op::kOri ||
+                 in.op == Op::kAndi || in.op == Op::kSlli || in.op == Op::kSrli ||
+                 in.op == Op::kSrai || in.op == Op::kAddiw || in.op == Op::kSlliw ||
+                 in.op == Op::kSrliw || in.op == Op::kSraiw) {
+        os << " " << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", "
+           << std::dec << in.imm;
+      } else {
+        os << " " << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", "
+           << reg_name(in.rs2);
+      }
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ptstore::isa

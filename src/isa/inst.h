@@ -1,0 +1,79 @@
+// Decoded-instruction representation for the RV64 subset the simulator
+// executes: RV64I, M, A (LR/SC + AMOs), Zicsr, privileged instructions, and
+// the two PTStore extension instructions ld.pt / sd.pt.
+//
+// PTStore encodings (DESIGN.md §5):
+//   ld.pt rd, imm(rs1)  — custom-0 major opcode 0001011, I-type, funct3=011
+//   sd.pt rs2, imm(rs1) — custom-1 major opcode 0101011, S-type, funct3=011
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ptstore::isa {
+
+enum class Op : u16 {
+  kIllegal = 0,
+  // RV64I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  kFence, kFenceI, kEcall, kEbreak,
+  // M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+  // A (doubleword and word)
+  kLrW, kScW, kAmoSwapW, kAmoAddW, kAmoXorW, kAmoAndW, kAmoOrW,
+  kLrD, kScD, kAmoSwapD, kAmoAddD, kAmoXorD, kAmoAndD, kAmoOrD,
+  // Zicsr
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // Privileged
+  kMret, kSret, kWfi, kSfenceVma,
+  // PTStore extension
+  kLdPt, kSdPt,
+};
+
+/// A fully decoded instruction. Fields not used by a format are zero.
+struct Inst {
+  Op op = Op::kIllegal;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i64 imm = 0;   ///< Sign-extended immediate (or CSR number for Zicsr).
+  u32 raw = 0;   ///< Original encoding.
+  u8 len = 4;    ///< Encoding length in bytes (2 for RVC, 4 otherwise).
+
+  bool is_load() const;
+  bool is_store() const;
+  bool is_branch() const;
+  bool is_amo() const;
+  /// True for ld.pt / sd.pt — accesses carrying AccessKind::kPtInsn.
+  bool is_pt_access() const { return op == Op::kLdPt || op == Op::kSdPt; }
+};
+
+/// Decode one 32-bit instruction word. Unknown encodings yield Op::kIllegal.
+Inst decode(u32 word);
+
+/// Decode one 16-bit compressed (RVC) instruction; the result carries the
+/// equivalent full operation with len == 2.
+Inst decode_compressed(u16 word);
+
+/// Length-aware decode: dispatches on the low two bits (11 = 32-bit).
+Inst decode_any(u32 word);
+
+/// Human-readable disassembly, e.g. "sd.pt a1, 8(a0)".
+std::string disassemble(const Inst& inst);
+
+/// ABI register names x0..x31 -> zero, ra, sp, ...
+const char* reg_name(unsigned reg);
+
+/// Mnemonic for an Op (lower-case, dot-separated), e.g. "ld.pt".
+const char* op_name(Op op);
+
+}  // namespace ptstore::isa

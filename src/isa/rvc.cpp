@@ -1,0 +1,209 @@
+// RVC (compressed) instruction decoding. The paper's prototype core is
+// RV64IMAC (Table II); compressed instructions decompress to their full
+// RV64 equivalents and execute identically, just with a 2-byte length.
+#include "common/bits.h"
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+
+namespace {
+
+/// Compressed register fields (3 bits) map to x8..x15.
+u8 creg(u64 f) { return static_cast<u8>(8 + f); }
+
+Inst make(Op op, u16 raw, u8 rd, u8 rs1, u8 rs2, i64 imm) {
+  Inst in{op, rd, rs1, rs2, imm, raw};
+  in.len = 2;
+  return in;
+}
+
+Inst illegal(u16 raw) {
+  Inst in{Op::kIllegal, 0, 0, 0, 0, raw};
+  in.len = 2;
+  return in;
+}
+
+// Immediate decoders per RVC format (see the RVC spec tables).
+i64 imm_ci(u16 w) {  // c.addi / c.li / c.addiw: [5] at bit 12, [4:0] at 6..2.
+  return sign_extend((bit(w, 12) << 5) | bits(w, 2, 5), 6);
+}
+u64 uimm_ci_shift(u16 w) { return (bit(w, 12) << 5) | bits(w, 2, 5); }
+i64 imm_ci_lui(u16 w) {  // c.lui: [17] at 12, [16:12] at 6..2.
+  return sign_extend(((bit(w, 12) << 17) | (bits(w, 2, 5) << 12)), 18);
+}
+i64 imm_addi16sp(u16 w) {  // [9] 12, [4] 6, [6] 5, [8:7] 4..3, [5] 2.
+  const u64 v = (bit(w, 12) << 9) | (bit(w, 6) << 4) | (bit(w, 5) << 6) |
+                (bits(w, 3, 2) << 7) | (bit(w, 2) << 5);
+  return sign_extend(v, 10);
+}
+u64 uimm_addi4spn(u16 w) {  // [5:4] 12..11, [9:6] 10..7, [2] 6, [3] 5.
+  return (bits(w, 11, 2) << 4) | (bits(w, 7, 4) << 6) | (bit(w, 6) << 2) |
+         (bit(w, 5) << 3);
+}
+u64 uimm_cl_ld(u16 w) {  // c.ld/c.sd: [5:3] 12..10, [7:6] 6..5.
+  return (bits(w, 10, 3) << 3) | (bits(w, 5, 2) << 6);
+}
+u64 uimm_cl_lw(u16 w) {  // c.lw/c.sw: [5:3] 12..10, [2] 6, [6] 5.
+  return (bits(w, 10, 3) << 3) | (bit(w, 6) << 2) | (bit(w, 5) << 6);
+}
+i64 imm_cj(u16 w) {  // c.j: the scrambled 11-bit jump target.
+  const u64 v = (bit(w, 12) << 11) | (bit(w, 11) << 4) | (bits(w, 9, 2) << 8) |
+                (bit(w, 8) << 10) | (bit(w, 7) << 6) | (bit(w, 6) << 7) |
+                (bits(w, 3, 3) << 1) | (bit(w, 2) << 5);
+  return sign_extend(v, 12);
+}
+i64 imm_cb(u16 w) {  // c.beqz/c.bnez: 8-bit branch offset.
+  const u64 v = (bit(w, 12) << 8) | (bits(w, 10, 2) << 3) | (bits(w, 5, 2) << 6) |
+                (bits(w, 3, 2) << 1) | (bit(w, 2) << 5);
+  return sign_extend(v, 9);
+}
+u64 uimm_ldsp(u16 w) {  // c.ldsp: [5] 12, [4:3] 6..5, [8:6] 4..2.
+  return (bit(w, 12) << 5) | (bits(w, 5, 2) << 3) | (bits(w, 2, 3) << 6);
+}
+u64 uimm_lwsp(u16 w) {  // c.lwsp: [5] 12, [4:2] 6..4, [7:6] 3..2.
+  return (bit(w, 12) << 5) | (bits(w, 4, 3) << 2) | (bits(w, 2, 2) << 6);
+}
+u64 uimm_sdsp(u16 w) {  // c.sdsp: [5:3] 12..10, [8:6] 9..7.
+  return (bits(w, 10, 3) << 3) | (bits(w, 7, 3) << 6);
+}
+u64 uimm_swsp(u16 w) {  // c.swsp: [5:2] 12..9, [7:6] 8..7.
+  return (bits(w, 9, 4) << 2) | (bits(w, 7, 2) << 6);
+}
+
+Inst decode_q0(u16 w) {
+  const u8 rdp = creg(bits(w, 2, 3));
+  const u8 rs1p = creg(bits(w, 7, 3));
+  switch (bits(w, 13, 3)) {
+    case 0b000: {  // c.addi4spn rd', sp, nzuimm
+      const u64 imm = uimm_addi4spn(w);
+      if (imm == 0) return illegal(w);  // Includes the all-zero encoding.
+      return make(Op::kAddi, w, rdp, 2, 0, static_cast<i64>(imm));
+    }
+    case 0b010:  // c.lw
+      return make(Op::kLw, w, rdp, rs1p, 0, static_cast<i64>(uimm_cl_lw(w)));
+    case 0b011:  // c.ld (RV64)
+      return make(Op::kLd, w, rdp, rs1p, 0, static_cast<i64>(uimm_cl_ld(w)));
+    case 0b110:  // c.sw
+      return make(Op::kSw, w, 0, rs1p, rdp, static_cast<i64>(uimm_cl_lw(w)));
+    case 0b111:  // c.sd
+      return make(Op::kSd, w, 0, rs1p, rdp, static_cast<i64>(uimm_cl_ld(w)));
+  }
+  return illegal(w);
+}
+
+Inst decode_q1(u16 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rdp = creg(bits(w, 7, 3));
+  const u8 rs2p = creg(bits(w, 2, 3));
+  switch (bits(w, 13, 3)) {
+    case 0b000:  // c.addi (rd=0, imm=0 is the canonical NOP)
+      return make(Op::kAddi, w, rd, rd, 0, imm_ci(w));
+    case 0b001:  // c.addiw (RV64; rd != 0)
+      if (rd == 0) return illegal(w);
+      return make(Op::kAddiw, w, rd, rd, 0, imm_ci(w));
+    case 0b010:  // c.li
+      return make(Op::kAddi, w, rd, 0, 0, imm_ci(w));
+    case 0b011:
+      if (rd == 2) {  // c.addi16sp
+        const i64 imm = imm_addi16sp(w);
+        if (imm == 0) return illegal(w);
+        return make(Op::kAddi, w, 2, 2, 0, imm);
+      }
+      if (rd != 0) {  // c.lui
+        const i64 imm = imm_ci_lui(w);
+        if (imm == 0) return illegal(w);
+        return make(Op::kLui, w, rd, 0, 0, imm);
+      }
+      return illegal(w);
+    case 0b100:
+      switch (bits(w, 10, 2)) {
+        case 0b00: {  // c.srli
+          const u64 sh = uimm_ci_shift(w);
+          return make(Op::kSrli, w, rdp, rdp, 0, static_cast<i64>(sh));
+        }
+        case 0b01: {  // c.srai
+          const u64 sh = uimm_ci_shift(w);
+          return make(Op::kSrai, w, rdp, rdp, 0, static_cast<i64>(sh));
+        }
+        case 0b10:  // c.andi
+          return make(Op::kAndi, w, rdp, rdp, 0, imm_ci(w));
+        case 0b11:
+          if (bit(w, 12) == 0) {
+            switch (bits(w, 5, 2)) {
+              case 0b00: return make(Op::kSub, w, rdp, rdp, rs2p, 0);
+              case 0b01: return make(Op::kXor, w, rdp, rdp, rs2p, 0);
+              case 0b10: return make(Op::kOr, w, rdp, rdp, rs2p, 0);
+              case 0b11: return make(Op::kAnd, w, rdp, rdp, rs2p, 0);
+            }
+          } else {
+            switch (bits(w, 5, 2)) {
+              case 0b00: return make(Op::kSubw, w, rdp, rdp, rs2p, 0);
+              case 0b01: return make(Op::kAddw, w, rdp, rdp, rs2p, 0);
+            }
+          }
+          return illegal(w);
+      }
+      return illegal(w);
+    case 0b101:  // c.j
+      return make(Op::kJal, w, 0, 0, 0, imm_cj(w));
+    case 0b110:  // c.beqz
+      return make(Op::kBeq, w, 0, rdp, 0, imm_cb(w));
+    case 0b111:  // c.bnez
+      return make(Op::kBne, w, 0, rdp, 0, imm_cb(w));
+  }
+  return illegal(w);
+}
+
+Inst decode_q2(u16 w) {
+  const u8 rd = static_cast<u8>(bits(w, 7, 5));
+  const u8 rs2 = static_cast<u8>(bits(w, 2, 5));
+  switch (bits(w, 13, 3)) {
+    case 0b000: {  // c.slli
+      const u64 sh = uimm_ci_shift(w);
+      if (rd == 0) return illegal(w);
+      return make(Op::kSlli, w, rd, rd, 0, static_cast<i64>(sh));
+    }
+    case 0b010:  // c.lwsp
+      if (rd == 0) return illegal(w);
+      return make(Op::kLw, w, rd, 2, 0, static_cast<i64>(uimm_lwsp(w)));
+    case 0b011:  // c.ldsp (RV64)
+      if (rd == 0) return illegal(w);
+      return make(Op::kLd, w, rd, 2, 0, static_cast<i64>(uimm_ldsp(w)));
+    case 0b100:
+      if (bit(w, 12) == 0) {
+        if (rs2 == 0) {  // c.jr
+          if (rd == 0) return illegal(w);
+          return make(Op::kJalr, w, 0, rd, 0, 0);
+        }
+        return make(Op::kAdd, w, rd, 0, rs2, 0);  // c.mv = add rd, x0, rs2
+      }
+      if (rs2 == 0) {
+        if (rd == 0) return make(Op::kEbreak, w, 0, 0, 0, 0);  // c.ebreak
+        return make(Op::kJalr, w, 1, rd, 0, 0);                // c.jalr
+      }
+      return make(Op::kAdd, w, rd, rd, rs2, 0);  // c.add
+    case 0b110:  // c.swsp
+      return make(Op::kSw, w, 0, 2, rs2, static_cast<i64>(uimm_swsp(w)));
+    case 0b111:  // c.sdsp
+      return make(Op::kSd, w, 0, 2, rs2, static_cast<i64>(uimm_sdsp(w)));
+  }
+  return illegal(w);
+}
+
+}  // namespace
+
+Inst decode_compressed(u16 w) {
+  switch (w & 0b11) {
+    case 0b00: return decode_q0(w);
+    case 0b01: return decode_q1(w);
+    case 0b10: return decode_q2(w);
+  }
+  return illegal(w);  // 0b11 is a 32-bit instruction, not RVC.
+}
+
+Inst decode_any(u32 w) {
+  if ((w & 0b11) != 0b11) return decode_compressed(static_cast<u16>(w));
+  return decode(w);
+}
+
+}  // namespace ptstore::isa

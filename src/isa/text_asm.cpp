@@ -1,0 +1,467 @@
+#include "isa/text_asm.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "isa/csr.h"
+
+namespace ptstore::isa {
+
+namespace {
+
+struct ParseError {
+  unsigned line;
+  std::string message;
+};
+
+[[noreturn]] void fail(unsigned line, const std::string& msg) {
+  throw ParseError{line, msg};
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& s) {
+  // '#' and "//" start comments; character literals can't contain either
+  // in this subset, so a plain scan suffices.
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#') return s.substr(0, i);
+    if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') return s.substr(0, i);
+  }
+  return s;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// One parsed source statement.
+struct Stmt {
+  unsigned line = 0;
+  std::vector<std::string> labels;  ///< Labels bound at this position.
+  std::string mnemonic;             ///< Lower-case; empty for label-only lines.
+  std::vector<std::string> operands;
+};
+
+std::vector<Stmt> parse_lines(const std::string& source) {
+  std::vector<Stmt> stmts;
+  std::istringstream in(source);
+  std::string raw;
+  unsigned line_no = 0;
+  std::vector<std::string> pending_labels;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string s = trim(strip_comment(raw));
+    // Peel off any number of leading "label:" definitions.
+    for (;;) {
+      const size_t colon = s.find(':');
+      if (colon == std::string::npos) break;
+      const std::string head = trim(s.substr(0, colon));
+      if (head.empty()) fail(line_no, "empty label name");
+      for (const char c : head) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.') {
+          fail(line_no, "invalid label name '" + head + "'");
+        }
+      }
+      pending_labels.push_back(head);
+      s = trim(s.substr(colon + 1));
+    }
+    if (s.empty()) continue;
+
+    Stmt st;
+    st.line = line_no;
+    st.labels = std::move(pending_labels);
+    pending_labels.clear();
+    const size_t sp = s.find_first_of(" \t");
+    st.mnemonic = lower(sp == std::string::npos ? s : s.substr(0, sp));
+    if (sp != std::string::npos) {
+      // Split the operand list on commas.
+      std::string rest = trim(s.substr(sp + 1));
+      std::string cur;
+      for (const char c : rest) {
+        if (c == ',') {
+          st.operands.push_back(trim(cur));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!trim(cur).empty()) st.operands.push_back(trim(cur));
+      for (const std::string& op : st.operands) {
+        if (op.empty()) fail(line_no, "empty operand");
+      }
+    }
+    stmts.push_back(std::move(st));
+  }
+  if (!pending_labels.empty()) {
+    // Labels at end of file bind to the end address.
+    Stmt st;
+    st.line = line_no;
+    st.labels = std::move(pending_labels);
+    stmts.push_back(std::move(st));
+  }
+  return stmts;
+}
+
+const std::map<std::string, Reg>& reg_table() {
+  static const std::map<std::string, Reg> kRegs = [] {
+    std::map<std::string, Reg> m;
+    for (unsigned i = 0; i < 32; ++i) {
+      m[reg_name(i)] = static_cast<Reg>(i);
+      m["x" + std::to_string(i)] = static_cast<Reg>(i);
+    }
+    m["fp"] = Reg::kS0;
+    return m;
+  }();
+  return kRegs;
+}
+
+const std::map<std::string, u32>& csr_table() {
+  namespace c = csr;
+  static const std::map<std::string, u32> kCsrs = {
+      {"mstatus", c::kMstatus},   {"misa", c::kMisa},
+      {"medeleg", c::kMedeleg},   {"mideleg", c::kMideleg},
+      {"mie", c::kMie},           {"mtvec", c::kMtvec},
+      {"mscratch", c::kMscratch}, {"mepc", c::kMepc},
+      {"mcause", c::kMcause},     {"mtval", c::kMtval},
+      {"mip", c::kMip},           {"mhartid", c::kMhartid},
+      {"sstatus", c::kSstatus},   {"sie", c::kSie},
+      {"stvec", c::kStvec},       {"sscratch", c::kSscratch},
+      {"sepc", c::kSepc},         {"scause", c::kScause},
+      {"stval", c::kStval},       {"sip", c::kSip},
+      {"satp", c::kSatp},         {"mtimecmp", c::kMtimecmp},
+      {"cycle", c::kCycle},       {"time", c::kTime},
+      {"instret", c::kInstret},   {"pmpcfg0", c::kPmpcfg0},
+      {"pmpcfg2", c::kPmpcfg2},
+  };
+  return kCsrs;
+}
+
+class Emitter {
+ public:
+  Emitter(const std::vector<Stmt>& stmts, u64 base) : asm_(base) {
+    // Create assembler labels for every source label up front so forward
+    // references resolve through the assembler's fixup machinery.
+    for (const Stmt& st : stmts) {
+      for (const std::string& l : st.labels) {
+        if (labels_.count(l) != 0) fail(st.line, "duplicate label '" + l + "'");
+        labels_.emplace(l, asm_.make_label());
+      }
+    }
+    for (const Stmt& st : stmts) emit(st);
+    for (const auto& [name, info] : referenced_) {
+      if (bound_.count(name) == 0) fail(info, "undefined label '" + name + "'");
+    }
+  }
+
+  std::vector<u32> take() { return asm_.finish(); }
+
+ private:
+  Reg reg_op(const Stmt& st, size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing register operand");
+    const auto it = reg_table().find(lower(st.operands[i]));
+    if (it == reg_table().end()) {
+      fail(st.line, "unknown register '" + st.operands[i] + "'");
+    }
+    return it->second;
+  }
+
+  i64 imm_op(const Stmt& st, size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing immediate operand");
+    return parse_imm(st, st.operands[i]);
+  }
+
+  i64 parse_imm(const Stmt& st, const std::string& text) {
+    if (text.size() == 3 && text.front() == '\'' && text.back() == '\'') {
+      return static_cast<i64>(text[1]);  // Character literal.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0') {
+      fail(st.line, "bad immediate '" + text + "'");
+    }
+    return static_cast<i64>(v);
+  }
+
+  Assembler::Label label_op(const Stmt& st, size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing label operand");
+    const std::string& name = st.operands[i];
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) fail(st.line, "undefined label '" + name + "'");
+    referenced_.emplace(name, st.line);
+    return it->second;
+  }
+
+  /// Parse "imm(reg)" or "(reg)".
+  std::pair<i64, Reg> mem_op(const Stmt& st, size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing memory operand");
+    const std::string& text = st.operands[i];
+    const size_t open = text.find('(');
+    const size_t close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      fail(st.line, "expected imm(reg), got '" + text + "'");
+    }
+    const std::string imm_text = trim(text.substr(0, open));
+    const std::string reg_text = lower(trim(text.substr(open + 1, close - open - 1)));
+    const i64 imm = imm_text.empty() ? 0 : parse_imm(st, imm_text);
+    const auto it = reg_table().find(reg_text);
+    if (it == reg_table().end()) fail(st.line, "unknown register '" + reg_text + "'");
+    return {imm, it->second};
+  }
+
+  u32 csr_op(const Stmt& st, size_t i) {
+    if (i >= st.operands.size()) fail(st.line, "missing CSR operand");
+    const std::string name = lower(st.operands[i]);
+    const auto it = csr_table().find(name);
+    if (it != csr_table().end()) return it->second;
+    // pmpaddrN family and raw numbers.
+    if (name.rfind("pmpaddr", 0) == 0) {
+      const unsigned n = static_cast<unsigned>(std::strtoul(name.c_str() + 7, nullptr, 10));
+      if (n < 16) return csr::kPmpaddr0 + n;
+    }
+    return static_cast<u32>(parse_imm(st, st.operands[i]));
+  }
+
+  void expect_operands(const Stmt& st, size_t n) {
+    if (st.operands.size() != n) {
+      fail(st.line, st.mnemonic + " expects " + std::to_string(n) +
+                        " operands, got " + std::to_string(st.operands.size()));
+    }
+  }
+
+  void emit(const Stmt& st) {
+    for (const std::string& l : st.labels) {
+      asm_.bind(labels_.at(l));
+      bound_.insert(l);
+    }
+    if (st.mnemonic.empty()) return;
+    const std::string& m = st.mnemonic;
+
+    using A = Assembler;
+    // R-type register-register operations.
+    static const std::map<std::string, void (A::*)(Reg, Reg, Reg)> kRType = {
+        {"add", &A::add},     {"sub", &A::sub},     {"sll", &A::sll},
+        {"slt", &A::slt},     {"sltu", &A::sltu},   {"xor", &A::xor_},
+        {"srl", &A::srl},     {"sra", &A::sra},     {"or", &A::or_},
+        {"and", &A::and_},    {"addw", &A::addw},   {"subw", &A::subw},
+        {"sllw", &A::sllw},   {"srlw", &A::srlw},   {"sraw", &A::sraw},
+        {"mul", &A::mul},     {"mulh", &A::mulh},   {"mulhsu", &A::mulhsu},
+        {"mulhu", &A::mulhu}, {"div", &A::div},     {"divu", &A::divu},
+        {"rem", &A::rem},     {"remu", &A::remu},   {"mulw", &A::mulw},
+        {"divw", &A::divw},   {"divuw", &A::divuw}, {"remw", &A::remw},
+        {"remuw", &A::remuw},
+    };
+    if (const auto it = kRType.find(m); it != kRType.end()) {
+      expect_operands(st, 3);
+      (asm_.*it->second)(reg_op(st, 0), reg_op(st, 1), reg_op(st, 2));
+      return;
+    }
+
+    // I-type arithmetic.
+    static const std::map<std::string, void (A::*)(Reg, Reg, i64)> kIType = {
+        {"addi", &A::addi},   {"slti", &A::slti}, {"sltiu", &A::sltiu},
+        {"xori", &A::xori},   {"ori", &A::ori},   {"andi", &A::andi},
+        {"addiw", &A::addiw},
+    };
+    if (const auto it = kIType.find(m); it != kIType.end()) {
+      expect_operands(st, 3);
+      (asm_.*it->second)(reg_op(st, 0), reg_op(st, 1), imm_op(st, 2));
+      return;
+    }
+
+    // Immediate shifts.
+    static const std::map<std::string, void (A::*)(Reg, Reg, unsigned)> kShift = {
+        {"slli", &A::slli},   {"srli", &A::srli},   {"srai", &A::srai},
+        {"slliw", &A::slliw}, {"srliw", &A::srliw}, {"sraiw", &A::sraiw},
+    };
+    if (const auto it = kShift.find(m); it != kShift.end()) {
+      expect_operands(st, 3);
+      const i64 sh = imm_op(st, 2);
+      if (sh < 0 || sh > 63) fail(st.line, "shift amount out of range");
+      (asm_.*it->second)(reg_op(st, 0), reg_op(st, 1), static_cast<unsigned>(sh));
+      return;
+    }
+
+    // Loads (rd, imm(rs1)).
+    static const std::map<std::string, void (A::*)(Reg, Reg, i64)> kLoads = {
+        {"lb", &A::lb},   {"lh", &A::lh},   {"lw", &A::lw},     {"ld", &A::ld},
+        {"lbu", &A::lbu}, {"lhu", &A::lhu}, {"lwu", &A::lwu},   {"ld.pt", &A::ld_pt},
+    };
+    if (const auto it = kLoads.find(m); it != kLoads.end()) {
+      expect_operands(st, 2);
+      const auto [imm, base] = mem_op(st, 1);
+      (asm_.*it->second)(reg_op(st, 0), base, imm);
+      return;
+    }
+
+    // Stores (rs2, imm(rs1)).
+    static const std::map<std::string, void (A::*)(Reg, Reg, i64)> kStores = {
+        {"sb", &A::sb}, {"sh", &A::sh}, {"sw", &A::sw}, {"sd", &A::sd},
+        {"sd.pt", &A::sd_pt},
+    };
+    if (const auto it = kStores.find(m); it != kStores.end()) {
+      expect_operands(st, 2);
+      const auto [imm, base] = mem_op(st, 1);
+      (asm_.*it->second)(reg_op(st, 0), base, imm);
+      return;
+    }
+
+    // Branches (rs1, rs2, label).
+    static const std::map<std::string, void (A::*)(Reg, Reg, A::Label)> kBranches = {
+        {"beq", &A::beq}, {"bne", &A::bne},   {"blt", &A::blt},
+        {"bge", &A::bge}, {"bltu", &A::bltu}, {"bgeu", &A::bgeu},
+    };
+    if (const auto it = kBranches.find(m); it != kBranches.end()) {
+      expect_operands(st, 3);
+      (asm_.*it->second)(reg_op(st, 0), reg_op(st, 1), label_op(st, 2));
+      return;
+    }
+
+    // AMOs.
+    static const std::map<std::string, void (A::*)(Reg, Reg, Reg)> kAmo3 = {
+        {"sc.d", &A::sc_d},           {"amoswap.d", &A::amoswap_d},
+        {"amoadd.d", &A::amoadd_d},   {"amoxor.d", &A::amoxor_d},
+        {"amoand.d", &A::amoand_d},   {"amoor.d", &A::amoor_d},
+        {"sc.w", &A::sc_w},           {"amoswap.w", &A::amoswap_w},
+        {"amoadd.w", &A::amoadd_w},   {"amoxor.w", &A::amoxor_w},
+        {"amoand.w", &A::amoand_w},   {"amoor.w", &A::amoor_w},
+    };
+    if (const auto it = kAmo3.find(m); it != kAmo3.end()) {
+      expect_operands(st, 3);
+      (asm_.*it->second)(reg_op(st, 0), reg_op(st, 1), mem_op(st, 2).second);
+      return;
+    }
+    if (m == "lr.d" || m == "lr.w") {
+      expect_operands(st, 2);
+      if (m == "lr.d") {
+        asm_.lr_d(reg_op(st, 0), mem_op(st, 1).second);
+      } else {
+        asm_.lr_w(reg_op(st, 0), mem_op(st, 1).second);
+      }
+      return;
+    }
+
+    // CSR ops.
+    static const std::map<std::string, void (A::*)(Reg, u32, Reg)> kCsrReg = {
+        {"csrrw", &A::csrrw}, {"csrrs", &A::csrrs}, {"csrrc", &A::csrrc}};
+    if (const auto it = kCsrReg.find(m); it != kCsrReg.end()) {
+      expect_operands(st, 3);
+      (asm_.*it->second)(reg_op(st, 0), csr_op(st, 1), reg_op(st, 2));
+      return;
+    }
+    static const std::map<std::string, void (A::*)(Reg, u32, u8)> kCsrImm = {
+        {"csrrwi", &A::csrrwi}, {"csrrsi", &A::csrrsi}, {"csrrci", &A::csrrci}};
+    if (const auto it = kCsrImm.find(m); it != kCsrImm.end()) {
+      expect_operands(st, 3);
+      const i64 u = imm_op(st, 2);
+      if (u < 0 || u > 31) fail(st.line, "csr uimm out of range");
+      (asm_.*it->second)(reg_op(st, 0), csr_op(st, 1), static_cast<u8>(u));
+      return;
+    }
+
+    // Singletons and pseudo-ops.
+    if (m == "lui" || m == "auipc") {
+      expect_operands(st, 2);
+      const i64 imm = imm_op(st, 1);
+      if (m == "lui") asm_.lui(reg_op(st, 0), imm);
+      else asm_.auipc(reg_op(st, 0), imm);
+      return;
+    }
+    if (m == "jal") {
+      // jal label  |  jal rd, label
+      if (st.operands.size() == 1) {
+        asm_.jal(Reg::kRa, label_op(st, 0));
+      } else {
+        expect_operands(st, 2);
+        asm_.jal(reg_op(st, 0), label_op(st, 1));
+      }
+      return;
+    }
+    if (m == "jalr") {
+      // jalr rs1  |  jalr rd, imm(rs1)
+      if (st.operands.size() == 1) {
+        asm_.jalr(Reg::kRa, reg_op(st, 0), 0);
+      } else {
+        expect_operands(st, 2);
+        const auto [imm, base] = mem_op(st, 1);
+        asm_.jalr(reg_op(st, 0), base, imm);
+      }
+      return;
+    }
+    if (m == "li") {
+      expect_operands(st, 2);
+      asm_.li(reg_op(st, 0), static_cast<u64>(imm_op(st, 1)));
+      return;
+    }
+    if (m == "mv") { expect_operands(st, 2); asm_.mv(reg_op(st, 0), reg_op(st, 1)); return; }
+    if (m == "not") { expect_operands(st, 2); asm_.not_(reg_op(st, 0), reg_op(st, 1)); return; }
+    if (m == "neg") { expect_operands(st, 2); asm_.neg(reg_op(st, 0), reg_op(st, 1)); return; }
+    if (m == "seqz") { expect_operands(st, 2); asm_.seqz(reg_op(st, 0), reg_op(st, 1)); return; }
+    if (m == "snez") { expect_operands(st, 2); asm_.snez(reg_op(st, 0), reg_op(st, 1)); return; }
+    if (m == "beqz") { expect_operands(st, 2); asm_.beqz(reg_op(st, 0), label_op(st, 1)); return; }
+    if (m == "bnez") { expect_operands(st, 2); asm_.bnez(reg_op(st, 0), label_op(st, 1)); return; }
+    if (m == "j") { expect_operands(st, 1); asm_.j(label_op(st, 0)); return; }
+    if (m == "nop") { expect_operands(st, 0); asm_.nop(); return; }
+    if (m == "ret") { expect_operands(st, 0); asm_.ret(); return; }
+    if (m == "ecall") { expect_operands(st, 0); asm_.ecall(); return; }
+    if (m == "ebreak") { expect_operands(st, 0); asm_.ebreak(); return; }
+    if (m == "mret") { expect_operands(st, 0); asm_.mret(); return; }
+    if (m == "sret") { expect_operands(st, 0); asm_.sret(); return; }
+    if (m == "wfi") { expect_operands(st, 0); asm_.wfi(); return; }
+    if (m == "fence") { expect_operands(st, 0); asm_.fence(); return; }
+    if (m == "fence.i") { expect_operands(st, 0); asm_.fence_i(); return; }
+    if (m == "sfence.vma") {
+      if (st.operands.empty()) {
+        asm_.sfence_vma();
+      } else {
+        expect_operands(st, 2);
+        asm_.sfence_vma(reg_op(st, 0), reg_op(st, 1));
+      }
+      return;
+    }
+    if (m == ".word") {
+      expect_operands(st, 1);
+      asm_.emit(static_cast<u32>(imm_op(st, 0)));
+      return;
+    }
+    if (m == ".dword") {
+      expect_operands(st, 1);
+      const u64 v = static_cast<u64>(imm_op(st, 0));
+      asm_.emit(static_cast<u32>(v));
+      asm_.emit(static_cast<u32>(v >> 32));
+      return;
+    }
+    fail(st.line, "unknown mnemonic '" + m + "'");
+  }
+
+  Assembler asm_;
+  std::map<std::string, Assembler::Label> labels_;
+  std::map<std::string, unsigned> referenced_;
+  std::set<std::string> bound_;
+};
+
+}  // namespace
+
+AsmResult assemble_text(const std::string& source, u64 base) {
+  AsmResult res;
+  try {
+    Emitter e(parse_lines(source), base);
+    res.words = e.take();
+    res.ok = true;
+  } catch (const ParseError& err) {
+    res.error = AsmError{err.line, err.message};
+  }
+  return res;
+}
+
+}  // namespace ptstore::isa

@@ -1,0 +1,43 @@
+// Two-pass text assembler for the RV64 subset the simulator executes.
+// Turns human-written assembly into machine code for guest_cli and tests:
+//
+//   # sum 1..n
+//       li   t0, 100
+//       li   a0, 0
+//   loop:
+//       add  a0, a0, t0
+//       addi t0, t0, -1
+//       bnez t0, loop
+//       li   a7, 93        # exit
+//       ecall
+//
+// Supported: every instruction the programmatic Assembler emits (including
+// ld.pt/sd.pt), labels, `imm(reg)` memory operands, character literals
+// ('A'), decimal/hex immediates, the pseudo-ops li/mv/not/neg/seqz/snez/
+// nop/j/ret/beqz/bnez/call-less subset, and the .word/.dword directives.
+// Comments start with '#' or "//".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::isa {
+
+struct AsmError {
+  unsigned line = 0;         ///< 1-based source line.
+  std::string message;
+};
+
+struct AsmResult {
+  bool ok = false;
+  std::vector<u32> words;
+  AsmError error;
+};
+
+/// Assemble `source` as if loaded at `base`. On failure, `error` carries
+/// the first offending line and a description.
+AsmResult assemble_text(const std::string& source, u64 base);
+
+}  // namespace ptstore::isa

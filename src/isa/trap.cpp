@@ -1,0 +1,53 @@
+#include "isa/trap.h"
+
+namespace ptstore::isa {
+
+const char* to_string(TrapCause c) {
+  switch (c) {
+    case TrapCause::kNone: return "none";
+    case TrapCause::kInstAddrMisaligned: return "instruction address misaligned";
+    case TrapCause::kInstAccessFault: return "instruction access fault";
+    case TrapCause::kIllegalInst: return "illegal instruction";
+    case TrapCause::kBreakpoint: return "breakpoint";
+    case TrapCause::kLoadAddrMisaligned: return "load address misaligned";
+    case TrapCause::kLoadAccessFault: return "load access fault";
+    case TrapCause::kStoreAddrMisaligned: return "store address misaligned";
+    case TrapCause::kStoreAccessFault: return "store/AMO access fault";
+    case TrapCause::kEcallFromU: return "ecall from U-mode";
+    case TrapCause::kEcallFromS: return "ecall from S-mode";
+    case TrapCause::kEcallFromM: return "ecall from M-mode";
+    case TrapCause::kInstPageFault: return "instruction page fault";
+    case TrapCause::kLoadPageFault: return "load page fault";
+    case TrapCause::kStorePageFault: return "store/AMO page fault";
+  }
+  return "?";
+}
+
+TrapCause access_fault_for(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return TrapCause::kLoadAccessFault;
+    case AccessType::kWrite: return TrapCause::kStoreAccessFault;
+    case AccessType::kExecute: return TrapCause::kInstAccessFault;
+  }
+  return TrapCause::kLoadAccessFault;
+}
+
+TrapCause page_fault_for(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return TrapCause::kLoadPageFault;
+    case AccessType::kWrite: return TrapCause::kStorePageFault;
+    case AccessType::kExecute: return TrapCause::kInstPageFault;
+  }
+  return TrapCause::kLoadPageFault;
+}
+
+TrapCause misaligned_for(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return TrapCause::kLoadAddrMisaligned;
+    case AccessType::kWrite: return TrapCause::kStoreAddrMisaligned;
+    case AccessType::kExecute: return TrapCause::kInstAddrMisaligned;
+  }
+  return TrapCause::kLoadAddrMisaligned;
+}
+
+}  // namespace ptstore::isa

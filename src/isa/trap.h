@@ -1,0 +1,36 @@
+// RISC-V trap causes (mcause/scause exception codes) for the subset the
+// simulator raises.
+#pragma once
+
+#include "common/types.h"
+
+namespace ptstore::isa {
+
+enum class TrapCause : u64 {
+  kNone = ~u64{0},  ///< Sentinel: no trap.
+  kInstAddrMisaligned = 0,
+  kInstAccessFault = 1,
+  kIllegalInst = 2,
+  kBreakpoint = 3,
+  kLoadAddrMisaligned = 4,
+  kLoadAccessFault = 5,
+  kStoreAddrMisaligned = 6,
+  kStoreAccessFault = 7,
+  kEcallFromU = 8,
+  kEcallFromS = 9,
+  kEcallFromM = 11,
+  kInstPageFault = 12,
+  kLoadPageFault = 13,
+  kStorePageFault = 15,
+};
+
+const char* to_string(TrapCause c);
+
+/// Access fault cause for an access type (what PMP violations raise).
+TrapCause access_fault_for(AccessType t);
+/// Page fault cause for an access type.
+TrapCause page_fault_for(AccessType t);
+/// Misaligned-address cause for an access type.
+TrapCause misaligned_for(AccessType t);
+
+}  // namespace ptstore::isa

@@ -1,0 +1,190 @@
+#include "kernel/buddy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace ptstore {
+
+BuddyZone::BuddyZone(std::string name, PhysAddr base, u64 size)
+    : name_(std::move(name)), base_(base), end_(base + size) {
+  assert(is_aligned(base, kPageSize) && is_aligned(size, kPageSize));
+  seed_range(pfn(base_), pfn(end_));
+}
+
+void BuddyZone::seed_range(u64 lo, u64 hi) {
+  // Greedy cover with the largest naturally-aligned blocks that fit.
+  while (lo < hi) {
+    unsigned order = kMaxOrder;
+    while (order > 0 &&
+           ((lo & ((u64{1} << order) - 1)) != 0 || lo + (u64{1} << order) > hi)) {
+      --order;
+    }
+    insert_free(lo, order);
+    lo += u64{1} << order;
+  }
+}
+
+void BuddyZone::insert_free(u64 p, unsigned order) {
+  free_count_ += u64{1} << order;
+  // Coalesce upward while the buddy is also free.
+  while (order < kMaxOrder) {
+    const u64 buddy = p ^ (u64{1} << order);
+    auto& lvl = free_[order];
+    auto it = lvl.find(buddy);
+    if (it == lvl.end()) break;
+    // Buddy must be wholly inside the zone to merge.
+    const u64 merged = p & ~(u64{1} << order);
+    if (pa_of(merged) < base_ || pa_of(merged + (u64{2} << order)) > end_) break;
+    lvl.erase(it);
+    p = merged;
+    ++order;
+  }
+  free_[order].insert(p);
+}
+
+std::optional<PhysAddr> BuddyZone::alloc_pages(unsigned order) {
+  if (forced_) {
+    // Corrupted-metadata path: hand out whatever the attacker planted.
+    const PhysAddr pa = *forced_;
+    forced_.reset();
+    return pa;
+  }
+  if (order > kMaxOrder) return std::nullopt;
+
+  // Find the smallest suitable order with a free block; prefer the lowest
+  // address across candidate orders to keep high memory free.
+  unsigned best_order = 0;
+  bool found = false;
+  u64 best_pfn = 0;
+  for (unsigned o = order; o <= kMaxOrder; ++o) {
+    if (free_[o].empty()) continue;
+    const u64 candidate = *free_[o].begin();
+    if (!found || candidate < best_pfn) {
+      found = true;
+      best_pfn = candidate;
+      best_order = o;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  free_[best_order].erase(best_pfn);
+  // Split down to the requested order, returning the low half each time.
+  unsigned o = best_order;
+  while (o > order) {
+    --o;
+    free_[o].insert(best_pfn + (u64{1} << o));  // High half stays free.
+  }
+  free_count_ -= u64{1} << order;
+  return pa_of(best_pfn);
+}
+
+void BuddyZone::free_pages(PhysAddr pa, unsigned order) {
+  assert(contains(pa, u64{1} << (order + kPageShift)));
+  assert((pfn(pa) & ((u64{1} << order) - 1)) == 0 && "misaligned free");
+  insert_free(pfn(pa), order);
+}
+
+bool BuddyZone::page_is_free(PhysAddr pa) const {
+  const u64 p = pfn(pa);
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    for (auto it = free_[o].begin(); it != free_[o].end(); ++it) {
+      if (p >= *it && p < *it + (u64{1} << o)) return true;
+      if (*it > p) break;  // Sets are ordered; no later block can cover p.
+    }
+  }
+  return false;
+}
+
+bool BuddyZone::alloc_range(PhysAddr pa, u64 pages) {
+  if (pages == 0 || !contains(pa, pages << kPageShift)) return false;
+  const u64 lo = pfn(pa);
+  const u64 hi = lo + pages;
+
+  // Pass 1: verify full coverage by free blocks.
+  u64 covered = 0;
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    for (const u64 b : free_[o]) {
+      const u64 b_end = b + (u64{1} << o);
+      if (b_end <= lo || b >= hi) continue;
+      covered += std::min(b_end, hi) - std::max(b, lo);
+    }
+  }
+  if (covered != pages) return false;
+
+  // Pass 2: remove overlapping blocks; re-seed the portions outside range.
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    auto& lvl = free_[o];
+    for (auto it = lvl.begin(); it != lvl.end();) {
+      const u64 b = *it;
+      const u64 b_end = b + (u64{1} << o);
+      if (b_end <= lo || b >= hi) {
+        ++it;
+        continue;
+      }
+      it = lvl.erase(it);
+      free_count_ -= u64{1} << o;
+      if (b < lo) seed_range(b, lo);
+      if (b_end > hi) seed_range(hi, b_end);
+    }
+  }
+  return true;
+}
+
+void BuddyZone::free_range(PhysAddr pa, u64 pages) {
+  assert(contains(pa, pages << kPageShift));
+  seed_range(pfn(pa), pfn(pa) + pages);
+}
+
+bool BuddyZone::donate_front(PhysAddr pa, u64 pages) {
+  if (pages == 0 || !is_aligned(pa, kPageSize)) return false;
+  if (pa + (pages << kPageShift) != base_) return false;  // Must abut the base.
+  base_ = pa;
+  seed_range(pfn(pa), pfn(pa) + pages);
+  return true;
+}
+
+std::vector<std::pair<PhysAddr, unsigned>> BuddyZone::free_blocks() const {
+  std::vector<std::pair<PhysAddr, unsigned>> out;
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    for (const u64 b : free_[o]) out.emplace_back(pa_of(b), o);
+  }
+  return out;
+}
+
+bool BuddyZone::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  u64 counted = 0;
+  std::vector<std::pair<u64, u64>> spans;  // [lo, hi) pfn spans
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    for (const u64 b : free_[o]) {
+      if ((b & ((u64{1} << o) - 1)) != 0) return fail("misaligned free block");
+      const u64 b_end = b + (u64{1} << o);
+      if (pa_of(b) < base_ || pa_of(b_end) > end_) return fail("block outside zone");
+      counted += u64{1} << o;
+      spans.emplace_back(b, b_end);
+      // Buddies free at the same order should have merged.
+      if (o < kMaxOrder) {
+        const u64 buddy = b ^ (u64{1} << o);
+        const u64 merged = b & ~(u64{1} << o);
+        const bool mergeable =
+            pa_of(merged) >= base_ && pa_of(merged + (u64{2} << o)) <= end_;
+        if (mergeable && free_[o].count(buddy) != 0 && buddy > b) {
+          return fail("unmerged buddies");
+        }
+      }
+    }
+  }
+  if (counted != free_count_) return fail("free_count mismatch");
+  std::sort(spans.begin(), spans.end());
+  for (size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first < spans[i - 1].second) return fail("overlapping free blocks");
+  }
+  return true;
+}
+
+}  // namespace ptstore

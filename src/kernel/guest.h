@@ -1,0 +1,96 @@
+// Guest execution: run real U-mode RV64 machine code on the interpreter
+// with the C++ kernel behind it — page faults demand-page through
+// ProcessManager, and ecall dispatches a minimal Linux-flavoured syscall
+// ABI. This is the full co-design loop of the paper executing end-to-end:
+// a user program whose every page-table walk goes through satp.S-checked
+// secure-region tables.
+//
+// Guest syscall ABI (number in a7, args a0..a2, result in a0):
+//   64  write(fd, buf, len)  — bytes are copied into GuestConsole
+//   93  exit(code)           — ends run_guest()
+//   172 getpid()
+//   214 brk(addr)            — grows the heap VMA (0 queries the break)
+//   anything else            — returns -ENOSYS (-38)
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace ptstore {
+
+struct GuestResult {
+  bool exited = false;      ///< Guest called exit().
+  u64 exit_code = 0;
+  bool faulted = false;     ///< Unrecoverable fault (segfault etc.).
+  bool preempted = false;   ///< Timer quantum expired (run_slice_timed).
+  isa::TrapCause fault = isa::TrapCause::kNone;
+  u64 instructions = 0;     ///< Instructions retired during the run
+                            ///< (guest code + modelled kernel handling).
+  std::string console;      ///< Everything the guest wrote to fd 1/2.
+};
+
+class GuestRunner {
+ public:
+  explicit GuestRunner(Kernel& kernel);
+
+  /// Load `code` into the process's address space at `entry` (mapping an
+  /// R+X VMA and copying the bytes through demand-paged user pages).
+  bool load_program(Process& proc, VirtAddr entry, const std::vector<u32>& code);
+
+  /// Switch to `proc` and execute from `entry` in U-mode until the guest
+  /// exits, faults unrecoverably, or `max_insts` retire.
+  GuestResult run(Process& proc, VirtAddr entry, u64 max_insts = 1'000'000);
+
+  /// Time-sliced execution: run `proc` for at most `slice_insts`, then save
+  /// its register file and pc so a later slice resumes where it stopped —
+  /// the building block for preemptive scheduling across guests. The first
+  /// slice starts at `entry`; subsequent slices ignore it. Returns the
+  /// usual result; `exited`/`faulted` mean the guest is finished (its
+  /// context is discarded).
+  GuestResult run_slice(Process& proc, VirtAddr entry, u64 slice_insts);
+
+  /// Hardware-preempted slice: arm the machine timer `quantum` cycles
+  /// ahead (delegated to S-mode) and run until the guest finishes or the
+  /// timer interrupt preempts it — real interrupt-driven scheduling, not
+  /// instruction counting. Context save/restore as in run_slice.
+  GuestResult run_slice_timed(Process& proc, VirtAddr entry, Cycles quantum);
+
+  /// True if `proc` has a live (suspended) guest context.
+  bool has_context(const Process& proc) const {
+    return contexts_.count(proc.pid) != 0;
+  }
+
+  /// Heap base used by the brk syscall.
+  static constexpr VirtAddr kHeapBase = kUserSpaceBase + GiB(1);
+  /// Stack top (one page mapped on demand below it).
+  static constexpr VirtAddr kStackTop = kUserSpaceBase + GiB(2);
+
+ private:
+  /// The S-mode trap entry: handles page faults and syscalls for the
+  /// currently running guest. Returns false for unrecoverable traps.
+  bool handle_trap(isa::TrapCause cause, u64 tval);
+  u64 do_syscall(u64 num, u64 a0, u64 a1, u64 a2);
+  /// Copy `len` bytes out of guest memory (for write()).
+  std::string read_guest_bytes(VirtAddr va, u64 len);
+
+  /// Saved user-visible state of a suspended guest.
+  struct GuestContext {
+    std::array<u64, 32> regs{};
+    u64 pc = 0;
+  };
+
+  GuestResult run_common(Process& proc, u64 max_insts);
+  void restore_or_init_context(Process& proc, VirtAddr entry);
+  void save_or_reap_context(Process& proc, const GuestResult& res);
+
+  Kernel& kernel_;
+  Process* active_ = nullptr;
+  GuestResult* result_ = nullptr;
+  std::map<u64, VirtAddr> brk_;  ///< Per-process program break.
+  std::map<u64, GuestContext> contexts_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,53 @@
+// Kernel-model configuration: which PTStore mechanisms are active, secure
+// region sizing, and the CFI cost model. The evaluation configurations of
+// the paper map to:
+//   Base          : ptstore=false, cfi=false
+//   CFI           : ptstore=false, cfi=true
+//   CFI+PTStore   : ptstore=true,  cfi=true   (64 MiB region, adjustable)
+//   CFI+PTStore-Adj: ptstore=true, cfi=true, initial region 1 GiB (no
+//                    adjustments triggered — paper §V-D1)
+#pragma once
+
+#include "common/types.h"
+
+namespace ptstore {
+
+struct KernelConfig {
+  /// Master switch: secure region + new instructions + PTW check + tokens.
+  bool ptstore = true;
+
+  /// Individual mechanisms (for the ablation benches; all default on and
+  /// are only meaningful when `ptstore` is true).
+  bool token_check = true;     ///< Validate tokens in switch_mm (PT-Reuse).
+  bool ptw_check = true;       ///< satp.S secure-region walker check (PT-Injection).
+  bool zero_check = true;      ///< All-zero check on new PT pages (§V-E3).
+  bool allow_adjustment = true;///< Dynamic secure-region growth (§IV-C1).
+
+  /// Initial secure-region size (paper default: 64 MiB; the -Adj
+  /// configuration uses 1 GiB).
+  u64 secure_region_init = MiB(64);
+  /// Pages added per secure-region adjustment step.
+  u64 adjustment_chunk_pages = 1024;  // 4 MiB per step.
+
+  /// Clang-CFI cost model: cycles charged per instrumented indirect call
+  /// executed in kernel mode (jump-table range check + bounds branch,
+  /// a handful of instructions on an in-order-ish small core).
+  bool cfi = true;
+  Cycles cfi_check_cost = 6;
+
+  /// Related-work comparison mode (paper §VI-4, Penglai-style): instead of
+  /// PTStore's direct ld.pt/sd.pt, every page-table write traps into an
+  /// M-mode monitor that re-validates the mapping before applying it. Same
+  /// protection goal, very different cost structure. Only meaningful with
+  /// `ptstore` enabled (the secure region still exists; the access path
+  /// changes).
+  bool monitor_checked_pt_writes = false;
+  /// Cycles per monitor-validated PT write: ecall round trip + the
+  /// monitor's mapping-ownership checks.
+  Cycles monitor_pt_write_cost = 600;
+
+  /// ASID assigned to kernel/global mappings.
+  u16 kernel_asid = 0;
+};
+
+}  // namespace ptstore

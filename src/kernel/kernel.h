@@ -1,0 +1,144 @@
+// Kernel facade: boots the machine model (SBI → secure region → zones →
+// swapper page table → satp with the S-bit → init process) and exposes the
+// subsystems plus a syscall layer for the workload drivers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "kernel/kconfig.h"
+#include "kernel/process.h"
+#include "sbi/sbi.h"
+
+namespace ptstore {
+
+/// Syscall kinds modelled by the kernel (the LMBench-relevant surface plus
+/// what the macro workloads need).
+enum class Sys : u8 {
+  kNull = 0,   ///< Minimal syscall (LMBench "null": getppid).
+  kRead,       ///< 1-byte read from /dev/zero.
+  kWrite,      ///< 1-byte write to /dev/null.
+  kStat,       ///< Path lookup + stat.
+  kFstat,      ///< stat on open fd.
+  kOpenClose,  ///< open + close of a file.
+  kSelect,     ///< select on 10 fds.
+  kSigInstall, ///< sigaction.
+  kSigHandle,  ///< Signal delivery + handler return.
+  kPipe,       ///< Pipe round-trip (two processes).
+  kFork,       ///< fork + wait + child exit.
+  kForkExec,   ///< fork + execve + wait.
+  kMmap,       ///< mmap of a region.
+  kMunmap,
+  kMprotect,
+  kBrk,
+  kGetpid,
+  kSendRecv,   ///< Socket send+recv pair (NGINX/Redis model).
+  kAcceptClose,///< accept + close of a connection.
+};
+
+const char* to_string(Sys s);
+
+/// Per-syscall cost model: abstract kernel-body instructions and the number
+/// of CFI-instrumented indirect calls on the path. The *structural* work
+/// (allocations, page-table writes, token ops, satp updates) is performed
+/// for real by the subsystems and charged through the architectural access
+/// path — these constants cover only the remaining straight-line kernel code.
+struct SyscallCost {
+  u64 body_instrs = 0;
+  u64 indirect_calls = 0;
+};
+
+SyscallCost syscall_cost(Sys s);
+
+class Kernel {
+ public:
+  Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg);
+  ~Kernel();
+
+  /// Boot the kernel. Must be called exactly once before anything else.
+  /// Returns false if the machine is too small for the configuration.
+  bool boot();
+
+  // ---- subsystems ----
+  KernelMem& kmem() { return *kmem_; }
+  PageAllocator& pages() { return *pages_; }
+  PageTableManager& pagetables() { return *pt_; }
+  TokenManager& tokens() { return *tokens_; }
+  ProcessManager& processes() { return *pm_; }
+  KmemCache& token_cache() { return *token_cache_; }
+  KmemCache& pcb_cache() { return *pcb_cache_; }
+  const KernelConfig& config() const { return cfg_; }
+  Core& core() { return core_; }
+  SbiMonitor& sbi() { return sbi_; }
+
+  Process* init_proc() { return init_; }
+  PhysAddr kernel_root() const { return kernel_root_; }
+
+  /// Secure-region growth (the PageAllocator's PTStore-zone grow hook):
+  /// alloc_contig_range adjacent to the boundary, donate to the PTStore
+  /// zone, move the PMP boundary via SBI (paper §IV-C1).
+  bool grow_secure_region(unsigned order);
+  u64 adjustments() const { return adjustments_; }
+
+  /// Execute one syscall for `proc`: trap entry/exit, CFI checks, the
+  /// syscall body cost, and the real subsystem work. Returns false when the
+  /// operation legitimately failed (e.g. OOM).
+  bool syscall(Process& proc, Sys s);
+
+  /// Simulate one user-mode access at `va` (8 bytes): U-mode translation
+  /// through the real MMU; on a page fault the kernel demand-pages and
+  /// retries. Returns false on segfault.
+  bool user_access(Process& proc, VirtAddr va, bool write);
+
+  /// Charge `n` CFI indirect-call checks (kernel-mode code only).
+  void cfi_charge(u64 n) {
+    if (cfg_.cfi) core_.add_cycles(n * cfg_.cfi_check_cost);
+  }
+
+  /// Charge the kernel trap entry/exit path (ecall or fault).
+  void charge_trap_roundtrip();
+
+  const StatSet& stats() const { return stats_; }
+
+  /// Attach the console UART at `uart_base` (mapped by System). With
+  /// PTStore active the window is placed under a guard region (§V-F), so
+  /// only the sd.pt-compiled driver path below may transmit.
+  bool attach_console(PhysAddr uart_base);
+  /// Transmit `bytes` through the UART driver. Returns false if a byte
+  /// write faulted (or no console is attached).
+  bool console_write(const std::string& bytes);
+  PhysAddr console_base() const { return uart_base_; }
+
+  /// Opt-in per-syscall latency collection (cycles per call), for the
+  /// tail-latency bench. Off by default — recording is cheap but not free.
+  void enable_latency_collection(bool on) { collect_latency_ = on; }
+  const std::map<Sys, Histogram>& syscall_latency() const { return latency_; }
+
+ private:
+  bool syscall_impl(Process& proc, Sys s);
+
+  Core& core_;
+  SbiMonitor& sbi_;
+  KernelConfig cfg_;
+
+  std::unique_ptr<KernelMem> kmem_;
+  std::unique_ptr<PageAllocator> pages_;
+  std::unique_ptr<PageTableManager> pt_;
+  std::unique_ptr<KmemCache> token_cache_;
+  std::unique_ptr<KmemCache> pcb_cache_;
+  std::unique_ptr<TokenManager> tokens_;
+  std::unique_ptr<ProcessManager> pm_;
+
+  PhysAddr kernel_root_ = 0;
+  PhysAddr uart_base_ = 0;
+  Process* init_ = nullptr;
+  u64 adjustments_ = 0;
+  bool booted_ = false;
+  bool collect_latency_ = false;
+  std::map<Sys, Histogram> latency_;
+  StatSet stats_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,99 @@
+// Kernel memory accessor: every load/store the kernel model performs goes
+// through the simulated core's full access path (MMU translation, PMP with
+// access-kind semantics, cache timing) exactly as if it were an executed
+// S-mode instruction.
+//
+// The pt_* accessors model the kernel's page-table manipulation code, which
+// PTStore compiles to the dedicated ld.pt/sd.pt instructions (paper §IV-C2).
+// On a baseline kernel (ptstore=false) they degrade to regular ld/sd — the
+// unmodified set_pXd() macros.
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "cpu/core.h"
+
+namespace ptstore {
+
+/// Outcome of a kernel access. `ok == false` carries the architectural
+/// fault that the access raised (the attack scenarios assert on these).
+struct KAccess {
+  bool ok = false;
+  isa::TrapCause fault = isa::TrapCause::kNone;
+  u64 value = 0;
+};
+
+class KernelMem {
+ public:
+  /// `monitor_cost` > 0 enables the Penglai-style comparison mode (paper
+  /// §VI-4): every pt_sd additionally pays an M-mode monitor round trip
+  /// that re-validates the mapping.
+  KernelMem(Core& core, bool use_pt_insns, Cycles monitor_cost = 0)
+      : core_(core), pt_insns_(use_pt_insns), monitor_cost_(monitor_cost) {}
+
+  /// Regular 64-bit kernel load/store (ordinary instructions).
+  KAccess ld(VirtAddr va) { return do_access(va, AccessType::kRead, AccessKind::kRegular, 0); }
+  KAccess sd(VirtAddr va, u64 v) { return do_access(va, AccessType::kWrite, AccessKind::kRegular, v); }
+  KAccess lw(VirtAddr va) { return do_access(va, AccessType::kRead, AccessKind::kRegular, 0, 4); }
+  KAccess sw(VirtAddr va, u32 v) { return do_access(va, AccessType::kWrite, AccessKind::kRegular, v, 4); }
+
+  /// Page-table accessors: ld.pt/sd.pt when PTStore is compiled in.
+  KAccess pt_ld(VirtAddr va) {
+    return do_access(va, AccessType::kRead,
+                     pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, 0);
+  }
+  KAccess pt_sd(VirtAddr va, u64 v) {
+    if (monitor_cost_ != 0) core_.add_cycles(monitor_cost_);
+    return do_access(va, AccessType::kWrite,
+                     pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, v);
+  }
+
+  /// Panic-on-fault variants for accesses the kernel knows must succeed.
+  u64 must_ld(VirtAddr va);
+  void must_sd(VirtAddr va, u64 v);
+  u64 must_pt_ld(VirtAddr va);
+  void must_pt_sd(VirtAddr va, u64 v);
+
+  /// Zero / copy whole pages through the architectural access path,
+  /// charging one store (or load+store) per 64-bit word.
+  KAccess pt_zero_page(VirtAddr page_va);
+  KAccess pt_copy_page(VirtAddr dst_va, VirtAddr src_va);
+
+  // Bulk fast paths: perform ONE architecturally-checked probe access (so
+  // PMP/MMU protection is still enforced on the target page), then complete
+  // the operation host-side and charge the cycles the per-word loop would
+  // have cost. Semantically identical to the per-word loops; used on hot
+  // kernel paths (fork storms, demand-zeroing) to keep simulation tractable.
+  KAccess pt_bulk_zero(VirtAddr page_va);
+  KAccess pt_bulk_copy(VirtAddr dst_va, VirtAddr src_va);
+  /// All-zero page check through ld.pt (PTStore's §V-E3 defence), bulk form.
+  KAccess pt_bulk_is_zero(VirtAddr page_va);  ///< value = 1 if all zero.
+  /// Regular-store page zeroing (user page clearing), bulk form.
+  KAccess bulk_zero(VirtAddr page_va);
+
+  /// True if the kernel is compiled with the new instructions.
+  bool uses_pt_insns() const { return pt_insns_; }
+
+  Core& core() { return core_; }
+
+ private:
+  KAccess do_access(VirtAddr va, AccessType type, AccessKind kind, u64 value,
+                    unsigned size = 8);
+
+  Core& core_;
+  bool pt_insns_;
+  Cycles monitor_cost_;
+};
+
+/// Thrown when a must_* accessor faults — a kernel panic in the model.
+class KernelPanic : public std::exception {
+ public:
+  explicit KernelPanic(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,30 @@
+#include "kernel/page_alloc.h"
+
+namespace ptstore {
+
+std::optional<PhysAddr> PageAllocator::alloc_pages(Gfp gfp, unsigned order) {
+  if (gfp == Gfp::kPtStore) {
+    stats_.add("page_alloc.ptstore_requests");
+    auto pa = ptstore_.alloc_pages(order);
+    if (!pa && grow_) {
+      // Secure-region adjustment path (paper §IV-C1): grow, then retry.
+      stats_.add("page_alloc.adjustments_triggered");
+      if (grow_(order)) pa = ptstore_.alloc_pages(order);
+    }
+    return pa;
+  }
+  stats_.add(gfp == Gfp::kUser ? "page_alloc.user_requests"
+                               : "page_alloc.kernel_requests");
+  return normal_.alloc_pages(order);
+}
+
+void PageAllocator::free_pages(PhysAddr pa, unsigned order) {
+  const u64 len = u64{1} << (order + kPageShift);
+  if (ptstore_.contains(pa, len)) {
+    ptstore_.free_pages(pa, order);
+  } else {
+    normal_.free_pages(pa, order);
+  }
+}
+
+}  // namespace ptstore

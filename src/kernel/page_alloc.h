@@ -1,0 +1,51 @@
+// Zoned physical page allocator: the kernel's NORMAL zone plus PTStore's
+// dedicated zone at the top of physical memory, selected by GFP flags —
+// mirroring the paper's "add a PTStore zone at the high physical addresses,
+// and introduce a GFP_PTSTORE flag" (§IV-C1).
+#pragma once
+
+#include <functional>
+
+#include "common/stats.h"
+#include "kernel/buddy.h"
+
+namespace ptstore {
+
+/// GFP flags (the subset the model needs).
+enum class Gfp : u8 {
+  kKernel = 0,   ///< Normal-zone kernel allocation.
+  kUser = 1,     ///< Normal-zone user page.
+  kPtStore = 2,  ///< PTStore zone: page tables and tokens only.
+};
+
+class PageAllocator {
+ public:
+  /// `normal` spans [normal_base, ptstore_base); `ptstore` spans
+  /// [ptstore_base, dram_end).
+  PageAllocator(PhysAddr normal_base, PhysAddr ptstore_base, PhysAddr dram_end)
+      : normal_("NORMAL", normal_base, ptstore_base - normal_base),
+        ptstore_("PTSTORE", ptstore_base, dram_end - ptstore_base) {}
+
+  /// Hook invoked when the PTStore zone runs dry; should grow the zone
+  /// (secure-region adjustment) and return true if more pages are available.
+  using GrowHook = std::function<bool(unsigned order)>;
+  void set_grow_hook(GrowHook hook) { grow_ = std::move(hook); }
+
+  std::optional<PhysAddr> alloc_pages(Gfp gfp, unsigned order = 0);
+  void free_pages(PhysAddr pa, unsigned order = 0);
+
+  BuddyZone& normal() { return normal_; }
+  BuddyZone& ptstore() { return ptstore_; }
+  const BuddyZone& normal() const { return normal_; }
+  const BuddyZone& ptstore() const { return ptstore_; }
+
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  BuddyZone normal_;
+  BuddyZone ptstore_;
+  GrowHook grow_;
+  StatSet stats_;
+};
+
+}  // namespace ptstore

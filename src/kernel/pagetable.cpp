@@ -1,0 +1,182 @@
+#include "kernel/pagetable.h"
+
+#include "common/bits.h"
+
+namespace ptstore {
+
+namespace {
+u64 vpn_index(VirtAddr va, unsigned level) { return bits(va, 12 + 9 * level, 9); }
+}
+
+std::optional<PhysAddr> PageTableManager::alloc_pt_page(PtStatus* st) {
+  const Gfp gfp = cfg_.ptstore ? Gfp::kPtStore : Gfp::kKernel;
+  const auto page = pages_.alloc_pages(gfp, 0);
+  if (!page) {
+    if (st != nullptr) *st = PtStatus{false, false, true, isa::TrapCause::kNone};
+    return std::nullopt;
+  }
+  if (cfg_.ptstore && cfg_.zero_check) {
+    // §V-E3: a genuinely free page is all-zero; a page the (corrupted)
+    // allocator re-handed out while in use as a page table is not.
+    const KAccess z = kmem_.pt_bulk_is_zero(*page);
+    if (!z.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, z.fault};
+      return std::nullopt;
+    }
+    if (z.value == 0) {
+      if (st != nullptr) *st = PtStatus{false, true, false, isa::TrapCause::kNone};
+      return std::nullopt;
+    }
+  } else {
+    // Unchecked kernels still zero fresh PT pages.
+    const KAccess z = kmem_.pt_bulk_zero(*page);
+    if (!z.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, z.fault};
+      return std::nullopt;
+    }
+  }
+  ++pt_pages_allocated_;
+  if (st != nullptr) *st = PtStatus::success();
+  return page;
+}
+
+void PageTableManager::free_pt_page(PhysAddr pa) {
+  // The PTStore kernel zeroes page-table pages on free so the §V-E3
+  // all-zero check holds for genuinely free pages; this pass (plus the
+  // read-back check on alloc) is PTStore's extra per-PT-page cost. The
+  // baseline kernel zeroes on allocation instead (GFP_ZERO) — one pass.
+  if (cfg_.ptstore && cfg_.zero_check) {
+    (void)kmem_.pt_bulk_zero(pa);
+  } else {
+    // Keep the architectural contents zeroed either way (the model's
+    // allocators hand pages to other subsystems); charge nothing extra —
+    // the baseline already paid its single zeroing pass at alloc time.
+    kmem_.core().mem().fill(pa, 0, kPageSize);
+  }
+  pages_.free_pages(pa, 0);
+  --pt_pages_allocated_;
+}
+
+std::optional<PhysAddr> PageTableManager::create_kernel_root(PhysAddr dram_end,
+                                                             PtStatus* st) {
+  const auto root = alloc_pt_page(st);
+  if (!root) return std::nullopt;
+  const u64 giga = u64{1} << 30;
+  const u64 top = align_up(dram_end, giga);
+  for (PhysAddr pa = 0; pa < top; pa += giga) {
+    const u64 flags = pte::kV | pte::kR | pte::kW | pte::kX | pte::kA | pte::kD | pte::kG;
+    const u64 entry = pte::make_from_pa(pa, flags);
+    const KAccess w = kmem_.pt_sd(*root + vpn_index(pa, 2) * kPteSize, entry);
+    if (!w.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, w.fault};
+      return std::nullopt;
+    }
+  }
+  return root;
+}
+
+std::optional<PhysAddr> PageTableManager::create_user_root(
+    PhysAddr kernel_root, std::vector<PhysAddr>* pt_pages, PtStatus* st) {
+  const auto root = alloc_pt_page(st);
+  if (!root) return std::nullopt;
+  // Copy the global kernel entries (direct map) into the new root.
+  for (unsigned i = 0; i < kUserRootIndex; ++i) {
+    const KAccess r = kmem_.pt_ld(kernel_root + i * kPteSize);
+    if (!r.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, r.fault};
+      return std::nullopt;
+    }
+    if (r.value == 0) continue;
+    const KAccess w = kmem_.pt_sd(*root + i * kPteSize, r.value);
+    if (!w.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, w.fault};
+      return std::nullopt;
+    }
+  }
+  if (pt_pages != nullptr) pt_pages->push_back(*root);
+  return root;
+}
+
+std::optional<PhysAddr> PageTableManager::walk_to_slot(PhysAddr root, VirtAddr va,
+                                                       bool alloc,
+                                                       std::vector<PhysAddr>* pt_pages,
+                                                       PtStatus* st) {
+  PhysAddr table = root;
+  for (unsigned level = 2; level > 0; --level) {
+    const PhysAddr slot = table + vpn_index(va, level) * kPteSize;
+    const KAccess r = kmem_.pt_ld(slot);
+    if (!r.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, r.fault};
+      return std::nullopt;
+    }
+    if (pte::is_table(r.value)) {
+      table = pte::pa(r.value);
+      continue;
+    }
+    if (pte::is_leaf(r.value)) {
+      // Splitting superpages is not needed by the model.
+      if (st != nullptr) *st = PtStatus{false, false, false, isa::TrapCause::kNone};
+      return std::nullopt;
+    }
+    if (!alloc) {
+      if (st != nullptr) *st = PtStatus{false, false, false, isa::TrapCause::kNone};
+      return std::nullopt;
+    }
+    const auto next = alloc_pt_page(st);
+    if (!next) return std::nullopt;
+    if (pt_pages != nullptr) pt_pages->push_back(*next);
+    const KAccess w = kmem_.pt_sd(slot, pte::make_from_pa(*next, pte::kV));
+    if (!w.ok) {
+      if (st != nullptr) *st = PtStatus{false, false, false, w.fault};
+      return std::nullopt;
+    }
+    table = *next;
+  }
+  if (st != nullptr) *st = PtStatus::success();
+  return table + vpn_index(va, 0) * kPteSize;
+}
+
+PtStatus PageTableManager::map_page(PhysAddr root, VirtAddr va, PhysAddr pa, u64 flags,
+                                    std::vector<PhysAddr>* pt_pages) {
+  PtStatus st;
+  const auto slot = walk_to_slot(root, va, /*alloc=*/true, pt_pages, &st);
+  if (!slot) return st;
+  const KAccess w = kmem_.pt_sd(*slot, pte::make_from_pa(pa, flags | pte::kV));
+  if (!w.ok) return PtStatus{false, false, false, w.fault};
+  return PtStatus::success();
+}
+
+PtStatus PageTableManager::unmap_page(PhysAddr root, VirtAddr va) {
+  PtStatus st;
+  const auto slot = walk_to_slot(root, va, /*alloc=*/false, nullptr, &st);
+  if (!slot) return st;
+  const KAccess w = kmem_.pt_sd(*slot, 0);
+  if (!w.ok) return PtStatus{false, false, false, w.fault};
+  return PtStatus::success();
+}
+
+PtStatus PageTableManager::protect_page(PhysAddr root, VirtAddr va, u64 new_flags) {
+  PtStatus st;
+  const auto slot = walk_to_slot(root, va, /*alloc=*/false, nullptr, &st);
+  if (!slot) return st;
+  const KAccess r = kmem_.pt_ld(*slot);
+  if (!r.ok) return PtStatus{false, false, false, r.fault};
+  if (!pte::is_leaf(r.value)) return PtStatus{false, false, false, isa::TrapCause::kNone};
+  const u64 entry = pte::make(pte::ppn(r.value),
+                              (new_flags | pte::kV) & mask_lo(10)) |
+                    (r.value & (pte::kA | pte::kD));
+  const KAccess w = kmem_.pt_sd(*slot, entry);
+  if (!w.ok) return PtStatus{false, false, false, w.fault};
+  return PtStatus::success();
+}
+
+std::optional<u64> PageTableManager::read_pte(PhysAddr root, VirtAddr va) {
+  PtStatus st;
+  const auto slot = walk_to_slot(root, va, /*alloc=*/false, nullptr, &st);
+  if (!slot) return std::nullopt;
+  const KAccess r = kmem_.pt_ld(*slot);
+  if (!r.ok) return std::nullopt;
+  return r.value;
+}
+
+}  // namespace ptstore

@@ -1,0 +1,88 @@
+// Sv39 page-table management for the kernel model (the paper's §IV-C
+// kernel extensions): page-table pages are allocated with GFP_PTSTORE and
+// every PTE access goes through the pt accessors (ld.pt/sd.pt when PTStore
+// is compiled in). New page-table pages are verified all-zero before use —
+// the defence against allocator-metadata attacks (§V-E3).
+#pragma once
+
+#include <vector>
+
+#include "kernel/kconfig.h"
+#include "kernel/kmem.h"
+#include "kernel/page_alloc.h"
+#include "mmu/pte.h"
+
+namespace ptstore {
+
+/// Lowest user-space virtual address. Sv39 root indices below
+/// kUserRootIndex hold the global kernel direct map; user mappings start at
+/// index kUserRootIndex.
+inline constexpr VirtAddr kUserSpaceBase = u64{64} << 30;  // 64 GiB
+inline constexpr unsigned kUserRootIndex = 64;
+
+/// Outcome of a page-table operation.
+struct PtStatus {
+  bool ok = false;
+  /// Set when the all-zero check rejected a freshly allocated PT page —
+  /// an allocator-metadata attack was caught.
+  bool attack_detected = false;
+  /// Set when the backing zone was exhausted.
+  bool oom = false;
+  isa::TrapCause fault = isa::TrapCause::kNone;
+
+  static PtStatus success() { return {true, false, false, isa::TrapCause::kNone}; }
+};
+
+class PageTableManager {
+ public:
+  PageTableManager(KernelMem& kmem, PageAllocator& pages, const KernelConfig& cfg)
+      : kmem_(kmem), pages_(pages), cfg_(cfg) {}
+
+  /// Allocate + validate one page-table page. When PTStore is on the page
+  /// comes from the PTStore zone and must read back all-zero (§V-E3).
+  std::optional<PhysAddr> alloc_pt_page(PtStatus* st);
+  /// Zero and release a page-table page.
+  void free_pt_page(PhysAddr pa);
+
+  /// Build the kernel root table ("swapper_pg_dir"): identity map of
+  /// [0, dram_end) as global RWX 1 GiB pages covering DRAM and MMIO space.
+  std::optional<PhysAddr> create_kernel_root(PhysAddr dram_end, PtStatus* st);
+
+  /// New user root: kernel entries copied from the kernel root, user part
+  /// empty. The allocated root page is appended to *pt_pages.
+  std::optional<PhysAddr> create_user_root(PhysAddr kernel_root,
+                                           std::vector<PhysAddr>* pt_pages,
+                                           PtStatus* st);
+
+  /// Map one 4 KiB page. Intermediate tables are allocated as needed and
+  /// appended to *pt_pages (may be null for kernel mappings).
+  PtStatus map_page(PhysAddr root, VirtAddr va, PhysAddr pa, u64 flags,
+                    std::vector<PhysAddr>* pt_pages);
+
+  /// Clear the leaf PTE for va. Intermediate tables are not reclaimed here
+  /// (freed wholesale at address-space teardown, as Linux does).
+  PtStatus unmap_page(PhysAddr root, VirtAddr va);
+
+  /// Rewrite the permission bits of an existing leaf PTE.
+  PtStatus protect_page(PhysAddr root, VirtAddr va, u64 new_flags);
+
+  /// Read the leaf PTE mapping va (tests and fault handling). Zero if the
+  /// walk hits a non-present entry.
+  std::optional<u64> read_pte(PhysAddr root, VirtAddr va);
+
+  /// Number of PT pages currently allocated (root + interior + leaf tables).
+  u64 pt_pages_allocated() const { return pt_pages_allocated_; }
+
+ private:
+  /// Walk to the PTE slot for va at level 0, allocating interior tables
+  /// when `alloc` is set. Returns the slot's physical address.
+  std::optional<PhysAddr> walk_to_slot(PhysAddr root, VirtAddr va, bool alloc,
+                                       std::vector<PhysAddr>* pt_pages, PtStatus* st);
+
+  KernelMem& kmem_;
+  PageAllocator& pages_;
+  const KernelConfig& cfg_;
+  u64 pt_pages_allocated_ = 0;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,88 @@
+#include "kernel/slab.h"
+
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace ptstore {
+
+KmemCache::KmemCache(std::string name, u64 obj_size, Gfp gfp, PageAllocator& pages,
+                     KernelMem& kmem, Ctor ctor)
+    : name_(std::move(name)),
+      obj_size_(align_up(obj_size, 8)),
+      gfp_(gfp),
+      pages_(pages),
+      kmem_(kmem),
+      ctor_(std::move(ctor)) {
+  assert(obj_size_ >= 8 && obj_size_ <= kPageSize);
+}
+
+bool KmemCache::grow() {
+  const auto page = pages_.alloc_pages(gfp_, 0);
+  if (!page) return false;
+  slabs_.insert(*page);
+  const u64 per_page = kPageSize / obj_size_;
+  for (u64 i = 0; i < per_page; ++i) {
+    const PhysAddr obj = *page + i * obj_size_;
+    if (ctor_) ctor_(kmem_, obj);
+    free_objs_.insert(obj);
+  }
+  return true;
+}
+
+std::optional<PhysAddr> KmemCache::alloc() {
+  if (forced_) {
+    // Corrupted-freelist path: hand out the attacker-planted pointer.
+    const PhysAddr pa = *forced_;
+    forced_.reset();
+    live_objs_.insert(pa);
+    ++in_use_;
+    return pa;
+  }
+  if (free_objs_.empty() && !grow()) return std::nullopt;
+  const PhysAddr obj = *free_objs_.begin();
+  free_objs_.erase(free_objs_.begin());
+  live_objs_.insert(obj);
+  ++in_use_;
+  return obj;
+}
+
+void KmemCache::free(PhysAddr obj) {
+  assert(live_objs_.count(obj) != 0 && "double free or foreign object");
+  live_objs_.erase(obj);
+  free_objs_.insert(obj);
+  --in_use_;
+}
+
+bool KmemCache::is_live_object(PhysAddr pa) const { return live_objs_.count(pa) != 0; }
+
+bool KmemCache::check_invariants(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (in_use_ != live_objs_.size()) return fail("in_use mismatch");
+  for (const PhysAddr obj : free_objs_) {
+    if (live_objs_.count(obj) != 0) return fail("object both free and live");
+  }
+  const u64 per_page = kPageSize / obj_size_;
+  u64 total = 0;
+  for (const PhysAddr slab : slabs_) {
+    for (u64 i = 0; i < per_page; ++i) {
+      const PhysAddr obj = slab + i * obj_size_;
+      total += (free_objs_.count(obj) != 0 || live_objs_.count(obj) != 0) ? 1 : 0;
+    }
+  }
+  // Every slab slot is either free or live (forced attack objects excepted).
+  u64 foreign = 0;
+  for (const PhysAddr obj : live_objs_) {
+    const PhysAddr page = align_down(obj, kPageSize);
+    if (slabs_.count(page) == 0) ++foreign;
+  }
+  if (total + foreign != free_objs_.size() + live_objs_.size()) {
+    return fail("slab slot accounting mismatch");
+  }
+  return true;
+}
+
+}  // namespace ptstore

@@ -1,0 +1,68 @@
+#include "kernel/system.h"
+
+namespace ptstore {
+
+SystemConfig SystemConfig::baseline() {
+  SystemConfig cfg;
+  cfg.core.ptstore_enabled = false;
+  cfg.kernel.ptstore = false;
+  cfg.kernel.cfi = false;
+  return cfg;
+}
+
+SystemConfig SystemConfig::cfi() {
+  SystemConfig cfg = baseline();
+  cfg.kernel.cfi = true;
+  return cfg;
+}
+
+SystemConfig SystemConfig::cfi_ptstore() {
+  SystemConfig cfg;
+  cfg.core.ptstore_enabled = true;
+  cfg.kernel.ptstore = true;
+  cfg.kernel.cfi = true;
+  cfg.kernel.secure_region_init = MiB(64);
+  return cfg;
+}
+
+SystemConfig SystemConfig::cfi_ptstore_noadj() {
+  SystemConfig cfg = cfi_ptstore();
+  // The -Adj configuration of §V-D1: a 1 GiB region sized so no adjustment
+  // ever triggers (scaled to DRAM if the machine is smaller than 2 GiB).
+  cfg.kernel.secure_region_init = std::min<u64>(GiB(1), cfg.dram_size / 2);
+  cfg.kernel.allow_adjustment = false;
+  return cfg;
+}
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  mem_ = std::make_unique<PhysMem>(kDramBase, cfg.dram_size);
+  if (cfg.console_uart) mem_->map_device(kUartBase, UartDevice::kWindowSize, &uart_);
+  core_ = std::make_unique<Core>(*mem_, cfg.core);
+  sbi_ = std::make_unique<SbiMonitor>(*core_);
+  kernel_ = std::make_unique<Kernel>(*core_, *sbi_, cfg.kernel);
+  if (!kernel_->boot()) {
+    throw std::runtime_error("PTStore system failed to boot; check DRAM size "
+                             "vs. secure-region configuration");
+  }
+  if (cfg.console_uart && !kernel_->attach_console(kUartBase)) {
+    throw std::runtime_error("console UART attachment failed");
+  }
+}
+
+System::~System() = default;
+
+StatSet System::report() const {
+  StatSet out = core_->merged_stats();
+  out.merge(kernel_->stats());
+  out.merge(kernel_->processes().stats());
+  out.merge(kernel_->pages().stats());
+  out.set("kernel.pt_pages_live", kernel_->pagetables().pt_pages_allocated());
+  out.set("kernel.tokens_live", kernel_->token_cache().objects_in_use());
+  out.set("kernel.processes_live", kernel_->processes().live_count());
+  if (sbi_->initialized()) {
+    out.set("sbi.secure_region_bytes", sbi_->sr_get().size());
+  }
+  return out;
+}
+
+}  // namespace ptstore

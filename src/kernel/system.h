@@ -1,0 +1,68 @@
+// Top-level facade: one simulated machine (memory + core + firmware) with a
+// booted kernel. This is the public entry point for examples, tests, and
+// the benchmark harness.
+//
+//   SystemConfig cfg = SystemConfig::cfi_ptstore();
+//   System sys(cfg);            // boots; throws on misconfiguration
+//   Process& p = sys.init();
+//   sys.kernel().syscall(p, Sys::kFork);
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "mem/uart.h"
+
+namespace ptstore {
+
+/// Physical window of the console UART mapped by System.
+inline constexpr PhysAddr kUartBase = 0x1001'0000;
+
+struct SystemConfig {
+  u64 dram_size = MiB(512);
+  /// Map a console UART at kUartBase and (with PTStore) guard it (§V-F).
+  bool console_uart = true;
+  CoreConfig core;
+  KernelConfig kernel;
+
+  /// The four evaluation configurations of the paper (§V-D).
+  static SystemConfig baseline();     ///< No CFI, no PTStore.
+  static SystemConfig cfi();          ///< Clang CFI only.
+  static SystemConfig cfi_ptstore();  ///< CFI + PTStore, 64 MiB region.
+  static SystemConfig cfi_ptstore_noadj();  ///< CFI + PTStore, 1 GiB region,
+                                            ///< adjustments disabled (-Adj).
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+  ~System();
+
+  PhysMem& mem() { return *mem_; }
+  UartDevice& uart() { return uart_; }
+  Core& core() { return *core_; }
+  SbiMonitor& sbi() { return *sbi_; }
+  Kernel& kernel() { return *kernel_; }
+  Process& init() { return *kernel_->init_proc(); }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Total cycles elapsed on the core.
+  Cycles cycles() const { return core_->cycles(); }
+
+  /// One merged StatSet over the whole machine: hardware counters (core,
+  /// caches, TLBs, MMU) plus kernel/process/allocator counters — the
+  /// observability surface for benches and postmortems.
+  StatSet report() const;
+
+ private:
+  SystemConfig cfg_;
+  UartDevice uart_;
+  std::unique_ptr<PhysMem> mem_;
+  std::unique_ptr<Core> core_;
+  std::unique_ptr<SbiMonitor> sbi_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,38 @@
+#include "kernel/token.h"
+
+namespace ptstore {
+
+std::optional<PhysAddr> TokenManager::issue(PhysAddr pcb_token_field, PhysAddr pgd) {
+  const auto tok = cache_.alloc();
+  if (!tok) return std::nullopt;
+  const KAccess w1 = kmem_.pt_sd(*tok + kTokenPtPtrOff, pgd);
+  const KAccess w2 = kmem_.pt_sd(*tok + kTokenUserPtrOff, pcb_token_field);
+  if (!w1.ok || !w2.ok) {
+    cache_.free(*tok);
+    return std::nullopt;
+  }
+  return tok;
+}
+
+std::optional<PhysAddr> TokenManager::copy(PhysAddr src_token,
+                                           PhysAddr new_pcb_token_field) {
+  const KAccess pt = kmem_.pt_ld(src_token + kTokenPtPtrOff);
+  if (!pt.ok) return std::nullopt;
+  return issue(new_pcb_token_field, pt.value);
+}
+
+void TokenManager::clear(PhysAddr token) {
+  (void)kmem_.pt_sd(token + kTokenPtPtrOff, 0);
+  (void)kmem_.pt_sd(token + kTokenUserPtrOff, 0);
+  cache_.free(token);
+}
+
+bool TokenManager::validate(PhysAddr token, PhysAddr pcb_token_field, PhysAddr pgd) {
+  if (token == 0) return false;
+  const KAccess user = kmem_.pt_ld(token + kTokenUserPtrOff);
+  const KAccess pt = kmem_.pt_ld(token + kTokenPtPtrOff);
+  if (!user.ok || !pt.ok) return false;
+  return user.value == pcb_token_field && pt.value == pgd;
+}
+
+}  // namespace ptstore

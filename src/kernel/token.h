@@ -1,0 +1,53 @@
+// PTStore's token mechanism (paper §III-C3, Fig. 3).
+//
+// A token is a 16-byte object in the secure region:
+//   +0  pt_ptr   — the page-table root this token protects
+//   +8  user_ptr — physical address of the token-pointer field inside the
+//                  PCB that legitimately owns this page-table pointer
+//
+// The PCB (in ordinary, attackable memory) stores a pointer to its token.
+// A page-table pointer is accepted (e.g. before writing satp on a context
+// switch) only if its token, read through ld.pt, points back at the PCB's
+// token field AND records the same page-table root. An attacker who rewires
+// pcb.pgd or pcb.token cannot forge the secure-region side of this binding.
+//
+// Both fields are 8-byte-aligned pointers, so every token word has its low
+// 3 bits clear — reinterpreted as a PTE its V bit is 0, which is why token
+// storage can never be reused as a fake page table (§V-E2).
+#pragma once
+
+#include "kernel/slab.h"
+
+namespace ptstore {
+
+inline constexpr u64 kTokenSize = 16;
+inline constexpr u64 kTokenPtPtrOff = 0;
+inline constexpr u64 kTokenUserPtrOff = 8;
+
+class TokenManager {
+ public:
+  TokenManager(KernelMem& kmem, KmemCache& cache) : kmem_(kmem), cache_(cache) {}
+
+  /// Issue a token binding `pgd` to the PCB whose token-pointer field lives
+  /// at `pcb_token_field`. Returns the token's physical address.
+  std::optional<PhysAddr> issue(PhysAddr pcb_token_field, PhysAddr pgd);
+
+  /// Copy a token for a legitimate duplication of the page-table pointer
+  /// (fork): a fresh token bound to the new PCB, protecting the same root.
+  std::optional<PhysAddr> copy(PhysAddr src_token, PhysAddr new_pcb_token_field);
+
+  /// Clear and release a token (process exit).
+  void clear(PhysAddr token);
+
+  /// Validate the binding: token.user_ptr == pcb_token_field and
+  /// token.pt_ptr == pgd. Reads go through ld.pt and charge cycles.
+  bool validate(PhysAddr token, PhysAddr pcb_token_field, PhysAddr pgd);
+
+  KmemCache& cache() { return cache_; }
+
+ private:
+  KernelMem& kmem_;
+  KmemCache& cache_;
+};
+
+}  // namespace ptstore

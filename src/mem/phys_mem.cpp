@@ -1,0 +1,140 @@
+#include "mem/phys_mem.h"
+
+#include <cassert>
+
+namespace ptstore {
+
+bool PhysMem::map_device(PhysAddr base, u64 size, MmioDevice* dev) {
+  if (size == 0 || dev == nullptr) return false;
+  if (ranges_overlap(base, size, dram_base_, dram_size_)) return false;
+  for (const auto& w : devices_) {
+    if (ranges_overlap(base, size, w.base, w.size)) return false;
+  }
+  devices_.push_back(Window{base, size, dev});
+  return true;
+}
+
+const PhysMem::Window* PhysMem::find_device(PhysAddr pa, u64 size) const {
+  for (const auto& w : devices_) {
+    if (range_contains(w.base, w.size, pa, size)) return &w;
+  }
+  return nullptr;
+}
+
+u8* PhysMem::frame_for(PhysAddr pa) {
+  const u64 frame = (pa - dram_base_) >> kPageShift;
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    auto buf = std::make_unique<u8[]>(kPageSize);
+    std::memset(buf.get(), 0, kPageSize);
+    it = frames_.emplace(frame, std::move(buf)).first;
+  }
+  return it->second.get();
+}
+
+u64 PhysMem::read(PhysAddr pa, unsigned size) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  if (const Window* w = find_device(pa, size)) {
+    return w->dev->mmio_read(pa - w->base, size);
+  }
+  assert(is_dram(pa, size) && "physical read outside backed memory");
+  u64 v = 0;
+  read_block(pa, &v, size);
+  return v;
+}
+
+void PhysMem::write(PhysAddr pa, unsigned size, u64 value) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  if (const Window* w = find_device(pa, size)) {
+    w->dev->mmio_write(pa - w->base, size, value);
+    return;
+  }
+  assert(is_dram(pa, size) && "physical write outside backed memory");
+  write_block(pa, &value, size);
+}
+
+void PhysMem::read_block(PhysAddr pa, void* out, u64 len) {
+  assert(is_dram(pa, len));
+  u8* dst = static_cast<u8*>(out);
+  while (len > 0) {
+    const u64 frame = (pa - dram_base_) >> kPageShift;
+    const u64 off = (pa - dram_base_) & kPageMask;
+    const u64 chunk = std::min<u64>(len, kPageSize - off);
+    // Reads never materialize frames: untouched memory is zero.
+    auto it = frames_.find(frame);
+    if (it == frames_.end()) {
+      std::memset(dst, 0, chunk);
+    } else {
+      std::memcpy(dst, it->second.get() + off, chunk);
+    }
+    pa += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+}
+
+void PhysMem::write_block(PhysAddr pa, const void* in, u64 len) {
+  assert(is_dram(pa, len));
+  const u8* src = static_cast<const u8*>(in);
+  while (len > 0) {
+    const u64 off = (pa - dram_base_) & kPageMask;
+    const u64 chunk = std::min<u64>(len, kPageSize - off);
+    std::memcpy(frame_for(pa) + off, src, chunk);
+    pa += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+}
+
+void PhysMem::fill(PhysAddr pa, u8 byte, u64 len) {
+  assert(is_dram(pa, len));
+  while (len > 0) {
+    const u64 off = (pa - dram_base_) & kPageMask;
+    const u64 chunk = std::min<u64>(len, kPageSize - off);
+    std::memset(frame_for(pa) + off, byte, chunk);
+    pa += chunk;
+    len -= chunk;
+  }
+}
+
+bool PhysMem::is_zero(PhysAddr pa, u64 len) {
+  assert(is_dram(pa, len));
+  while (len > 0) {
+    const u64 frame = (pa - dram_base_) >> kPageShift;
+    const u64 off = (pa - dram_base_) & kPageMask;
+    const u64 chunk = std::min<u64>(len, kPageSize - off);
+    auto it = frames_.find(frame);
+    if (it != frames_.end()) {
+      const u8* p = it->second.get() + off;
+      for (u64 i = 0; i < chunk; ++i) {
+        if (p[i] != 0) return false;
+      }
+    }
+    // Unmaterialized frames are zero by construction.
+    pa += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+std::vector<std::pair<u64, std::vector<u8>>> PhysMem::snapshot_frames() const {
+  std::vector<std::pair<u64, std::vector<u8>>> out;
+  out.reserve(frames_.size());
+  for (const auto& [frame, buf] : frames_) {
+    out.emplace_back(frame, std::vector<u8>(buf.get(), buf.get() + kPageSize));
+  }
+  return out;
+}
+
+void PhysMem::restore_frames(
+    const std::vector<std::pair<u64, std::vector<u8>>>& frames) {
+  frames_.clear();
+  for (const auto& [frame, bytes] : frames) {
+    assert(bytes.size() == kPageSize);
+    auto buf = std::make_unique<u8[]>(kPageSize);
+    std::memcpy(buf.get(), bytes.data(), kPageSize);
+    frames_.emplace(frame, std::move(buf));
+  }
+}
+
+}  // namespace ptstore

@@ -1,0 +1,105 @@
+// Sparse physical memory model. DRAM frames are allocated lazily so a
+// multi-GiB simulated machine costs only what it touches. MMIO devices can
+// be attached to address windows outside DRAM (used by the generality demo
+// in examples/bare_metal_guard).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace ptstore {
+
+/// Interface for a memory-mapped device occupying a physical window.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  /// Read `size` bytes (1/2/4/8) at window-relative offset.
+  virtual u64 mmio_read(u64 offset, unsigned size) = 0;
+  /// Write `size` bytes (1/2/4/8) at window-relative offset.
+  virtual void mmio_write(u64 offset, unsigned size, u64 value) = 0;
+};
+
+/// Flat physical address space: one DRAM range plus optional MMIO windows.
+class PhysMem {
+ public:
+  /// DRAM occupies [dram_base, dram_base + dram_size).
+  PhysMem(PhysAddr dram_base, u64 dram_size)
+      : dram_base_(dram_base), dram_size_(dram_size) {}
+
+  PhysAddr dram_base() const { return dram_base_; }
+  u64 dram_size() const { return dram_size_; }
+  PhysAddr dram_end() const { return dram_base_ + dram_size_; }
+
+  bool is_dram(PhysAddr pa, u64 size = 1) const {
+    return range_contains(dram_base_, dram_size_, pa, size);
+  }
+
+  /// Attach an MMIO device at [base, base+size). Must not overlap DRAM or
+  /// other devices. Returns false on overlap.
+  bool map_device(PhysAddr base, u64 size, MmioDevice* dev);
+
+  bool is_mmio(PhysAddr pa, u64 size = 1) const { return find_device(pa, size) != nullptr; }
+
+  /// True if the address is backed by anything (DRAM or a device).
+  bool is_valid(PhysAddr pa, u64 size = 1) const {
+    return is_dram(pa, size) || is_mmio(pa, size);
+  }
+
+  // Typed accessors. Addresses must be valid; callers (the CPU / kernel
+  // accessors) perform validity + permission checks first and turn
+  // violations into access faults.
+  u8 read_u8(PhysAddr pa) { return static_cast<u8>(read(pa, 1)); }
+  u16 read_u16(PhysAddr pa) { return static_cast<u16>(read(pa, 2)); }
+  u32 read_u32(PhysAddr pa) { return static_cast<u32>(read(pa, 4)); }
+  u64 read_u64(PhysAddr pa) { return read(pa, 8); }
+
+  void write_u8(PhysAddr pa, u8 v) { write(pa, 1, v); }
+  void write_u16(PhysAddr pa, u16 v) { write(pa, 2, v); }
+  void write_u32(PhysAddr pa, u32 v) { write(pa, 4, v); }
+  void write_u64(PhysAddr pa, u64 v) { write(pa, 8, v); }
+
+  /// Little-endian read of `size` bytes (1/2/4/8); may cross frame borders
+  /// but not the DRAM/MMIO boundary.
+  u64 read(PhysAddr pa, unsigned size);
+  void write(PhysAddr pa, unsigned size, u64 value);
+
+  /// Bulk helpers for loaders and the kernel model.
+  void read_block(PhysAddr pa, void* out, u64 len);
+  void write_block(PhysAddr pa, const void* in, u64 len);
+  void fill(PhysAddr pa, u8 byte, u64 len);
+
+  /// True if every byte of [pa, pa+len) is zero. Used by the PTStore kernel's
+  /// zero-check defence against allocator-metadata attacks (paper §V-E3).
+  bool is_zero(PhysAddr pa, u64 len);
+
+  /// Number of DRAM frames materialized so far (for memory-pressure stats).
+  size_t resident_frames() const { return frames_.size(); }
+
+  /// Snapshot/restore of DRAM contents (machine checkpoints). Only
+  /// materialized frames are copied; restore drops all current frames.
+  std::vector<std::pair<u64, std::vector<u8>>> snapshot_frames() const;
+  void restore_frames(const std::vector<std::pair<u64, std::vector<u8>>>& frames);
+
+ private:
+  struct Window {
+    PhysAddr base;
+    u64 size;
+    MmioDevice* dev;
+  };
+
+  u8* frame_for(PhysAddr pa);
+  const Window* find_device(PhysAddr pa, u64 size) const;
+
+  PhysAddr dram_base_;
+  u64 dram_size_;
+  std::unordered_map<u64, std::unique_ptr<u8[]>> frames_;
+  std::vector<Window> devices_;
+};
+
+}  // namespace ptstore

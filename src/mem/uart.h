@@ -1,0 +1,38 @@
+// Minimal memory-mapped UART: a TX register and a status register. The
+// kernel can place it under a PTStore guard region (§V-F) so only
+// sd.pt-compiled driver code can transmit — the "critical MMIO registers"
+// generalization the paper sketches.
+#pragma once
+
+#include <string>
+
+#include "mem/phys_mem.h"
+
+namespace ptstore {
+
+class UartDevice : public MmioDevice {
+ public:
+  static constexpr u64 kTxOff = 0x0;      ///< Write: transmit low byte.
+  static constexpr u64 kStatusOff = 0x8;  ///< Read: bit0 = tx ready (always).
+  static constexpr u64 kWindowSize = kPageSize;
+
+  u64 mmio_read(u64 offset, unsigned) override {
+    if (offset == kStatusOff) return 1;  // Always ready.
+    return 0;
+  }
+
+  void mmio_write(u64 offset, unsigned, u64 value) override {
+    if (offset == kTxOff) {
+      tx_log_.push_back(static_cast<char>(value & 0xFF));
+    }
+  }
+
+  /// Everything transmitted so far (host-side observation point).
+  const std::string& transmitted() const { return tx_log_; }
+  void clear() { tx_log_.clear(); }
+
+ private:
+  std::string tx_log_;
+};
+
+}  // namespace ptstore

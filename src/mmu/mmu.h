@@ -1,0 +1,84 @@
+// Sv39 MMU: TLBs plus a hardware page-table walker implementing PTStore's
+// satp.S secure-region check — when enabled, every PTE fetch of the walk
+// must land in a PMP S=1 region or the access takes an access fault
+// (paper §III-C2 / §IV-A1). This is the mechanism that defeats PT-Injection:
+// a hijacked page-table pointer aimed at attacker-controlled normal memory
+// simply cannot be walked.
+#pragma once
+
+#include "cache/cache.h"
+#include "cache/tlb.h"
+#include "common/stats.h"
+#include "isa/csr.h"
+#include "isa/trap.h"
+#include "mem/phys_mem.h"
+#include "mmu/pte.h"
+#include "pmp/pmp.h"
+
+namespace ptstore {
+
+struct TranslateResult {
+  bool ok = false;
+  isa::TrapCause fault = isa::TrapCause::kNone;
+  PhysAddr pa = 0;
+  u64 leaf_pte = 0;
+  unsigned level = 0;
+  bool tlb_hit = false;
+  Cycles cycles = 0;  ///< PTW + PTE-fetch cycles charged to this translation.
+};
+
+/// Inputs the walker needs from the current hart state.
+struct TranslationContext {
+  Privilege priv = Privilege::kMachine;  ///< Effective privilege of the access.
+  bool sum = false;                      ///< mstatus.SUM
+  bool mxr = false;                      ///< mstatus.MXR
+};
+
+class Mmu {
+ public:
+  Mmu(PhysMem& mem, PmpUnit& pmp, const TlbConfig& itlb_cfg, const TlbConfig& dtlb_cfg,
+      Cache* ptw_cache = nullptr, Cache* l2 = nullptr)
+      : mem_(mem), pmp_(pmp), itlb_(itlb_cfg), dtlb_(dtlb_cfg), ptw_cache_(ptw_cache),
+        l2_(l2) {}
+
+  void set_satp(u64 v) { satp_ = v; }
+  u64 satp() const { return satp_; }
+
+  /// Translate `va` for an access of `type` issued by `kind`. Does NOT apply
+  /// the PMP check on the final physical address — the core does that per
+  /// access (which is what makes PTStore robust to stale TLB entries).
+  TranslateResult translate(VirtAddr va, AccessType type, AccessKind kind,
+                            const TranslationContext& ctx);
+
+  /// sfence.vma: flush both TLBs (all, by address, and/or by ASID).
+  void sfence(std::optional<VirtAddr> va, std::optional<u16> asid);
+
+  Tlb& itlb() { return itlb_; }
+  Tlb& dtlb() { return dtlb_; }
+  const Tlb& itlb() const { return itlb_; }
+  const Tlb& dtlb() const { return dtlb_; }
+  const StatSet& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  /// Reference (non-caching, non-faulting) translation used by property
+  /// tests to cross-check the walker. Returns nullopt on any fault.
+  std::optional<PhysAddr> reference_translate(VirtAddr va, AccessType type,
+                                              const TranslationContext& ctx);
+
+ private:
+  TranslateResult walk(VirtAddr va, AccessType type, AccessKind kind,
+                       const TranslationContext& ctx);
+  /// Apply leaf-PTE permission rules; returns kNone when access is allowed.
+  isa::TrapCause leaf_check(u64 leaf, AccessType type, const TranslationContext& ctx) const;
+
+  PhysMem& mem_;
+  PmpUnit& pmp_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  Cache* ptw_cache_;  ///< PTE fetches go through the D-cache when present.
+  Cache* l2_;         ///< Optional L2 behind the D-cache.
+  u64 satp_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,44 @@
+// Sv39 page-table entry layout and helpers.
+#pragma once
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace ptstore::pte {
+
+inline constexpr u64 kV = u64{1} << 0;
+inline constexpr u64 kR = u64{1} << 1;
+inline constexpr u64 kW = u64{1} << 2;
+inline constexpr u64 kX = u64{1} << 3;
+inline constexpr u64 kU = u64{1} << 4;
+inline constexpr u64 kG = u64{1} << 5;
+inline constexpr u64 kA = u64{1} << 6;
+inline constexpr u64 kD = u64{1} << 7;
+
+inline constexpr unsigned kPpnShift = 10;
+inline constexpr u64 kPpnMask = mask_lo(44) << kPpnShift;
+
+/// Build a PTE from a physical page number and flag bits.
+inline constexpr u64 make(u64 ppn, u64 flags) {
+  return ((ppn << kPpnShift) & kPpnMask) | (flags & mask_lo(10));
+}
+
+inline constexpr u64 make_from_pa(PhysAddr pa, u64 flags) {
+  return make(pa >> kPageShift, flags);
+}
+
+inline constexpr u64 ppn(u64 pte) { return (pte & kPpnMask) >> kPpnShift; }
+inline constexpr PhysAddr pa(u64 pte) { return ppn(pte) << kPageShift; }
+
+inline constexpr bool valid(u64 pte) { return (pte & kV) != 0; }
+/// A PTE with R=0,W=1 is reserved — treated as invalid (page fault).
+inline constexpr bool malformed(u64 pte) { return (pte & kW) && !(pte & kR); }
+/// Non-leaf (pointer to next level): V set, R/W/X all clear.
+inline constexpr bool is_table(u64 pte) {
+  return valid(pte) && (pte & (kR | kW | kX)) == 0;
+}
+inline constexpr bool is_leaf(u64 pte) {
+  return valid(pte) && (pte & (kR | kW | kX)) != 0;
+}
+
+}  // namespace ptstore::pte

@@ -1,0 +1,85 @@
+#include "sbi/sbi.h"
+
+#include "common/log.h"
+
+namespace ptstore {
+
+namespace {
+constexpr u8 kCfgTor = static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift;
+}
+
+void SbiMonitor::boot_init() {
+  // One wide-open TOR entry covering everything below DRAM end. S/U code can
+  // run; no secure region yet (satp.S is off until the kernel enables it).
+  // Entry 8 so guard entries 0..3 keep priority when added later.
+  const PhysAddr dram_end = core_.mem().dram_end();
+  core_.write_csr(isa::csr::kPmpaddr0 + kTorNormal, dram_end >> 2,
+                  Privilege::kMachine);
+  const u64 cfg = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kX | kCfgTor};
+  core_.write_csr(isa::csr::kPmpcfg2, cfg, Privilege::kMachine);
+}
+
+void SbiMonitor::program_pmp() {
+  // pmp8: [0, base) RWX; pmp9: [base, end) RW+S (TOR chains off pmpaddr8).
+  core_.write_csr(isa::csr::kPmpaddr0 + kTorNormal, region_.base >> 2,
+                  Privilege::kMachine);
+  core_.write_csr(isa::csr::kPmpaddr0 + kTorSecure, region_.end >> 2,
+                  Privilege::kMachine);
+  const u64 cfg8 = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kX | kCfgTor};
+  const u64 cfg9 = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kS | kCfgTor};
+  core_.write_csr(isa::csr::kPmpcfg2, cfg8 | (cfg9 << 8), Privilege::kMachine);
+}
+
+SbiStatus SbiMonitor::guard_region(PhysAddr base, u64 size) {
+  core_.add_cycles(kSbiCallCost);
+  if (guards_ >= kMaxGuards) return SbiStatus::kDenied;
+  if (size < 8 || !is_pow2(size) || !is_aligned(base, size)) {
+    return SbiStatus::kInvalidParam;
+  }
+  const unsigned idx = kGuardBase + guards_;
+  const u64 napot = (base >> 2) | ((size / 8) - 1);
+  core_.write_csr(isa::csr::kPmpaddr0 + idx, napot, Privilege::kMachine);
+  // Read-modify-write the guard's cfg byte inside pmpcfg0.
+  const u64 cur = *core_.read_csr(isa::csr::kPmpcfg0, Privilege::kMachine);
+  const u64 byte = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
+                       (static_cast<u8>(PmpMatch::kNapot) << pmpcfg::kAShift)};
+  core_.write_csr(isa::csr::kPmpcfg0,
+                  insert_bits(cur, 8 * idx, 8, byte), Privilege::kMachine);
+  ++guards_;
+  LOG_INFO("sbi", "guard region #%u: [0x%llx, 0x%llx)", guards_,
+           static_cast<unsigned long long>(base),
+           static_cast<unsigned long long>(base + size));
+  return SbiStatus::kOk;
+}
+
+SbiStatus SbiMonitor::sr_init(PhysAddr base, u64 size) {
+  core_.add_cycles(kSbiCallCost);
+  if (initialized_) return SbiStatus::kAlreadyAvailable;
+  if (size == 0 || !is_aligned(base, kPageSize) || !is_aligned(size, kPageSize)) {
+    return SbiStatus::kInvalidParam;
+  }
+  const PhysAddr end = base + size;
+  if (end != core_.mem().dram_end() || base < core_.mem().dram_base()) {
+    return SbiStatus::kInvalidParam;
+  }
+  region_ = SecureRegion{base, end};
+  initialized_ = true;
+  program_pmp();
+  LOG_INFO("sbi", "secure region initialized: [0x%llx, 0x%llx)",
+           static_cast<unsigned long long>(base), static_cast<unsigned long long>(end));
+  return SbiStatus::kOk;
+}
+
+SbiStatus SbiMonitor::sr_set_boundary(PhysAddr new_base) {
+  core_.add_cycles(kSbiCallCost);
+  if (!initialized_) return SbiStatus::kDenied;
+  if (!is_aligned(new_base, kPageSize) || new_base < core_.mem().dram_base() ||
+      new_base >= region_.end) {
+    return SbiStatus::kInvalidParam;
+  }
+  region_.base = new_base;
+  program_pmp();
+  return SbiStatus::kOk;
+}
+
+}  // namespace ptstore

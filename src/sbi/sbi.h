@@ -1,0 +1,89 @@
+// M-mode monitor with PTStore's SBI extension (paper §IV-B).
+//
+// In the RISC-V privilege model only M-mode may program the pmpcfg/pmpaddr
+// CSRs, so PTStore adds SBI functions letting the S-mode kernel initialize,
+// query, and move the secure-region boundary. This monitor models that
+// firmware: it owns the PMP layout policy and performs the CSR writes on the
+// core in M-mode, charging the cost of the ecall round-trip.
+//
+// PMP layout maintained by the monitor:
+//   pmp0..3 (NAPOT): guard regions (§V-F generality; initially OFF)
+//   pmp8 (TOR):  [0, sr_base)          RWX      — normal memory + MMIO
+//   pmp9 (TOR):  [sr_base, dram_end)   RW + S   — the PTStore secure region
+// Guards sit at the lowest indices so they take PMP priority over the
+// catch-all TOR pair. Growing the secure region moves sr_base downward by
+// rewriting pmpaddr8.
+#pragma once
+
+#include "cpu/core.h"
+
+namespace ptstore {
+
+enum class SbiStatus : i64 {
+  kOk = 0,
+  kInvalidParam = -3,
+  kDenied = -4,
+  kAlreadyAvailable = -6,
+};
+
+struct SecureRegion {
+  PhysAddr base = 0;
+  PhysAddr end = 0;
+  u64 size() const { return end - base; }
+  bool contains(PhysAddr pa, u64 len = 1) const {
+    return pa >= base && pa + len <= end && pa + len >= pa;
+  }
+};
+
+class SbiMonitor {
+ public:
+  explicit SbiMonitor(Core& core) : core_(core) {}
+
+  /// Firmware boot: open PMP for the whole address space (entry 0 TOR up to
+  /// DRAM end, RWX) so the S-mode kernel can run before the secure region
+  /// exists. Runs "before the attacker" per the threat model.
+  void boot_init();
+
+  /// SBI sr_init(base, size): create the secure region [base, base+size).
+  /// Must be page-aligned, inside DRAM, ending at DRAM end (the region grows
+  /// downward from the top of memory). Fails if already initialized.
+  SbiStatus sr_init(PhysAddr base, u64 size);
+
+  /// SBI sr_set_boundary(new_base): move the lower boundary. Growing
+  /// (new_base < base) is always legal; shrinking requires the kernel to
+  /// have vacated the pages (the monitor cannot verify that — policy is the
+  /// kernel's, as in the paper).
+  SbiStatus sr_set_boundary(PhysAddr new_base);
+
+  /// SBI sr_get(): current boundary.
+  SecureRegion sr_get() const { return region_; }
+
+  /// §V-F generality: mark an additional NAPOT region (e.g. a watchdog's
+  /// MMIO window or a block of critical bare-metal data) as secure. `size`
+  /// must be a power of two ≥ 8 and `base` aligned to it. Up to four
+  /// guards (PMP entries 0–3). Guards are independent of sr_init.
+  SbiStatus guard_region(PhysAddr base, u64 size);
+  unsigned guard_count() const { return guards_; }
+
+  bool initialized() const { return initialized_; }
+
+  /// Cycle cost of one SBI ecall round trip (trap to M, handler, mret) —
+  /// charged on every sr_* call.
+  static constexpr Cycles kSbiCallCost = 400;
+
+ private:
+  void program_pmp();
+
+  Core& core_;
+  SecureRegion region_{};
+  bool initialized_ = false;
+  unsigned guards_ = 0;
+
+  /// PMP entry indices of the monitor's layout.
+  static constexpr unsigned kGuardBase = 0;   // 0..3: NAPOT guards.
+  static constexpr unsigned kMaxGuards = 4;
+  static constexpr unsigned kTorNormal = 8;   // [0, sr_base) RWX.
+  static constexpr unsigned kTorSecure = 9;   // [sr_base, dram_end) RW+S.
+};
+
+}  // namespace ptstore

@@ -1,0 +1,126 @@
+#include "workloads/lmbench.h"
+
+#include "mmu/pte.h"
+
+namespace ptstore::workloads {
+
+namespace {
+
+/// User-side loop body around each measured operation (lmbench's timing
+/// harness: counter update, branch, function call).
+constexpr u64 kLoopInstrs = 40;
+
+void loop_overhead(System& sys) {
+  sys.core().retire_abstract(kLoopInstrs, sys.core().config().timing.base_cpi);
+}
+
+/// Simple syscall-in-a-loop test body.
+std::function<void(System&, u64)> sys_loop(Sys s) {
+  return [s](System& sys, u64 iters) {
+    Process& p = sys.init();
+    for (u64 i = 0; i < iters; ++i) {
+      loop_overhead(sys);
+      sys.kernel().syscall(p, s);
+    }
+  };
+}
+
+constexpr VirtAddr kArena = kUserSpaceBase + GiB(8);
+
+}  // namespace
+
+std::vector<MicroTest> lmbench_suite() {
+  std::vector<MicroTest> tests;
+  tests.push_back({"null", sys_loop(Sys::kNull)});
+  tests.push_back({"read", sys_loop(Sys::kRead)});
+  tests.push_back({"write", sys_loop(Sys::kWrite)});
+  tests.push_back({"stat", sys_loop(Sys::kStat)});
+  tests.push_back({"fstat", sys_loop(Sys::kFstat)});
+  tests.push_back({"open/close", sys_loop(Sys::kOpenClose)});
+  tests.push_back({"select", sys_loop(Sys::kSelect)});
+  tests.push_back({"sig inst", sys_loop(Sys::kSigInstall)});
+  tests.push_back({"sig hndl", sys_loop(Sys::kSigHandle)});
+  tests.push_back({"pipe", sys_loop(Sys::kPipe)});
+
+  tests.push_back({"fork+exit", sys_loop(Sys::kFork)});
+  tests.push_back({"fork+execve", sys_loop(Sys::kForkExec)});
+  tests.push_back({"mmap", sys_loop(Sys::kMmap)});
+
+  // Page fault: touch a never-before-seen page each iteration.
+  tests.push_back({"page fault", [](System& sys, u64 iters) {
+    Kernel& k = sys.kernel();
+    Process& p = sys.init();
+    const u64 chunk = 256;  // Pages per VMA before recycling it.
+    for (u64 i = 0; i < iters; i += chunk) {
+      const u64 n = std::min<u64>(chunk, iters - i);
+      if (!k.processes().add_vma(p, kArena, chunk * kPageSize, pte::kR | pte::kW)) {
+        return;
+      }
+      for (u64 j = 0; j < n; ++j) {
+        loop_overhead(sys);
+        k.user_access(p, kArena + j * kPageSize, /*write=*/true);
+      }
+      k.processes().remove_vma(p, kArena, chunk * kPageSize);
+    }
+  }});
+
+  // Protection fault: write to a read-only page (SIGSEGV path).
+  tests.push_back({"prot fault", [](System& sys, u64 iters) {
+    Kernel& k = sys.kernel();
+    Process& p = sys.init();
+    if (!k.processes().add_vma(p, kArena, kPageSize, pte::kR)) return;
+    (void)k.user_access(p, kArena, /*write=*/false);  // Map it read-only.
+    for (u64 i = 0; i < iters; ++i) {
+      loop_overhead(sys);
+      (void)k.user_access(p, kArena, /*write=*/true);  // Faults, kernel rejects.
+    }
+    k.processes().remove_vma(p, kArena, kPageSize);
+  }});
+
+  // Context switch between two processes (lat_ctx with 2 procs).
+  tests.push_back({"ctx switch", [](System& sys, u64 iters) {
+    Kernel& k = sys.kernel();
+    Process* a = k.processes().fork(sys.init());
+    Process* b = k.processes().fork(sys.init());
+    if (a == nullptr || b == nullptr) return;
+    for (u64 i = 0; i < iters; ++i) {
+      loop_overhead(sys);
+      k.processes().switch_to(*a);
+      k.processes().switch_to(*b);
+    }
+    k.processes().exit(*a);
+    k.processes().exit(*b);
+    k.processes().switch_to(sys.init());
+  }});
+
+  return tests;
+}
+
+void run_micro(System& sys, const MicroTest& test, u64 iters) {
+  test.body(sys, iters);
+}
+
+void run_fork_stress(System& sys, u64 procs) {
+  Kernel& k = sys.kernel();
+  std::vector<u64> pids;
+  pids.reserve(procs);
+  // Create all processes before reaping any — the paper's "30,000 processes
+  // at the same time", sized to overflow a 64 MiB secure region and force
+  // boundary adjustments.
+  for (u64 i = 0; i < procs; ++i) {
+    k.charge_trap_roundtrip();
+    k.cfi_charge(syscall_cost(Sys::kFork).indirect_calls);
+    k.core().retire_abstract(syscall_cost(Sys::kFork).body_instrs,
+                             k.core().config().timing.base_cpi);
+    Process* child = k.processes().fork(sys.init());
+    if (child == nullptr) break;  // OOM under this configuration.
+    pids.push_back(child->pid);
+  }
+  for (const u64 pid : pids) {
+    Process* p = k.processes().find(pid);
+    if (p != nullptr) k.processes().exit(*p);
+  }
+  k.processes().switch_to(sys.init());
+}
+
+}  // namespace ptstore::workloads

@@ -1,0 +1,28 @@
+// LMBench 3.0-a9-shaped microbenchmark suite (paper Fig. 4): each test is a
+// tight loop over one syscall or trap path, run against the live kernel
+// model. Iteration counts follow the paper (1,000 per test).
+#pragma once
+
+#include <vector>
+
+#include "workloads/runner.h"
+
+namespace ptstore::workloads {
+
+struct MicroTest {
+  std::string name;
+  /// Drives `iters` iterations of the test against the system.
+  std::function<void(System&, u64 iters)> body;
+};
+
+/// The LMBench-like tests of Fig. 4, in the paper's spirit and order.
+std::vector<MicroTest> lmbench_suite();
+
+/// Run one test: per-iteration user-side loop overhead plus the kernel path.
+void run_micro(System& sys, const MicroTest& test, u64 iters);
+
+/// §V-D1 fork-stress: create `procs` processes at the same time, then reap
+/// them all; the workload that triggers secure-region adjustments.
+void run_fork_stress(System& sys, u64 procs);
+
+}  // namespace ptstore::workloads

@@ -1,0 +1,129 @@
+#include "workloads/netserver.h"
+
+#include "mmu/pte.h"
+
+namespace ptstore::workloads {
+
+namespace {
+constexpr VirtAddr kBufArena = kUserSpaceBase + GiB(40);
+constexpr unsigned kNginxWorkers = 4;
+}  // namespace
+
+std::vector<NginxCase> nginx_cases() {
+  return {
+      {"1KB", KiB(1), false},
+      {"10KB", KiB(10), false},
+      {"100KB", KiB(100), false},
+      {"1KB keepalive", KiB(1), true},
+  };
+}
+
+void run_nginx(System& sys, const NginxCase& c, u64 requests, unsigned concurrency) {
+  Kernel& k = sys.kernel();
+  TickModel tick;
+  tick.reset(k);
+
+  // Master forks the worker pool; each worker maps its I/O buffers.
+  std::vector<Process*> workers;
+  for (unsigned w = 0; w < kNginxWorkers; ++w) {
+    Process* p = k.processes().fork(sys.init());
+    if (p == nullptr) return;
+    k.processes().switch_to(*p);
+    const VirtAddr buf = kBufArena + w * MiB(2);
+    if (!k.processes().add_vma(*p, buf, 64 * kPageSize, pte::kR | pte::kW)) return;
+    for (u64 i = 0; i < 16; ++i) k.user_access(*p, buf + i * kPageSize, true);
+    workers.push_back(p);
+  }
+
+  // With `concurrency` connections multiplexed over 4 workers, consecutive
+  // requests land on different workers: a context switch per request.
+  (void)concurrency;
+  for (u64 r = 0; r < requests; ++r) {
+    Process& w = *workers[r % workers.size()];
+    k.processes().switch_to(w);
+
+    if (!c.keepalive || (r & 63) == 0) k.syscall(w, Sys::kAcceptClose);
+    k.syscall(w, Sys::kRead);   // Request headers.
+    k.syscall(w, Sys::kStat);   // Path lookup.
+    k.syscall(w, Sys::kOpenClose);
+
+    // Response: parse + build headers (user), then write the body out in
+    // 8 KiB chunks (sendfile-style loop).
+    sys.core().retire_abstract(6'000, sys.core().config().timing.base_cpi);
+    const u64 chunks = (c.file_bytes + KiB(8) - 1) / KiB(8);
+    for (u64 ch = 0; ch < chunks; ++ch) {
+      k.syscall(w, Sys::kSendRecv);
+      sys.core().retire_abstract(1'600, sys.core().config().timing.base_cpi);
+    }
+    k.syscall(w, Sys::kWrite);  // Access log.
+
+    const VirtAddr buf = kBufArena + (r % workers.size()) * MiB(2);
+    k.user_access(w, buf + (r % 16) * kPageSize, /*write=*/true);
+    tick.advance(k);
+  }
+
+  for (Process* w : workers) k.processes().exit(*w);
+  k.processes().switch_to(sys.init());
+}
+
+std::vector<RedisCase> redis_cases() {
+  // Server-side costs scale with command complexity; LRANGE and MSET are
+  // the heavyweights, PING the floor — matching redis-benchmark's spread.
+  return {
+      {"PING_INLINE", 2'100, false},
+      {"PING_MBULK", 2'400, false},
+      {"SET", 3'500, true},
+      {"GET", 3'000, false},
+      {"INCR", 3'200, true},
+      {"LPUSH", 4'200, true},
+      {"RPUSH", 4'200, true},
+      {"LPOP", 4'000, false},
+      {"RPOP", 4'000, false},
+      {"SADD", 4'500, true},
+      {"HSET", 4'800, true},
+      {"SPOP", 4'300, false},
+      {"ZADD", 5'800, true},
+      {"ZPOPMIN", 5'500, false},
+      {"LRANGE_100", 22'000, false},
+      {"MSET (10 keys)", 15'000, true},
+  };
+}
+
+void run_redis(System& sys, const RedisCase& c, u64 requests, unsigned connections) {
+  Kernel& k = sys.kernel();
+  Process& srv = sys.init();
+  TickModel tick;
+  tick.reset(k);
+  (void)connections;  // Single-threaded server: connections affect batching only.
+
+  // Data heap, grown as write commands allocate.
+  const u64 heap_pages = 4096;
+  if (!k.processes().add_vma(srv, kBufArena, heap_pages * kPageSize,
+                             pte::kR | pte::kW)) {
+    return;
+  }
+  u64 heap_touched = 0;
+
+  for (u64 r = 0; r < requests; ++r) {
+    k.syscall(srv, Sys::kSendRecv);  // Read command + write reply.
+    sys.core().retire_abstract(c.user_instrs, sys.core().config().timing.base_cpi);
+
+    if (c.allocates) {
+      // Amortized allocator growth: a fresh heap page every 32 writes.
+      if ((r & 31) == 0 && heap_touched < heap_pages) {
+        k.user_access(srv, kBufArena + heap_touched * kPageSize, true);
+        ++heap_touched;
+      }
+      if ((r & 1023) == 0) k.syscall(srv, Sys::kBrk);
+    } else {
+      // Reads touch existing data.
+      if (heap_touched != 0) {
+        k.user_access(srv, kBufArena + (r % heap_touched) * kPageSize, false);
+      }
+    }
+    tick.advance(k);
+  }
+  k.processes().remove_vma(srv, kBufArena, heap_pages * kPageSize);
+}
+
+}  // namespace ptstore::workloads

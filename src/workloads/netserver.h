@@ -1,0 +1,36 @@
+// Kernel-intensive server workloads: the NGINX benchmark (paper Fig. 6,
+// 10,000 requests at 100 concurrent) and the Redis benchmark (Fig. 7,
+// 100,000 requests per request type, 50 parallel connections). Both are
+// syscall-dominated, which is where the paper's <8.18% (CFI) and <0.86%
+// (PTStore-only) kernel-bound overheads come from.
+#pragma once
+
+#include "workloads/runner.h"
+
+namespace ptstore::workloads {
+
+/// One NGINX test case (one bar of Fig. 6): static file of `file_bytes`.
+struct NginxCase {
+  std::string name;
+  u64 file_bytes;
+  bool keepalive = false;
+};
+
+std::vector<NginxCase> nginx_cases();
+
+/// Serve `requests` requests of `c` with `concurrency` in-flight
+/// connections across 4 worker processes.
+void run_nginx(System& sys, const NginxCase& c, u64 requests, unsigned concurrency);
+
+/// One redis-benchmark request type (one bar of Fig. 7).
+struct RedisCase {
+  std::string name;
+  u64 user_instrs;       ///< Server-side command processing cost.
+  bool allocates = false;///< Write commands grow the heap.
+};
+
+std::vector<RedisCase> redis_cases();
+
+void run_redis(System& sys, const RedisCase& c, u64 requests, unsigned connections);
+
+}  // namespace ptstore::workloads

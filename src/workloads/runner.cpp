@@ -1,0 +1,42 @@
+#include "workloads/runner.h"
+
+#include <cstdlib>
+
+namespace ptstore::workloads {
+
+Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn,
+                    bool include_noadj) {
+  Measurement m;
+  m.name = name;
+
+  auto run_one = [&](SystemConfig cfg) {
+    cfg.dram_size = dram_size;
+    System sys(cfg);
+    const Cycles before = sys.cycles();
+    fn(sys);
+    return sys.cycles() - before;
+  };
+
+  m.base = run_one(SystemConfig::baseline());
+  m.cfi = run_one(SystemConfig::cfi());
+  m.cfi_ptstore = run_one(SystemConfig::cfi_ptstore());
+  if (include_noadj) {
+    SystemConfig cfg = SystemConfig::cfi_ptstore_noadj();
+    cfg.dram_size = dram_size;
+    cfg.kernel.secure_region_init = std::min<u64>(GiB(1), dram_size / 2);
+    System sys(cfg);
+    const Cycles before = sys.cycles();
+    fn(sys);
+    m.cfi_ptstore_noadj = sys.cycles() - before;
+  }
+  return m;
+}
+
+u64 scaled(u64 paper_count, u64 def) {
+  if (const char* env = std::getenv("PTSTORE_FULL"); env != nullptr && env[0] == '1') {
+    return paper_count;
+  }
+  return def;
+}
+
+}  // namespace ptstore::workloads

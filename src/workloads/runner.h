@@ -1,0 +1,70 @@
+// Shared workload infrastructure: the four evaluation configurations of the
+// paper, periodic-timer accounting, and overhead arithmetic used by every
+// bench binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/system.h"
+
+namespace ptstore::workloads {
+
+/// Relative overhead in percent of `v` versus `base`.
+inline double overhead_pct(Cycles v, Cycles base) {
+  return base == 0 ? 0.0
+                   : 100.0 * (static_cast<double>(v) - static_cast<double>(base)) /
+                         static_cast<double>(base);
+}
+
+/// Periodic timer-interrupt model: CPU-bound workloads still enter the
+/// kernel on every tick, which is where kernel CFI costs reach them.
+struct TickModel {
+  Cycles period = 900'000;  ///< 10 ms at the prototype's 90 MHz.
+  u64 handler_instrs = 400;
+  u64 indirect_calls = 8;
+  Cycles last = 0;
+
+  void reset(Kernel& k) { last = k.core().cycles(); }
+
+  /// Charge any ticks that elapsed since the last call.
+  void advance(Kernel& k) {
+    Core& core = k.core();
+    while (core.cycles() - last >= period) {
+      last += period;
+      k.charge_trap_roundtrip();
+      core.retire_abstract(handler_instrs, core.config().timing.base_cpi);
+      k.cfi_charge(indirect_calls);
+    }
+  }
+};
+
+/// One measured data point across the paper's configurations.
+struct Measurement {
+  std::string name;
+  Cycles base = 0;          ///< No CFI, no PTStore.
+  Cycles cfi = 0;           ///< Clang CFI only.
+  Cycles cfi_ptstore = 0;   ///< CFI + PTStore (64 MiB adjustable region).
+  Cycles cfi_ptstore_noadj = 0;  ///< Optional -Adj configuration (0 = unused).
+
+  double cfi_pct() const { return overhead_pct(cfi, base); }
+  double cfi_ptstore_pct() const { return overhead_pct(cfi_ptstore, base); }
+  double ptstore_only_pct() const { return overhead_pct(cfi_ptstore, cfi); }
+  double noadj_pct() const { return overhead_pct(cfi_ptstore_noadj, base); }
+};
+
+/// A workload body: runs against a booted system and returns nothing; the
+/// caller measures the cycle delta.
+using WorkloadFn = std::function<void(System&)>;
+
+/// Run `fn` on a fresh system per configuration and collect the cycle
+/// deltas. When `include_noadj` is set the -Adj configuration runs too.
+Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn,
+                    bool include_noadj = false);
+
+/// Environment-scalable iteration count: `PTSTORE_SCALE` divides paper-scale
+/// counts (default scale honours `def`).
+u64 scaled(u64 paper_count, u64 def);
+
+}  // namespace ptstore::workloads

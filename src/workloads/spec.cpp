@@ -1,0 +1,87 @@
+#include "workloads/spec.h"
+
+#include "mmu/pte.h"
+
+namespace ptstore::workloads {
+
+std::vector<SpecProfile> spec_cint2006() {
+  // CPI / footprint / kernel-interaction rates follow the benchmarks'
+  // published characters: mcf and omnetpp are memory-bound (high CPI),
+  // gcc and xalancbmk allocate heavily (fault + syscall rates), the
+  // compute kernels (hmmer, sjeng, libquantum) barely enter the kernel.
+  return {
+      {"401.bzip2", 1.1, 2000, 2.0, 0.5},
+      {"403.gcc", 1.3, 4000, 45.0, 6.0},
+      {"429.mcf", 2.2, 8000, 8.0, 0.3},
+      {"445.gobmk", 1.2, 800, 3.0, 1.0},
+      {"456.hmmer", 1.0, 400, 1.0, 0.3},
+      {"458.sjeng", 1.1, 600, 1.0, 0.3},
+      {"462.libquantum", 1.6, 1500, 2.0, 0.2},
+      {"464.h264ref", 1.1, 1200, 3.0, 1.0},
+      {"471.omnetpp", 1.8, 3000, 20.0, 4.0},
+      {"473.astar", 1.5, 2500, 6.0, 1.0},
+      {"483.xalancbmk", 1.4, 3500, 35.0, 8.0},
+  };
+}
+
+namespace {
+constexpr VirtAddr kHeap = kUserSpaceBase + GiB(16);
+constexpr VirtAddr kChurn = kUserSpaceBase + GiB(24);
+constexpr u64 kChurnPages = 512;
+}  // namespace
+
+void run_spec(System& sys, const SpecProfile& prof, u64 minstr) {
+  Kernel& k = sys.kernel();
+  Process& p = sys.init();
+  TickModel tick;
+  tick.reset(k);
+
+  // Startup: load + demand-fault the working set.
+  k.syscall(p, Sys::kOpenClose);
+  k.syscall(p, Sys::kBrk);
+  if (!k.processes().add_vma(p, kHeap, prof.footprint_pages * kPageSize,
+                             pte::kR | pte::kW)) {
+    return;
+  }
+  for (u64 i = 0; i < prof.footprint_pages; ++i) {
+    k.user_access(p, kHeap + i * kPageSize, /*write=*/true);
+    if ((i & 63) == 0) tick.advance(k);
+  }
+
+  // Steady state: 1-Minstr slices of user compute, interleaved with the
+  // profile's kernel interactions.
+  const Cycles cpi_milli = static_cast<Cycles>(prof.user_cpi * 1000.0);
+  u64 churn_next = 0;
+  bool churn_mapped = false;
+  double fault_debt = 0, sys_debt = 0;
+  for (u64 s = 0; s < minstr; ++s) {
+    // User compute (CPI in 1/1000ths to keep integer cycle accounting).
+    sys.core().retire_abstract(1'000'000, 1);
+    sys.core().add_cycles(1'000 * (cpi_milli - 1000));
+    tick.advance(k);
+
+    fault_debt += prof.faults_per_minstr;
+    while (fault_debt >= 1.0) {
+      fault_debt -= 1.0;
+      if (!churn_mapped || churn_next >= kChurnPages) {
+        if (churn_mapped) k.processes().remove_vma(p, kChurn, kChurnPages * kPageSize);
+        k.syscall(p, Sys::kMmap);
+        churn_mapped = k.processes().add_vma(p, kChurn, kChurnPages * kPageSize,
+                                             pte::kR | pte::kW);
+        churn_next = 0;
+        if (!churn_mapped) break;
+      }
+      k.user_access(p, kChurn + churn_next * kPageSize, /*write=*/true);
+      ++churn_next;
+    }
+
+    sys_debt += prof.sys_per_minstr;
+    while (sys_debt >= 1.0) {
+      sys_debt -= 1.0;
+      k.syscall(p, (s & 1) ? Sys::kRead : Sys::kBrk);
+    }
+  }
+  if (churn_mapped) k.processes().remove_vma(p, kChurn, kChurnPages * kPageSize);
+}
+
+}  // namespace ptstore::workloads

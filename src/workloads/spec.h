@@ -1,0 +1,30 @@
+// SPEC CINT2006-shaped workloads (paper Fig. 5). SPEC is CPU-bound: almost
+// all cycles are user-mode compute, and the CFI/PTStore deltas reach it only
+// through kernel entries (startup demand-faults, steady-state faults from
+// allocator churn, occasional syscalls, timer ticks). Each profile captures
+// a benchmark's published footprint and kernel-interaction character;
+// user compute is charged abstractly at the profile's CPI.
+//
+// 400.perlbench is excluded (fails to build for RISC-V — paper §V-D2); the
+// FPU-less prototype runs the integer suite only.
+#pragma once
+
+#include "workloads/runner.h"
+
+namespace ptstore::workloads {
+
+struct SpecProfile {
+  std::string name;
+  double user_cpi = 1.2;        ///< Average user CPI (cache behaviour).
+  u64 footprint_pages = 1000;   ///< Startup working set (demand-faulted).
+  double faults_per_minstr = 2; ///< Steady-state page faults / M instrs.
+  double sys_per_minstr = 0.5;  ///< Syscalls / M instrs.
+};
+
+/// The 11 CINT2006 benchmarks the paper runs.
+std::vector<SpecProfile> spec_cint2006();
+
+/// Run one profile for `minstr` million user instructions.
+void run_spec(System& sys, const SpecProfile& prof, u64 minstr);
+
+}  // namespace ptstore::workloads

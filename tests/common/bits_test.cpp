@@ -1,0 +1,81 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace ptstore {
+namespace {
+
+TEST(Bits, MaskLo) {
+  EXPECT_EQ(mask_lo(0), 0u);
+  EXPECT_EQ(mask_lo(1), 1u);
+  EXPECT_EQ(mask_lo(12), 0xFFFu);
+  EXPECT_EQ(mask_lo(63), 0x7FFFFFFFFFFFFFFFu);
+  EXPECT_EQ(mask_lo(64), ~u64{0});
+}
+
+TEST(Bits, ExtractInsert) {
+  const u64 v = 0xDEADBEEFCAFEBABE;
+  EXPECT_EQ(bits(v, 0, 8), 0xBEu);
+  EXPECT_EQ(bits(v, 32, 16), 0xBEEFu);
+  EXPECT_EQ(bits(v, 60, 4), 0xDu);
+  EXPECT_EQ(bit(v, 1), 1u);
+  EXPECT_EQ(bit(v, 0), 0u);
+
+  EXPECT_EQ(insert_bits(0, 8, 8, 0xAB), 0xAB00u);
+  EXPECT_EQ(insert_bits(~u64{0}, 0, 8, 0), 0xFFFFFFFFFFFFFF00u);
+  // Field wider than the slot is truncated.
+  EXPECT_EQ(insert_bits(0, 4, 4, 0xFF), 0xF0u);
+}
+
+TEST(Bits, InsertExtractRoundTrip) {
+  for (unsigned lo : {0u, 5u, 31u, 50u}) {
+    for (unsigned w : {1u, 7u, 13u}) {
+      const u64 v = insert_bits(0x1234567890ABCDEF, lo, w, 0x2A);
+      EXPECT_EQ(bits(v, lo, w), 0x2Au & mask_lo(w)) << lo << "," << w;
+    }
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 0x7FF);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x80000000, 32), INT32_MIN);
+  EXPECT_EQ(sign_extend(1, 1), -1);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFFFFFFFFF, 64), -1);
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_EQ(align_down(0x1FFF, 0x1000), 0x1000u);
+  EXPECT_EQ(align_up(0x1001, 0x1000), 0x2000u);
+  EXPECT_EQ(align_up(0x1000, 0x1000), 0x1000u);
+  EXPECT_TRUE(is_aligned(0x4000, 0x1000));
+  EXPECT_FALSE(is_aligned(0x4008, 0x1000));
+}
+
+TEST(Bits, Pow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(round_up_pow2(5), 8u);
+  EXPECT_EQ(round_up_pow2(8), 8u);
+}
+
+TEST(Bits, RangeOverlap) {
+  EXPECT_TRUE(ranges_overlap(0, 10, 5, 10));
+  EXPECT_FALSE(ranges_overlap(0, 10, 10, 10));  // Adjacent, no overlap.
+  EXPECT_FALSE(ranges_overlap(0, 0, 0, 10));    // Empty never overlaps.
+  EXPECT_TRUE(ranges_overlap(5, 1, 0, 10));
+}
+
+TEST(Bits, RangeContains) {
+  EXPECT_TRUE(range_contains(0, 100, 0, 100));
+  EXPECT_TRUE(range_contains(0, 100, 99, 1));
+  EXPECT_FALSE(range_contains(0, 100, 99, 2));
+  EXPECT_FALSE(range_contains(100, 100, 50, 10));
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ptstore {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (const u64 v : {10ull, 20ull, 30ull, 40ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(Histogram, PercentilesBracketTheData) {
+  Histogram h;
+  for (u64 v = 1; v <= 1000; ++v) h.record(v);
+  // Log buckets give approximate percentiles: within a factor of two.
+  const u64 p50 = h.percentile(50);
+  EXPECT_GE(p50, 250u);
+  EXPECT_LE(p50, 1000u);
+  const u64 p99 = h.percentile(99);
+  EXPECT_GE(p99, 512u);
+  EXPECT_LE(p99, 1024u);
+  EXPECT_LE(h.percentile(10), p50);
+  EXPECT_LE(p50, h.percentile(90));
+}
+
+TEST(Histogram, HeavyTailVisibleAtP99) {
+  Histogram h;
+  for (int i = 0; i < 990; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(100'000);
+  EXPECT_LT(h.percentile(50), 200u);
+  EXPECT_GT(h.percentile(99.5), 50'000u);
+}
+
+TEST(Histogram, ZeroAndHugeValues) {
+  Histogram h;
+  h.record(0);
+  h.record(~u64{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~u64{0});
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_LT(a.percentile(25), 100u);
+  EXPECT_GT(a.percentile(75), 500u);
+}
+
+TEST(Histogram, SummaryFormat) {
+  Histogram h;
+  h.record(5);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(Histogram, RandomizedMonotonicPercentiles) {
+  Rng rng(77);
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) h.record(rng.next_below(1 << 20));
+  u64 prev = 0;
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const u64 v = h.percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max() * 2);  // Bucket rounding stays bounded.
+}
+
+}  // namespace
+}  // namespace ptstore

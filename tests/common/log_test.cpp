@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace ptstore {
+namespace {
+
+TEST(Log, LevelGate) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(prev);
+}
+
+TEST(Log, FormatArgs) {
+  EXPECT_EQ(detail::format_args("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(detail::format_args("%llx", 0xABCDULL), "abcd");
+  EXPECT_EQ(detail::format_args("plain"), "plain");
+}
+
+TEST(Types, ToStringCoverage) {
+  EXPECT_STREQ(to_string(Privilege::kUser), "U");
+  EXPECT_STREQ(to_string(Privilege::kSupervisor), "S");
+  EXPECT_STREQ(to_string(Privilege::kMachine), "M");
+  EXPECT_STREQ(to_string(AccessKind::kRegular), "regular");
+  EXPECT_STREQ(to_string(AccessKind::kPtInsn), "pt-insn");
+  EXPECT_STREQ(to_string(AccessKind::kPtw), "ptw");
+  EXPECT_STREQ(to_string(AccessType::kRead), "read");
+  EXPECT_STREQ(to_string(AccessType::kWrite), "write");
+  EXPECT_STREQ(to_string(AccessType::kExecute), "execute");
+}
+
+TEST(Types, SizeHelpers) {
+  EXPECT_EQ(KiB(4), 4096u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(2), u64{2} << 30);
+  EXPECT_EQ(kPtesPerPage, 512u);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,70 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ptstore {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(7);
+  for (u64 bound : {u64{1}, u64{2}, u64{17}, u64{1} << 33}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.next_range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All four values appear over 1000 draws.
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng r(17);
+  int buckets[8] = {};
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) ++buckets[r.next_below(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_GT(buckets[b], n / 8 - 300);
+    EXPECT_LT(buckets[b], n / 8 + 300);
+  }
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ptstore {
+namespace {
+
+TEST(Stats, AddAndGet) {
+  StatSet s;
+  EXPECT_EQ(s.get("x"), 0u);
+  EXPECT_FALSE(s.has("x"));
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+  EXPECT_TRUE(s.has("x"));
+}
+
+TEST(Stats, SetOverwrites) {
+  StatSet s;
+  s.add("x", 10);
+  s.set("x", 3);
+  EXPECT_EQ(s.get("x"), 3u);
+}
+
+TEST(Stats, Ratio) {
+  StatSet s;
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "misses"), 0.0);
+  s.add("hits", 3);
+  s.add("misses", 1);
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "misses"), 0.75);
+}
+
+TEST(Stats, Merge) {
+  StatSet a, b;
+  a.add("x", 1);
+  b.add("x", 2);
+  b.add("y", 5);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3u);
+  EXPECT_EQ(a.get("y"), 5u);
+}
+
+TEST(Stats, ClearAndToString) {
+  StatSet s;
+  s.add("alpha", 2);
+  EXPECT_NE(s.to_string().find("alpha = 2"), std::string::npos);
+  s.clear();
+  EXPECT_TRUE(s.counters().empty());
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,40 @@
+// Shared harness for interpreter tests: assemble a program, run it on a
+// fresh machine, inspect the final architectural state.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "isa/assembler.h"
+
+namespace ptstore::testutil {
+
+using isa::Assembler;
+using isa::Reg;
+
+struct Machine {
+  explicit Machine(u64 dram = MiB(32), bool ptstore = true)
+      : mem(kDramBase, dram), core(mem, make_cfg(ptstore)) {}
+
+  static CoreConfig make_cfg(bool ptstore) {
+    CoreConfig cfg;
+    cfg.ptstore_enabled = ptstore;
+    return cfg;
+  }
+
+  /// Assemble with `build`, load at the reset PC, run until halt or limit.
+  StepResult run_program(const std::function<void(Assembler&)>& build,
+                         u64 max_insts = 100000) {
+    Assembler a(core.config().reset_pc);
+    build(a);
+    core.load_code(core.config().reset_pc, a.finish());
+    return core.run(max_insts);
+  }
+
+  u64 reg(Reg r) const { return core.reg(isa::regno(r)); }
+
+  PhysMem mem;
+  Core core;
+};
+
+}  // namespace ptstore::testutil

@@ -1,0 +1,97 @@
+// MMIO through the core's access path: device dispatch, uncached timing,
+// PMP interaction with device windows, and guest-code device access.
+#include "cpu_test_util.h"
+#include "mem/uart.h"
+
+namespace ptstore {
+namespace {
+
+using testutil::Machine;
+using isa::Assembler;
+using isa::Reg;
+
+constexpr PhysAddr kDev = 0x1800'0000;
+
+class MmioTest : public ::testing::Test {
+ protected:
+  MmioTest() { m_.mem.map_device(kDev, kPageSize, &uart_); }
+  Machine m_;
+  UartDevice uart_;
+};
+
+TEST_F(MmioTest, CoreStoreReachesDevice) {
+  const MemAccessResult w = m_.core.access_as(
+      kDev + UartDevice::kTxOff, 8, AccessType::kWrite, AccessKind::kRegular,
+      Privilege::kMachine, 'Q');
+  ASSERT_TRUE(w.ok);
+  EXPECT_EQ(uart_.transmitted(), "Q");
+}
+
+TEST_F(MmioTest, CoreLoadReadsDevice) {
+  const MemAccessResult r = m_.core.access_as(
+      kDev + UartDevice::kStatusOff, 8, AccessType::kRead, AccessKind::kRegular,
+      Privilege::kMachine);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 1u);
+}
+
+TEST_F(MmioTest, MmioIsUncached) {
+  // Two back-to-back device reads cost the same (no cache warming).
+  const Cycles c1 = m_.core
+                        .access_as(kDev + 8, 8, AccessType::kRead,
+                                   AccessKind::kRegular, Privilege::kMachine)
+                        .cycles;
+  const Cycles c2 = m_.core
+                        .access_as(kDev + 8, 8, AccessType::kRead,
+                                   AccessKind::kRegular, Privilege::kMachine)
+                        .cycles;
+  EXPECT_EQ(c1, c2);
+  EXPECT_GE(c1, 20u);  // Uncached penalty.
+}
+
+TEST_F(MmioTest, UnmappedHoleFaults) {
+  const MemAccessResult r = m_.core.access_as(
+      kDev + kPageSize, 8, AccessType::kRead, AccessKind::kRegular,
+      Privilege::kMachine);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, isa::TrapCause::kLoadAccessFault);
+}
+
+TEST_F(MmioTest, GuestCodeDrivesDevice) {
+  Assembler a(kDramBase);
+  a.li(Reg::kS0, kDev);
+  for (const char c : std::string("hi")) {
+    a.li(Reg::kT0, static_cast<u64>(c));
+    a.sd(Reg::kT0, Reg::kS0, 0);
+  }
+  a.ebreak();
+  m_.core.load_code(kDramBase, a.finish());
+  ASSERT_EQ(m_.core.run(100).stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(uart_.transmitted(), "hi");
+}
+
+TEST_F(MmioTest, PmpGuardsDeviceFromSupervisor) {
+  // Guard the device window (NAPOT S entry) and open the rest: regular
+  // S-mode stores fault, sd.pt transmits — §V-F at the ISA level.
+  namespace csr = isa::csr;
+  m_.core.write_csr(csr::kPmpaddr0, (kDev >> 2) | ((kPageSize / 8) - 1),
+                    Privilege::kMachine);
+  m_.core.write_csr(csr::kPmpaddr0 + 8, m_.mem.dram_end() >> 2, Privilege::kMachine);
+  const u64 guard = pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
+                    (static_cast<u64>(PmpMatch::kNapot) << pmpcfg::kAShift);
+  const u64 open = pmpcfg::kR | pmpcfg::kW | pmpcfg::kX |
+                   (static_cast<u64>(PmpMatch::kTor) << pmpcfg::kAShift);
+  m_.core.write_csr(csr::kPmpcfg0, guard, Privilege::kMachine);
+  m_.core.write_csr(csr::kPmpcfg2, open, Privilege::kMachine);
+
+  const MemAccessResult bad = m_.core.access_as(
+      kDev, 8, AccessType::kWrite, AccessKind::kRegular, Privilege::kSupervisor, 'X');
+  EXPECT_FALSE(bad.ok);
+  const MemAccessResult good = m_.core.access_as(
+      kDev, 8, AccessType::kWrite, AccessKind::kPtInsn, Privilege::kSupervisor, 'Y');
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(uart_.transmitted(), "Y");
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,215 @@
+// Privilege transitions: ecall causes, delegation, mret/sret state
+// machines, CSR access control, and the supervisor trap hook the kernel
+// model uses.
+#include "cpu_test_util.h"
+
+namespace ptstore {
+namespace {
+
+using testutil::Machine;
+using isa::Assembler;
+using isa::Reg;
+namespace csr = isa::csr;
+
+TEST(Priv, ResetsInMachineMode) {
+  Machine m;
+  EXPECT_EQ(m.core.priv(), Privilege::kMachine);
+}
+
+TEST(Priv, EcallCausePerMode) {
+  Machine m;
+  Assembler a(m.core.config().reset_pc);
+  a.ecall();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  const StepResult r = m.core.step();
+  EXPECT_EQ(r.trap, isa::TrapCause::kEcallFromM);
+
+  Machine m2;
+  m2.core.load_code(m2.core.config().reset_pc, [] {
+    Assembler b(kDramBase);
+    b.ecall();
+    return b.finish();
+  }());
+  m2.core.set_priv(Privilege::kSupervisor);
+  EXPECT_EQ(m2.core.step().trap, isa::TrapCause::kEcallFromS);
+
+  Machine m3;
+  m3.core.load_code(m3.core.config().reset_pc, [] {
+    Assembler b(kDramBase);
+    b.ecall();
+    return b.finish();
+  }());
+  m3.core.set_priv(Privilege::kUser);
+  EXPECT_EQ(m3.core.step().trap, isa::TrapCause::kEcallFromU);
+}
+
+TEST(Priv, TrapSetsMachineState) {
+  Machine m;
+  m.core.write_csr(csr::kMtvec, kDramBase + 0x1000, Privilege::kMachine);
+  Assembler a(m.core.config().reset_pc);
+  a.ecall();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.step();
+  EXPECT_EQ(m.core.priv(), Privilege::kMachine);
+  EXPECT_EQ(m.core.pc(), kDramBase + 0x1000);
+  EXPECT_EQ(*m.core.read_csr(csr::kMepc, Privilege::kMachine), kDramBase);
+  EXPECT_EQ(*m.core.read_csr(csr::kMcause, Privilege::kMachine),
+            static_cast<u64>(isa::TrapCause::kEcallFromM));
+}
+
+TEST(Priv, DelegatedTrapGoesToSupervisor) {
+  Machine m;
+  // Delegate U-mode ecalls to S-mode.
+  m.core.write_csr(csr::kMedeleg,
+                   u64{1} << static_cast<u64>(isa::TrapCause::kEcallFromU),
+                   Privilege::kMachine);
+  m.core.write_csr(csr::kStvec, kDramBase + 0x2000, Privilege::kSupervisor);
+  Assembler a(m.core.config().reset_pc);
+  a.ecall();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.set_priv(Privilege::kUser);
+  m.core.step();
+  EXPECT_EQ(m.core.priv(), Privilege::kSupervisor);
+  EXPECT_EQ(m.core.pc(), kDramBase + 0x2000);
+  EXPECT_EQ(*m.core.read_csr(csr::kSepc, Privilege::kSupervisor), kDramBase);
+  EXPECT_EQ(*m.core.read_csr(csr::kScause, Privilege::kSupervisor),
+            static_cast<u64>(isa::TrapCause::kEcallFromU));
+  // sstatus.SPP must record U.
+  EXPECT_EQ(*m.core.read_csr(csr::kSstatus, Privilege::kSupervisor) &
+                csr::mstatus::kSpp,
+            0u);
+}
+
+TEST(Priv, MretRestoresPrivilegeAndPc) {
+  Machine m;
+  m.core.write_csr(csr::kMepc, kDramBase + 0x100, Privilege::kMachine);
+  // MPP = U.
+  u64 st = *m.core.read_csr(csr::kMstatus, Privilege::kMachine);
+  st = insert_bits(st, csr::mstatus::kMppShift, 2, 0);
+  m.core.write_csr(csr::kMstatus, st, Privilege::kMachine);
+  Assembler a(m.core.config().reset_pc);
+  a.mret();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.step();
+  EXPECT_EQ(m.core.priv(), Privilege::kUser);
+  EXPECT_EQ(m.core.pc(), kDramBase + 0x100);
+}
+
+TEST(Priv, SretRestoresFromSpp) {
+  Machine m;
+  m.core.set_priv(Privilege::kSupervisor);
+  m.core.write_csr(csr::kSepc, kDramBase + 0x200, Privilege::kSupervisor);
+  // SPP = 0 (user).
+  u64 st = *m.core.read_csr(csr::kSstatus, Privilege::kSupervisor);
+  st &= ~csr::mstatus::kSpp;
+  m.core.write_csr(csr::kSstatus, st, Privilege::kSupervisor);
+  Assembler a(m.core.config().reset_pc);
+  a.sret();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.step();
+  EXPECT_EQ(m.core.priv(), Privilege::kUser);
+  EXPECT_EQ(m.core.pc(), kDramBase + 0x200);
+}
+
+TEST(Priv, UserCannotMretSretWfiSfence) {
+  for (auto build : {+[](Assembler& a) { a.mret(); }, +[](Assembler& a) { a.sret(); },
+                     +[](Assembler& a) { a.wfi(); },
+                     +[](Assembler& a) { a.sfence_vma(); }}) {
+    Machine m;
+    Assembler a(m.core.config().reset_pc);
+    build(a);
+    m.core.load_code(m.core.config().reset_pc, a.finish());
+    m.core.set_priv(Privilege::kUser);
+    const StepResult r = m.core.step();
+    EXPECT_EQ(r.trap, isa::TrapCause::kIllegalInst);
+  }
+}
+
+TEST(Priv, SupervisorCannotMret) {
+  Machine m;
+  Assembler a(m.core.config().reset_pc);
+  a.mret();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.set_priv(Privilege::kSupervisor);
+  EXPECT_EQ(m.core.step().trap, isa::TrapCause::kIllegalInst);
+}
+
+TEST(Priv, CsrPrivilegeEnforced) {
+  Machine m;
+  // S-mode reading an M-mode CSR is illegal.
+  EXPECT_FALSE(m.core.read_csr(csr::kMstatus, Privilege::kSupervisor).has_value());
+  EXPECT_TRUE(m.core.read_csr(csr::kMstatus, Privilege::kMachine).has_value());
+  // U-mode reading satp is illegal; cycle is fine.
+  EXPECT_FALSE(m.core.read_csr(csr::kSatp, Privilege::kUser).has_value());
+  EXPECT_TRUE(m.core.read_csr(csr::kCycle, Privilege::kUser).has_value());
+  // Read-only CSRs reject writes even from M-mode.
+  EXPECT_FALSE(m.core.write_csr(csr::kCycle, 0, Privilege::kMachine));
+  EXPECT_FALSE(m.core.write_csr(csr::kMhartid, 1, Privilege::kMachine));
+}
+
+TEST(Priv, SstatusIsMaskedViewOfMstatus) {
+  Machine m;
+  m.core.write_csr(csr::kMstatus, csr::mstatus::kSum | csr::mstatus::kMie,
+                   Privilege::kMachine);
+  const u64 ss = *m.core.read_csr(csr::kSstatus, Privilege::kSupervisor);
+  EXPECT_TRUE(ss & csr::mstatus::kSum);
+  EXPECT_FALSE(ss & csr::mstatus::kMie);  // M-only bit invisible.
+  // Writing sstatus cannot set M-only bits.
+  m.core.write_csr(csr::kSstatus, csr::mstatus::kMie, Privilege::kSupervisor);
+  EXPECT_TRUE(*m.core.read_csr(csr::kMstatus, Privilege::kMachine) &
+              csr::mstatus::kMie);  // Unchanged from before (set by M write).
+}
+
+TEST(Priv, CsrInstructionSemantics) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kT0, 0xAB);
+    a.csrrw(Reg::kA0, csr::kMscratch, Reg::kT0);     // a0 = 0, scratch = 0xAB.
+    a.csrrsi(Reg::kA1, csr::kMscratch, 0x4);         // a1 = 0xAB, scratch |= 4.
+    a.csrrci(Reg::kA2, csr::kMscratch, 0x8);         // a2 = 0xAF, scratch &= ~8.
+    a.csrrs(Reg::kA3, csr::kMscratch, Reg::kZero);   // Pure read.
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 0u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0xABu);
+  EXPECT_EQ(m.reg(Reg::kA2), 0xAFu);
+  EXPECT_EQ(m.reg(Reg::kA3), 0xA7u);
+}
+
+TEST(Priv, StrapHookInterceptsDelegatedTrap) {
+  Machine m;
+  m.core.write_csr(csr::kMedeleg,
+                   u64{1} << static_cast<u64>(isa::TrapCause::kEcallFromU),
+                   Privilege::kMachine);
+  int hook_calls = 0;
+  m.core.set_strap_hook([&](Core& core, isa::TrapCause cause, u64) {
+    ++hook_calls;
+    EXPECT_EQ(cause, isa::TrapCause::kEcallFromU);
+    // Emulate the kernel: skip the ecall and return a value in a0.
+    core.write_csr(csr::kSepc,
+                   *core.read_csr(csr::kSepc, Privilege::kSupervisor) + 4,
+                   Privilege::kSupervisor);
+    core.set_reg(10, 0x5A);
+    return TrapHookResult{true};
+  });
+  Assembler a(m.core.config().reset_pc);
+  a.ecall();
+  a.ebreak();
+  m.core.load_code(m.core.config().reset_pc, a.finish());
+  m.core.set_priv(Privilege::kUser);
+  const StepResult r = m.core.run(10);
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(r.stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(m.core.reg(10), 0x5Au);
+  EXPECT_EQ(m.core.priv(), Privilege::kUser);  // Returned to user mode.
+}
+
+TEST(Priv, TrapChargesEntryCycles) {
+  Machine m;
+  const Cycles before = m.core.cycles();
+  m.core.take_trap(isa::TrapCause::kEcallFromM, 0);
+  EXPECT_GE(m.core.cycles() - before, m.core.config().timing.trap_entry);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,134 @@
+// Machine checkpoints: architectural state round-trips exactly, and
+// execution resumed from a snapshot reproduces the original run's results.
+#include "cpu_test_util.h"
+
+namespace ptstore {
+namespace {
+
+using testutil::Machine;
+using isa::Assembler;
+using isa::Reg;
+
+TEST(Snapshot, ArchStateRoundTrips) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kA0, 0xDEAD);
+    a.li(Reg::kS3, 0xBEEF);
+    a.csrrw(Reg::kZero, isa::csr::kMscratch, Reg::kA0);
+    a.ebreak();
+  });
+  const CoreArchState st = m.core.arch_state();
+  EXPECT_EQ(st.regs[10], 0xDEADu);
+  EXPECT_EQ(st.regs[19], 0xBEEFu);
+  EXPECT_EQ(st.mscratch, 0xDEADu);
+  EXPECT_GT(st.cycles, 0u);
+
+  // Trash the core, restore, compare everything observable.
+  Machine m2;
+  m2.core.restore_arch_state(st);
+  EXPECT_EQ(m2.core.reg(10), 0xDEADu);
+  EXPECT_EQ(m2.core.pc(), m.core.pc());
+  EXPECT_EQ(m2.core.cycles(), m.core.cycles());
+  EXPECT_EQ(m2.core.instret(), m.core.instret());
+  EXPECT_EQ(*m2.core.read_csr(isa::csr::kMscratch, Privilege::kMachine), 0xDEADu);
+}
+
+TEST(Snapshot, MemoryFramesRoundTrip) {
+  PhysMem mem(kDramBase, MiB(32));
+  mem.write_u64(kDramBase + 0x100, 0xAABB);
+  mem.write_u64(kDramBase + MiB(8), 0xCCDD);
+  const auto frames = mem.snapshot_frames();
+  EXPECT_EQ(frames.size(), 2u);
+
+  mem.write_u64(kDramBase + 0x100, 0);           // Diverge.
+  mem.write_u64(kDramBase + MiB(16), 0x1234);    // Extra frame.
+  mem.restore_frames(frames);
+  EXPECT_EQ(mem.read_u64(kDramBase + 0x100), 0xAABBu);
+  EXPECT_EQ(mem.read_u64(kDramBase + MiB(8)), 0xCCDDu);
+  EXPECT_EQ(mem.read_u64(kDramBase + MiB(16)), 0u);  // Gone after restore.
+  EXPECT_EQ(mem.resident_frames(), 2u);
+}
+
+TEST(Snapshot, ResumedRunMatchesOriginal) {
+  // Run a program halfway, checkpoint, finish; then restore onto a fresh
+  // machine and finish again — identical final architectural state.
+  auto build = [](Assembler& a) {
+    a.li(Reg::kS0, kDramBase + MiB(1));
+    a.li(Reg::kT0, 200);
+    a.li(Reg::kA0, 0);
+    auto loop = a.make_label();
+    a.bind(loop);
+    a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+    a.sd(Reg::kA0, Reg::kS0, 0);  // Memory state evolves too.
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, loop);
+    a.ebreak();
+  };
+
+  Machine m;
+  Assembler a(kDramBase);
+  build(a);
+  const auto code = a.finish();
+  m.core.load_code(kDramBase, code);
+  m.core.run(300);  // Mid-loop.
+  const CoreArchState st = m.core.arch_state();
+  const auto frames = m.mem.snapshot_frames();
+
+  ASSERT_EQ(m.core.run(1'000'000).stop, StopReason::kEbreakHalt);
+  const u64 want_a0 = m.core.reg(10);
+  const u64 want_mem = m.mem.read_u64(kDramBase + MiB(1));
+  EXPECT_EQ(want_a0, 200u * 201 / 2);
+
+  Machine fresh;
+  fresh.mem.restore_frames(frames);
+  fresh.core.restore_arch_state(st);
+  ASSERT_EQ(fresh.core.run(1'000'000).stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(fresh.core.reg(10), want_a0);
+  EXPECT_EQ(fresh.mem.read_u64(kDramBase + MiB(1)), want_mem);
+  EXPECT_EQ(fresh.core.instret(), m.core.instret());
+}
+
+TEST(Snapshot, RestoreTwiceIsDeterministic) {
+  Machine m;
+  Assembler a(kDramBase);
+  a.li(Reg::kT0, 50);
+  a.li(Reg::kA0, 1);
+  auto loop = a.make_label();
+  a.bind(loop);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA0);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.ebreak();
+  m.core.load_code(kDramBase, a.finish());
+  m.core.run(40);
+  const CoreArchState st = m.core.arch_state();
+  const auto frames = m.mem.snapshot_frames();
+
+  auto finish = [&] {
+    Machine f;
+    f.mem.restore_frames(frames);
+    f.core.restore_arch_state(st);
+    f.core.run(1'000'000);
+    return std::make_pair(f.core.reg(10), f.core.cycles());
+  };
+  EXPECT_EQ(finish(), finish());  // Same value AND same cycle count.
+}
+
+TEST(Snapshot, PmpStateSurvives) {
+  Machine m;
+  m.core.write_csr(isa::csr::kPmpaddr0, 0x12345, Privilege::kMachine);
+  m.core.write_csr(isa::csr::kPmpcfg0,
+                   pmpcfg::kR | pmpcfg::kS |
+                       (static_cast<u64>(PmpMatch::kNapot) << pmpcfg::kAShift),
+                   Privilege::kMachine);
+  const CoreArchState st = m.core.arch_state();
+  Machine f;
+  f.core.restore_arch_state(st);
+  EXPECT_EQ(f.core.pmp().addr(0), 0x12345u);
+  EXPECT_EQ(f.core.pmp().cfg(0), m.core.pmp().cfg(0));
+  EXPECT_TRUE(f.core.pmp().is_secure((0x12344 & ~0x3ull) << 2, 4) ==
+              m.core.pmp().is_secure((0x12344 & ~0x3ull) << 2, 4));
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,92 @@
+// Tracer: record bounds, contents, attach/detach, formatting.
+#include "cpu/tracer.h"
+
+#include "cpu_test_util.h"
+
+namespace ptstore {
+namespace {
+
+using testutil::Machine;
+using isa::Reg;
+
+TEST(Tracer, RecordsExecutedInstructions) {
+  Machine m;
+  Tracer tracer;
+  tracer.attach(m.core);
+  m.run_program([](auto& a) {
+    a.addi(Reg::kA0, Reg::kZero, 1);
+    a.addi(Reg::kA0, Reg::kA0, 2);
+    a.ebreak();
+  });
+  ASSERT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.records()[0].pc, kDramBase);
+  EXPECT_EQ(tracer.records()[0].inst.op, isa::Op::kAddi);
+  EXPECT_EQ(tracer.records()[2].inst.op, isa::Op::kEbreak);
+  EXPECT_EQ(tracer.total_traced(), 3u);
+}
+
+TEST(Tracer, RingBufferBounded) {
+  Machine m;
+  Tracer tracer(8);
+  tracer.attach(m.core);
+  m.run_program(
+      [](auto& a) {
+        auto loop = a.make_label();
+        a.li(Reg::kT0, 100);
+        a.bind(loop);
+        a.addi(Reg::kT0, Reg::kT0, -1);
+        a.bnez(Reg::kT0, loop);
+        a.ebreak();
+      },
+      10000);
+  EXPECT_EQ(tracer.records().size(), 8u);
+  EXPECT_GT(tracer.total_traced(), 100u);
+  // The newest record is the ebreak.
+  EXPECT_EQ(tracer.records().back().inst.op, isa::Op::kEbreak);
+}
+
+TEST(Tracer, FormatIncludesPrivAndDisasm) {
+  Machine m;
+  Tracer tracer;
+  tracer.attach(m.core);
+  m.run_program([](auto& a) {
+    a.addi(Reg::kA0, Reg::kZero, 7);
+    a.ebreak();
+  });
+  const auto lines = tracer.format_tail(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("[M]"), std::string::npos);
+  EXPECT_NE(lines[0].find("addi a0, zero, 7"), std::string::npos);
+  EXPECT_NE(tracer.dump().find("ebreak"), std::string::npos);
+}
+
+TEST(Tracer, DetachStopsRecording) {
+  Machine m;
+  Tracer tracer;
+  tracer.attach(m.core);
+  m.run_program([](auto& a) {
+    a.nop();
+    a.ebreak();
+  });
+  const u64 count = tracer.total_traced();
+  tracer.detach(m.core);
+  m.core.set_pc(kDramBase);
+  m.core.run(10);
+  EXPECT_EQ(tracer.total_traced(), count);
+}
+
+TEST(Tracer, TracesCompressedWithCorrectPc) {
+  Machine m;
+  Tracer tracer;
+  tracer.attach(m.core);
+  m.mem.write_u16(kDramBase + 0, 0x4505);  // c.li a0, 1
+  m.mem.write_u16(kDramBase + 2, 0x0515);  // c.addi a0, 5
+  m.mem.write_u16(kDramBase + 4, 0x9002);  // c.ebreak
+  m.core.run(10);
+  ASSERT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.records()[1].pc, kDramBase + 2);
+  EXPECT_EQ(tracer.records()[1].inst.len, 2);
+}
+
+}  // namespace
+}  // namespace ptstore

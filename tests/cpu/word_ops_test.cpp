@@ -1,0 +1,134 @@
+// RV64 word-width (.w/.uw) semantics on the core: shifts, M-extension word
+// forms, and word AMOs — all verified by executing assembled code.
+#include "cpu_test_util.h"
+
+namespace ptstore {
+namespace {
+
+using testutil::Machine;
+using isa::Reg;
+
+TEST(WordOps, ShiftImmediateW) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kT0, 0x0000'0001'8000'0001);  // Word part: 0x80000001.
+    a.slliw(Reg::kA0, Reg::kT0, 1);   // 0x00000002 -> sext 2.
+    a.srliw(Reg::kA1, Reg::kT0, 1);   // 0x40000000.
+    a.sraiw(Reg::kA2, Reg::kT0, 1);   // 0xC0000000 -> sext negative.
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 2u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0x4000'0000u);
+  EXPECT_EQ(m.reg(Reg::kA2), 0xFFFF'FFFF'C000'0000u);
+}
+
+TEST(WordOps, ShiftRegisterWUsesLow5Bits) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kT0, 0x8000'0000);
+    a.li(Reg::kT1, 33);               // & 31 == 1.
+    a.sllw(Reg::kA0, Reg::kT0, Reg::kT1);  // 0x80000000<<1 wraps to 0 in 32b.
+    a.srlw(Reg::kA1, Reg::kT0, Reg::kT1);  // 0x40000000.
+    a.sraw(Reg::kA2, Reg::kT0, Reg::kT1);  // 0xC0000000 sext.
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 0u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0x4000'0000u);
+  EXPECT_EQ(m.reg(Reg::kA2), 0xFFFF'FFFF'C000'0000u);
+}
+
+TEST(WordOps, MulDivW) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kT0, 0x7FFF'FFFF);
+    a.li(Reg::kT1, 2);
+    a.mulw(Reg::kA0, Reg::kT0, Reg::kT1);   // Wraps to -2 in 32 bits.
+    a.li(Reg::kT2, static_cast<u64>(-20));
+    a.li(Reg::kT3, 6);
+    a.divw(Reg::kA1, Reg::kT2, Reg::kT3);   // -3.
+    a.remw(Reg::kA2, Reg::kT2, Reg::kT3);   // -2.
+    a.divuw(Reg::kA3, Reg::kT2, Reg::kT3);  // Unsigned over 0xFFFFFFEC.
+    a.remuw(Reg::kA4, Reg::kT2, Reg::kT3);
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), static_cast<u64>(-2));
+  EXPECT_EQ(m.reg(Reg::kA1), static_cast<u64>(-3));
+  EXPECT_EQ(m.reg(Reg::kA2), static_cast<u64>(-2));
+  EXPECT_EQ(m.reg(Reg::kA3), static_cast<u64>(0xFFFFFFECu / 6));
+  EXPECT_EQ(m.reg(Reg::kA4), static_cast<u64>(0xFFFFFFECu % 6));
+}
+
+TEST(WordOps, DivWCornerCases) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kT0, static_cast<u64>(INT32_MIN));
+    a.li(Reg::kT1, static_cast<u64>(-1));
+    a.divw(Reg::kA0, Reg::kT0, Reg::kT1);  // Overflow: INT32_MIN sext.
+    a.remw(Reg::kA1, Reg::kT0, Reg::kT1);  // 0.
+    a.divw(Reg::kA2, Reg::kT0, Reg::kZero);  // Div by zero: -1.
+    a.remw(Reg::kA3, Reg::kT0, Reg::kZero);  // Dividend (sext).
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), static_cast<u64>(static_cast<i64>(INT32_MIN)));
+  EXPECT_EQ(m.reg(Reg::kA1), 0u);
+  EXPECT_EQ(m.reg(Reg::kA2), ~u64{0});
+  EXPECT_EQ(m.reg(Reg::kA3), static_cast<u64>(static_cast<i64>(INT32_MIN)));
+}
+
+constexpr PhysAddr kData = kDramBase + MiB(1);
+
+TEST(WordOps, AmoWordFormsSignExtend) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kS0, kData);
+    a.li(Reg::kT0, 0x8000'0000);  // Negative as i32.
+    a.sw(Reg::kT0, Reg::kS0, 0);
+    a.li(Reg::kT1, 1);
+    a.amoadd_w(Reg::kA0, Reg::kT1, Reg::kS0);  // Returns old, sign-extended.
+    a.lw(Reg::kA1, Reg::kS0, 0);               // 0x80000001 sext.
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 0xFFFF'FFFF'8000'0000u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0xFFFF'FFFF'8000'0001u);
+}
+
+TEST(WordOps, AmoLogicalOps) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kS0, kData);
+    a.li(Reg::kT0, 0xF0F0);
+    a.sd(Reg::kT0, Reg::kS0, 0);
+    a.li(Reg::kT1, 0x0FF0);
+    a.amoxor_d(Reg::kA0, Reg::kT1, Reg::kS0);  // mem = 0xFF00.
+    a.amoand_d(Reg::kA1, Reg::kT1, Reg::kS0);  // mem = 0x0F00.
+    a.amoor_d(Reg::kA2, Reg::kT1, Reg::kS0);   // mem = 0x0FF0.
+    a.ld(Reg::kA3, Reg::kS0, 0);
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 0xF0F0u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0xFF00u);
+  EXPECT_EQ(m.reg(Reg::kA2), 0x0F00u);
+  EXPECT_EQ(m.reg(Reg::kA3), 0x0FF0u);
+}
+
+TEST(WordOps, LrScWord) {
+  Machine m;
+  m.run_program([](auto& a) {
+    a.li(Reg::kS0, kData);
+    a.li(Reg::kT0, 41);
+    a.sw(Reg::kT0, Reg::kS0, 0);
+    a.lr_w(Reg::kA0, Reg::kS0);
+    a.addi(Reg::kT1, Reg::kA0, 1);
+    a.sc_w(Reg::kA1, Reg::kT1, Reg::kS0);  // Succeeds.
+    a.lw(Reg::kA2, Reg::kS0, 0);
+    a.sc_w(Reg::kA3, Reg::kT1, Reg::kS0);  // No reservation: fails.
+    a.ebreak();
+  });
+  EXPECT_EQ(m.reg(Reg::kA0), 41u);
+  EXPECT_EQ(m.reg(Reg::kA1), 0u);
+  EXPECT_EQ(m.reg(Reg::kA2), 42u);
+  EXPECT_EQ(m.reg(Reg::kA3), 1u);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,359 @@
+// End-to-end guest execution: real U-mode programs running on the
+// interpreter over satp.S-checked page tables, with the C++ kernel
+// demand-paging and serving syscalls behind the trap hook. The full
+// co-design stack in one loop.
+#include "kernel/guest.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+constexpr VirtAddr kEntry = kUserSpaceBase + MiB(64);
+
+class GuestTest : public ::testing::TestWithParam<bool> {
+ protected:
+  GuestTest() {
+    SystemConfig cfg = GetParam() ? SystemConfig::cfi_ptstore() : SystemConfig::baseline();
+    cfg.dram_size = MiB(256);
+    sys_ = std::make_unique<System>(cfg);
+    runner_ = std::make_unique<GuestRunner>(sys_->kernel());
+    proc_ = sys_->kernel().processes().fork(sys_->init());
+  }
+
+  GuestResult run(const std::function<void(Assembler&)>& build, u64 max = 1'000'000) {
+    Assembler a(kEntry);
+    build(a);
+    EXPECT_TRUE(runner_->load_program(*proc_, kEntry, a.finish()));
+    return runner_->run(*proc_, kEntry, max);
+  }
+
+  std::unique_ptr<System> sys_;
+  std::unique_ptr<GuestRunner> runner_;
+  Process* proc_ = nullptr;
+};
+
+TEST_P(GuestTest, ExitSyscall) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kA0, 42);
+    a.li(Reg::kA7, 93);  // exit
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.exit_code, 42u);
+}
+
+TEST_P(GuestTest, ComputeLoopThenExit) {
+  const GuestResult r = run([](Assembler& a) {
+    // Sum 1..100 into a0.
+    a.li(Reg::kT0, 100);
+    a.li(Reg::kA0, 0);
+    auto loop = a.make_label();
+    a.bind(loop);
+    a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, loop);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 5050u);
+  EXPECT_GT(r.instructions, 300u);
+}
+
+TEST_P(GuestTest, GetpidReturnsRealPid) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kA7, 172);  // getpid
+    a.ecall();
+    a.li(Reg::kA7, 93);
+    a.ecall();  // exit(pid)
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, proc_->pid);
+}
+
+TEST_P(GuestTest, StackDemandPagesOnFirstStore) {
+  const u64 pages_before = proc_->user_pages.size();
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+    a.li(Reg::kT0, 0xBEEF);
+    a.sd(Reg::kT0, Reg::kSp, 0);   // Page fault -> demand map -> retry.
+    a.ld(Reg::kA0, Reg::kSp, 0);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0xBEEFu);
+  EXPECT_GT(proc_->user_pages.size(), pages_before);
+}
+
+TEST_P(GuestTest, WriteSyscallReachesConsole) {
+  const GuestResult r = run([](Assembler& a) {
+    // Store "hi!\n" on the stack and write(1, sp, 4).
+    a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+    a.li(Reg::kT0, 0x0A216968);  // "hi!\n" little-endian.
+    a.sw(Reg::kT0, Reg::kSp, 0);
+    a.li(Reg::kA0, 1);
+    a.mv(Reg::kA1, Reg::kSp);
+    a.li(Reg::kA2, 4);
+    a.li(Reg::kA7, 64);  // write
+    a.ecall();
+    a.li(Reg::kA0, 0);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.console, "hi!\n");
+}
+
+TEST_P(GuestTest, BrkGrowsHeap) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kA0, 0);
+    a.li(Reg::kA7, 214);  // brk(0) -> current break.
+    a.ecall();
+    a.addi(Reg::kA0, Reg::kA0, 0x100);
+    a.li(Reg::kA7, 214);  // brk(base + 0x100)
+    a.ecall();
+    a.ld(Reg::kT0, Reg::kA0, -8);  // Touch the heap (demand fault).
+    a.li(Reg::kA0, 7);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 7u);
+}
+
+TEST_P(GuestTest, UnknownSyscallReturnsEnosys) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kA7, 9999);
+    a.ecall();
+    a.li(Reg::kA7, 93);  // exit(a0) — a0 carries the ENOSYS result.
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(static_cast<i64>(r.exit_code), -38);
+}
+
+TEST_P(GuestTest, SegfaultOutsideVmas) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kT0, kUserSpaceBase + GiB(100));
+    a.ld(Reg::kA0, Reg::kT0, 0);
+  });
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, isa::TrapCause::kLoadPageFault);
+}
+
+TEST_P(GuestTest, KernelMemoryUnreachableFromGuest) {
+  // The kernel direct map has U=0: touching it from U-mode page-faults and
+  // the fault is not satisfiable (no VMA) -> segfault.
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kT0, kDramBase + MiB(32));
+    a.ld(Reg::kA0, Reg::kT0, 0);
+  });
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST_P(GuestTest, PtInsnIllegalFromGuest) {
+  // ld.pt in U-mode raises illegal-instruction (PTStore core) or is an
+  // unimplemented opcode (baseline) — either way the guest dies.
+  const GuestResult r = run([](Assembler& a) {
+    a.ld_pt(Reg::kA0, Reg::kSp, 0);
+  });
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, isa::TrapCause::kIllegalInst);
+}
+
+TEST_P(GuestTest, InstructionBudgetStopsRunaway) {
+  const GuestResult r = run(
+      [](Assembler& a) {
+        auto loop = a.make_label();
+        a.bind(loop);
+        a.j(loop);
+      },
+      2'000);
+  EXPECT_FALSE(r.exited);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_GE(r.instructions, 2'000u);
+}
+
+TEST_P(GuestTest, TwoGuestsIsolated) {
+  // Program A writes a secret to its stack; program B (a second process)
+  // cannot observe it at the same VA — distinct physical pages.
+  Process* other = sys_->kernel().processes().fork(sys_->init());
+  GuestRunner r2(sys_->kernel());
+
+  const GuestResult ra = run([](Assembler& a) {
+    a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+    a.li(Reg::kT0, 0x5EC12E7);
+    a.sd(Reg::kT0, Reg::kSp, 0);
+    a.li(Reg::kA0, 0);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  ASSERT_TRUE(ra.exited);
+
+  Assembler b(kEntry);
+  b.li(Reg::kSp, GuestRunner::kStackTop - 16);
+  b.ld(Reg::kA0, Reg::kSp, 0);  // Fresh zero page, not A's secret.
+  b.li(Reg::kA7, 93);
+  b.ecall();
+  ASSERT_TRUE(r2.load_program(*other, kEntry, b.finish()));
+  const GuestResult rb = r2.run(*other, kEntry);
+  ASSERT_TRUE(rb.exited);
+  EXPECT_EQ(rb.exit_code, 0u);
+}
+
+TEST_P(GuestTest, SlicedExecutionResumesWhereItStopped) {
+  // A counting loop sliced into small quanta must produce the same result
+  // as an uninterrupted run.
+  Assembler a(kEntry);
+  a.li(Reg::kT0, 500);
+  a.li(Reg::kA0, 0);
+  auto loop = a.make_label();
+  a.bind(loop);
+  a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.li(Reg::kA7, 93);
+  a.ecall();
+  ASSERT_TRUE(runner_->load_program(*proc_, kEntry, a.finish()));
+
+  GuestResult r;
+  int slices = 0;
+  do {
+    r = runner_->run_slice(*proc_, kEntry, 100);
+    ++slices;
+    ASSERT_LT(slices, 1000);
+  } while (!r.exited && !r.faulted);
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 500u * 501 / 2);
+  EXPECT_GT(slices, 5);  // It really was sliced.
+  EXPECT_FALSE(runner_->has_context(*proc_));  // Context reaped on exit.
+}
+
+TEST_P(GuestTest, InterleavedSlicesOfTwoGuestsIsolated) {
+  // Two counting guests interleaved: each still computes its own sum, even
+  // though the register file is multiplexed between them.
+  Process* other = sys_->kernel().processes().fork(sys_->init());
+  ASSERT_NE(other, nullptr);
+  auto build = [](u64 n) {
+    Assembler a(kEntry);
+    a.li(Reg::kT0, n);
+    a.li(Reg::kA0, 0);
+    auto loop = a.make_label();
+    a.bind(loop);
+    a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, loop);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+    return a.finish();
+  };
+  ASSERT_TRUE(runner_->load_program(*proc_, kEntry, build(100)));
+  ASSERT_TRUE(runner_->load_program(*other, kEntry, build(200)));
+
+  bool done_a = false, done_b = false;
+  u64 exit_a = 0, exit_b = 0;
+  for (int i = 0; i < 1000 && !(done_a && done_b); ++i) {
+    if (!done_a) {
+      const GuestResult r = runner_->run_slice(*proc_, kEntry, 37);
+      if (r.exited) { done_a = true; exit_a = r.exit_code; }
+    }
+    if (!done_b) {
+      const GuestResult r = runner_->run_slice(*other, kEntry, 53);
+      if (r.exited) { done_b = true; exit_b = r.exit_code; }
+    }
+  }
+  EXPECT_TRUE(done_a && done_b);
+  EXPECT_EQ(exit_a, 100u * 101 / 2);
+  EXPECT_EQ(exit_b, 200u * 201 / 2);
+}
+
+TEST_P(GuestTest, TimerPreemptedSlices) {
+  // Hardware-timer preemption: the quantum ends via a real delegated
+  // machine-timer interrupt, and execution resumes exactly where it was.
+  Assembler a(kEntry);
+  a.li(Reg::kT0, 2000);
+  a.li(Reg::kA0, 0);
+  auto loop = a.make_label();
+  a.bind(loop);
+  a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.li(Reg::kA7, 93);
+  a.ecall();
+  ASSERT_TRUE(runner_->load_program(*proc_, kEntry, a.finish()));
+
+  GuestResult r;
+  int preemptions = 0;
+  int slices = 0;
+  do {
+    r = runner_->run_slice_timed(*proc_, kEntry, 500);  // 500-cycle quantum.
+    preemptions += r.preempted ? 1 : 0;
+    ASSERT_LT(++slices, 10000);
+  } while (!r.exited && !r.faulted);
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 2000u * 2001 / 2);
+  EXPECT_GT(preemptions, 3);  // The timer really fired repeatedly.
+  // The timer is disarmed and delegation restored afterwards.
+  EXPECT_EQ(*sys_->core().read_csr(isa::csr::kMtimecmp, Privilege::kMachine),
+            ~u64{0});
+}
+
+TEST_P(GuestTest, LoadProgramRejectsOverlap) {
+  Assembler a(kEntry);
+  a.ebreak();
+  const auto code = a.finish();
+  ASSERT_TRUE(runner_->load_program(*proc_, kEntry, code));
+  // Loading a second image over the same VMAs must fail cleanly.
+  EXPECT_FALSE(runner_->load_program(*proc_, kEntry, code));
+  // A different process is unaffected.
+  Process* other = sys_->kernel().processes().fork(sys_->init());
+  ASSERT_NE(other, nullptr);
+  GuestRunner r2(sys_->kernel());
+  EXPECT_TRUE(r2.load_program(*other, kEntry, code));
+}
+
+TEST_P(GuestTest, MultiPageProgramLoads) {
+  // A program bigger than one page: the tail instructions must execute.
+  Assembler a(kEntry);
+  for (int i = 0; i < 1100; ++i) a.addi(Reg::kA0, Reg::kA0, 1);  // >4 KiB.
+  a.li(Reg::kA7, 93);
+  a.ecall();
+  ASSERT_TRUE(runner_->load_program(*proc_, kEntry, a.finish()));
+  const GuestResult r = runner_->run(*proc_, kEntry, 10'000);
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 1100u);
+}
+
+TEST_P(GuestTest, WriteToNonStdFdIsSwallowed) {
+  const GuestResult r = run([](Assembler& a) {
+    a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+    a.li(Reg::kA0, 3);  // Not stdout/stderr.
+    a.mv(Reg::kA1, Reg::kSp);
+    a.li(Reg::kA2, 4);
+    a.li(Reg::kA7, 64);
+    a.ecall();
+    a.mv(Reg::kA0, Reg::kA0);  // write's return value (= len).
+    a.li(Reg::kA7, 93);
+    a.ecall();
+  });
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 4u);   // write() still returns the length...
+  EXPECT_TRUE(r.console.empty());  // ...but nothing reaches the console.
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, GuestTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "ptstore" : "baseline";
+                         });
+
+}  // namespace
+}  // namespace ptstore

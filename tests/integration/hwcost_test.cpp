@@ -1,0 +1,84 @@
+// Hardware resource model (Table III): the component-derived deltas must
+// land inside the paper's published envelope.
+#include "hwcost/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ptstore::hwcost {
+namespace {
+
+TEST(HwCost, ComponentsAreItemized) {
+  const DeltaEstimate d = estimate_delta(CoreParams{});
+  EXPECT_GE(d.components.size(), 6u);
+  for (const auto& c : d.components) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_FALSE(c.rationale.empty());
+    EXPECT_GT(c.luts + c.ffs, 0u) << c.name;
+  }
+}
+
+TEST(HwCost, DeltaMatchesPaperWithinTolerance) {
+  // Paper Table III core deltas: +508 LUT, +96 FF. Accept ±20%.
+  const DeltaEstimate d = estimate_delta(CoreParams{});
+  EXPECT_NEAR(static_cast<double>(d.total_luts()), 508.0, 508.0 * 0.20);
+  EXPECT_NEAR(static_cast<double>(d.total_ffs()), 96.0, 96.0 * 0.20);
+}
+
+TEST(HwCost, PercentagesStayUnderPaperHeadline) {
+  const TableIII t = build_table(CoreParams{}, BaselineUsage{});
+  EXPECT_LT(t.core_lut_pct, 0.92);  // The paper's headline "<0.92%".
+  EXPECT_LT(t.core_ff_pct, 0.92);
+  EXPECT_LT(t.system_lut_pct, 0.92);
+  EXPECT_LT(t.system_ff_pct, 0.92);
+  EXPECT_GT(t.core_lut_pct, 0.5);  // And not trivially small either.
+}
+
+TEST(HwCost, TableRowsAreConsistent) {
+  const BaselineUsage base;
+  const TableIII t = build_table(CoreParams{}, base);
+  const DeltaEstimate d = estimate_delta(CoreParams{});
+  EXPECT_EQ(t.core_lut_with, base.core_lut + d.total_luts());
+  EXPECT_EQ(t.core_ff_with, base.core_ff + d.total_ffs());
+  EXPECT_EQ(t.system_lut_with - base.system_lut, t.core_lut_with - base.core_lut);
+}
+
+TEST(HwCost, TimingUnaffected) {
+  const BaselineUsage base;
+  const TableIII t = build_table(CoreParams{}, base);
+  EXPECT_GE(t.wss_with_ns, 0.0);             // Still meets the 90 MHz target.
+  EXPECT_GE(t.fmax_with_mhz, 90.0);
+}
+
+TEST(HwCost, DeltaScalesWithPmpEntries) {
+  CoreParams small;
+  small.pmp_entries = 8;
+  CoreParams big;
+  big.pmp_entries = 64;
+  EXPECT_LT(estimate_delta(small).total_luts(), estimate_delta(big).total_luts());
+  EXPECT_LT(estimate_delta(small).total_ffs(), estimate_delta(big).total_ffs());
+}
+
+TEST(HwCost, DeltaScalesWithQueueSizes) {
+  CoreParams small;
+  small.ldq_entries = 4;
+  small.stq_entries = 4;
+  CoreParams big;
+  big.ldq_entries = 32;
+  big.stq_entries = 32;
+  EXPECT_LT(estimate_delta(small).total_ffs(), estimate_delta(big).total_ffs());
+}
+
+TEST(HwCost, RelativeCostShrinksOnBiggerCores) {
+  // Paper: "if the processor core uses a more complex microarchitecture,
+  // the hardware cost will become negligible."
+  BaselineUsage small;                       // SmallBoom.
+  BaselineUsage large = small;
+  large.core_lut = small.core_lut * 4;       // MediumBoom-class.
+  large.core_ff = small.core_ff * 4;
+  const TableIII ts = build_table(CoreParams{}, small);
+  const TableIII tl = build_table(CoreParams{}, large);
+  EXPECT_LT(tl.core_lut_pct, ts.core_lut_pct / 3.0);
+}
+
+}  // namespace
+}  // namespace ptstore::hwcost

@@ -1,0 +1,170 @@
+// LTP-style regression (paper §V-C): run an identical battery of kernel
+// operations on the original and the PTStore kernel and diff the functional
+// outputs. "PTStore does not introduce any new bug" == zero deviations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "kernel/guest.h"
+#include "kernel/system.h"
+#include "mmu/pte.h"
+
+namespace ptstore {
+namespace {
+
+/// Runs a deterministic battery of operations and records every functional
+/// outcome (success/failure, pids, data read back) — but nothing
+/// timing-dependent — into a transcript.
+std::string run_battery(const SystemConfig& cfg) {
+  std::ostringstream out;
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  ProcessManager& pm = k.processes();
+  Process& init = sys.init();
+
+  // 1. Plain syscalls.
+  for (Sys s : {Sys::kNull, Sys::kRead, Sys::kWrite, Sys::kStat, Sys::kOpenClose,
+                Sys::kSelect, Sys::kPipe, Sys::kGetpid}) {
+    out << "sys " << to_string(s) << " " << k.syscall(init, s) << "\n";
+  }
+
+  // 2. Process tree: fork a chain, then a fan, record pids and liveness.
+  std::vector<u64> pids;
+  Process* cur = &init;
+  for (int i = 0; i < 4; ++i) {
+    Process* c = pm.fork(*cur);
+    out << "fork " << (c != nullptr) << " pid " << (c ? c->pid : 0) << "\n";
+    if (c == nullptr) break;
+    pids.push_back(c->pid);
+    cur = c;
+  }
+  for (int i = 0; i < 3; ++i) {
+    Process* c = pm.fork(init);
+    out << "fan " << (c != nullptr) << " pid " << (c ? c->pid : 0) << "\n";
+    if (c != nullptr) pids.push_back(c->pid);
+  }
+  out << "live " << pm.live_count() << "\n";
+
+  // 3. Memory: map, touch, read back through user accesses, mprotect.
+  Process* worker = pm.find(pids.front());
+  const VirtAddr va = kUserSpaceBase + MiB(32);
+  out << "vma " << pm.add_vma(*worker, va, MiB(1), pte::kR | pte::kW) << "\n";
+  out << "switch " << static_cast<int>(pm.switch_to(*worker)) << "\n";
+  for (int i = 0; i < 16; ++i) {
+    out << "touch " << i << " " << k.user_access(*worker, va + i * kPageSize, true)
+        << "\n";
+  }
+  out << "pages " << worker->user_pages.size() << "\n";
+  out << "protect " << pm.protect_vma(*worker, va, MiB(1), pte::kR) << "\n";
+  out << "ro-write " << k.user_access(*worker, va, true) << "\n";
+  out << "ro-read " << k.user_access(*worker, va, false) << "\n";
+  out << "segv " << k.user_access(*worker, va + GiB(3), false) << "\n";
+  out << "unmap " << pm.remove_vma(*worker, va, MiB(1)) << "\n";
+
+  // 4. exec + exit everything.
+  out << "exec " << pm.exec(*worker) << "\n";
+  for (const u64 pid : pids) {
+    Process* p = pm.find(pid);
+    if (p != nullptr) pm.exit(*p);
+  }
+  out << "final-live " << pm.live_count() << "\n";
+  out << "switch-init " << static_cast<int>(pm.switch_to(init)) << "\n";
+
+  // 5. Data integrity through the kernel direct map.
+  const PhysAddr probe = kDramBase + MiB(100);
+  k.kmem().must_sd(probe, 0xA5A5A5A5);
+  out << "dmap " << std::hex << k.kmem().must_ld(probe) << std::dec << "\n";
+
+  // 6. Guest execution: a real U-mode program computing and printing —
+  //    console bytes, exit code, and fault behaviour must be identical on
+  //    both kernels.
+  Process* guest_proc = pm.fork(init);
+  out << "guest-fork " << (guest_proc != nullptr) << "\n";
+  if (guest_proc != nullptr) {
+    GuestRunner runner(k);
+    const VirtAddr entry = kUserSpaceBase + MiB(64);
+    isa::Assembler a(entry);
+    using isa::Reg;
+    a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+    a.li(Reg::kT0, 0x0A6B6F); // "ok\n"
+    a.sw(Reg::kT0, Reg::kSp, 0);
+    a.li(Reg::kA0, 1);
+    a.mv(Reg::kA1, Reg::kSp);
+    a.li(Reg::kA2, 3);
+    a.li(Reg::kA7, 64);
+    a.ecall();
+    a.li(Reg::kT0, 9);
+    a.li(Reg::kA0, 0);
+    auto loop = a.make_label();
+    a.bind(loop);
+    a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, loop);
+    a.li(Reg::kA7, 93);
+    a.ecall();
+    out << "guest-load " << runner.load_program(*guest_proc, entry, a.finish())
+        << "\n";
+    const GuestResult r = runner.run(*guest_proc, entry);
+    out << "guest-exit " << r.exited << " code " << r.exit_code << " console "
+        << r.console;
+    // And a guest that must segfault identically.
+    isa::Assembler bad(entry + MiB(1));
+    bad.li(Reg::kT0, kUserSpaceBase + GiB(200));
+    bad.ld(Reg::kA0, Reg::kT0, 0);
+    Process* bad_proc = pm.fork(init);
+    GuestRunner runner2(k);
+    out << "bad-load "
+        << (bad_proc != nullptr &&
+            runner2.load_program(*bad_proc, entry + MiB(1), bad.finish()))
+        << "\n";
+    if (bad_proc != nullptr) {
+      const GuestResult rb = runner2.run(*bad_proc, entry + MiB(1));
+      out << "bad-fault " << rb.faulted << " cause "
+          << isa::to_string(rb.fault) << "\n";
+      pm.exit(*bad_proc);
+    }
+    pm.exit(*guest_proc);
+  }
+  return out.str();
+}
+
+TEST(Regression, PtStoreKernelBehavesIdentically) {
+  SystemConfig base = SystemConfig::baseline();
+  base.dram_size = MiB(256);
+  SystemConfig pt = SystemConfig::cfi_ptstore();
+  pt.dram_size = MiB(256);
+  const std::string a = run_battery(base);
+  const std::string b = run_battery(pt);
+  EXPECT_EQ(a, b) << "functional deviation between original and PTStore kernels";
+}
+
+TEST(Regression, AdjustmentConfigBehavesIdentically) {
+  SystemConfig pt = SystemConfig::cfi_ptstore();
+  pt.dram_size = MiB(512);
+  SystemConfig noadj = SystemConfig::cfi_ptstore_noadj();
+  noadj.dram_size = MiB(512);
+  noadj.kernel.secure_region_init = MiB(128);
+  EXPECT_EQ(run_battery(pt), run_battery(noadj));
+}
+
+TEST(Regression, RepeatedRunsAreDeterministic) {
+  SystemConfig pt = SystemConfig::cfi_ptstore();
+  pt.dram_size = MiB(256);
+  EXPECT_EQ(run_battery(pt), run_battery(pt));
+}
+
+TEST(Regression, AblationsPreserveFunctionality) {
+  SystemConfig base = SystemConfig::cfi_ptstore();
+  base.dram_size = MiB(256);
+  const std::string want = run_battery(base);
+  for (int mask = 0; mask < 4; ++mask) {
+    SystemConfig cfg = base;
+    cfg.kernel.token_check = (mask & 1) != 0;
+    cfg.kernel.zero_check = (mask & 2) != 0;
+    EXPECT_EQ(run_battery(cfg), want) << "ablation mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,162 @@
+// Randomized kernel stress: thousands of interleaved fork/exit/switch/
+// mmap/touch/munmap operations, with invariants checked throughout and
+// full-conservation checks at the end. Also drives the OOM paths (zone
+// exhaustion with adjustments disabled) to confirm graceful failure.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class KernelStress : public ::testing::TestWithParam<u64> {};
+
+TEST_P(KernelStress, RandomOpsPreserveInvariants) {
+  Rng rng(GetParam());
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(512);
+  cfg.kernel.secure_region_init = MiB(16);
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  ProcessManager& pm = k.processes();
+
+  const u64 pt_baseline = k.pagetables().pt_pages_allocated();
+  const u64 tok_baseline = k.token_cache().objects_in_use();
+
+  std::vector<u64> pids;
+  auto random_live = [&]() -> Process* {
+    while (!pids.empty()) {
+      const size_t i = rng.next_below(pids.size());
+      Process* p = pm.find(pids[i]);
+      if (p != nullptr) return p;
+      pids.erase(pids.begin() + static_cast<long>(i));
+    }
+    return nullptr;
+  };
+
+  for (int step = 0; step < 1500; ++step) {
+    const u64 dice = rng.next_below(100);
+    if (dice < 30 || pids.empty()) {
+      Process* parent = rng.chance(0.5) ? random_live() : nullptr;
+      Process* child = pm.fork(parent != nullptr ? *parent : sys.init());
+      if (child != nullptr) pids.push_back(child->pid);
+    } else if (dice < 45) {
+      Process* p = random_live();
+      if (p != nullptr) {
+        std::erase(pids, p->pid);
+        pm.exit(*p);
+      }
+    } else if (dice < 60) {
+      Process* p = random_live();
+      if (p != nullptr) EXPECT_EQ(pm.switch_to(*p), SwitchResult::kOk);
+    } else if (dice < 75) {
+      Process* p = random_live();
+      if (p != nullptr) {
+        const VirtAddr at =
+            kUserSpaceBase + GiB(1) + (rng.next_below(64) << 24);
+        const u64 pages = 1 + rng.next_below(16);
+        (void)pm.add_vma(*p, at, pages * kPageSize, pte::kR | pte::kW);
+      }
+    } else if (dice < 90) {
+      Process* p = random_live();
+      if (p != nullptr && !p->vmas.empty()) {
+        const Vma& v = p->vmas[rng.next_below(p->vmas.size())];
+        const VirtAddr va =
+            v.start + (rng.next_below((v.end - v.start) >> kPageShift)
+                       << kPageShift);
+        if (pm.switch_to(*p) == SwitchResult::kOk) {
+          (void)k.user_access(*p, va, rng.chance(0.5));
+        }
+      }
+    } else {
+      Process* p = random_live();
+      if (p != nullptr && !p->vmas.empty()) {
+        const Vma v = p->vmas[rng.next_below(p->vmas.size())];
+        (void)pm.remove_vma(*p, v.start, v.end - v.start);
+      }
+    }
+
+    if ((step & 127) == 0) {
+      std::string why;
+      ASSERT_TRUE(k.pages().normal().check_invariants(&why)) << why;
+      ASSERT_TRUE(k.pages().ptstore().check_invariants(&why)) << why;
+      ASSERT_TRUE(k.token_cache().check_invariants(&why)) << why;
+      ASSERT_TRUE(k.pcb_cache().check_invariants(&why)) << why;
+      // Token count always tracks live processes (one each).
+      ASSERT_EQ(k.token_cache().objects_in_use(), pm.live_count());
+    }
+  }
+
+  // Tear everything down: full conservation of PT pages and tokens.
+  for (const u64 pid : pids) {
+    Process* p = pm.find(pid);
+    if (p != nullptr) pm.exit(*p);
+  }
+  EXPECT_EQ(pm.live_count(), 1u);  // init only.
+  EXPECT_EQ(k.pagetables().pt_pages_allocated(), pt_baseline);
+  EXPECT_EQ(k.token_cache().objects_in_use(), tok_baseline);
+  EXPECT_EQ(pm.switch_to(sys.init()), SwitchResult::kOk);
+  // The machine still works.
+  EXPECT_TRUE(k.syscall(sys.init(), Sys::kFork));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelStress, ::testing::Values(11u, 23u, 47u));
+
+TEST(KernelOom, ZoneExhaustionFailsGracefully) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  cfg.kernel.secure_region_init = MiB(1);
+  cfg.kernel.allow_adjustment = false;  // No escape hatch.
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+
+  // Fork until the PTStore zone runs dry.
+  std::vector<u64> pids;
+  for (;;) {
+    Process* child = k.processes().fork(sys.init());
+    if (child == nullptr) break;
+    pids.push_back(child->pid);
+    ASSERT_LT(pids.size(), 4096u) << "zone never exhausted";
+  }
+  EXPECT_GT(pids.size(), 0u);
+
+  // The failure is clean: existing processes still switch and exit fine,
+  // and reaping restores fork capacity.
+  Process* p = k.processes().find(pids.front());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(k.processes().switch_to(*p), SwitchResult::kOk);
+  for (const u64 pid : pids) {
+    Process* q = k.processes().find(pid);
+    if (q != nullptr) k.processes().exit(*q);
+  }
+  k.processes().switch_to(sys.init());
+  EXPECT_NE(k.processes().fork(sys.init()), nullptr);
+}
+
+TEST(KernelOom, NormalZoneExhaustionFailsUserAlloc) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(128);
+  cfg.kernel.secure_region_init = MiB(32);
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  // Drain the normal zone.
+  std::vector<PhysAddr> pages;
+  for (;;) {
+    const auto p = k.pages().alloc_pages(Gfp::kUser, 0);
+    if (!p) break;
+    pages.push_back(*p);
+  }
+  // A demand fault now fails without crashing the kernel.
+  Process& init = sys.init();
+  ASSERT_TRUE(k.processes().add_vma(init, kUserSpaceBase + GiB(3), kPageSize,
+                                    pte::kR | pte::kW));
+  ASSERT_EQ(k.processes().switch_to(init), SwitchResult::kOk);
+  EXPECT_FALSE(k.user_access(init, kUserSpaceBase + GiB(3), true));
+  // Release and retry: recovery works.
+  for (const PhysAddr p : pages) k.pages().free_pages(p, 0);
+  EXPECT_TRUE(k.user_access(init, kUserSpaceBase + GiB(3), true));
+}
+
+}  // namespace
+}  // namespace ptstore

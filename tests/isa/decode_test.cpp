@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+namespace {
+
+// Hand-assembled golden encodings (verified against the RISC-V spec).
+TEST(Decode, Addi) {
+  // addi a0, a1, -3  =  0xFFD58513
+  const Inst in = decode(0xFFD58513);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 11);
+  EXPECT_EQ(in.imm, -3);
+}
+
+TEST(Decode, Lui) {
+  // lui t0, 0x12345  =  0x123452B7
+  const Inst in = decode(0x123452B7);
+  EXPECT_EQ(in.op, Op::kLui);
+  EXPECT_EQ(in.rd, 5);
+  EXPECT_EQ(in.imm, 0x12345000);
+}
+
+TEST(Decode, LuiNegative) {
+  // lui a0, 0xFFFFF → imm = -4096 sign-extended.
+  const Inst in = decode(0xFFFFF537);
+  EXPECT_EQ(in.op, Op::kLui);
+  EXPECT_EQ(in.imm, -4096);
+}
+
+TEST(Decode, LoadStore) {
+  // ld a0, 16(sp)  =  0x01013503
+  Inst in = decode(0x01013503);
+  EXPECT_EQ(in.op, Op::kLd);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, 16);
+  // sd a0, 24(sp)  =  0x00A13C23
+  in = decode(0x00A13C23);
+  EXPECT_EQ(in.op, Op::kSd);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.rs2, 10);
+  EXPECT_EQ(in.imm, 24);
+}
+
+TEST(Decode, Branch) {
+  // beq a0, a1, +8  =  0x00B50463
+  const Inst in = decode(0x00B50463);
+  EXPECT_EQ(in.op, Op::kBeq);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.rs2, 11);
+  EXPECT_EQ(in.imm, 8);
+}
+
+TEST(Decode, Jal) {
+  // jal ra, +16  =  0x010000EF
+  const Inst in = decode(0x010000EF);
+  EXPECT_EQ(in.op, Op::kJal);
+  EXPECT_EQ(in.rd, 1);
+  EXPECT_EQ(in.imm, 16);
+}
+
+TEST(Decode, System) {
+  EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+  EXPECT_EQ(decode(0x30200073).op, Op::kMret);
+  EXPECT_EQ(decode(0x10200073).op, Op::kSret);
+  EXPECT_EQ(decode(0x10500073).op, Op::kWfi);
+}
+
+TEST(Decode, Csr) {
+  // csrrw a0, satp(0x180), a1  =  0x18059573
+  const Inst in = decode(0x18059573);
+  EXPECT_EQ(in.op, Op::kCsrrw);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 11);
+  EXPECT_EQ(in.imm, 0x180);
+}
+
+TEST(Decode, SfenceVma) {
+  // sfence.vma a0, a1  =  0x12B50073
+  const Inst in = decode(0x12B50073);
+  EXPECT_EQ(in.op, Op::kSfenceVma);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.rs2, 11);
+}
+
+TEST(Decode, MExtension) {
+  // mul a0, a1, a2  =  0x02C58533
+  EXPECT_EQ(decode(0x02C58533).op, Op::kMul);
+  // divu a0, a1, a2  =  0x02C5D533
+  EXPECT_EQ(decode(0x02C5D533).op, Op::kDivu);
+  // remw a0, a1, a2  =  0x02C5E53B
+  EXPECT_EQ(decode(0x02C5E53B).op, Op::kRemw);
+}
+
+TEST(Decode, AExtension) {
+  // lr.d a0, (a1)  =  0x1005B52F
+  Inst in = decode(0x1005B52F);
+  EXPECT_EQ(in.op, Op::kLrD);
+  // sc.d a0, a2, (a1)  =  0x18C5B52F
+  in = decode(0x18C5B52F);
+  EXPECT_EQ(in.op, Op::kScD);
+  EXPECT_EQ(in.rs2, 12);
+  // amoadd.w a0, a2, (a1)  =  0x00C5A52F
+  EXPECT_EQ(decode(0x00C5A52F).op, Op::kAmoAddW);
+}
+
+// --- PTStore extension encodings ---
+
+TEST(Decode, LdPt) {
+  // ld.pt a0, 8(a1): custom-0 (0001011), I-type, funct3=011.
+  // imm=8, rs1=11, funct3=3, rd=10, opcode=0x0B → 0x0085B50B
+  const Inst in = decode(0x0085B50B);
+  EXPECT_EQ(in.op, Op::kLdPt);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 11);
+  EXPECT_EQ(in.imm, 8);
+  EXPECT_TRUE(in.is_pt_access());
+  EXPECT_TRUE(in.is_load());
+}
+
+TEST(Decode, SdPt) {
+  // sd.pt a2, 16(a1): custom-1 (0101011), S-type, funct3=011.
+  // imm=16 → imm[11:5]=0, imm[4:0]=16; rs2=12, rs1=11 → 0x00C5B82B
+  const Inst in = decode(0x00C5B82B);
+  EXPECT_EQ(in.op, Op::kSdPt);
+  EXPECT_EQ(in.rs1, 11);
+  EXPECT_EQ(in.rs2, 12);
+  EXPECT_EQ(in.imm, 16);
+  EXPECT_TRUE(in.is_pt_access());
+  EXPECT_TRUE(in.is_store());
+}
+
+TEST(Decode, PtWrongFunct3IsIllegal) {
+  // custom-0 with funct3=010 is not ld.pt.
+  EXPECT_EQ(decode(0x0085A50B).op, Op::kIllegal);
+  // custom-1 with funct3=010 is not sd.pt.
+  EXPECT_EQ(decode(0x00C5A82B).op, Op::kIllegal);
+}
+
+TEST(Decode, IllegalPatterns) {
+  EXPECT_EQ(decode(0x00000000).op, Op::kIllegal);
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kIllegal);
+  // Floating-point load (FPU disabled in the prototype).
+  EXPECT_EQ(decode(0x0005B007).op, Op::kIllegal);
+}
+
+TEST(Decode, Classification) {
+  EXPECT_TRUE(decode(0x01013503).is_load());    // ld
+  EXPECT_TRUE(decode(0x00A13C23).is_store());   // sd
+  EXPECT_TRUE(decode(0x00B50463).is_branch());  // beq
+  EXPECT_TRUE(decode(0x00C5A52F).is_amo());     // amoadd.w
+  EXPECT_FALSE(decode(0x00000073).is_load());   // ecall
+}
+
+TEST(Disasm, Spotchecks) {
+  EXPECT_EQ(disassemble(decode(0xFFD58513)), "addi a0, a1, -3");
+  EXPECT_EQ(disassemble(decode(0x0085B50B)), "ld.pt a0, 8(a1)");
+  EXPECT_EQ(disassemble(decode(0x00C5B82B)), "sd.pt a2, 16(a1)");
+  EXPECT_EQ(disassemble(decode(0x00000073)), "ecall");
+}
+
+TEST(RegNames, Abi) {
+  EXPECT_STREQ(reg_name(0), "zero");
+  EXPECT_STREQ(reg_name(1), "ra");
+  EXPECT_STREQ(reg_name(2), "sp");
+  EXPECT_STREQ(reg_name(10), "a0");
+  EXPECT_STREQ(reg_name(31), "t6");
+}
+
+}  // namespace
+}  // namespace ptstore::isa

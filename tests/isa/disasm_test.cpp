@@ -1,0 +1,126 @@
+// Disassembler coverage: every emittable operation renders its mnemonic,
+// and operand formatting is stable for each format class.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace ptstore::isa {
+namespace {
+
+/// Assemble one instruction via `emit`, decode it, and require that the
+/// disassembly starts with the expected mnemonic.
+void expect_mnemonic(const std::function<void(Assembler&)>& emit,
+                     const std::string& mnemonic) {
+  Assembler a(0);
+  emit(a);
+  const auto words = a.finish();
+  ASSERT_FALSE(words.empty());
+  const std::string text = disassemble(decode(words[0]));
+  EXPECT_EQ(text.substr(0, mnemonic.size()), mnemonic) << text;
+}
+
+TEST(Disasm, AllAluMnemonics) {
+  using R = Reg;
+  expect_mnemonic([](Assembler& a) { a.add(R::kA0, R::kA1, R::kA2); }, "add ");
+  expect_mnemonic([](Assembler& a) { a.sub(R::kA0, R::kA1, R::kA2); }, "sub ");
+  expect_mnemonic([](Assembler& a) { a.sll(R::kA0, R::kA1, R::kA2); }, "sll ");
+  expect_mnemonic([](Assembler& a) { a.slt(R::kA0, R::kA1, R::kA2); }, "slt ");
+  expect_mnemonic([](Assembler& a) { a.sltu(R::kA0, R::kA1, R::kA2); }, "sltu ");
+  expect_mnemonic([](Assembler& a) { a.xor_(R::kA0, R::kA1, R::kA2); }, "xor ");
+  expect_mnemonic([](Assembler& a) { a.srl(R::kA0, R::kA1, R::kA2); }, "srl ");
+  expect_mnemonic([](Assembler& a) { a.sra(R::kA0, R::kA1, R::kA2); }, "sra ");
+  expect_mnemonic([](Assembler& a) { a.or_(R::kA0, R::kA1, R::kA2); }, "or ");
+  expect_mnemonic([](Assembler& a) { a.and_(R::kA0, R::kA1, R::kA2); }, "and ");
+  expect_mnemonic([](Assembler& a) { a.addw(R::kA0, R::kA1, R::kA2); }, "addw ");
+  expect_mnemonic([](Assembler& a) { a.subw(R::kA0, R::kA1, R::kA2); }, "subw ");
+}
+
+TEST(Disasm, AllImmediateMnemonics) {
+  using R = Reg;
+  expect_mnemonic([](Assembler& a) { a.addi(R::kA0, R::kA1, 1); }, "addi ");
+  expect_mnemonic([](Assembler& a) { a.slti(R::kA0, R::kA1, 1); }, "slti ");
+  expect_mnemonic([](Assembler& a) { a.sltiu(R::kA0, R::kA1, 1); }, "sltiu ");
+  expect_mnemonic([](Assembler& a) { a.xori(R::kA0, R::kA1, 1); }, "xori ");
+  expect_mnemonic([](Assembler& a) { a.ori(R::kA0, R::kA1, 1); }, "ori ");
+  expect_mnemonic([](Assembler& a) { a.andi(R::kA0, R::kA1, 1); }, "andi ");
+  expect_mnemonic([](Assembler& a) { a.slli(R::kA0, R::kA1, 3); }, "slli ");
+  expect_mnemonic([](Assembler& a) { a.srli(R::kA0, R::kA1, 3); }, "srli ");
+  expect_mnemonic([](Assembler& a) { a.srai(R::kA0, R::kA1, 3); }, "srai ");
+  expect_mnemonic([](Assembler& a) { a.addiw(R::kA0, R::kA1, 1); }, "addiw ");
+}
+
+TEST(Disasm, AllMemoryMnemonics) {
+  using R = Reg;
+  expect_mnemonic([](Assembler& a) { a.lb(R::kA0, R::kSp, 0); }, "lb ");
+  expect_mnemonic([](Assembler& a) { a.lh(R::kA0, R::kSp, 0); }, "lh ");
+  expect_mnemonic([](Assembler& a) { a.lw(R::kA0, R::kSp, 0); }, "lw ");
+  expect_mnemonic([](Assembler& a) { a.ld(R::kA0, R::kSp, 0); }, "ld ");
+  expect_mnemonic([](Assembler& a) { a.lbu(R::kA0, R::kSp, 0); }, "lbu ");
+  expect_mnemonic([](Assembler& a) { a.lhu(R::kA0, R::kSp, 0); }, "lhu ");
+  expect_mnemonic([](Assembler& a) { a.lwu(R::kA0, R::kSp, 0); }, "lwu ");
+  expect_mnemonic([](Assembler& a) { a.sb(R::kA0, R::kSp, 0); }, "sb ");
+  expect_mnemonic([](Assembler& a) { a.sh(R::kA0, R::kSp, 0); }, "sh ");
+  expect_mnemonic([](Assembler& a) { a.sw(R::kA0, R::kSp, 0); }, "sw ");
+  expect_mnemonic([](Assembler& a) { a.sd(R::kA0, R::kSp, 0); }, "sd ");
+  expect_mnemonic([](Assembler& a) { a.ld_pt(R::kA0, R::kSp, 0); }, "ld.pt ");
+  expect_mnemonic([](Assembler& a) { a.sd_pt(R::kA0, R::kSp, 0); }, "sd.pt ");
+}
+
+TEST(Disasm, MulDivAmoMnemonics) {
+  using R = Reg;
+  expect_mnemonic([](Assembler& a) { a.mul(R::kA0, R::kA1, R::kA2); }, "mul ");
+  expect_mnemonic([](Assembler& a) { a.mulh(R::kA0, R::kA1, R::kA2); }, "mulh ");
+  expect_mnemonic([](Assembler& a) { a.mulhsu(R::kA0, R::kA1, R::kA2); }, "mulhsu ");
+  expect_mnemonic([](Assembler& a) { a.mulhu(R::kA0, R::kA1, R::kA2); }, "mulhu ");
+  expect_mnemonic([](Assembler& a) { a.div(R::kA0, R::kA1, R::kA2); }, "div ");
+  expect_mnemonic([](Assembler& a) { a.divu(R::kA0, R::kA1, R::kA2); }, "divu ");
+  expect_mnemonic([](Assembler& a) { a.rem(R::kA0, R::kA1, R::kA2); }, "rem ");
+  expect_mnemonic([](Assembler& a) { a.remu(R::kA0, R::kA1, R::kA2); }, "remu ");
+  expect_mnemonic([](Assembler& a) { a.lr_d(R::kA0, R::kA1); }, "lr.d ");
+  expect_mnemonic([](Assembler& a) { a.sc_d(R::kA0, R::kA2, R::kA1); }, "sc.d ");
+  expect_mnemonic([](Assembler& a) { a.amoswap_d(R::kA0, R::kA2, R::kA1); }, "amoswap.d ");
+  expect_mnemonic([](Assembler& a) { a.amoadd_d(R::kA0, R::kA2, R::kA1); }, "amoadd.d ");
+}
+
+TEST(Disasm, SystemMnemonics) {
+  expect_mnemonic([](Assembler& a) { a.ecall(); }, "ecall");
+  expect_mnemonic([](Assembler& a) { a.ebreak(); }, "ebreak");
+  expect_mnemonic([](Assembler& a) { a.mret(); }, "mret");
+  expect_mnemonic([](Assembler& a) { a.sret(); }, "sret");
+  expect_mnemonic([](Assembler& a) { a.wfi(); }, "wfi");
+  expect_mnemonic([](Assembler& a) { a.fence(); }, "fence");
+  expect_mnemonic([](Assembler& a) { a.fence_i(); }, "fence.i");
+  expect_mnemonic([](Assembler& a) { a.sfence_vma(Reg::kA0, Reg::kA1); }, "sfence.vma");
+  expect_mnemonic([](Assembler& a) { a.csrrw(Reg::kA0, 0x180, Reg::kA1); }, "csrrw ");
+  expect_mnemonic([](Assembler& a) { a.csrrs(Reg::kA0, 0x180, Reg::kA1); }, "csrrs ");
+  expect_mnemonic([](Assembler& a) { a.csrrc(Reg::kA0, 0x180, Reg::kA1); }, "csrrc ");
+  expect_mnemonic([](Assembler& a) { a.csrrwi(Reg::kA0, 0x180, 1); }, "csrrwi ");
+}
+
+TEST(Disasm, OperandFormats) {
+  EXPECT_EQ(disassemble(decode(0x01013503)), "ld a0, 16(sp)");
+  EXPECT_EQ(disassemble(decode(0x00A13C23)), "sd a0, 24(sp)");
+  EXPECT_EQ(disassemble(decode(0x00B50463)), "beq a0, a1, 8");
+  EXPECT_EQ(disassemble(decode(0x010000EF)), "jal ra, 16");
+  EXPECT_EQ(disassemble(decode(0xFFFFFFFF)), "illegal");
+}
+
+TEST(Disasm, CompressedRendersAsFullOp) {
+  // Compressed forms decompress, so they disassemble as the base op.
+  EXPECT_EQ(disassemble(decode_compressed(0x852E)), "add a0, zero, a1");  // c.mv
+  EXPECT_EQ(disassemble(decode_compressed(0x9002)), "ebreak");            // c.ebreak
+}
+
+TEST(Disasm, OpNamesUniqueAndNonEmpty) {
+  // Every Op in the enum range has a distinct non-placeholder name.
+  std::set<std::string> seen;
+  for (u16 v = 1; v <= static_cast<u16>(Op::kSdPt); ++v) {
+    const char* name = op_name(static_cast<Op>(v));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << v;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+}  // namespace
+}  // namespace ptstore::isa

@@ -1,0 +1,183 @@
+// Property test: every instruction the assembler can emit decodes back to
+// the same operation and operands, across randomized register/immediate
+// sweeps. This pins the encoder and decoder against each other.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+
+namespace ptstore::isa {
+namespace {
+
+Reg rnd_reg(Rng& rng) { return static_cast<Reg>(rng.next_below(32)); }
+i64 rnd_imm12(Rng& rng) { return static_cast<i64>(rng.next_range(0, 4095)) - 2048; }
+
+TEST(RoundTrip, RTypeOps) {
+  Rng rng(1);
+  using Emit = void (Assembler::*)(Reg, Reg, Reg);
+  const std::pair<Emit, Op> cases[] = {
+      {&Assembler::add, Op::kAdd},   {&Assembler::sub, Op::kSub},
+      {&Assembler::sll, Op::kSll},   {&Assembler::slt, Op::kSlt},
+      {&Assembler::sltu, Op::kSltu}, {&Assembler::xor_, Op::kXor},
+      {&Assembler::srl, Op::kSrl},   {&Assembler::sra, Op::kSra},
+      {&Assembler::or_, Op::kOr},    {&Assembler::and_, Op::kAnd},
+      {&Assembler::addw, Op::kAddw}, {&Assembler::subw, Op::kSubw},
+      {&Assembler::mul, Op::kMul},   {&Assembler::mulh, Op::kMulh},
+      {&Assembler::div, Op::kDiv},   {&Assembler::divu, Op::kDivu},
+      {&Assembler::rem, Op::kRem},   {&Assembler::remu, Op::kRemu},
+  };
+  for (const auto& [emit, op] : cases) {
+    for (int i = 0; i < 20; ++i) {
+      const Reg rd = rnd_reg(rng), rs1 = rnd_reg(rng), rs2 = rnd_reg(rng);
+      Assembler a(0);
+      (a.*emit)(rd, rs1, rs2);
+      const Inst in = decode(a.finish()[0]);
+      EXPECT_EQ(in.op, op) << op_name(op);
+      EXPECT_EQ(in.rd, regno(rd));
+      EXPECT_EQ(in.rs1, regno(rs1));
+      EXPECT_EQ(in.rs2, regno(rs2));
+    }
+  }
+}
+
+TEST(RoundTrip, ITypeOps) {
+  Rng rng(2);
+  using Emit = void (Assembler::*)(Reg, Reg, i64);
+  const std::pair<Emit, Op> cases[] = {
+      {&Assembler::addi, Op::kAddi},   {&Assembler::slti, Op::kSlti},
+      {&Assembler::sltiu, Op::kSltiu}, {&Assembler::xori, Op::kXori},
+      {&Assembler::ori, Op::kOri},     {&Assembler::andi, Op::kAndi},
+      {&Assembler::addiw, Op::kAddiw}, {&Assembler::jalr, Op::kJalr},
+  };
+  for (const auto& [emit, op] : cases) {
+    for (int i = 0; i < 20; ++i) {
+      const Reg rd = rnd_reg(rng), rs1 = rnd_reg(rng);
+      const i64 imm = rnd_imm12(rng);
+      Assembler a(0);
+      (a.*emit)(rd, rs1, imm);
+      const Inst in = decode(a.finish()[0]);
+      EXPECT_EQ(in.op, op) << op_name(op);
+      EXPECT_EQ(in.rd, regno(rd));
+      EXPECT_EQ(in.rs1, regno(rs1));
+      EXPECT_EQ(in.imm, imm);
+    }
+  }
+}
+
+TEST(RoundTrip, LoadsAndStores) {
+  Rng rng(3);
+  using EmitL = void (Assembler::*)(Reg, Reg, i64);
+  const std::pair<EmitL, Op> loads[] = {
+      {&Assembler::lb, Op::kLb},   {&Assembler::lh, Op::kLh},
+      {&Assembler::lw, Op::kLw},   {&Assembler::ld, Op::kLd},
+      {&Assembler::lbu, Op::kLbu}, {&Assembler::lhu, Op::kLhu},
+      {&Assembler::lwu, Op::kLwu}, {&Assembler::ld_pt, Op::kLdPt},
+  };
+  for (const auto& [emit, op] : loads) {
+    for (int i = 0; i < 10; ++i) {
+      const Reg rd = rnd_reg(rng), rs1 = rnd_reg(rng);
+      const i64 imm = rnd_imm12(rng);
+      Assembler a(0);
+      (a.*emit)(rd, rs1, imm);
+      const Inst in = decode(a.finish()[0]);
+      EXPECT_EQ(in.op, op) << op_name(op);
+      EXPECT_EQ(in.rd, regno(rd));
+      EXPECT_EQ(in.rs1, regno(rs1));
+      EXPECT_EQ(in.imm, imm);
+    }
+  }
+
+  using EmitS = void (Assembler::*)(Reg, Reg, i64);
+  const std::pair<EmitS, Op> stores[] = {
+      {&Assembler::sb, Op::kSb},
+      {&Assembler::sh, Op::kSh},
+      {&Assembler::sw, Op::kSw},
+      {&Assembler::sd, Op::kSd},
+      {&Assembler::sd_pt, Op::kSdPt},
+  };
+  for (const auto& [emit, op] : stores) {
+    for (int i = 0; i < 10; ++i) {
+      const Reg rs2 = rnd_reg(rng), rs1 = rnd_reg(rng);
+      const i64 imm = rnd_imm12(rng);
+      Assembler a(0);
+      (a.*emit)(rs2, rs1, imm);
+      const Inst in = decode(a.finish()[0]);
+      EXPECT_EQ(in.op, op) << op_name(op);
+      EXPECT_EQ(in.rs1, regno(rs1));
+      EXPECT_EQ(in.rs2, regno(rs2));
+      EXPECT_EQ(in.imm, imm);
+    }
+  }
+}
+
+TEST(RoundTrip, Shifts) {
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const Reg rd = rnd_reg(rng), rs1 = rnd_reg(rng);
+    const unsigned sh = static_cast<unsigned>(rng.next_below(64));
+    Assembler a(0);
+    a.slli(rd, rs1, sh);
+    a.srli(rd, rs1, sh);
+    a.srai(rd, rs1, sh);
+    const auto w = a.finish();
+    EXPECT_EQ(decode(w[0]).op, Op::kSlli);
+    EXPECT_EQ(decode(w[0]).imm, static_cast<i64>(sh));
+    EXPECT_EQ(decode(w[1]).op, Op::kSrli);
+    EXPECT_EQ(decode(w[2]).op, Op::kSrai);
+    EXPECT_EQ(decode(w[2]).imm, static_cast<i64>(sh));
+  }
+}
+
+TEST(RoundTrip, BranchDisplacements) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    // Random even displacement within B-type range, realized via labels.
+    const unsigned gap = static_cast<unsigned>(rng.next_below(100));
+    Assembler a(0);
+    auto t = a.make_label();
+    a.blt(Reg::kA0, Reg::kA1, t);
+    for (unsigned n = 0; n < gap; ++n) a.nop();
+    a.bind(t);
+    a.nop();
+    const Inst in = decode(a.finish()[0]);
+    EXPECT_EQ(in.op, Op::kBlt);
+    EXPECT_EQ(in.imm, static_cast<i64>(4 * (gap + 1)));
+  }
+}
+
+TEST(RoundTrip, AmoOps) {
+  Assembler a(0);
+  a.lr_d(Reg::kA0, Reg::kA1);
+  a.sc_d(Reg::kA0, Reg::kA2, Reg::kA1);
+  a.amoswap_d(Reg::kA0, Reg::kA2, Reg::kA1);
+  a.amoadd_d(Reg::kA0, Reg::kA2, Reg::kA1);
+  const auto w = a.finish();
+  EXPECT_EQ(decode(w[0]).op, Op::kLrD);
+  EXPECT_EQ(decode(w[1]).op, Op::kScD);
+  EXPECT_EQ(decode(w[2]).op, Op::kAmoSwapD);
+  EXPECT_EQ(decode(w[3]).op, Op::kAmoAddD);
+  for (const u32 word : w) {
+    EXPECT_EQ(decode(word).rs1, 11u);
+  }
+}
+
+TEST(RoundTrip, PrivilegedAndFences) {
+  Assembler a(0);
+  a.ecall();
+  a.ebreak();
+  a.mret();
+  a.sret();
+  a.wfi();
+  a.fence();
+  a.fence_i();
+  a.sfence_vma(Reg::kA0, Reg::kA1);
+  const auto w = a.finish();
+  const Op want[] = {Op::kEcall, Op::kEbreak, Op::kMret, Op::kSret,
+                     Op::kWfi,   Op::kFence,  Op::kFenceI, Op::kSfenceVma};
+  for (size_t i = 0; i < std::size(want); ++i) {
+    EXPECT_EQ(decode(w[i]).op, want[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ptstore::isa

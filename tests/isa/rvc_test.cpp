@@ -1,0 +1,260 @@
+// RVC (compressed) decoding: golden encodings from the RVC spec tables,
+// plus execution of mixed 16/32-bit code on the core (IALIGN=16).
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "isa/inst.h"
+
+namespace ptstore::isa {
+namespace {
+
+TEST(Rvc, CAddi) {
+  // c.addi a0, 5  =  funct3=000, q1: 0x0515
+  const Inst in = decode_compressed(0x0515);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.imm, 5);
+  EXPECT_EQ(in.len, 2);
+}
+
+TEST(Rvc, CAddiNegative) {
+  // c.addi a0, -1  =  0x157D
+  const Inst in = decode_compressed(0x157D);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.imm, -1);
+}
+
+TEST(Rvc, CNopIsAddiX0) {
+  // c.nop = 0x0001 (c.addi x0, 0).
+  const Inst in = decode_compressed(0x0001);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 0);
+  EXPECT_EQ(in.imm, 0);
+}
+
+TEST(Rvc, CLi) {
+  // c.li a5, 1  =  0x4785
+  const Inst in = decode_compressed(0x4785);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 15);
+  EXPECT_EQ(in.rs1, 0);
+  EXPECT_EQ(in.imm, 1);
+}
+
+TEST(Rvc, CLui) {
+  // c.lui a1, 0x1  =  0x6585
+  const Inst in = decode_compressed(0x6585);
+  EXPECT_EQ(in.op, Op::kLui);
+  EXPECT_EQ(in.rd, 11);
+  EXPECT_EQ(in.imm, 0x1000);
+}
+
+TEST(Rvc, CAddi16Sp) {
+  // c.addi16sp sp, 32  =  0x6105
+  const Inst in = decode_compressed(0x6105);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 2);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, 32);
+}
+
+TEST(Rvc, CAddi4Spn) {
+  // c.addi4spn a0, sp, 16  =  0x0808
+  const Inst in = decode_compressed(0x0808);
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, 16);
+}
+
+TEST(Rvc, CLdCSd) {
+  // c.ld a1, 8(a0)  =  0x650C
+  Inst in = decode_compressed(0x650C);
+  EXPECT_EQ(in.op, Op::kLd);
+  EXPECT_EQ(in.rd, 11);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.imm, 8);
+  // c.sd a1, 8(a0)  =  0xE50C
+  in = decode_compressed(0xE50C);
+  EXPECT_EQ(in.op, Op::kSd);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.rs2, 11);
+  EXPECT_EQ(in.imm, 8);
+}
+
+TEST(Rvc, CLwCSw) {
+  // c.lw a2, 4(a1)  =  0x41D0
+  Inst in = decode_compressed(0x41D0);
+  EXPECT_EQ(in.op, Op::kLw);
+  EXPECT_EQ(in.rd, 12);
+  EXPECT_EQ(in.rs1, 11);
+  EXPECT_EQ(in.imm, 4);
+  // c.sw a2, 4(a1)  =  0xC1D0
+  in = decode_compressed(0xC1D0);
+  EXPECT_EQ(in.op, Op::kSw);
+  EXPECT_EQ(in.rs2, 12);
+}
+
+TEST(Rvc, CMvCAdd) {
+  // c.mv a0, a1  =  0x852E
+  Inst in = decode_compressed(0x852E);
+  EXPECT_EQ(in.op, Op::kAdd);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 0);
+  EXPECT_EQ(in.rs2, 11);
+  // c.add a0, a1  =  0x952E
+  in = decode_compressed(0x952E);
+  EXPECT_EQ(in.op, Op::kAdd);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.rs2, 11);
+}
+
+TEST(Rvc, CJrCJalr) {
+  // c.jr a0  =  0x8502
+  Inst in = decode_compressed(0x8502);
+  EXPECT_EQ(in.op, Op::kJalr);
+  EXPECT_EQ(in.rd, 0);
+  EXPECT_EQ(in.rs1, 10);
+  // c.jalr a0  =  0x9502
+  in = decode_compressed(0x9502);
+  EXPECT_EQ(in.op, Op::kJalr);
+  EXPECT_EQ(in.rd, 1);
+  EXPECT_EQ(in.rs1, 10);
+}
+
+TEST(Rvc, CEbreak) {
+  EXPECT_EQ(decode_compressed(0x9002).op, Op::kEbreak);
+}
+
+TEST(Rvc, CJ) {
+  // c.j +8  =  0xA021
+  const Inst in = decode_compressed(0xA021);
+  EXPECT_EQ(in.op, Op::kJal);
+  EXPECT_EQ(in.rd, 0);
+  EXPECT_EQ(in.imm, 8);
+}
+
+TEST(Rvc, CBeqzCBnez) {
+  // c.beqz a0, +8  =  0xC501
+  Inst in = decode_compressed(0xC501);
+  EXPECT_EQ(in.op, Op::kBeq);
+  EXPECT_EQ(in.rs1, 10);
+  EXPECT_EQ(in.rs2, 0);
+  EXPECT_EQ(in.imm, 8);
+  // c.bnez a0, +8  =  0xE501
+  in = decode_compressed(0xE501);
+  EXPECT_EQ(in.op, Op::kBne);
+  EXPECT_EQ(in.imm, 8);
+}
+
+TEST(Rvc, ShiftsAndAndi) {
+  // c.srli a0, 2  =  0x8109
+  Inst in = decode_compressed(0x8109);
+  EXPECT_EQ(in.op, Op::kSrli);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.imm, 2);
+  // c.srai a0, 2  =  0x8509
+  in = decode_compressed(0x8509);
+  EXPECT_EQ(in.op, Op::kSrai);
+  // c.andi a0, 3  =  0x890D
+  in = decode_compressed(0x890D);
+  EXPECT_EQ(in.op, Op::kAndi);
+  EXPECT_EQ(in.imm, 3);
+  // c.slli a0, 2  =  0x050A
+  in = decode_compressed(0x050A);
+  EXPECT_EQ(in.op, Op::kSlli);
+  EXPECT_EQ(in.imm, 2);
+}
+
+TEST(Rvc, ArithRegReg) {
+  // c.sub a0, a1  =  0x8D0D
+  EXPECT_EQ(decode_compressed(0x8D0D).op, Op::kSub);
+  // c.xor a0, a1  =  0x8D2D
+  EXPECT_EQ(decode_compressed(0x8D2D).op, Op::kXor);
+  // c.or a0, a1  =  0x8D4D
+  EXPECT_EQ(decode_compressed(0x8D4D).op, Op::kOr);
+  // c.and a0, a1  =  0x8D6D
+  EXPECT_EQ(decode_compressed(0x8D6D).op, Op::kAnd);
+  // c.subw a0, a1  =  0x9D0D
+  EXPECT_EQ(decode_compressed(0x9D0D).op, Op::kSubw);
+  // c.addw a0, a1  =  0x9D2D
+  EXPECT_EQ(decode_compressed(0x9D2D).op, Op::kAddw);
+}
+
+TEST(Rvc, StackRelative) {
+  // c.ldsp a0, 16(sp)  =  0x6542
+  Inst in = decode_compressed(0x6542);
+  EXPECT_EQ(in.op, Op::kLd);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.imm, 16);
+  // c.sdsp a0, 16(sp)  =  0xE82A
+  in = decode_compressed(0xE82A);
+  EXPECT_EQ(in.op, Op::kSd);
+  EXPECT_EQ(in.rs2, 10);
+  EXPECT_EQ(in.imm, 16);
+}
+
+TEST(Rvc, IllegalEncodings) {
+  EXPECT_EQ(decode_compressed(0x0000).op, Op::kIllegal);  // All-zero.
+  // c.addiw with rd=0 is reserved.
+  EXPECT_EQ(decode_compressed(0x2001).op, Op::kIllegal);
+  // c.addi16sp with imm=0 is reserved.
+  EXPECT_EQ(decode_compressed(0x6101).op, Op::kIllegal);
+}
+
+TEST(Rvc, DecodeAnyDispatch) {
+  EXPECT_EQ(decode_any(0x0515).len, 2);                // c.addi.
+  EXPECT_EQ(decode_any(0xFFD58513).len, 4);            // addi.
+  EXPECT_EQ(decode_any(0xFFD58513).op, Op::kAddi);
+}
+
+// Execute mixed compressed/uncompressed code on the core.
+TEST(RvcExec, MixedWidthProgram) {
+  PhysMem mem(kDramBase, MiB(8));
+  CoreConfig ccfg;
+  Core core(mem, ccfg);
+  // c.li a0, 1; c.addi a0, 5; (32-bit) slli a0, a0, 8; c.ebreak
+  mem.write_u16(kDramBase + 0, 0x4505);   // c.li a0, 1
+  mem.write_u16(kDramBase + 2, 0x0515);   // c.addi a0, 5
+  mem.write_u32(kDramBase + 4, 0x00851513);  // slli a0, a0, 8
+  mem.write_u16(kDramBase + 8, 0x9002);   // c.ebreak
+  const StepResult r = core.run(100);
+  EXPECT_EQ(r.stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(core.reg(10), u64{6} << 8);
+  EXPECT_EQ(core.instret(), 4u);  // Three ops + the halting c.ebreak retire.
+}
+
+TEST(RvcExec, CompressedBranchLoop) {
+  PhysMem mem(kDramBase, MiB(8));
+  CoreConfig ccfg;
+  Core core(mem, ccfg);
+  // a0 = 4; loop: c.addi a0, -1; c.bnez a0, loop; c.ebreak
+  mem.write_u16(kDramBase + 0, 0x4511);  // c.li a0, 4
+  mem.write_u16(kDramBase + 2, 0x157D);  // c.addi a0, -1
+  mem.write_u16(kDramBase + 4, 0xFD7D);  // c.bnez a0, -2
+  mem.write_u16(kDramBase + 6, 0x9002);  // c.ebreak
+  const StepResult r = core.run(100);
+  EXPECT_EQ(r.stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(core.reg(10), 0u);
+}
+
+TEST(RvcExec, TwoByteAlignedTargetsLegal) {
+  // With IALIGN=16, a jump to a pc%4==2 target must execute fine.
+  PhysMem mem(kDramBase, MiB(8));
+  CoreConfig ccfg;
+  Core core(mem, ccfg);
+  mem.write_u16(kDramBase + 0, 0x4505);  // c.li a0, 1
+  mem.write_u16(kDramBase + 2, 0xA011);  // c.j +4  -> lands at +6
+  mem.write_u16(kDramBase + 4, 0x9002);  // (skipped) c.ebreak
+  mem.write_u16(kDramBase + 6, 0x0509);  // c.addi a0, 2
+  mem.write_u16(kDramBase + 8, 0x9002);  // c.ebreak
+  const StepResult r = core.run(100);
+  EXPECT_EQ(r.stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(core.reg(10), 3u);
+}
+
+}  // namespace
+}  // namespace ptstore::isa

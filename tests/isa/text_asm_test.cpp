@@ -1,0 +1,245 @@
+// Text assembler: golden programs vs. the programmatic assembler, label
+// semantics, operand forms, pseudo-ops, error reporting — and execution of
+// a text program on the core.
+#include "isa/text_asm.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "isa/trap.h"
+
+namespace ptstore::isa {
+namespace {
+
+std::vector<u32> must_asm(const std::string& src, u64 base = kDramBase) {
+  const AsmResult r = assemble_text(src, base);
+  EXPECT_TRUE(r.ok) << "line " << r.error.line << ": " << r.error.message;
+  return r.words;
+}
+
+TEST(TextAsm, MatchesProgrammaticAssembler) {
+  const auto text = must_asm(R"(
+      li   t0, 100
+      li   a0, 0
+  loop:
+      add  a0, a0, t0
+      addi t0, t0, -1
+      bnez t0, loop
+      ebreak
+  )");
+  Assembler a(kDramBase);
+  a.li(Reg::kT0, 100);
+  a.li(Reg::kA0, 0);
+  auto loop = a.make_label();
+  a.bind(loop);
+  a.add(Reg::kA0, Reg::kA0, Reg::kT0);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.ebreak();
+  EXPECT_EQ(text, a.finish());
+}
+
+TEST(TextAsm, MemoryOperandsAndPtInsns) {
+  const auto words = must_asm(R"(
+      ld    a0, 16(sp)
+      sd    a1, -8(s0)
+      ld.pt a2, 0(a3)
+      sd.pt a4, 8(a5)
+      lw    t0, (tp)
+  )");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(decode(words[0]).op, Op::kLd);
+  EXPECT_EQ(decode(words[0]).imm, 16);
+  EXPECT_EQ(decode(words[1]).imm, -8);
+  EXPECT_EQ(decode(words[2]).op, Op::kLdPt);
+  EXPECT_EQ(decode(words[3]).op, Op::kSdPt);
+  EXPECT_EQ(decode(words[4]).imm, 0);
+}
+
+TEST(TextAsm, RegisterAliases) {
+  const auto words = must_asm("add x10, fp, x31\n");
+  const Inst in = decode(words[0]);
+  EXPECT_EQ(in.rd, 10);
+  EXPECT_EQ(in.rs1, 8);   // fp == s0 == x8
+  EXPECT_EQ(in.rs2, 31);
+}
+
+TEST(TextAsm, ImmediateForms) {
+  const auto words = must_asm(R"(
+      addi a0, zero, 0x7f
+      addi a1, zero, -128
+      addi a2, zero, 'A'
+  )");
+  EXPECT_EQ(decode(words[0]).imm, 0x7F);
+  EXPECT_EQ(decode(words[1]).imm, -128);
+  EXPECT_EQ(decode(words[2]).imm, 'A');
+}
+
+TEST(TextAsm, CsrNamesAndNumbers) {
+  const auto words = must_asm(R"(
+      csrrw zero, satp, a0
+      csrrs a1, mscratch, zero
+      csrrwi zero, 0x340, 5
+  )");
+  EXPECT_EQ(decode(words[0]).imm, 0x180);
+  EXPECT_EQ(decode(words[1]).imm, 0x340);
+  EXPECT_EQ(decode(words[2]).imm, 0x340);
+}
+
+TEST(TextAsm, ForwardAndBackwardLabels) {
+  const auto words = must_asm(R"(
+  start:
+      beq zero, zero, end
+      nop
+      j start
+  end:
+      ebreak
+  )");
+  EXPECT_EQ(decode(words[0]).imm, 12);   // Forward to 'end'.
+  EXPECT_EQ(decode(words[2]).imm, -8);   // Backward to 'start'.
+}
+
+TEST(TextAsm, LabelOnOwnLineAndInline) {
+  const auto a = must_asm("x: nop\n   j x\n");
+  const auto b = must_asm("x:\n nop\n j x\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(TextAsm, Directives) {
+  const auto words = must_asm(R"(
+      .word 0xDEADBEEF
+      .dword 0x1122334455667788
+  )");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0xDEADBEEFu);
+  EXPECT_EQ(words[1], 0x55667788u);
+  EXPECT_EQ(words[2], 0x11223344u);
+}
+
+TEST(TextAsm, AmoAndSystemForms) {
+  const auto words = must_asm(R"(
+      lr.d t0, (a0)
+      sc.d t1, t2, (a0)
+      amoadd.w t3, t4, (a1)
+      sfence.vma a0, a1
+      sfence.vma
+      wfi
+  )");
+  EXPECT_EQ(decode(words[0]).op, Op::kLrD);
+  EXPECT_EQ(decode(words[1]).op, Op::kScD);
+  EXPECT_EQ(decode(words[2]).op, Op::kAmoAddW);
+  EXPECT_EQ(decode(words[3]).op, Op::kSfenceVma);
+  EXPECT_EQ(decode(words[3]).rs1, 10);
+  EXPECT_EQ(decode(words[4]).rs1, 0);
+  EXPECT_EQ(decode(words[5]).op, Op::kWfi);
+}
+
+TEST(TextAsm, CommentsEverywhere) {
+  const auto words = must_asm(R"(
+      # full-line comment
+      nop            # trailing
+      nop            // c++ style
+      // another
+  )");
+  EXPECT_EQ(words.size(), 2u);
+}
+
+struct ErrorCase {
+  const char* src;
+  const char* expect_substr;
+  unsigned line;
+};
+
+class TextAsmErrors : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(TextAsmErrors, ReportsLineAndMessage) {
+  const AsmResult r = assemble_text(GetParam().src, kDramBase);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.line, GetParam().line);
+  EXPECT_NE(r.error.message.find(GetParam().expect_substr), std::string::npos)
+      << r.error.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TextAsmErrors,
+    ::testing::Values(
+        ErrorCase{"frobnicate a0, a1\n", "unknown mnemonic", 1},
+        ErrorCase{"add a0, a1\n", "expects 3 operands", 1},
+        ErrorCase{"add a0, a1, q9\n", "unknown register", 1},
+        ErrorCase{"nop\naddi a0, zero, banana\n", "bad immediate", 2},
+        ErrorCase{"j nowhere\n", "undefined label", 1},
+        ErrorCase{"x: nop\nx: nop\n", "duplicate label", 2},
+        ErrorCase{"ld a0, a1\n", "expected imm(reg)", 1},
+        ErrorCase{"slli a0, a1, 99\n", "out of range", 1},
+        ErrorCase{"csrrwi a0, satp, 40\n", "uimm out of range", 1}));
+
+TEST(TextAsm, MModeFirmwareSetsUpSecureRegionFromText) {
+  // A whole firmware flow written in text assembly: M-mode programs the
+  // PMP (secure region at the top 1 MiB), drops to S-mode via mret, and
+  // the S-mode code's regular store into the region faults.
+  PhysMem mem(kDramBase, MiB(8));
+  Core core(mem, CoreConfig{});
+  const PhysAddr sr_base = mem.dram_end() - MiB(1);
+  std::ostringstream src;
+  src << R"(
+  # --- M-mode firmware ---
+      li   t0, )" << (sr_base >> 2) << R"(       # pmpaddr0: TOR top of normal
+      csrrw zero, pmpaddr0, t0
+      li   t0, )" << (mem.dram_end() >> 2) << R"(  # pmpaddr1: TOR top of secure
+      csrrw zero, pmpaddr1, t0
+      li   t0, 0x2f0f          # cfg1 = RW+S+TOR, cfg0 = RWX+TOR
+      csrrw zero, pmpcfg0, t0
+      la_done:
+      li   t0, )" << (kDramBase + 0x100) << R"(   # S-mode entry point
+      csrrw zero, mepc, t0
+      li   t0, 0x800           # mstatus.MPP = S (bit 11)
+      csrrs zero, mstatus, t0
+      mret
+  )";
+  const AsmResult fw = assemble_text(src.str(), kDramBase);
+  ASSERT_TRUE(fw.ok) << "line " << fw.error.line << ": " << fw.error.message;
+  core.load_code(kDramBase, fw.words);
+
+  std::ostringstream s_src;
+  s_src << R"(
+  # --- S-mode payload: poke the secure region with a regular store ---
+      li   t1, )" << (sr_base + 0x40) << R"(
+      sd   zero, 0(t1)
+      ebreak                   # unreachable: the sd faults
+  )";
+  const AsmResult payload = assemble_text(s_src.str(), kDramBase + 0x100);
+  ASSERT_TRUE(payload.ok);
+  core.load_code(kDramBase + 0x100, payload.words);
+
+  StepResult r{};
+  for (int i = 0; i < 200; ++i) {
+    r = core.step();
+    if (r.stop == StopReason::kTrapped &&
+        r.trap == TrapCause::kStoreAccessFault) {
+      break;
+    }
+    ASSERT_NE(r.stop, StopReason::kEbreakHalt) << "store was not blocked";
+  }
+  EXPECT_EQ(r.trap, TrapCause::kStoreAccessFault);
+  EXPECT_TRUE(core.pmp().is_secure(sr_base + 0x40, 8));
+}
+
+TEST(TextAsm, ExecutesOnTheCore) {
+  PhysMem mem(kDramBase, MiB(8));
+  Core core(mem, CoreConfig{});
+  const auto words = must_asm(R"(
+      li  t0, 12
+      li  t1, 5
+      mul a0, t0, t1
+      ebreak
+  )");
+  core.load_code(kDramBase, words);
+  EXPECT_EQ(core.run(100).stop, StopReason::kEbreakHalt);
+  EXPECT_EQ(core.reg(10), 60u);
+}
+
+}  // namespace
+}  // namespace ptstore::isa

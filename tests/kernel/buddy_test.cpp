@@ -1,0 +1,190 @@
+// Buddy allocator: split/merge correctness, range carving, zone growth,
+// and randomized invariant property tests.
+#include "kernel/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace ptstore {
+namespace {
+
+constexpr PhysAddr kBase = 0x8000'0000;
+
+TEST(Buddy, FreshZoneFullyFree) {
+  BuddyZone z("z", kBase, MiB(4));
+  EXPECT_EQ(z.free_pages_count(), MiB(4) / kPageSize);
+  EXPECT_TRUE(z.check_invariants());
+}
+
+TEST(Buddy, AllocPrefersLowestAddress) {
+  BuddyZone z("z", kBase, MiB(4));
+  const auto a = z.alloc_pages(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, kBase);
+  const auto b = z.alloc_pages(0);
+  EXPECT_EQ(*b, kBase + kPageSize);
+}
+
+TEST(Buddy, OrderAllocAlignment) {
+  BuddyZone z("z", kBase, MiB(4));
+  for (unsigned order = 0; order <= kMaxOrder; ++order) {
+    BuddyZone zz("zz", kBase, MiB(8));
+    const auto pa = zz.alloc_pages(order);
+    ASSERT_TRUE(pa.has_value()) << order;
+    EXPECT_TRUE(is_aligned(*pa, kPageSize << order)) << order;
+    EXPECT_EQ(zz.free_pages_count(), MiB(8) / kPageSize - (u64{1} << order));
+  }
+}
+
+TEST(Buddy, FreeMergesBackToFull) {
+  BuddyZone z("z", kBase, MiB(4));
+  std::vector<PhysAddr> pages;
+  for (int i = 0; i < 64; ++i) pages.push_back(*z.alloc_pages(0));
+  for (const PhysAddr p : pages) z.free_pages(p, 0);
+  EXPECT_EQ(z.free_pages_count(), MiB(4) / kPageSize);
+  EXPECT_TRUE(z.check_invariants());
+  // After full merge, a max-order alloc must succeed again.
+  EXPECT_TRUE(z.alloc_pages(kMaxOrder).has_value());
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt) {
+  BuddyZone z("z", kBase, kPageSize * 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(z.alloc_pages(0).has_value());
+  EXPECT_FALSE(z.alloc_pages(0).has_value());
+  EXPECT_FALSE(z.alloc_pages(2).has_value());
+}
+
+TEST(Buddy, TooLargeOrderFails) {
+  BuddyZone z("z", kBase, MiB(4));
+  EXPECT_FALSE(z.alloc_pages(kMaxOrder + 1).has_value());
+}
+
+TEST(Buddy, PageIsFreeTracksState) {
+  BuddyZone z("z", kBase, MiB(1));
+  EXPECT_TRUE(z.page_is_free(kBase));
+  const auto p = z.alloc_pages(0);
+  EXPECT_FALSE(z.page_is_free(*p));
+  z.free_pages(*p, 0);
+  EXPECT_TRUE(z.page_is_free(*p));
+}
+
+TEST(Buddy, AllocRangeCarvesExactSpan) {
+  BuddyZone z("z", kBase, MiB(4));
+  const PhysAddr want = kBase + MiB(1);
+  ASSERT_TRUE(z.alloc_range(want, 16));
+  for (u64 i = 0; i < 16; ++i) EXPECT_FALSE(z.page_is_free(want + i * kPageSize));
+  EXPECT_TRUE(z.page_is_free(want - kPageSize));
+  EXPECT_TRUE(z.page_is_free(want + 16 * kPageSize));
+  EXPECT_TRUE(z.check_invariants());
+  EXPECT_EQ(z.free_pages_count(), MiB(4) / kPageSize - 16);
+}
+
+TEST(Buddy, AllocRangeFailsWhenBusy) {
+  BuddyZone z("z", kBase, MiB(1));
+  const auto p = z.alloc_pages(0);  // kBase busy.
+  EXPECT_FALSE(z.alloc_range(kBase, 4));
+  // And the failure must not have disturbed free space.
+  EXPECT_TRUE(z.check_invariants());
+  EXPECT_EQ(z.free_pages_count(), MiB(1) / kPageSize - 1);
+  z.free_pages(*p, 0);
+  EXPECT_TRUE(z.alloc_range(kBase, 4));
+}
+
+TEST(Buddy, AllocRangeOutsideZoneFails) {
+  BuddyZone z("z", kBase, MiB(1));
+  EXPECT_FALSE(z.alloc_range(kBase + MiB(1), 1));
+  EXPECT_FALSE(z.alloc_range(kBase + MiB(1) - kPageSize, 2));
+  EXPECT_FALSE(z.alloc_range(kBase, 0));
+}
+
+TEST(Buddy, FreeRangeRestores) {
+  BuddyZone z("z", kBase, MiB(1));
+  ASSERT_TRUE(z.alloc_range(kBase + KiB(64), 8));
+  z.free_range(kBase + KiB(64), 8);
+  EXPECT_EQ(z.free_pages_count(), MiB(1) / kPageSize);
+  EXPECT_TRUE(z.check_invariants());
+}
+
+TEST(Buddy, DonateFrontGrowsDownward) {
+  BuddyZone z("z", kBase + MiB(2), MiB(1));
+  const u64 before = z.free_pages_count();
+  ASSERT_TRUE(z.donate_front(kBase + MiB(2) - KiB(64), 16));
+  EXPECT_EQ(z.base(), kBase + MiB(2) - KiB(64));
+  EXPECT_EQ(z.free_pages_count(), before + 16);
+  EXPECT_TRUE(z.check_invariants());
+  // Donated pages are allocatable.
+  EXPECT_TRUE(z.contains(kBase + MiB(2) - KiB(64)));
+}
+
+TEST(Buddy, DonateFrontMustAbutBase) {
+  BuddyZone z("z", kBase + MiB(2), MiB(1));
+  EXPECT_FALSE(z.donate_front(kBase, 16));                      // Gap.
+  EXPECT_FALSE(z.donate_front(kBase + MiB(2) - KiB(64), 0));    // Empty.
+  EXPECT_FALSE(z.donate_front(kBase + MiB(2) - KiB(64) + 1, 15));  // Misaligned.
+}
+
+TEST(Buddy, ForcedAllocReturnsPlantedPage) {
+  BuddyZone z("z", kBase, MiB(1));
+  const auto victim = z.alloc_pages(0);
+  z.force_next_alloc(*victim);  // Corrupted metadata.
+  const auto evil = z.alloc_pages(0);
+  EXPECT_EQ(*evil, *victim);  // Double allocation — the §V-E3 hazard.
+  // The force is one-shot.
+  EXPECT_NE(*z.alloc_pages(0), *victim);
+}
+
+// Property: random alloc/free interleavings never break the invariants, and
+// allocated blocks never overlap.
+TEST(Buddy, RandomizedInvariantProperty) {
+  Rng rng(2024);
+  BuddyZone z("z", kBase, MiB(8));
+  std::vector<std::pair<PhysAddr, unsigned>> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      const unsigned order = static_cast<unsigned>(rng.next_below(6));
+      const auto pa = z.alloc_pages(order);
+      if (pa) {
+        // No overlap with any live block.
+        for (const auto& [lp, lo] : live) {
+          EXPECT_FALSE(ranges_overlap(*pa, kPageSize << order, lp, kPageSize << lo));
+        }
+        live.emplace_back(*pa, order);
+      }
+    } else {
+      const size_t i = rng.next_below(live.size());
+      z.free_pages(live[i].first, live[i].second);
+      live.erase(live.begin() + static_cast<long>(i));
+    }
+    if ((step & 255) == 0) {
+      std::string why;
+      ASSERT_TRUE(z.check_invariants(&why)) << why;
+    }
+  }
+  for (const auto& [pa, order] : live) z.free_pages(pa, order);
+  EXPECT_EQ(z.free_pages_count(), MiB(8) / kPageSize);
+  std::string why;
+  EXPECT_TRUE(z.check_invariants(&why)) << why;
+}
+
+// Property: alloc_range across random offsets conserves page accounting.
+TEST(Buddy, RandomizedRangeCarveProperty) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    BuddyZone z("z", kBase, MiB(4));
+    const u64 total = z.free_pages_count();
+    const u64 pages = 1 + rng.next_below(64);
+    const u64 off = rng.next_below(total - pages);
+    const PhysAddr at = kBase + off * kPageSize;
+    ASSERT_TRUE(z.alloc_range(at, pages));
+    EXPECT_EQ(z.free_pages_count(), total - pages);
+    std::string why;
+    ASSERT_TRUE(z.check_invariants(&why)) << why;
+    z.free_range(at, pages);
+    EXPECT_EQ(z.free_pages_count(), total);
+  }
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,95 @@
+// Guarded UART console (§V-F applied): the kernel's driver transmits
+// through sd.pt; regular stores — the attacker's only tool — fault.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "kernel/guest.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+TEST(Console, KernelWritesReachTheUart) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  ASSERT_TRUE(sys.kernel().console_write("boot: ok\n"));
+  EXPECT_EQ(sys.uart().transmitted(), "boot: ok\n");
+}
+
+TEST(Console, UartWindowIsGuardedUnderPtStore) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  EXPECT_TRUE(sys.core().pmp().is_secure(kUartBase, 8));
+  // Regular kernel store to the TX register faults (attacker path)...
+  const KAccess bad = sys.kernel().kmem().sd(kUartBase, 'X');
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.fault, isa::TrapCause::kStoreAccessFault);
+  // ...and nothing was transmitted.
+  EXPECT_TRUE(sys.uart().transmitted().empty());
+  // The driver path (sd.pt) works.
+  EXPECT_TRUE(sys.kernel().kmem().pt_sd(kUartBase, 'Y').ok);
+  EXPECT_EQ(sys.uart().transmitted(), "Y");
+}
+
+TEST(Console, BaselineUartIsUnprotected) {
+  SystemConfig cfg = SystemConfig::baseline();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  // No guard: a plain store transmits — the §V-F hazard.
+  EXPECT_TRUE(sys.kernel().kmem().sd(kUartBase, 'Z').ok);
+  EXPECT_EQ(sys.uart().transmitted(), "Z");
+  // The console path still works (degrades to regular stores).
+  EXPECT_TRUE(sys.kernel().console_write("hi"));
+  EXPECT_EQ(sys.uart().transmitted(), "Zhi");
+}
+
+TEST(Console, GuestWriteSyscallTransmits) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  Process* proc = sys.kernel().processes().fork(sys.init());
+  ASSERT_NE(proc, nullptr);
+  GuestRunner runner(sys.kernel());
+  const VirtAddr entry = kUserSpaceBase + MiB(64);
+  isa::Assembler a(entry);
+  using isa::Reg;
+  a.li(Reg::kSp, GuestRunner::kStackTop - 16);
+  a.li(Reg::kT0, 0x0A696877);  // "whi\n" -> little-endian "whi\n"? bytes w,h,i,\n
+  a.sw(Reg::kT0, Reg::kSp, 0);
+  a.li(Reg::kA0, 1);
+  a.mv(Reg::kA1, Reg::kSp);
+  a.li(Reg::kA2, 4);
+  a.li(Reg::kA7, 64);
+  a.ecall();
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kA7, 93);
+  a.ecall();
+  ASSERT_TRUE(runner.load_program(*proc, entry, a.finish()));
+  const GuestResult r = runner.run(*proc, entry);
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(sys.uart().transmitted(), r.console);
+  EXPECT_EQ(sys.uart().transmitted().size(), 4u);
+}
+
+TEST(Console, UartDisabledWhenConfiguredOff) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  cfg.console_uart = false;
+  System sys(cfg);
+  EXPECT_FALSE(sys.kernel().console_write("x"));
+  EXPECT_FALSE(sys.mem().is_mmio(kUartBase));
+}
+
+TEST(Console, StatusRegisterReadsReady) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  const KAccess st = sys.kernel().kmem().pt_ld(kUartBase + UartDevice::kStatusOff);
+  ASSERT_TRUE(st.ok);
+  EXPECT_EQ(st.value, 1u);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,157 @@
+// PageTableManager: mapping through the pt accessors, secure-region
+// placement of PT pages, the zero-check defence, and MMU agreement.
+#include "kernel/pagetable.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class PageTableTest : public ::testing::TestWithParam<bool> {
+ protected:
+  PageTableTest() {
+    SystemConfig cfg = GetParam() ? SystemConfig::cfi_ptstore() : SystemConfig::baseline();
+    cfg.dram_size = MiB(256);
+    sys_ = std::make_unique<System>(cfg);
+  }
+  Kernel& k() { return sys_->kernel(); }
+  bool ptstore() const { return GetParam(); }
+  std::unique_ptr<System> sys_;
+};
+
+constexpr VirtAddr kVa = kUserSpaceBase + MiB(8);
+
+TEST_P(PageTableTest, PtPagesComeFromTheRightZone) {
+  PtStatus st;
+  const auto page = k().pagetables().alloc_pt_page(&st);
+  ASSERT_TRUE(page.has_value());
+  if (ptstore()) {
+    EXPECT_TRUE(sys_->sbi().sr_get().contains(*page, kPageSize));
+  } else {
+    EXPECT_FALSE(sys_->sbi().initialized());
+  }
+  k().pagetables().free_pt_page(*page);
+}
+
+TEST_P(PageTableTest, MapReadBackUnmap) {
+  PhysAddr root = k().processes().pcb_pgd(*k().init_proc());
+  std::vector<PhysAddr> pt_pages;
+  const PhysAddr target = *k().pages().alloc_pages(Gfp::kUser, 0);
+  const PtStatus st = k().pagetables().map_page(
+      root, kVa, target, pte::kR | pte::kW | pte::kU | pte::kA | pte::kD, &pt_pages);
+  ASSERT_TRUE(st.ok);
+  EXPECT_EQ(pt_pages.size(), 2u);  // L1 + L0 tables created.
+
+  const auto leaf = k().pagetables().read_pte(root, kVa);
+  ASSERT_TRUE(leaf.has_value());
+  EXPECT_EQ(pte::pa(*leaf), target);
+  EXPECT_TRUE(*leaf & pte::kU);
+
+  ASSERT_TRUE(k().pagetables().unmap_page(root, kVa).ok);
+  const auto gone = k().pagetables().read_pte(root, kVa);
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_EQ(*gone, 0u);
+  for (const PhysAddr p : pt_pages) k().pagetables().free_pt_page(p);
+  k().pages().free_pages(target, 0);
+}
+
+TEST_P(PageTableTest, MmuTranslatesWhatWeMapped) {
+  Process& init = *k().init_proc();
+  const PhysAddr root = k().processes().pcb_pgd(init);
+  std::vector<PhysAddr> pt_pages;
+  const PhysAddr target = *k().pages().alloc_pages(Gfp::kUser, 0);
+  ASSERT_TRUE(k().pagetables()
+                  .map_page(root, kVa, target,
+                            pte::kR | pte::kW | pte::kU | pte::kA | pte::kD, &pt_pages)
+                  .ok);
+  ASSERT_EQ(k().processes().switch_to(init), SwitchResult::kOk);
+  const auto ref = sys_->core().mmu().reference_translate(
+      kVa, AccessType::kRead, {Privilege::kUser, false, false});
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(*ref, target);
+}
+
+TEST_P(PageTableTest, ProtectRewritesPermissions) {
+  const PhysAddr root = k().processes().pcb_pgd(*k().init_proc());
+  std::vector<PhysAddr> pt_pages;
+  const PhysAddr target = *k().pages().alloc_pages(Gfp::kUser, 0);
+  ASSERT_TRUE(k().pagetables()
+                  .map_page(root, kVa, target,
+                            pte::kR | pte::kW | pte::kU | pte::kA | pte::kD, &pt_pages)
+                  .ok);
+  ASSERT_TRUE(k().pagetables().protect_page(root, kVa, pte::kR | pte::kU).ok);
+  const auto leaf = k().pagetables().read_pte(root, kVa);
+  EXPECT_FALSE(*leaf & pte::kW);
+  EXPECT_TRUE(*leaf & pte::kR);
+  EXPECT_EQ(pte::pa(*leaf), target);  // Target preserved.
+}
+
+TEST_P(PageTableTest, UnmapOfUnmappedFails) {
+  const PhysAddr root = k().processes().pcb_pgd(*k().init_proc());
+  EXPECT_FALSE(k().pagetables().unmap_page(root, kVa + GiB(1)).ok);
+}
+
+TEST_P(PageTableTest, KernelEntriesSharedAcrossRoots) {
+  // Every user root carries the global kernel direct map.
+  Process* p = k().processes().fork(*k().init_proc());
+  ASSERT_NE(p, nullptr);
+  const PhysAddr root = k().processes().pcb_pgd(*p);
+  const PhysAddr kroot = k().kernel_root();
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(sys_->mem().read_u64(root + i * kPteSize),
+              sys_->mem().read_u64(kroot + i * kPteSize))
+        << i;
+  }
+  k().processes().exit(*p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PageTableTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "ptstore" : "baseline";
+                         });
+
+TEST(PageTableZeroCheck, RejectsDirtyPage) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  // Plant a dirty page as the next "free" PT page.
+  const PhysAddr dirty = *k.pages().alloc_pages(Gfp::kPtStore, 0);
+  ASSERT_TRUE(k.kmem().pt_sd(dirty + 64, 0xBADBAD).ok);
+  k.pages().ptstore().force_next_alloc(dirty);
+  PtStatus st;
+  const auto page = k.pagetables().alloc_pt_page(&st);
+  EXPECT_FALSE(page.has_value());
+  EXPECT_TRUE(st.attack_detected);
+}
+
+TEST(PageTableZeroCheck, DisabledCheckAcceptsDirtyPage) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  cfg.kernel.zero_check = false;  // Ablation.
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  const PhysAddr dirty = *k.pages().alloc_pages(Gfp::kPtStore, 0);
+  ASSERT_TRUE(k.kmem().pt_sd(dirty + 64, 0xBADBAD).ok);
+  k.pages().ptstore().force_next_alloc(dirty);
+  PtStatus st;
+  const auto page = k.pagetables().alloc_pt_page(&st);
+  ASSERT_TRUE(page.has_value());  // Accepted (and zeroed) — the hazard.
+  EXPECT_EQ(*page, dirty);
+}
+
+TEST(PageTableSecure, RegularKernelStoreCannotTouchPtPages) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  const PhysAddr root = k.processes().pcb_pgd(*k.init_proc());
+  const KAccess w = k.kmem().sd(root, 0xEF11);
+  EXPECT_FALSE(w.ok);
+  EXPECT_EQ(w.fault, isa::TrapCause::kStoreAccessFault);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,104 @@
+// Property test: a random sequence of map/unmap/protect operations on a
+// process address space, mirrored into a host-side dictionary; after every
+// batch the MMU's reference translator must agree with the dictionary on
+// presence, target, and write permission for a random probe set.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+struct Mapping {
+  PhysAddr pa;
+  bool writable;
+};
+
+class PtProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PtProperty, RandomMapUnmapProtectAgreesWithReference) {
+  Rng rng(GetParam());
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(512);
+  System sys(cfg);
+  Kernel& k = sys.kernel();
+  PageTableManager& ptm = k.pagetables();
+  Process& proc = *k.init_proc();
+  ASSERT_EQ(k.processes().switch_to(proc), SwitchResult::kOk);
+  const PhysAddr root = k.processes().pcb_pgd(proc);
+
+  // A pool of candidate VAs across several gigabyte-separated regions, so
+  // the walk exercises distinct level-2/level-1 subtrees.
+  std::vector<VirtAddr> candidates;
+  for (int region = 0; region < 4; ++region) {
+    for (int page = 0; page < 32; ++page) {
+      candidates.push_back(kUserSpaceBase + GiB(2 + 3 * region) +
+                           static_cast<u64>(page) * kPageSize * (1 + page % 7));
+    }
+  }
+
+  std::map<VirtAddr, Mapping> model;
+  std::vector<PhysAddr> pt_pages;
+  std::vector<PhysAddr> frames;
+
+  const TranslationContext uctx{Privilege::kUser, false, false};
+
+  for (int batch = 0; batch < 40; ++batch) {
+    for (int op = 0; op < 25; ++op) {
+      const VirtAddr va = candidates[rng.next_below(candidates.size())];
+      const auto it = model.find(va);
+      if (it == model.end()) {
+        // Map it.
+        const auto pa = k.pages().alloc_pages(Gfp::kUser, 0);
+        ASSERT_TRUE(pa.has_value());
+        frames.push_back(*pa);
+        const bool writable = rng.chance(0.6);
+        const u64 flags = pte::kR | (writable ? pte::kW : 0) | pte::kU |
+                          pte::kA | pte::kD;
+        ASSERT_TRUE(ptm.map_page(root, va, *pa, flags, &pt_pages).ok);
+        model[va] = Mapping{*pa, writable};
+      } else if (rng.chance(0.5)) {
+        // Unmap.
+        ASSERT_TRUE(ptm.unmap_page(root, va).ok);
+        sys.core().mmu().sfence(va, proc.asid);
+        model.erase(it);
+      } else {
+        // Flip write permission.
+        it->second.writable = !it->second.writable;
+        const u64 flags = pte::kR | (it->second.writable ? pte::kW : 0) |
+                          pte::kU | pte::kA | pte::kD;
+        ASSERT_TRUE(ptm.protect_page(root, va, flags).ok);
+        sys.core().mmu().sfence(va, proc.asid);
+      }
+    }
+
+    // Probe: every candidate, read and write intents.
+    for (const VirtAddr va : candidates) {
+      const auto rd = sys.core().mmu().reference_translate(
+          va + (rng.next_below(kPtesPerPage) * 8 % kPageSize), AccessType::kRead,
+          uctx);
+      const auto wr = sys.core().mmu().reference_translate(va, AccessType::kWrite, uctx);
+      const auto it = model.find(va);
+      if (it == model.end()) {
+        EXPECT_FALSE(rd.has_value()) << std::hex << va;
+        EXPECT_FALSE(wr.has_value()) << std::hex << va;
+      } else {
+        ASSERT_TRUE(rd.has_value()) << std::hex << va;
+        EXPECT_EQ(align_down(*rd, kPageSize), it->second.pa) << std::hex << va;
+        EXPECT_EQ(wr.has_value(), it->second.writable) << std::hex << va;
+        if (wr) EXPECT_EQ(align_down(*wr, kPageSize), it->second.pa);
+      }
+    }
+  }
+
+  // All PT pages live in the secure region throughout.
+  for (const PhysAddr p : pt_pages) {
+    EXPECT_TRUE(sys.sbi().sr_get().contains(p, kPageSize));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtProperty, ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace ptstore

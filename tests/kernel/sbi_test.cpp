@@ -1,0 +1,148 @@
+// SBI monitor: PMP programming through the real CSR interface, boundary
+// validation, call-cost accounting, and interaction with core privilege.
+#include "sbi/sbi.h"
+
+#include <gtest/gtest.h>
+
+namespace ptstore {
+namespace {
+
+class SbiTest : public ::testing::Test {
+ protected:
+  SbiTest() : mem_(kDramBase, MiB(128)), core_(mem_, CoreConfig{}), sbi_(core_) {}
+  PhysMem mem_;
+  Core core_;
+  SbiMonitor sbi_;
+};
+
+TEST_F(SbiTest, BootInitOpensMachine) {
+  sbi_.boot_init();
+  // S-mode regular access anywhere in DRAM works after boot_init.
+  const auto d = core_.pmp().check(kDramBase + MiB(64), 8, AccessType::kWrite,
+                                   AccessKind::kRegular, Privilege::kSupervisor);
+  EXPECT_TRUE(d.allowed);
+  EXPECT_FALSE(sbi_.initialized());
+}
+
+TEST_F(SbiTest, SrInitProgramsPmpPair) {
+  sbi_.boot_init();
+  const PhysAddr base = mem_.dram_end() - MiB(32);
+  ASSERT_EQ(sbi_.sr_init(base, MiB(32)), SbiStatus::kOk);
+  EXPECT_TRUE(sbi_.initialized());
+  EXPECT_TRUE(core_.pmp().is_secure(base, kPageSize));
+  EXPECT_TRUE(core_.pmp().is_secure(mem_.dram_end() - 8, 8));
+  EXPECT_FALSE(core_.pmp().is_secure(base - 8, 8));
+  // The CSR state is real: readable via the CSR interface (the monitor's
+  // TOR pair lives at entries 8/9, below the guard slots).
+  EXPECT_EQ(*core_.read_csr(isa::csr::kPmpaddr0 + 8, Privilege::kMachine), base >> 2);
+  EXPECT_EQ(*core_.read_csr(isa::csr::kPmpaddr0 + 9, Privilege::kMachine),
+            mem_.dram_end() >> 2);
+}
+
+TEST_F(SbiTest, SrInitValidation) {
+  sbi_.boot_init();
+  const PhysAddr end = mem_.dram_end();
+  EXPECT_EQ(sbi_.sr_init(end - MiB(32) + 123, MiB(32)), SbiStatus::kInvalidParam);
+  EXPECT_EQ(sbi_.sr_init(end - MiB(32), MiB(16)), SbiStatus::kInvalidParam);  // Not at top.
+  EXPECT_EQ(sbi_.sr_init(end - MiB(32), 0), SbiStatus::kInvalidParam);
+  EXPECT_EQ(sbi_.sr_init(kDramBase - MiB(32), end - kDramBase + MiB(32)),
+            SbiStatus::kInvalidParam);  // Below DRAM.
+  ASSERT_EQ(sbi_.sr_init(end - MiB(32), MiB(32)), SbiStatus::kOk);
+  EXPECT_EQ(sbi_.sr_init(end - MiB(32), MiB(32)), SbiStatus::kAlreadyAvailable);
+}
+
+TEST_F(SbiTest, BoundaryMovesArePmpVisible) {
+  sbi_.boot_init();
+  const PhysAddr base = mem_.dram_end() - MiB(16);
+  ASSERT_EQ(sbi_.sr_init(base, MiB(16)), SbiStatus::kOk);
+  const PhysAddr grown = base - MiB(4);
+  ASSERT_EQ(sbi_.sr_set_boundary(grown), SbiStatus::kOk);
+  EXPECT_TRUE(core_.pmp().is_secure(grown, kPageSize));
+  EXPECT_EQ(sbi_.sr_get().base, grown);
+  // Shrinking back is permitted (policy belongs to the kernel).
+  ASSERT_EQ(sbi_.sr_set_boundary(base), SbiStatus::kOk);
+  EXPECT_FALSE(core_.pmp().is_secure(grown, kPageSize));
+}
+
+TEST_F(SbiTest, EveryCallChargesCycles) {
+  sbi_.boot_init();
+  const Cycles c0 = core_.cycles();
+  (void)sbi_.sr_init(mem_.dram_end() - MiB(16), MiB(16));
+  const Cycles c1 = core_.cycles();
+  EXPECT_GE(c1 - c0, SbiMonitor::kSbiCallCost);
+  (void)sbi_.sr_set_boundary(mem_.dram_end() - MiB(20));
+  EXPECT_GE(core_.cycles() - c1, SbiMonitor::kSbiCallCost);
+  // Even rejected calls cost the trap round trip.
+  const Cycles c2 = core_.cycles();
+  (void)sbi_.sr_set_boundary(123);
+  EXPECT_GE(core_.cycles() - c2, SbiMonitor::kSbiCallCost);
+}
+
+TEST_F(SbiTest, SModeCannotProgramPmpDirectly) {
+  sbi_.boot_init();
+  // The whole reason the SBI extension exists (§IV-B): pmp CSRs are
+  // M-mode-only, so the S-mode kernel must go through the monitor.
+  EXPECT_FALSE(core_.write_csr(isa::csr::kPmpcfg0, 0xFF, Privilege::kSupervisor));
+  EXPECT_FALSE(core_.write_csr(isa::csr::kPmpaddr0, 0x123, Privilege::kSupervisor));
+  EXPECT_FALSE(core_.read_csr(isa::csr::kPmpcfg0, Privilege::kSupervisor).has_value());
+}
+
+TEST_F(SbiTest, GuardRegionMarksMmioSecure) {
+  sbi_.boot_init();
+  const PhysAddr wdt = 0x1000'0000;  // Outside DRAM: an MMIO window.
+  ASSERT_EQ(sbi_.guard_region(wdt, kPageSize), SbiStatus::kOk);
+  EXPECT_EQ(sbi_.guard_count(), 1u);
+  EXPECT_TRUE(core_.pmp().is_secure(wdt, 8));
+  EXPECT_TRUE(core_.pmp().is_secure(wdt + kPageSize - 8, 8));
+  EXPECT_FALSE(core_.pmp().is_secure(wdt + kPageSize, 8));
+  // Regular S-mode stores fault; pt-insn accesses pass.
+  EXPECT_FALSE(core_.pmp()
+                   .check(wdt, 8, AccessType::kWrite, AccessKind::kRegular,
+                          Privilege::kSupervisor)
+                   .allowed);
+  EXPECT_TRUE(core_.pmp()
+                  .check(wdt, 8, AccessType::kWrite, AccessKind::kPtInsn,
+                         Privilege::kSupervisor)
+                  .allowed);
+}
+
+TEST_F(SbiTest, GuardRegionsComposeWithSecureRegion) {
+  sbi_.boot_init();
+  ASSERT_EQ(sbi_.sr_init(mem_.dram_end() - MiB(16), MiB(16)), SbiStatus::kOk);
+  ASSERT_EQ(sbi_.guard_region(0x1000'0000, kPageSize), SbiStatus::kOk);
+  // Both are secure; normal DRAM in between is not.
+  EXPECT_TRUE(core_.pmp().is_secure(0x1000'0000, 8));
+  EXPECT_TRUE(core_.pmp().is_secure(mem_.dram_end() - MiB(16), 8));
+  EXPECT_FALSE(core_.pmp().is_secure(kDramBase + MiB(4), 8));
+  // Growing the secure region does not disturb the guard.
+  ASSERT_EQ(sbi_.sr_set_boundary(mem_.dram_end() - MiB(24)), SbiStatus::kOk);
+  EXPECT_TRUE(core_.pmp().is_secure(0x1000'0000, 8));
+}
+
+TEST_F(SbiTest, GuardRegionValidation) {
+  sbi_.boot_init();
+  EXPECT_EQ(sbi_.guard_region(0x1000'0000, 3), SbiStatus::kInvalidParam);     // <8.
+  EXPECT_EQ(sbi_.guard_region(0x1000'0000, 48), SbiStatus::kInvalidParam);    // !pow2.
+  EXPECT_EQ(sbi_.guard_region(0x1000'0100, 0x1000), SbiStatus::kInvalidParam);  // Misaligned.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sbi_.guard_region(0x1000'0000 + u64(i) * 0x1000, 0x1000),
+              SbiStatus::kOk);
+  }
+  EXPECT_EQ(sbi_.guard_region(0x2000'0000, 0x1000), SbiStatus::kDenied);  // Full.
+}
+
+TEST_F(SbiTest, SecureRegionContainsHelper) {
+  sbi_.boot_init();
+  const PhysAddr base = mem_.dram_end() - MiB(16);
+  ASSERT_EQ(sbi_.sr_init(base, MiB(16)), SbiStatus::kOk);
+  const SecureRegion sr = sbi_.sr_get();
+  EXPECT_TRUE(sr.contains(base));
+  EXPECT_TRUE(sr.contains(base, MiB(16)));
+  EXPECT_FALSE(sr.contains(base - 1));
+  EXPECT_FALSE(sr.contains(base, MiB(16) + 1));
+  EXPECT_FALSE(sr.contains(sr.end));
+  EXPECT_EQ(sr.size(), MiB(16));
+}
+
+}  // namespace
+}  // namespace ptstore

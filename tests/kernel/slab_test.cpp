@@ -1,0 +1,118 @@
+// Slab allocator semantics, including the PTStore token-cache configuration
+// (secure-region backing pages, zeroing constructor).
+#include "kernel/slab.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class SlabTest : public ::testing::Test {
+ protected:
+  SlabTest() {
+    SystemConfig cfg = SystemConfig::cfi_ptstore();
+    cfg.dram_size = MiB(256);
+    sys_ = std::make_unique<System>(cfg);
+  }
+  Kernel& k() { return sys_->kernel(); }
+  std::unique_ptr<System> sys_;
+};
+
+TEST_F(SlabTest, AllocFreeReuse) {
+  KmemCache cache("t", 32, Gfp::kKernel, k().pages(), k().kmem());
+  const auto a = cache.alloc();
+  const auto b = cache.alloc();
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(cache.objects_in_use(), 2u);
+  cache.free(*a);
+  EXPECT_EQ(cache.objects_in_use(), 1u);
+  const auto c = cache.alloc();
+  EXPECT_EQ(*c, *a);  // Lowest-address free object is reused.
+}
+
+TEST_F(SlabTest, ObjectsPackWithinPage) {
+  KmemCache cache("t", 64, Gfp::kKernel, k().pages(), k().kmem());
+  std::set<PhysAddr> pages;
+  for (int i = 0; i < 64; ++i) {
+    const auto o = cache.alloc();
+    ASSERT_TRUE(o.has_value());
+    EXPECT_TRUE(is_aligned(*o, 8));
+    pages.insert(align_down(*o, kPageSize));
+  }
+  EXPECT_EQ(pages.size(), 1u);  // 64 x 64B fits one 4 KiB slab page.
+  EXPECT_EQ(cache.slab_pages(), 1u);
+  const auto o = cache.alloc();  // 65th object grows a second slab.
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(cache.slab_pages(), 2u);
+}
+
+TEST_F(SlabTest, SizeIsRoundedToAlignment) {
+  KmemCache cache("t", 12, Gfp::kKernel, k().pages(), k().kmem());
+  EXPECT_EQ(cache.object_size(), 16u);
+}
+
+TEST_F(SlabTest, CtorRunsOncePerObject) {
+  int ctor_calls = 0;
+  KmemCache cache("t", 128, Gfp::kKernel, k().pages(), k().kmem(),
+                  [&](KernelMem&, PhysAddr) { ++ctor_calls; });
+  const auto a = cache.alloc();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(ctor_calls, static_cast<int>(kPageSize / 128));  // Whole slab.
+  cache.free(*a);
+  (void)cache.alloc();
+  EXPECT_EQ(ctor_calls, static_cast<int>(kPageSize / 128));  // No re-run.
+}
+
+TEST_F(SlabTest, PtStoreCacheBacksOntoSecureRegion) {
+  KmemCache cache("tok", kTokenSize, Gfp::kPtStore, k().pages(), k().kmem(),
+                  [](KernelMem& km, PhysAddr obj) {
+                    km.must_pt_sd(obj, 0);
+                    km.must_pt_sd(obj + 8, 0);
+                  });
+  const auto o = cache.alloc();
+  ASSERT_TRUE(o.has_value());
+  EXPECT_TRUE(sys_->sbi().sr_get().contains(*o, kTokenSize));
+  // Regular kernel stores cannot touch the object; sd.pt can.
+  EXPECT_FALSE(k().kmem().sd(*o, 1).ok);
+  EXPECT_TRUE(k().kmem().pt_sd(*o, 1).ok);
+}
+
+TEST_F(SlabTest, LiveObjectTracking) {
+  KmemCache cache("t", 32, Gfp::kKernel, k().pages(), k().kmem());
+  const auto a = cache.alloc();
+  EXPECT_TRUE(cache.is_live_object(*a));
+  cache.free(*a);
+  EXPECT_FALSE(cache.is_live_object(*a));
+}
+
+TEST_F(SlabTest, ForcedAllocModelsCorruptedFreelist) {
+  KmemCache cache("t", 32, Gfp::kKernel, k().pages(), k().kmem());
+  const auto victim = cache.alloc();
+  cache.force_next_alloc(*victim);
+  const auto evil = cache.alloc();
+  EXPECT_EQ(*evil, *victim);  // Overlapping objects.
+}
+
+TEST_F(SlabTest, InvariantsHoldUnderChurn) {
+  KmemCache cache("t", 48, Gfp::kKernel, k().pages(), k().kmem());
+  std::vector<PhysAddr> live;
+  for (int i = 0; i < 500; ++i) {
+    if (live.empty() || (i % 3) != 0) {
+      const auto o = cache.alloc();
+      ASSERT_TRUE(o.has_value());
+      live.push_back(*o);
+    } else {
+      cache.free(live.back());
+      live.pop_back();
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(cache.check_invariants(&why)) << why;
+  EXPECT_EQ(cache.objects_in_use(), live.size());
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,82 @@
+// System facade: configuration presets, the merged report, determinism.
+#include "kernel/system.h"
+
+#include <gtest/gtest.h>
+
+namespace ptstore {
+namespace {
+
+TEST(SystemConfigPresets, MatchPaperConfigurations) {
+  const SystemConfig base = SystemConfig::baseline();
+  EXPECT_FALSE(base.core.ptstore_enabled);
+  EXPECT_FALSE(base.kernel.ptstore);
+  EXPECT_FALSE(base.kernel.cfi);
+
+  const SystemConfig cfi = SystemConfig::cfi();
+  EXPECT_TRUE(cfi.kernel.cfi);
+  EXPECT_FALSE(cfi.kernel.ptstore);
+
+  const SystemConfig pt = SystemConfig::cfi_ptstore();
+  EXPECT_TRUE(pt.core.ptstore_enabled);
+  EXPECT_TRUE(pt.kernel.ptstore);
+  EXPECT_TRUE(pt.kernel.cfi);
+  EXPECT_EQ(pt.kernel.secure_region_init, MiB(64));
+
+  const SystemConfig noadj = SystemConfig::cfi_ptstore_noadj();
+  EXPECT_FALSE(noadj.kernel.allow_adjustment);
+  EXPECT_GT(noadj.kernel.secure_region_init, MiB(64));
+}
+
+TEST(SystemReport, MergesHardwareAndKernelCounters) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  for (int i = 0; i < 5; ++i) sys.kernel().syscall(sys.init(), Sys::kFork);
+
+  const StatSet r = sys.report();
+  EXPECT_GT(r.get("core.cycles"), 0u);
+  EXPECT_GT(r.get("core.instret"), 0u);
+  EXPECT_GT(r.get("L1D.hits") + r.get("L1D.misses"), 0u);
+  EXPECT_GT(r.get("DTLB.hits") + r.get("DTLB.misses"), 0u);
+  EXPECT_GT(r.get("mmu.walks"), 0u);
+  EXPECT_EQ(r.get("kernel.syscalls"), 5u);
+  EXPECT_EQ(r.get("process.forks"), 5u);
+  EXPECT_EQ(r.get("kernel.processes_live"), 1u);
+  EXPECT_EQ(r.get("sbi.secure_region_bytes"), MiB(64));
+  EXPECT_GT(r.get("kernel.pt_pages_live"), 0u);
+  EXPECT_GT(r.get("kernel.tokens_live"), 0u);
+}
+
+TEST(SystemReport, BaselineOmitsSecureRegion) {
+  SystemConfig cfg = SystemConfig::baseline();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  const StatSet r = sys.report();
+  EXPECT_FALSE(r.has("sbi.secure_region_bytes"));
+  EXPECT_EQ(r.get("kernel.tokens_live"), 0u);
+}
+
+TEST(SystemDeterminism, IdenticalRunsIdenticalCycles) {
+  auto run = [] {
+    SystemConfig cfg = SystemConfig::cfi_ptstore();
+    cfg.dram_size = MiB(256);
+    System sys(cfg);
+    for (int i = 0; i < 20; ++i) {
+      sys.kernel().syscall(sys.init(), Sys::kFork);
+      sys.kernel().syscall(sys.init(), Sys::kOpenClose);
+    }
+    return sys.cycles();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SystemBoot, BootCostIsCharged) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System sys(cfg);
+  // Booting does real work (PMP programming, swapper table, init process).
+  EXPECT_GT(sys.cycles(), 1000u);
+}
+
+}  // namespace
+}  // namespace ptstore

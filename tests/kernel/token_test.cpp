@@ -1,0 +1,127 @@
+// Token mechanism (paper §III-C3): issue/copy/clear/validate, the
+// secure-region residency of tokens, and the §V-E2 alignment property that
+// makes token words unusable as PTEs.
+#include "kernel/token.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class TokenTest : public ::testing::Test {
+ protected:
+  TokenTest() {
+    SystemConfig cfg = SystemConfig::cfi_ptstore();
+    cfg.dram_size = MiB(256);
+    sys_ = std::make_unique<System>(cfg);
+  }
+  Kernel& k() { return sys_->kernel(); }
+  std::unique_ptr<System> sys_;
+};
+
+TEST_F(TokenTest, IssueBindsPcbAndRoot) {
+  const PhysAddr pcb_field = kDramBase + MiB(20);  // Stand-in PCB field addr.
+  const PhysAddr pgd = kDramBase + MiB(21);
+  const auto tok = k().tokens().issue(pcb_field, pgd);
+  ASSERT_TRUE(tok.has_value());
+  EXPECT_TRUE(sys_->sbi().sr_get().contains(*tok, kTokenSize));
+  EXPECT_EQ(k().kmem().must_pt_ld(*tok + kTokenPtPtrOff), pgd);
+  EXPECT_EQ(k().kmem().must_pt_ld(*tok + kTokenUserPtrOff), pcb_field);
+  EXPECT_TRUE(k().tokens().validate(*tok, pcb_field, pgd));
+}
+
+TEST_F(TokenTest, ValidateRejectsWrongBinding) {
+  const PhysAddr pcb_field = kDramBase + MiB(20);
+  const PhysAddr pgd = kDramBase + MiB(21);
+  const auto tok = k().tokens().issue(pcb_field, pgd);
+  ASSERT_TRUE(tok.has_value());
+  EXPECT_FALSE(k().tokens().validate(*tok, pcb_field + 8, pgd));   // Wrong PCB.
+  EXPECT_FALSE(k().tokens().validate(*tok, pcb_field, pgd + 4096));  // Wrong root.
+  EXPECT_FALSE(k().tokens().validate(0, pcb_field, pgd));          // Null token.
+}
+
+TEST_F(TokenTest, CopyBindsNewPcbSameRoot) {
+  const PhysAddr pcb_a = kDramBase + MiB(20);
+  const PhysAddr pcb_b = kDramBase + MiB(22);
+  const PhysAddr pgd = kDramBase + MiB(21);
+  const auto tok = k().tokens().issue(pcb_a, pgd);
+  const auto copy = k().tokens().copy(*tok, pcb_b);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_NE(*copy, *tok);
+  EXPECT_TRUE(k().tokens().validate(*copy, pcb_b, pgd));
+  EXPECT_FALSE(k().tokens().validate(*copy, pcb_a, pgd));
+  // Original unaffected.
+  EXPECT_TRUE(k().tokens().validate(*tok, pcb_a, pgd));
+}
+
+TEST_F(TokenTest, ClearZeroesAndReleases) {
+  const PhysAddr pcb_field = kDramBase + MiB(20);
+  const auto tok = k().tokens().issue(pcb_field, kDramBase + MiB(21));
+  const PhysAddr addr = *tok;
+  k().tokens().clear(addr);
+  EXPECT_EQ(sys_->mem().read_u64(addr + kTokenPtPtrOff), 0u);
+  EXPECT_EQ(sys_->mem().read_u64(addr + kTokenUserPtrOff), 0u);
+  EXPECT_FALSE(k().token_cache().is_live_object(addr));
+}
+
+TEST_F(TokenTest, TokensUnreachableByRegularStores) {
+  const auto tok = k().tokens().issue(kDramBase + MiB(20), kDramBase + MiB(21));
+  const KAccess w = k().kmem().sd(*tok, 0xBAD);
+  EXPECT_FALSE(w.ok);
+  EXPECT_EQ(w.fault, isa::TrapCause::kStoreAccessFault);
+}
+
+// §V-E2: every token field is an 8-byte-aligned pointer, so reinterpreted
+// as a PTE its V bit (bit 0) is clear — token storage can never act as a
+// valid page table. Checked across many live tokens.
+TEST_F(TokenTest, TokenWordsAreNeverValidPtes) {
+  std::vector<PhysAddr> toks;
+  for (int i = 0; i < 200; ++i) {
+    // PCB fields and roots are 8-byte-aligned by construction; emulate the
+    // real callers.
+    const auto tok = k().tokens().issue(kDramBase + MiB(30) + 16 * i,
+                                        kDramBase + MiB(40) + kPageSize * i);
+    ASSERT_TRUE(tok.has_value());
+    toks.push_back(*tok);
+  }
+  for (const PhysAddr t : toks) {
+    for (u64 off = 0; off < kTokenSize; off += 8) {
+      const u64 word = sys_->mem().read_u64(t + off);
+      EXPECT_EQ(word & 7, 0u);
+      EXPECT_FALSE(pte::valid(word)) << "token word usable as PTE";
+    }
+  }
+}
+
+TEST_F(TokenTest, ProcessLifecycleMaintainsTokens) {
+  const u64 live_before = k().token_cache().objects_in_use();
+  Process* child = k().processes().fork(*k().init_proc());
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(k().token_cache().objects_in_use(), live_before + 1);
+  const u64 tok = k().processes().pcb_token(*child);
+  EXPECT_TRUE(k().tokens().validate(tok, child->pcb_token_field(),
+                                    k().processes().pcb_pgd(*child)));
+  k().processes().exit(*child);
+  EXPECT_EQ(k().token_cache().objects_in_use(), live_before);
+}
+
+TEST_F(TokenTest, ExecReissuesToken) {
+  Process* child = k().processes().fork(*k().init_proc());
+  ASSERT_NE(child, nullptr);
+  const u64 tok_before = k().processes().pcb_token(*child);
+  ASSERT_TRUE(k().processes().exec(*child));
+  const u64 tok_after = k().processes().pcb_token(*child);
+  const u64 pgd_after = k().processes().pcb_pgd(*child);
+  EXPECT_TRUE(k().tokens().validate(tok_after, child->pcb_token_field(), pgd_after));
+  // The pre-exec binding must no longer validate (its root was torn down and
+  // the token re-issued for the new pgd).
+  if (tok_before != tok_after) {
+    EXPECT_FALSE(k().token_cache().is_live_object(tok_before));
+  }
+  k().processes().exit(*child);
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,133 @@
+// VMA range operations: partial munmap with splitting, multi-VMA spans,
+// partial mprotect, and the interaction with present pages.
+#include <gtest/gtest.h>
+
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class VmaTest : public ::testing::Test {
+ protected:
+  VmaTest() {
+    SystemConfig cfg = SystemConfig::cfi_ptstore();
+    cfg.dram_size = MiB(256);
+    sys_ = std::make_unique<System>(cfg);
+    proc_ = sys_->kernel().processes().fork(sys_->init());
+    EXPECT_EQ(sys_->kernel().processes().switch_to(*proc_), SwitchResult::kOk);
+  }
+
+  const Vma* find_vma(VirtAddr va) {
+    for (const auto& v : proc_->vmas) {
+      if (va >= v.start && va < v.end) return &v;
+    }
+    return nullptr;
+  }
+
+  bool touch(VirtAddr va, bool write) {
+    return sys_->kernel().user_access(*proc_, va, write);
+  }
+
+  ProcessManager& pm() { return sys_->kernel().processes(); }
+
+  std::unique_ptr<System> sys_;
+  Process* proc_ = nullptr;
+};
+
+constexpr VirtAddr kBase = kUserSpaceBase + MiB(128);
+
+TEST_F(VmaTest, PartialUnmapHead) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 8 * kPageSize, pte::kR | pte::kW));
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase, 3 * kPageSize));
+  EXPECT_EQ(find_vma(kBase), nullptr);
+  const Vma* tail = find_vma(kBase + 3 * kPageSize);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->start, kBase + 3 * kPageSize);
+  EXPECT_EQ(tail->end, kBase + 8 * kPageSize);
+  EXPECT_FALSE(touch(kBase, false));                   // Unmapped: segfault.
+  EXPECT_TRUE(touch(kBase + 4 * kPageSize, true));     // Tail still live.
+}
+
+TEST_F(VmaTest, PartialUnmapTail) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 8 * kPageSize, pte::kR | pte::kW));
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase + 5 * kPageSize, 3 * kPageSize));
+  const Vma* head = find_vma(kBase);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->end, kBase + 5 * kPageSize);
+  EXPECT_FALSE(touch(kBase + 6 * kPageSize, false));
+}
+
+TEST_F(VmaTest, MiddleUnmapSplitsInTwo) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 8 * kPageSize, pte::kR | pte::kW));
+  const size_t vmas_before = proc_->vmas.size();
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase + 2 * kPageSize, 2 * kPageSize));
+  EXPECT_EQ(proc_->vmas.size(), vmas_before + 1);  // One VMA became two.
+  EXPECT_NE(find_vma(kBase), nullptr);
+  EXPECT_EQ(find_vma(kBase + 2 * kPageSize), nullptr);
+  EXPECT_EQ(find_vma(kBase + 3 * kPageSize), nullptr);
+  EXPECT_NE(find_vma(kBase + 4 * kPageSize), nullptr);
+  EXPECT_TRUE(touch(kBase, true));
+  EXPECT_FALSE(touch(kBase + 2 * kPageSize, true));
+  EXPECT_TRUE(touch(kBase + 7 * kPageSize, true));
+}
+
+TEST_F(VmaTest, UnmapSpanningTwoVmas) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 4 * kPageSize, pte::kR | pte::kW));
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase + 4 * kPageSize, 4 * kPageSize, pte::kR));
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase + 2 * kPageSize, 4 * kPageSize));
+  EXPECT_NE(find_vma(kBase), nullptr);
+  EXPECT_EQ(find_vma(kBase + 3 * kPageSize), nullptr);
+  EXPECT_EQ(find_vma(kBase + 5 * kPageSize), nullptr);
+  EXPECT_NE(find_vma(kBase + 6 * kPageSize), nullptr);
+}
+
+TEST_F(VmaTest, UnmapReleasesPresentPagesAndPtes) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 4 * kPageSize, pte::kR | pte::kW));
+  ASSERT_TRUE(touch(kBase + kPageSize, true));
+  const PhysAddr pa = proc_->user_pages.back().second;
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase + kPageSize, kPageSize));
+  EXPECT_TRUE(sys_->kernel().pages().normal().page_is_free(pa));
+  // The PTE is gone too: a fresh translate faults.
+  const auto ref = sys_->core().mmu().reference_translate(
+      kBase + kPageSize, AccessType::kRead, {Privilege::kUser, false, false});
+  EXPECT_FALSE(ref.has_value());
+}
+
+TEST_F(VmaTest, UnmapOfHoleFails) {
+  EXPECT_FALSE(pm().remove_vma(*proc_, kBase, kPageSize));
+  EXPECT_FALSE(pm().remove_vma(*proc_, kBase, 0));
+  EXPECT_FALSE(pm().remove_vma(*proc_, kBase + 1, kPageSize));  // Misaligned.
+}
+
+TEST_F(VmaTest, PartialMprotectSplits) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 6 * kPageSize, pte::kR | pte::kW));
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(touch(kBase + i * kPageSize, true));
+  // Drop write on the middle two pages only.
+  ASSERT_TRUE(pm().protect_vma(*proc_, kBase + 2 * kPageSize, 2 * kPageSize, pte::kR));
+  EXPECT_TRUE(touch(kBase + 1 * kPageSize, true));
+  EXPECT_FALSE(touch(kBase + 2 * kPageSize, true));
+  EXPECT_TRUE(touch(kBase + 2 * kPageSize, false));  // Still readable.
+  EXPECT_FALSE(touch(kBase + 3 * kPageSize, true));
+  EXPECT_TRUE(touch(kBase + 4 * kPageSize, true));
+  // Three VMAs now cover the range with correct boundaries.
+  EXPECT_EQ(find_vma(kBase + 1 * kPageSize)->prot, u64(pte::kR | pte::kW));
+  EXPECT_EQ(find_vma(kBase + 2 * kPageSize)->prot, u64(pte::kR));
+  EXPECT_EQ(find_vma(kBase + 5 * kPageSize)->prot, u64(pte::kR | pte::kW));
+}
+
+TEST_F(VmaTest, MprotectAcrossVmasFails) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 2 * kPageSize, pte::kR | pte::kW));
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase + 2 * kPageSize, 2 * kPageSize, pte::kR));
+  EXPECT_FALSE(pm().protect_vma(*proc_, kBase + kPageSize, 2 * kPageSize, pte::kR));
+}
+
+TEST_F(VmaTest, RemapAfterUnmap) {
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 4 * kPageSize, pte::kR));
+  ASSERT_TRUE(pm().remove_vma(*proc_, kBase, 4 * kPageSize));
+  // The hole can be re-mapped with different protections.
+  ASSERT_TRUE(pm().add_vma(*proc_, kBase, 4 * kPageSize, pte::kR | pte::kW));
+  EXPECT_TRUE(touch(kBase, true));
+}
+
+}  // namespace
+}  // namespace ptstore

@@ -1,0 +1,162 @@
+// PTStore S-bit semantics (paper Fig. 1 access matrix): the full cross of
+// {regular, pt-insn, ptw} x {secure region, normal region} x privilege.
+#include <gtest/gtest.h>
+
+#include "pmp/pmp.h"
+
+namespace ptstore {
+namespace {
+
+class SecurePmp : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // pmp0: [0, 0x8C00_0000) RWX normal; pmp1: [0x8C00_0000, 0x9000_0000) RW+S.
+    pmp_.set_addr(0, kSrBase >> 2);
+    pmp_.set_cfg(0, static_cast<u8>(pmpcfg::kR | pmpcfg::kW | pmpcfg::kX |
+                                    (static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift)));
+    pmp_.set_addr(1, kSrEnd >> 2);
+    pmp_.set_cfg(1, static_cast<u8>(pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
+                                    (static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift)));
+  }
+
+  static constexpr PhysAddr kSrBase = 0x8C00'0000;
+  static constexpr PhysAddr kSrEnd = 0x9000'0000;
+  static constexpr PhysAddr kNormal = 0x8000'1000;
+  static constexpr PhysAddr kSecure = 0x8C00'1000;
+
+  PmpUnit pmp_;
+};
+
+TEST_F(SecurePmp, IsSecureQueries) {
+  EXPECT_TRUE(pmp_.is_secure(kSecure, 8));
+  EXPECT_TRUE(pmp_.is_secure(kSrBase, 8));
+  EXPECT_TRUE(pmp_.is_secure(kSrEnd - 8, 8));
+  EXPECT_FALSE(pmp_.is_secure(kNormal, 8));
+  EXPECT_FALSE(pmp_.is_secure(kSrBase - 8, 8));
+  EXPECT_FALSE(pmp_.is_secure(kSrBase - 4, 8));  // Straddles the boundary.
+}
+
+// ② in Fig. 1: regular instructions cannot touch the secure region.
+TEST_F(SecurePmp, RegularDeniedInSecureRegion) {
+  for (AccessType t : {AccessType::kRead, AccessType::kWrite}) {
+    const auto r = pmp_.check(kSecure, 8, t, AccessKind::kRegular, Privilege::kSupervisor);
+    EXPECT_FALSE(r.allowed);
+    EXPECT_EQ(r.reason, PmpDenyReason::kSecureRegular);
+  }
+}
+
+// ④: the new instructions may access the secure region.
+TEST_F(SecurePmp, PtInsnAllowedInSecureRegion) {
+  for (AccessType t : {AccessType::kRead, AccessType::kWrite}) {
+    EXPECT_TRUE(
+        pmp_.check(kSecure, 8, t, AccessKind::kPtInsn, Privilege::kSupervisor).allowed);
+  }
+}
+
+// Dual of ④: the new instructions may access ONLY the secure region.
+TEST_F(SecurePmp, PtInsnDeniedInNormalRegion) {
+  const auto r = pmp_.check(kNormal, 8, AccessType::kWrite, AccessKind::kPtInsn,
+                            Privilege::kSupervisor);
+  EXPECT_FALSE(r.allowed);
+  EXPECT_EQ(r.reason, PmpDenyReason::kPtInsnOutsideSecure);
+}
+
+TEST_F(SecurePmp, PtInsnDeniedOutsideAnyEntry) {
+  const auto r = pmp_.check(0xF000'0000, 8, AccessType::kWrite, AccessKind::kPtInsn,
+                            Privilege::kSupervisor);
+  EXPECT_FALSE(r.allowed);
+  EXPECT_EQ(r.reason, PmpDenyReason::kPtInsnOutsideSecure);
+}
+
+// ⑤: the PTW may fetch from the secure region (satp.S gating is the MMU's
+// job via is_secure; the PMP lane itself treats PTW like a trusted reader).
+TEST_F(SecurePmp, PtwAllowedInSecureRegion) {
+  EXPECT_TRUE(pmp_.check(kSecure, 8, AccessType::kRead, AccessKind::kPtw,
+                         Privilege::kSupervisor)
+                  .allowed);
+  EXPECT_TRUE(pmp_.check(kSecure, 8, AccessType::kRead, AccessKind::kPtw,
+                         Privilege::kUser)
+                  .allowed);
+}
+
+TEST_F(SecurePmp, PtwStillReadsNormalRegion) {
+  // With satp.S clear the walker may read page tables anywhere; PMP alone
+  // does not forbid it (the MMU adds the satp.S restriction).
+  EXPECT_TRUE(pmp_.check(kNormal, 8, AccessType::kRead, AccessKind::kPtw,
+                         Privilege::kSupervisor)
+                  .allowed);
+}
+
+TEST_F(SecurePmp, RegularAllowedInNormalRegion) {
+  for (AccessType t : {AccessType::kRead, AccessType::kWrite, AccessType::kExecute}) {
+    EXPECT_TRUE(
+        pmp_.check(kNormal, 8, t, AccessKind::kRegular, Privilege::kUser).allowed);
+  }
+}
+
+// U-mode gets no special treatment: the secure region denies its regular
+// accesses just the same.
+TEST_F(SecurePmp, UserRegularDeniedInSecureRegion) {
+  const auto r =
+      pmp_.check(kSecure, 8, AccessType::kRead, AccessKind::kRegular, Privilege::kUser);
+  EXPECT_FALSE(r.allowed);
+  EXPECT_EQ(r.reason, PmpDenyReason::kSecureRegular);
+}
+
+// M-mode (the trusted monitor) bypasses the S-restriction on unlocked
+// entries, as it bypasses base PMP.
+TEST_F(SecurePmp, MachineModeRegularMayTouchSecureRegion) {
+  EXPECT_TRUE(pmp_.check(kSecure, 8, AccessType::kWrite, AccessKind::kRegular,
+                         Privilege::kMachine)
+                  .allowed);
+}
+
+// Exhaustive access-matrix sweep as a parameterized property: for every
+// (kind, type, region), the decision matches the paper's matrix.
+struct MatrixCase {
+  AccessKind kind;
+  AccessType type;
+  bool secure_region;
+  bool expect_allowed;
+};
+
+class AccessMatrix : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  void SetUp() override {
+    pmp_.set_addr(0, 0x8C00'0000 >> 2);
+    pmp_.set_cfg(0, static_cast<u8>(pmpcfg::kR | pmpcfg::kW | pmpcfg::kX |
+                                    (static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift)));
+    pmp_.set_addr(1, 0x9000'0000 >> 2);
+    pmp_.set_cfg(1, static_cast<u8>(pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
+                                    (static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift)));
+  }
+  PmpUnit pmp_;
+};
+
+TEST_P(AccessMatrix, MatchesPaperFig1) {
+  const MatrixCase& c = GetParam();
+  const PhysAddr pa = c.secure_region ? 0x8D00'0000 : 0x8100'0000;
+  const auto r = pmp_.check(pa, 8, c.type, c.kind, Privilege::kSupervisor);
+  EXPECT_EQ(r.allowed, c.expect_allowed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig1, AccessMatrix,
+    ::testing::Values(
+        // Normal region.
+        MatrixCase{AccessKind::kRegular, AccessType::kRead, false, true},
+        MatrixCase{AccessKind::kRegular, AccessType::kWrite, false, true},
+        MatrixCase{AccessKind::kRegular, AccessType::kExecute, false, true},
+        MatrixCase{AccessKind::kPtInsn, AccessType::kRead, false, false},
+        MatrixCase{AccessKind::kPtInsn, AccessType::kWrite, false, false},
+        MatrixCase{AccessKind::kPtw, AccessType::kRead, false, true},
+        // Secure region.
+        MatrixCase{AccessKind::kRegular, AccessType::kRead, true, false},
+        MatrixCase{AccessKind::kRegular, AccessType::kWrite, true, false},
+        MatrixCase{AccessKind::kRegular, AccessType::kExecute, true, false},
+        MatrixCase{AccessKind::kPtInsn, AccessType::kRead, true, true},
+        MatrixCase{AccessKind::kPtInsn, AccessType::kWrite, true, true},
+        MatrixCase{AccessKind::kPtw, AccessType::kRead, true, true}));
+
+}  // namespace
+}  // namespace ptstore

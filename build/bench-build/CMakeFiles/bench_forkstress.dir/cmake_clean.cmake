@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_forkstress"
+  "../bench/bench_forkstress.pdb"
+  "CMakeFiles/bench_forkstress.dir/bench_forkstress.cpp.o"
+  "CMakeFiles/bench_forkstress.dir/bench_forkstress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forkstress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hwcost"
+  "../bench/bench_hwcost.pdb"
+  "CMakeFiles/bench_hwcost.dir/bench_hwcost.cpp.o"
+  "CMakeFiles/bench_hwcost.dir/bench_hwcost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lmbench"
+  "../bench/bench_lmbench.pdb"
+  "CMakeFiles/bench_lmbench.dir/bench_lmbench.cpp.o"
+  "CMakeFiles/bench_lmbench.dir/bench_lmbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_loc"
+  "../bench/bench_loc.pdb"
+  "CMakeFiles/bench_loc.dir/bench_loc.cpp.o"
+  "CMakeFiles/bench_loc.dir/bench_loc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nginx"
+  "../bench/bench_nginx.pdb"
+  "CMakeFiles/bench_nginx.dir/bench_nginx.cpp.o"
+  "CMakeFiles/bench_nginx.dir/bench_nginx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

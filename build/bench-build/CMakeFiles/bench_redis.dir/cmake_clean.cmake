@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_redis"
+  "../bench/bench_redis.pdb"
+  "CMakeFiles/bench_redis.dir/bench_redis.cpp.o"
+  "CMakeFiles/bench_redis.dir/bench_redis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_security"
+  "../bench/bench_security.pdb"
+  "CMakeFiles/bench_security.dir/bench_security.cpp.o"
+  "CMakeFiles/bench_security.dir/bench_security.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bare_metal_guard.dir/bare_metal_guard.cpp.o"
+  "CMakeFiles/bare_metal_guard.dir/bare_metal_guard.cpp.o.d"
+  "bare_metal_guard"
+  "bare_metal_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bare_metal_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_cli.dir/guest_cli.cpp.o"
+  "CMakeFiles/guest_cli.dir/guest_cli.cpp.o.d"
+  "guest_cli"
+  "guest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hello_guest.dir/hello_guest.cpp.o"
+  "CMakeFiles/hello_guest.dir/hello_guest.cpp.o.d"
+  "hello_guest"
+  "hello_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hello_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

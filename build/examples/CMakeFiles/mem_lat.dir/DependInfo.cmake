@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mem_lat.cpp" "examples/CMakeFiles/mem_lat.dir/mem_lat.cpp.o" "gcc" "examples/CMakeFiles/mem_lat.dir/mem_lat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/ptstore_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ptstore_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbi/CMakeFiles/ptstore_sbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ptstore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ptstore_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptstore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ptstore_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/ptstore_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ptstore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_lat.dir/mem_lat.cpp.o"
+  "CMakeFiles/mem_lat.dir/mem_lat.cpp.o.d"
+  "mem_lat"
+  "mem_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

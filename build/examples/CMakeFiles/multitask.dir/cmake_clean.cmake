@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask.dir/multitask.cpp.o"
+  "CMakeFiles/multitask.dir/multitask.cpp.o.d"
+  "multitask"
+  "multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_attacks.dir/scenarios.cpp.o"
+  "CMakeFiles/ptstore_attacks.dir/scenarios.cpp.o.d"
+  "libptstore_attacks.a"
+  "libptstore_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_cache.dir/cache.cpp.o"
+  "CMakeFiles/ptstore_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/ptstore_cache.dir/tlb.cpp.o"
+  "CMakeFiles/ptstore_cache.dir/tlb.cpp.o.d"
+  "libptstore_cache.a"
+  "libptstore_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

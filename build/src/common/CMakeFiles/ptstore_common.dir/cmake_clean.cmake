@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_common.dir/histogram.cpp.o"
+  "CMakeFiles/ptstore_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/ptstore_common.dir/log.cpp.o"
+  "CMakeFiles/ptstore_common.dir/log.cpp.o.d"
+  "CMakeFiles/ptstore_common.dir/stats.cpp.o"
+  "CMakeFiles/ptstore_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ptstore_common.dir/types.cpp.o"
+  "CMakeFiles/ptstore_common.dir/types.cpp.o.d"
+  "libptstore_common.a"
+  "libptstore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

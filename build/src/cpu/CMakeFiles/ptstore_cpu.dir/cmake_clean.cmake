@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_cpu.dir/core.cpp.o"
+  "CMakeFiles/ptstore_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/ptstore_cpu.dir/exec.cpp.o"
+  "CMakeFiles/ptstore_cpu.dir/exec.cpp.o.d"
+  "CMakeFiles/ptstore_cpu.dir/tracer.cpp.o"
+  "CMakeFiles/ptstore_cpu.dir/tracer.cpp.o.d"
+  "libptstore_cpu.a"
+  "libptstore_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_hwcost.dir/resource_model.cpp.o"
+  "CMakeFiles/ptstore_hwcost.dir/resource_model.cpp.o.d"
+  "libptstore_hwcost.a"
+  "libptstore_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

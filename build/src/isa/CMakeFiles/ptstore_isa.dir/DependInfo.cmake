@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/decode.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/decode.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/rvc.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/rvc.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/rvc.cpp.o.d"
+  "/root/repo/src/isa/text_asm.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/text_asm.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/text_asm.cpp.o.d"
+  "/root/repo/src/isa/trap.cpp" "src/isa/CMakeFiles/ptstore_isa.dir/trap.cpp.o" "gcc" "src/isa/CMakeFiles/ptstore_isa.dir/trap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

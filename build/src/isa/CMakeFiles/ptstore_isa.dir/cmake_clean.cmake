@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ptstore_isa.dir/decode.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/ptstore_isa.dir/disasm.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/ptstore_isa.dir/rvc.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/rvc.cpp.o.d"
+  "CMakeFiles/ptstore_isa.dir/text_asm.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/text_asm.cpp.o.d"
+  "CMakeFiles/ptstore_isa.dir/trap.cpp.o"
+  "CMakeFiles/ptstore_isa.dir/trap.cpp.o.d"
+  "libptstore_isa.a"
+  "libptstore_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

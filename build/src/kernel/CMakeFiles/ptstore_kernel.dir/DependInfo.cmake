@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/buddy.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/buddy.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/buddy.cpp.o.d"
+  "/root/repo/src/kernel/guest.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/guest.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/guest.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kmem.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/kmem.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/kmem.cpp.o.d"
+  "/root/repo/src/kernel/page_alloc.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/page_alloc.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/page_alloc.cpp.o.d"
+  "/root/repo/src/kernel/pagetable.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/pagetable.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/pagetable.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/slab.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/slab.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/slab.cpp.o.d"
+  "/root/repo/src/kernel/system.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/system.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/system.cpp.o.d"
+  "/root/repo/src/kernel/token.cpp" "src/kernel/CMakeFiles/ptstore_kernel.dir/token.cpp.o" "gcc" "src/kernel/CMakeFiles/ptstore_kernel.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/ptstore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbi/CMakeFiles/ptstore_sbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ptstore_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptstore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ptstore_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/ptstore_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ptstore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_kernel.dir/buddy.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/buddy.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/guest.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/guest.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/kmem.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/kmem.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/page_alloc.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/page_alloc.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/pagetable.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/pagetable.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/process.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/slab.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/slab.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/system.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/system.cpp.o.d"
+  "CMakeFiles/ptstore_kernel.dir/token.cpp.o"
+  "CMakeFiles/ptstore_kernel.dir/token.cpp.o.d"
+  "libptstore_kernel.a"
+  "libptstore_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

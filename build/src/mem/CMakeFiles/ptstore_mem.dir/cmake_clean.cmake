@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/ptstore_mem.dir/phys_mem.cpp.o.d"
+  "libptstore_mem.a"
+  "libptstore_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptstore_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_mmu.dir/mmu.cpp.o"
+  "CMakeFiles/ptstore_mmu.dir/mmu.cpp.o.d"
+  "libptstore_mmu.a"
+  "libptstore_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

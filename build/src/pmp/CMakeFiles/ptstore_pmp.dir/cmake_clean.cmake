@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_pmp.dir/pmp.cpp.o"
+  "CMakeFiles/ptstore_pmp.dir/pmp.cpp.o.d"
+  "libptstore_pmp.a"
+  "libptstore_pmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_pmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

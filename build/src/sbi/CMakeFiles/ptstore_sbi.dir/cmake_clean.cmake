@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_sbi.dir/sbi.cpp.o"
+  "CMakeFiles/ptstore_sbi.dir/sbi.cpp.o.d"
+  "libptstore_sbi.a"
+  "libptstore_sbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_sbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

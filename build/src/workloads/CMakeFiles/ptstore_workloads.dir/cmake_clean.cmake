@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptstore_workloads.dir/lmbench.cpp.o"
+  "CMakeFiles/ptstore_workloads.dir/lmbench.cpp.o.d"
+  "CMakeFiles/ptstore_workloads.dir/netserver.cpp.o"
+  "CMakeFiles/ptstore_workloads.dir/netserver.cpp.o.d"
+  "CMakeFiles/ptstore_workloads.dir/runner.cpp.o"
+  "CMakeFiles/ptstore_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/ptstore_workloads.dir/spec.cpp.o"
+  "CMakeFiles/ptstore_workloads.dir/spec.cpp.o.d"
+  "libptstore_workloads.a"
+  "libptstore_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptstore_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks.dir/attacks/scenarios_test.cpp.o"
+  "CMakeFiles/test_attacks.dir/attacks/scenarios_test.cpp.o.d"
+  "test_attacks"
+  "test_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

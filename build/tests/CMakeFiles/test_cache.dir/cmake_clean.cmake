@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/cache_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/cache_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/l2_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/l2_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/tlb_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/tlb_test.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/bpred_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/bpred_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/diff_fuzz_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/diff_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/interrupt_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/interrupt_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/mem_insn_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/mem_insn_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/mmio_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/mmio_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/priv_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/priv_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/ptstore_insn_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/ptstore_insn_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/snapshot_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/snapshot_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/timing_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/timing_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/tracer_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/tracer_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/word_ops_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/word_ops_test.cpp.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

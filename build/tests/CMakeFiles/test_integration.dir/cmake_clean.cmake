@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/guest_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/guest_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/hwcost_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/hwcost_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/regression_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/regression_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/related_work_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/related_work_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/stress_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/stress_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/workloads_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/workloads_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/assembler_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/assembler_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/decode_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/decode_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/disasm_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/disasm_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/roundtrip_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/roundtrip_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/rvc_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/rvc_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/text_asm_test.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/text_asm_test.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/buddy_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/buddy_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/buddy_test.cpp.o.d"
+  "/root/repo/tests/kernel/console_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/console_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/console_test.cpp.o.d"
+  "/root/repo/tests/kernel/kernel_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/kernel_test.cpp.o.d"
+  "/root/repo/tests/kernel/kmem_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/kmem_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/kmem_test.cpp.o.d"
+  "/root/repo/tests/kernel/page_alloc_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/page_alloc_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/page_alloc_test.cpp.o.d"
+  "/root/repo/tests/kernel/pagetable_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/pagetable_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/pagetable_test.cpp.o.d"
+  "/root/repo/tests/kernel/process_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/process_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/process_test.cpp.o.d"
+  "/root/repo/tests/kernel/pt_property_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/pt_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/pt_property_test.cpp.o.d"
+  "/root/repo/tests/kernel/sbi_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/sbi_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/sbi_test.cpp.o.d"
+  "/root/repo/tests/kernel/slab_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/slab_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/slab_test.cpp.o.d"
+  "/root/repo/tests/kernel/system_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o.d"
+  "/root/repo/tests/kernel/token_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/token_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/token_test.cpp.o.d"
+  "/root/repo/tests/kernel/vma_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/vma_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/vma_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ptstore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/ptstore_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/ptstore_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ptstore_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbi/CMakeFiles/ptstore_sbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ptstore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ptstore_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptstore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ptstore_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/ptstore_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ptstore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

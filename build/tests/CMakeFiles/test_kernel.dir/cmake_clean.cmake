@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/buddy_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/buddy_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/console_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/console_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/kernel_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/kernel_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/kmem_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/kmem_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/page_alloc_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/page_alloc_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/pagetable_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/pagetable_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/process_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/process_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/pt_property_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/pt_property_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/sbi_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/sbi_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/slab_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/slab_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/token_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/token_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/vma_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/vma_test.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

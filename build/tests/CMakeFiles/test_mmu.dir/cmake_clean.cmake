@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmu.dir/mmu/secure_walk_test.cpp.o"
+  "CMakeFiles/test_mmu.dir/mmu/secure_walk_test.cpp.o.d"
+  "CMakeFiles/test_mmu.dir/mmu/walker_test.cpp.o"
+  "CMakeFiles/test_mmu.dir/mmu/walker_test.cpp.o.d"
+  "test_mmu"
+  "test_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmp.dir/pmp/pmp_secure_test.cpp.o"
+  "CMakeFiles/test_pmp.dir/pmp/pmp_secure_test.cpp.o.d"
+  "CMakeFiles/test_pmp.dir/pmp/pmp_test.cpp.o"
+  "CMakeFiles/test_pmp.dir/pmp/pmp_test.cpp.o.d"
+  "test_pmp"
+  "test_pmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build/tests/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cache "/root/repo/build/tests/test_cache")
+set_tests_properties(test_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;25;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pmp "/root/repo/build/tests/test_pmp")
+set_tests_properties(test_pmp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;33;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mmu "/root/repo/build/tests/test_mmu")
+set_tests_properties(test_mmu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;37;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cpu "/root/repo/build/tests/test_cpu")
+set_tests_properties(test_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;41;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kernel "/root/repo/build/tests/test_kernel")
+set_tests_properties(test_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;55;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_attacks "/root/repo/build/tests/test_attacks")
+set_tests_properties(test_attacks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;70;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;73;ptstore_test;/root/repo/tests/CMakeLists.txt;0;")

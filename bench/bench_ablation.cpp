@@ -1,66 +1,75 @@
 // Extension bench (DESIGN.md §6): per-mechanism cost ablation. Which part
 // of PTStore costs what, on the workload where PTStore is most visible
 // (fork-heavy kernel work)?
-#include "bench_util.h"
 #include "workloads/lmbench.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::workloads;
 
 namespace {
 
-Cycles run_with(SystemConfig cfg, u64 procs) {
-  cfg.dram_size = MiB(512);
-  System sys(cfg);
-  const Cycles before = sys.cycles();
-  run_fork_stress(sys, procs);
-  return sys.cycles() - before;
-}
+class AblationBench : public Workload {
+ public:
+  std::string name() const override { return "ablation"; }
+  std::string title() const override {
+    return "Ablation — per-mechanism PTStore cost on a " +
+           std::to_string(procs()) + "-process fork storm";
+  }
+
+  int run() override {
+    const u64 procs_n = procs();
+    const Cycles base = run_with(SystemConfig::cfi(), procs_n);
+
+    struct Row {
+      const char* name;
+      SystemConfig cfg;
+    };
+    // Undersize the region so the storm exercises boundary adjustments.
+    SystemConfig full = SystemConfig::cfi_ptstore();
+    full.kernel.secure_region_init = MiB(8);
+    SystemConfig no_token = full;
+    no_token.kernel.token_check = false;
+    SystemConfig no_zero = full;
+    no_zero.kernel.zero_check = false;
+    SystemConfig no_ptw = full;
+    no_ptw.kernel.ptw_check = false;
+    SystemConfig big_region = full;
+    big_region.kernel.secure_region_init = MiB(64);  // Paper default: no adjustments.
+
+    const Row rows[] = {
+        {"full PTStore (8 MiB region)", full},
+        {"  - token check off", no_token},
+        {"  - zero check off", no_zero},
+        {"  - PTW satp.S check off", no_ptw},
+        {"  - 64 MiB region (no adjustments)", big_region},
+    };
+
+    std::printf("%-38s %14s %12s\n", "configuration", "cycles", "vs CFI %");
+    std::printf("%-38s %14llu %12s\n", "CFI only (reference)",
+                static_cast<unsigned long long>(base), "-");
+    for (const auto& r : rows) {
+      const Cycles c = run_with(r.cfg, procs_n);
+      std::printf("%-38s %14llu %+12.2f\n", r.name,
+                  static_cast<unsigned long long>(c), overhead_pct(c, base));
+    }
+    std::printf("\nReading: the zero-check and region adjustments carry the cost;\n"
+                "tokens and the PTW check are architecturally (near) free — the\n"
+                "paper's lightweightness claim, decomposed.\n");
+    return 0;
+  }
+
+ private:
+  static u64 procs() { return scaled(8000, 4000); }
+
+  static Cycles run_with(SystemConfig cfg, u64 procs_n) {
+    cfg.dram_size = MiB(512);
+    return run_on(cfg, [procs_n](System& sys) { run_fork_stress(sys, procs_n); });
+  }
+};
 
 }  // namespace
 
-int main() {
-  const u64 procs = scaled(8000, 4000);
-  bench::header("Ablation — per-mechanism PTStore cost on a " +
-                std::to_string(procs) + "-process fork storm");
-
-  SystemConfig cfi = SystemConfig::cfi();
-  const Cycles base = run_with(cfi, procs);
-
-  struct Row {
-    const char* name;
-    SystemConfig cfg;
-  };
-  // Undersize the region so the storm exercises boundary adjustments.
-  SystemConfig full = SystemConfig::cfi_ptstore();
-  full.kernel.secure_region_init = MiB(8);
-  SystemConfig no_token = full;
-  no_token.kernel.token_check = false;
-  SystemConfig no_zero = full;
-  no_zero.kernel.zero_check = false;
-  SystemConfig no_ptw = full;
-  no_ptw.kernel.ptw_check = false;
-  SystemConfig big_region = full;
-  big_region.kernel.secure_region_init = MiB(64);  // Paper default: no adjustments.
-
-  const Row rows[] = {
-      {"full PTStore (8 MiB region)", full},
-      {"  - token check off", no_token},
-      {"  - zero check off", no_zero},
-      {"  - PTW satp.S check off", no_ptw},
-      {"  - 64 MiB region (no adjustments)", big_region},
-  };
-
-  std::printf("%-38s %14s %12s\n", "configuration", "cycles", "vs CFI %");
-  std::printf("%-38s %14llu %12s\n", "CFI only (reference)",
-              static_cast<unsigned long long>(base), "-");
-  for (const auto& r : rows) {
-    const Cycles c = run_with(r.cfg, procs);
-    std::printf("%-38s %14llu %+12.2f\n", r.name,
-                static_cast<unsigned long long>(c), overhead_pct(c, base));
-  }
-  std::printf("\nReading: the zero-check and region adjustments carry the cost;\n"
-              "tokens and the PTW check are architecturally (near) free — the\n"
-              "paper's lightweightness claim, decomposed.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return run_workload_main_with(std::make_unique<AblationBench>(), argc, argv);
 }

@@ -1,40 +1,9 @@
 // Reproduces the §V-D1 fork-stress experiment: 30,000 processes created at
-// the same time. The only workload that triggers secure-region adjustments
-// (CFI+PTStore) — the -Adj configuration avoids them with a 1 GiB region.
-//
-// Paper results (relative to the no-CFI baseline):
-//   CFI             2.84%
-//   CFI+PTStore     6.83%   (+4.00 pp from boundary adjustments)
-//   CFI+PTStore-Adj 3.77%
-#include "bench_util.h"
-#include "workloads/lmbench.h"
+// the same time — the only workload that triggers secure-region boundary
+// adjustments. The workload lives in src/workloads/figures.cpp; this binary
+// is just its registry entry point.
+#include "workloads/runner.h"
 
-using namespace ptstore;
-using namespace ptstore::workloads;
-
-int main() {
-  const u64 procs = scaled(30000, 30000);
-  bench::header("Fork-stress (paper §V-D1) — " + std::to_string(procs) +
-                " simultaneous processes");
-
-  u64 adjustments = 0;
-  const Measurement m = measure(
-      "fork-stress", GiB(1),
-      [&](System& sys) {
-        run_fork_stress(sys, procs);
-        if (sys.kernel().config().ptstore && sys.kernel().config().allow_adjustment) {
-          adjustments = sys.kernel().adjustments();
-        }
-      },
-      /*include_noadj=*/true);
-
-  std::printf("%-22s %10s %10s\n", "configuration", "model %", "paper %");
-  std::printf("%-22s %10.2f %10.2f\n", "CFI", m.cfi_pct(), 2.84);
-  std::printf("%-22s %10.2f %10.2f\n", "CFI+PTStore", m.cfi_ptstore_pct(), 6.83);
-  std::printf("%-22s %10.2f %10.2f\n", "CFI+PTStore-Adj", m.noadj_pct(), 3.77);
-  std::printf("\nSecure-region adjustments triggered (CFI+PTStore): %llu\n",
-              static_cast<unsigned long long>(adjustments));
-  std::printf("Adjustment contribution: %+.2f pp (paper: +%.2f pp)\n",
-              m.cfi_ptstore_pct() - m.noadj_pct(), 6.83 - 3.77);
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main("forkstress", argc, argv);
 }

@@ -1,51 +1,66 @@
 // Reproduces Table III: hardware resource cost of PTStore on a SmallBoom
 // core mapped to a Kintex-7 FPGA at Ftarget = 90 MHz.
-#include "bench_util.h"
 #include "hwcost/resource_model.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::hwcost;
 
-int main() {
-  bench::header(
-      "Table III — hardware resource cost (model vs. paper)\n"
-      "Paper baseline row is taken as published; the 'with PTStore' row is\n"
-      "derived from the component model in src/hwcost.");
+namespace {
 
-  const CoreParams params;  // SmallBoom, Table II configuration.
-  const BaselineUsage base;
-  const DeltaEstimate delta = estimate_delta(params);
-  const TableIII t = build_table(params, base);
-
-  std::printf("\nComponent breakdown of the PTStore delta:\n");
-  std::printf("%-34s %6s %6s  %s\n", "component", "LUT", "FF", "rationale");
-  for (const auto& c : delta.components) {
-    std::printf("%-34s %6llu %6llu  %s\n", c.name.c_str(),
-                static_cast<unsigned long long>(c.luts),
-                static_cast<unsigned long long>(c.ffs), c.rationale.c_str());
+class HwcostBench : public workloads::Workload {
+ public:
+  std::string name() const override { return "hwcost"; }
+  std::string title() const override {
+    return "Table III — hardware resource cost (model vs. paper)\n"
+           "Paper baseline row is taken as published; the 'with PTStore' row is\n"
+           "derived from the component model in src/hwcost.";
   }
-  std::printf("%-34s %6llu %6llu\n", "TOTAL",
-              static_cast<unsigned long long>(delta.total_luts()),
-              static_cast<unsigned long long>(delta.total_ffs()));
 
-  std::printf("\n%-18s %9s %8s %9s %8s %9s %8s %9s %8s %9s %10s\n", "", "coreLUT",
-              "%", "coreFF", "%", "sysLUT", "%", "sysFF", "%", "WSS(ns)", "Fmax(MHz)");
-  std::printf("%-18s %9llu %8s %9llu %8s %9llu %8s %9llu %8s %9.3f %10.3f\n",
-              "without PTStore", (unsigned long long)base.core_lut, "-",
-              (unsigned long long)base.core_ff, "-",
-              (unsigned long long)base.system_lut, "-",
-              (unsigned long long)base.system_ff, "-", base.wss_ns, base.fmax_mhz);
-  std::printf("%-18s %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9.3f %10.3f\n",
-              "with PTStore (model)", (unsigned long long)t.core_lut_with,
-              t.core_lut_pct, (unsigned long long)t.core_ff_with, t.core_ff_pct,
-              (unsigned long long)t.system_lut_with, t.system_lut_pct,
-              (unsigned long long)t.system_ff_with, t.system_ff_pct, t.wss_with_ns,
-              t.fmax_with_mhz);
-  std::printf("%-18s %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9.3f %10.3f\n",
-              "with PTStore (paper)", 55875ull, 0.918, 37423ull, 0.258, 72081ull,
-              0.626, 57307ull, 0.273, 0.136, 91.116);
+  int run() override {
+    const CoreParams params;  // SmallBoom, Table II configuration.
+    const BaselineUsage base;
+    const DeltaEstimate delta = estimate_delta(params);
+    const TableIII t = build_table(params, base);
 
-  std::printf("\nHeadline check: model core LUT overhead %.3f%% (paper <0.92%%) — %s\n",
-              t.core_lut_pct, t.core_lut_pct < 0.92 ? "OK" : "EXCEEDED");
-  return 0;
+    std::printf("\nComponent breakdown of the PTStore delta:\n");
+    std::printf("%-34s %6s %6s  %s\n", "component", "LUT", "FF", "rationale");
+    for (const auto& c : delta.components) {
+      std::printf("%-34s %6llu %6llu  %s\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.luts),
+                  static_cast<unsigned long long>(c.ffs), c.rationale.c_str());
+    }
+    std::printf("%-34s %6llu %6llu\n", "TOTAL",
+                static_cast<unsigned long long>(delta.total_luts()),
+                static_cast<unsigned long long>(delta.total_ffs()));
+
+    std::printf("\n%-18s %9s %8s %9s %8s %9s %8s %9s %8s %9s %10s\n", "", "coreLUT",
+                "%", "coreFF", "%", "sysLUT", "%", "sysFF", "%", "WSS(ns)", "Fmax(MHz)");
+    std::printf("%-18s %9llu %8s %9llu %8s %9llu %8s %9llu %8s %9.3f %10.3f\n",
+                "without PTStore", (unsigned long long)base.core_lut, "-",
+                (unsigned long long)base.core_ff, "-",
+                (unsigned long long)base.system_lut, "-",
+                (unsigned long long)base.system_ff, "-", base.wss_ns, base.fmax_mhz);
+    std::printf("%-18s %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9.3f %10.3f\n",
+                "with PTStore (model)", (unsigned long long)t.core_lut_with,
+                t.core_lut_pct, (unsigned long long)t.core_ff_with, t.core_ff_pct,
+                (unsigned long long)t.system_lut_with, t.system_lut_pct,
+                (unsigned long long)t.system_ff_with, t.system_ff_pct, t.wss_with_ns,
+                t.fmax_with_mhz);
+    std::printf("%-18s %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9llu %+8.3f %9.3f %10.3f\n",
+                "with PTStore (paper)", 55875ull, 0.918, 37423ull, 0.258, 72081ull,
+                0.626, 57307ull, 0.273, 0.136, 91.116);
+
+    const bool ok = t.core_lut_pct < 0.92;
+    std::printf("\nHeadline check: model core LUT overhead %.3f%% (paper <0.92%%) — %s\n",
+                t.core_lut_pct, ok ? "OK" : "EXCEEDED");
+    return ok ? 0 : 1;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return workloads::run_workload_main_with(std::make_unique<HwcostBench>(), argc,
+                                           argv);
 }

@@ -2,8 +2,10 @@
 // configuration — the tail-latency view the paper's averages hide. PTStore
 // should shift fork-family tails (PT-page lifecycle) and leave flat
 // syscalls untouched; adjustments appear as rare fork outliers.
-#include "bench_util.h"
+#include <map>
+
 #include "workloads/lmbench.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::workloads;
@@ -14,74 +16,92 @@ struct Dist {
   u64 p50 = 0, p99 = 0, max = 0;
 };
 
-std::map<Sys, Dist> run_cfg(SystemConfig cfg, Dist* fork_storm) {
-  cfg.dram_size = MiB(512);
-  if (cfg.kernel.ptstore) cfg.kernel.secure_region_init = MiB(8);
-  System sys(cfg);
-  sys.kernel().enable_latency_collection(true);
-  Process& p = sys.init();
-  for (int i = 0; i < 400; ++i) {
-    sys.kernel().syscall(p, Sys::kNull);
-    sys.kernel().syscall(p, Sys::kRead);
-    sys.kernel().syscall(p, Sys::kOpenClose);
-    sys.kernel().syscall(p, Sys::kFork);
-  }
-  std::map<Sys, Dist> out;
-  for (const auto& [s, h] : sys.kernel().syscall_latency()) {
-    out[s] = Dist{h.percentile(50), h.percentile(99), h.max()};
+class LatencyBench : public Workload {
+ public:
+  std::string name() const override { return "latency"; }
+  std::string title() const override {
+    return "Syscall latency distributions (cycles) — tail view of Fig. 4\n" +
+           std::to_string(calls()) +
+           " calls per syscall per configuration, plus a " +
+           std::to_string(storm_children()) +
+           "-child fork\n"
+           "storm over an 8 MiB region so adjustments surface as tail outliers.";
   }
 
-  // Fork storm with children kept alive: the PTStore zone actually grows,
-  // so adjustment outliers land in the tail.
-  Histogram storm;
-  std::vector<u64> pids;
-  for (int i = 0; i < 4000; ++i) {
-    const Cycles before = sys.cycles();
-    Process* child = sys.kernel().processes().fork(p);
-    storm.record(sys.cycles() - before);
-    if (child == nullptr) break;
-    pids.push_back(child->pid);
+  int run() override {
+    Dist storm_cfi, storm_pt;
+    const auto cfi = run_cfg(SystemConfig::cfi(), &storm_cfi);
+    const auto pt = run_cfg(SystemConfig::cfi_ptstore(), &storm_pt);
+
+    std::printf("%-12s | %10s %10s %10s | %10s %10s %10s\n", "", "CFI p50",
+                "p99", "max", "+PT p50", "p99", "max");
+    for (const Sys s : {Sys::kNull, Sys::kRead, Sys::kOpenClose, Sys::kFork}) {
+      const Dist& a = cfi.at(s);
+      const Dist& b = pt.at(s);
+      std::printf("%-12s | %10llu %10llu %10llu | %10llu %10llu %10llu\n",
+                  to_string(s), (unsigned long long)a.p50, (unsigned long long)a.p99,
+                  (unsigned long long)a.max, (unsigned long long)b.p50,
+                  (unsigned long long)b.p99, (unsigned long long)b.max);
+    }
+    std::printf("%-12s | %10llu %10llu %10llu | %10llu %10llu %10llu\n",
+                "fork (storm)", (unsigned long long)storm_cfi.p50,
+                (unsigned long long)storm_cfi.p99, (unsigned long long)storm_cfi.max,
+                (unsigned long long)storm_pt.p50, (unsigned long long)storm_pt.p99,
+                (unsigned long long)storm_pt.max);
+    std::printf(
+        "\nReading: flat syscalls are untouched end to end. In the storm row\n"
+        "(%llu live children over an 8 MiB region) PTStore's median fork is\n"
+        "slightly dearer (zero-check + token) and its MAX is far out in the\n"
+        "tail — the forks that landed on a secure-region boundary adjustment,\n"
+        "i.e. §V-D1's +4.00 pp seen as individual outliers.\n",
+        (unsigned long long)storm_children());
+    return 0;
   }
-  for (const u64 pid : pids) {
-    Process* c = sys.kernel().processes().find(pid);
-    if (c != nullptr) sys.kernel().processes().exit(*c);
+
+ private:
+  static u64 calls() { return scaled(400, 400); }
+  static u64 storm_children() { return scaled(4000, 4000); }
+
+  static std::map<Sys, Dist> run_cfg(SystemConfig cfg, Dist* fork_storm) {
+    cfg.dram_size = MiB(512);
+    if (cfg.kernel.ptstore) cfg.kernel.secure_region_init = MiB(8);
+    std::map<Sys, Dist> out;
+    run_on(cfg, [&out, fork_storm](System& sys) {
+      sys.kernel().enable_latency_collection(true);
+      Process& p = sys.init();
+      for (u64 i = 0; i < calls(); ++i) {
+        sys.kernel().syscall(p, Sys::kNull);
+        sys.kernel().syscall(p, Sys::kRead);
+        sys.kernel().syscall(p, Sys::kOpenClose);
+        sys.kernel().syscall(p, Sys::kFork);
+      }
+      for (const auto& [s, h] : sys.kernel().syscall_latency()) {
+        out[s] = Dist{h.percentile(50), h.percentile(99), h.max()};
+      }
+
+      // Fork storm with children kept alive: the PTStore zone actually
+      // grows, so adjustment outliers land in the tail.
+      Histogram storm;
+      std::vector<u64> pids;
+      for (u64 i = 0; i < storm_children(); ++i) {
+        const Cycles before = sys.cycles();
+        Process* child = sys.kernel().processes().fork(p);
+        storm.record(sys.cycles() - before);
+        if (child == nullptr) break;
+        pids.push_back(child->pid);
+      }
+      for (const u64 pid : pids) {
+        Process* c = sys.kernel().processes().find(pid);
+        if (c != nullptr) sys.kernel().processes().exit(*c);
+      }
+      *fork_storm = Dist{storm.percentile(50), storm.percentile(99), storm.max()};
+    });
+    return out;
   }
-  *fork_storm = Dist{storm.percentile(50), storm.percentile(99), storm.max()};
-  return out;
-}
+};
 
 }  // namespace
 
-int main() {
-  bench::header(
-      "Syscall latency distributions (cycles) — tail view of Fig. 4\n"
-      "400 calls per syscall per configuration, plus a 4,000-child fork\n"
-      "storm over an 8 MiB region so adjustments surface as tail outliers.");
-
-  Dist storm_cfi, storm_pt;
-  const auto cfi = run_cfg(SystemConfig::cfi(), &storm_cfi);
-  const auto pt = run_cfg(SystemConfig::cfi_ptstore(), &storm_pt);
-
-  std::printf("%-12s | %10s %10s %10s | %10s %10s %10s\n", "", "CFI p50",
-              "p99", "max", "+PT p50", "p99", "max");
-  for (const Sys s : {Sys::kNull, Sys::kRead, Sys::kOpenClose, Sys::kFork}) {
-    const Dist& a = cfi.at(s);
-    const Dist& b = pt.at(s);
-    std::printf("%-12s | %10llu %10llu %10llu | %10llu %10llu %10llu\n",
-                to_string(s), (unsigned long long)a.p50, (unsigned long long)a.p99,
-                (unsigned long long)a.max, (unsigned long long)b.p50,
-                (unsigned long long)b.p99, (unsigned long long)b.max);
-  }
-  std::printf("%-12s | %10llu %10llu %10llu | %10llu %10llu %10llu\n",
-              "fork (storm)", (unsigned long long)storm_cfi.p50,
-              (unsigned long long)storm_cfi.p99, (unsigned long long)storm_cfi.max,
-              (unsigned long long)storm_pt.p50, (unsigned long long)storm_pt.p99,
-              (unsigned long long)storm_pt.max);
-  std::printf(
-      "\nReading: flat syscalls are untouched end to end. In the storm row\n"
-      "(4,000 live children over an 8 MiB region) PTStore's median fork is\n"
-      "slightly dearer (zero-check + token) and its MAX is far out in the\n"
-      "tail — the forks that landed on a secure-region boundary adjustment,\n"
-      "i.e. §V-D1's +4.00 pp seen as individual outliers.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return run_workload_main_with(std::make_unique<LatencyBench>(), argc, argv);
 }

@@ -1,57 +1,8 @@
 // Reproduces Figure 4: LMBench microbenchmark overheads (1,000 iterations
-// per test) for CFI and CFI+PTStore relative to the unprotected baseline.
-#include "bench_util.h"
-#include "workloads/lmbench.h"
+// per test) plus the lat_ctx context-switch ring. The workload lives in
+// src/workloads/figures.cpp; this binary is just its registry entry point.
+#include "workloads/runner.h"
 
-using namespace ptstore;
-using namespace ptstore::workloads;
-
-int main() {
-  bench::header(
-      "Figure 4 — LMBench microbenchmark overheads\n"
-      "Each test runs 1,000 iterations per configuration (paper setup).\n"
-      "Paper: CFI bars are a few percent; the PTStore delta over CFI is\n"
-      "negligible except on fork paths; short tests show noise.");
-
-  const u64 iters = 1000;
-  bench::row_header();
-  double sum_cfi = 0, sum_pt = 0;
-  int n = 0;
-  for (const auto& test : lmbench_suite()) {
-    const Measurement m = measure(test.name, MiB(256), [&](System& sys) {
-      run_micro(sys, test, iters);
-    });
-    bench::print_row(m);
-    sum_cfi += m.cfi_ptstore_pct();
-    sum_pt += m.ptstore_only_pct();
-    ++n;
-  }
-  std::printf("%-18s %10s %14.2f %14.2f\n", "AVERAGE", "", sum_cfi / n, sum_pt / n);
-  std::printf("\nPaper headline: PTStore-only kernel-bound overhead <0.86%% — %s\n",
-              (sum_pt / n) < 0.86 ? "OK" : "EXCEEDED");
-
-  // lat_ctx companion: context-switch ring over N processes. More processes
-  // -> more TLB/cache pressure per switch; PTStore's token check rides
-  // along at constant cost.
-  std::printf("\nlat_ctx (context-switch ring, 500 round trips):\n");
-  bench::row_header();
-  for (const unsigned procs : {2u, 4u, 8u, 16u}) {
-    const Measurement m = measure(
-        "ctx " + std::to_string(procs) + "p", MiB(256), [procs](System& sys) {
-          Kernel& k = sys.kernel();
-          std::vector<Process*> ring;
-          for (unsigned i = 0; i < procs; ++i) {
-            Process* p = k.processes().fork(sys.init());
-            if (p == nullptr) return;
-            ring.push_back(p);
-          }
-          for (int round = 0; round < 500; ++round) {
-            for (Process* p : ring) k.processes().switch_to(*p);
-          }
-          for (Process* p : ring) k.processes().exit(*p);
-          k.processes().switch_to(sys.init());
-        });
-    bench::print_row(m);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main("lmbench", argc, argv);
 }

@@ -8,7 +8,7 @@
 // the source tree.
 #include <fstream>
 
-#include "bench_util.h"
+#include "workloads/runner.h"
 
 #ifndef PTSTORE_SOURCE_DIR
 #define PTSTORE_SOURCE_DIR "."
@@ -31,51 +31,61 @@ struct Component {
   std::vector<std::string> files;
 };
 
+class LocBench : public ptstore::workloads::Workload {
+ public:
+  std::string name() const override { return "loc"; }
+  std::string title() const override {
+    return "Table I — lines of code per PTStore component\n"
+           "Paper counts patch lines against BOOM/LLVM/Linux; this repository\n"
+           "implements the same mechanisms as standalone modules over a simulated\n"
+           "substrate, so its counts are necessarily larger. Reported for scale\n"
+           "comparison, not equality.";
+  }
+
+  int run() override {
+    const std::vector<Component> components = {
+        {"RISC-V Processor (secure region, ld.pt/sd.pt, PTW check)",
+         "Chisel",
+         58,
+         {"src/pmp/pmp.h", "src/pmp/pmp.cpp", "src/mmu/mmu.h", "src/mmu/mmu.cpp",
+          "src/isa/csr.h"}},
+        {"LLVM Back-end (new instruction encodings)",
+         "C++ and TableGen",
+         15,
+         {"src/isa/inst.h", "src/isa/decode.cpp", "src/isa/assembler.h",
+          "src/isa/assembler.cpp"}},
+        {"Linux Kernel (zone, GFP_PTSTORE, tokens, process mgmt)",
+         "C",
+         1405,
+         {"src/kernel/page_alloc.h", "src/kernel/page_alloc.cpp",
+          "src/kernel/token.h", "src/kernel/token.cpp", "src/kernel/pagetable.h",
+          "src/kernel/pagetable.cpp", "src/kernel/process.h",
+          "src/kernel/process.cpp", "src/sbi/sbi.h", "src/sbi/sbi.cpp"}},
+    };
+
+    std::printf("%-60s %10s %12s\n", "component", "paper LoC", "this repo");
+    ptstore::u64 total = 0, paper_total = 0;
+    for (const auto& c : components) {
+      ptstore::u64 lines = 0;
+      for (const auto& f : c.files) lines += count_lines(f);
+      std::printf("%-60s %10llu %12llu\n", c.name,
+                  static_cast<unsigned long long>(c.paper_total),
+                  static_cast<unsigned long long>(lines));
+      total += lines;
+      paper_total += c.paper_total;
+    }
+    std::printf("%-60s %10llu %12llu\n", "TOTAL",
+                static_cast<unsigned long long>(paper_total),
+                static_cast<unsigned long long>(total));
+    std::printf("\nTakeaway preserved from the paper: the kernel side dominates; the\n"
+                "hardware and compiler changes are tiny by comparison.\n");
+    return 0;
+  }
+};
+
 }  // namespace
 
-int main() {
-  ptstore::bench::header(
-      "Table I — lines of code per PTStore component\n"
-      "Paper counts patch lines against BOOM/LLVM/Linux; this repository\n"
-      "implements the same mechanisms as standalone modules over a simulated\n"
-      "substrate, so its counts are necessarily larger. Reported for scale\n"
-      "comparison, not equality.");
-
-  const std::vector<Component> components = {
-      {"RISC-V Processor (secure region, ld.pt/sd.pt, PTW check)",
-       "Chisel",
-       58,
-       {"src/pmp/pmp.h", "src/pmp/pmp.cpp", "src/mmu/mmu.h", "src/mmu/mmu.cpp",
-        "src/isa/csr.h"}},
-      {"LLVM Back-end (new instruction encodings)",
-       "C++ and TableGen",
-       15,
-       {"src/isa/inst.h", "src/isa/decode.cpp", "src/isa/assembler.h",
-        "src/isa/assembler.cpp"}},
-      {"Linux Kernel (zone, GFP_PTSTORE, tokens, process mgmt)",
-       "C",
-       1405,
-       {"src/kernel/page_alloc.h", "src/kernel/page_alloc.cpp",
-        "src/kernel/token.h", "src/kernel/token.cpp", "src/kernel/pagetable.h",
-        "src/kernel/pagetable.cpp", "src/kernel/process.h",
-        "src/kernel/process.cpp", "src/sbi/sbi.h", "src/sbi/sbi.cpp"}},
-  };
-
-  std::printf("%-60s %10s %12s\n", "component", "paper LoC", "this repo");
-  ptstore::u64 total = 0, paper_total = 0;
-  for (const auto& c : components) {
-    ptstore::u64 lines = 0;
-    for (const auto& f : c.files) lines += count_lines(f);
-    std::printf("%-60s %10llu %12llu\n", c.name,
-                static_cast<unsigned long long>(c.paper_total),
-                static_cast<unsigned long long>(lines));
-    total += lines;
-    paper_total += c.paper_total;
-  }
-  std::printf("%-60s %10llu %12llu\n", "TOTAL",
-              static_cast<unsigned long long>(paper_total),
-              static_cast<unsigned long long>(total));
-  std::printf("\nTakeaway preserved from the paper: the kernel side dominates; the\n"
-              "hardware and compiler changes are tiny by comparison.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main_with(std::make_unique<LocBench>(),
+                                                    argc, argv);
 }

@@ -1,31 +1,8 @@
-// Reproduces Figure 6: NGINX performance overheads — 10,000 requests total,
-// 100 concurrent, across static-file test cases.
-#include "bench_util.h"
-#include "workloads/netserver.h"
+// Reproduces Figure 6: NGINX performance overheads — static-file test cases
+// at 100 concurrent connections. The workload lives in
+// src/workloads/figures.cpp; this binary is just its registry entry point.
+#include "workloads/runner.h"
 
-using namespace ptstore;
-using namespace ptstore::workloads;
-
-int main() {
-  const u64 requests = scaled(10000, 2500);
-  bench::header(
-      "Figure 6 — NGINX overheads (" + std::to_string(requests) +
-      " requests, 100 concurrent)\n"
-      "Paper: kernel-bound CFI+PTStore <8.18%; PTStore-only <0.86%.");
-
-  bench::row_header();
-  double worst_cfi = 0, worst_pt = 0;
-  for (const auto& c : nginx_cases()) {
-    const Measurement m = measure(c.name, MiB(512), [&](System& sys) {
-      run_nginx(sys, c, requests, 100);
-    });
-    bench::print_row(m);
-    worst_cfi = std::max(worst_cfi, m.cfi_ptstore_pct());
-    worst_pt = std::max(worst_pt, m.ptstore_only_pct());
-  }
-  std::printf("\nWorst case: CFI+PTStore %.2f%% (paper <8.18%% — %s); "
-              "PTStore-only %.2f%% (paper <0.86%% — %s)\n",
-              worst_cfi, worst_cfi < 8.18 ? "OK" : "EXCEEDED", worst_pt,
-              worst_pt < 0.86 ? "OK" : "EXCEEDED");
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main("nginx", argc, argv);
 }

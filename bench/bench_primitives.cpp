@@ -4,6 +4,9 @@
 // itself fast enough for paper-scale runs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "isa/assembler.h"
 #include "kernel/guest.h"
 #include "kernel/system.h"
@@ -17,8 +20,18 @@ SystemConfig bench_cfg() {
   return cfg;
 }
 
+std::unique_ptr<System> make_system() {
+  auto r = System::create(bench_cfg());
+  if (!r) {
+    std::fprintf(stderr, "bench configuration rejected: %s\n", r.error().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
 void BM_PmpCheck(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   const PmpUnit& pmp = sys.core().pmp();
   PhysAddr pa = kDramBase + MiB(32);
   for (auto _ : state) {
@@ -31,7 +44,8 @@ void BM_PmpCheck(benchmark::State& state) {
 BENCHMARK(BM_PmpCheck);
 
 void BM_PmpIsSecure(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   const PmpUnit& pmp = sys.core().pmp();
   for (auto _ : state) {
     benchmark::DoNotOptimize(pmp.is_secure(sys.sbi().sr_get().base + 0x100, 8));
@@ -40,7 +54,8 @@ void BM_PmpIsSecure(benchmark::State& state) {
 BENCHMARK(BM_PmpIsSecure);
 
 void BM_TranslateTlbHit(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   Mmu& mmu = sys.core().mmu();
   const TranslationContext ctx{Privilege::kSupervisor, false, false};
   (void)mmu.translate(kDramBase + MiB(40), AccessType::kRead, AccessKind::kRegular, ctx);
@@ -52,7 +67,8 @@ void BM_TranslateTlbHit(benchmark::State& state) {
 BENCHMARK(BM_TranslateTlbHit);
 
 void BM_KernelLoad(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   KernelMem& km = sys.kernel().kmem();
   for (auto _ : state) {
     benchmark::DoNotOptimize(km.ld(kDramBase + MiB(48)));
@@ -61,7 +77,8 @@ void BM_KernelLoad(benchmark::State& state) {
 BENCHMARK(BM_KernelLoad);
 
 void BM_TokenValidate(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   Process& init = sys.init();
   const u64 tok = sys.kernel().processes().pcb_token(init);
   const u64 pgd = sys.kernel().processes().pcb_pgd(init);
@@ -73,7 +90,8 @@ void BM_TokenValidate(benchmark::State& state) {
 BENCHMARK(BM_TokenValidate);
 
 void BM_ContextSwitch(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   Process* a = sys.kernel().processes().fork(sys.init());
   Process* b = sys.kernel().processes().fork(sys.init());
   for (auto _ : state) {
@@ -84,7 +102,8 @@ void BM_ContextSwitch(benchmark::State& state) {
 BENCHMARK(BM_ContextSwitch);
 
 void BM_ForkExit(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   for (auto _ : state) {
     Process* c = sys.kernel().processes().fork(sys.init());
     sys.kernel().processes().exit(*c);
@@ -95,7 +114,8 @@ BENCHMARK(BM_ForkExit);
 void BM_GuestSliceSwitch(benchmark::State& state) {
   // Full scheduler quantum: context restore, satp switch with token check,
   // a short burst of interpreted user code, context save.
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   GuestRunner runner(sys.kernel());
   Process* a = sys.kernel().processes().fork(sys.init());
   Process* b = sys.kernel().processes().fork(sys.init());
@@ -115,7 +135,8 @@ void BM_GuestSliceSwitch(benchmark::State& state) {
 BENCHMARK(BM_GuestSliceSwitch);
 
 void BM_ConsoleWrite(benchmark::State& state) {
-  System sys(bench_cfg());
+  const std::unique_ptr<System> sys_p = make_system();
+  System& sys = *sys_p;
   const std::string line = "the quick brown fox\n";
   for (auto _ : state) {
     benchmark::DoNotOptimize(sys.kernel().console_write(line));

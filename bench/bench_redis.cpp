@@ -1,32 +1,8 @@
-// Reproduces Figure 7: Redis performance overheads — 100,000 requests per
-// request type, 50 parallel connections, 16 request types.
-#include "bench_util.h"
-#include "workloads/netserver.h"
+// Reproduces Figure 7: Redis performance overheads — 16 request types, 50
+// parallel connections. The workload lives in src/workloads/figures.cpp;
+// this binary is just its registry entry point.
+#include "workloads/runner.h"
 
-using namespace ptstore;
-using namespace ptstore::workloads;
-
-int main() {
-  const u64 requests = scaled(100000, 6000);
-  bench::header(
-      "Figure 7 — Redis overheads (" + std::to_string(requests) +
-      " requests per test, 50 parallel connections)\n"
-      "Paper: kernel-bound CFI+PTStore <8.18%; PTStore-only <0.86%.");
-
-  bench::row_header();
-  double worst_pt = 0, sum_cfi = 0;
-  const auto cases = redis_cases();
-  for (const auto& c : cases) {
-    const Measurement m = measure(c.name, MiB(512), [&](System& sys) {
-      run_redis(sys, c, requests, 50);
-    });
-    bench::print_row(m);
-    worst_pt = std::max(worst_pt, m.ptstore_only_pct());
-    sum_cfi += m.cfi_ptstore_pct();
-  }
-  std::printf("\nAverage CFI+PTStore %.2f%%; worst PTStore-only %.2f%% "
-              "(paper <0.86%% — %s)\n",
-              sum_cfi / static_cast<double>(cases.size()), worst_pt,
-              worst_pt < 0.86 ? "OK" : "EXCEEDED");
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main("redis", argc, argv);
 }

@@ -3,67 +3,77 @@
 // protect page tables; the paper argues the monitor approach "will
 // introduce much more performance overheads" — this bench quantifies that
 // on the PT-write-heavy paths.
-#include "bench_util.h"
+#include "mmu/pte.h"
 #include "workloads/lmbench.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::workloads;
 
 namespace {
 
-Cycles run_cfg(SystemConfig cfg, const std::function<void(System&)>& fn) {
-  cfg.dram_size = MiB(512);
-  System sys(cfg);
-  const Cycles before = sys.cycles();
-  fn(sys);
-  return sys.cycles() - before;
-}
+class RelatedBench : public Workload {
+ public:
+  std::string name() const override { return "related"; }
+  std::string title() const override {
+    return "Related work (paper §VI-4) — PTStore vs. monitor-checked PT writes\n"
+           "(Penglai-style: each set_pXd traps to an M-mode monitor that\n"
+           "re-validates the mapping). Overheads relative to the CFI kernel.";
+  }
 
-void compare(const char* name, const std::function<void(System&)>& fn) {
-  const Cycles cfi = run_cfg(SystemConfig::cfi(), fn);
-  const Cycles pt = run_cfg(SystemConfig::cfi_ptstore(), fn);
-  SystemConfig monitor_cfg = SystemConfig::cfi_ptstore();
-  monitor_cfg.kernel.monitor_checked_pt_writes = true;
-  const Cycles mon = run_cfg(monitor_cfg, fn);
-  std::printf("%-22s %12.2f %18.2f\n", name, overhead_pct(pt, cfi),
-              overhead_pct(mon, cfi));
-}
+  int run() override {
+    std::printf("%-22s %12s %18s\n", "workload", "PTStore %", "monitor-checked %");
+
+    const u64 storm_procs = scaled(4000, 4000);
+    compare("fork storm (4000)",
+            [storm_procs](System& sys) { run_fork_stress(sys, storm_procs); });
+
+    compare("fork+exit x500", [](System& sys) {
+      for (int i = 0; i < 500; ++i) sys.kernel().syscall(sys.init(), Sys::kFork);
+    });
+
+    compare("page faults x4000", [](System& sys) {
+      Kernel& k = sys.kernel();
+      Process& p = sys.init();
+      const VirtAddr arena = kUserSpaceBase + GiB(4);
+      k.processes().add_vma(p, arena, 4000 * kPageSize, pte::kR | pte::kW);
+      k.processes().switch_to(p);
+      for (int i = 0; i < 4000; ++i) {
+        k.user_access(p, arena + static_cast<u64>(i) * kPageSize, true);
+      }
+    });
+
+    compare("syscalls (no PT work)", [](System& sys) {
+      for (int i = 0; i < 2000; ++i) sys.kernel().syscall(sys.init(), Sys::kRead);
+    });
+
+    std::printf(
+        "\nReading: on PT-write-heavy paths the monitor design costs several\n"
+        "times PTStore's overhead (every set_pXd pays an ecall round trip +\n"
+        "monitor checks); on PT-quiet paths both are free. This is the paper's\n"
+        "§VI-4 argument, quantified.\n");
+    return 0;
+  }
+
+ private:
+  static Cycles run_cfg(SystemConfig cfg, const WorkloadFn& fn) {
+    cfg.dram_size = MiB(512);
+    return run_on(cfg, fn);
+  }
+
+  static void compare(const char* name, const WorkloadFn& fn) {
+    const Cycles cfi = run_cfg(SystemConfig::cfi(), fn);
+    const Cycles pt = run_cfg(SystemConfig::cfi_ptstore(), fn);
+    SystemConfig monitor_cfg = SystemConfig::cfi_ptstore();
+    monitor_cfg.kernel.monitor_checked_pt_writes = true;
+    const Cycles mon = run_cfg(monitor_cfg, fn);
+    std::printf("%-22s %12.2f %18.2f\n", name, overhead_pct(pt, cfi),
+                overhead_pct(mon, cfi));
+  }
+};
 
 }  // namespace
 
-int main() {
-  bench::header(
-      "Related work (paper §VI-4) — PTStore vs. monitor-checked PT writes\n"
-      "(Penglai-style: each set_pXd traps to an M-mode monitor that\n"
-      "re-validates the mapping). Overheads relative to the CFI kernel.");
-
-  std::printf("%-22s %12s %18s\n", "workload", "PTStore %", "monitor-checked %");
-
-  compare("fork storm (4000)", [](System& sys) { run_fork_stress(sys, 4000); });
-
-  compare("fork+exit x500", [](System& sys) {
-    for (int i = 0; i < 500; ++i) sys.kernel().syscall(sys.init(), Sys::kFork);
-  });
-
-  compare("page faults x4000", [](System& sys) {
-    Kernel& k = sys.kernel();
-    Process& p = sys.init();
-    const VirtAddr arena = kUserSpaceBase + GiB(4);
-    k.processes().add_vma(p, arena, 4000 * kPageSize, pte::kR | pte::kW);
-    k.processes().switch_to(p);
-    for (int i = 0; i < 4000; ++i) {
-      k.user_access(p, arena + static_cast<u64>(i) * kPageSize, true);
-    }
-  });
-
-  compare("syscalls (no PT work)", [](System& sys) {
-    for (int i = 0; i < 2000; ++i) sys.kernel().syscall(sys.init(), Sys::kRead);
-  });
-
-  std::printf(
-      "\nReading: on PT-write-heavy paths the monitor design costs several\n"
-      "times PTStore's overhead (every set_pXd pays an ecall round trip +\n"
-      "monitor checks); on PT-quiet paths both are free. This is the paper's\n"
-      "§VI-4 argument, quantified.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return run_workload_main_with(std::make_unique<RelatedBench>(), argc, argv);
 }

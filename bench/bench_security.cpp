@@ -2,56 +2,76 @@
 // all six attack classes against the unprotected baseline, a CFI-only
 // kernel, and the full CFI+PTStore system.
 #include "attacks/scenarios.h"
-#include "bench_util.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::attacks;
 
 namespace {
 
-void run_config(const char* name, const SystemConfig& cfg, bool expect_defended) {
-  std::printf("\n--- %s ---\n", name);
-  int defended = 0;
-  const auto reports = run_all(cfg);
-  for (const auto& r : reports) {
-    std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
-                r.detail.c_str());
-    defended += r.defended() ? 1 : 0;
+class SecurityBench : public workloads::Workload {
+ public:
+  std::string name() const override { return "security"; }
+  std::string title() const override {
+    return "Security analysis (paper §V-E) — attack classes vs. configurations\n"
+           "PT-Tampering / PT-Injection / PT-Reuse (§II-B), allocator-metadata\n"
+           "(§V-E3), VM-metadata (§V-E4), TLB-inconsistency (§V-E5)";
   }
-  std::printf("  => %d/%zu attack classes defended (expected: %s)\n", defended,
-              reports.size(), expect_defended ? "all" : "none");
-}
+
+  int run() override {
+    int rc = 0;
+
+    SystemConfig base = SystemConfig::baseline();
+    base.dram_size = MiB(256);
+    run_config("baseline (no CFI, no PTStore)", base, false, &rc);
+
+    SystemConfig cfi = SystemConfig::cfi();
+    cfi.dram_size = MiB(256);
+    run_config("CFI only (data-only attacks bypass CFI)", cfi, false, &rc);
+
+    SystemConfig pt = SystemConfig::cfi_ptstore();
+    pt.dram_size = MiB(256);
+    run_config("CFI + PTStore", pt, true, &rc);
+
+    // Defence-in-depth ablation: which mechanism catches PT-Injection.
+    SystemConfig no_token = pt;
+    no_token.kernel.token_check = false;
+    std::printf("\n--- ablation: PTStore without token check ---\n");
+    {
+      auto sys = System::create(no_token);
+      if (!sys) {
+        std::fprintf(stderr, "config error: %s\n", sys.error().c_str());
+        return 2;
+      }
+      const AttackReport r = pt_injection(*sys.value());
+      std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
+                  r.detail.c_str());
+      std::printf("  => the satp.S walker check stops injection even without tokens\n");
+      if (!r.defended()) rc = 1;
+    }
+    return rc;
+  }
+
+ private:
+  static void run_config(const char* name, const SystemConfig& cfg,
+                         bool expect_defended, int* rc) {
+    std::printf("\n--- %s ---\n", name);
+    size_t defended = 0;
+    const auto reports = run_all(cfg);
+    for (const auto& r : reports) {
+      std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
+                  r.detail.c_str());
+      defended += r.defended() ? 1 : 0;
+    }
+    std::printf("  => %zu/%zu attack classes defended (expected: %s)\n", defended,
+                reports.size(), expect_defended ? "all" : "none");
+    if (expect_defended && defended != reports.size()) *rc = 1;
+  }
+};
 
 }  // namespace
 
-int main() {
-  bench::header(
-      "Security analysis (paper §V-E) — attack classes vs. configurations\n"
-      "PT-Tampering / PT-Injection / PT-Reuse (§II-B), allocator-metadata\n"
-      "(§V-E3), VM-metadata (§V-E4), TLB-inconsistency (§V-E5)");
-
-  SystemConfig base = SystemConfig::baseline();
-  base.dram_size = MiB(256);
-  run_config("baseline (no CFI, no PTStore)", base, false);
-
-  SystemConfig cfi = SystemConfig::cfi();
-  cfi.dram_size = MiB(256);
-  run_config("CFI only (data-only attacks bypass CFI)", cfi, false);
-
-  SystemConfig pt = SystemConfig::cfi_ptstore();
-  pt.dram_size = MiB(256);
-  run_config("CFI + PTStore", pt, true);
-
-  // Defence-in-depth ablation: which mechanism catches PT-Injection.
-  SystemConfig no_token = pt;
-  no_token.kernel.token_check = false;
-  std::printf("\n--- ablation: PTStore without token check ---\n");
-  {
-    System sys(no_token);
-    const AttackReport r = pt_injection(sys);
-    std::printf("  %-20s %-36s %s\n", r.name.c_str(), to_string(r.outcome),
-                r.detail.c_str());
-    std::printf("  => the satp.S walker check stops injection even without tokens\n");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return workloads::run_workload_main_with(std::make_unique<SecurityBench>(),
+                                           argc, argv);
 }

@@ -1,33 +1,8 @@
 // Reproduces Figure 5: SPEC CINT2006 execution-time overheads (reference
-// workloads; 400.perlbench excluded as in the paper). CPU-bound: CFI and
-// PTStore reach these programs only through kernel entries.
-#include "bench_util.h"
-#include "workloads/spec.h"
+// workloads; 400.perlbench excluded as in the paper). The workload lives in
+// src/workloads/figures.cpp; this binary is just its registry entry point.
+#include "workloads/runner.h"
 
-using namespace ptstore;
-using namespace ptstore::workloads;
-
-int main() {
-  const u64 minstr = scaled(200, 30);  // Millions of user instrs per benchmark.
-  bench::header(
-      "Figure 5 — SPEC CINT2006 execution-time overheads\n"
-      "Paper: average CFI+PTStore <0.91%; PTStore-only <0.29%.");
-
-  bench::row_header();
-  double sum_cfi = 0, sum_pt = 0;
-  const auto profiles = spec_cint2006();
-  for (const auto& prof : profiles) {
-    const Measurement m = measure(prof.name, MiB(512), [&](System& sys) {
-      run_spec(sys, prof, minstr);
-    });
-    bench::print_row(m);
-    sum_cfi += m.cfi_ptstore_pct();
-    sum_pt += m.ptstore_only_pct();
-  }
-  const double n = static_cast<double>(profiles.size());
-  std::printf("%-18s %10s %14.3f %14.3f\n", "AVERAGE", "", sum_cfi / n, sum_pt / n);
-  std::printf("\nPaper bounds: avg CFI+PTStore <0.91%% (%s), PTStore-only <0.29%% (%s)\n",
-              sum_cfi / n < 0.91 ? "OK" : "EXCEEDED",
-              sum_pt / n < 0.29 ? "OK" : "EXCEEDED");
-  return 0;
+int main(int argc, char** argv) {
+  return ptstore::workloads::run_workload_main("spec", argc, argv);
 }

@@ -1,82 +1,90 @@
 // Extension bench: sensitivity sweeps for the design parameters DESIGN.md
 // calls out — initial secure-region size (the paper's 64 MiB default),
 // adjustment chunk size, and the CFI check cost assumption.
-#include "bench_util.h"
 #include "workloads/lmbench.h"
+#include "workloads/runner.h"
 
 using namespace ptstore;
 using namespace ptstore::workloads;
 
 namespace {
 
-Cycles storm(SystemConfig cfg, u64 procs) {
-  cfg.dram_size = GiB(1);
-  System sys(cfg);
-  const Cycles before = sys.cycles();
-  run_fork_stress(sys, procs);
-  return sys.cycles() - before;
-}
+class SweepBench : public Workload {
+ public:
+  std::string name() const override { return "sweep"; }
+  std::string title() const override {
+    return "Sensitivity sweeps — secure-region size, adjustment chunk, CFI\n"
+           "check cost (fork storm, " +
+           std::to_string(procs()) + " procs)";
+  }
+
+  int run() override {
+    const u64 procs_n = procs();
+
+    header("Sweep 1 — initial secure-region size vs. fork-storm overhead");
+    const Cycles cfi_base = storm(SystemConfig::cfi(), procs_n);
+    std::printf("%-16s %14s %12s %14s\n", "region size", "cycles", "vs CFI %",
+                "adjustments");
+    for (const u64 mib : {8ull, 16ull, 32ull, 64ull, 128ull, 256ull}) {
+      SystemConfig cfg = SystemConfig::cfi_ptstore();
+      cfg.kernel.secure_region_init = MiB(mib);
+      u64 adjustments = 0;
+      const Cycles c = storm(cfg, procs_n, &adjustments);
+      std::printf("%13llu MiB %14llu %+12.2f %14llu\n",
+                  (unsigned long long)mib, (unsigned long long)c,
+                  overhead_pct(c, cfi_base), (unsigned long long)adjustments);
+    }
+    std::printf("The paper's finding: 64 MiB is sufficient in practice — overhead\n"
+                "flattens once the region is big enough that no adjustment fires.\n");
+
+    header("Sweep 2 — adjustment chunk size (8 MiB initial region)");
+    std::printf("%-16s %14s %12s %14s\n", "chunk", "cycles", "vs CFI %",
+                "adjustments");
+    for (const u64 pages : {256ull, 512ull, 1024ull, 4096ull}) {
+      SystemConfig cfg = SystemConfig::cfi_ptstore();
+      cfg.kernel.secure_region_init = MiB(8);
+      cfg.kernel.adjustment_chunk_pages = pages;
+      u64 adjustments = 0;
+      const Cycles c = storm(cfg, procs_n, &adjustments);
+      std::printf("%12llu KiB %14llu %+12.2f %14llu\n",
+                  (unsigned long long)(pages * 4), (unsigned long long)c,
+                  overhead_pct(c, cfi_base), (unsigned long long)adjustments);
+    }
+    std::printf("Bigger chunks amortize the SBI round trip but pre-claim more\n"
+                "normal memory per step.\n");
+
+    header("Sweep 3 — CFI per-check cost assumption (fork storm)");
+    const Cycles plain = storm(SystemConfig::baseline(), procs_n);
+    std::printf("%-16s %12s %16s\n", "check cost", "CFI vs base %",
+                "CFI+PTStore vs base %");
+    for (const Cycles cost : {2ull, 4ull, 6ull, 10ull, 14ull}) {
+      SystemConfig c1 = SystemConfig::cfi();
+      c1.kernel.cfi_check_cost = cost;
+      SystemConfig c2 = SystemConfig::cfi_ptstore();
+      c2.kernel.cfi_check_cost = cost;
+      std::printf("%10llu cyc %12.2f %16.2f\n", (unsigned long long)cost,
+                  overhead_pct(storm(c1, procs_n), plain),
+                  overhead_pct(storm(c2, procs_n), plain));
+    }
+    std::printf("PTStore's delta over CFI is invariant to the CFI cost model —\n"
+                "the paper's conclusions do not hinge on the Clang-CFI estimate.\n");
+    return 0;
+  }
+
+ private:
+  static u64 procs() { return scaled(30000, 8000); }
+
+  static Cycles storm(SystemConfig cfg, u64 procs_n, u64* adjustments = nullptr) {
+    cfg.dram_size = GiB(1);
+    return run_on(cfg, [procs_n, adjustments](System& sys) {
+      run_fork_stress(sys, procs_n);
+      if (adjustments != nullptr) *adjustments = sys.kernel().adjustments();
+    });
+  }
+};
 
 }  // namespace
 
-int main() {
-  const u64 procs = scaled(30000, 8000);
-
-  bench::header("Sweep 1 — initial secure-region size vs. fork-storm (" +
-                std::to_string(procs) + " procs) overhead");
-  const Cycles cfi_base = storm(SystemConfig::cfi(), procs);
-  std::printf("%-16s %14s %12s %14s\n", "region size", "cycles", "vs CFI %",
-              "adjustments");
-  for (const u64 mib : {8ull, 16ull, 32ull, 64ull, 128ull, 256ull}) {
-    SystemConfig cfg = SystemConfig::cfi_ptstore();
-    cfg.kernel.secure_region_init = MiB(mib);
-    cfg.dram_size = GiB(1);
-    System sys(cfg);
-    const Cycles before = sys.cycles();
-    run_fork_stress(sys, procs);
-    const Cycles c = sys.cycles() - before;
-    std::printf("%13llu MiB %14llu %+12.2f %14llu\n",
-                (unsigned long long)mib, (unsigned long long)c,
-                overhead_pct(c, cfi_base),
-                (unsigned long long)sys.kernel().adjustments());
-  }
-  std::printf("The paper's finding: 64 MiB is sufficient in practice — overhead\n"
-              "flattens once the region is big enough that no adjustment fires.\n");
-
-  bench::header("Sweep 2 — adjustment chunk size (8 MiB initial region)");
-  std::printf("%-16s %14s %12s %14s\n", "chunk", "cycles", "vs CFI %",
-              "adjustments");
-  for (const u64 pages : {256ull, 512ull, 1024ull, 4096ull}) {
-    SystemConfig cfg = SystemConfig::cfi_ptstore();
-    cfg.kernel.secure_region_init = MiB(8);
-    cfg.kernel.adjustment_chunk_pages = pages;
-    cfg.dram_size = GiB(1);
-    System sys(cfg);
-    const Cycles before = sys.cycles();
-    run_fork_stress(sys, procs);
-    const Cycles c = sys.cycles() - before;
-    std::printf("%12llu KiB %14llu %+12.2f %14llu\n",
-                (unsigned long long)(pages * 4), (unsigned long long)c,
-                overhead_pct(c, cfi_base),
-                (unsigned long long)sys.kernel().adjustments());
-  }
-  std::printf("Bigger chunks amortize the SBI round trip but pre-claim more\n"
-              "normal memory per step.\n");
-
-  bench::header("Sweep 3 — CFI per-check cost assumption (fork storm)");
-  const Cycles plain = storm(SystemConfig::baseline(), procs);
-  std::printf("%-16s %12s %16s\n", "check cost", "CFI vs base %",
-              "CFI+PTStore vs base %");
-  for (const Cycles cost : {2ull, 4ull, 6ull, 10ull, 14ull}) {
-    SystemConfig c1 = SystemConfig::cfi();
-    c1.kernel.cfi_check_cost = cost;
-    SystemConfig c2 = SystemConfig::cfi_ptstore();
-    c2.kernel.cfi_check_cost = cost;
-    std::printf("%10llu cyc %12.2f %16.2f\n", (unsigned long long)cost,
-                overhead_pct(storm(c1, procs), plain),
-                overhead_pct(storm(c2, procs), plain));
-  }
-  std::printf("PTStore's delta over CFI is invariant to the CFI cost model —\n"
-              "the paper's conclusions do not hinge on the Clang-CFI estimate.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return run_workload_main_with(std::make_unique<SweepBench>(), argc, argv);
 }

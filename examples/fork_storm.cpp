@@ -17,7 +17,13 @@ int main(int argc, char** argv) {
   SystemConfig cfg = SystemConfig::cfi_ptstore();
   cfg.dram_size = MiB(512);
   cfg.kernel.secure_region_init = MiB(16);
-  System sys(cfg);
+  auto sys_or = System::create(cfg);
+  if (!sys_or) {
+    std::fprintf(stderr, "system configuration rejected: %s\n",
+                 sys_or.error().c_str());
+    return 1;
+  }
+  System& sys = *sys_or.value();
   Kernel& k = sys.kernel();
 
   std::printf("initial secure region: [0x%llx, 0x%llx) = %llu MiB\n",

@@ -72,7 +72,13 @@ int main(int argc, char** argv) {
 
   SystemConfig cfg = baseline ? SystemConfig::baseline() : SystemConfig::cfi_ptstore();
   cfg.dram_size = MiB(512);
-  System sys(cfg);
+  auto sys_or = System::create(cfg);
+  if (!sys_or) {
+    std::fprintf(stderr, "system configuration rejected: %s\n",
+                 sys_or.error().c_str());
+    return 1;
+  }
+  System& sys = *sys_or.value();
   Process* proc = sys.kernel().processes().fork(sys.init());
 
   const VirtAddr load_entry = kUserSpaceBase + MiB(64);

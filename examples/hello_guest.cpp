@@ -18,7 +18,13 @@ using isa::Reg;
 int main() {
   SystemConfig cfg = SystemConfig::cfi_ptstore();
   cfg.dram_size = MiB(256);
-  System sys(cfg);
+  auto sys_or = System::create(cfg);
+  if (!sys_or) {
+    std::fprintf(stderr, "system configuration rejected: %s\n",
+                 sys_or.error().c_str());
+    return 1;
+  }
+  System& sys = *sys_or.value();
   Process* proc = sys.kernel().processes().fork(sys.init());
 
   // The guest: build "PTStore, hello!\n" on its stack (the first store

@@ -54,7 +54,13 @@ std::vector<u32> worker(char tag, u64 limit, u64 period) {
 int main() {
   SystemConfig cfg = SystemConfig::cfi_ptstore();
   cfg.dram_size = MiB(512);
-  System sys(cfg);
+  auto sys_or = System::create(cfg);
+  if (!sys_or) {
+    std::fprintf(stderr, "system configuration rejected: %s\n",
+                 sys_or.error().c_str());
+    return 1;
+  }
+  System& sys = *sys_or.value();
   Kernel& k = sys.kernel();
   GuestRunner runner(k);
 

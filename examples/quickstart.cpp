@@ -15,7 +15,13 @@ int main() {
   //    extensions, 512 MiB DRAM, CFI+PTStore kernel, 64 MiB secure region.
   SystemConfig cfg = SystemConfig::cfi_ptstore();
   cfg.dram_size = MiB(512);
-  System sys(cfg);
+  auto sys_or = System::create(cfg);
+  if (!sys_or) {
+    std::fprintf(stderr, "system configuration rejected: %s\n",
+                 sys_or.error().c_str());
+    return 1;
+  }
+  System& sys = *sys_or.value();
 
   const SecureRegion sr = sys.sbi().sr_get();
   std::printf("Booted. DRAM [0x%llx, 0x%llx), secure region [0x%llx, 0x%llx)\n",

@@ -15,6 +15,17 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
 
 CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
   const u64 block = pa >> line_shift_;
+
+  // Same block as the previous access: that line is valid and MRU, and no
+  // other access has run since, so the way scan below would find exactly it.
+  if (block == last_block_ && last_line_ != nullptr) {
+    ++tick_;
+    last_line_->lru_tick = tick_;
+    last_line_->dirty = last_line_->dirty || is_write;
+    ++hits_;
+    return {true, cfg_.hit_latency};
+  }
+
   const unsigned set = static_cast<unsigned>(block & (num_sets_ - 1));
   const u64 tag = block >> log2_exact(num_sets_);
   Line* row = &lines_[static_cast<size_t>(set) * cfg_.ways];
@@ -25,7 +36,9 @@ CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
     if (ln.valid && ln.tag == tag) {
       ln.lru_tick = tick_;
       ln.dirty = ln.dirty || is_write;
-      stats_.add(cfg_.name + ".hits");
+      ++hits_;
+      last_block_ = block;
+      last_line_ = &ln;
       return {true, cfg_.hit_latency};
     }
   }
@@ -44,13 +57,15 @@ CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
   Cycles cycles = cfg_.hit_latency + cfg_.miss_penalty;
   if (victim->valid && victim->dirty) {
     cycles += cfg_.dirty_evict_penalty;
-    stats_.add(cfg_.name + ".writebacks");
+    ++writebacks_;
   }
   victim->valid = true;
   victim->dirty = is_write;
   victim->tag = tag;
   victim->lru_tick = tick_;
-  stats_.add(cfg_.name + ".misses");
+  ++misses_;
+  last_block_ = block;
+  last_line_ = victim;
   return {false, cycles};
 }
 
@@ -66,7 +81,24 @@ Cycles Cache::hierarchy_access(Cache& l1, Cache* l2, PhysAddr pa, bool is_write)
 
 void Cache::invalidate_all() {
   for (auto& ln : lines_) ln = Line{};
-  stats_.add(cfg_.name + ".flushes");
+  last_block_ = ~u64{0};
+  last_line_ = nullptr;
+  ++flushes_;
+}
+
+const StatSet& Cache::stats() const {
+  // Materialize map entries only for events that happened, matching the
+  // old behaviour where a key existed iff its counter had been bumped.
+  if (hits_ != 0) stats_.set(cfg_.name + ".hits", hits_);
+  if (misses_ != 0) stats_.set(cfg_.name + ".misses", misses_);
+  if (writebacks_ != 0) stats_.set(cfg_.name + ".writebacks", writebacks_);
+  if (flushes_ != 0) stats_.set(cfg_.name + ".flushes", flushes_);
+  return stats_;
+}
+
+void Cache::clear_stats() {
+  hits_ = misses_ = writebacks_ = flushes_ = 0;
+  stats_.clear();
 }
 
 }  // namespace ptstore

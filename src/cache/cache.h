@@ -2,6 +2,12 @@
 // PhysMem). Mirrors the paper's prototype config: 16 KiB 4-way L1I/L1D with
 // 64 B lines. Used purely for cycle accounting; correctness never depends
 // on it.
+//
+// Host-speed notes: counters are kept in plain integers and synthesized
+// into the StatSet on read, and a one-entry "last block" memo short-cuts
+// the way scan for consecutive accesses to the same line. Both are exact:
+// the memo only replays an access whose outcome (hit, LRU update, dirty
+// bit) is provably identical to what the scan would produce.
 #pragma once
 
 #include <cassert>
@@ -48,8 +54,8 @@ class Cache {
   void invalidate_all();
 
   const CacheConfig& config() const { return cfg_; }
-  const StatSet& stats() const { return stats_; }
-  void clear_stats() { stats_.clear(); }
+  const StatSet& stats() const;
+  void clear_stats();
 
   unsigned num_sets() const { return num_sets_; }
 
@@ -66,7 +72,17 @@ class Cache {
   unsigned line_shift_;
   std::vector<Line> lines_;  // num_sets_ * ways, row-major by set.
   u64 tick_ = 0;
-  StatSet stats_;
+
+  // Last-access memo: the line the previous access touched is valid and
+  // MRU, so a repeat access to the same block is a guaranteed hit.
+  u64 last_block_ = ~u64{0};
+  Line* last_line_ = nullptr;
+
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 writebacks_ = 0;
+  u64 flushes_ = 0;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -12,17 +12,29 @@ u64 Tlb::vpn_mask(unsigned level) {
 const TlbEntry* Tlb::lookup(VirtAddr va, u16 asid) {
   const u64 vpn = (va >> kPageShift) & mask_lo(27);
   ++tick_;
+
+  // Repeat of the previous hit: no insert/flush ran since (those drop the
+  // memo), so the same entry is still the scan's first match.
+  if (last_entry_ != nullptr && vpn == last_vpn_ && asid == last_asid_) {
+    last_entry_->lru_tick = tick_;
+    ++hits_;
+    return last_entry_;
+  }
+
   for (auto& e : slots_) {
     if (!e.valid) continue;
     if (!e.global && e.asid != asid) continue;
     const u64 m = vpn_mask(e.level);
     if ((vpn & m) == (e.vpn & m)) {
       e.lru_tick = tick_;
-      stats_.add(cfg_.name + ".hits");
+      ++hits_;
+      last_vpn_ = vpn;
+      last_asid_ = asid;
+      last_entry_ = &e;
       return &e;
     }
   }
-  stats_.add(cfg_.name + ".misses");
+  ++misses_;
   return nullptr;
 }
 
@@ -44,7 +56,8 @@ void Tlb::insert(VirtAddr va, u16 asid, unsigned level, u64 pte, bool global) {
                      .level = level,
                      .pte = pte,
                      .lru_tick = tick_};
-  stats_.add(cfg_.name + ".fills");
+  last_entry_ = nullptr;
+  ++fills_;
 }
 
 void Tlb::flush(std::optional<VirtAddr> va, std::optional<u16> asid) {
@@ -62,13 +75,27 @@ void Tlb::flush(std::optional<VirtAddr> va, std::optional<u16> asid) {
     }
     e.valid = false;
   }
-  stats_.add(cfg_.name + ".flushes");
+  last_entry_ = nullptr;
+  ++flushes_;
 }
 
 unsigned Tlb::occupancy() const {
   unsigned n = 0;
   for (const auto& e : slots_) n += e.valid ? 1 : 0;
   return n;
+}
+
+const StatSet& Tlb::stats() const {
+  if (hits_ != 0) stats_.set(cfg_.name + ".hits", hits_);
+  if (misses_ != 0) stats_.set(cfg_.name + ".misses", misses_);
+  if (fills_ != 0) stats_.set(cfg_.name + ".fills", fills_);
+  if (flushes_ != 0) stats_.set(cfg_.name + ".flushes", flushes_);
+  return stats_;
+}
+
+void Tlb::clear_stats() {
+  hits_ = misses_ = fills_ = flushes_ = 0;
+  stats_.clear();
 }
 
 }  // namespace ptstore

@@ -7,6 +7,12 @@
 // stale writable TLB entry still cannot write the secure region. The model
 // deliberately reproduces stale-entry behaviour so the attack scenario is
 // faithful.
+//
+// Host-speed notes: stat counters are plain integers synthesized into the
+// StatSet on read, and a one-entry memo replays the previous successful
+// lookup without rescanning. The memo is set only by a real scan hit and
+// dropped on insert/flush, so it always returns the same entry (with the
+// same LRU update) the scan would.
 #pragma once
 
 #include <optional>
@@ -50,8 +56,8 @@ class Tlb {
   void flush(std::optional<VirtAddr> va, std::optional<u16> asid);
 
   const TlbConfig& config() const { return cfg_; }
-  const StatSet& stats() const { return stats_; }
-  void clear_stats() { stats_.clear(); }
+  const StatSet& stats() const;
+  void clear_stats();
 
   unsigned occupancy() const;
 
@@ -60,7 +66,19 @@ class Tlb {
   TlbConfig cfg_;
   std::vector<TlbEntry> slots_;
   u64 tick_ = 0;
-  StatSet stats_;
+
+  // Memo of the previous scan hit; cleared whenever entries change shape
+  // (insert can create a duplicate match — e.g. the D-bit-clear re-walk —
+  // and the scan's first-match order must be preserved exactly).
+  VirtAddr last_vpn_ = ~u64{0};
+  u16 last_asid_ = 0;
+  TlbEntry* last_entry_ = nullptr;
+
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 fills_ = 0;
+  u64 flushes_ = 0;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

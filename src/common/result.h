@@ -1,0 +1,53 @@
+// Minimal Result type for non-throwing factory APIs (System::create).
+// Either a value or a human-readable error string — nothing clever, just
+// enough to report *why* construction failed without exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ptstore {
+
+template <typename T>
+class Result {
+ public:
+  static Result success(T value) {
+    Result r;
+    r.value_ = std::move(value);
+    return r;
+  }
+
+  static Result failure(std::string error) {
+    Result r;
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Empty string when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace ptstore

@@ -1,0 +1,102 @@
+// Decoded basic-block cache for the interpreter core.
+//
+// Blocks are straight-line runs of pre-decoded instructions keyed by the
+// *physical* address of their first parcel (plus the fetch privilege, since
+// the cached PMP fetch decision depends on it). Dispatch is per step: every
+// step still performs the real MMU translation of the fetch PC — so TLB,
+// page-table-walker, and I-cache counters stay bit-identical to the
+// fetch/decode path — and only the PMP scan, the physical parcel reads, and
+// decode_any() are skipped, guarded by generation counters:
+//
+//   * PmpUnit::write_gen()       — any pmpcfg/pmpaddr write drops the block.
+//   * PhysMem frame write gens   — any store into the block's page drops it
+//                                  (self-modifying code, aliased mappings).
+//   * PhysMem::frame_table_gen() — checkpoint restore drops everything.
+//
+// satp writes, sfence.vma, and privilege changes need no hooks: the per-step
+// translation re-derives the physical PC, so a remap simply stops matching
+// the cached block. fence.i conservatively flushes the whole cache (it is
+// the architectural "I just wrote code" signal), although the frame
+// generations already make that a no-op for correctness.
+//
+// The cache is a pure host-speed structure: simulated cycles and every
+// StatSet counter are unchanged whether it is on or off.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/inst.h"
+
+namespace ptstore {
+
+/// One pre-decoded instruction within a block.
+struct BBEntry {
+  isa::Inst inst;
+  u16 page_off = 0;  ///< Offset of the first parcel within the 4 KiB page.
+};
+
+/// A decoded straight-line run. All parcels of every entry lie in one
+/// physical page (builds stop before a page-straddling instruction).
+struct BBlock {
+  PhysAddr start_pa = 0;            ///< PA of the first entry's first parcel.
+  PhysAddr page_pa = 0;             ///< Page base of every parcel.
+  Privilege priv = Privilege::kMachine;
+  u64 pmp_gen = 0;                  ///< PmpUnit::write_gen() at build time.
+  const u64* frame_gen = nullptr;   ///< PhysMem write gen of the page's frame.
+  u64 frame_gen_at_build = 0;
+  std::vector<BBEntry> entries;
+};
+
+class BlockCache {
+ public:
+  static constexpr size_t kMaxBlocks = 4096;
+  static constexpr size_t kMaxEntries = 64;
+
+  struct Stats {
+    u64 hits = 0;           ///< Instructions dispatched from a cached block.
+    u64 misses = 0;         ///< Block builds (including ones that found nothing).
+    u64 invalidations = 0;  ///< Blocks dropped by a generation guard or flush.
+  };
+
+  BBlock* find(PhysAddr pa, Privilege priv) {
+    auto it = blocks_.find(key(pa, priv));
+    return it == blocks_.end() ? nullptr : it->second.get();
+  }
+
+  /// Takes ownership; a full cache is flushed first (cheap, rare, and keeps
+  /// every stored pointer stable between steps otherwise).
+  BBlock* insert(std::unique_ptr<BBlock> blk) {
+    if (blocks_.size() >= kMaxBlocks) flush_all();
+    BBlock* raw = blk.get();
+    blocks_[key(blk->start_pa, blk->priv)] = std::move(blk);
+    return raw;
+  }
+
+  /// Drop one block whose generation guard failed.
+  void invalidate(const BBlock* blk) {
+    blocks_.erase(key(blk->start_pa, blk->priv));
+    ++stats.invalidations;
+  }
+
+  void flush_all() {
+    stats.invalidations += blocks_.size();
+    blocks_.clear();
+  }
+
+  size_t size() const { return blocks_.size(); }
+
+  Stats stats;
+
+ private:
+  // PAs are < 2^56, so the privilege tags the top bits.
+  static u64 key(PhysAddr pa, Privilege priv) {
+    return pa | (static_cast<u64>(priv) << 60);
+  }
+
+  std::unordered_map<u64, std::unique_ptr<BBlock>> blocks_;
+};
+
+}  // namespace ptstore

@@ -39,18 +39,28 @@ MemAccessResult Core::access(VirtAddr va, unsigned size, AccessType type,
 
 MemAccessResult Core::access_as(VirtAddr va, unsigned size, AccessType type,
                                 AccessKind kind, Privilege priv, u64 store_value) {
-  MemAccessResult res;
-  if (!is_aligned(va, size)) {
-    res.fault = isa::misaligned_for(type);
-    return res;
-  }
+  return access_with(va, size, type, kind, priv, store_value, nullptr);
+}
 
-  TranslateResult tr = mmu_.translate(va, type, kind, ctx_for(priv));
-  res.cycles += tr.cycles;
-  if (!tr.ok) {
-    res.fault = tr.fault;
-    return res;
+MemAccessResult Core::access_with(VirtAddr va, unsigned size, AccessType type,
+                                  AccessKind kind, Privilege priv, u64 store_value,
+                                  const TranslateResult* pre) {
+  MemAccessResult res;
+  TranslateResult local;
+  if (pre == nullptr) {
+    if (!is_aligned(va, size)) {
+      res.fault = isa::misaligned_for(type);
+      return res;
+    }
+    local = mmu_.translate(va, type, kind, ctx_for(priv));
+    res.cycles += local.cycles;
+    if (!local.ok) {
+      res.fault = local.fault;
+      return res;
+    }
+    pre = &local;
   }
+  const TranslateResult& tr = *pre;  // Caller-provided `pre` is ok & charged.
 
   // PMP is checked on the *physical* address of every access — including
   // TLB hits. This is exactly why PTStore survives TLB-inconsistency
@@ -318,6 +328,10 @@ void Core::restore_arch_state(const CoreArchState& st) {
   if (l2_) l2_->invalidate_all();
   mmu_.sfence(std::nullopt, std::nullopt);
   reservation_.reset();
+  bbcache_.flush_all();
+  bb_cur_ = nullptr;
+  bb_flush_pending_ = false;
+  bb_table_gen_ = mem_.frame_table_gen();
 }
 
 StatSet Core::merged_stats() const {
@@ -332,6 +346,13 @@ StatSet Core::merged_stats() const {
   out.merge(bpred_.stats());
   out.set("core.cycles", cycles_);
   out.set("core.instret", instret_);
+  if (cfg_.decode_cache) {
+    // Host-side counters; only published when the cache is on so reports
+    // with it off stay byte-identical to the classic interpreter's.
+    out.set("bbcache.hits", bbcache_.stats.hits);
+    out.set("bbcache.misses", bbcache_.stats.misses);
+    out.set("bbcache.invalidations", bbcache_.stats.invalidations);
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "cache/cache.h"
+#include "cpu/bbcache.h"
 #include "cpu/branch_predictor.h"
 #include "cache/tlb.h"
 #include "common/stats.h"
@@ -57,6 +58,9 @@ struct CoreConfig {
   /// When false, the ld.pt/sd.pt decoder entries are disabled and the PMP
   /// S-bit is ignored — the unmodified baseline core of the evaluation.
   bool ptstore_enabled = true;
+  /// Decoded basic-block cache (see cpu/bbcache.h). Pure host-speed
+  /// optimization: simulated cycles and stats are bit-identical either way.
+  bool decode_cache = true;
 };
 
 /// Outcome of one memory access performed by the core.
@@ -207,6 +211,23 @@ class Core {
   void load_code(PhysAddr base, const std::vector<u32>& words);
 
  private:
+  /// Data/fetch path with an optional pre-computed fetch translation. When
+  /// `pre` is non-null the caller has already run (and charged) the MMU
+  /// translation; the access continues from the PMP check.
+  MemAccessResult access_with(VirtAddr va, unsigned size, AccessType type,
+                              AccessKind kind, Privilege priv, u64 store_value,
+                              const TranslateResult* pre);
+  /// Fetch + decode + execute one instruction (the classic interpreter
+  /// path). `pre` as in access_with, for the decode-cache fallback.
+  StepResult step_fetch_decode(const TranslateResult* pre);
+  /// Dispatch one instruction through the decoded-block cache.
+  StepResult step_cached();
+  /// Decode a straight-line run starting at physical `pa` into the cache.
+  /// Returns nullptr if not even one instruction could be cached.
+  BBlock* bb_build(PhysAddr pa);
+  /// The PMP fetch check exactly as access_with performs it (including the
+  /// baseline-core S-bit fixup), without stats or faults.
+  bool bb_fetch_pmp_allowed(PhysAddr pa) const;
   StepResult execute(const isa::Inst& in);
   StepResult exec_alu(const isa::Inst& in);
   StepResult exec_mem(const isa::Inst& in);
@@ -256,6 +277,13 @@ class Core {
   u64 stval_ = 0;
 
   u64 mtimecmp_ = ~u64{0};  ///< Timer disarmed at reset.
+
+  // Decoded basic-block cache state (cfg_.decode_cache).
+  BlockCache bbcache_;
+  BBlock* bb_cur_ = nullptr;       ///< Block the previous step executed from.
+  size_t bb_idx_ = 0;              ///< Next entry within bb_cur_.
+  bool bb_flush_pending_ = false;  ///< fence.i seen; flush before next fetch.
+  u64 bb_table_gen_ = 0;           ///< PhysMem::frame_table_gen() last seen.
 
   std::optional<PhysAddr> reservation_;  ///< LR/SC reservation.
   STrapHook strap_hook_;

@@ -44,11 +44,15 @@ StepResult Core::step() {
     return {StopReason::kTrapped, TrapCause::kNone};
   }
   cycles_ += cfg_.timing.base_cpi;
+  if (cfg_.decode_cache) return step_cached();
+  return step_fetch_decode(nullptr);
+}
 
+StepResult Core::step_fetch_decode(const TranslateResult* pre) {
   // With the C extension IALIGN is 16: fetch the low parcel first, and the
   // high parcel only when the low one announces a 32-bit encoding.
   const MemAccessResult lo =
-      access(pc_, 2, AccessType::kExecute, AccessKind::kRegular);
+      access_with(pc_, 2, AccessType::kExecute, AccessKind::kRegular, priv_, 0, pre);
   cycles_ += lo.cycles;
   if (!lo.ok) return raise(lo.fault, pc_);
   u32 word = static_cast<u32>(lo.value);
@@ -372,6 +376,9 @@ StepResult Core::exec_system(const Inst& in) {
       return {};
     case Op::kFenceI:
       cycles_ += cfg_.timing.fence_extra;
+      // Deferred so a block currently dispatching stays alive; applied at
+      // the top of the next cached step.
+      bb_flush_pending_ = true;
       pc_ += in.len;
       return {};
     case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:

@@ -1,6 +1,82 @@
 #include "kernel/system.h"
 
+#include <sstream>
+
 namespace ptstore {
+
+namespace {
+
+bool pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+void validate_cache(std::vector<ConfigIssue>& out, const std::string& field,
+                    const CacheConfig& c) {
+  if (!pow2(c.size_bytes)) {
+    out.push_back({field + ".size_bytes", "must be a nonzero power of two"});
+  }
+  if (!pow2(c.line_bytes)) {
+    out.push_back({field + ".line_bytes", "must be a nonzero power of two"});
+  }
+  if (c.ways < 1) {
+    out.push_back({field + ".ways", "must be at least 1"});
+    return;  // The remaining checks divide by ways.
+  }
+  if (pow2(c.size_bytes) && pow2(c.line_bytes)) {
+    const u64 lines = c.size_bytes / c.line_bytes;
+    if (lines == 0 || lines % c.ways != 0 || !pow2(lines / c.ways)) {
+      out.push_back({field + ".ways",
+                     "sets (size/line/ways) must be a whole power of two"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string describe_issues(const std::vector<ConfigIssue>& issues) {
+  std::ostringstream os;
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << issues[i].field << ": " << issues[i].message;
+  }
+  return os.str();
+}
+
+std::vector<ConfigIssue> SystemConfig::validate() const {
+  std::vector<ConfigIssue> out;
+  if (dram_size == 0 || !is_aligned(dram_size, kPageSize)) {
+    out.push_back({"dram_size", "must be a nonzero multiple of the 4 KiB page"});
+  } else if (dram_size < MiB(1)) {
+    out.push_back({"dram_size", "must be at least 1 MiB to hold the kernel"});
+  }
+  validate_cache(out, "core.icache", core.icache);
+  validate_cache(out, "core.dcache", core.dcache);
+  if (core.l2_enabled) validate_cache(out, "core.l2", core.l2);
+  if (core.itlb.entries == 0) {
+    out.push_back({"core.itlb.entries", "must be at least 1"});
+  }
+  if (core.dtlb.entries == 0) {
+    out.push_back({"core.dtlb.entries", "must be at least 1"});
+  }
+  if (core.timing.base_cpi == 0) {
+    out.push_back({"core.timing.base_cpi", "must be at least 1"});
+  }
+  if (!is_aligned(core.reset_pc, 2)) {
+    out.push_back({"core.reset_pc", "must be 2-byte aligned (IALIGN=16)"});
+  } else if (core.reset_pc < kDramBase || core.reset_pc >= kDramBase + dram_size) {
+    out.push_back({"core.reset_pc", "must point into DRAM"});
+  }
+  if (kernel.ptstore) {
+    if (kernel.secure_region_init == 0) {
+      out.push_back({"kernel.secure_region_init",
+                     "must be nonzero when kernel.ptstore is on"});
+    } else if (!is_aligned(kernel.secure_region_init, kPageSize)) {
+      out.push_back({"kernel.secure_region_init", "must be page-aligned"});
+    } else if (kernel.secure_region_init > dram_size / 2) {
+      out.push_back({"kernel.secure_region_init",
+                     "must not exceed half of dram_size"});
+    }
+  }
+  return out;
+}
 
 SystemConfig SystemConfig::baseline() {
   SystemConfig cfg;
@@ -34,18 +110,50 @@ SystemConfig SystemConfig::cfi_ptstore_noadj() {
   return cfg;
 }
 
-System::System(const SystemConfig& cfg) : cfg_(cfg) {
+System::System(const SystemConfig& cfg, Unbooted) : cfg_(cfg) {
   mem_ = std::make_unique<PhysMem>(kDramBase, cfg.dram_size);
   if (cfg.console_uart) mem_->map_device(kUartBase, UartDevice::kWindowSize, &uart_);
   core_ = std::make_unique<Core>(*mem_, cfg.core);
   sbi_ = std::make_unique<SbiMonitor>(*core_);
   kernel_ = std::make_unique<Kernel>(*core_, *sbi_, cfg.kernel);
+}
+
+std::string System::boot_or_error() {
   if (!kernel_->boot()) {
-    throw std::runtime_error("PTStore system failed to boot; check DRAM size "
-                             "vs. secure-region configuration");
+    return "PTStore system failed to boot; check DRAM size vs. secure-region "
+           "configuration";
   }
-  if (cfg.console_uart && !kernel_->attach_console(kUartBase)) {
-    throw std::runtime_error("console UART attachment failed");
+  if (cfg_.console_uart && !kernel_->attach_console(kUartBase)) {
+    return "console UART attachment failed";
+  }
+  return {};
+}
+
+Result<std::unique_ptr<System>> System::create(const SystemConfig& cfg) {
+  using R = Result<std::unique_ptr<System>>;
+  const std::vector<ConfigIssue> issues = cfg.validate();
+  if (!issues.empty()) return R::failure(describe_issues(issues));
+  auto sys = std::unique_ptr<System>(new System(cfg, Unbooted{}));
+  if (std::string err = sys->boot_or_error(); !err.empty()) {
+    return R::failure(std::move(err));
+  }
+  return R::success(std::move(sys));
+}
+
+namespace {
+// Runs before the delegating constructor builds any member, so an invalid
+// cache geometry throws here instead of tripping asserts inside Cache.
+const SystemConfig& throw_if_invalid(const SystemConfig& cfg) {
+  const std::vector<ConfigIssue> issues = cfg.validate();
+  if (!issues.empty()) throw std::runtime_error(describe_issues(issues));
+  return cfg;
+}
+}  // namespace
+
+System::System(const SystemConfig& cfg)
+    : System(throw_if_invalid(cfg), Unbooted{}) {
+  if (std::string err = boot_or_error(); !err.empty()) {
+    throw std::runtime_error(err);
   }
 }
 

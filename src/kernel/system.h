@@ -3,15 +3,21 @@
 // the benchmark harness.
 //
 //   SystemConfig cfg = SystemConfig::cfi_ptstore();
-//   System sys(cfg);            // boots; throws on misconfiguration
-//   Process& p = sys.init();
-//   sys.kernel().syscall(p, Sys::kFork);
+//   auto sys = System::create(cfg);       // non-throwing factory
+//   if (!sys) { log(sys.error()); ... }
+//   Process& p = sys.value()->init();
+//
+// The throwing constructor `System sys(cfg)` remains as a thin wrapper for
+// callers that prefer exceptions; it raises std::runtime_error carrying the
+// same message create() would return.
 #pragma once
 
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "common/result.h"
 #include "kernel/kernel.h"
 #include "mem/uart.h"
 
@@ -20,12 +26,24 @@ namespace ptstore {
 /// Physical window of the console UART mapped by System.
 inline constexpr PhysAddr kUartBase = 0x1001'0000;
 
+/// One misconfigured field, named so callers can report or fix it.
+struct ConfigIssue {
+  std::string field;    ///< e.g. "core.icache.size_bytes"
+  std::string message;  ///< e.g. "must be a power of two (got 3000)"
+};
+
 struct SystemConfig {
   u64 dram_size = MiB(512);
   /// Map a console UART at kUartBase and (with PTStore) guard it (§V-F).
   bool console_uart = true;
   CoreConfig core;
   KernelConfig kernel;
+
+  /// Check every field and return *all* problems found (empty when the
+  /// config is constructible). System::create runs this before building
+  /// anything, so a bad cache geometry reports an issue instead of
+  /// tripping an assert inside the Cache constructor.
+  std::vector<ConfigIssue> validate() const;
 
   /// The four evaluation configurations of the paper (§V-D).
   static SystemConfig baseline();     ///< No CFI, no PTStore.
@@ -35,8 +53,17 @@ struct SystemConfig {
                                             ///< adjustments disabled (-Adj).
 };
 
+/// Join validation issues into one "field: message; field: message" line.
+std::string describe_issues(const std::vector<ConfigIssue>& issues);
+
 class System {
  public:
+  /// Non-throwing factory: validates the whole config (reporting every bad
+  /// field at once), then constructs and boots. On failure the Result
+  /// carries the reason; nothing is half-built.
+  static Result<std::unique_ptr<System>> create(const SystemConfig& cfg);
+
+  /// Throwing wrapper around create() for exception-style callers.
   explicit System(const SystemConfig& cfg);
   ~System();
 
@@ -57,6 +84,11 @@ class System {
   StatSet report() const;
 
  private:
+  struct Unbooted {};  // Tag: construct members without booting the kernel.
+  System(const SystemConfig& cfg, Unbooted);
+  /// Boot the kernel + console; returns an error message, empty on success.
+  std::string boot_or_error();
+
   SystemConfig cfg_;
   UartDevice uart_;
   std::unique_ptr<PhysMem> mem_;

@@ -27,9 +27,12 @@ u8* PhysMem::frame_for(PhysAddr pa) {
   if (it == frames_.end()) {
     auto buf = std::make_unique<u8[]>(kPageSize);
     std::memset(buf.get(), 0, kPageSize);
-    it = frames_.emplace(frame, std::move(buf)).first;
+    it = frames_.emplace(frame, Frame{std::move(buf), 0}).first;
   }
-  return it->second.get();
+  // Every caller is a write path (write_block/fill), so each materialized
+  // pointer handed out corresponds to a mutation of the frame.
+  ++it->second.write_gen;
+  return it->second.data.get();
 }
 
 u64 PhysMem::read(PhysAddr pa, unsigned size) {
@@ -65,7 +68,7 @@ void PhysMem::read_block(PhysAddr pa, void* out, u64 len) {
     if (it == frames_.end()) {
       std::memset(dst, 0, chunk);
     } else {
-      std::memcpy(dst, it->second.get() + off, chunk);
+      std::memcpy(dst, it->second.data.get() + off, chunk);
     }
     pa += chunk;
     dst += chunk;
@@ -105,7 +108,7 @@ bool PhysMem::is_zero(PhysAddr pa, u64 len) {
     const u64 chunk = std::min<u64>(len, kPageSize - off);
     auto it = frames_.find(frame);
     if (it != frames_.end()) {
-      const u8* p = it->second.get() + off;
+      const u8* p = it->second.data.get() + off;
       for (u64 i = 0; i < chunk; ++i) {
         if (p[i] != 0) return false;
       }
@@ -120,8 +123,9 @@ bool PhysMem::is_zero(PhysAddr pa, u64 len) {
 std::vector<std::pair<u64, std::vector<u8>>> PhysMem::snapshot_frames() const {
   std::vector<std::pair<u64, std::vector<u8>>> out;
   out.reserve(frames_.size());
-  for (const auto& [frame, buf] : frames_) {
-    out.emplace_back(frame, std::vector<u8>(buf.get(), buf.get() + kPageSize));
+  for (const auto& [frame, f] : frames_) {
+    out.emplace_back(frame,
+                     std::vector<u8>(f.data.get(), f.data.get() + kPageSize));
   }
   return out;
 }
@@ -129,11 +133,12 @@ std::vector<std::pair<u64, std::vector<u8>>> PhysMem::snapshot_frames() const {
 void PhysMem::restore_frames(
     const std::vector<std::pair<u64, std::vector<u8>>>& frames) {
   frames_.clear();
+  ++table_gen_;  // Old frame_write_gen() pointers are now dangling.
   for (const auto& [frame, bytes] : frames) {
     assert(bytes.size() == kPageSize);
     auto buf = std::make_unique<u8[]>(kPageSize);
     std::memcpy(buf.get(), bytes.data(), kPageSize);
-    frames_.emplace(frame, std::move(buf));
+    frames_.emplace(frame, Frame{std::move(buf), 0});
   }
 }
 

@@ -81,6 +81,22 @@ class PhysMem {
   /// Number of DRAM frames materialized so far (for memory-pressure stats).
   size_t resident_frames() const { return frames_.size(); }
 
+  /// Pointer to the write-generation counter of the frame containing `pa`,
+  /// or nullptr if the address is not DRAM or the frame has never been
+  /// written (unmaterialized). The counter is bumped on every write into the
+  /// frame, letting consumers (the decode cache) detect content changes
+  /// without snooping individual stores. The pointer stays valid until
+  /// restore_frames() rebuilds the table — watch frame_table_gen() for that.
+  const u64* frame_write_gen(PhysAddr pa) const {
+    if (!is_dram(pa)) return nullptr;
+    auto it = frames_.find((pa - dram_base_) >> kPageShift);
+    return it == frames_.end() ? nullptr : &it->second.write_gen;
+  }
+
+  /// Bumped whenever the frame table itself is rebuilt (checkpoint restore),
+  /// invalidating previously obtained frame_write_gen() pointers.
+  u64 frame_table_gen() const { return table_gen_; }
+
   /// Snapshot/restore of DRAM contents (machine checkpoints). Only
   /// materialized frames are copied; restore drops all current frames.
   std::vector<std::pair<u64, std::vector<u8>>> snapshot_frames() const;
@@ -93,12 +109,18 @@ class PhysMem {
     MmioDevice* dev;
   };
 
+  struct Frame {
+    std::unique_ptr<u8[]> data;
+    u64 write_gen = 0;
+  };
+
   u8* frame_for(PhysAddr pa);
   const Window* find_device(PhysAddr pa, u64 size) const;
 
   PhysAddr dram_base_;
   u64 dram_size_;
-  std::unordered_map<u64, std::unique_ptr<u8[]>> frames_;
+  std::unordered_map<u64, Frame> frames_;
+  u64 table_gen_ = 0;
   std::vector<Window> devices_;
 };
 

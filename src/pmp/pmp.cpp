@@ -7,12 +7,14 @@
 namespace ptstore {
 
 void PmpUnit::set_cfg(unsigned idx, u8 cfg) {
+  ++write_gen_;
   if (idx >= kPmpEntryCount) return;
   if (cfg_[idx] & pmpcfg::kL) return;  // Locked entries ignore writes.
   cfg_[idx] = cfg;
 }
 
 void PmpUnit::set_addr(unsigned idx, u64 pmpaddr) {
+  ++write_gen_;
   if (idx >= kPmpEntryCount) return;
   if (cfg_[idx] & pmpcfg::kL) return;
   // A locked TOR entry also locks the address register below it.

@@ -87,6 +87,11 @@ class PmpUnit {
   /// allowed (nothing is configured yet — pre-boot state).
   bool any_active() const;
 
+  /// Bumped on every pmpcfg/pmpaddr write attempt (even ones a locked entry
+  /// ignores). check() is pure, so a cached decision stays valid while this
+  /// counter is unchanged — the decode cache relies on that.
+  u64 write_gen() const { return write_gen_; }
+
   std::string describe() const;
 
  private:
@@ -96,6 +101,7 @@ class PmpUnit {
 
   std::array<u8, kPmpEntryCount> cfg_{};
   std::array<u64, kPmpEntryCount> addr_{};
+  u64 write_gen_ = 0;
 };
 
 }  // namespace ptstore

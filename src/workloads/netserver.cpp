@@ -1,12 +1,19 @@
 #include "workloads/netserver.h"
 
+#include <algorithm>
+
 #include "mmu/pte.h"
+#include "workloads/usercode.h"
 
 namespace ptstore::workloads {
 
 namespace {
 constexpr VirtAddr kBufArena = kUserSpaceBase + GiB(40);
 constexpr unsigned kNginxWorkers = 4;
+// Real U-mode instructions per served request (the rest of the user-side
+// cost stays abstract; see usercode.h).
+constexpr u64 kNginxRealPerRequest = 1'500;
+constexpr u64 kRedisRealPerRequest = 1'000;
 }  // namespace
 
 std::vector<NginxCase> nginx_cases() {
@@ -38,6 +45,7 @@ void run_nginx(System& sys, const NginxCase& c, u64 requests, unsigned concurren
   // With `concurrency` connections multiplexed over 4 workers, consecutive
   // requests land on different workers: a context switch per request.
   (void)concurrency;
+  UserCompute uc(sys);
   for (u64 r = 0; r < requests; ++r) {
     Process& w = *workers[r % workers.size()];
     k.processes().switch_to(w);
@@ -47,9 +55,11 @@ void run_nginx(System& sys, const NginxCase& c, u64 requests, unsigned concurren
     k.syscall(w, Sys::kStat);   // Path lookup.
     k.syscall(w, Sys::kOpenClose);
 
-    // Response: parse + build headers (user), then write the body out in
-    // 8 KiB chunks (sendfile-style loop).
-    sys.core().retire_abstract(6'000, sys.core().config().timing.base_cpi);
+    // Response: parse + build headers (user; partly real U-mode code in the
+    // worker's own address space), then write the body out in 8 KiB chunks
+    // (sendfile-style loop).
+    const u64 real = std::min<u64>(uc.run(w, kNginxRealPerRequest), 5'000);
+    sys.core().retire_abstract(6'000 - real, sys.core().config().timing.base_cpi);
     const u64 chunks = (c.file_bytes + KiB(8) - 1) / KiB(8);
     for (u64 ch = 0; ch < chunks; ++ch) {
       k.syscall(w, Sys::kSendRecv);
@@ -103,10 +113,13 @@ void run_redis(System& sys, const RedisCase& c, u64 requests, unsigned connectio
     return;
   }
   u64 heap_touched = 0;
+  UserCompute uc(sys);
 
   for (u64 r = 0; r < requests; ++r) {
     k.syscall(srv, Sys::kSendRecv);  // Read command + write reply.
-    sys.core().retire_abstract(c.user_instrs, sys.core().config().timing.base_cpi);
+    const u64 real = std::min<u64>(uc.run(srv, kRedisRealPerRequest), c.user_instrs);
+    sys.core().retire_abstract(c.user_instrs - real,
+                               sys.core().config().timing.base_cpi);
 
     if (c.allocates) {
       // Amortized allocator growth: a fresh heap page every 32 writes.

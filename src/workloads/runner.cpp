@@ -1,8 +1,48 @@
 #include "workloads/runner.h"
 
+#include <chrono>
 #include <cstdlib>
 
 namespace ptstore::workloads {
+
+// Defined in figures.cpp. Called from the registry accessor so the figure
+// workloads are linked and registered even though no bench references
+// figures.cpp symbols directly (static initializers in an unreferenced
+// archive member would be dropped).
+void register_figure_workloads(WorkloadRegistry& reg);
+
+namespace {
+
+u64 g_instructions = 0;
+
+bool env_is(const char* name, char value) {
+  const char* e = std::getenv(name);
+  return e != nullptr && e[0] == value;
+}
+
+}  // namespace
+
+bool smoke_mode() { return env_is("PTSTORE_SMOKE", '1'); }
+
+bool decode_cache_enabled() { return !env_is("PTSTORE_BBCACHE", '0'); }
+
+u64 instructions_simulated() { return g_instructions; }
+
+Cycles run_on(SystemConfig cfg, const WorkloadFn& fn) {
+  cfg.core.decode_cache = decode_cache_enabled();
+  auto sys = System::create(cfg);
+  if (!sys) {
+    std::fprintf(stderr, "bench configuration rejected: %s\n",
+                 sys.error().c_str());
+    std::abort();
+  }
+  System& s = *sys.value();
+  const Cycles before = s.cycles();
+  const u64 instret_before = s.core().instret();
+  fn(s);
+  g_instructions += s.core().instret() - instret_before;
+  return s.cycles() - before;
+}
 
 Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn,
                     bool include_noadj) {
@@ -11,10 +51,7 @@ Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn
 
   auto run_one = [&](SystemConfig cfg) {
     cfg.dram_size = dram_size;
-    System sys(cfg);
-    const Cycles before = sys.cycles();
-    fn(sys);
-    return sys.cycles() - before;
+    return run_on(cfg, fn);
   };
 
   m.base = run_one(SystemConfig::baseline());
@@ -22,21 +59,93 @@ Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn
   m.cfi_ptstore = run_one(SystemConfig::cfi_ptstore());
   if (include_noadj) {
     SystemConfig cfg = SystemConfig::cfi_ptstore_noadj();
-    cfg.dram_size = dram_size;
     cfg.kernel.secure_region_init = std::min<u64>(GiB(1), dram_size / 2);
-    System sys(cfg);
-    const Cycles before = sys.cycles();
-    fn(sys);
-    m.cfi_ptstore_noadj = sys.cycles() - before;
+    m.cfi_ptstore_noadj = run_one(cfg);
   }
   return m;
 }
 
 u64 scaled(u64 paper_count, u64 def) {
-  if (const char* env = std::getenv("PTSTORE_FULL"); env != nullptr && env[0] == '1') {
-    return paper_count;
-  }
+  if (smoke_mode()) return std::max<u64>(1, def / 16);
+  if (env_is("PTSTORE_FULL", '1')) return paper_count;
   return def;
+}
+
+int MatrixWorkload::run() {
+  row_header();
+  std::vector<Measurement> rows;
+  for (const MatrixCase& c : cases()) {
+    rows.push_back(measure(c.name, c.dram_size, c.fn, c.include_noadj));
+    print_row(rows.back());
+  }
+  return check(rows);
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry reg = [] {
+    WorkloadRegistry r;
+    register_figure_workloads(r);
+    return r;
+  }();
+  return reg;
+}
+
+void WorkloadRegistry::add(const std::string& name, WorkloadFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::make(const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      setenv("PTSTORE_SMOKE", "1", 1);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  header(w->title());
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc = w->run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double minst = static_cast<double>(instructions_simulated()) / 1e6;
+  std::printf("\n[%s] wall %.2f s, %.1f Minst simulated (%.1f Minst/s), "
+              "decode cache %s%s\n",
+              w->name().c_str(), secs, minst,
+              secs > 0 ? minst / secs : 0.0,
+              decode_cache_enabled() ? "on" : "off",
+              smoke_mode() ? ", smoke scale" : "");
+  // Smoke runs exist to prove the bench builds and executes (briefly, e.g.
+  // under sanitizers); at 1/16 scale the shape checks are noise.
+  return smoke_mode() ? 0 : rc;
+}
+
+int run_workload_main(const std::string& name, int argc, char** argv) {
+  std::unique_ptr<Workload> w = WorkloadRegistry::instance().make(name);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; registered:", name.c_str());
+    for (const std::string& n : WorkloadRegistry::instance().names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  return run_workload_main_with(std::move(w), argc, argv);
 }
 
 }  // namespace ptstore::workloads

@@ -1,9 +1,21 @@
 // Shared workload infrastructure: the four evaluation configurations of the
-// paper, periodic-timer accounting, and overhead arithmetic used by every
-// bench binary.
+// paper, periodic-timer accounting, overhead arithmetic, and the Workload
+// interface + registry behind every bench binary.
+//
+// A bench executable is one of:
+//   int main(int argc, char** argv) {
+//     return ptstore::workloads::run_workload_main("spec", argc, argv);
+//   }
+// for the figure-reproduction matrix workloads registered in figures.cpp, or
+//   return run_workload_main_with(std::make_unique<MyBench>(), argc, argv);
+// for freeform benches. The driver owns flag parsing (--smoke), the banner,
+// and the wall-clock / simulated-instruction throughput footer.
 #pragma once
 
+#include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,13 +70,111 @@ struct Measurement {
 /// caller measures the cycle delta.
 using WorkloadFn = std::function<void(System&)>;
 
+/// Build a system from `cfg` via System::create (decode cache per
+/// PTSTORE_BBCACHE), run `fn`, and return the cycle delta. Config errors
+/// print every bad field and abort — a bench with a broken config is a
+/// programming error, not a measurement.
+Cycles run_on(SystemConfig cfg, const WorkloadFn& fn);
+
 /// Run `fn` on a fresh system per configuration and collect the cycle
 /// deltas. When `include_noadj` is set the -Adj configuration runs too.
 Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn,
                     bool include_noadj = false);
 
-/// Environment-scalable iteration count: `PTSTORE_SCALE` divides paper-scale
-/// counts (default scale honours `def`).
+/// Environment-scalable iteration count: paper scale under PTSTORE_FULL=1,
+/// `def` by default, and max(1, def/16) under PTSTORE_SMOKE=1 (the --smoke
+/// flag) so sanitizer/CI runs finish quickly.
 u64 scaled(u64 paper_count, u64 def);
+
+/// True when PTSTORE_SMOKE=1: benches run at 1/16 scale and the driver
+/// ignores shape-check verdicts (tiny scales are noisy), reporting only
+/// build/run health.
+bool smoke_mode();
+
+/// True unless PTSTORE_BBCACHE=0: systems built by run_on()/measure() use
+/// the decoded basic-block cache. The knob exists to A/B host throughput;
+/// simulated cycles are bit-identical either way.
+bool decode_cache_enabled();
+
+/// Simulated instructions retired inside run_on()/measure() so far in this
+/// process — the numerator of the driver's Minst/s footer.
+u64 instructions_simulated();
+
+// ---- Output formatting (shared by every bench binary) ----
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_header() {
+  std::printf("%-18s %10s %14s %14s %12s\n", "benchmark", "CFI %", "CFI+PTStore %",
+              "PTStore-only %", "base cycles");
+}
+
+inline void print_row(const Measurement& m) {
+  std::printf("%-18s %10.2f %14.2f %14.2f %12llu\n", m.name.c_str(), m.cfi_pct(),
+              m.cfi_ptstore_pct(), m.ptstore_only_pct(),
+              static_cast<unsigned long long>(m.base));
+}
+
+// ---- The Workload interface ----
+
+/// One bench: a name for the registry, a banner title, and a body whose
+/// return value is the process exit code (shape-check verdict).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// Banner text; may embed runtime scale (called after flag parsing).
+  virtual std::string title() const = 0;
+  virtual int run() = 0;
+};
+
+/// One row of a configuration-matrix workload.
+struct MatrixCase {
+  std::string name;
+  u64 dram_size = MiB(512);
+  WorkloadFn fn;
+  bool include_noadj = false;
+};
+
+/// A workload that is a list of measure() rows printed in the standard
+/// table format, followed by a shape check over the collected rows. This is
+/// the common driver loop the figure benches (Fig. 4-7, §V-D1) share.
+class MatrixWorkload : public Workload {
+ public:
+  int run() final;
+
+ protected:
+  virtual std::vector<MatrixCase> cases() = 0;
+  /// Shape check + workload-specific footer over the measured rows, in
+  /// cases() order. Return 0 when the paper's bounds hold.
+  virtual int check(const std::vector<Measurement>& rows) = 0;
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/// Name -> factory map for the registered workloads (figures.cpp).
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& instance();
+  void add(const std::string& name, WorkloadFactory factory);
+  /// nullptr when `name` is unknown.
+  std::unique_ptr<Workload> make(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, WorkloadFactory> factories_;
+};
+
+/// Driver for a directly constructed workload: parse flags (--smoke sets
+/// PTSTORE_SMOKE=1), print the banner, run, print the wall-clock +
+/// simulated-throughput footer. Smoke runs always exit 0.
+int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv);
+
+/// Same driver for a registry-backed workload looked up by name.
+int run_workload_main(const std::string& name, int argc, char** argv);
 
 }  // namespace ptstore::workloads

@@ -1,6 +1,9 @@
 #include "workloads/spec.h"
 
+#include <algorithm>
+
 #include "mmu/pte.h"
+#include "workloads/usercode.h"
 
 namespace ptstore::workloads {
 
@@ -28,6 +31,9 @@ namespace {
 constexpr VirtAddr kHeap = kUserSpaceBase + GiB(16);
 constexpr VirtAddr kChurn = kUserSpaceBase + GiB(24);
 constexpr u64 kChurnPages = 512;
+// Of each 1-Minstr slice, this many instructions run as real U-mode code
+// (see usercode.h); the rest is charged abstractly at the profile's CPI.
+constexpr u64 kRealPerSlice = 20'000;
 }  // namespace
 
 void run_spec(System& sys, const SpecProfile& prof, u64 minstr) {
@@ -51,13 +57,17 @@ void run_spec(System& sys, const SpecProfile& prof, u64 minstr) {
   // Steady state: 1-Minstr slices of user compute, interleaved with the
   // profile's kernel interactions.
   const Cycles cpi_milli = static_cast<Cycles>(prof.user_cpi * 1000.0);
+  UserCompute uc(sys);
   u64 churn_next = 0;
   bool churn_mapped = false;
   double fault_debt = 0, sys_debt = 0;
   for (u64 s = 0; s < minstr; ++s) {
-    // User compute (CPI in 1/1000ths to keep integer cycle accounting).
-    sys.core().retire_abstract(1'000'000, 1);
-    sys.core().add_cycles(1'000 * (cpi_milli - 1000));
+    // User compute: a real U-mode slice, then the abstract remainder (CPI
+    // in 1/1000ths to keep integer cycle accounting).
+    const u64 real = std::min<u64>(uc.run(p, kRealPerSlice), 500'000);
+    const u64 abstract = 1'000'000 - real;
+    sys.core().retire_abstract(abstract, 1);
+    sys.core().add_cycles((abstract / 1'000) * (cpi_milli - 1000));
     tick.advance(k);
 
     fault_debt += prof.faults_per_minstr;

@@ -1,0 +1,49 @@
+#include "workloads/usercode.h"
+
+#include "isa/assembler.h"
+
+namespace ptstore::workloads {
+
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+// A self-contained xorshift-style mixing loop: straight-line ALU work plus
+// one store/load pair per iteration, closed by a backward jump. Never
+// exits — every slice is cut by the run_slice instruction budget.
+std::vector<u32> compute_loop(VirtAddr entry) {
+  Assembler p(entry);
+  p.li(Reg::kSp, GuestRunner::kStackTop - 256);
+  p.li(Reg::kT0, 0x9e3779b97f4a7c15);  // Mix state.
+  p.li(Reg::kT1, 0);                   // Iteration counter.
+  const Assembler::Label loop = p.make_label();
+  p.bind(loop);
+  p.addi(Reg::kT1, Reg::kT1, 1);
+  p.xor_(Reg::kT0, Reg::kT0, Reg::kT1);
+  p.slli(Reg::kT2, Reg::kT0, 7);
+  p.add(Reg::kT0, Reg::kT0, Reg::kT2);
+  p.srli(Reg::kT2, Reg::kT0, 9);
+  p.xor_(Reg::kT0, Reg::kT0, Reg::kT2);
+  p.sd(Reg::kT0, Reg::kSp, 0);
+  p.ld(Reg::kT3, Reg::kSp, 0);
+  p.add(Reg::kT0, Reg::kT0, Reg::kT3);
+  p.jal(Reg::kZero, loop);
+  return p.finish();
+}
+
+}  // namespace
+
+u64 UserCompute::run(Process& proc, u64 budget) {
+  if (budget == 0) return 0;
+  if (loaded_.count(proc.pid) == 0) {
+    if (!runner_.load_program(proc, kEntry, compute_loop(kEntry))) return 0;
+    loaded_.insert(proc.pid);
+  }
+  const GuestResult r = runner_.run_slice(proc, kEntry, budget);
+  // The loop neither exits nor faults; `instructions` is guest retirement
+  // plus the modelled handling of its (rare) demand faults.
+  return r.instructions;
+}
+
+}  // namespace ptstore::workloads

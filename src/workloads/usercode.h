@@ -1,0 +1,40 @@
+// Real U-mode compute for the macro workloads: instead of charging every
+// user instruction abstractly, a slice of each workload's user time runs as
+// actual RV64 machine code on the interpreter (demand-paged, satp.S-checked
+// page tables — the full co-design loop). This grounds the benches in real
+// execution and gives the decoded basic-block cache a hot loop to earn its
+// keep on; the abstract remainder keeps paper-scale instruction counts
+// affordable.
+#pragma once
+
+#include <set>
+
+#include "kernel/guest.h"
+#include "kernel/system.h"
+
+namespace ptstore::workloads {
+
+/// A resident U-mode compute loop per process: an ALU/load/store kernel
+/// loaded once per pid and resumed in slices. Instruction streams are
+/// identical across the paper's configurations, so overhead ratios are
+/// unaffected — only the cycle cost of each instruction varies.
+class UserCompute {
+ public:
+  explicit UserCompute(System& sys) : runner_(sys.kernel()) {}
+
+  /// Execute ~`budget` real user instructions in `proc` (resuming where the
+  /// previous slice stopped) and return the count actually retired — the
+  /// caller deducts it from the abstract charge. Returns 0 if the program
+  /// cannot be loaded (tiny DRAM), letting the caller fall back to fully
+  /// abstract accounting.
+  u64 run(Process& proc, u64 budget);
+
+  /// Where the loop lives in user VA space (clear of workload arenas).
+  static constexpr VirtAddr kEntry = kUserSpaceBase + MiB(8);
+
+ private:
+  GuestRunner runner_;
+  std::set<u64> loaded_;  ///< pids with the loop resident.
+};
+
+}  // namespace ptstore::workloads

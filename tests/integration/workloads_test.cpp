@@ -4,8 +4,11 @@
 // only when the region is undersized).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "workloads/lmbench.h"
 #include "workloads/netserver.h"
+#include "workloads/runner.h"
 #include "workloads/spec.h"
 
 namespace ptstore::workloads {
@@ -189,6 +192,20 @@ TEST(Workloads, TickModelFiresPeriodically) {
   sys.core().add_cycles(tick.period * 3 + 10);
   tick.advance(sys.kernel());
   EXPECT_EQ(sys.kernel().stats().get("kernel.traps") - traps_before, 3u);
+}
+
+TEST(Workloads, RegistryListsEveryFigureWorkload) {
+  const auto names = WorkloadRegistry::instance().names();
+  for (const char* expected :
+       {"lmbench", "spec", "nginx", "redis", "forkstress"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "registry missing " << expected;
+  }
+
+  auto w = WorkloadRegistry::instance().make("spec");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), "spec");
+  EXPECT_EQ(WorkloadRegistry::instance().make("no-such-workload"), nullptr);
 }
 
 TEST(Workloads, ScaledHonoursEnvOverride) {

@@ -78,5 +78,61 @@ TEST(SystemBoot, BootCostIsCharged) {
   EXPECT_GT(sys.cycles(), 1000u);
 }
 
+SystemConfig broken_cfg() {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  cfg.core.icache.ways = 0;
+  cfg.core.itlb.entries = 0;
+  cfg.core.timing.base_cpi = 0;
+  cfg.kernel.secure_region_init = MiB(64) + 1;  // Not page-aligned.
+  return cfg;
+}
+
+TEST(SystemCreate, ValidConfigBoots) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  auto sys = System::create(cfg);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_GT(sys.value()->cycles(), 1000u);
+}
+
+TEST(SystemCreate, ReportsEveryIssueWithFieldNames) {
+  const SystemConfig cfg = broken_cfg();
+  EXPECT_EQ(cfg.validate().size(), 4u);
+
+  auto sys = System::create(cfg);
+  ASSERT_FALSE(sys.ok());
+  for (const char* field : {"core.icache.ways", "core.itlb.entries",
+                            "core.timing.base_cpi",
+                            "kernel.secure_region_init"}) {
+    EXPECT_NE(sys.error().find(field), std::string::npos)
+        << "error message missing " << field << ": " << sys.error();
+  }
+}
+
+TEST(SystemCreate, ThrowingConstructorWrapsSameMessage) {
+  EXPECT_THROW(System{broken_cfg()}, std::runtime_error);
+  try {
+    System sys(broken_cfg());
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("core.icache.ways"),
+              std::string::npos);
+  }
+}
+
+TEST(SystemReport, DecodeCacheCountersGatedOnConfig) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  System on(cfg);
+  EXPECT_TRUE(on.report().has("bbcache.hits"));
+
+  cfg.core.decode_cache = false;
+  System off(cfg);
+  // With the cache off, reports are byte-identical to the classic
+  // interpreter's — no bbcache.* keys at all.
+  EXPECT_FALSE(off.report().has("bbcache.hits"));
+  EXPECT_FALSE(off.report().has("bbcache.misses"));
+}
+
 }  // namespace
 }  // namespace ptstore

@@ -78,7 +78,7 @@ int main() {
       std::fprintf(stderr, "setup failed\n");
       return 1;
     }
-    tasks.push_back(Task{p, tag});
+    tasks.push_back(Task{p, tag, false, {}});
   }
 
   // Round-robin scheduler: ~1,200-cycle hardware-timer quanta until all exit.

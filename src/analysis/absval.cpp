@@ -1,0 +1,19 @@
+#include "analysis/absval.h"
+
+#include <sstream>
+
+namespace ptstore::analysis {
+
+std::string AbsVal::describe() const {
+  std::ostringstream os;
+  if (is_top()) {
+    os << "[top]";
+  } else if (is_exact()) {
+    os << "0x" << std::hex << lo;
+  } else {
+    os << "[0x" << std::hex << lo << ", 0x" << hi << "]";
+  }
+  return os.str();
+}
+
+}  // namespace ptstore::analysis

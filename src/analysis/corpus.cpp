@@ -1,0 +1,121 @@
+#include "analysis/corpus.h"
+
+#include <functional>
+
+#include "isa/assembler.h"
+#include "isa/csr.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+Image build(const std::function<void(Assembler&, std::vector<Symbol>&)>& body) {
+  Assembler a(kCorpusBase);
+  std::vector<Symbol> symbols{{"entry", kCorpusBase}};
+  body(a, symbols);
+  Image img;
+  img.base = kCorpusBase;
+  img.words = a.finish();
+  img.symbols = std::move(symbols);
+  return img;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> violation_corpus(u64 sr_base, u64 sr_end) {
+  (void)sr_end;
+  std::vector<CorpusEntry> corpus;
+
+  // 1. The classic PT-Injection write path: a plain sd aimed straight at a
+  //    page table in the secure region (paper Fig. 2 attack 1).
+  corpus.push_back({"raw_sd_secure",
+                    "regular store with an exact secure-region target",
+                    build([&](Assembler& a, std::vector<Symbol>&) {
+                      a.li(Reg::kT0, sr_base);
+                      a.sd(Reg::kZero, Reg::kT0, 0);
+                      a.ebreak();
+                    }),
+                    false, DiagKind::kRegularTouchesSecure});
+
+  // 2. A pt-access whose base escaped the region: sd.pt aimed at normal
+  //    memory would let the privileged window write anywhere.
+  corpus.push_back({"sdpt_escape",
+                    "sd.pt whose base address lies below the secure region",
+                    build([&](Assembler& a, std::vector<Symbol>&) {
+                      a.li(Reg::kT0, sr_base - 0x1000);
+                      a.sd_pt(Reg::kZero, Reg::kT0, 0);
+                      a.ebreak();
+                    }),
+                    false, DiagKind::kPtInsnEscapes});
+
+  // 3. Computed address: a masked, scaled index added to the region base —
+  //    the whole derived interval [sr_base, sr_base+0x7F8] is secure.
+  corpus.push_back({"computed_leak",
+                    "store through a computed index landing in the region",
+                    build([&](Assembler& a, std::vector<Symbol>&) {
+                      a.li(Reg::kT0, sr_base);
+                      a.andi(Reg::kT1, Reg::kA0, 0xFF);
+                      a.slli(Reg::kT1, Reg::kT1, 3);
+                      a.add(Reg::kT0, Reg::kT0, Reg::kT1);
+                      a.sd(Reg::kZero, Reg::kT0, 0);
+                      a.ebreak();
+                    }),
+                    false, DiagKind::kRegularTouchesSecure});
+
+  // 4. PT-Reuse enabler: writing satp without first validating the token
+  //    binding (paper §III-C3).
+  corpus.push_back({"satp_unvalidated",
+                    "satp write with no dominating token-validation call",
+                    build([&](Assembler& a, std::vector<Symbol>&) {
+                      a.li(Reg::kT0, 1);
+                      a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT0);
+                      a.ebreak();
+                    }),
+                    false, DiagKind::kSatpWriteUnvalidated});
+
+  // 5. Mis-scoped PMP: S-mode code programming pmpaddr8 would move the
+  //    secure-region boundary without the monitor (paper §IV-B).
+  corpus.push_back({"pmp_mis_scope",
+                    "guest code rewrites the monitor's TOR boundary entry",
+                    build([&](Assembler& a, std::vector<Symbol>&) {
+                      a.li(Reg::kT0, (sr_base - MiB(1)) >> 2);
+                      a.csrrw(Reg::kZero, isa::csr::kPmpaddr0 + 8, Reg::kT0);
+                      a.ebreak();
+                    }),
+                    false, DiagKind::kPmpScopeViolation});
+
+  // 6. Benign near-miss: everything here skirts a rule without breaking it —
+  //    a store 8 bytes below the region, an ld.pt properly inside it, and a
+  //    satp write dominated by a token_validate call. Must stay clean.
+  corpus.push_back({"benign_near_miss",
+                    "boundary-adjacent but rule-abiding accesses",
+                    build([&](Assembler& a, std::vector<Symbol>& symbols) {
+                      auto validate = a.make_label();
+                      a.li(Reg::kT0, sr_base);
+                      a.sd(Reg::kZero, Reg::kT0, -8);
+                      a.ld_pt(Reg::kT2, Reg::kT0, 0);
+                      a.jal(Reg::kRa, validate);
+                      a.li(Reg::kT1, 1);
+                      a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+                      a.ebreak();
+                      a.bind(validate);
+                      a.ret();
+                      symbols.push_back(
+                          {"token_validate", *a.label_address(validate)});
+                    }),
+                    true, DiagKind{}});
+
+  return corpus;
+}
+
+const CorpusEntry* find_entry(const std::vector<CorpusEntry>& corpus,
+                              const std::string& name) {
+  for (const CorpusEntry& e : corpus) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace ptstore::analysis

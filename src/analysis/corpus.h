@@ -1,0 +1,33 @@
+// Seeded-violation corpus: small attack-shaped guest images, each built to
+// trip exactly one ptlint rule (plus one benign near-miss that must stay
+// clean). The corpus is the verifier's regression anchor — ctest asserts
+// ptlint flags every seeded violation and nothing else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ptlint.h"
+
+namespace ptstore::analysis {
+
+/// Load address for corpus images (1 MiB into DRAM, far from any default
+/// secure region, which sits at the top of memory).
+inline constexpr u64 kCorpusBase = kDramBase + MiB(1);
+
+struct CorpusEntry {
+  std::string name;
+  std::string description;
+  Image image;
+  bool expect_clean = false;       ///< The benign near-miss.
+  DiagKind expected{};             ///< Expected violation kind otherwise.
+};
+
+/// Build the corpus against a secure region [sr_base, sr_end).
+std::vector<CorpusEntry> violation_corpus(u64 sr_base, u64 sr_end);
+
+/// Entry by name; nullptr when absent.
+const CorpusEntry* find_entry(const std::vector<CorpusEntry>& corpus,
+                              const std::string& name);
+
+}  // namespace ptstore::analysis

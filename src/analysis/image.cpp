@@ -1,0 +1,48 @@
+#include "analysis/image.h"
+
+#include <sstream>
+
+namespace ptstore::analysis {
+
+std::string Image::locate(u64 pc) const {
+  const Symbol* best = nullptr;
+  for (const Symbol& s : symbols) {
+    if (s.address <= pc && (best == nullptr || s.address > best->address)) best = &s;
+  }
+  std::ostringstream os;
+  if (best != nullptr) {
+    os << best->name;
+    if (pc != best->address) os << "+0x" << std::hex << pc - best->address;
+  } else {
+    os << "entry";
+    if (pc != base) os << "+0x" << std::hex << pc - base;
+  }
+  return os.str();
+}
+
+const Symbol* Image::symbol_at(u64 address) const {
+  for (const Symbol& s : symbols) {
+    if (s.address == address) return &s;
+  }
+  return nullptr;
+}
+
+std::optional<u64> Image::symbol_address(const std::string& name) const {
+  for (const Symbol& s : symbols) {
+    if (s.name == name) return s.address;
+  }
+  return std::nullopt;
+}
+
+Image Image::from_assembly(const isa::AsmResult& res, u64 base) {
+  Image img;
+  img.base = base;
+  img.words = res.words;
+  img.symbols.reserve(res.symbols.size());
+  for (const isa::AsmSymbol& s : res.symbols) {
+    img.symbols.push_back(Symbol{s.name, s.address});
+  }
+  return img;
+}
+
+}  // namespace ptstore::analysis

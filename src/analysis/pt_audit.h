@@ -1,0 +1,38 @@
+// Offline secure-region well-formedness audit. Walks every live Sv39 page
+// table of a booted kernel straight through physical memory (no cycles
+// charged, no ld.pt path — this is the auditor's view, not the guest's) and
+// checks the structural invariants PTStore is supposed to maintain:
+//
+//   A1  Every page-table page — roots and interior tables — lies physically
+//       inside the secure region.
+//   A2  No kernel-half mapping (root index < kUserRootIndex) is
+//       user-accessible; user-accessible AND writable is called out
+//       separately as the worst case.
+//   A3  Token consistency: each live process's PCB token pointer lands in
+//       the secure region and the token binds back to exactly that PCB's
+//       token field and its architectural pgd (paper §III-C3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace ptstore::analysis {
+
+struct AuditReport {
+  std::vector<std::string> findings;
+  u64 tables_checked = 0;  ///< Page-table pages visited (deduplicated).
+  u64 ptes_checked = 0;
+  u64 tokens_checked = 0;
+
+  bool ok() const { return findings.empty(); }
+  std::string format() const;
+};
+
+/// Audit all live address spaces (kernel root + every process). The
+/// secure-region checks (A1, A3) apply only when the configuration runs
+/// with PTStore enabled; A2 always applies.
+AuditReport audit_secure_region(Kernel& kernel, PhysMem& mem);
+
+}  // namespace ptstore::analysis

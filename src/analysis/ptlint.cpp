@@ -1,0 +1,439 @@
+#include "analysis/ptlint.h"
+
+#include <array>
+#include <deque>
+#include <sstream>
+
+#include "isa/csr.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Inst;
+using isa::Op;
+
+/// Abstract machine state at one program point: one interval per register
+/// plus the R3 must-flag ("a token-validation call dominates this point").
+struct RegState {
+  std::array<AbsVal, 32> regs;
+  bool validated = false;
+  bool reached = false;
+
+  static RegState entry() {
+    RegState st;
+    st.reached = true;
+    for (AbsVal& v : st.regs) v = AbsVal::top();
+    st.regs[0] = AbsVal::exact(0);
+    return st;
+  }
+
+  /// Join: interval lub per register, AND on the must-flag.
+  bool join_from(const RegState& o) {
+    if (!o.reached) return false;
+    if (!reached) {
+      *this = o;
+      return true;
+    }
+    bool changed = false;
+    for (unsigned r = 1; r < 32; ++r) {
+      const AbsVal j = regs[r].join(o.regs[r]);
+      if (j != regs[r]) {
+        regs[r] = j;
+        changed = true;
+      }
+    }
+    if (validated && !o.validated) {
+      validated = false;
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+/// Joins tolerated at one block entry before changing registers are widened
+/// straight to Top (guarantees fixpoint termination on loops).
+constexpr int kWidenAfter = 4;
+
+bool writes_csr(const Inst& in) {
+  switch (in.op) {
+    case Op::kCsrrw:
+    case Op::kCsrrwi:
+      return true;
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrsi:  // rs1 field holds the uimm for the immediate forms.
+    case Op::kCsrrci:
+      return in.rs1 != 0;
+    default:
+      return false;
+  }
+}
+
+bool is_pmp_csr(u32 csr) {
+  return (csr >= isa::csr::kPmpcfg0 && csr <= isa::csr::kPmpcfg0 + 3) ||
+         (csr >= isa::csr::kPmpaddr0 && csr <= isa::csr::kPmpaddr0 + 15);
+}
+
+/// Transfer function for one non-terminator effect (terminator link writes
+/// are applied by the caller, which knows the edge kind).
+void step(u64 pc, const Inst& in, RegState& st) {
+  const auto set = [&st](u8 rd, AbsVal v) {
+    if (rd != 0) st.regs[rd] = v;
+  };
+  const AbsVal a = st.regs[in.rs1];
+  const AbsVal b = st.regs[in.rs2];
+  switch (in.op) {
+    case Op::kLui:
+      set(in.rd, AbsVal::exact(static_cast<u64>(in.imm)));
+      return;
+    case Op::kAuipc:
+      set(in.rd, AbsVal::exact(pc + static_cast<u64>(in.imm)));
+      return;
+    case Op::kAddi:
+      set(in.rd, AbsVal::add_imm(a, in.imm));
+      return;
+    case Op::kAddiw:
+      set(in.rd, AbsVal::sext_w(AbsVal::add_imm(a, in.imm)));
+      return;
+    case Op::kAndi:
+      set(in.rd, AbsVal::and_imm(a, in.imm));
+      return;
+    case Op::kOri:
+      set(in.rd, a.is_exact() ? AbsVal::exact(a.lo | static_cast<u64>(in.imm))
+                              : AbsVal::top());
+      return;
+    case Op::kXori:
+      set(in.rd, a.is_exact() ? AbsVal::exact(a.lo ^ static_cast<u64>(in.imm))
+                              : AbsVal::top());
+      return;
+    case Op::kSlli:
+      set(in.rd, AbsVal::shl(a, static_cast<unsigned>(in.imm)));
+      return;
+    case Op::kSrli:
+      set(in.rd, AbsVal::shr(a, static_cast<unsigned>(in.imm)));
+      return;
+    case Op::kSrai:
+      set(in.rd, a.is_exact()
+                     ? AbsVal::exact(static_cast<u64>(static_cast<i64>(a.lo) >>
+                                                      (in.imm & 63)))
+                     : AbsVal::top());
+      return;
+    case Op::kAdd:
+      set(in.rd, AbsVal::add(a, b));
+      return;
+    case Op::kSub:
+      set(in.rd, AbsVal::sub(a, b));
+      return;
+    case Op::kAddw:
+      set(in.rd, AbsVal::sext_w(AbsVal::add(a, b)));
+      return;
+    case Op::kSubw:
+      set(in.rd, AbsVal::sext_w(AbsVal::sub(a, b)));
+      return;
+    case Op::kAnd:
+      set(in.rd, b.is_exact() ? AbsVal::and_imm(a, static_cast<i64>(b.lo))
+                              : (a.is_exact() ? AbsVal::and_imm(b, static_cast<i64>(a.lo))
+                                              : AbsVal::top()));
+      return;
+    case Op::kOr:
+    case Op::kXor:
+      set(in.rd, (a.is_exact() && b.is_exact())
+                     ? AbsVal::exact(in.op == Op::kOr ? (a.lo | b.lo)
+                                                      : (a.lo ^ b.lo))
+                     : AbsVal::top());
+      return;
+    default:
+      // Stores and branches write no register (rd is 0 in those formats);
+      // everything else — loads (incl. ld.pt), AMOs, CSR reads, mul/div,
+      // compares, word shifts — soundly degrades to Top.
+      set(in.rd, AbsVal::top());
+      return;
+  }
+}
+
+struct AccessInfo {
+  bool is_access = false;
+  AbsVal addr;
+  bool pt = false;
+  bool store = false;
+};
+
+AccessInfo classify_access(const Inst& in, const RegState& st) {
+  AccessInfo info;
+  if (!(in.is_load() || in.is_store() || in.is_amo() || in.is_pt_access()))
+    return info;
+  info.is_access = true;
+  info.pt = in.is_pt_access();
+  info.store = in.is_store() || in.is_amo() || in.op == Op::kSdPt;
+  info.addr = in.is_amo() ? st.regs[in.rs1]
+                          : AbsVal::add_imm(st.regs[in.rs1], in.imm);
+  return info;
+}
+
+AccessClass classify(const AbsVal& addr, const LintConfig& cfg) {
+  if (addr.inside(cfg.sr_base, cfg.sr_end)) return AccessClass::kSecure;
+  if (addr.outside(cfg.sr_base, cfg.sr_end)) return AccessClass::kNonSecure;
+  return AccessClass::kUnknown;
+}
+
+class Linter {
+ public:
+  Linter(const Image& img, const LintConfig& cfg) : img_(img), cfg_(cfg) {}
+
+  LintReport run() {
+    std::vector<u64> roots = cfg_.extra_roots;
+    cfg_graph_ = Cfg::build(img_, roots);
+    report_.reachable = cfg_graph_.reachable_pcs();
+    solve();
+    for (const BasicBlock& bb : cfg_graph_.blocks()) report_block(bb);
+    return std::move(report_);
+  }
+
+ private:
+  /// Interpret a block from its fixpoint entry state. `visit` sees the
+  /// state *before* each instruction executes. Returns the state after the
+  /// last instruction's register effects (terminator link write included).
+  template <typename Visit>
+  RegState interpret(const BasicBlock& bb, RegState st, Visit&& visit) {
+    for (u64 pc = bb.start; pc < bb.end; pc += 4) {
+      const Inst in = img_.inst_at(pc);
+      visit(pc, in, st);
+      step(pc, in, st);
+      if (in.is_jump() && in.rd != 0) {
+        st.regs[in.rd] = AbsVal::exact(pc + 4);
+      }
+    }
+    return st;
+  }
+
+  /// Post-call continuation state: caller-saved registers are clobbered
+  /// (any callee may write them); callee-saved and sp/gp/tp survive per the
+  /// ABI the assembler-built images follow.
+  static RegState call_return_state(const RegState& at_call, bool validates) {
+    RegState st = at_call;
+    static constexpr u8 kCallerSaved[] = {1,  5,  6,  7,  10, 11, 12, 13, 14,
+                                          15, 16, 17, 28, 29, 30, 31};
+    for (const u8 r : kCallerSaved) st.regs[r] = AbsVal::top();
+    if (validates) st.validated = true;
+    return st;
+  }
+
+  bool call_target_validates(u64 target) const {
+    const Symbol* sym = img_.symbol_at(target);
+    if (sym == nullptr) return false;
+    for (const std::string& name : cfg_.token_validate_symbols) {
+      if (sym->name == name) return true;
+    }
+    return false;
+  }
+
+  void solve() {
+    std::deque<u64> work;
+    const auto seed = [&](u64 pc) {
+      if (cfg_graph_.block_at(pc) != nullptr &&
+          entry_[pc].join_from(RegState::entry())) {
+        work.push_back(pc);
+      }
+    };
+    seed(img_.base);
+    for (const u64 r : cfg_.extra_roots) seed(r);
+
+    while (!work.empty()) {
+      const u64 at = work.front();
+      work.pop_front();
+      const BasicBlock* bb = cfg_graph_.block_at(at);
+      if (bb == nullptr) continue;
+      const RegState out =
+          interpret(*bb, entry_[at], [](u64, const Inst&, RegState&) {});
+      for (const Edge& e : bb->succs) {
+        RegState next = out;
+        if (e.kind == EdgeKind::kCallReturn) {
+          // For a direct call the callee address is the paired kCall edge's
+          // target; an indirect call (no kCall edge) validates nothing.
+          u64 callee = 0;
+          bool direct = false;
+          for (const Edge& c : bb->succs) {
+            if (c.kind == EdgeKind::kCall) {
+              callee = c.to;
+              direct = true;
+            }
+          }
+          next = call_return_state(out, direct && call_target_validates(callee));
+        }
+        propagate(e.to, next, work);
+      }
+    }
+  }
+
+  void propagate(u64 to, const RegState& st, std::deque<u64>& work) {
+    RegState& dst = entry_[to];
+    const RegState before = dst;
+    if (!dst.join_from(st)) return;
+    if (++join_count_[to] > kWidenAfter && before.reached) {
+      for (unsigned r = 1; r < 32; ++r) {
+        if (dst.regs[r] != before.regs[r]) dst.regs[r] = AbsVal::top();
+      }
+    }
+    work.push_back(to);
+  }
+
+  void report_block(const BasicBlock& bb) {
+    auto it = entry_.find(bb.start);
+    if (it == entry_.end() || !it->second.reached) return;
+
+    if (bb.start < cfg_.sr_end && bb.end > cfg_.sr_base) {
+      diag(DiagKind::kFetchFromSecure, Severity::kViolation,
+           bb.start < cfg_.sr_base ? cfg_.sr_base : bb.start,
+           "reachable code lies inside the secure region");
+    }
+
+    interpret(bb, it->second, [&](u64 pc, const Inst& in, RegState& st) {
+      check_inst(pc, in, st);
+    });
+
+    // Resolved control targets that leave the image: a note in general, a
+    // violation when the target would fetch from the secure region.
+    if (bb.leaves_image) {
+      const u64 last = bb.end - 4;
+      const Inst in = img_.inst_at(last);
+      for (const Edge& e : terminator_edges(in, last)) {
+        if (img_.contains(e.to)) continue;
+        if (e.to >= cfg_.sr_base && e.to < cfg_.sr_end) {
+          diag(DiagKind::kFetchFromSecure, Severity::kViolation, last,
+               "control transfer targets the secure region");
+        } else if (e.kind != EdgeKind::kCallReturn) {
+          diag(DiagKind::kJumpOutOfImage, Severity::kNote, last,
+               "control transfer leaves the analyzed image");
+        }
+      }
+    }
+  }
+
+  void check_inst(u64 pc, const Inst& in, const RegState& st) {
+    if (in.op == Op::kIllegal) {
+      diag(DiagKind::kIllegalInstruction, Severity::kNote, pc,
+           "reachable word does not decode");
+      return;
+    }
+    const AccessInfo acc = classify_access(in, st);
+    if (acc.is_access) {
+      const AccessClass cls = classify(acc.addr, cfg_);
+      report_.access_class[pc] = cls;
+      const std::string what =
+          std::string(acc.store ? "store" : "load") + " address " +
+          acc.addr.describe();
+      if (acc.pt) {
+        if (cls != AccessClass::kSecure) {
+          diag(DiagKind::kPtInsnEscapes, Severity::kViolation, pc,
+               "pt-access " + what + " is not provably inside the secure region");
+        }
+      } else if (cls == AccessClass::kSecure) {
+        diag(DiagKind::kRegularTouchesSecure, Severity::kViolation, pc,
+             "regular " + what + " targets the secure region");
+      } else if (cls == AccessClass::kUnknown) {
+        if (acc.addr.is_top()) {
+          // Documented imprecision: an unconstrained address may point
+          // anywhere. The dynamic cross-check covers these sites.
+          diag(DiagKind::kRegularTouchesSecure, Severity::kNote, pc,
+               "regular " + what + " is unconstrained (checked dynamically)");
+        } else {
+          diag(DiagKind::kRegularTouchesSecure, Severity::kViolation, pc,
+               "regular " + what + " may overlap the secure region");
+        }
+      }
+    }
+    if (writes_csr(in)) {
+      const u32 csr = static_cast<u32>(in.imm) & 0xFFF;
+      if (csr == isa::csr::kSatp && !st.validated) {
+        diag(DiagKind::kSatpWriteUnvalidated, Severity::kViolation, pc,
+             "satp write is not dominated by a token-validation call");
+      }
+      if (is_pmp_csr(csr)) {
+        diag(DiagKind::kPmpScopeViolation, Severity::kViolation, pc,
+             "guest code writes a PMP CSR owned by the M-mode monitor");
+      }
+    }
+  }
+
+  void diag(DiagKind kind, Severity sev, u64 pc, std::string message) {
+    Diag d;
+    d.kind = kind;
+    d.sev = sev;
+    d.pc = pc;
+    d.message = img_.locate(pc) + ": " + std::move(message);
+    const u64 lo = (pc >= img_.base + 8) ? pc - 8 : img_.base;
+    const u64 hi = (pc + 12 <= img_.end()) ? pc + 12 : img_.end();
+    for (u64 p = lo; p < hi; p += 4) {
+      if (!img_.contains(p)) continue;
+      std::ostringstream os;
+      os << (p == pc ? " => " : "    ") << "0x" << std::hex << p << "  "
+         << isa::disassemble(img_.inst_at(p));
+      d.context.push_back(os.str());
+    }
+    report_.diags.push_back(std::move(d));
+  }
+
+  const Image& img_;
+  const LintConfig& cfg_;
+  Cfg cfg_graph_;
+  std::map<u64, RegState> entry_;
+  std::map<u64, int> join_count_;
+  LintReport report_;
+};
+
+}  // namespace
+
+const char* access_class_name(AccessClass c) {
+  switch (c) {
+    case AccessClass::kNonSecure: return "non-secure";
+    case AccessClass::kSecure: return "secure";
+    case AccessClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+const char* diag_kind_name(DiagKind k) {
+  switch (k) {
+    case DiagKind::kRegularTouchesSecure: return "regular-touches-secure";
+    case DiagKind::kFetchFromSecure: return "fetch-from-secure";
+    case DiagKind::kPtInsnEscapes: return "pt-insn-escapes";
+    case DiagKind::kSatpWriteUnvalidated: return "satp-write-unvalidated";
+    case DiagKind::kPmpScopeViolation: return "pmp-scope-violation";
+    case DiagKind::kJumpOutOfImage: return "jump-out-of-image";
+    case DiagKind::kIllegalInstruction: return "illegal-instruction";
+  }
+  return "?";
+}
+
+size_t LintReport::violation_count() const {
+  size_t n = 0;
+  for (const Diag& d : diags) n += d.sev == Severity::kViolation ? 1 : 0;
+  return n;
+}
+
+std::vector<const Diag*> LintReport::violations() const {
+  std::vector<const Diag*> out;
+  for (const Diag& d : diags) {
+    if (d.sev == Severity::kViolation) out.push_back(&d);
+  }
+  return out;
+}
+
+std::string LintReport::format() const {
+  std::ostringstream os;
+  for (const Diag& d : diags) {
+    os << (d.sev == Severity::kViolation ? "violation" : "note") << " ["
+       << diag_kind_name(d.kind) << "] at 0x" << std::hex << d.pc << std::dec
+       << ": " << d.message << "\n";
+    for (const std::string& line : d.context) os << line << "\n";
+  }
+  os << diags.size() << " diagnostic(s), " << violation_count()
+     << " violation(s)\n";
+  return os.str();
+}
+
+LintReport lint_image(const Image& img, const LintConfig& cfg) {
+  return Linter(img, cfg).run();
+}
+
+}  // namespace ptstore::analysis

@@ -1,0 +1,77 @@
+#include "analysis/trace_check.h"
+
+#include <sstream>
+
+namespace ptstore::analysis {
+namespace {
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+CrossCheckResult cross_check(const Image& img, const LintReport& report,
+                             const std::deque<TraceRecord>& trace,
+                             u64 sr_base, u64 sr_end) {
+  CrossCheckResult res;
+  for (const TraceRecord& rec : trace) {
+    if (!img.contains(rec.pc)) {
+      ++res.skipped;
+      continue;
+    }
+    ++res.checked;
+    if (!report.reachable.count(rec.pc)) {
+      res.contradictions.push_back(
+          "executed pc " + hex(rec.pc) + " (" + img.locate(rec.pc) +
+          ") is statically unreachable");
+      continue;
+    }
+    if (!rec.has_ea) continue;
+    ++res.mem_checked;
+    const auto it = report.access_class.find(rec.pc);
+    if (it == report.access_class.end()) {
+      res.contradictions.push_back(
+          "memory access at " + hex(rec.pc) + " (" + img.locate(rec.pc) +
+          ") has no static classification");
+      continue;
+    }
+    const bool in_region = rec.ea >= sr_base && rec.ea < sr_end;
+    switch (it->second) {
+      case AccessClass::kNonSecure:
+        if (in_region) {
+          res.contradictions.push_back(
+              "access at " + hex(rec.pc) + " (" + img.locate(rec.pc) +
+              ") classified non-secure but touched " + hex(rec.ea) +
+              " inside the secure region");
+        }
+        break;
+      case AccessClass::kSecure:
+        if (!in_region) {
+          res.contradictions.push_back(
+              "access at " + hex(rec.pc) + " (" + img.locate(rec.pc) +
+              ") classified secure but touched " + hex(rec.ea) +
+              " outside the secure region");
+        }
+        break;
+      case AccessClass::kUnknown:
+        ++res.unknown;
+        break;
+    }
+  }
+  return res;
+}
+
+std::string CrossCheckResult::format() const {
+  std::ostringstream os;
+  os << checked << " record(s) checked, " << mem_checked
+     << " memory access(es) compared, " << unknown << " unknown, " << skipped
+     << " outside the image\n";
+  for (const std::string& c : contradictions) os << "contradiction: " << c << "\n";
+  os << (ok() ? "no contradictions\n" : "CROSS-CHECK FAILED\n");
+  return os.str();
+}
+
+}  // namespace ptstore::analysis

@@ -1,0 +1,33 @@
+// Dynamic cross-check: replay an execution trace (cpu/tracer.h records,
+// which carry pre-execution effective addresses) against ptlint's static
+// classification. Any disagreement — a "provably non-secure" access that
+// dynamically hit the secure region, a "provably secure" pt-access that
+// escaped, or an executed pc the CFG thought unreachable — is a soundness
+// contradiction in the analysis, reported verbatim.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "analysis/ptlint.h"
+#include "cpu/tracer.h"
+
+namespace ptstore::analysis {
+
+struct CrossCheckResult {
+  u64 checked = 0;       ///< Trace records whose pc lies in the image.
+  u64 mem_checked = 0;   ///< Of those, memory accesses compared by address.
+  u64 unknown = 0;       ///< Accesses the static side classified Unknown.
+  u64 skipped = 0;       ///< Records outside the image (kernel, firmware).
+  std::vector<std::string> contradictions;
+
+  bool ok() const { return contradictions.empty(); }
+  std::string format() const;
+};
+
+CrossCheckResult cross_check(const Image& img, const LintReport& report,
+                             const std::deque<TraceRecord>& trace,
+                             u64 sr_base, u64 sr_end);
+
+}  // namespace ptstore::analysis

@@ -17,6 +17,11 @@ struct TraceRecord {
   isa::Inst inst;
   Privilege priv = Privilege::kMachine;
   u64 instret = 0;
+  /// Effective address of a load/store/AMO, computed from the pre-execution
+  /// register file (the hook fires after decode, before execution). ptlint's
+  /// dynamic cross-check replays these against the static classification.
+  bool has_ea = false;
+  u64 ea = 0;
 };
 
 class Tracer {
@@ -49,7 +54,12 @@ class Tracer {
  private:
   void on_step(const Core& core, u64 pc, const isa::Inst& in) {
     if (records_.size() == capacity_) records_.pop_front();
-    records_.push_back(TraceRecord{pc, in, core.priv(), core.instret()});
+    TraceRecord rec{pc, in, core.priv(), core.instret(), false, 0};
+    if (in.is_load() || in.is_store() || in.is_amo()) {
+      rec.has_ea = true;
+      rec.ea = core.reg(in.rs1) + (in.is_amo() ? 0 : static_cast<u64>(in.imm));
+    }
+    records_.push_back(rec);
     ++total_;
   }
 

@@ -79,6 +79,11 @@ void Assembler::bind(Label l) {
   label_offsets_[l.id] = static_cast<i64>(4 * words_.size());
 }
 
+std::optional<u64> Assembler::label_address(Label l) const {
+  if (l.id >= label_offsets_.size() || label_offsets_[l.id] < 0) return std::nullopt;
+  return base_ + static_cast<u64>(label_offsets_[l.id]);
+}
+
 std::vector<u32> Assembler::finish() {
   for (const Fixup& f : fixups_) {
     assert(label_offsets_[f.label_id] >= 0 && "unbound label");

@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -49,6 +50,9 @@ class Assembler {
   Label make_label();
   /// Bind a label to the current position. Each label binds exactly once.
   void bind(Label l);
+  /// Address a bound label resolved to; nullopt while still unbound. Lets
+  /// callers (the text assembler, ptlint) export a symbol table.
+  std::optional<u64> label_address(Label l) const;
 
   u64 base() const { return base_; }
   u64 pc() const { return base_ + 4 * words_.size(); }

@@ -346,6 +346,18 @@ bool Inst::is_branch() const {
   }
 }
 
+bool Inst::is_terminator() const {
+  switch (op) {
+    case Op::kJal: case Op::kJalr:
+    case Op::kMret: case Op::kSret:
+    case Op::kEbreak: case Op::kWfi:
+    case Op::kIllegal:
+      return true;
+    default:
+      return is_branch();
+  }
+}
+
 bool Inst::is_amo() const {
   switch (op) {
     case Op::kLrW: case Op::kScW: case Op::kAmoSwapW: case Op::kAmoAddW:

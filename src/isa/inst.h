@@ -55,6 +55,12 @@ struct Inst {
   bool is_amo() const;
   /// True for ld.pt / sd.pt — accesses carrying AccessKind::kPtInsn.
   bool is_pt_access() const { return op == Op::kLdPt || op == Op::kSdPt; }
+  /// True for jal / jalr (unconditional transfer, optionally linking).
+  bool is_jump() const { return op == Op::kJal || op == Op::kJalr; }
+  /// True when the instruction ends a basic block: conditional branches,
+  /// jumps, privileged returns, and encodings that leave the instruction
+  /// stream entirely (ebreak halt, wfi, illegal). Used by CFG recovery.
+  bool is_terminator() const;
 };
 
 /// Decode one 32-bit instruction word. Unknown encodings yield Op::kIllegal.

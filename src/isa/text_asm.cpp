@@ -1,5 +1,6 @@
 #include "isa/text_asm.h"
 
+#include <algorithm>
 #include <cctype>
 #include <map>
 #include <optional>
@@ -164,6 +165,20 @@ class Emitter {
   }
 
   std::vector<u32> take() { return asm_.finish(); }
+
+  /// Symbol table of every bound source label, in address order.
+  std::vector<AsmSymbol> symbols() const {
+    std::vector<AsmSymbol> syms;
+    for (const auto& [name, label] : labels_) {
+      if (const auto addr = asm_.label_address(label)) {
+        syms.push_back(AsmSymbol{name, *addr});
+      }
+    }
+    std::sort(syms.begin(), syms.end(), [](const AsmSymbol& a, const AsmSymbol& b) {
+      return a.address != b.address ? a.address < b.address : a.name < b.name;
+    });
+    return syms;
+  }
 
  private:
   Reg reg_op(const Stmt& st, size_t i) {
@@ -457,6 +472,7 @@ AsmResult assemble_text(const std::string& source, u64 base) {
   try {
     Emitter e(parse_lines(source), base);
     res.words = e.take();
+    res.symbols = e.symbols();
     res.ok = true;
   } catch (const ParseError& err) {
     res.error = AsmError{err.line, err.message};

@@ -30,9 +30,18 @@ struct AsmError {
   std::string message;
 };
 
+/// One source label resolved to its load address (the assembler's symbol
+/// table — consumed by ptlint for function boundaries and diagnostics).
+struct AsmSymbol {
+  std::string name;
+  u64 address = 0;
+};
+
 struct AsmResult {
   bool ok = false;
   std::vector<u32> words;
+  /// Every source label with its resolved address, in address order.
+  std::vector<AsmSymbol> symbols;
   AsmError error;
 };
 

@@ -1,0 +1,96 @@
+// Unit tests for the interval domain: soundness of every transfer helper
+// (imprecision may only widen) and the region-relation predicates.
+#include <gtest/gtest.h>
+
+#include "analysis/absval.h"
+
+namespace ptstore::analysis {
+namespace {
+
+TEST(AbsVal, Basics) {
+  EXPECT_TRUE(AbsVal::top().is_top());
+  EXPECT_TRUE(AbsVal::exact(42).is_exact());
+  EXPECT_EQ(AbsVal::exact(42).lo, 42u);
+  EXPECT_FALSE(AbsVal::range(1, 2).is_exact());
+  EXPECT_EQ(AbsVal::exact(7), AbsVal::exact(7));
+  EXPECT_NE(AbsVal::exact(7), AbsVal::exact(8));
+}
+
+TEST(AbsVal, Join) {
+  const AbsVal j = AbsVal::exact(10).join(AbsVal::exact(20));
+  EXPECT_EQ(j, AbsVal::range(10, 20));
+  EXPECT_EQ(j.join(AbsVal::top()), AbsVal::top());
+  EXPECT_EQ(AbsVal::range(5, 8).join(AbsVal::range(6, 12)), AbsVal::range(5, 12));
+}
+
+TEST(AbsVal, RegionRelations) {
+  const u64 base = 0x1000, end = 0x2000;
+  EXPECT_TRUE(AbsVal::exact(0x1000).inside(base, end));
+  EXPECT_TRUE(AbsVal::exact(0x1FFF).inside(base, end));
+  EXPECT_TRUE(AbsVal::exact(0x2000).outside(base, end));
+  EXPECT_TRUE(AbsVal::exact(0xFFF).outside(base, end));
+  EXPECT_TRUE(AbsVal::range(0x800, 0x1800).may_overlap(base, end));
+  EXPECT_FALSE(AbsVal::range(0x800, 0x1800).inside(base, end));
+  EXPECT_TRUE(AbsVal::top().may_overlap(base, end));
+  EXPECT_FALSE(AbsVal::top().inside(base, end));
+}
+
+TEST(AbsVal, AddWrapsToTop) {
+  EXPECT_EQ(AbsVal::add(AbsVal::exact(3), AbsVal::exact(4)), AbsVal::exact(7));
+  // Exact values wrap like hardware.
+  EXPECT_EQ(AbsVal::add(AbsVal::exact(~u64{0}), AbsVal::exact(2)),
+            AbsVal::exact(1));
+  // A wrapping interval collapses to Top.
+  EXPECT_TRUE(AbsVal::add(AbsVal::range(~u64{0} - 1, ~u64{0}),
+                          AbsVal::range(0, 4)).is_top());
+  EXPECT_EQ(AbsVal::add(AbsVal::range(10, 20), AbsVal::range(1, 2)),
+            AbsVal::range(11, 22));
+}
+
+TEST(AbsVal, AddImmShiftsInterval) {
+  EXPECT_EQ(AbsVal::add_imm(AbsVal::range(0x100, 0x200), -0x10),
+            AbsVal::range(0xF0, 0x1F0));
+  EXPECT_EQ(AbsVal::add_imm(AbsVal::exact(8), -16), AbsVal::exact(~u64{0} - 7));
+  // Rotating the interval order is not representable.
+  EXPECT_TRUE(AbsVal::add_imm(AbsVal::range(0, 8), -4).is_top());
+}
+
+TEST(AbsVal, Sub) {
+  EXPECT_EQ(AbsVal::sub(AbsVal::exact(10), AbsVal::exact(4)), AbsVal::exact(6));
+  EXPECT_EQ(AbsVal::sub(AbsVal::range(100, 200), AbsVal::range(10, 20)),
+            AbsVal::range(80, 190));
+  EXPECT_TRUE(AbsVal::sub(AbsVal::range(0, 10), AbsVal::range(5, 6)).is_top());
+}
+
+TEST(AbsVal, Shifts) {
+  EXPECT_EQ(AbsVal::shl(AbsVal::range(1, 4), 3), AbsVal::range(8, 32));
+  EXPECT_TRUE(AbsVal::shl(AbsVal::range(0, u64{1} << 62), 3).is_top());
+  EXPECT_EQ(AbsVal::shl(AbsVal::exact(1), 63), AbsVal::exact(u64{1} << 63));
+  EXPECT_EQ(AbsVal::shr(AbsVal::range(8, 32), 3), AbsVal::range(1, 4));
+  EXPECT_EQ(AbsVal::shr(AbsVal::top(), 63), AbsVal::range(0, 1));
+}
+
+TEST(AbsVal, AndMask) {
+  EXPECT_EQ(AbsVal::and_imm(AbsVal::top(), 0xFF), AbsVal::range(0, 0xFF));
+  EXPECT_EQ(AbsVal::and_imm(AbsVal::range(0, 7), 0xFF), AbsVal::range(0, 7));
+  EXPECT_EQ(AbsVal::and_imm(AbsVal::exact(0x1234), 0xFF), AbsVal::exact(0x34));
+  EXPECT_TRUE(AbsVal::and_imm(AbsVal::range(1, 2), -8).is_top());
+}
+
+TEST(AbsVal, SextW) {
+  EXPECT_EQ(AbsVal::sext_w(AbsVal::exact(0xFFFF'FFFF)),
+            AbsVal::exact(~u64{0}));
+  EXPECT_EQ(AbsVal::sext_w(AbsVal::exact(0x1'0000'0001)), AbsVal::exact(1));
+  const AbsVal small = AbsVal::range(0x100, 0x7FFF'0000);
+  EXPECT_EQ(AbsVal::sext_w(small), small);
+  EXPECT_TRUE(AbsVal::sext_w(AbsVal::range(0, u64{1} << 31)).is_top());
+}
+
+TEST(AbsVal, Describe) {
+  EXPECT_EQ(AbsVal::top().describe(), "[top]");
+  EXPECT_EQ(AbsVal::exact(0x1F).describe(), "0x1f");
+  EXPECT_EQ(AbsVal::range(0x10, 0x20).describe(), "[0x10, 0x20]");
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

@@ -1,0 +1,153 @@
+// CFG recovery tests: block slicing at leaders, edge kinds, call/return
+// modeling, and reachability-driven exploration (data words after a halt
+// must not be decoded as code).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/cfg.h"
+#include "isa/assembler.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+constexpr u64 kBase = 0x8010'0000;
+
+Image image_of(const std::function<void(Assembler&)>& build) {
+  Assembler a(kBase);
+  build(a);
+  Image img;
+  img.base = kBase;
+  img.words = a.finish();
+  return img;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const Image img = image_of([](Assembler& a) {
+    a.li(Reg::kA0, 1);
+    a.li(Reg::kA1, 2);
+    a.ebreak();
+  });
+  const Cfg cfg = Cfg::build(img);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  const BasicBlock& bb = cfg.blocks()[0];
+  EXPECT_EQ(bb.start, kBase);
+  EXPECT_EQ(bb.end, img.end());
+  EXPECT_TRUE(bb.succs.empty());
+  EXPECT_TRUE(cfg.reachable(kBase));
+}
+
+TEST(Cfg, BranchMakesDiamond) {
+  // beq a0, zero, taken; (fall) addi; ebreak; taken: ebreak
+  const Image img = image_of([](Assembler& a) {
+    auto taken = a.make_label();
+    a.beq(Reg::kA0, Reg::kZero, taken);
+    a.addi(Reg::kA1, Reg::kA1, 1);
+    a.ebreak();
+    a.bind(taken);
+    a.ebreak();
+  });
+  const Cfg cfg = Cfg::build(img);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const BasicBlock* head = cfg.block_at(kBase);
+  ASSERT_NE(head, nullptr);
+  ASSERT_EQ(head->succs.size(), 2u);
+  EXPECT_EQ(head->succs[0].kind, EdgeKind::kBranch);
+  EXPECT_EQ(head->succs[0].to, kBase + 12);
+  EXPECT_EQ(head->succs[1].kind, EdgeKind::kFallthrough);
+  EXPECT_EQ(head->succs[1].to, kBase + 4);
+  const BasicBlock* join = cfg.block_at(kBase + 12);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->preds.size(), 1u);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  const Image img = image_of([](Assembler& a) {
+    auto loop = a.make_label();
+    a.li(Reg::kT0, 10);
+    a.bind(loop);
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, loop);
+    a.ebreak();
+  });
+  const Cfg cfg = Cfg::build(img);
+  const u64 loop_head = kBase + 4;  // li(10) expands to a single addi
+  const BasicBlock* body = cfg.block_at(loop_head);
+  ASSERT_NE(body, nullptr);
+  bool has_back_edge = false;
+  for (const Edge& e : body->succs) {
+    if (e.to == loop_head && e.kind == EdgeKind::kBranch) has_back_edge = true;
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Cfg, CallProducesCallAndReturnEdges) {
+  const Image img = image_of([](Assembler& a) {
+    auto fn = a.make_label();
+    a.jal(Reg::kRa, fn);
+    a.ebreak();
+    a.bind(fn);
+    a.ret();
+  });
+  const Cfg cfg = Cfg::build(img);
+  const BasicBlock* head = cfg.block_at(kBase);
+  ASSERT_NE(head, nullptr);
+  ASSERT_EQ(head->succs.size(), 2u);
+  EXPECT_EQ(head->succs[0].kind, EdgeKind::kCall);
+  EXPECT_EQ(head->succs[0].to, kBase + 8);
+  EXPECT_EQ(head->succs[1].kind, EdgeKind::kCallReturn);
+  EXPECT_EQ(head->succs[1].to, kBase + 4);
+  const BasicBlock* callee = cfg.block_at(kBase + 8);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_TRUE(callee->indirect_exit);  // ret = jalr x0
+  EXPECT_TRUE(callee->succs.empty());
+}
+
+TEST(Cfg, DataAfterHaltStaysUnreachable) {
+  const Image img = image_of([](Assembler& a) {
+    a.ebreak();
+    a.emit(0xDEADBEEF);  // data word: must never be decoded as code
+    a.emit(0x00000000);
+  });
+  const Cfg cfg = Cfg::build(img);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_FALSE(cfg.reachable(kBase + 4));
+  EXPECT_FALSE(cfg.reachable(kBase + 8));
+}
+
+TEST(Cfg, JumpOffImageIsFlagged) {
+  const Image img = image_of([](Assembler& a) {
+    // jalr x0, 0(a0) is indirect; use a plain fallthrough off the end.
+    a.li(Reg::kA0, 1);
+  });
+  const Cfg cfg = Cfg::build(img);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_TRUE(cfg.blocks()[0].leaves_image);
+}
+
+TEST(Cfg, BlockContainingAndMidBlockLeader) {
+  // A branch targets the middle of the entry's straight-line run, so the
+  // run must be sliced at the target.
+  const Image img = image_of([](Assembler& a) {
+    auto mid = a.make_label();
+    a.li(Reg::kT0, 3);
+    a.bind(mid);
+    a.addi(Reg::kT0, Reg::kT0, -1);
+    a.bnez(Reg::kT0, mid);
+    a.ebreak();
+  });
+  const Cfg cfg = Cfg::build(img);
+  const BasicBlock* entry = cfg.block_at(kBase);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->end, kBase + 4);  // sliced at the mid-run leader
+  ASSERT_EQ(entry->succs.size(), 1u);
+  EXPECT_EQ(entry->succs[0].kind, EdgeKind::kFallthrough);
+  EXPECT_EQ(cfg.block_containing(kBase), entry);
+  EXPECT_NE(cfg.block_containing(kBase + 4), entry);
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

@@ -1,0 +1,127 @@
+// Secure-region well-formedness audit: a freshly booted machine (and one
+// that has forked/exec'd/faulted a bit) must audit clean, and direct
+// physical-memory tampering with page tables, PCB fields, or tokens must be
+// called out.
+#include <gtest/gtest.h>
+
+#include "analysis/pt_audit.h"
+#include "kernel/guest.h"
+#include "kernel/pagetable.h"
+#include "kernel/system.h"
+#include "mmu/pte.h"
+
+namespace ptstore::analysis {
+namespace {
+
+std::unique_ptr<System> boot(const SystemConfig& cfg) {
+  auto sys = System::create(cfg);
+  EXPECT_TRUE(sys.ok()) << sys.error();
+  return std::move(sys.value());
+}
+
+TEST(PtAudit, FreshBootIsWellFormed) {
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  const AuditReport rep = audit_secure_region(sys->kernel(), sys->mem());
+  EXPECT_TRUE(rep.ok()) << rep.format();
+  EXPECT_GT(rep.tables_checked, 0u);
+  EXPECT_GT(rep.ptes_checked, 0u);
+  EXPECT_EQ(rep.tokens_checked, 1u);  // init only
+}
+
+TEST(PtAudit, SurvivesProcessLifecycleChurn) {
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  Kernel& k = sys->kernel();
+  Process& init = sys->init();
+  ASSERT_TRUE(k.syscall(init, Sys::kFork));
+  ASSERT_TRUE(k.syscall(init, Sys::kMmap));
+  Process* child = k.processes().fork(init);
+  ASSERT_NE(child, nullptr);
+  ASSERT_TRUE(k.processes().exec(*child));
+  ASSERT_TRUE(k.processes().add_vma(*child, kUserSpaceBase + GiB(4), MiB(1),
+                                    pte::kR | pte::kW));
+  ASSERT_EQ(k.processes().switch_to(*child), SwitchResult::kOk);
+  ASSERT_TRUE(k.user_access(*child, kUserSpaceBase + GiB(4) + 0x1000, true));
+
+  const AuditReport rep = audit_secure_region(k, sys->mem());
+  EXPECT_TRUE(rep.ok()) << rep.format();
+  EXPECT_EQ(rep.tokens_checked, k.processes().live_count());
+}
+
+TEST(PtAudit, BaselineConfigAuditsCleanToo) {
+  // Without PTStore the region checks are vacuous, but the structural
+  // checks (A2, malformed PTEs) still run.
+  auto sys = boot(SystemConfig::baseline());
+  const AuditReport rep = audit_secure_region(sys->kernel(), sys->mem());
+  EXPECT_TRUE(rep.ok()) << rep.format();
+  EXPECT_GT(rep.tables_checked, 0u);
+  EXPECT_EQ(rep.tokens_checked, 0u);  // token audit is PTStore-only
+}
+
+TEST(PtAudit, DetectsPgdSwappedToNormalMemory) {
+  // PT-Injection shape: rewire the PCB's pgd field to an attacker table in
+  // ordinary memory (raw physical write — the audit must catch the result).
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  Process& init = sys->init();
+  const PhysAddr fake_root = kDramBase + MiB(2);
+  sys->mem().fill(fake_root, 0, kPageSize);
+  sys->mem().write_u64(init.pcb_pgd_field(), fake_root);
+
+  const AuditReport rep = audit_secure_region(sys->kernel(), sys->mem());
+  EXPECT_FALSE(rep.ok());
+  bool flagged = false;
+  for (const std::string& f : rep.findings) {
+    flagged |= f.find("outside the secure region") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged) << rep.format();
+}
+
+TEST(PtAudit, DetectsUserAccessibleKernelMapping) {
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  Kernel& k = sys->kernel();
+  // Flip the U bit on a kernel-half root entry (a 1 GiB identity leaf).
+  const PhysAddr slot = k.kernel_root() + 8 * 2;  // maps DRAM at 2 GiB
+  const u64 entry = sys->mem().read_u64(slot);
+  ASSERT_TRUE(pte::is_leaf(entry));
+  sys->mem().write_u64(slot, entry | pte::kU);
+
+  const AuditReport rep = audit_secure_region(k, sys->mem());
+  EXPECT_FALSE(rep.ok());
+  bool flagged = false;
+  for (const std::string& f : rep.findings) {
+    flagged |= f.find("user-accessible") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged) << rep.format();
+}
+
+TEST(PtAudit, DetectsTokenRebinding) {
+  // PT-Reuse shape: point the PCB's token field at a stale/foreign token.
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  Kernel& k = sys->kernel();
+  Process* child = k.processes().fork(sys->init());
+  ASSERT_NE(child, nullptr);
+  const u64 child_token = sys->mem().read_u64(child->pcb_token_field());
+  sys->mem().write_u64(sys->init().pcb_token_field(), child_token);
+
+  const AuditReport rep = audit_secure_region(k, sys->mem());
+  EXPECT_FALSE(rep.ok());
+  bool flagged = false;
+  for (const std::string& f : rep.findings) {
+    flagged |= f.find("binds PCB field") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged) << rep.format();
+}
+
+TEST(PtAudit, DetectsTokenPointerOutsideRegion) {
+  auto sys = boot(SystemConfig::cfi_ptstore());
+  sys->mem().write_u64(sys->init().pcb_token_field(), kDramBase + MiB(3));
+  const AuditReport rep = audit_secure_region(sys->kernel(), sys->mem());
+  EXPECT_FALSE(rep.ok());
+  bool flagged = false;
+  for (const std::string& f : rep.findings) {
+    flagged |= f.find("token pointer") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged) << rep.format();
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

@@ -1,0 +1,173 @@
+// Dynamic cross-check tests: executions recorded by cpu/tracer.h must agree
+// with ptlint's static classification — and deliberately inconsistent
+// inputs must be reported as contradictions.
+#include <gtest/gtest.h>
+
+#include "analysis/trace_check.h"
+#include "cpu/tracer.h"
+#include "kernel/guest.h"
+#include "kernel/system.h"
+#include "../cpu/cpu_test_util.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+Image image_from(Assembler& a, u64 base) {
+  Image img;
+  img.base = base;
+  img.words = a.finish();
+  return img;
+}
+
+TEST(TraceCheck, MachineRunMatchesStaticClassification) {
+  testutil::Machine m;
+  Tracer tracer(4096);
+  tracer.attach(m.core);
+
+  const u64 base = m.core.config().reset_pc;
+  const u64 buffer = kDramBase + 0x2000;
+  Assembler a(base);
+  auto loop = a.make_label();
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 8);
+  a.bind(loop);
+  a.sd(Reg::kT1, Reg::kT0, 0);
+  a.ld(Reg::kT2, Reg::kT0, 0);
+  a.addi(Reg::kT0, Reg::kT0, 8);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, loop);
+  a.ebreak();
+  const Image img = image_from(a, base);
+
+  m.core.load_code(base, img.words);
+  m.core.run(100000);
+
+  // Secure region modelled at the top of the 32 MiB test machine.
+  LintConfig cfg;
+  cfg.sr_base = kDramBase + MiB(28);
+  cfg.sr_end = kDramBase + MiB(32);
+  const LintReport rep = lint_image(img, cfg);
+  EXPECT_EQ(rep.violation_count(), 0u) << rep.format();
+
+  const CrossCheckResult res =
+      cross_check(img, rep, tracer.records(), cfg.sr_base, cfg.sr_end);
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_GT(res.checked, 0u);
+  EXPECT_GT(res.mem_checked, 0u);
+  // The widened loop pointer is Unknown statically; the trace still covers
+  // those accesses without contradiction.
+  EXPECT_GT(res.unknown, 0u) << res.format();
+}
+
+TEST(TraceCheck, MisclassificationIsContradicted) {
+  // Lint against one region, replay against another that contains the
+  // store's real target: the "non-secure" verdict must be contradicted.
+  testutil::Machine m;
+  Tracer tracer(1024);
+  tracer.attach(m.core);
+
+  const u64 base = m.core.config().reset_pc;
+  const u64 target = kDramBase + 0x3000;
+  Assembler a(base);
+  a.li(Reg::kT0, target);
+  a.sd(Reg::kZero, Reg::kT0, 0);
+  a.ebreak();
+  const Image img = image_from(a, base);
+  m.core.load_code(base, img.words);
+  m.core.run(1000);
+
+  LintConfig cfg;
+  cfg.sr_base = kDramBase + MiB(16);
+  cfg.sr_end = kDramBase + MiB(20);
+  const LintReport rep = lint_image(img, cfg);
+  ASSERT_EQ(rep.access_class.size(), 1u);
+  EXPECT_EQ(rep.access_class.begin()->second, AccessClass::kNonSecure);
+
+  const CrossCheckResult res = cross_check(img, rep, tracer.records(),
+                                           target - 0x1000, target + 0x1000);
+  EXPECT_FALSE(res.ok());
+  ASSERT_EQ(res.contradictions.size(), 1u);
+  EXPECT_NE(res.contradictions[0].find("non-secure"), std::string::npos);
+}
+
+TEST(TraceCheck, UnreachablePcAndUnclassifiedAccessAreContradicted) {
+  const u64 base = 0x8010'0000;
+  Assembler a(base);
+  a.ebreak();
+  a.emit(0x00000013);  // nop-encoded word after the halt: unreachable
+  const Image img = image_from(a, base);
+  LintConfig cfg;
+  cfg.sr_base = 0x9C00'0000;
+  cfg.sr_end = 0xA000'0000;
+  const LintReport rep = lint_image(img, cfg);
+
+  std::deque<TraceRecord> trace;
+  TraceRecord rogue;
+  rogue.pc = base + 4;  // statically unreachable
+  rogue.inst = isa::decode(0x00000013);
+  trace.push_back(rogue);
+  TraceRecord phantom;
+  phantom.pc = base;  // reachable, but ebreak is no memory access
+  phantom.inst = img.inst_at(base);
+  phantom.has_ea = true;
+  phantom.ea = 0x1000;
+  trace.push_back(phantom);
+
+  const CrossCheckResult res =
+      cross_check(img, rep, trace, cfg.sr_base, cfg.sr_end);
+  ASSERT_EQ(res.contradictions.size(), 2u) << res.format();
+  EXPECT_NE(res.contradictions[0].find("unreachable"), std::string::npos);
+  EXPECT_NE(res.contradictions[1].find("no static classification"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, GuestSmokeWorkloadHasNoContradiction) {
+  // End-to-end: a guest program through the full kernel path (demand
+  // paging, syscalls) with the tracer on the real core. The static view of
+  // the user image must survive the dynamic replay.
+  auto sys = System::create(SystemConfig::cfi_ptstore());
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  System& s = *sys.value();
+
+  const u64 entry = kUserSpaceBase + MiB(64);
+  Assembler a(entry);
+  auto loop = a.make_label();
+  a.li(Reg::kSp, GuestRunner::kStackTop - 64);
+  a.li(Reg::kT0, 5);
+  a.bind(loop);
+  a.sd(Reg::kT0, Reg::kSp, 0);
+  a.ld(Reg::kT1, Reg::kSp, 8);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kA7, 93);  // exit
+  a.ecall();
+  Image img = image_from(a, entry);
+
+  Tracer tracer(1 << 16);
+  tracer.attach(s.core());
+
+  GuestRunner runner(s.kernel());
+  Process& proc = s.init();
+  ASSERT_TRUE(runner.load_program(proc, entry, img.words));
+  const GuestResult gres = runner.run(proc, entry);
+  EXPECT_TRUE(gres.exited);
+
+  const SecureRegion sr = s.sbi().sr_get();
+  LintConfig cfg;
+  cfg.sr_base = sr.base;
+  cfg.sr_end = sr.end;
+  const LintReport rep = lint_image(img, cfg);
+  EXPECT_EQ(rep.violation_count(), 0u) << rep.format();
+
+  const CrossCheckResult res =
+      cross_check(img, rep, tracer.records(), sr.base, sr.end);
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_GT(res.mem_checked, 0u);
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

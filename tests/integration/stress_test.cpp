@@ -49,7 +49,9 @@ TEST_P(KernelStress, RandomOpsPreserveInvariants) {
       }
     } else if (dice < 60) {
       Process* p = random_live();
-      if (p != nullptr) EXPECT_EQ(pm.switch_to(*p), SwitchResult::kOk);
+      if (p != nullptr) {
+        EXPECT_EQ(pm.switch_to(*p), SwitchResult::kOk);
+      }
     } else if (dice < 75) {
       Process* p = random_live();
       if (p != nullptr) {

@@ -17,7 +17,7 @@ namespace {
 TEST(Workloads, LmbenchSuiteRunsEverywhere) {
   const auto suite = lmbench_suite();
   EXPECT_GE(suite.size(), 15u);
-  for (const auto cfg : {SystemConfig::baseline(), SystemConfig::cfi_ptstore()}) {
+  for (const auto& cfg : {SystemConfig::baseline(), SystemConfig::cfi_ptstore()}) {
     SystemConfig c = cfg;
     c.dram_size = MiB(256);
     System sys(c);

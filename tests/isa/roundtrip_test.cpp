@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "isa/assembler.h"
+#include "isa/text_asm.h"
 
 namespace ptstore::isa {
 namespace {
@@ -107,6 +108,71 @@ TEST(RoundTrip, LoadsAndStores) {
       EXPECT_EQ(in.rs2, regno(rs2));
       EXPECT_EQ(in.imm, imm);
     }
+  }
+}
+
+// The PTStore instructions through the *text* assembler: source → encode →
+// decode → disassemble must agree with the programmatic Assembler and with
+// the original source, including negative offsets.
+TEST(RoundTrip, PtInsnsThroughTextAsm) {
+  struct Case {
+    const char* source;
+    Op op;
+    u8 rd, rs1, rs2;
+    i64 imm;
+    const char* disasm;
+  };
+  const Case cases[] = {
+      {"ld.pt a0, 8(a1)", Op::kLdPt, 10, 11, 0, 8, "ld.pt a0, 8(a1)"},
+      {"ld.pt t0, -16(s1)", Op::kLdPt, 5, 9, 0, -16, "ld.pt t0, -16(s1)"},
+      {"ld.pt x3, -2048(x31)", Op::kLdPt, 3, 31, 0, -2048, "ld.pt gp, -2048(t6)"},
+      {"sd.pt a1, 8(a0)", Op::kSdPt, 0, 10, 11, 8, "sd.pt a1, 8(a0)"},
+      {"sd.pt t2, -8(t1)", Op::kSdPt, 0, 6, 7, -8, "sd.pt t2, -8(t1)"},
+      {"sd.pt x0, -2048(x2)", Op::kSdPt, 0, 2, 0, -2048, "sd.pt zero, -2048(sp)"},
+  };
+  for (const Case& c : cases) {
+    const AsmResult res = assemble_text(c.source, 0);
+    ASSERT_TRUE(res.ok) << c.source << ": " << res.error.message;
+    ASSERT_EQ(res.words.size(), 1u) << c.source;
+
+    // The text path and the programmatic path must produce the same word.
+    Assembler a(0);
+    if (c.op == Op::kLdPt) {
+      a.ld_pt(static_cast<Reg>(c.rd), static_cast<Reg>(c.rs1), c.imm);
+    } else {
+      a.sd_pt(static_cast<Reg>(c.rs2), static_cast<Reg>(c.rs1), c.imm);
+    }
+    EXPECT_EQ(res.words[0], a.finish()[0]) << c.source;
+
+    const Inst in = decode(res.words[0]);
+    EXPECT_EQ(in.op, c.op) << c.source;
+    EXPECT_EQ(in.rd, c.rd) << c.source;
+    EXPECT_EQ(in.rs1, c.rs1) << c.source;
+    EXPECT_EQ(in.rs2, c.rs2) << c.source;
+    EXPECT_EQ(in.imm, c.imm) << c.source;
+    EXPECT_EQ(disassemble(in), c.disasm) << c.source;
+  }
+}
+
+// Randomized sweep: any representable offset survives the full text → word
+// → decode loop for both PTStore instructions.
+TEST(RoundTrip, PtInsnOffsetSweepThroughTextAsm) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const i64 imm = rnd_imm12(rng);
+    const std::string ld_src = "ld.pt a2, " + std::to_string(imm) + "(a3)";
+    const AsmResult ld_res = assemble_text(ld_src, 0);
+    ASSERT_TRUE(ld_res.ok) << ld_src;
+    const Inst ld_in = decode(ld_res.words[0]);
+    EXPECT_EQ(ld_in.op, Op::kLdPt);
+    EXPECT_EQ(ld_in.imm, imm) << ld_src;
+
+    const std::string sd_src = "sd.pt a4, " + std::to_string(imm) + "(a5)";
+    const AsmResult sd_res = assemble_text(sd_src, 0);
+    ASSERT_TRUE(sd_res.ok) << sd_src;
+    const Inst sd_in = decode(sd_res.words[0]);
+    EXPECT_EQ(sd_in.op, Op::kSdPt);
+    EXPECT_EQ(sd_in.imm, imm) << sd_src;
   }
 }
 

@@ -87,7 +87,9 @@ TEST_P(PtProperty, RandomMapUnmapProtectAgreesWithReference) {
         ASSERT_TRUE(rd.has_value()) << std::hex << va;
         EXPECT_EQ(align_down(*rd, kPageSize), it->second.pa) << std::hex << va;
         EXPECT_EQ(wr.has_value(), it->second.writable) << std::hex << va;
-        if (wr) EXPECT_EQ(align_down(*wr, kPageSize), it->second.pa);
+        if (wr) {
+          EXPECT_EQ(align_down(*wr, kPageSize), it->second.pa);
+        }
       }
     }
   }

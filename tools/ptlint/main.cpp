@@ -1,0 +1,168 @@
+// ptlint CLI: statically verify PTStore isolation invariants over an
+// assembled guest program (docs/ANALYSIS.md).
+//
+//   ptlint [options] file.s         lint a text-assembly program
+//   ptlint --corpus all             self-check against the seeded-violation
+//                                   corpus (each entry must produce exactly
+//                                   its expected verdict)
+//
+// Options:
+//   --base ADDR        load address of file.s (default: guest_cli's image
+//                      base, 64 GiB + 64 MiB)
+//   --sr BASE:END      secure region bounds (default: the paper's default
+//                      machine — 512 MiB DRAM, 64 MiB region at the top)
+//   --expect-clean     exit 1 if any violation is reported (default mode
+//                      already does this; the flag documents test intent)
+//   --expect-violation exit 0 only if at least one violation is reported
+//   -v                 also print notes and summary for clean images
+//
+// Exit codes: 0 expectation met, 1 violated, 2 usage/input error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/ptlint.h"
+#include "kernel/pagetable.h"
+
+namespace {
+
+using namespace ptstore;
+using namespace ptstore::analysis;
+
+/// Default machine shape (SystemConfig defaults): 512 MiB DRAM with the
+/// 64 MiB secure region at its top.
+constexpr u64 kDefaultSrEnd = kDramBase + MiB(512);
+constexpr u64 kDefaultSrBase = kDefaultSrEnd - MiB(64);
+constexpr u64 kDefaultImageBase = kUserSpaceBase + MiB(64);
+
+bool parse_u64(const std::string& s, u64* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoull(s, &pos, 0);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ptlint [--base ADDR] [--sr BASE:END] [--expect-clean | "
+               "--expect-violation] [-v] file.s\n"
+               "       ptlint [--sr BASE:END] --corpus <name|all>\n");
+  return 2;
+}
+
+int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose) {
+  const auto corpus = violation_corpus(sr_base, sr_end);
+  if (which != "all" && find_entry(corpus, which) == nullptr) {
+    std::fprintf(stderr, "ptlint: unknown corpus entry '%s'\n", which.c_str());
+    return 2;
+  }
+  LintConfig cfg;
+  cfg.sr_base = sr_base;
+  cfg.sr_end = sr_end;
+  int failures = 0;
+  for (const CorpusEntry& e : corpus) {
+    if (which != "all" && e.name != which) continue;
+    const LintReport rep = lint_image(e.image, cfg);
+    bool pass;
+    if (e.expect_clean) {
+      pass = rep.clean();
+    } else {
+      pass = false;
+      for (const Diag* d : rep.violations()) {
+        if (d->kind == e.expected) pass = true;
+      }
+    }
+    std::printf("%-18s %s  (%s: expected %s)\n", e.name.c_str(),
+                pass ? "PASS" : "FAIL", e.description.c_str(),
+                e.expect_clean ? "clean" : diag_kind_name(e.expected));
+    if (!pass || verbose) std::fputs(rep.format().c_str(), stdout);
+    failures += pass ? 0 : 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 base = kDefaultImageBase;
+  u64 sr_base = kDefaultSrBase;
+  u64 sr_end = kDefaultSrEnd;
+  std::string file;
+  std::string corpus;
+  bool expect_violation = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--base") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &base)) return usage();
+    } else if (arg == "--sr") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const std::string s(v);
+      const size_t colon = s.find(':');
+      if (colon == std::string::npos ||
+          !parse_u64(s.substr(0, colon), &sr_base) ||
+          !parse_u64(s.substr(colon + 1), &sr_end) || sr_base >= sr_end) {
+        return usage();
+      }
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      corpus = v;
+    } else if (arg == "--expect-clean") {
+      expect_violation = false;
+    } else if (arg == "--expect-violation") {
+      expect_violation = true;
+    } else if (arg == "-v") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!corpus.empty()) return run_corpus(corpus, sr_base, sr_end, verbose);
+  if (file.empty()) return usage();
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "ptlint: cannot read %s\n", file.c_str());
+    return 2;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  const isa::AsmResult res = isa::assemble_text(source.str(), base);
+  if (!res.ok) {
+    std::fprintf(stderr, "ptlint: %s: assembly failed: %s\n", file.c_str(),
+                 res.error.message.c_str());
+    return 2;
+  }
+
+  LintConfig cfg;
+  cfg.sr_base = sr_base;
+  cfg.sr_end = sr_end;
+  const Image img = Image::from_assembly(res, base);
+  const LintReport rep = lint_image(img, cfg);
+
+  const size_t violations = rep.violation_count();
+  if (violations > 0 || verbose) std::fputs(rep.format().c_str(), stdout);
+  std::printf("%s: %zu instruction(s), %zu reachable, %zu violation(s)\n",
+              file.c_str(), img.words.size(), rep.reachable.size(), violations);
+  if (expect_violation) return violations > 0 ? 0 : 1;
+  return violations == 0 ? 0 : 1;
+}

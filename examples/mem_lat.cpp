@@ -44,7 +44,7 @@ int main() {
                          Privilege::kMachine)
               .value;
     }
-    core.stats().clear();
+    core.clear_stats();
     const u64 hits0 = core.merged_stats().get("L1D.hits");
     const u64 miss0 = core.merged_stats().get("L1D.misses");
     Cycles cycles = 0;

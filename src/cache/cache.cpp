@@ -2,7 +2,12 @@
 
 namespace ptstore {
 
-Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+Cache::Cache(const CacheConfig& cfg)
+    : cfg_(cfg),
+      hits_(bank_.counter(cfg.name + ".hits", "cache hits")),
+      misses_(bank_.counter(cfg.name + ".misses", "cache misses")),
+      writebacks_(bank_.counter(cfg.name + ".writebacks", "dirty-line writebacks")),
+      flushes_(bank_.counter(cfg.name + ".flushes", "full invalidations")) {
   assert(is_pow2(cfg.size_bytes) && is_pow2(cfg.line_bytes));
   assert(cfg.ways >= 1);
   const u64 num_lines = cfg.size_bytes / cfg.line_bytes;
@@ -22,7 +27,7 @@ CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
     ++tick_;
     last_line_->lru_tick = tick_;
     last_line_->dirty = last_line_->dirty || is_write;
-    ++hits_;
+    hits_.add();
     return {true, cfg_.hit_latency};
   }
 
@@ -36,7 +41,7 @@ CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
     if (ln.valid && ln.tag == tag) {
       ln.lru_tick = tick_;
       ln.dirty = ln.dirty || is_write;
-      ++hits_;
+      hits_.add();
       last_block_ = block;
       last_line_ = &ln;
       return {true, cfg_.hit_latency};
@@ -57,13 +62,13 @@ CacheAccessResult Cache::access(PhysAddr pa, bool is_write) {
   Cycles cycles = cfg_.hit_latency + cfg_.miss_penalty;
   if (victim->valid && victim->dirty) {
     cycles += cfg_.dirty_evict_penalty;
-    ++writebacks_;
+    writebacks_.add();
   }
   victim->valid = true;
   victim->dirty = is_write;
   victim->tag = tag;
   victim->lru_tick = tick_;
-  ++misses_;
+  misses_.add();
   last_block_ = block;
   last_line_ = victim;
   return {false, cycles};
@@ -83,21 +88,18 @@ void Cache::invalidate_all() {
   for (auto& ln : lines_) ln = Line{};
   last_block_ = ~u64{0};
   last_line_ = nullptr;
-  ++flushes_;
+  flushes_.add();
 }
 
 const StatSet& Cache::stats() const {
   // Materialize map entries only for events that happened, matching the
   // old behaviour where a key existed iff its counter had been bumped.
-  if (hits_ != 0) stats_.set(cfg_.name + ".hits", hits_);
-  if (misses_ != 0) stats_.set(cfg_.name + ".misses", misses_);
-  if (writebacks_ != 0) stats_.set(cfg_.name + ".writebacks", writebacks_);
-  if (flushes_ != 0) stats_.set(cfg_.name + ".flushes", flushes_);
+  bank_.snapshot_into(stats_);
   return stats_;
 }
 
 void Cache::clear_stats() {
-  hits_ = misses_ = writebacks_ = flushes_ = 0;
+  bank_.clear();
   stats_.clear();
 }
 

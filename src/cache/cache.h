@@ -3,11 +3,12 @@
 // 64 B lines. Used purely for cycle accounting; correctness never depends
 // on it.
 //
-// Host-speed notes: counters are kept in plain integers and synthesized
-// into the StatSet on read, and a one-entry "last block" memo short-cuts
-// the way scan for consecutive accesses to the same line. Both are exact:
-// the memo only replays an access whose outcome (hit, LRU update, dirty
-// bit) is provably identical to what the scan would produce.
+// Host-speed notes: counters are interned telemetry handles bumped with a
+// single indirected increment and synthesized into the StatSet on read, and
+// a one-entry "last block" memo short-cuts the way scan for consecutive
+// accesses to the same line. Both are exact: the memo only replays an
+// access whose outcome (hit, LRU update, dirty bit) is provably identical
+// to what the scan would produce.
 #pragma once
 
 #include <cassert>
@@ -17,6 +18,7 @@
 #include "common/bits.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -78,10 +80,11 @@ class Cache {
   u64 last_block_ = ~u64{0};
   Line* last_line_ = nullptr;
 
-  u64 hits_ = 0;
-  u64 misses_ = 0;
-  u64 writebacks_ = 0;
-  u64 flushes_ = 0;
+  telemetry::CounterBank bank_;
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter writebacks_;
+  telemetry::Counter flushes_;
   mutable StatSet stats_;
 };
 

@@ -17,7 +17,7 @@ const TlbEntry* Tlb::lookup(VirtAddr va, u16 asid) {
   // memo), so the same entry is still the scan's first match.
   if (last_entry_ != nullptr && vpn == last_vpn_ && asid == last_asid_) {
     last_entry_->lru_tick = tick_;
-    ++hits_;
+    hits_.add();
     return last_entry_;
   }
 
@@ -27,14 +27,14 @@ const TlbEntry* Tlb::lookup(VirtAddr va, u16 asid) {
     const u64 m = vpn_mask(e.level);
     if ((vpn & m) == (e.vpn & m)) {
       e.lru_tick = tick_;
-      ++hits_;
+      hits_.add();
       last_vpn_ = vpn;
       last_asid_ = asid;
       last_entry_ = &e;
       return &e;
     }
   }
-  ++misses_;
+  misses_.add();
   return nullptr;
 }
 
@@ -57,7 +57,7 @@ void Tlb::insert(VirtAddr va, u16 asid, unsigned level, u64 pte, bool global) {
                      .pte = pte,
                      .lru_tick = tick_};
   last_entry_ = nullptr;
-  ++fills_;
+  fills_.add();
 }
 
 void Tlb::flush(std::optional<VirtAddr> va, std::optional<u16> asid) {
@@ -76,7 +76,7 @@ void Tlb::flush(std::optional<VirtAddr> va, std::optional<u16> asid) {
     e.valid = false;
   }
   last_entry_ = nullptr;
-  ++flushes_;
+  flushes_.add();
 }
 
 unsigned Tlb::occupancy() const {
@@ -86,15 +86,12 @@ unsigned Tlb::occupancy() const {
 }
 
 const StatSet& Tlb::stats() const {
-  if (hits_ != 0) stats_.set(cfg_.name + ".hits", hits_);
-  if (misses_ != 0) stats_.set(cfg_.name + ".misses", misses_);
-  if (fills_ != 0) stats_.set(cfg_.name + ".fills", fills_);
-  if (flushes_ != 0) stats_.set(cfg_.name + ".flushes", flushes_);
+  bank_.snapshot_into(stats_);
   return stats_;
 }
 
 void Tlb::clear_stats() {
-  hits_ = misses_ = fills_ = flushes_ = 0;
+  bank_.clear();
   stats_.clear();
 }
 

@@ -8,8 +8,8 @@
 // deliberately reproduces stale-entry behaviour so the attack scenario is
 // faithful.
 //
-// Host-speed notes: stat counters are plain integers synthesized into the
-// StatSet on read, and a one-entry memo replays the previous successful
+// Host-speed notes: stat counters are interned telemetry handles synthesized
+// into the StatSet on read, and a one-entry memo replays the previous successful
 // lookup without rescanning. The memo is set only by a real scan hit and
 // dropped on insert/flush, so it always returns the same entry (with the
 // same LRU update) the scan would.
@@ -20,6 +20,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -43,7 +44,13 @@ struct TlbConfig {
 
 class Tlb {
  public:
-  explicit Tlb(const TlbConfig& cfg) : cfg_(cfg), slots_(cfg.entries) {}
+  explicit Tlb(const TlbConfig& cfg)
+      : cfg_(cfg),
+        slots_(cfg.entries),
+        hits_(bank_.counter(cfg.name + ".hits", "TLB hits")),
+        misses_(bank_.counter(cfg.name + ".misses", "TLB misses")),
+        fills_(bank_.counter(cfg.name + ".fills", "TLB fills")),
+        flushes_(bank_.counter(cfg.name + ".flushes", "sfence.vma flushes")) {}
 
   /// Look up virtual address `va` under `asid`. Superpage entries match any
   /// VA within their reach.
@@ -74,10 +81,11 @@ class Tlb {
   u16 last_asid_ = 0;
   TlbEntry* last_entry_ = nullptr;
 
-  u64 hits_ = 0;
-  u64 misses_ = 0;
-  u64 fills_ = 0;
-  u64 flushes_ = 0;
+  telemetry::CounterBank bank_;
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter fills_;
+  telemetry::Counter flushes_;
   mutable StatSet stats_;
 };
 

@@ -7,6 +7,7 @@
 // each skip is justified by a generation guard checked *before* the skip.
 #include "common/bits.h"
 #include "cpu/core.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -84,6 +85,10 @@ BBlock* Core::bb_build(PhysAddr pa0) {
   }
 
   if (blk->entries.empty()) return nullptr;
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    tr->instant(telemetry::Subsystem::kBBCache, "bb_fill", cycles_, instret_,
+                static_cast<u8>(priv_), pa0);
+  }
   return bbcache_.insert(std::move(blk));
 }
 
@@ -128,6 +133,10 @@ StepResult Core::step_cached() {
   // Generation guards — checked before any baseline effect is skipped.
   if (blk != nullptr && (blk->pmp_gen != pmp_.write_gen() ||
                          *blk->frame_gen != blk->frame_gen_at_build)) {
+    if (telemetry::EventRing* tr = telemetry::tracing()) {
+      tr->instant(telemetry::Subsystem::kBBCache, "bb_evict", cycles_, instret_,
+                  static_cast<u8>(priv_), blk->start_pa);
+    }
     bbcache_.invalidate(blk);
     blk = nullptr;
     idx = 0;

@@ -12,6 +12,7 @@
 #include "common/bits.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -28,7 +29,11 @@ class BranchPredictor {
   explicit BranchPredictor(const BranchPredictorConfig& cfg)
       : cfg_(cfg),
         counters_(size_t{1} << cfg.table_bits, 1),  // Weakly not-taken.
-        btb_(size_t{1} << cfg.btb_bits) {}
+        btb_(size_t{1} << cfg.btb_bits),
+        hits_(bank_.counter("bp.hits", "correct branch predictions")),
+        misses_(bank_.counter("bp.misses", "branch mispredictions")),
+        btb_hits_(bank_.counter("bp.btb_hits", "BTB target hits")),
+        btb_misses_(bank_.counter("bp.btb_misses", "BTB target misses")) {}
 
   /// Predict the direction of a conditional branch at `pc`.
   bool predict_taken(u64 pc) const {
@@ -44,10 +49,10 @@ class BranchPredictor {
     if (!taken && ctr > 0) --ctr;
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_lo(cfg_.history_bits);
     if (predicted == taken) {
-      stats_.add("bp.hits");
+      hits_.add();
       return 0;
     }
-    stats_.add("bp.misses");
+    misses_.add();
     return cfg_.mispredict_penalty;
   }
 
@@ -58,18 +63,25 @@ class BranchPredictor {
     const bool hit = e.valid && e.pc == pc && e.target == target;
     e = BtbEntry{true, pc, target};
     if (hit) {
-      stats_.add("bp.btb_hits");
+      btb_hits_.add();
       return 0;
     }
-    stats_.add("bp.btb_misses");
+    btb_misses_.add();
     return cfg_.mispredict_penalty;
   }
 
-  const StatSet& stats() const { return stats_; }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
   const BranchPredictorConfig& config() const { return cfg_; }
 
   /// Prediction accuracy over everything resolved so far.
-  double accuracy() const { return stats_.ratio("bp.hits", "bp.misses"); }
+  double accuracy() const {
+    const u64 n = hits_.value();
+    const u64 d = misses_.value();
+    return (n + d) == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(n + d);
+  }
 
  private:
   struct BtbEntry {
@@ -89,7 +101,12 @@ class BranchPredictor {
   std::vector<u8> counters_;
   std::vector<BtbEntry> btb_;
   u64 history_ = 0;
-  StatSet stats_;
+  telemetry::CounterBank bank_;
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter btb_hits_;
+  telemetry::Counter btb_misses_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -1,6 +1,7 @@
 #include "cpu/core.h"
 
 #include "common/log.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -16,7 +17,23 @@ Core::Core(PhysMem& mem, const CoreConfig& cfg)
       mmu_(mem, pmp_, cfg.itlb, cfg.dtlb, &dcache_,
            cfg.l2_enabled ? &*l2_ : nullptr),
       bpred_(cfg.bpred),
-      pc_(cfg.reset_pc) {}
+      pc_(cfg.reset_pc),
+      pmp_faults_(bank_.counter("core.pmp_faults", "accesses denied by PMP")),
+      interrupts_(bank_.counter("core.interrupts", "interrupts taken")),
+      traps_(bank_.counter("core.traps", "synchronous traps taken")),
+      sd_pt_(bank_.counter("core.sd_pt", "sd.pt instructions executed")),
+      ld_pt_(bank_.counter("core.ld_pt", "ld.pt instructions executed")) {
+  // PTW trace spans need the core clock; purely observational.
+  mmu_.set_clock(&cycles_, &instret_, &priv_);
+  // Gauges published by merged_stats(); interned here so reports can attach
+  // units and descriptions to them.
+  auto& reg = telemetry::MetricsRegistry::instance();
+  reg.intern("core.cycles", "simulated cycles elapsed", "cycles");
+  reg.intern("core.instret", "instructions retired", "instructions");
+  reg.intern("bbcache.hits", "decoded-block cache hits (host-side)");
+  reg.intern("bbcache.misses", "decoded-block cache misses (host-side)");
+  reg.intern("bbcache.invalidations", "decoded blocks invalidated (host-side)");
+}
 
 void Core::load_code(PhysAddr base, const std::vector<u32>& words) {
   for (size_t i = 0; i < words.size(); ++i) {
@@ -77,7 +94,7 @@ MemAccessResult Core::access_with(VirtAddr va, unsigned size, AccessType type,
   }
   if (!pd.allowed) {
     res.fault = isa::access_fault_for(type);
-    stats_.add("core.pmp_faults");
+    pmp_faults_.add();
     return res;
   }
 
@@ -336,7 +353,7 @@ void Core::restore_arch_state(const CoreArchState& st) {
 
 StatSet Core::merged_stats() const {
   StatSet out;
-  out.merge(stats_);
+  out.merge(stats());
   out.merge(icache_.stats());
   out.merge(dcache_.stats());
   if (l2_) out.merge(l2_->stats());
@@ -400,7 +417,11 @@ bool Core::maybe_take_interrupt() {
 
 void Core::take_interrupt(unsigned code, bool to_supervisor) {
   cycles_ += cfg_.timing.trap_entry;
-  stats_.add("core.interrupts");
+  interrupts_.add();
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    tr->instant(telemetry::Subsystem::kTrap, "interrupt", cycles_, instret_,
+                static_cast<u8>(priv_), code);
+  }
   const u64 cause = csr::irq::kCauseInterrupt | code;
   if (to_supervisor) {
     scause_ = cause;
@@ -434,7 +455,11 @@ void Core::take_trap(TrapCause cause, u64 tval) {
   const u64 code = static_cast<u64>(cause);
   const bool delegate = priv_ != Privilege::kMachine && (medeleg_ >> code) & 1;
   cycles_ += cfg_.timing.trap_entry;
-  stats_.add("core.traps");
+  traps_.add();
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    tr->instant(telemetry::Subsystem::kTrap, "trap", cycles_, instret_,
+                static_cast<u8>(priv_), code);
+  }
 
   if (delegate) {
     scause_ = code;

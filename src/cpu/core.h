@@ -23,6 +23,7 @@
 #include "mem/phys_mem.h"
 #include "mmu/mmu.h"
 #include "pmp/pmp.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -200,8 +201,16 @@ class Core {
   MemAccessResult access_as(VirtAddr va, unsigned size, AccessType type,
                             AccessKind kind, Privilege priv, u64 store_value = 0);
 
-  const StatSet& stats() const { return stats_; }
-  StatSet& stats() { return stats_; }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
+  /// Reset the core's own event counters (cache/TLB/MMU stats unaffected,
+  /// matching the old `stats().clear()` behaviour).
+  void clear_stats() {
+    bank_.clear();
+    stats_.clear();
+  }
 
   /// Merged view of every hardware counter: core events, L1I/L1D caches,
   /// I/D TLBs, and MMU/PTW counters, plus cycles/instret.
@@ -289,7 +298,14 @@ class Core {
   STrapHook strap_hook_;
   TraceHook trace_hook_;
   SIntrHook sintr_hook_;
-  StatSet stats_;
+
+  telemetry::CounterBank bank_;
+  telemetry::Counter pmp_faults_;
+  telemetry::Counter interrupts_;
+  telemetry::Counter traps_;
+  telemetry::Counter sd_pt_;
+  telemetry::Counter ld_pt_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -1,6 +1,7 @@
 // Instruction execution for the interpreter core.
 #include "common/bits.h"
 #include "cpu/core.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -248,7 +249,13 @@ StepResult Core::exec_mem(const Inst& in) {
     const MemAccessResult r = access(va, size, AccessType::kWrite, kind, reg(in.rs2));
     cycles_ += r.cycles;
     if (!r.ok) return raise(r.fault, va);
-    if (kind == AccessKind::kPtInsn) stats_.add("core.sd_pt");
+    if (kind == AccessKind::kPtInsn) {
+      sd_pt_.add();
+      if (telemetry::EventRing* tr = telemetry::tracing()) {
+        tr->instant(telemetry::Subsystem::kPtInsn, "sd.pt", cycles_, instret_,
+                    static_cast<u8>(priv_), va);
+      }
+    }
   } else {
     const MemAccessResult r = access(va, size, AccessType::kRead, kind);
     cycles_ += r.cycles;
@@ -256,7 +263,13 @@ StepResult Core::exec_mem(const Inst& in) {
     u64 v = r.value;
     if (sign) v = static_cast<u64>(sign_extend(v, 8 * size));
     set_reg(in.rd, v);
-    if (kind == AccessKind::kPtInsn) stats_.add("core.ld_pt");
+    if (kind == AccessKind::kPtInsn) {
+      ld_pt_.add();
+      if (telemetry::EventRing* tr = telemetry::tracing()) {
+        tr->instant(telemetry::Subsystem::kPtInsn, "ld.pt", cycles_, instret_,
+                    static_cast<u8>(priv_), va);
+      }
+    }
   }
   pc_ += in.len;
   return {};

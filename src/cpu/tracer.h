@@ -53,6 +53,12 @@ class Tracer {
 
  private:
   void on_step(const Core& core, u64 pc, const isa::Inst& in) {
+    // Capacity 0 means "count only, retain nothing" — popping here would be
+    // undefined behaviour on the empty deque.
+    if (capacity_ == 0) {
+      ++total_;
+      return;
+    }
     if (records_.size() == capacity_) records_.pop_front();
     TraceRecord rec{pc, in, core.priv(), core.instret(), false, 0};
     if (in.is_load() || in.is_store() || in.is_amo()) {

@@ -1,6 +1,9 @@
 #include "kernel/kernel.h"
 
+#include <optional>
+
 #include "common/log.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -69,7 +72,14 @@ SyscallCost syscall_cost(Sys s) {
 }
 
 Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
-    : core_(core), sbi_(sbi), cfg_(cfg) {}
+    : core_(core),
+      sbi_(sbi),
+      cfg_(cfg),
+      booted_count_(bank_.counter("kernel.booted", "successful boots")),
+      sr_adjustments_(bank_.counter("kernel.sr_adjustments",
+                                    "secure-region boundary adjustments")),
+      traps_(bank_.counter("kernel.traps", "kernel trap round-trips charged")),
+      syscalls_(bank_.counter("kernel.syscalls", "syscalls executed")) {}
 
 Kernel::~Kernel() = default;
 
@@ -140,12 +150,14 @@ bool Kernel::boot() {
   if (pm_->switch_to(*init_) != SwitchResult::kOk) return false;
 
   booted_ = true;
-  stats_.add("kernel.booted");
+  booted_count_.add();
   return true;
 }
 
 bool Kernel::grow_secure_region(unsigned order) {
   if (!cfg_.ptstore || !cfg_.allow_adjustment) return false;
+  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kSecureRegion,
+                                   "sr_grow", order);
   const SecureRegion sr = sbi_.sr_get();
   u64 chunk = std::max<u64>(cfg_.adjustment_chunk_pages, u64{1} << order);
 
@@ -179,7 +191,7 @@ bool Kernel::grow_secure_region(unsigned order) {
     core_.retire_abstract(chunk * (kPageSize / 8),
                           core_.config().timing.base_cpi);
     ++adjustments_;
-    stats_.add("kernel.sr_adjustments");
+    sr_adjustments_.add();
     LOG_INFO("kernel", "secure region grown to [0x%llx, 0x%llx)",
              static_cast<unsigned long long>(new_base),
              static_cast<unsigned long long>(sr.end));
@@ -213,14 +225,18 @@ bool Kernel::console_write(const std::string& bytes) {
 }
 
 void Kernel::charge_trap_roundtrip() {
+  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kTrap,
+                                   "trap_roundtrip");
   core_.add_cycles(core_.config().timing.trap_entry +
                    core_.config().timing.trap_return);
   core_.retire_abstract(kTrapBodyInstrs, core_.config().timing.base_cpi);
   cfi_charge(1);
-  stats_.add("kernel.traps");
+  traps_.add();
 }
 
 bool Kernel::syscall(Process& proc, Sys s) {
+  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kSyscall,
+                                   to_string(s), static_cast<u64>(s));
   const Cycles entry_cycles = core_.cycles();
   const bool ok = syscall_impl(proc, s);
   if (collect_latency_) latency_[s].record(core_.cycles() - entry_cycles);
@@ -228,7 +244,7 @@ bool Kernel::syscall(Process& proc, Sys s) {
 }
 
 bool Kernel::syscall_impl(Process& proc, Sys s) {
-  stats_.add("kernel.syscalls");
+  syscalls_.add();
   charge_trap_roundtrip();
   const SyscallCost cost = syscall_cost(s);
   core_.retire_abstract(cost.body_instrs, core_.config().timing.base_cpi);
@@ -299,6 +315,11 @@ bool Kernel::syscall_impl(Process& proc, Sys s) {
 }
 
 bool Kernel::user_access(Process& proc, VirtAddr va, bool write) {
+  // Span over the fault round trip *and* the retry access: the TLB fill
+  // walk for the freshly mapped page is part of the demand-paging cost, so
+  // the PTW span nests inside the trap span in the exported trace. The span
+  // is a pure observer — opening it charges no cycles.
+  std::optional<telemetry::ScopedSpan<Core>> fault_span;
   for (int attempt = 0; attempt < 2; ++attempt) {
     const MemAccessResult r =
         core_.access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
@@ -312,6 +333,7 @@ bool Kernel::user_access(Process& proc, VirtAddr va, bool write) {
                             r.fault == isa::TrapCause::kInstPageFault;
     if (!page_fault) return false;
 
+    fault_span.emplace(core_, telemetry::Subsystem::kTrap, "page_fault", va);
     charge_trap_roundtrip();
     core_.retire_abstract(kFaultBodyInstrs, core_.config().timing.base_cpi);
     cfi_charge(6);

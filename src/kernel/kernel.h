@@ -11,6 +11,7 @@
 #include "kernel/kconfig.h"
 #include "kernel/process.h"
 #include "sbi/sbi.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -100,7 +101,10 @@ class Kernel {
   /// Charge the kernel trap entry/exit path (ecall or fault).
   void charge_trap_roundtrip();
 
-  const StatSet& stats() const { return stats_; }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
 
   /// Attach the console UART at `uart_base` (mapped by System). With
   /// PTStore active the window is placed under a guard region (§V-F), so
@@ -138,7 +142,13 @@ class Kernel {
   bool booted_ = false;
   bool collect_latency_ = false;
   std::map<Sys, Histogram> latency_;
-  StatSet stats_;
+
+  telemetry::CounterBank bank_;
+  telemetry::Counter booted_count_;
+  telemetry::Counter sr_adjustments_;
+  telemetry::Counter traps_;
+  telemetry::Counter syscalls_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cpu/core.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -40,11 +41,13 @@ class KernelMem {
 
   /// Page-table accessors: ld.pt/sd.pt when PTStore is compiled in.
   KAccess pt_ld(VirtAddr va) {
+    trace_pt_insn("kernel.ld.pt", va);
     return do_access(va, AccessType::kRead,
                      pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, 0);
   }
   KAccess pt_sd(VirtAddr va, u64 v) {
     if (monitor_cost_ != 0) core_.add_cycles(monitor_cost_);
+    trace_pt_insn("kernel.sd.pt", va);
     return do_access(va, AccessType::kWrite,
                      pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, v);
   }
@@ -80,6 +83,16 @@ class KernelMem {
  private:
   KAccess do_access(VirtAddr va, AccessType type, AccessKind kind, u64 value,
                     unsigned size = 8);
+
+  /// Instant for the kernel-model pt accessor path (the guest-ISA ld.pt/
+  /// sd.pt instructions emit their own instants in exec_mem).
+  void trace_pt_insn(const char* name, VirtAddr va) {
+    if (!pt_insns_) return;
+    if (telemetry::EventRing* tr = telemetry::tracing()) {
+      tr->instant(telemetry::Subsystem::kPtInsn, name, core_.cycles(),
+                  core_.instret(), static_cast<u8>(core_.priv()), va);
+    }
+  }
 
   Core& core_;
   bool pt_insns_;

@@ -4,17 +4,16 @@ namespace ptstore {
 
 std::optional<PhysAddr> PageAllocator::alloc_pages(Gfp gfp, unsigned order) {
   if (gfp == Gfp::kPtStore) {
-    stats_.add("page_alloc.ptstore_requests");
+    ptstore_requests_.add();
     auto pa = ptstore_.alloc_pages(order);
     if (!pa && grow_) {
       // Secure-region adjustment path (paper §IV-C1): grow, then retry.
-      stats_.add("page_alloc.adjustments_triggered");
+      adjustments_triggered_.add();
       if (grow_(order)) pa = ptstore_.alloc_pages(order);
     }
     return pa;
   }
-  stats_.add(gfp == Gfp::kUser ? "page_alloc.user_requests"
-                               : "page_alloc.kernel_requests");
+  (gfp == Gfp::kUser ? user_requests_ : kernel_requests_).add();
   return normal_.alloc_pages(order);
 }
 

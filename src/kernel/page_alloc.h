@@ -8,6 +8,7 @@
 
 #include "common/stats.h"
 #include "kernel/buddy.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -24,7 +25,16 @@ class PageAllocator {
   /// [ptstore_base, dram_end).
   PageAllocator(PhysAddr normal_base, PhysAddr ptstore_base, PhysAddr dram_end)
       : normal_("NORMAL", normal_base, ptstore_base - normal_base),
-        ptstore_("PTSTORE", ptstore_base, dram_end - ptstore_base) {}
+        ptstore_("PTSTORE", ptstore_base, dram_end - ptstore_base),
+        ptstore_requests_(bank_.counter("page_alloc.ptstore_requests",
+                                        "PTStore-zone allocation requests")),
+        adjustments_triggered_(bank_.counter(
+            "page_alloc.adjustments_triggered",
+            "PTStore-zone exhaustions that invoked the grow hook")),
+        user_requests_(bank_.counter("page_alloc.user_requests",
+                                     "normal-zone user-page requests")),
+        kernel_requests_(bank_.counter("page_alloc.kernel_requests",
+                                       "normal-zone kernel requests")) {}
 
   /// Hook invoked when the PTStore zone runs dry; should grow the zone
   /// (secure-region adjustment) and return true if more pages are available.
@@ -39,13 +49,21 @@ class PageAllocator {
   const BuddyZone& normal() const { return normal_; }
   const BuddyZone& ptstore() const { return ptstore_; }
 
-  const StatSet& stats() const { return stats_; }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
 
  private:
   BuddyZone normal_;
   BuddyZone ptstore_;
   GrowHook grow_;
-  StatSet stats_;
+  telemetry::CounterBank bank_;
+  telemetry::Counter ptstore_requests_;
+  telemetry::Counter adjustments_triggered_;
+  telemetry::Counter user_requests_;
+  telemetry::Counter kernel_requests_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.h"
+#include "telemetry/trace.h"
 
 namespace ptstore {
 
@@ -22,7 +23,15 @@ ProcessManager::ProcessManager(KernelMem& kmem, PageTableManager& pt,
       tokens_(tokens),
       pcb_cache_(pcb_cache),
       cfg_(cfg),
-      kernel_root_(kernel_root) {}
+      kernel_root_(kernel_root),
+      creates_(bank_.counter("process.creates", "processes created")),
+      forks_(bank_.counter("process.forks", "forks")),
+      execs_(bank_.counter("process.execs", "execs")),
+      exits_(bank_.counter("process.exits", "process exits")),
+      switches_(bank_.counter("process.switches", "context switches")),
+      token_rejects_(bank_.counter("process.token_rejects",
+                                   "context switches refused by token validation")),
+      faults_(bank_.counter("process.faults", "demand page faults handled")) {}
 
 u16 ProcessManager::alloc_asid() {
   if (next_asid_ >= 0x3FFF) {
@@ -80,7 +89,7 @@ Process* ProcessManager::create_common(Process* parent, PtStatus* st) {
 }
 
 Process* ProcessManager::create_init(PtStatus* st) {
-  stats_.add("process.creates");
+  creates_.add();
   return create_common(nullptr, st);
 }
 
@@ -89,7 +98,7 @@ Process* ProcessManager::fork(Process& parent, PtStatus* st) {
   if (st == nullptr) st = &local;
   Process* child = create_common(&parent, st);
   if (child == nullptr) return nullptr;
-  stats_.add("process.forks");
+  forks_.add();
 
   // copy_mm (§IV-C4): duplicate the VMA list and the present user mappings.
   // Physical pages are shared (COW-without-the-copy model); page tables are
@@ -121,7 +130,7 @@ Process* ProcessManager::fork(Process& parent, PtStatus* st) {
 bool ProcessManager::exec(Process& proc, PtStatus* st) {
   PtStatus local;
   if (st == nullptr) st = &local;
-  stats_.add("process.execs");
+  execs_.add();
 
   const u64 old_token = pcb_token(proc);
   teardown_mm(proc);
@@ -162,7 +171,7 @@ void ProcessManager::teardown_mm(Process& proc) {
 }
 
 void ProcessManager::exit(Process& proc) {
-  stats_.add("process.exits");
+  exits_.add();
   if (current_ == &proc) current_ = nullptr;
   const u64 token = pcb_token(proc);
   teardown_mm(proc);
@@ -174,7 +183,9 @@ void ProcessManager::exit(Process& proc) {
 }
 
 SwitchResult ProcessManager::switch_to(Process& proc) {
-  stats_.add("process.switches");
+  telemetry::ScopedSpan<Core> span(kmem_.core(), telemetry::Subsystem::kSwitchMm,
+                                   "switch_mm", proc.pid);
+  switches_.add();
   kmem_.core().retire_abstract(kSwitchBodyInstrs,
                                kmem_.core().config().timing.base_cpi);
   if (cfg_.cfi) {
@@ -186,8 +197,15 @@ SwitchResult ProcessManager::switch_to(Process& proc) {
 
   if (cfg_.ptstore && cfg_.token_check) {
     const u64 token = kmem_.must_ld(proc.pcb_token_field());
-    if (!tokens_.validate(token, proc.pcb_token_field(), pgd)) {
-      stats_.add("process.token_rejects");
+    const bool valid = tokens_.validate(token, proc.pcb_token_field(), pgd);
+    if (telemetry::EventRing* tr = telemetry::tracing()) {
+      Core& c = kmem_.core();
+      tr->instant(telemetry::Subsystem::kToken,
+                  valid ? "token_ok" : "token_reject", c.cycles(), c.instret(),
+                  static_cast<u8>(c.priv()), proc.pid);
+    }
+    if (!valid) {
+      token_rejects_.add();
       return SwitchResult::kTokenInvalid;
     }
   }
@@ -297,7 +315,7 @@ bool ProcessManager::protect_vma(Process& proc, VirtAddr start, u64 len, u64 pro
 bool ProcessManager::handle_fault(Process& proc, VirtAddr va, bool write, PtStatus* st) {
   PtStatus local;
   if (st == nullptr) st = &local;
-  stats_.add("process.faults");
+  faults_.add();
 
   const VirtAddr page = align_down(va, kPageSize);
   const Vma* vma = nullptr;

@@ -18,6 +18,7 @@
 
 #include "kernel/pagetable.h"
 #include "kernel/token.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -102,7 +103,10 @@ class ProcessManager {
   u64 pcb_pgd(const Process& proc) { return kmem_.must_ld(proc.pcb_pgd_field()); }
   u64 pcb_token(const Process& proc) { return kmem_.must_ld(proc.pcb_token_field()); }
 
-  const StatSet& stats() const { return stats_; }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
 
  private:
   Process* create_common(Process* parent, PtStatus* st);
@@ -123,7 +127,16 @@ class ProcessManager {
   std::map<PhysAddr, u32> page_refs_;  ///< Shared user-page reference counts.
   u64 next_pid_ = 1;
   u16 next_asid_ = 1;
-  StatSet stats_;
+
+  telemetry::CounterBank bank_;
+  telemetry::Counter creates_;
+  telemetry::Counter forks_;
+  telemetry::Counter execs_;
+  telemetry::Counter exits_;
+  telemetry::Counter switches_;
+  telemetry::Counter token_rejects_;
+  telemetry::Counter faults_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

@@ -116,6 +116,14 @@ System::System(const SystemConfig& cfg, Unbooted) : cfg_(cfg) {
   core_ = std::make_unique<Core>(*mem_, cfg.core);
   sbi_ = std::make_unique<SbiMonitor>(*core_);
   kernel_ = std::make_unique<Kernel>(*core_, *sbi_, cfg.kernel);
+  // Metadata for the gauges report() sets directly, so JSON reports carry
+  // their units/descriptions like every bank-backed counter.
+  auto& reg = telemetry::MetricsRegistry::instance();
+  reg.intern("kernel.pt_pages_live", "page-table pages currently allocated",
+             "pages");
+  reg.intern("kernel.tokens_live", "tokens currently in use", "tokens");
+  reg.intern("kernel.processes_live", "live processes", "processes");
+  reg.intern("sbi.secure_region_bytes", "secure-region size", "bytes");
 }
 
 std::string System::boot_or_error() {

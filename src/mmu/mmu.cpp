@@ -1,5 +1,7 @@
 #include "mmu/mmu.h"
 
+#include "telemetry/trace.h"
+
 namespace ptstore {
 
 namespace {
@@ -17,6 +19,23 @@ u64 vpn_index(VirtAddr va, unsigned level) {
 constexpr Cycles kPtwLevelBaseCost = 2;  ///< Walker FSM cost per level.
 
 }  // namespace
+
+Mmu::Mmu(PhysMem& mem, PmpUnit& pmp, const TlbConfig& itlb_cfg,
+         const TlbConfig& dtlb_cfg, Cache* ptw_cache, Cache* l2)
+    : mem_(mem),
+      pmp_(pmp),
+      itlb_(itlb_cfg),
+      dtlb_(dtlb_cfg),
+      ptw_cache_(ptw_cache),
+      l2_(l2),
+      noncanonical_(bank_.counter("mmu.noncanonical", "non-canonical VA faults")),
+      walks_(bank_.counter("mmu.walks", "hardware page-table walks")),
+      ptw_bad_addr_(bank_.counter("mmu.ptw_bad_addr", "PTE fetches outside DRAM")),
+      ptw_secure_denied_(bank_.counter(
+          "mmu.ptw_secure_denied", "PTE fetches denied by the satp.S secure check")),
+      ptw_pmp_denied_(bank_.counter("mmu.ptw_pmp_denied", "PTE fetches denied by PMP")),
+      ad_updates_(bank_.counter("mmu.ad_updates", "hardware A/D bit writebacks")),
+      sfences_(bank_.counter("mmu.sfence", "sfence.vma executions")) {}
 
 isa::TrapCause Mmu::leaf_check(u64 leaf, AccessType type,
                                const TranslationContext& ctx) const {
@@ -56,7 +75,7 @@ TranslateResult Mmu::translate(VirtAddr va, AccessType type, AccessKind kind,
   }
   if (!canonical(va)) {
     res.fault = isa::page_fault_for(type);
-    stats_.add("mmu.noncanonical");
+    noncanonical_.add();
     return res;
   }
 
@@ -85,8 +104,25 @@ TranslateResult Mmu::translate(VirtAddr va, AccessType type, AccessKind kind,
 
 TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
                           const TranslationContext& ctx) {
+  telemetry::EventRing* tr = telemetry::tracing();
+  if (tr == nullptr || clock_cycles_ == nullptr) return walk_impl(va, type, kind, ctx);
+
+  // The walk's cycles are charged by the caller on top of the core clock, so
+  // the span covers [now, now + res.cycles) in simulated time.
+  const u64 now = *clock_cycles_;
+  const u64 instret = *clock_instret_;
+  const u8 priv = static_cast<u8>(*clock_priv_);
+  tr->begin(telemetry::Subsystem::kPtw, "ptw", now, instret, priv, va);
+  TranslateResult res = walk_impl(va, type, kind, ctx);
+  tr->end(telemetry::Subsystem::kPtw, "ptw", now + res.cycles, instret, priv,
+          res.ok ? 1 : 0);
+  return res;
+}
+
+TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
+                               const TranslationContext& ctx) {
   TranslateResult res;
-  stats_.add("mmu.walks");
+  walks_.add();
   const bool secure_check = isa::satp::secure_check(satp_);
   PhysAddr table = isa::satp::ppn(satp_) << kPageShift;
 
@@ -100,7 +136,7 @@ TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
 
     if (!mem_.is_dram(pte_addr, kPteSize)) {
       res.fault = isa::access_fault_for(type);
-      stats_.add("mmu.ptw_bad_addr");
+      ptw_bad_addr_.add();
       return res;
     }
 
@@ -108,7 +144,7 @@ TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
     // the PMP secure region — injected page tables are unreachable.
     if (secure_check && !pmp_.is_secure(pte_addr, kPteSize)) {
       res.fault = isa::access_fault_for(type);
-      stats_.add("mmu.ptw_secure_denied");
+      ptw_secure_denied_.add();
       return res;
     }
 
@@ -117,7 +153,7 @@ TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
         pmp_.check(pte_addr, kPteSize, AccessType::kRead, AccessKind::kPtw, ctx.priv);
     if (!pd.allowed) {
       res.fault = isa::access_fault_for(type);
-      stats_.add("mmu.ptw_pmp_denied");
+      ptw_pmp_denied_.add();
       return res;
     }
 
@@ -146,7 +182,7 @@ TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
         mem_.write_u64(pte_addr, updated);
         entry = updated;
         res.cycles += 1;
-        stats_.add("mmu.ad_updates");
+        ad_updates_.add();
       }
       const u64 off_mask = mask_lo(12 + 9 * static_cast<unsigned>(level));
       res.ok = true;
@@ -174,7 +210,7 @@ TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
 void Mmu::sfence(std::optional<VirtAddr> va, std::optional<u16> asid) {
   itlb_.flush(va, asid);
   dtlb_.flush(va, asid);
-  stats_.add("mmu.sfence");
+  sfences_.add();
 }
 
 std::optional<PhysAddr> Mmu::reference_translate(VirtAddr va, AccessType type,

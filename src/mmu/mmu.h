@@ -14,6 +14,7 @@
 #include "mem/phys_mem.h"
 #include "mmu/pte.h"
 #include "pmp/pmp.h"
+#include "telemetry/metrics.h"
 
 namespace ptstore {
 
@@ -37,9 +38,15 @@ struct TranslationContext {
 class Mmu {
  public:
   Mmu(PhysMem& mem, PmpUnit& pmp, const TlbConfig& itlb_cfg, const TlbConfig& dtlb_cfg,
-      Cache* ptw_cache = nullptr, Cache* l2 = nullptr)
-      : mem_(mem), pmp_(pmp), itlb_(itlb_cfg), dtlb_(dtlb_cfg), ptw_cache_(ptw_cache),
-        l2_(l2) {}
+      Cache* ptw_cache = nullptr, Cache* l2 = nullptr);
+
+  /// Wire the owning core's cycle/instret/privilege state so PTW trace spans
+  /// carry simulated timestamps. Purely observational — never affects timing.
+  void set_clock(const u64* cycles, const u64* instret, const Privilege* priv) {
+    clock_cycles_ = cycles;
+    clock_instret_ = instret;
+    clock_priv_ = priv;
+  }
 
   void set_satp(u64 v) { satp_ = v; }
   u64 satp() const { return satp_; }
@@ -57,8 +64,14 @@ class Mmu {
   Tlb& dtlb() { return dtlb_; }
   const Tlb& itlb() const { return itlb_; }
   const Tlb& dtlb() const { return dtlb_; }
-  const StatSet& stats() const { return stats_; }
-  void clear_stats() { stats_.clear(); }
+  const StatSet& stats() const {
+    bank_.snapshot_into(stats_);
+    return stats_;
+  }
+  void clear_stats() {
+    bank_.clear();
+    stats_.clear();
+  }
 
   /// Reference (non-caching, non-faulting) translation used by property
   /// tests to cross-check the walker. Returns nullopt on any fault.
@@ -66,8 +79,12 @@ class Mmu {
                                               const TranslationContext& ctx);
 
  private:
+  /// walk() wraps walk_impl() in an optional trace span; all PTW logic and
+  /// cycle accounting live in walk_impl().
   TranslateResult walk(VirtAddr va, AccessType type, AccessKind kind,
                        const TranslationContext& ctx);
+  TranslateResult walk_impl(VirtAddr va, AccessType type, AccessKind kind,
+                            const TranslationContext& ctx);
   /// Apply leaf-PTE permission rules; returns kNone when access is allowed.
   isa::TrapCause leaf_check(u64 leaf, AccessType type, const TranslationContext& ctx) const;
 
@@ -78,7 +95,20 @@ class Mmu {
   Cache* ptw_cache_;  ///< PTE fetches go through the D-cache when present.
   Cache* l2_;         ///< Optional L2 behind the D-cache.
   u64 satp_ = 0;
-  StatSet stats_;
+
+  const u64* clock_cycles_ = nullptr;  ///< Owning core's cycle counter.
+  const u64* clock_instret_ = nullptr;
+  const Privilege* clock_priv_ = nullptr;
+
+  telemetry::CounterBank bank_;
+  telemetry::Counter noncanonical_;
+  telemetry::Counter walks_;
+  telemetry::Counter ptw_bad_addr_;
+  telemetry::Counter ptw_secure_denied_;
+  telemetry::Counter ptw_pmp_denied_;
+  telemetry::Counter ad_updates_;
+  telemetry::Counter sfences_;
+  mutable StatSet stats_;
 };
 
 }  // namespace ptstore

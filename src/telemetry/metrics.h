@@ -1,0 +1,123 @@
+// Interned performance counters. Components register each counter once at
+// construction against the process-wide MetricsRegistry (which owns the
+// name/description/unit metadata) and receive a Counter handle whose hot
+// path is a single pointer-indirected increment — no string hashing, no
+// map lookup. StatSet (common/stats.h) remains the merge/snapshot view:
+// CounterBank::snapshot_into() materializes the nonzero counters by name so
+// every existing stats() consumer keeps working unchanged.
+//
+//   class Mmu {
+//     telemetry::CounterBank bank_;
+//     telemetry::Counter walks_ = bank_.counter("mmu.walks", "page-table walks");
+//     ...
+//     void walk() { walks_.add(); }                       // hot path
+//     const StatSet& stats() const {                      // snapshot view
+//       bank_.snapshot_into(stats_);
+//       return stats_;
+//     }
+//   };
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ptstore::telemetry {
+
+using CounterId = u32;
+inline constexpr CounterId kInvalidCounterId = ~CounterId{0};
+
+/// Reporting metadata for one interned counter name.
+struct CounterMeta {
+  std::string name;
+  std::string description;
+  std::string unit;  ///< "events" unless registered otherwise.
+};
+
+/// Process-wide catalog of counter names. Holds metadata only — values live
+/// in per-component CounterBanks, so two simulated machines in one process
+/// (e.g. the four configurations of measure()) never share cells.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Intern `name`, returning its stable id. Re-interning an existing name
+  /// returns the same id; the first non-empty description/unit win.
+  CounterId intern(std::string_view name, std::string_view description = {},
+                   std::string_view unit = {});
+
+  const CounterMeta& meta(CounterId id) const { return metas_[id]; }
+  std::optional<CounterId> find(std::string_view name) const;
+  size_t size() const { return metas_.size(); }
+
+ private:
+  std::vector<CounterMeta> metas_;
+  std::map<std::string, CounterId, std::less<>> by_name_;
+};
+
+namespace detail {
+/// Target of default-constructed Counter handles, so an unbound handle is
+/// inert instead of undefined behaviour.
+inline u64 g_counter_sink = 0;
+}  // namespace detail
+
+/// Cheap handle to one counter cell. Copyable; add() is the hot path.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(u64 delta = 1) { *cell_ += delta; }
+  void set(u64 v) { *cell_ = v; }
+  u64 value() const { return *cell_; }
+  CounterId id() const { return id_; }
+
+ private:
+  friend class CounterBank;
+  Counter(u64* cell, CounterId id) : cell_(cell), id_(id) {}
+
+  u64* cell_ = &detail::g_counter_sink;
+  CounterId id_ = kInvalidCounterId;
+};
+
+/// Value storage for one component's counters. Cell addresses are stable
+/// for the bank's lifetime (deque), so Counter handles never dangle while
+/// their component lives.
+class CounterBank {
+ public:
+  /// Register a counter in this bank (interning its metadata globally) and
+  /// return the handle. Call once per counter at component construction.
+  Counter counter(std::string_view name, std::string_view description = {},
+                  std::string_view unit = {});
+
+  /// Write every nonzero counter into `out` by name (set(), so repeated
+  /// snapshots into the same StatSet stay current). Zero-valued counters are
+  /// skipped, matching the historical "a key exists iff it was bumped"
+  /// StatSet behaviour that tests rely on.
+  void snapshot_into(StatSet& out) const;
+  StatSet snapshot() const;
+
+  /// Value by full name; 0 when the bank has no such counter.
+  u64 value_of(std::string_view name) const;
+
+  /// Zero every cell (snapshot views refresh on next read).
+  void clear();
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    CounterId id;
+    u64* cell;
+  };
+
+  std::deque<u64> cells_;  // Stable addresses.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ptstore::telemetry

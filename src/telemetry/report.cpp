@@ -1,0 +1,73 @@
+#include "telemetry/report.h"
+
+#include <sstream>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace ptstore::telemetry {
+
+void write_bench_report(std::ostream& os, const BenchReport& report) {
+  const MetricsRegistry& reg = MetricsRegistry::instance();
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", kBenchReportSchemaVersion);
+  w.kv("workload", report.workload);
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : report.config) w.kv(k, v);
+  w.end_object();
+
+  w.key("measurements").begin_array();
+  for (const BenchReport::Row& r : report.measurements) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("base_cycles", r.base_cycles);
+    w.kv("cfi_cycles", r.cfi_cycles);
+    w.kv("cfi_ptstore_cycles", r.cfi_ptstore_cycles);
+    w.kv("cfi_ptstore_noadj_cycles", r.cfi_ptstore_noadj_cycles);
+    w.kv("cfi_pct", r.cfi_pct);
+    w.kv("cfi_ptstore_pct", r.cfi_ptstore_pct);
+    w.kv("ptstore_only_pct", r.ptstore_only_pct);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : report.counters) {
+    w.key(name).begin_object();
+    w.kv("value", value);
+    if (const auto id = reg.find(name)) {
+      const CounterMeta& m = reg.meta(*id);
+      w.kv("unit", m.unit);
+      if (!m.description.empty()) w.kv("description", m.description);
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : report.histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("mean", h.mean);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.kv("p50", h.p50);
+    w.kv("p90", h.p90);
+    w.kv("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  os << "\n";
+}
+
+std::string bench_report_json(const BenchReport& report) {
+  std::ostringstream os;
+  write_bench_report(os, report);
+  return os.str();
+}
+
+}  // namespace ptstore::telemetry

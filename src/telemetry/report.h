@@ -1,0 +1,74 @@
+// Machine-readable bench reports. The workload driver converts its run into
+// a BenchReport and this writer emits the versioned JSON schema every
+// BENCH_*.json consumer parses:
+//
+//   {
+//     "schema_version": 1,
+//     "workload": "spec",
+//     "config": { "<key>": "<value>", ... },
+//     "measurements": [
+//       { "name": "...", "base_cycles": N, "cfi_cycles": N,
+//         "cfi_ptstore_cycles": N, "cfi_ptstore_noadj_cycles": N,
+//         "cfi_pct": F, "cfi_ptstore_pct": F, "ptstore_only_pct": F }, ...
+//     ],
+//     "counters": {
+//       "<name>": { "value": N, "unit": "...", "description": "..." }, ...
+//     },
+//     "histograms": {
+//       "<name>": { "count": N, "mean": F, "min": N, "max": N,
+//                   "p50": N, "p90": N, "p99": N }, ...
+//     }
+//   }
+//
+// The telemetry layer stays dependency-free: the driver flattens its
+// Measurement/Histogram types into the plain structs below.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::telemetry {
+
+inline constexpr u64 kBenchReportSchemaVersion = 1;
+
+struct HistogramSummary {
+  u64 count = 0;
+  double mean = 0;
+  u64 min = 0;
+  u64 max = 0;
+  u64 p50 = 0;
+  u64 p90 = 0;
+  u64 p99 = 0;
+};
+
+struct BenchReport {
+  std::string workload;
+  /// Ordered key/value pairs describing the run (scale, knobs, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+
+  struct Row {
+    std::string name;
+    u64 base_cycles = 0;
+    u64 cfi_cycles = 0;
+    u64 cfi_ptstore_cycles = 0;
+    u64 cfi_ptstore_noadj_cycles = 0;  ///< 0 when the -Adj config did not run.
+    double cfi_pct = 0;
+    double cfi_ptstore_pct = 0;
+    double ptstore_only_pct = 0;
+  };
+  std::vector<Row> measurements;
+
+  /// Counter name -> value; metadata is looked up in the MetricsRegistry.
+  std::map<std::string, u64> counters;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+void write_bench_report(std::ostream& os, const BenchReport& report);
+std::string bench_report_json(const BenchReport& report);
+
+}  // namespace ptstore::telemetry

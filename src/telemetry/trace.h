@@ -1,0 +1,168 @@
+// Structured event tracing: a bounded ring of typed spans and instants,
+// each stamped with *simulated* cycles and instret. Tracing is a pure
+// observer — no call site ever charges cycles for it, so simulated timing
+// with tracing enabled is bit-identical to tracing disabled (asserted by
+// tests/integration/telemetry_test.cpp).
+//
+// The ring also keeps an online cycle-attribution profile: self-cycles by
+// subsystem (span duration minus nested-span durations) and by privilege,
+// which by construction sum exactly to the total session cycles — the
+// "where do the cycles go" table ptperf renders.
+//
+// Each System's core starts counting cycles at 0, and one bench run builds
+// several systems (the four paper configurations), so the workload driver
+// brackets every run_on() in a session: session boundaries reset the
+// timestamp origin and scope attribution to one machine.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::telemetry {
+
+enum class Subsystem : u8 {
+  kTrap = 0,      ///< Trap/interrupt entry-exit and page-fault handling.
+  kSyscall,       ///< Kernel syscall layer (by Sys).
+  kSwitchMm,      ///< Context switch: switch_mm + satp write.
+  kToken,         ///< PTStore token validation.
+  kPtw,           ///< Hardware page-table walks.
+  kPtInsn,        ///< ld.pt/sd.pt secure-region accesses.
+  kSecureRegion,  ///< Secure-region growth (adjustment).
+  kBBCache,       ///< Decoded-block cache fills/evictions (host-side).
+  kOther,         ///< Everything outside an instrumented span.
+};
+inline constexpr size_t kSubsystemCount = 9;
+inline constexpr size_t kPrivilegeCount = 4;  ///< Privilege encodings 0..3.
+
+const char* to_string(Subsystem s);
+
+enum class EventPhase : u8 {
+  kBegin,    ///< Span opens.
+  kEnd,      ///< Span closes (LIFO within a session).
+  kInstant,  ///< Point event.
+};
+
+struct TraceEvent {
+  u64 cycles = 0;
+  u64 instret = 0;
+  const char* name = "";  ///< Static string supplied by the emitter.
+  u64 arg = 0;            ///< Event-specific payload (Sys, VA, pid, ...).
+  u32 session = 0;
+  Subsystem sub = Subsystem::kOther;
+  EventPhase phase = EventPhase::kInstant;
+  u8 priv = 3;  ///< Privilege at emission (Privilege encoding; 3 = M).
+};
+
+/// Flat cycle-attribution profile. self_cycles[s] is the time spent with
+/// subsystem `s` as the innermost open span; both breakdowns sum to
+/// total_cycles by construction.
+struct CycleProfile {
+  std::array<u64, kSubsystemCount> self_cycles{};
+  std::array<u64, kPrivilegeCount> priv_cycles{};
+  u64 total_cycles = 0;
+
+  u64 attributed() const {
+    u64 sum = 0;
+    for (const u64 c : self_cycles) sum += c;
+    return sum;
+  }
+};
+
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity = size_t{1} << 16) : capacity_(capacity) {}
+
+  /// Bracket one simulated machine's run. Events emitted outside a session
+  /// are recorded but not attributed (their cycle origin is unknown).
+  void session_begin(u64 cycles);
+  void session_end(u64 cycles);
+
+  void begin(Subsystem sub, const char* name, u64 cycles, u64 instret, u8 priv,
+             u64 arg = 0);
+  void end(Subsystem sub, const char* name, u64 cycles, u64 instret, u8 priv,
+           u64 arg = 0);
+  void instant(Subsystem sub, const char* name, u64 cycles, u64 instret, u8 priv,
+               u64 arg = 0);
+
+  /// Retained window (oldest events are dropped first once full).
+  const std::deque<TraceEvent>& events() const { return events_; }
+  u64 total_emitted() const { return total_; }
+  u64 dropped() const { return dropped_; }
+  u32 sessions() const { return session_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Attribution over every *closed* session so far. Exact regardless of
+  /// ring drops: the profile is accumulated online, not replayed.
+  const CycleProfile& profile() const { return profile_; }
+
+  void clear();
+
+ private:
+  void push(const TraceEvent& ev);
+  /// Charge [mark_, now) to the innermost open span (or kOther) and to the
+  /// current privilege, then advance the mark.
+  void attribute(u64 now);
+
+  size_t capacity_;
+  std::deque<TraceEvent> events_;
+  u64 total_ = 0;
+  u64 dropped_ = 0;
+
+  u32 session_ = 0;
+  bool in_session_ = false;
+  u64 session_start_ = 0;
+  u64 mark_ = 0;
+  u8 cur_priv_ = 3;
+  std::vector<Subsystem> stack_;
+  CycleProfile profile_;
+};
+
+// ---- Global trace session ----
+//
+// tracing() returns nullptr while disabled (the default), so instrumentation
+// sites cost one load + branch. The instrumented hot paths all follow:
+//
+//   if (telemetry::EventRing* tr = telemetry::tracing()) {
+//     tr->instant(Subsystem::kPtInsn, "sd.pt", cycles, instret, priv, va);
+//   }
+
+/// The active ring, or nullptr when tracing is disabled.
+EventRing* tracing();
+
+/// Enable tracing with a fresh ring of `capacity` events; returns it.
+EventRing& enable_tracing(size_t capacity = size_t{1} << 16);
+
+void disable_tracing();
+
+/// RAII span over any clock-bearing object with cycles()/instret()/priv()
+/// (Core and Kernel-adjacent components). No-op while tracing is disabled.
+template <typename ClockT>
+class ScopedSpan {
+ public:
+  ScopedSpan(ClockT& clock, Subsystem sub, const char* name, u64 arg = 0)
+      : clock_(clock), ring_(tracing()), sub_(sub), name_(name) {
+    if (ring_ != nullptr) {
+      ring_->begin(sub_, name_, clock_.cycles(), clock_.instret(),
+                   static_cast<u8>(clock_.priv()), arg);
+    }
+  }
+  ~ScopedSpan() {
+    if (ring_ != nullptr) {
+      ring_->end(sub_, name_, clock_.cycles(), clock_.instret(),
+                 static_cast<u8>(clock_.priv()));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  ClockT& clock_;
+  EventRing* ring_;
+  Subsystem sub_;
+  const char* name_;
+};
+
+}  // namespace ptstore::telemetry

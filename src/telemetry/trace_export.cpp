@@ -1,0 +1,114 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace ptstore::telemetry {
+
+namespace {
+
+const char* priv_name(u8 priv) {
+  switch (priv) {
+    case 0: return "U";
+    case 1: return "S";
+    case 3: return "M";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const EventRing& ring) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.kv("tool", "ptstore");
+  w.kv("clock", "simulated cycles (1 cycle = 1us in the viewer)");
+  w.kv("events_emitted", ring.total_emitted());
+  w.kv("events_dropped", ring.dropped());
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : ring.events()) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    w.kv("cat", to_string(ev.sub));
+    const char* ph = ev.phase == EventPhase::kBegin  ? "B"
+                     : ev.phase == EventPhase::kEnd  ? "E"
+                                                     : "i";
+    w.kv("ph", ph);
+    w.kv("ts", ev.cycles);
+    w.kv("pid", static_cast<u64>(ev.session));
+    w.kv("tid", static_cast<u64>(ev.priv));
+    if (ev.phase == EventPhase::kInstant) w.kv("s", "t");
+    w.key("args").begin_object();
+    w.kv("arg", ev.arg);
+    w.kv("instret", ev.instret);
+    w.kv("priv", priv_name(ev.priv));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string chrome_trace_json(const EventRing& ring) {
+  std::ostringstream os;
+  write_chrome_trace(os, ring);
+  return os.str();
+}
+
+std::string render_profile(const CycleProfile& prof) {
+  std::ostringstream os;
+  char line[128];
+
+  struct Row {
+    Subsystem sub;
+    u64 cycles;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < kSubsystemCount; ++i) {
+    rows.push_back(Row{static_cast<Subsystem>(i), prof.self_cycles[i]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.cycles > b.cycles; });
+
+  const double total =
+      prof.total_cycles == 0 ? 1.0 : static_cast<double>(prof.total_cycles);
+  os << "cycle attribution (self-cycles by subsystem)\n";
+  std::snprintf(line, sizeof line, "  %-14s %16s %8s\n", "subsystem", "cycles", "%");
+  os << line;
+  u64 sum = 0;
+  for (const Row& r : rows) {
+    if (r.cycles == 0) continue;
+    sum += r.cycles;
+    std::snprintf(line, sizeof line, "  %-14s %16llu %7.2f%%\n", to_string(r.sub),
+                  static_cast<unsigned long long>(r.cycles),
+                  100.0 * static_cast<double>(r.cycles) / total);
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "  %-14s %16llu %7.2f%%\n", "TOTAL",
+                static_cast<unsigned long long>(sum),
+                100.0 * static_cast<double>(sum) / total);
+  os << line;
+
+  os << "\ncycles by privilege\n";
+  static constexpr const char* kPrivNames[kPrivilegeCount] = {"U-mode", "S-mode",
+                                                              "(res)", "M-mode"};
+  for (size_t p = 0; p < kPrivilegeCount; ++p) {
+    if (prof.priv_cycles[p] == 0) continue;
+    std::snprintf(line, sizeof line, "  %-14s %16llu %7.2f%%\n", kPrivNames[p],
+                  static_cast<unsigned long long>(prof.priv_cycles[p]),
+                  100.0 * static_cast<double>(prof.priv_cycles[p]) / total);
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "  %-14s %16llu\n", "total cycles",
+                static_cast<unsigned long long>(prof.total_cycles));
+  os << line;
+  return os.str();
+}
+
+}  // namespace ptstore::telemetry

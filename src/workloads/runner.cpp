@@ -2,6 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+
+#include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
 
 namespace ptstore::workloads {
 
@@ -20,6 +24,39 @@ bool env_is(const char* name, char value) {
   return e != nullptr && e[0] == value;
 }
 
+/// Process-wide report collector (see collect_report() in runner.h).
+struct Collector {
+  bool enabled = false;
+  int focus_rank = -1;  ///< -1 until the first run is captured.
+  std::map<std::string, u64> counters;
+  std::map<Sys, Histogram> latency;
+  std::vector<Measurement> rows;
+};
+
+Collector g_collector;
+
+/// Higher rank = better representative of "the PTStore machine under test".
+int config_rank(const char* label, const SystemConfig& cfg) {
+  if (std::string_view(label) == "cfi_ptstore") return 2;
+  return cfg.kernel.ptstore ? 1 : 0;
+}
+
+void capture_run(const char* label, System& s) {
+  const int rank = config_rank(label, s.config());
+  if (rank < g_collector.focus_rank) return;
+  if (rank > g_collector.focus_rank) {
+    g_collector.focus_rank = rank;
+    g_collector.counters.clear();
+    g_collector.latency.clear();
+  }
+  // Latest counter snapshot wins; latency distributions accumulate so a
+  // bench that builds many same-rank machines reports over all of them.
+  g_collector.counters = s.report().counters();
+  for (const auto& [sys, hist] : s.kernel().syscall_latency()) {
+    g_collector.latency[sys].merge(hist);
+  }
+}
+
 }  // namespace
 
 bool smoke_mode() { return env_is("PTSTORE_SMOKE", '1'); }
@@ -28,7 +65,7 @@ bool decode_cache_enabled() { return !env_is("PTSTORE_BBCACHE", '0'); }
 
 u64 instructions_simulated() { return g_instructions; }
 
-Cycles run_on(SystemConfig cfg, const WorkloadFn& fn) {
+Cycles run_on(SystemConfig cfg, const WorkloadFn& fn, const char* config_label) {
   cfg.core.decode_cache = decode_cache_enabled();
   auto sys = System::create(cfg);
   if (!sys) {
@@ -37,10 +74,17 @@ Cycles run_on(SystemConfig cfg, const WorkloadFn& fn) {
     std::abort();
   }
   System& s = *sys.value();
+  if (g_collector.enabled) s.kernel().enable_latency_collection(true);
   const Cycles before = s.cycles();
   const u64 instret_before = s.core().instret();
+  // Boot-time events stay outside the session: attribution covers exactly
+  // the measured interval, so the profile total matches the cycle delta.
+  telemetry::EventRing* tr = telemetry::tracing();
+  if (tr != nullptr) tr->session_begin(before);
   fn(s);
+  if (tr != nullptr) tr->session_end(s.cycles());
   g_instructions += s.core().instret() - instret_before;
+  if (g_collector.enabled) capture_run(config_label, s);
   return s.cycles() - before;
 }
 
@@ -49,18 +93,18 @@ Measurement measure(const std::string& name, u64 dram_size, const WorkloadFn& fn
   Measurement m;
   m.name = name;
 
-  auto run_one = [&](SystemConfig cfg) {
+  auto run_one = [&](SystemConfig cfg, const char* label) {
     cfg.dram_size = dram_size;
-    return run_on(cfg, fn);
+    return run_on(cfg, fn, label);
   };
 
-  m.base = run_one(SystemConfig::baseline());
-  m.cfi = run_one(SystemConfig::cfi());
-  m.cfi_ptstore = run_one(SystemConfig::cfi_ptstore());
+  m.base = run_one(SystemConfig::baseline(), "base");
+  m.cfi = run_one(SystemConfig::cfi(), "cfi");
+  m.cfi_ptstore = run_one(SystemConfig::cfi_ptstore(), "cfi_ptstore");
   if (include_noadj) {
     SystemConfig cfg = SystemConfig::cfi_ptstore_noadj();
     cfg.kernel.secure_region_init = std::min<u64>(GiB(1), dram_size / 2);
-    m.cfi_ptstore_noadj = run_one(cfg);
+    m.cfi_ptstore_noadj = run_one(cfg, "cfi_ptstore_noadj");
   }
   return m;
 }
@@ -77,8 +121,49 @@ int MatrixWorkload::run() {
   for (const MatrixCase& c : cases()) {
     rows.push_back(measure(c.name, c.dram_size, c.fn, c.include_noadj));
     print_row(rows.back());
+    if (g_collector.enabled) g_collector.rows.push_back(rows.back());
   }
   return check(rows);
+}
+
+void collect_report(bool on) {
+  g_collector = Collector{};
+  g_collector.enabled = on;
+}
+
+telemetry::BenchReport build_report(const std::string& workload) {
+  telemetry::BenchReport rep;
+  rep.workload = workload;
+  rep.config.emplace_back("smoke", smoke_mode() ? "1" : "0");
+  rep.config.emplace_back("decode_cache", decode_cache_enabled() ? "on" : "off");
+  rep.config.emplace_back("scale", smoke_mode() ? "smoke"
+                          : env_is("PTSTORE_FULL", '1') ? "paper"
+                                                        : "default");
+  for (const Measurement& m : g_collector.rows) {
+    telemetry::BenchReport::Row row;
+    row.name = m.name;
+    row.base_cycles = m.base;
+    row.cfi_cycles = m.cfi;
+    row.cfi_ptstore_cycles = m.cfi_ptstore;
+    row.cfi_ptstore_noadj_cycles = m.cfi_ptstore_noadj;
+    row.cfi_pct = m.cfi_pct();
+    row.cfi_ptstore_pct = m.cfi_ptstore_pct();
+    row.ptstore_only_pct = m.ptstore_only_pct();
+    rep.measurements.push_back(std::move(row));
+  }
+  rep.counters = g_collector.counters;
+  for (const auto& [sys, hist] : g_collector.latency) {
+    telemetry::HistogramSummary s;
+    s.count = hist.count();
+    s.mean = hist.mean();
+    s.min = hist.min();
+    s.max = hist.max();
+    s.p50 = hist.percentile(50);
+    s.p90 = hist.percentile(90);
+    s.p99 = hist.percentile(99);
+    rep.histograms[std::string("syscall.") + to_string(sys)] = s;
+  }
+  return rep;
 }
 
 WorkloadRegistry& WorkloadRegistry::instance() {
@@ -106,15 +191,25 @@ std::vector<std::string> WorkloadRegistry::names() const {
 }
 
 int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
+  std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       setenv("PTSTORE_SMOKE", "1", 1);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <path>] [--trace <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!json_path.empty()) collect_report(true);
+  if (!trace_path.empty()) telemetry::enable_tracing();
 
   header(w->title());
   const auto t0 = std::chrono::steady_clock::now();
@@ -130,6 +225,30 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
               secs > 0 ? minst / secs : 0.0,
               decode_cache_enabled() ? "on" : "off",
               smoke_mode() ? ", smoke scale" : "");
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 2;
+    }
+    telemetry::write_bench_report(os, build_report(w->name()));
+    std::printf("[%s] JSON report -> %s\n", w->name().c_str(),
+                json_path.c_str());
+    collect_report(false);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return 2;
+    }
+    telemetry::write_chrome_trace(os, *telemetry::tracing());
+    std::printf("[%s] Chrome trace -> %s\n", w->name().c_str(),
+                trace_path.c_str());
+    telemetry::disable_tracing();
+  }
+
   // Smoke runs exist to prove the bench builds and executes (briefly, e.g.
   // under sanitizers); at 1/16 scale the shape checks are noise.
   return smoke_mode() ? 0 : rc;

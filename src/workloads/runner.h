@@ -8,8 +8,9 @@
 //   }
 // for the figure-reproduction matrix workloads registered in figures.cpp, or
 //   return run_workload_main_with(std::make_unique<MyBench>(), argc, argv);
-// for freeform benches. The driver owns flag parsing (--smoke), the banner,
-// and the wall-clock / simulated-instruction throughput footer.
+// for freeform benches. The driver owns flag parsing (--smoke, --json,
+// --trace), the banner, and the wall-clock / simulated-instruction
+// throughput footer.
 #pragma once
 
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "kernel/system.h"
+#include "telemetry/report.h"
 
 namespace ptstore::workloads {
 
@@ -74,7 +76,13 @@ using WorkloadFn = std::function<void(System&)>;
 /// PTSTORE_BBCACHE), run `fn`, and return the cycle delta. Config errors
 /// print every bad field and abort — a bench with a broken config is a
 /// programming error, not a measurement.
-Cycles run_on(SystemConfig cfg, const WorkloadFn& fn);
+///
+/// `config_label` names the paper configuration being run ("base", "cfi",
+/// "cfi_ptstore", ...); the report collector uses it to pick which machine's
+/// counters land in the JSON report. When tracing is enabled the run is
+/// bracketed in an EventRing session so cycle attribution is per-machine.
+Cycles run_on(SystemConfig cfg, const WorkloadFn& fn,
+              const char* config_label = "");
 
 /// Run `fn` on a fresh system per configuration and collect the cycle
 /// deltas. When `include_noadj` is set the -Adj configuration runs too.
@@ -99,6 +107,23 @@ bool decode_cache_enabled();
 /// Simulated instructions retired inside run_on()/measure() so far in this
 /// process — the numerator of the driver's Minst/s footer.
 u64 instructions_simulated();
+
+// ---- Machine-readable reporting (the --json flag and ptperf) ----
+
+/// Toggle the process-wide report collector. While on, every run_on():
+/// enables per-syscall latency collection on its system, and snapshots the
+/// focus machine's System::report() counters and latency histograms. The
+/// focus machine is the best-ranked run seen so far: an explicit
+/// "cfi_ptstore" label outranks any PTStore-enabled config, which outranks
+/// everything else; equal-rank runs merge histograms and keep the latest
+/// counter snapshot. MatrixWorkload additionally captures its measured rows.
+/// Turning collection on resets previously collected state.
+void collect_report(bool on);
+
+/// The data accumulated since collect_report(true), flattened into the
+/// versioned BenchReport schema. `workload` fills the report's workload
+/// field; standard config rows (smoke/decode_cache/scale) are included.
+telemetry::BenchReport build_report(const std::string& workload);
 
 // ---- Output formatting (shared by every bench binary) ----
 
@@ -170,8 +195,10 @@ class WorkloadRegistry {
 };
 
 /// Driver for a directly constructed workload: parse flags (--smoke sets
-/// PTSTORE_SMOKE=1), print the banner, run, print the wall-clock +
-/// simulated-throughput footer. Smoke runs always exit 0.
+/// PTSTORE_SMOKE=1, --json <path> writes the machine-readable BenchReport,
+/// --trace <path> writes a Chrome trace_event dump of the run), print the
+/// banner, run, print the wall-clock + simulated-throughput footer. Smoke
+/// runs always exit 0.
 int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv);
 
 /// Same driver for a registry-backed workload looked up by name.

@@ -76,6 +76,33 @@ TEST(Histogram, SummaryFormat) {
   EXPECT_NE(s.find("p99="), std::string::npos);
 }
 
+// A single sample sits at an exact bucket boundary for powers of two; every
+// percentile of a one-sample distribution must be that sample, not an
+// interpolated neighbour outside [min, max].
+TEST(Histogram, SingleSamplePercentilesAreTheSample) {
+  for (const u64 v : {u64{1}, u64{2}, u64{255}, u64{256}, u64{257}, u64{1} << 40}) {
+    Histogram h;
+    h.record(v);
+    for (const double p : {1.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_EQ(h.percentile(p), v) << "value " << v << " p" << p;
+    }
+  }
+}
+
+// Exact power-of-two samples land on the upper edge of their log2 bucket;
+// interpolation must stay clamped inside the observed [min, max] range.
+TEST(Histogram, PercentilesClampedAtBucketBoundaries) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(64);
+  for (int i = 0; i < 100; ++i) h.record(128);
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    const u64 v = h.percentile(p);
+    EXPECT_GE(v, h.min()) << p;
+    EXPECT_LE(v, h.max()) << p;
+  }
+  EXPECT_EQ(h.percentile(100), 128u);
+}
+
 TEST(Histogram, RandomizedMonotonicPercentiles) {
   Rng rng(77);
   Histogram h;

@@ -45,6 +45,22 @@ TEST(Tracer, RingBufferBounded) {
   EXPECT_EQ(tracer.records().back().inst.op, isa::Op::kEbreak);
 }
 
+// Regression: capacity 0 used to pop_front() an empty deque on the first
+// retired instruction. Zero capacity means "count only, retain nothing".
+TEST(Tracer, ZeroCapacityCountsWithoutRetaining) {
+  Machine m;
+  Tracer tracer(0);
+  tracer.attach(m.core);
+  m.run_program([](auto& a) {
+    a.addi(Reg::kA0, Reg::kZero, 1);
+    a.nop();
+    a.ebreak();
+  });
+  EXPECT_EQ(tracer.records().size(), 0u);
+  EXPECT_EQ(tracer.total_traced(), 3u);
+  EXPECT_TRUE(tracer.format_tail(4).empty());
+}
+
 TEST(Tracer, FormatIncludesPrivAndDisasm) {
   Machine m;
   Tracer tracer;

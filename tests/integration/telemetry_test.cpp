@@ -1,0 +1,162 @@
+// Telemetry end-to-end: tracing must be a pure observer (simulated timing
+// bit-identical on vs off), the cycle-attribution profile must sum exactly
+// to the bracketed session cycles, the Chrome trace must parse with
+// correctly nested spans (trap inside syscall, PTW inside trap), and the
+// --json report path must meet the acceptance bar (>= 20 named counters,
+// per-syscall percentiles).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mmu/pte.h"
+#include "telemetry/json.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
+#include "workloads/runner.h"
+
+namespace ptstore::workloads {
+namespace {
+
+/// Syscall-heavy body touching every instrumented subsystem: syscalls with
+/// trap round trips, fork (switch_mm + token validation), demand paging
+/// (page-fault trap wrapping PTW walks), mmap/brk (sd.pt page-table writes).
+void busy_body(System& sys) {
+  Kernel& k = sys.kernel();
+  Process& init = sys.init();
+  for (int i = 0; i < 20; ++i) k.syscall(init, Sys::kNull);
+  k.syscall(init, Sys::kMmap);
+  k.syscall(init, Sys::kBrk);
+  k.syscall(init, Sys::kFork);
+  k.syscall(init, Sys::kWrite);
+  constexpr VirtAddr kVa = kUserSpaceBase + MiB(16);
+  k.processes().add_vma(init, kVa, MiB(1), pte::kR | pte::kW);
+  k.processes().switch_to(init);
+  for (int i = 0; i < 4; ++i) {
+    k.user_access(init, kVa + u64(i) * kPageSize, /*write=*/true);
+  }
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    telemetry::disable_tracing();
+    collect_report(false);
+  }
+};
+
+TEST_F(TelemetryTest, TracingDoesNotPerturbSimulatedTiming) {
+  telemetry::disable_tracing();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  const Cycles off = run_on(cfg, busy_body);
+  telemetry::enable_tracing();
+  const Cycles on = run_on(cfg, busy_body);
+  const Cycles on_again = run_on(cfg, busy_body);
+  EXPECT_EQ(off, on) << "tracing perturbed simulated timing";
+  EXPECT_EQ(on, on_again) << "tracing made timing nondeterministic";
+}
+
+TEST_F(TelemetryTest, ProfileAttributionSumsToSessionCycles) {
+  telemetry::EventRing& ring = telemetry::enable_tracing();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  const Cycles measured = run_on(cfg, busy_body);
+  const telemetry::CycleProfile& p = ring.profile();
+  EXPECT_EQ(p.total_cycles, measured);
+  EXPECT_EQ(p.attributed(), p.total_cycles);
+  u64 priv_sum = 0;
+  for (const u64 c : p.priv_cycles) priv_sum += c;
+  EXPECT_EQ(priv_sum, p.total_cycles);
+  // The body is syscall-dominated; the profile must show it.
+  EXPECT_GT(
+      p.self_cycles[static_cast<size_t>(telemetry::Subsystem::kSyscall)], 0u);
+}
+
+TEST_F(TelemetryTest, ChromeTraceParsesAndSpansNest) {
+  telemetry::EventRing& ring = telemetry::enable_tracing();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  run_on(cfg, busy_body);
+  ASSERT_EQ(ring.dropped(), 0u) << "enlarge the ring for this test";
+
+  const auto doc = telemetry::json_parse(telemetry::chrome_trace_json(ring));
+  ASSERT_TRUE(doc.has_value()) << "chrome trace is not valid JSON";
+  const telemetry::JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  // Replay the measured session's B/E events with a stack: spans must be
+  // LIFO, and the taxonomy's containment must show up — a trap round trip
+  // inside a syscall span, a page-table walk inside a trap span.
+  const double session = static_cast<double>(ring.sessions());
+  struct Open {
+    std::string cat;
+    std::string name;
+  };
+  std::vector<Open> stack;
+  bool trap_in_syscall = false;
+  bool ptw_in_trap = false;
+  for (const telemetry::JsonValue& ev : events->arr) {
+    if (ev.find("pid")->number != session) continue;
+    const std::string& ph = ev.find("ph")->str;
+    const std::string& cat = ev.find("cat")->str;
+    const std::string& name = ev.find("name")->str;
+    if (ph == "B") {
+      for (const Open& o : stack) {
+        if (cat == "trap" && o.cat == "syscall") trap_in_syscall = true;
+        if (cat == "ptw" && o.cat == "trap") ptw_in_trap = true;
+      }
+      stack.push_back(Open{cat, name});
+    } else if (ph == "E") {
+      ASSERT_FALSE(stack.empty()) << "E without matching B: " << name;
+      EXPECT_EQ(stack.back().cat, cat);
+      EXPECT_EQ(stack.back().name, name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << "unclosed span: " << stack.back().name;
+  EXPECT_TRUE(trap_in_syscall) << "no trap span nested in a syscall span";
+  EXPECT_TRUE(ptw_in_trap) << "no PTW span nested in a trap span";
+}
+
+TEST_F(TelemetryTest, CollectedReportMeetsAcceptanceBar) {
+  class OneCase : public MatrixWorkload {
+   public:
+    std::string name() const override { return "itest"; }
+    std::string title() const override { return "telemetry itest"; }
+
+   protected:
+    std::vector<MatrixCase> cases() override {
+      return {MatrixCase{"busy", MiB(256), busy_body, false}};
+    }
+    int check(const std::vector<Measurement>&) override { return 0; }
+  };
+
+  collect_report(true);
+  OneCase w;
+  ASSERT_EQ(w.run(), 0);
+  const telemetry::BenchReport rep = build_report(w.name());
+
+  EXPECT_GE(rep.counters.size(), 20u) << "acceptance: >= 20 named counters";
+  ASSERT_EQ(rep.measurements.size(), 1u);
+  EXPECT_EQ(rep.measurements[0].name, "busy");
+  EXPECT_GT(rep.measurements[0].base_cycles, 0u);
+
+  ASSERT_FALSE(rep.histograms.empty()) << "no per-syscall latency collected";
+  ASSERT_TRUE(rep.histograms.count("syscall.null"));
+  for (const auto& [name, h] : rep.histograms) {
+    EXPECT_GT(h.count, 0u) << name;
+    EXPECT_LE(h.min, h.p50) << name;
+    EXPECT_LE(h.p50, h.p90) << name;
+    EXPECT_LE(h.p90, h.p99) << name;
+    EXPECT_LE(h.p99, h.max) << name;
+  }
+
+  // The flattened report round-trips through the writer as valid JSON.
+  const auto doc = telemetry::json_parse(telemetry::bench_report_json(rep));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("workload")->str, "itest");
+}
+
+}  // namespace
+}  // namespace ptstore::workloads

@@ -1,0 +1,84 @@
+// JsonWriter / json_parse round trips: the writer may only produce documents
+// the parser accepts, and the parser must reject malformed input.
+#include "telemetry/json.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ptstore::telemetry {
+namespace {
+
+TEST(JsonWriter, ObjectWithEveryValueKind) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("str", "hello");
+  w.kv("num", u64{42});
+  w.kv("neg", -1);  // int overload clamps negatives to 0 by contract.
+  w.kv("pi", 3.5);
+  w.kv("yes", true);
+  w.key("arr").begin_array();
+  w.value(u64{1});
+  w.value(u64{2});
+  w.end_array();
+  w.end_object();
+
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("str")->str, "hello");
+  EXPECT_EQ(doc->find("num")->number, 42.0);
+  EXPECT_EQ(doc->find("neg")->number, 0.0);
+  EXPECT_EQ(doc->find("pi")->number, 3.5);
+  EXPECT_TRUE(doc->find("yes")->boolean);
+  ASSERT_TRUE(doc->find("arr")->is_array());
+  EXPECT_EQ(doc->find("arr")->arr.size(), 2u);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("k\"ey", "line1\nline2\ttab\\slash");
+  w.end_object();
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("k\"ey")->str, "line1\nline2\ttab\\slash");
+}
+
+TEST(JsonParse, AcceptsScalarsAndNull) {
+  EXPECT_EQ(json_parse("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(json_parse("false")->boolean, false);
+  EXPECT_EQ(json_parse("-12.5e1")->number, -125.0);
+  EXPECT_EQ(json_parse("\"x\"")->str, "x");
+  EXPECT_TRUE(json_parse("[]")->is_array());
+  EXPECT_TRUE(json_parse("{}")->is_object());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("'single'").has_value());
+  EXPECT_FALSE(json_parse("{\"a\" 1}").has_value());
+}
+
+TEST(JsonParse, FindOnNonObjectReturnsNull) {
+  const auto doc = json_parse("[1,2]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("anything"), nullptr);
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const auto doc = json_parse("{\"z\":1,\"a\":2}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->obj.size(), 2u);
+  EXPECT_EQ(doc->obj[0].first, "z");
+  EXPECT_EQ(doc->obj[1].first, "a");
+}
+
+}  // namespace
+}  // namespace ptstore::telemetry

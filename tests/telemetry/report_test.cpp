@@ -1,0 +1,97 @@
+// BenchReport writer: the emitted document must parse, carry the schema
+// version, and serialize counters with registry metadata and histograms
+// with the percentile fields consumers key on.
+#include "telemetry/report.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace ptstore::telemetry {
+namespace {
+
+BenchReport sample_report() {
+  MetricsRegistry::instance().intern("test.report.walks", "page-table walks",
+                                     "walks");
+  BenchReport rep;
+  rep.workload = "unit";
+  rep.config.emplace_back("smoke", "1");
+  BenchReport::Row row;
+  row.name = "case-a";
+  row.base_cycles = 100;
+  row.cfi_cycles = 110;
+  row.cfi_ptstore_cycles = 112;
+  row.cfi_pct = 10.0;
+  row.cfi_ptstore_pct = 12.0;
+  row.ptstore_only_pct = 1.8;
+  rep.measurements.push_back(row);
+  rep.counters["test.report.walks"] = 77;
+  rep.counters["test.report.unregistered"] = 5;
+  HistogramSummary h;
+  h.count = 3;
+  h.mean = 20.0;
+  h.min = 10;
+  h.max = 30;
+  h.p50 = 20;
+  h.p90 = 29;
+  h.p99 = 30;
+  rep.histograms["syscall.null"] = h;
+  return rep;
+}
+
+TEST(BenchReportWriter, EmitsSchemaValidJson) {
+  const auto doc = json_parse(bench_report_json(sample_report()));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema_version")->number,
+            static_cast<double>(kBenchReportSchemaVersion));
+  EXPECT_EQ(doc->find("workload")->str, "unit");
+  EXPECT_EQ(doc->find("config")->find("smoke")->str, "1");
+
+  const JsonValue* rows = doc->find("measurements");
+  ASSERT_TRUE(rows != nullptr && rows->is_array());
+  ASSERT_EQ(rows->arr.size(), 1u);
+  EXPECT_EQ(rows->arr[0].find("name")->str, "case-a");
+  EXPECT_EQ(rows->arr[0].find("base_cycles")->number, 100.0);
+  EXPECT_EQ(rows->arr[0].find("cfi_ptstore_pct")->number, 12.0);
+}
+
+TEST(BenchReportWriter, CountersCarryRegistryMetadata) {
+  const auto doc = json_parse(bench_report_json(sample_report()));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* walks = doc->find("counters")->find("test.report.walks");
+  ASSERT_NE(walks, nullptr);
+  EXPECT_EQ(walks->find("value")->number, 77.0);
+  EXPECT_EQ(walks->find("unit")->str, "walks");
+  EXPECT_EQ(walks->find("description")->str, "page-table walks");
+  // Counters the registry has never seen still serialize, with defaults.
+  const JsonValue* other =
+      doc->find("counters")->find("test.report.unregistered");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("value")->number, 5.0);
+}
+
+TEST(BenchReportWriter, HistogramsCarryPercentiles) {
+  const auto doc = json_parse(bench_report_json(sample_report()));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* h = doc->find("histograms")->find("syscall.null");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 3.0);
+  EXPECT_EQ(h->find("mean")->number, 20.0);
+  EXPECT_EQ(h->find("min")->number, 10.0);
+  EXPECT_EQ(h->find("max")->number, 30.0);
+  EXPECT_EQ(h->find("p50")->number, 20.0);
+  EXPECT_EQ(h->find("p90")->number, 29.0);
+  EXPECT_EQ(h->find("p99")->number, 30.0);
+}
+
+TEST(BenchReportWriter, EmptyReportStillParses) {
+  const auto doc = json_parse(bench_report_json(BenchReport{}));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("measurements")->is_array());
+  EXPECT_TRUE(doc->find("counters")->is_object());
+  EXPECT_TRUE(doc->find("histograms")->is_object());
+}
+
+}  // namespace
+}  // namespace ptstore::telemetry

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "analysis/ptmc.h"
 #include "isa/assembler.h"
 #include "isa/csr.h"
 
@@ -20,6 +21,174 @@ Image build(const std::function<void(Assembler&, std::vector<Symbol>&)>& body) {
   img.words = a.finish();
   img.symbols = std::move(symbols);
   return img;
+}
+
+// ---------------------------------------------------------------------------
+// ptmc-derived entries: each defence-off mutation's shortest counterexample,
+// re-assembled as straight-line guest code over a fixed address map so the
+// *static* verifier flags the same attack step the model checker found.
+//
+// Model page i sits at sr_base + (i - 2) * 0x1000: with the initial
+// boundary of 2, pages 2..3 land inside the secure region and pages 0..1
+// just below it — the same geometry the abstract state starts from.
+
+constexpr u64 kPtmcPageSize = 0x1000;
+
+u64 ptmc_page_addr(u8 page, u64 sr_base) {
+  return sr_base + (static_cast<i64>(page) - 2) * kPtmcPageSize;
+}
+u64 ptmc_token_slot(u8 slot, u64 sr_base) {
+  return sr_base + 0x800 + slot * 16u;  // Token table: secure region, page 2.
+}
+u64 ptmc_pcb(u8 proc, u64 sr_base) {
+  return sr_base - MiB(1) + proc * 0x100u;  // PCBs: normal kernel memory.
+}
+u64 ptmc_freelist(u64 sr_base) {
+  return sr_base - MiB(1) + 0x800;  // Allocator free-list head: normal memory.
+}
+
+/// Emit the guest-code rendering of one counterexample step. Kernel ops use
+/// li-materialised (provably in-region) pt-accesses and token-validated satp
+/// writes exactly where the mutated config keeps the defence on; each
+/// disabled defence surfaces as the ptlint rule that mirrors it.
+void emit_ptmc_op(Assembler& a, const ptmc::Step& step,
+                  const ptmc::State& prev, const ptmc::ModelConfig& cfg,
+                  u64 sr_base, Assembler::Label validate, bool* needs_validate) {
+  using ptmc::OpKind;
+  const ptmc::Op& op = step.op;
+  switch (op.kind) {
+    case OpKind::kSpawn: {
+      const u8 root = step.after.procs[op.a].ghost_root;
+      a.li(Reg::kT0, ptmc_page_addr(root, sr_base));
+      a.sd_pt(Reg::kZero, Reg::kT0, 0);  // Zero-fill the fresh root.
+      a.li(Reg::kT1, ptmc_token_slot(op.a, sr_base));
+      a.sd_pt(Reg::kT0, Reg::kT1, 0);  // Tokenise it.
+      return;
+    }
+    case OpKind::kExitMm:
+    case OpKind::kFreePt: {
+      a.li(Reg::kT0, ptmc_token_slot(op.a, sr_base));
+      a.sd_pt(Reg::kZero, Reg::kT0, 0);
+      return;
+    }
+    case OpKind::kSwitchMm: {
+      if (cfg.token_check) {
+        *needs_validate = true;
+        a.jal(Reg::kRa, validate);
+      }
+      a.li(Reg::kT1, ptmc_page_addr(step.after.procs[op.a].pgd, sr_base) >> 12);
+      a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+      return;
+    }
+    case OpKind::kAllocPt: {
+      if (prev.forced_alloc != ptmc::kNoPage &&
+          step.after.forced_alloc == ptmc::kNoPage) {
+        // The kernel pops the attacker-planted free-list entry and writes PT
+        // data through it. The pointer came from memory, so it is statically
+        // unconstrained — with the zero-check gone nothing re-validates it.
+        a.li(Reg::kT0, ptmc_freelist(sr_base));
+        a.ld(Reg::kT0, Reg::kT0, 0);
+        a.sd_pt(Reg::kZero, Reg::kT0, 0);
+      } else {
+        a.li(Reg::kT0,
+             ptmc_page_addr(step.after.procs[op.a].extra_pt, sr_base));
+        a.sd_pt(Reg::kZero, Reg::kT0, 0);
+      }
+      return;
+    }
+    case OpKind::kGrow:
+      a.nop();  // Monitor-side ecall; no guest instruction to lint.
+      return;
+    case OpKind::kUserAccess: {
+      const u8 root = step.after.satp.root;
+      a.li(Reg::kT0,
+           ptmc_page_addr(root == ptmc::kNoPage ? u8{2} : root, sr_base));
+      a.ld(Reg::kA0, Reg::kT0, 0);  // The PTW consumes a PTE from the root.
+      return;
+    }
+    case OpKind::kAtkWritePage:
+      a.li(Reg::kT0, ptmc_page_addr(op.a, sr_base));
+      a.li(Reg::kT1, 0x41414141);
+      a.sd(Reg::kT1, Reg::kT0, 0);
+      return;
+    case OpKind::kAtkRedirectPgd:
+      a.li(Reg::kT0, ptmc_pcb(op.a, sr_base));
+      a.li(Reg::kT1, ptmc_page_addr(op.b, sr_base));
+      a.sd(Reg::kT1, Reg::kT0, 0);
+      return;
+    case OpKind::kAtkRedirectToken:
+      a.li(Reg::kT0, ptmc_pcb(op.a, sr_base) + 8);
+      a.li(Reg::kT1, op.b);
+      a.sd(Reg::kT1, Reg::kT0, 0);
+      return;
+    case OpKind::kAtkForgeToken:
+      a.li(Reg::kT0, ptmc_token_slot(op.a, sr_base));
+      a.li(Reg::kT1, ptmc_page_addr(op.b, sr_base));
+      a.sd(Reg::kT1, Reg::kT0, 0);
+      return;
+    case OpKind::kAtkCorruptAllocator:
+      a.li(Reg::kT0, ptmc_freelist(sr_base));
+      a.li(Reg::kT1, ptmc_page_addr(op.a, sr_base));
+      a.sd(Reg::kT1, Reg::kT0, 0);
+      return;
+    case OpKind::kAtkSatpWrite:
+      a.li(Reg::kT1, ptmc_page_addr(op.a, sr_base) >> 12);
+      a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+      return;
+  }
+}
+
+/// Which ptlint rule the mutation's attack step must trip once re-assembled.
+DiagKind ptmc_expected_kind(u8 must_break) {
+  switch (must_break) {
+    case ptmc::kP1:
+    case ptmc::kP2:
+      return DiagKind::kSatpWriteUnvalidated;  // Unvalidated root install.
+    case ptmc::kP3:
+      return DiagKind::kRegularTouchesSecure;  // Token forged by regular store.
+    case ptmc::kP4:
+      return DiagKind::kPtInsnEscapes;  // PT data through an unchecked pointer.
+    default:
+      return DiagKind::kRegularTouchesSecure;
+  }
+}
+
+void append_ptmc_entries(std::vector<CorpusEntry>& corpus, u64 sr_base) {
+  for (const ptmc::MutationEntry& m : ptmc::mutation_matrix(ptmc::ModelConfig{})) {
+    if (m.must_break == 0) continue;  // "ptw-alone" breaks nothing by design.
+    ptmc::ModelConfig cfg = m.cfg;
+    cfg.stop_after_violated = m.must_break;
+    const ptmc::CheckResult res = ptmc::check(cfg);
+    unsigned prop = 0;
+    while (prop < ptmc::kNumProps && !(m.must_break & (1u << prop))) ++prop;
+    const ptmc::Counterexample* ce = res.counterexample_for(prop);
+    if (ce == nullptr) continue;  // Guarded by ptmc's own matrix tests.
+
+    std::string desc = std::string(ptmc::prop_name(prop)) + " via '" +
+                       m.name + "' mutation:";
+    for (const ptmc::Step& s : ce->steps) desc += " " + describe(s.op) + ";";
+
+    corpus.push_back(
+        {std::string("ptmc_") + m.name, desc,
+         build([&](Assembler& a, std::vector<Symbol>& symbols) {
+           auto validate = a.make_label();
+           bool needs_validate = false;
+           ptmc::State prev = ptmc::State::initial();
+           for (const ptmc::Step& s : ce->steps) {
+             emit_ptmc_op(a, s, prev, ce->cfg, sr_base, validate,
+                          &needs_validate);
+             prev = s.after;
+           }
+           a.ebreak();
+           if (needs_validate) {
+             a.bind(validate);
+             a.ret();
+             symbols.push_back(
+                 {"token_validate", *a.label_address(validate)});
+           }
+         }),
+         false, ptmc_expected_kind(m.must_break)});
+  }
 }
 
 }  // namespace
@@ -106,6 +275,10 @@ std::vector<CorpusEntry> violation_corpus(u64 sr_base, u64 sr_end) {
                           {"token_validate", *a.label_address(validate)});
                     }),
                     true, DiagKind{}});
+
+  // 7-10. The ptmc mutation matrix, re-assembled: each defence-off
+  // counterexample becomes a guest image whose attack step ptlint must flag.
+  append_ptmc_entries(corpus, sr_base);
 
   return corpus;
 }

@@ -1,0 +1,757 @@
+#include "analysis/ptmc.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "telemetry/json.h"
+
+namespace ptstore::analysis::ptmc {
+
+// ---------------------------------------------------------------------------
+// State packing. Layout (LSB first):
+//   [0]      boundary - 1
+//   [1..12]  pages[i]: status (1) + content (2), 3 bits each
+//   [13..36] procs[p]: live (1) + pgd (3) + token (2) + ghost (3) + extra (3)
+//   [37..44] tokens[t]: live (1) + pt_page (3)
+//   [45..49] satp: root (3) + s (1) + bound (1)
+//   [50..52] forced_alloc
+// 53 bits total — fits a u64 key exactly.
+
+u64 State::pack() const {
+  u64 k = static_cast<u64>(boundary - 1);
+  unsigned shift = 1;
+  for (unsigned i = 0; i < kNumPages; ++i) {
+    const u64 f = static_cast<u64>(pages[i].status) |
+                  (static_cast<u64>(pages[i].content) << 1);
+    k |= f << shift;
+    shift += 3;
+  }
+  for (unsigned p = 0; p < kNumProcs; ++p) {
+    const u64 f = static_cast<u64>(procs[p].live) |
+                  (static_cast<u64>(procs[p].pgd) << 1) |
+                  (static_cast<u64>(procs[p].token) << 4) |
+                  (static_cast<u64>(procs[p].ghost_root) << 6) |
+                  (static_cast<u64>(procs[p].extra_pt) << 9);
+    k |= f << shift;
+    shift += 12;
+  }
+  for (unsigned t = 0; t < kNumProcs; ++t) {
+    const u64 f = static_cast<u64>(tokens[t].live) |
+                  (static_cast<u64>(tokens[t].pt_page) << 1);
+    k |= f << shift;
+    shift += 4;
+  }
+  k |= (static_cast<u64>(satp.root) | (static_cast<u64>(satp.s) << 3) |
+        (static_cast<u64>(satp.bound) << 4))
+       << shift;
+  shift += 5;
+  k |= static_cast<u64>(forced_alloc) << shift;
+  return k;
+}
+
+State State::initial() { return State{}; }
+
+// ---------------------------------------------------------------------------
+// Properties.
+
+const char* prop_name(unsigned idx) {
+  static const char* kNames[kNumProps] = {"P1", "P2", "P3", "P4"};
+  return idx < kNumProps ? kNames[idx] : "?";
+}
+
+const char* prop_text(unsigned idx) {
+  static const char* kTexts[kNumProps] = {
+      "PTW never consumes an attacker PTE outside the secure region",
+      "satp never carries a root the kernel did not issue to the running process",
+      "no two live tokens alias the same page table",
+      "no PT page is placed with non-zero content (freed pages zeroed before reuse)",
+  };
+  return idx < kNumProps ? kTexts[idx] : "?";
+}
+
+// ---------------------------------------------------------------------------
+// Op alphabet.
+
+const std::vector<Op>& all_ops() {
+  static const std::vector<Op> ops = [] {
+    std::vector<Op> v;
+    for (u8 p = 0; p < kNumProcs; ++p) {
+      v.push_back({OpKind::kSpawn, p, 0});
+      v.push_back({OpKind::kExitMm, p, 0});
+      v.push_back({OpKind::kSwitchMm, p, 0});
+      v.push_back({OpKind::kAllocPt, p, 0});
+      v.push_back({OpKind::kFreePt, p, 0});
+    }
+    v.push_back({OpKind::kGrow, 0, 0});
+    v.push_back({OpKind::kUserAccess, 0, 0});
+    for (u8 pg = 0; pg < kNumPages; ++pg) v.push_back({OpKind::kAtkWritePage, pg, 0});
+    for (u8 p = 0; p < kNumProcs; ++p)
+      for (u8 pg = 0; pg < kNumPages; ++pg)
+        v.push_back({OpKind::kAtkRedirectPgd, p, pg});
+    for (u8 p = 0; p < kNumProcs; ++p)
+      for (u8 r = 0; r < 4; ++r)
+        v.push_back({OpKind::kAtkRedirectToken, p, r});
+    for (u8 slot = 0; slot < kNumProcs; ++slot)
+      for (u8 pg = 0; pg < kNumPages; ++pg)
+        v.push_back({OpKind::kAtkForgeToken, slot, pg});
+    for (u8 pg = 0; pg < kNumPages; ++pg)
+      v.push_back({OpKind::kAtkCorruptAllocator, pg, 0});
+    for (u8 pg = 0; pg < kNumPages; ++pg)
+      v.push_back({OpKind::kAtkSatpWrite, pg, 0});
+    return v;
+  }();
+  return ops;
+}
+
+namespace {
+
+const char* token_ref_name(TokenRef r) {
+  switch (r) {
+    case TokenRef::kNone: return "none";
+    case TokenRef::kSlot0: return "slot0";
+    case TokenRef::kSlot1: return "slot1";
+    case TokenRef::kFake: return "fake";
+  }
+  return "?";
+}
+
+std::string page_name(u8 pg) {
+  if (pg == kNoPage) return "-";
+  return "page" + std::to_string(pg);
+}
+
+}  // namespace
+
+std::string describe(const Op& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case OpKind::kSpawn: os << "spawn(p" << int{op.a} << ")"; break;
+    case OpKind::kExitMm: os << "exit_mm(p" << int{op.a} << ")"; break;
+    case OpKind::kSwitchMm: os << "switch_mm(p" << int{op.a} << ")"; break;
+    case OpKind::kAllocPt: os << "alloc_pt(p" << int{op.a} << ")"; break;
+    case OpKind::kFreePt: os << "free_pt(p" << int{op.a} << ")"; break;
+    case OpKind::kGrow: os << "grow_secure_region()"; break;
+    case OpKind::kUserAccess: os << "user_access()"; break;
+    case OpKind::kAtkWritePage:
+      os << "atk: write " << page_name(op.a);
+      break;
+    case OpKind::kAtkRedirectPgd:
+      os << "atk: pcb[" << int{op.a} << "].pgd = " << page_name(op.b);
+      break;
+    case OpKind::kAtkRedirectToken:
+      os << "atk: pcb[" << int{op.a}
+         << "].token = " << token_ref_name(static_cast<TokenRef>(op.b));
+      break;
+    case OpKind::kAtkForgeToken:
+      os << "atk: token_slot[" << int{op.a} << "] := " << page_name(op.b);
+      break;
+    case OpKind::kAtkCorruptAllocator:
+      os << "atk: freelist head = " << page_name(op.a);
+      break;
+    case OpKind::kAtkSatpWrite:
+      os << "atk: csrw satp = " << page_name(op.a);
+      break;
+  }
+  return os.str();
+}
+
+std::string describe(const State& s) {
+  std::ostringstream os;
+  os << "sr>=" << int{s.boundary} << " pages[";
+  for (unsigned i = 0; i < kNumPages; ++i) {
+    if (i != 0) os << " ";
+    os << (s.pages[i].status == PageStatus::kPt ? "PT" : "fr");
+    switch (s.pages[i].content) {
+      case PageContent::kZero: os << "/0"; break;
+      case PageContent::kPtData: os << "/pt"; break;
+      case PageContent::kAttacker: os << "/ATK"; break;
+    }
+  }
+  os << "]";
+  for (unsigned p = 0; p < kNumProcs; ++p) {
+    os << " p" << p;
+    if (!s.procs[p].live) {
+      os << "(dead)";
+      continue;
+    }
+    os << "(pgd=" << page_name(s.procs[p].pgd)
+       << ",tok=" << token_ref_name(s.procs[p].token)
+       << ",ghost=" << page_name(s.procs[p].ghost_root);
+    if (s.procs[p].extra_pt != kNoPage)
+      os << ",extra=" << page_name(s.procs[p].extra_pt);
+    os << ")";
+  }
+  os << " tokens[";
+  for (unsigned t = 0; t < kNumProcs; ++t) {
+    if (t != 0) os << " ";
+    if (s.tokens[t].live)
+      os << page_name(s.tokens[t].pt_page);
+    else
+      os << "-";
+  }
+  os << "] satp=" << page_name(s.satp.root) << (s.satp.s ? "+S" : "")
+     << (s.satp.bound ? "" : "!unbound");
+  if (s.forced_alloc != kNoPage) os << " forced=" << page_name(s.forced_alloc);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Transition semantics.
+
+namespace {
+
+/// Lowest free page inside the secure region, or kNoPage.
+u8 lowest_free_secure(const State& s) {
+  for (u8 pg = s.boundary; pg < kNumPages; ++pg) {
+    if (s.pages[pg].status == PageStatus::kFree) return pg;
+  }
+  return kNoPage;
+}
+
+u8 alias_violation(const State& s) {
+  // P3 is about *processes*: a forged entry in a dead process's slot binds
+  // nobody until that slot's owner exists, so both procs must be live too.
+  if (s.procs[0].live && s.procs[1].live && s.tokens[0].live &&
+      s.tokens[1].live && s.tokens[0].pt_page == s.tokens[1].pt_page)
+    return kP3;
+  return 0;
+}
+
+/// Shared PT-page allocation path (spawn / alloc_pt): picks the page the
+/// buddy allocator would hand out (corrupted free list first), models the
+/// S-bit fault on out-of-region targets and the §V-E3 zero check. Returns
+/// nullopt when the op is architecturally blocked; otherwise fills `pg` and
+/// sets up `suc.next`'s page/forced fields (violations/note for the zero
+/// path included). `detected` reports a zero-check rejection: the successor
+/// is valid (the corrupt free-list entry was consumed) but no page was
+/// placed.
+std::optional<Successor> alloc_pt_page(const State& s, const ModelConfig& cfg,
+                                       u8& pg, bool& detected) {
+  detected = false;
+  const bool forced = s.forced_alloc != kNoPage;
+  pg = forced ? s.forced_alloc : lowest_free_secure(s);
+  if (pg == kNoPage) return std::nullopt;  // OOM: op fails cleanly.
+  // Initialising the page goes through sd.pt; with S-bit enforcement on, a
+  // target outside the secure region faults and the allocation is aborted.
+  if (cfg.s_bit && !is_secure(s, pg)) return std::nullopt;
+
+  Successor suc;
+  suc.next = s;
+  if (forced) suc.next.forced_alloc = kNoPage;
+  if (s.pages[pg].content != PageContent::kZero) {
+    if (cfg.zero_check) {
+      // §V-E3: a PT page must arrive all-zero; a dirty page means the
+      // free list double-issued (or the attacker primed it) — reject.
+      detected = true;
+      suc.note = "zero-check rejected non-zero " + page_name(pg);
+      return suc;
+    }
+    suc.violations |= kP4;
+    suc.note = "P4: " + page_name(pg) + " placed as PT with non-zero content";
+  }
+  suc.next.pages[pg] = {PageStatus::kPt, PageContent::kPtData};
+  return suc;
+}
+
+std::optional<Successor> apply_spawn(const State& s, u8 p,
+                                     const ModelConfig& cfg) {
+  if (s.procs[p].live) return std::nullopt;
+  u8 pg = kNoPage;
+  bool detected = false;
+  auto suc = alloc_pt_page(s, cfg, pg, detected);
+  if (!suc) return std::nullopt;
+  if (detected) return suc;  // Allocation refused; no process created.
+  suc->next.procs[p] = {true, pg,
+                        p == 0 ? TokenRef::kSlot0 : TokenRef::kSlot1, pg,
+                        kNoPage};
+  suc->next.tokens[p] = {true, pg};
+  suc->violations |= alias_violation(suc->next);
+  if (suc->note.empty())
+    suc->note = "p" + std::to_string(p) + " root = " + page_name(pg);
+  if (suc->violations & kP3) suc->note += "; P3: token tables alias";
+  return suc;
+}
+
+std::optional<Successor> apply_alloc_pt(const State& s, u8 p,
+                                        const ModelConfig& cfg) {
+  if (!s.procs[p].live || s.procs[p].extra_pt != kNoPage) return std::nullopt;
+  u8 pg = kNoPage;
+  bool detected = false;
+  auto suc = alloc_pt_page(s, cfg, pg, detected);
+  if (!suc) return std::nullopt;
+  if (detected) return suc;
+  suc->next.procs[p].extra_pt = pg;
+  if (suc->note.empty())
+    suc->note = "p" + std::to_string(p) + " grew " + page_name(pg);
+  return suc;
+}
+
+std::optional<Successor> apply_switch(const State& s, u8 p,
+                                      const ModelConfig& cfg) {
+  if (!s.procs[p].live) return std::nullopt;
+  const u8 pgd = s.procs[p].pgd;
+  if (pgd == kNoPage) return std::nullopt;
+  if (cfg.token_check) {
+    bool valid = false;
+    switch (s.procs[p].token) {
+      case TokenRef::kNone:
+        break;
+      case TokenRef::kSlot0:
+      case TokenRef::kSlot1: {
+        // The token's user pointer must point back at this PCB, so only the
+        // process's own slot can validate — and only for the root it binds.
+        const unsigned slot = s.procs[p].token == TokenRef::kSlot0 ? 0 : 1;
+        valid = slot == p && s.tokens[slot].live &&
+                s.tokens[slot].pt_page == pgd;
+        break;
+      }
+      case TokenRef::kFake:
+        // A forged token image in normal memory validates only if ld.pt can
+        // reach it (S-bit enforcement off) and the attacker has written it.
+        valid = !cfg.s_bit && s.pages[0].content == PageContent::kAttacker;
+        break;
+    }
+    if (!valid) return std::nullopt;  // switch_mm: kTokenReject.
+  }
+  Successor suc;
+  suc.next = s;
+  const bool bound =
+      s.procs[p].ghost_root != kNoPage && pgd == s.procs[p].ghost_root;
+  suc.next.satp = {pgd, cfg.ptw_check, bound};
+  suc.note = "satp <- " + page_name(pgd);
+  if (!bound) {
+    suc.violations |= kP2;
+    suc.note += "; P2: root was never issued to p" + std::to_string(p);
+  }
+  return suc;
+}
+
+std::optional<Successor> apply_user_access(const State& s) {
+  const u8 root = s.satp.root;
+  if (root == kNoPage) return std::nullopt;  // Kernel address space.
+  Successor suc;
+  suc.next = s;
+  if (!is_secure(s, root)) {
+    // Root fetch comes from normal memory. With satp.S the walker refuses
+    // it (architectural fault — attack blocked, nothing to report). Without
+    // it, consuming an attacker-written entry is exactly P1; zeroed or
+    // stale-PT pages fault or walk benignly instead.
+    if (s.satp.s) return std::nullopt;
+    if (s.pages[root].content != PageContent::kAttacker) return std::nullopt;
+    suc.violations = kP1;
+    suc.note = "P1: walker consumed attacker PTE from " + page_name(root);
+    return suc;
+  }
+  // Root inside the region: the level-0 fetch is in-region, but if the
+  // attacker controls the root's *content* its entries point at a fake
+  // hierarchy in normal memory (page 0) — the next fetch is out-of-region.
+  if (s.pages[root].content == PageContent::kAttacker && !s.satp.s &&
+      s.pages[0].content == PageContent::kAttacker) {
+    suc.violations = kP1;
+    suc.note = "P1: in-region root chained to attacker tables in page0";
+    return suc;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Successor> apply(const State& s, const Op& op,
+                               const ModelConfig& cfg) {
+  switch (op.kind) {
+    case OpKind::kSpawn:
+      return apply_spawn(s, op.a, cfg);
+    case OpKind::kExitMm: {
+      if (!s.procs[op.a].live) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      // exit_mm frees the pages the kernel *tracked* for this mm (ghost
+      // root + extra), not whatever the attacker redirected pgd to.
+      // free_pt_page zeroes on both config branches.
+      const u8 ghost = s.procs[op.a].ghost_root;
+      const u8 extra = s.procs[op.a].extra_pt;
+      if (ghost != kNoPage)
+        suc.next.pages[ghost] = {PageStatus::kFree, PageContent::kZero};
+      if (extra != kNoPage)
+        suc.next.pages[extra] = {PageStatus::kFree, PageContent::kZero};
+      suc.next.procs[op.a] = ProcState{};
+      suc.next.tokens[op.a] = TokenState{};
+      suc.note = "p" + std::to_string(op.a) + " reaped";
+      return suc;
+    }
+    case OpKind::kSwitchMm:
+      return apply_switch(s, op.a, cfg);
+    case OpKind::kAllocPt:
+      return apply_alloc_pt(s, op.a, cfg);
+    case OpKind::kFreePt: {
+      if (!s.procs[op.a].live || s.procs[op.a].extra_pt == kNoPage)
+        return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.pages[s.procs[op.a].extra_pt] = {PageStatus::kFree,
+                                                PageContent::kZero};
+      suc.next.procs[op.a].extra_pt = kNoPage;
+      suc.note = "freed and zeroed";
+      return suc;
+    }
+    case OpKind::kGrow: {
+      if (!cfg.allow_grow || s.boundary <= 1) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.boundary = static_cast<u8>(s.boundary - 1);
+      // The donated page keeps its content — the dirty-donation channel the
+      // zero check exists to close.
+      suc.note = "secure region grew over " + page_name(suc.next.boundary);
+      return suc;
+    }
+    case OpKind::kUserAccess:
+      return apply_user_access(s);
+    case OpKind::kAtkWritePage: {
+      if (cfg.s_bit && is_secure(s, op.a)) return std::nullopt;  // PMP fault.
+      Successor suc;
+      suc.next = s;
+      suc.next.pages[op.a].content = PageContent::kAttacker;
+      suc.note = page_name(op.a) + " now attacker-controlled";
+      return suc;
+    }
+    case OpKind::kAtkRedirectPgd: {
+      if (!s.procs[op.a].live) return std::nullopt;
+      if (s.procs[op.a].pgd == op.b) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.procs[op.a].pgd = op.b;  // PCB lives in normal memory.
+      suc.note = "pcb pointer hijacked";
+      return suc;
+    }
+    case OpKind::kAtkRedirectToken: {
+      if (!s.procs[op.a].live) return std::nullopt;
+      const auto ref = static_cast<TokenRef>(op.b);
+      if (s.procs[op.a].token == ref) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.procs[op.a].token = ref;
+      suc.note = "pcb token pointer redirected";
+      return suc;
+    }
+    case OpKind::kAtkForgeToken: {
+      // The token table sits in the secure region: a regular store into it
+      // is exactly what the S bit forbids.
+      if (cfg.s_bit) return std::nullopt;
+      if (s.tokens[op.a].live && s.tokens[op.a].pt_page == op.b)
+        return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.tokens[op.a] = {true, op.b};
+      suc.violations |= alias_violation(suc.next);
+      suc.note = "token slot " + std::to_string(op.a) + " forged -> " +
+                 page_name(op.b);
+      if (suc.violations & kP3) suc.note += "; P3: token tables alias";
+      return suc;
+    }
+    case OpKind::kAtkCorruptAllocator: {
+      if (s.forced_alloc == op.a) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.forced_alloc = op.a;  // Free lists live in normal memory.
+      suc.note = "buddy free list corrupted";
+      return suc;
+    }
+    case OpKind::kAtkSatpWrite: {
+      if (!cfg.csr_gadget) return std::nullopt;
+      Successor suc;
+      suc.next = s;
+      suc.next.satp = {op.a, false, false};
+      suc.violations = kP2;
+      suc.note = "P2: gadget wrote satp directly";
+      return suc;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// BFS checker.
+
+namespace {
+
+struct Edge {
+  u64 parent;
+  Op op;
+};
+
+Counterexample rebuild_counterexample(
+    unsigned prop_idx, const ModelConfig& cfg, u64 src_key, const Op& final_op,
+    const std::unordered_map<u64, Edge>& parents) {
+  // Walk the parent chain back to the initial state, then replay forward —
+  // apply() is deterministic, so the replay regenerates every note.
+  std::vector<Op> ops;
+  u64 key = src_key;
+  const u64 init_key = State::initial().pack();
+  while (key != init_key) {
+    const Edge& e = parents.at(key);
+    ops.push_back(e.op);
+    key = e.parent;
+  }
+  Counterexample ce;
+  ce.prop = prop_idx;
+  ce.cfg = cfg;
+  State cur = State::initial();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    auto suc = apply(cur, *it, cfg);
+    Step step;
+    step.op = *it;
+    step.after = suc ? suc->next : cur;
+    step.note = suc ? suc->note : "";
+    step.violations = suc ? suc->violations : 0;
+    ce.steps.push_back(std::move(step));
+    if (suc) cur = suc->next;
+  }
+  auto fin = apply(cur, final_op, cfg);
+  Step last;
+  last.op = final_op;
+  last.after = fin ? fin->next : cur;
+  last.note = fin ? fin->note : "";
+  last.violations = fin ? fin->violations : 0;
+  ce.steps.push_back(std::move(last));
+  return ce;
+}
+
+}  // namespace
+
+CheckResult check(const ModelConfig& cfg) {
+  CheckResult res;
+  const State init = State::initial();
+  const u64 init_key = init.pack();
+
+  std::unordered_set<u64> visited{init_key};
+  std::unordered_map<u64, Edge> parents;
+  std::unordered_map<u64, State> frontier_states{{init_key, init}};
+  std::deque<std::pair<u64, u32>> queue{{init_key, 0}};
+
+  while (!queue.empty()) {
+    const auto [key, depth] = queue.front();
+    queue.pop_front();
+    const State s = frontier_states.at(key);
+    frontier_states.erase(key);
+    if (depth > res.depth) res.depth = depth;
+    if (depth >= cfg.max_depth) {
+      res.depth_capped = true;
+      continue;
+    }
+    for (const Op& op : all_ops()) {
+      auto suc = apply(s, op, cfg);
+      if (!suc) continue;
+      ++res.transitions;
+      if (suc->violations != 0) {
+        for (unsigned i = 0; i < kNumProps; ++i) {
+          const u8 bit = static_cast<u8>(1u << i);
+          if ((suc->violations & bit) != 0 && (res.props_violated & bit) == 0) {
+            res.props_violated |= bit;
+            res.counterexamples.push_back(
+                rebuild_counterexample(i, cfg, key, op, parents));
+          }
+        }
+        if (cfg.stop_after_violated != 0 &&
+            (res.props_violated & cfg.stop_after_violated) ==
+                cfg.stop_after_violated) {
+          res.early_stopped = true;
+          res.states = visited.size();
+          return res;
+        }
+      }
+      const u64 nkey = suc->next.pack();
+      if (visited.count(nkey) != 0) continue;
+      if (visited.size() >= cfg.max_states) {
+        res.state_capped = true;
+        continue;
+      }
+      visited.insert(nkey);
+      parents.emplace(nkey, Edge{key, op});
+      frontier_states.emplace(nkey, suc->next);
+      queue.emplace_back(nkey, depth + 1);
+    }
+  }
+  res.states = visited.size();
+  res.complete = !res.depth_capped && !res.state_capped;
+  return res;
+}
+
+const Counterexample* CheckResult::counterexample_for(unsigned prop_idx) const {
+  for (const auto& ce : counterexamples) {
+    if (ce.prop == prop_idx) return &ce;
+  }
+  return nullptr;
+}
+
+std::string CheckResult::format() const {
+  std::ostringstream os;
+  os << states << " state(s), " << transitions << " transition(s), depth "
+     << depth;
+  if (complete) os << " (closure complete)";
+  if (depth_capped) os << " (depth-capped)";
+  if (state_capped) os << " (state-capped)";
+  if (early_stopped) os << " (stopped at first target violation)";
+  os << "\n";
+  for (unsigned i = 0; i < kNumProps; ++i) {
+    const u8 bit = static_cast<u8>(1u << i);
+    if ((props_checked & bit) == 0) continue;
+    os << "  " << prop_name(i) << " — " << prop_text(i) << ": ";
+    if ((props_violated & bit) == 0) {
+      os << (complete ? "HOLDS (exhaustive within bound)" : "holds within bound");
+    } else {
+      os << "VIOLATED";
+      if (const Counterexample* ce = counterexample_for(i))
+        os << " (" << ce->steps.size() << "-step counterexample)";
+    }
+    os << "\n";
+  }
+  for (const auto& ce : counterexamples) {
+    os << "counterexample for " << prop_name(ce.prop) << ":\n";
+    for (size_t i = 0; i < ce.steps.size(); ++i) {
+      const Step& st = ce.steps[i];
+      os << "  " << i + 1 << ". " << describe(st.op);
+      if (!st.note.empty()) os << "  [" << st.note << "]";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Mutation matrix.
+
+std::vector<MutationEntry> mutation_matrix(const ModelConfig& base) {
+  std::vector<MutationEntry> m;
+  {  // P1 needs the walker check *and* the token check gone: token
+     // validation alone keeps satp on issued (in-region) roots.
+    MutationEntry e{"ptw", base, kP1, kP2, ""};
+    e.cfg.ptw_check = false;
+    e.cfg.token_check = false;
+    e.rationale =
+        "satp.S off and switch_mm unguarded: a hijacked pgd reaches an "
+        "attacker hierarchy in normal memory and the walker consumes it";
+    m.push_back(e);
+  }
+  {  // P2: token validation is exactly the root-provenance check.
+    MutationEntry e{"token", base, kP2, 0, ""};
+    e.cfg.token_check = false;
+    e.rationale =
+        "switch_mm no longer matches pgd against the issued token: any "
+        "redirected PCB pointer lands in satp";
+    m.push_back(e);
+  }
+  {  // P3: the S bit is what makes the token table unwritable.
+    MutationEntry e{"sbit", base, kP3, kP2, ""};
+    e.cfg.s_bit = false;
+    e.rationale =
+        "regular stores reach the token table: a forged entry binds a "
+        "second live process to the same page table";
+    m.push_back(e);
+  }
+  {  // P4: the zero check is the overlapping-allocation detector.
+    MutationEntry e{"zero", base, kP4, kP3, ""};
+    e.cfg.zero_check = false;
+    e.rationale =
+        "a corrupted free list re-issues a live (non-zero) PT page and the "
+        "allocator no longer notices";
+    m.push_back(e);
+  }
+  {  // Defence-in-depth floor: the walker check alone being off breaks
+     // nothing — token validation still pins satp to issued roots.
+    MutationEntry e{"ptw-alone", base, 0, 0, ""};
+    e.cfg.ptw_check = false;
+    e.rationale =
+        "satp.S off but token validation intact: every reachable satp root "
+        "is still a kernel-issued in-region table, so all properties hold";
+    m.push_back(e);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Export.
+
+std::string to_dot(const Counterexample& ce) {
+  std::ostringstream os;
+  os << "digraph ptmc_ce {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  os << "  s0 [label=\"" << telemetry::json_escape(describe(State::initial()))
+     << "\"];\n";
+  for (size_t i = 0; i < ce.steps.size(); ++i) {
+    const Step& st = ce.steps[i];
+    const bool bad = st.violations != 0;
+    os << "  s" << i + 1 << " [label=\""
+       << telemetry::json_escape(describe(st.after)) << "\"";
+    if (bad) os << ", color=red, penwidth=2";
+    os << "];\n";
+    os << "  s" << i << " -> s" << i + 1 << " [label=\""
+       << telemetry::json_escape(describe(st.op)) << "\"";
+    if (bad) os << ", color=red";
+    os << "];\n";
+  }
+  os << "  label=\"ptmc counterexample: " << prop_name(ce.prop) << " — "
+     << telemetry::json_escape(prop_text(ce.prop)) << "\";\n}\n";
+  return os.str();
+}
+
+namespace {
+
+void write_config(telemetry::JsonWriter& w, const ModelConfig& cfg) {
+  w.begin_object()
+      .kv("s_bit", cfg.s_bit)
+      .kv("ptw_check", cfg.ptw_check)
+      .kv("token_check", cfg.token_check)
+      .kv("zero_check", cfg.zero_check)
+      .kv("csr_gadget", cfg.csr_gadget)
+      .kv("allow_grow", cfg.allow_grow)
+      .kv("max_depth", static_cast<u64>(cfg.max_depth))
+      .kv("max_states", cfg.max_states)
+      .end_object();
+}
+
+}  // namespace
+
+std::string to_json(const CheckResult& r) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os);
+  w.begin_object();
+  w.key("properties").begin_array();
+  for (unsigned i = 0; i < kNumProps; ++i) {
+    const u8 bit = static_cast<u8>(1u << i);
+    if ((r.props_checked & bit) == 0) continue;
+    w.begin_object()
+        .kv("name", prop_name(i))
+        .kv("text", prop_text(i))
+        .kv("violated", (r.props_violated & bit) != 0)
+        .end_object();
+  }
+  w.end_array();
+  w.kv("complete", r.complete)
+      .kv("depth_capped", r.depth_capped)
+      .kv("state_capped", r.state_capped)
+      .kv("early_stopped", r.early_stopped)
+      .kv("states", r.states)
+      .kv("transitions", r.transitions)
+      .kv("depth", static_cast<u64>(r.depth));
+  w.key("counterexamples").begin_array();
+  for (const auto& ce : r.counterexamples) {
+    w.begin_object().kv("property", prop_name(ce.prop));
+    w.key("config");
+    write_config(w, ce.cfg);
+    w.key("steps").begin_array();
+    for (const Step& st : ce.steps) {
+      w.begin_object()
+          .kv("op", describe(st.op))
+          .kv("state", describe(st.after))
+          .kv("note", st.note)
+          .kv("violations", static_cast<u64>(st.violations))
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
+  return os.str();
+}
+
+}  // namespace ptstore::analysis::ptmc

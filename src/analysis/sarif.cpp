@@ -1,0 +1,112 @@
+#include "analysis/sarif.h"
+
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace ptstore::analysis {
+
+namespace {
+
+constexpr unsigned kNumKinds = 7;
+
+unsigned kind_index(DiagKind k) { return static_cast<unsigned>(k); }
+
+const char* rule_description(DiagKind k) {
+  switch (k) {
+    case DiagKind::kRegularTouchesSecure:
+      return "A regular load/store/AMO may touch the PTStore secure region "
+             "(R1: only ld.pt/sd.pt may access it).";
+    case DiagKind::kFetchFromSecure:
+      return "Reachable code lies inside the secure region (R1: the region "
+             "holds data, never text).";
+    case DiagKind::kPtInsnEscapes:
+      return "An ld.pt/sd.pt access is not provably confined to the secure "
+             "region (R2).";
+    case DiagKind::kSatpWriteUnvalidated:
+      return "satp is written on a path without a dominating token "
+             "validation call (R3).";
+    case DiagKind::kPmpScopeViolation:
+      return "Guest code writes a PMP configuration CSR (R4: PMP is owned "
+             "by the security monitor).";
+    case DiagKind::kJumpOutOfImage:
+      return "A resolved control-flow target leaves the analysed image.";
+    case DiagKind::kIllegalInstruction:
+      return "A reachable word does not decode to a valid instruction.";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* sarif_rule_id(DiagKind k) {
+  static const char* kIds[kNumKinds] = {"PTL001", "PTL002", "PTL003", "PTL004",
+                                        "PTL005", "PTL006", "PTL007"};
+  const unsigned i = kind_index(k);
+  return i < kNumKinds ? kIds[i] : "PTL000";
+}
+
+std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os);
+  w.begin_object()
+      .kv("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+      .kv("version", "2.1.0");
+  w.key("runs").begin_array().begin_object();
+
+  w.key("tool").begin_object().key("driver").begin_object();
+  w.kv("name", "ptlint").kv("version", "1.0.0");
+  w.kv("informationUri", "docs/ANALYSIS.md");
+  w.key("rules").begin_array();
+  for (unsigned i = 0; i < kNumKinds; ++i) {
+    const auto k = static_cast<DiagKind>(i);
+    w.begin_object().kv("id", sarif_rule_id(k)).kv("name", diag_kind_name(k));
+    w.key("shortDescription")
+        .begin_object()
+        .kv("text", rule_description(k))
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();        // rules
+  w.end_object();       // driver
+  w.end_object();       // tool
+
+  w.key("artifacts")
+      .begin_array()
+      .begin_object()
+      .key("location")
+      .begin_object()
+      .kv("uri", artifact_uri)
+      .end_object()
+      .end_object()
+      .end_array();
+
+  w.key("results").begin_array();
+  for (const Diag& d : rep.diags) {
+    std::ostringstream pc;
+    pc << "0x" << std::hex << d.pc;
+    w.begin_object()
+        .kv("ruleId", sarif_rule_id(d.kind))
+        .kv("ruleIndex", static_cast<u64>(kind_index(d.kind)))
+        .kv("level", d.sev == Severity::kViolation ? "error" : "note");
+    w.key("message").begin_object().kv("text", d.message).end_object();
+    w.key("locations")
+        .begin_array()
+        .begin_object()
+        .key("physicalLocation")
+        .begin_object();
+    w.key("artifactLocation").begin_object().kv("uri", artifact_uri).end_object();
+    w.key("region").begin_object().kv("startLine", static_cast<u64>(1)).end_object();
+    w.end_object();  // physicalLocation
+    w.end_object().end_array();  // locations
+    w.key("properties").begin_object().kv("pc", pc.str()).end_object();
+    w.end_object();  // result
+  }
+  w.end_array();   // results
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();  // document
+  return os.str();
+}
+
+}  // namespace ptstore::analysis

@@ -1,0 +1,22 @@
+// SARIF 2.1.0 export for ptlint reports, so CI can upload findings to code
+// scanning. One run per document; each DiagKind is a stable reporting rule
+// (PTL001..PTL007); violations map to level "error", notes to "note". The
+// analysed image is a binary artifact, so locations carry the artifact URI
+// plus the instruction address in properties.pc (SARIF has no native
+// "address" region for our purposes — startLine 1 keeps viewers happy).
+#pragma once
+
+#include <string>
+
+#include "analysis/ptlint.h"
+
+namespace ptstore::analysis {
+
+/// Stable SARIF rule id for a diagnostic kind, e.g. "PTL003".
+const char* sarif_rule_id(DiagKind k);
+
+/// Render `rep` as a complete SARIF 2.1.0 document. `artifact_uri` names
+/// the analysed image (file path or pseudo-URI like "corpus:r1_store").
+std::string to_sarif(const LintReport& rep, const std::string& artifact_uri);
+
+}  // namespace ptstore::analysis

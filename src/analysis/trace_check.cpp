@@ -1,5 +1,6 @@
 #include "analysis/trace_check.h"
 
+#include <set>
 #include <sstream>
 
 namespace ptstore::analysis {
@@ -17,6 +18,7 @@ CrossCheckResult cross_check(const Image& img, const LintReport& report,
                              const std::deque<TraceRecord>& trace,
                              u64 sr_base, u64 sr_end) {
   CrossCheckResult res;
+  std::set<u64> exercised_unknown;
   for (const TraceRecord& rec : trace) {
     if (!img.contains(rec.pc)) {
       ++res.skipped;
@@ -58,7 +60,19 @@ CrossCheckResult cross_check(const Image& img, const LintReport& report,
         break;
       case AccessClass::kUnknown:
         ++res.unknown;
+        exercised_unknown.insert(rec.pc);
         break;
+    }
+  }
+  // Coverage sweep: std::map iteration keeps the unexercised list in pc
+  // order, so the report is deterministic.
+  for (const auto& [pc, cls] : report.access_class) {
+    if (cls != AccessClass::kUnknown) continue;
+    ++res.unknown_sites;
+    if (exercised_unknown.count(pc)) {
+      ++res.unknown_sites_exercised;
+    } else {
+      res.unexercised.push_back(hex(pc) + " (" + img.locate(pc) + ")");
     }
   }
   return res;
@@ -69,6 +83,11 @@ std::string CrossCheckResult::format() const {
   os << checked << " record(s) checked, " << mem_checked
      << " memory access(es) compared, " << unknown << " unknown, " << skipped
      << " outside the image\n";
+  os << "unknown-site coverage: " << unknown_sites_exercised << "/"
+     << unknown_sites << " exercised\n";
+  for (const std::string& u : unexercised) {
+    os << "never exercised: unknown-class access at " << u << "\n";
+  }
   for (const std::string& c : contradictions) os << "contradiction: " << c << "\n";
   os << (ok() ? "no contradictions\n" : "CROSS-CHECK FAILED\n");
   return os.str();

@@ -21,6 +21,13 @@ struct CrossCheckResult {
   u64 unknown = 0;       ///< Accesses the static side classified Unknown.
   u64 skipped = 0;       ///< Records outside the image (kernel, firmware).
   std::vector<std::string> contradictions;
+  /// Unknown-site coverage: sites ptlint could not classify are exactly
+  /// where the static result leans on dynamic evidence, so the cross-check
+  /// reports how many of them the trace actually exercised. An unexercised
+  /// Unknown site is a blind spot, not a contradiction.
+  u64 unknown_sites = 0;            ///< Static kUnknown sites in the report.
+  u64 unknown_sites_exercised = 0;  ///< Of those, hit by >= 1 trace record.
+  std::vector<std::string> unexercised;  ///< The never-exercised sites.
 
   bool ok() const { return contradictions.empty(); }
   std::string format() const;

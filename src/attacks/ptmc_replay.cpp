@@ -1,0 +1,405 @@
+#include "attacks/ptmc_replay.h"
+
+#include "attacks/support.h"
+#include "common/bits.h"
+#include "kernel/protocol.h"
+#include "kernel/token.h"
+#include "mmu/pte.h"
+
+namespace ptstore::attacks {
+
+namespace mc = analysis::ptmc;
+
+namespace {
+
+/// Drives one System through a counterexample's op sequence. Abstract model
+/// pages are bound to concrete physical pages on first touch; kernel ops go
+/// through ProtocolOps so each abstract transition is one concrete call.
+class Replayer {
+ public:
+  explicit Replayer(const mc::ModelConfig& mcfg)
+      : mcfg_(mcfg), sys_(make_config(mcfg)), proto_(sys_.kernel()) {
+    if (!mcfg.s_bit) sys_.core().pmp().set_secure_enforcement(false);
+  }
+
+  ReplayReport run(const mc::Counterexample& ce) {
+    ReplayReport rep;
+    mc::State pre = mc::State::initial();
+    for (const mc::Step& step : ce.steps) {
+      auto terminal = replay_op(pre, step, rep);
+      if (terminal) {
+        rep.outcome = *terminal;
+        return rep;
+      }
+      pre = step.after;
+    }
+    finish(ce, rep);
+    return rep;
+  }
+
+ private:
+  static SystemConfig make_config(const mc::ModelConfig& m) {
+    SystemConfig c = SystemConfig::cfi_ptstore();
+    c.kernel.ptw_check = m.ptw_check;
+    c.kernel.token_check = m.token_check;
+    c.kernel.zero_check = m.zero_check;
+    return c;
+  }
+
+  static VirtAddr victim_va(unsigned p) { return kVictimVa + MiB(2) * p; }
+  /// alloc_pt target: a fresh gigapage subtree, so the mapping really does
+  /// allocate interior PT pages (and thus consumes a corrupted free list).
+  static VirtAddr extra_va(unsigned p) { return victim_va(p) + GiB(2); }
+
+  void log(ReplayReport& rep, const mc::Op& op, const std::string& what) {
+    rep.log.push_back(mc::describe(op) + " -> " + what);
+  }
+
+  /// Physical page standing in for a (still untouched) secure model page.
+  PhysAddr bind_secure(u8 pg) {
+    if (page_pa_[pg] != 0) return page_pa_[pg];
+    const auto pa = sys_.kernel().pages().alloc_pages(Gfp::kPtStore, 0);
+    if (!pa) return 0;
+    sys_.mem().fill(*pa, 0, kPageSize);
+    page_pa_[pg] = *pa;
+    return *pa;
+  }
+
+  /// A normal-memory model page materialises as the root of an attacker
+  /// hierarchy: three sprayed pages mapping evil_va_ to a kernel-owned data
+  /// page (normal memory, so the final access is not PMP-shadowed — P1 is
+  /// about the *PTE fetches*, which all come from outside the region).
+  PhysAddr build_fake(u8 pg) {
+    if (page_pa_[pg] != 0) return page_pa_[pg];
+    Kernel& k = sys_.kernel();
+    PhysAddr fake[3];
+    for (auto& f : fake) {
+      const auto p = k.pages().alloc_pages(Gfp::kUser, 0);
+      if (!p) return 0;
+      f = *p;
+      sys_.mem().fill(f, 0, kPageSize);
+    }
+    const auto secret = k.pages().alloc_pages(Gfp::kUser, 0);
+    if (!secret) return 0;
+    secret_pa_ = *secret;
+    sys_.mem().write_u64(secret_pa_, 0x5EC2E7);  // "Kernel data" sentinel.
+    ArbitraryRw rw(sys_.core());
+    rw.write(fake[0] + bits(evil_va_, 30, 9) * kPteSize,
+             pte::make_from_pa(fake[1], pte::kV));
+    rw.write(fake[1] + bits(evil_va_, 21, 9) * kPteSize,
+             pte::make_from_pa(fake[2], pte::kV));
+    rw.write(fake[2] + bits(evil_va_, 12, 9) * kPteSize,
+             pte::make_from_pa(secret_pa_, pte::kV | pte::kR | pte::kW |
+                                               pte::kU | pte::kA | pte::kD));
+    fake_built_ = true;
+    page_pa_[pg] = fake[0];
+    return fake[0];
+  }
+
+  PhysAddr bind(const mc::State& pre, u8 pg) {
+    if (page_pa_[pg] != 0) return page_pa_[pg];
+    return mc::is_secure(pre, pg) ? bind_secure(pg) : build_fake(pg);
+  }
+
+  std::optional<Outcome> replay_op(const mc::State& pre, const mc::Step& step,
+                                   ReplayReport& rep) {
+    Kernel& k = sys_.kernel();
+    const mc::Op& op = step.op;
+    switch (op.kind) {
+      case mc::OpKind::kSpawn: {
+        const unsigned p = op.a;
+        const bool model_spawned = step.after.procs[p].live;
+        PtStatus st;
+        Process* child = k.processes().fork(sys_.init(), &st);
+        if (child == nullptr) {
+          if (!model_spawned) {
+            log(rep, op, "allocation refused (zero check), as modelled");
+            return std::nullopt;
+          }
+          rep.detail = "fork failed: " + std::string(st.attack_detected
+                                                         ? "zero check"
+                                                         : "fault/oom");
+          return st.attack_detected ? Outcome::kDetectedZero
+                                    : Outcome::kBlockedFault;
+        }
+        procs_[p] = child;
+        if (!k.processes().add_vma(*child, victim_va(p), kPageSize,
+                                   pte::kR | pte::kW) ||
+            k.processes().switch_to(*child) != SwitchResult::kOk ||
+            !k.user_access(*child, victim_va(p), /*write=*/true)) {
+          rep.detail = "spawn enrichment failed";
+          return Outcome::kContained;
+        }
+        const u8 ghost = step.after.procs[p].ghost_root;
+        if (ghost != mc::kNoPage) page_pa_[ghost] = k.processes().pcb_pgd(*child);
+        log(rep, op, "pid " + std::to_string(child->pid) + " root bound");
+        return std::nullopt;
+      }
+      case mc::OpKind::kExitMm: {
+        if (procs_[op.a] == nullptr) return std::nullopt;
+        proto_.exit_mm(*procs_[op.a]);
+        procs_[op.a] = nullptr;
+        log(rep, op, "reaped");
+        return std::nullopt;
+      }
+      case mc::OpKind::kSwitchMm: {
+        if (procs_[op.a] == nullptr) return std::nullopt;
+        const ProtoResult r = proto_.switch_mm(*procs_[op.a]);
+        if (r.status == ProtoStatus::kTokenReject) {
+          rep.detail = "switch_mm rejected the pgd/token binding";
+          return Outcome::kDetectedToken;
+        }
+        if (!r.ok()) {
+          rep.detail = "switch_mm faulted";
+          return Outcome::kBlockedFault;
+        }
+        log(rep, op, "satp written");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAllocPt: {
+        const unsigned p = op.a;
+        if (procs_[p] == nullptr) return std::nullopt;
+        const bool model_grew = step.after.procs[p].extra_pt != mc::kNoPage;
+        const ProtoResult r = proto_.alloc_pt(*procs_[p], extra_va(p));
+        if (r.status == ProtoStatus::kZeroDetect) {
+          if (!model_grew) {
+            log(rep, op, "allocation refused (zero check), as modelled");
+            return std::nullopt;
+          }
+          rep.detail = "alloc_pt rejected by zero check";
+          return Outcome::kDetectedZero;
+        }
+        if (!r.ok() && model_grew) {
+          rep.detail = "alloc_pt faulted";
+          return Outcome::kBlockedFault;
+        }
+        log(rep, op, "page tables grew");
+        return std::nullopt;
+      }
+      case mc::OpKind::kFreePt: {
+        if (procs_[op.a] == nullptr) return std::nullopt;
+        proto_.free_pt(*procs_[op.a], extra_va(op.a));
+        log(rep, op, "unmapped");
+        return std::nullopt;
+      }
+      case mc::OpKind::kGrow: {
+        proto_.grow(0);
+        log(rep, op, "secure region grew");
+        return std::nullopt;
+      }
+      case mc::OpKind::kUserAccess: {
+        // In a counterexample this op only appears as the P1 witness: the
+        // walker must consume the attacker's out-of-region PTEs.
+        const VirtAddr va = fake_built_ ? evil_va_ : victim_va(op.a);
+        const MemAccessResult probe = user_probe(sys_, va, /*write=*/true);
+        if (!probe.ok) {
+          rep.detail = std::string("PTW refused the injected tables: ") +
+                       isa::to_string(probe.fault);
+          return Outcome::kBlockedFault;
+        }
+        rep.detail =
+            "user access completed through attacker page tables in normal "
+            "memory (P1 witnessed)";
+        log(rep, op, "walk served from attacker PTEs");
+        return Outcome::kSucceeded;
+      }
+      case mc::OpKind::kAtkWritePage: {
+        const u8 pg = op.a;
+        if (mc::is_secure(pre, pg)) {
+          const PhysAddr pa = bind_secure(pg);
+          if (pa == 0) return oom(rep);
+          ArbitraryRw rw(sys_.core());
+          const KAccess w = rw.write(pa, 0x41414141'41414141);
+          if (!w.ok) {
+            rep.detail = std::string("store into the secure region raised ") +
+                         isa::to_string(w.fault);
+            return Outcome::kBlockedFault;
+          }
+          log(rep, op, "secure page clobbered");
+          return std::nullopt;
+        }
+        if (build_fake(pg) == 0) return oom(rep);
+        log(rep, op, "fake hierarchy sprayed into normal memory");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAtkRedirectPgd: {
+        if (procs_[op.a] == nullptr) return std::nullopt;
+        const PhysAddr pa = bind(pre, op.b);
+        if (pa == 0) return oom(rep);
+        ArbitraryRw rw(sys_.core());
+        rw.write(procs_[op.a]->pcb_pgd_field(), pa);
+        expect_root_pa_ = pa;
+        log(rep, op, "pcb pgd hijacked");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAtkRedirectToken: {
+        if (procs_[op.a] == nullptr) return std::nullopt;
+        ArbitraryRw rw(sys_.core());
+        u64 v = 0;
+        const auto ref = static_cast<mc::TokenRef>(op.b);
+        if (ref == mc::TokenRef::kSlot0 || ref == mc::TokenRef::kSlot1) {
+          const unsigned slot = ref == mc::TokenRef::kSlot0 ? 0 : 1;
+          if (procs_[slot] != nullptr)
+            v = rw.read(procs_[slot]->pcb_token_field()).value;
+        } else if (ref == mc::TokenRef::kFake) {
+          // Craft a token image in normal memory matching this PCB.
+          const PhysAddr home = build_fake(0);
+          if (home == 0) return oom(rep);
+          const PhysAddr tok = home + kPageSize - kTokenSize;
+          rw.write(tok + kTokenPtPtrOff,
+                   rw.read(procs_[op.a]->pcb_pgd_field()).value);
+          rw.write(tok + kTokenUserPtrOff, procs_[op.a]->pcb_token_field());
+          v = tok;
+        }
+        rw.write(procs_[op.a]->pcb_token_field(), v);
+        log(rep, op, "pcb token pointer redirected");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAtkForgeToken: {
+        const unsigned slot = op.a;
+        if (procs_[slot] == nullptr) return std::nullopt;
+        const PhysAddr pa = bind(pre, op.b);
+        if (pa == 0) return oom(rep);
+        ArbitraryRw rw(sys_.core());
+        const u64 tok = rw.read(procs_[slot]->pcb_token_field()).value;
+        if (tok == 0) {
+          log(rep, op, "no token issued (nothing to forge)");
+          return std::nullopt;
+        }
+        const KAccess w = rw.write(tok + kTokenPtPtrOff, pa);
+        if (!w.ok) {
+          rep.detail = std::string("store into the token table raised ") +
+                       isa::to_string(w.fault);
+          return Outcome::kBlockedFault;
+        }
+        forged_ = true;
+        forged_slot_ = slot;
+        forged_pa_ = pa;
+        log(rep, op, "token table entry rebound");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAtkCorruptAllocator: {
+        const PhysAddr pa = bind(pre, op.a);
+        if (pa == 0) return oom(rep);
+        Kernel& kk = sys_.kernel();
+        BuddyZone& zone = kk.config().ptstore ? kk.pages().ptstore()
+                                              : kk.pages().normal();
+        zone.force_next_alloc(pa);
+        unsigned owner = 0;
+        for (unsigned p = 0; p < mc::kNumProcs; ++p) {
+          if (pre.procs[p].live && pre.procs[p].ghost_root == op.a) owner = p;
+        }
+        watch_slot_ = pa + bits(victim_va(owner), 30, 9) * kPteSize;
+        watch_sentinel_ = sys_.mem().read_u64(watch_slot_);
+        watching_ = true;
+        log(rep, op, "free list now hands out a live PT page");
+        return std::nullopt;
+      }
+      case mc::OpKind::kAtkSatpWrite: {
+        const PhysAddr pa = bind(pre, op.a);
+        if (pa == 0) return oom(rep);
+        const u64 v = isa::satp::make(isa::satp::kModeSv39, 0, pa >> kPageShift,
+                                      /*s_bit=*/false);
+        sys_.core().write_csr(isa::csr::kSatp, v, Privilege::kSupervisor);
+        expect_root_pa_ = pa;
+        log(rep, op, "gadget wrote satp");
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Outcome oom(ReplayReport& rep) {
+    rep.detail = "replay ran out of backing pages";
+    return Outcome::kContained;
+  }
+
+  void finish(const mc::Counterexample& ce, ReplayReport& rep) {
+    Kernel& k = sys_.kernel();
+    switch (ce.prop) {
+      case 1: {  // P2: satp must carry the steered, never-issued root.
+        const u64 satp_now = sys_.core().mmu().satp();
+        if (expect_root_pa_ != 0 &&
+            isa::satp::ppn(satp_now) == (expect_root_pa_ >> kPageShift)) {
+          rep.outcome = Outcome::kSucceeded;
+          rep.detail = "satp carries a root the kernel never issued (P2)";
+        } else {
+          rep.outcome = Outcome::kContained;
+          rep.detail = "satp does not carry the redirected root";
+        }
+        return;
+      }
+      case 2: {  // P3: the forged binding must validate for a second process.
+        if (!forged_ || procs_[forged_slot_] == nullptr) {
+          rep.outcome = Outcome::kContained;
+          rep.detail = "no forged token to cash in";
+          return;
+        }
+        ArbitraryRw rw(sys_.core());
+        rw.write(procs_[forged_slot_]->pcb_pgd_field(), forged_pa_);
+        const ProtoResult r = proto_.switch_mm(*procs_[forged_slot_]);
+        if (r.status == ProtoStatus::kTokenReject) {
+          rep.outcome = Outcome::kDetectedToken;
+          rep.detail = "switch_mm still rejected the forged binding";
+          return;
+        }
+        const u64 satp_now = sys_.core().mmu().satp();
+        const bool aliased =
+            r.ok() && isa::satp::ppn(satp_now) == (forged_pa_ >> kPageShift);
+        rep.outcome = aliased ? Outcome::kSucceeded : Outcome::kContained;
+        rep.detail = aliased
+                         ? "forged token validated: two live processes share "
+                           "one page table (P3)"
+                         : "forged binding did not reach satp";
+        return;
+      }
+      case 3: {  // P4: the re-issued live PT page must have been clobbered.
+        if (watching_ && sys_.mem().read_u64(watch_slot_) != watch_sentinel_) {
+          rep.outcome = Outcome::kSucceeded;
+          rep.detail = "live page-table page re-issued and clobbered (P4)";
+        } else {
+          rep.outcome = Outcome::kContained;
+          rep.detail = "watched PT slot is intact";
+        }
+        return;
+      }
+      default:
+        rep.outcome = Outcome::kContained;
+        rep.detail = "trace ended without reaching its witness op";
+        (void)k;
+        return;
+    }
+  }
+
+  mc::ModelConfig mcfg_;
+  System sys_;
+  ProtocolOps proto_;
+  PhysAddr page_pa_[mc::kNumPages] = {};
+  Process* procs_[mc::kNumProcs] = {};
+  const VirtAddr evil_va_ = kUserSpaceBase + GiB(32);
+  bool fake_built_ = false;
+  PhysAddr secret_pa_ = 0;
+  PhysAddr expect_root_pa_ = 0;
+  bool forged_ = false;
+  unsigned forged_slot_ = 0;
+  PhysAddr forged_pa_ = 0;
+  bool watching_ = false;
+  PhysAddr watch_slot_ = 0;
+  u64 watch_sentinel_ = 0;
+};
+
+}  // namespace
+
+ReplayReport replay_counterexample(const analysis::ptmc::Counterexample& ce) {
+  Replayer r(ce.cfg);
+  return r.run(ce);
+}
+
+ReplayReport replay_on_stock(const analysis::ptmc::Counterexample& ce) {
+  analysis::ptmc::ModelConfig stock = ce.cfg;
+  stock.s_bit = stock.ptw_check = stock.token_check = stock.zero_check = true;
+  Replayer r(stock);
+  return r.run(ce);
+}
+
+}  // namespace ptstore::attacks

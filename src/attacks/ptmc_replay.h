@@ -1,0 +1,40 @@
+// Counterexample replay: drives a concrete System through the op sequence
+// of a ptmc counterexample, with the same defences disabled that the model
+// had disabled, and checks that the abstract violation is architecturally
+// real. The abstract pages of the model are bound lazily to physical pages
+// of the simulator as the trace touches them; each kernel op goes through
+// src/kernel/protocol.h so abstract and concrete steps correspond 1:1.
+//
+// Two entry points:
+//   * replay_counterexample — replay under the counterexample's own
+//     (mutated) ModelConfig; a faithful counterexample must end in
+//     Outcome::kSucceeded.
+//   * replay_on_stock — replay the same ops with every defence on; the
+//     stock system must stop the trace (fault / token reject / zero
+//     detect), which is the other half of the matrix argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ptmc.h"
+#include "attacks/scenarios.h"
+
+namespace ptstore::attacks {
+
+struct ReplayReport {
+  Outcome outcome = Outcome::kContained;
+  std::string detail;            ///< What decided the outcome.
+  std::vector<std::string> log;  ///< One line per replayed op.
+  bool defended() const { return outcome != Outcome::kSucceeded; }
+};
+
+/// Replay `ce` on a System configured from ce.cfg (defence mutations
+/// applied). Reproducing the violation yields Outcome::kSucceeded.
+ReplayReport replay_counterexample(const analysis::ptmc::Counterexample& ce);
+
+/// Replay `ce`'s op sequence on a fully-defended System: the report carries
+/// the defence that stopped it.
+ReplayReport replay_on_stock(const analysis::ptmc::Counterexample& ce);
+
+}  // namespace ptstore::attacks

@@ -1,6 +1,8 @@
 #include "attacks/scenarios.h"
 
+#include "attacks/support.h"
 #include "common/bits.h"
+#include "kernel/token.h"
 #include "mmu/pte.h"
 
 namespace ptstore::attacks {
@@ -15,56 +17,6 @@ const char* to_string(Outcome o) {
   }
   return "?";
 }
-
-namespace {
-
-constexpr VirtAddr kVictimVa = kUserSpaceBase + MiB(4);
-
-/// Omniscient (host-side) Sv39 walk to the physical address of the leaf PTE
-/// slot for `va`. This models the paper's assumption that a sophisticated
-/// attacker can *locate* page tables (e.g. via PT-Rand-style info leaks) —
-/// locating is free; *accessing* must go through the architecture.
-std::optional<PhysAddr> find_leaf_slot(System& sys, PhysAddr root, VirtAddr va) {
-  PhysAddr table = root;
-  for (unsigned level = 2; level > 0; --level) {
-    const PhysAddr slot = table + bits(va, 12 + 9 * level, 9) * kPteSize;
-    const u64 entry = sys.mem().read_u64(slot);
-    if (!pte::is_table(entry)) return std::nullopt;
-    table = pte::pa(entry);
-  }
-  return table + bits(va, 12, 9) * kPteSize;
-}
-
-/// Fork a victim process off init with one user page mapped at kVictimVa.
-Process* setup_victim(System& sys, u64 prot = pte::kR | pte::kW) {
-  Kernel& k = sys.kernel();
-  Process* victim = k.processes().fork(sys.init());
-  if (victim == nullptr) return nullptr;
-  if (!k.processes().add_vma(*victim, kVictimVa, kPageSize, prot)) return nullptr;
-  if (k.processes().switch_to(*victim) != SwitchResult::kOk) return nullptr;
-  if (!k.user_access(*victim, kVictimVa, (prot & pte::kW) != 0)) return nullptr;
-  return victim;
-}
-
-/// U-mode probe access issued directly (no kernel demand-paging behind it).
-MemAccessResult user_probe(System& sys, VirtAddr va, bool write) {
-  return sys.core().access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
-                              AccessKind::kRegular, Privilege::kUser,
-                              0x4141414141414141);
-}
-
-/// Restore a sane address space after an attack wedged satp (harness-only
-/// recovery so later assertions can run; M-mode write bypasses S-mode state).
-void restore_kernel_satp(System& sys) {
-  const u64 satp_v = isa::satp::make(
-      isa::satp::kModeSv39, sys.kernel().config().kernel_asid,
-      sys.kernel().kernel_root() >> kPageShift,
-      sys.kernel().config().ptstore && sys.kernel().config().ptw_check);
-  sys.core().write_csr(isa::csr::kSatp, satp_v, Privilege::kMachine);
-  sys.core().mmu().sfence(std::nullopt, std::nullopt);
-}
-
-}  // namespace
 
 AttackReport pt_tampering(System& sys) {
   AttackReport rep{.name = "PT-Tampering", .outcome = Outcome::kSucceeded, .detail = {}};
@@ -358,9 +310,54 @@ AttackReport tlb_inconsistency(System& sys) {
   return rep;
 }
 
+AttackReport token_forgery(System& sys) {
+  AttackReport rep{.name = "Token-forgery", .outcome = Outcome::kSucceeded, .detail = {}};
+  Kernel& k = sys.kernel();
+  Process* attacker = setup_victim(sys);
+  Process* victim = k.processes().fork(sys.init());  // Privileged victim.
+  if (attacker == nullptr || victim == nullptr) {
+    rep.detail = "setup failed";
+    return rep;
+  }
+
+  ArbitraryRw rw(sys.core());
+  const u64 attacker_pgd = rw.read(attacker->pcb_pgd_field()).value;
+  const u64 victim_token = rw.read(victim->pcb_token_field()).value;
+  if (victim_token != 0) {
+    // Forge the *table entry itself*: point the victim token's pt pointer at
+    // the attacker's root with a regular store. The table lives in the
+    // secure region, so this is exactly what the PMP S bit must stop.
+    const KAccess w =
+        rw.write(victim_token + kTokenPtPtrOff, attacker_pgd);
+    if (!w.ok) {
+      rep.outcome = Outcome::kBlockedFault;
+      rep.detail = std::string("store into the token table raised ") +
+                   isa::to_string(w.fault);
+      return rep;
+    }
+  }
+  // The forged token binds the attacker's root to the victim — redirect the
+  // victim's pgd there and the (unchanged) validation logic agrees.
+  rw.write(victim->pcb_pgd_field(), attacker_pgd);
+  const SwitchResult sw = k.processes().switch_to(*victim);
+  if (sw == SwitchResult::kTokenInvalid) {
+    rep.outcome = Outcome::kDetectedToken;
+    rep.detail = "switch_mm still rejected the forged binding";
+    return rep;
+  }
+  const u64 satp_now = sys.core().mmu().satp();
+  const bool hijacked = isa::satp::ppn(satp_now) == (attacker_pgd >> kPageShift);
+  restore_kernel_satp(sys);
+  rep.outcome = hijacked ? Outcome::kSucceeded : Outcome::kContained;
+  rep.detail = hijacked
+                   ? "forged token validated: victim runs on the attacker's root"
+                   : "satp does not carry the attacker's root";
+  return rep;
+}
+
 std::vector<AttackReport> run_all(const SystemConfig& cfg) {
   std::vector<AttackReport> out;
-  out.reserve(7);
+  out.reserve(8);
   {
     System sys(cfg);
     out.push_back(pt_tampering(sys));
@@ -388,6 +385,10 @@ std::vector<AttackReport> run_all(const SystemConfig& cfg) {
   {
     System sys(cfg);
     out.push_back(tlb_inconsistency(sys));
+  }
+  {
+    System sys(cfg);
+    out.push_back(token_forgery(sys));
   }
   return out;
 }

@@ -58,7 +58,13 @@ AttackReport vm_metadata(System& sys);
 /// translation aimed at a physical page that now holds page tables.
 AttackReport tlb_inconsistency(System& sys);
 
-/// Run the full battery (7 scenarios), each against a fresh system instance
+/// §III-C3 token forgery (ptmc P3 witness): rewrite a victim token's
+/// pt-pointer in the secure-region token table with a regular store, then
+/// redirect the victim's pgd at the attacker's root so the forged binding
+/// validates. The S bit must make the forging store fault.
+AttackReport token_forgery(System& sys);
+
+/// Run the full battery (8 scenarios), each against a fresh system instance
 /// (scenarios corrupt kernel state by design and are not composable).
 std::vector<AttackReport> run_all(const SystemConfig& cfg);
 

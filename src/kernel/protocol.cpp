@@ -1,0 +1,80 @@
+#include "kernel/protocol.h"
+
+#include "mmu/pte.h"
+
+namespace ptstore {
+
+const char* to_string(ProtoStatus s) {
+  switch (s) {
+    case ProtoStatus::kOk: return "ok";
+    case ProtoStatus::kTokenReject: return "token-reject";
+    case ProtoStatus::kZeroDetect: return "zero-detect";
+    case ProtoStatus::kFault: return "fault";
+    case ProtoStatus::kOom: return "oom";
+    case ProtoStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ProtoResult ProtocolOps::from_status(const PtStatus& st) {
+  if (st.ok) return {ProtoStatus::kOk, 0, 0};
+  if (st.attack_detected) return {ProtoStatus::kZeroDetect, 0, 0};
+  if (st.oom) return {ProtoStatus::kOom, 0, 0};
+  if (st.fault != isa::TrapCause::kNone) return {ProtoStatus::kFault, 0, 0};
+  return {ProtoStatus::kFailed, 0, 0};
+}
+
+ProtoResult ProtocolOps::copy_mm(Process& parent) {
+  PtStatus st;
+  Process* child = k_.processes().fork(parent, &st);
+  if (child == nullptr) return from_status(st);
+  return {ProtoStatus::kOk, child->pid, k_.processes().pcb_pgd(*child)};
+}
+
+ProtoResult ProtocolOps::alloc_pt(Process& proc, VirtAddr va) {
+  // A fresh single-page VMA plus its demand fault: the fault handler maps
+  // the page, allocating interior PT pages from the secure zone on the way
+  // down — each through alloc_pt_page and its zero check.
+  if (!k_.processes().add_vma(proc, va, kPageSize, pte::kR | pte::kW)) {
+    return {ProtoStatus::kFailed, proc.pid, 0};
+  }
+  PtStatus st;
+  if (!k_.processes().handle_fault(proc, va, /*write=*/true, &st)) {
+    ProtoResult r = from_status(st);
+    r.pid = proc.pid;
+    return r;
+  }
+  return {ProtoStatus::kOk, proc.pid, k_.processes().pcb_pgd(proc)};
+}
+
+ProtoResult ProtocolOps::free_pt(Process& proc, VirtAddr va) {
+  if (!k_.processes().remove_vma(proc, va, kPageSize)) {
+    return {ProtoStatus::kFailed, proc.pid, 0};
+  }
+  return {ProtoStatus::kOk, proc.pid, 0};
+}
+
+ProtoResult ProtocolOps::switch_mm(Process& proc) {
+  switch (k_.processes().switch_to(proc)) {
+    case SwitchResult::kOk:
+      return {ProtoStatus::kOk, proc.pid, k_.processes().pcb_pgd(proc)};
+    case SwitchResult::kTokenInvalid:
+      return {ProtoStatus::kTokenReject, proc.pid, 0};
+    case SwitchResult::kSatpFault:
+      return {ProtoStatus::kFault, proc.pid, 0};
+  }
+  return {ProtoStatus::kFailed, proc.pid, 0};
+}
+
+ProtoResult ProtocolOps::exit_mm(Process& proc) {
+  const u64 pid = proc.pid;
+  k_.processes().exit(proc);
+  return {ProtoStatus::kOk, pid, 0};
+}
+
+ProtoResult ProtocolOps::grow(unsigned order) {
+  if (!k_.grow_secure_region(order)) return {ProtoStatus::kFailed, 0, 0};
+  return {ProtoStatus::kOk, 0, 0};
+}
+
+}  // namespace ptstore

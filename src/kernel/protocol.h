@@ -1,0 +1,57 @@
+// Protocol-op hooks: the kernel operations of the paper's §IV-C protocol
+// (alloc_pt / free_pt / copy_mm / switch_mm / exit_mm / secure-region grow)
+// exposed as a uniform, structured-result surface. The ptmc bounded model
+// checker (src/analysis/ptmc.h) abstracts exactly these transitions; its
+// counterexample replay (src/attacks/ptmc_replay.h) drives the concrete
+// kernel through this interface op-for-op, so every abstract step maps onto
+// one call here and every defence that fires maps onto one ProtoStatus.
+#pragma once
+
+#include "kernel/kernel.h"
+
+namespace ptstore {
+
+enum class ProtoStatus : u8 {
+  kOk = 0,
+  kTokenReject,  ///< switch_mm refused the pgd/token binding (§III-C3).
+  kZeroDetect,   ///< §V-E3 all-zero check refused a dirty PT page.
+  kFault,        ///< An architectural access fault surfaced mid-op (S-bit).
+  kOom,          ///< Backing zone exhausted.
+  kFailed,       ///< Op-specific failure (bad arguments, no VMA, ...).
+};
+
+const char* to_string(ProtoStatus s);
+
+struct ProtoResult {
+  ProtoStatus status = ProtoStatus::kFailed;
+  u64 pid = 0;       ///< Subject process, 0 when the op created none.
+  PhysAddr root = 0; ///< Page-table root involved, 0 when not meaningful.
+  bool ok() const { return status == ProtoStatus::kOk; }
+};
+
+/// Thin stateless driver over the kernel's protocol surface.
+class ProtocolOps {
+ public:
+  explicit ProtocolOps(Kernel& k) : k_(k) {}
+
+  /// fork: duplicate `parent`'s mm (allocates a root — the §V-E3 check runs).
+  ProtoResult copy_mm(Process& parent);
+  /// Map one writable page at `va`, demand-faulting it in — the path that
+  /// grows a live mm's page tables (interior alloc_pt calls).
+  ProtoResult alloc_pt(Process& proc, VirtAddr va);
+  /// Unmap the page at `va` (PT pages themselves are freed at exit_mm).
+  ProtoResult free_pt(Process& proc, VirtAddr va);
+  /// Context switch with token validation.
+  ProtoResult switch_mm(Process& proc);
+  /// Terminate and reap (frees + zeroes every PT page of the mm).
+  ProtoResult exit_mm(Process& proc);
+  /// Secure-region growth by 2^order chunks (§IV-C1).
+  ProtoResult grow(unsigned order);
+
+ private:
+  static ProtoResult from_status(const PtStatus& st);
+
+  Kernel& k_;
+};
+
+}  // namespace ptstore

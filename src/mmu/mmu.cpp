@@ -34,6 +34,9 @@ Mmu::Mmu(PhysMem& mem, PmpUnit& pmp, const TlbConfig& itlb_cfg,
       ptw_secure_denied_(bank_.counter(
           "mmu.ptw_secure_denied", "PTE fetches denied by the satp.S secure check")),
       ptw_pmp_denied_(bank_.counter("mmu.ptw_pmp_denied", "PTE fetches denied by PMP")),
+      ptw_nonsecure_fetch_(bank_.counter(
+          "mmu.ptw_nonsecure_fetch",
+          "PTE fetches consumed from outside every PMP S=1 region")),
       ad_updates_(bank_.counter("mmu.ad_updates", "hardware A/D bit writebacks")),
       sfences_(bank_.counter("mmu.sfence", "sfence.vma executions")) {}
 
@@ -142,7 +145,8 @@ TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
 
     // PTStore: with satp.S set, the walker refuses PTE fetches from outside
     // the PMP secure region — injected page tables are unreachable.
-    if (secure_check && !pmp_.is_secure(pte_addr, kPteSize)) {
+    const bool nonsecure_pte = !pmp_.is_secure(pte_addr, kPteSize);
+    if (secure_check && nonsecure_pte) {
       res.fault = isa::access_fault_for(type);
       ptw_secure_denied_.add();
       return res;
@@ -157,6 +161,10 @@ TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
       return res;
     }
 
+    if (nonsecure_pte && pmp_.any_active()) {
+      res.fetched_nonsecure_pte = true;
+      ptw_nonsecure_fetch_.add();
+    }
     u64 entry = mem_.read_u64(pte_addr);
     if (!pte::valid(entry) || pte::malformed(entry)) {
       res.fault = isa::page_fault_for(type);

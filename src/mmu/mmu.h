@@ -26,6 +26,11 @@ struct TranslateResult {
   unsigned level = 0;
   bool tlb_hit = false;
   Cycles cycles = 0;  ///< PTW + PTE-fetch cycles charged to this translation.
+  /// The walk consumed at least one PTE from outside every PMP S=1 region.
+  /// Always false on a TLB hit. This is the observable for ptmc's P1
+  /// ("PTW never fetches a PTE outside the secure region") when the satp.S
+  /// check is mutated off — the deny path never runs, but the fetch is real.
+  bool fetched_nonsecure_pte = false;
 };
 
 /// Inputs the walker needs from the current hart state.
@@ -106,6 +111,7 @@ class Mmu {
   telemetry::Counter ptw_bad_addr_;
   telemetry::Counter ptw_secure_denied_;
   telemetry::Counter ptw_pmp_denied_;
+  telemetry::Counter ptw_nonsecure_fetch_;
   telemetry::Counter ad_updates_;
   telemetry::Counter sfences_;
   mutable StatSet stats_;

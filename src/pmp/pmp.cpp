@@ -88,7 +88,7 @@ PmpDecision PmpUnit::check(PhysAddr pa, u64 size, AccessType type, AccessKind ki
     // PTStore secure-region semantics first: they override the base R/W/X
     // rules and apply to S/U modes (M-mode is the trusted monitor; its
     // regular accesses honour the L bit as in the base spec).
-    if (priv != Privilege::kMachine || locked) {
+    if (secure_enforcement_ && (priv != Privilege::kMachine || locked)) {
       if (secure && kind == AccessKind::kRegular) {
         return {false, PmpDenyReason::kSecureRegular, static_cast<int>(i)};
       }
@@ -113,7 +113,7 @@ PmpDecision PmpUnit::check(PhysAddr pa, u64 size, AccessType type, AccessKind ki
   if (!any_active()) return {true, PmpDenyReason::kNone, -1};
   // ld.pt/sd.pt may only touch the secure region, which is by definition
   // covered by an S=1 entry; missing everything is a fault for them too.
-  if (kind == AccessKind::kPtInsn) {
+  if (secure_enforcement_ && kind == AccessKind::kPtInsn) {
     return {false, PmpDenyReason::kPtInsnOutsideSecure, -1};
   }
   return {false, PmpDenyReason::kNoMatch, -1};

@@ -80,6 +80,18 @@ class PmpUnit {
   /// MMU for the satp.S page-table-walker check.
   bool is_secure(PhysAddr pa, u64 size) const;
 
+  /// Defence-mutation hook (analysis/ptmc): with enforcement off, the S bit
+  /// loses its access-kind semantics — S=1 entries behave as plain R/W/X
+  /// regions for every instruction and ld.pt/sd.pt are no longer confined
+  /// to them. is_secure() (the walker-side view used by the satp.S check)
+  /// is deliberately unaffected, so the two defences stay independently
+  /// toggleable. Counts as a configuration write for write_gen().
+  void set_secure_enforcement(bool on) {
+    ++write_gen_;
+    secure_enforcement_ = on;
+  }
+  bool secure_enforcement() const { return secure_enforcement_; }
+
   /// Range [base, end) of entry idx per its match mode; nullopt if OFF.
   std::optional<std::pair<PhysAddr, PhysAddr>> entry_range(unsigned idx) const;
 
@@ -102,6 +114,7 @@ class PmpUnit {
   std::array<u8, kPmpEntryCount> cfg_{};
   std::array<u64, kPmpEntryCount> addr_{};
   u64 write_gen_ = 0;
+  bool secure_enforcement_ = true;
 };
 
 }  // namespace ptstore

@@ -86,6 +86,28 @@ TEST(AbsVal, SextW) {
   EXPECT_TRUE(AbsVal::sext_w(AbsVal::range(0, u64{1} << 31)).is_top());
 }
 
+TEST(AbsVal, SignedOverflowWrapsToTop) {
+  // Exact values wrap like hardware even across the signed boundary.
+  EXPECT_EQ(AbsVal::add(AbsVal::exact(0x7FFF'FFFF'FFFF'FFFF), AbsVal::exact(1)),
+            AbsVal::exact(u64{1} << 63));
+  EXPECT_EQ(AbsVal::add_imm(AbsVal::exact(u64{1} << 63), -1),
+            AbsVal::exact(0x7FFF'FFFF'FFFF'FFFF));
+  // An interval whose bounds BOTH wrap by the same constant keeps its width
+  // and stays representable...
+  EXPECT_EQ(AbsVal::add_imm(AbsVal::range(~u64{0} - 4, ~u64{0}), 8),
+            AbsVal::range(3, 7));
+  // ...but a partial wrap would rotate lo past hi, which the unsigned
+  // interval cannot express: it must collapse to Top, never invert.
+  EXPECT_TRUE(AbsVal::add_imm(AbsVal::range(~u64{0} - 4, ~u64{0}), 2).is_top());
+  // Interval + interval near the top of the space: the conservative rule
+  // collapses any wrapping upper bound.
+  EXPECT_TRUE(
+      AbsVal::add(AbsVal::range(~u64{0} - 1, ~u64{0}), AbsVal::exact(2))
+          .is_top());
+  // Shifting the sign bit out loses information the interval can't keep.
+  EXPECT_TRUE(AbsVal::shl(AbsVal::range(1, u64{1} << 62), 2).is_top());
+}
+
 TEST(AbsVal, Describe) {
   EXPECT_EQ(AbsVal::top().describe(), "[top]");
   EXPECT_EQ(AbsVal::exact(0x1F).describe(), "0x1f");

@@ -19,9 +19,9 @@ LintConfig config() {
   return cfg;
 }
 
-TEST(Corpus, HasSixEntriesWithExpectedShapes) {
+TEST(Corpus, HasTenEntriesWithExpectedShapes) {
   const auto corpus = violation_corpus(kSrBase, kSrEnd);
-  ASSERT_EQ(corpus.size(), 6u);
+  ASSERT_EQ(corpus.size(), 10u);
   size_t clean = 0;
   for (const CorpusEntry& e : corpus) {
     EXPECT_FALSE(e.image.words.empty()) << e.name;
@@ -30,6 +30,24 @@ TEST(Corpus, HasSixEntriesWithExpectedShapes) {
   EXPECT_EQ(clean, 1u);  // exactly the benign near-miss
   EXPECT_NE(find_entry(corpus, "benign_near_miss"), nullptr);
   EXPECT_EQ(find_entry(corpus, "no_such_entry"), nullptr);
+}
+
+TEST(Corpus, PtmcEntriesCoverAllFourMutations) {
+  // One re-assembled counterexample per defence-off mutation, each expecting
+  // the ptlint rule that statically mirrors the disabled defence.
+  const auto corpus = violation_corpus(kSrBase, kSrEnd);
+  const CorpusEntry* ptw = find_entry(corpus, "ptmc_ptw");
+  const CorpusEntry* token = find_entry(corpus, "ptmc_token");
+  const CorpusEntry* sbit = find_entry(corpus, "ptmc_sbit");
+  const CorpusEntry* zero = find_entry(corpus, "ptmc_zero");
+  ASSERT_NE(ptw, nullptr);
+  ASSERT_NE(token, nullptr);
+  ASSERT_NE(sbit, nullptr);
+  ASSERT_NE(zero, nullptr);
+  EXPECT_EQ(ptw->expected, DiagKind::kSatpWriteUnvalidated);
+  EXPECT_EQ(token->expected, DiagKind::kSatpWriteUnvalidated);
+  EXPECT_EQ(sbit->expected, DiagKind::kRegularTouchesSecure);
+  EXPECT_EQ(zero->expected, DiagKind::kPtInsnEscapes);
 }
 
 TEST(Corpus, EverySeededViolationIsFlagged) {

@@ -263,6 +263,61 @@ TEST(PtLint, LoopStateWidensSoundly) {
   EXPECT_EQ(rep.violation_count(), 0u) << rep.format();
 }
 
+TEST(PtLint, UnboundedLoopWidensAfterJoinThreshold) {
+  // t0 grows by 8 per iteration with a Top trip count: the loop-entry joins
+  // keep changing, so after kWidenAfter joins the solver must widen t0 to
+  // Top (guaranteeing termination) and the access through it becomes a
+  // dynamic-check note. s2 never changes inside the loop, so widening must
+  // NOT touch it — its in-region store stays a definite violation.
+  Assembler a(kBase);
+  auto loop = a.make_label();
+  a.li(Reg::kT0, kBase + 0x1000);
+  a.li(Reg::kS2, kSrBase);
+  a.bind(loop);
+  a.sd(Reg::kZero, Reg::kT0, 0);  // widened to Top: note
+  a.sd(Reg::kZero, Reg::kS2, 0);  // loop-invariant secure target: violation
+  a.addi(Reg::kT0, Reg::kT0, 8);
+  a.bnez(Reg::kA0, loop);  // a0 unconstrained: unbounded trip count
+  a.ebreak();
+  Image img;
+  img.base = kBase;
+  img.words = a.finish();
+  const LintReport rep = lint_image(img, config());
+  EXPECT_EQ(rep.violation_count(), 1u) << rep.format();
+  EXPECT_TRUE(has_violation(rep, DiagKind::kRegularTouchesSecure));
+  size_t unknown = 0, secure = 0;
+  for (const auto& [pc, cls] : rep.access_class) {
+    unknown += cls == AccessClass::kUnknown ? 1 : 0;
+    secure += cls == AccessClass::kSecure ? 1 : 0;
+  }
+  EXPECT_EQ(unknown, 1u) << rep.format();  // the widened pointer
+  EXPECT_EQ(secure, 1u) << rep.format();   // the invariant one
+}
+
+TEST(PtLint, ClobberCoversWholeCallerSavedSet) {
+  // Boundary registers of the caller-saved set: t6 (x31) and a7 (x17) must
+  // be clobbered across a call-return edge; s11 (x27) is callee-saved and
+  // must survive with its exact value.
+  Assembler a(kBase);
+  auto fn = a.make_label();
+  a.li(Reg::kT6, kSrBase);
+  a.li(Reg::kA7, kSrBase);
+  a.li(Reg::kS11, kSrBase);
+  a.jal(Reg::kRa, fn);
+  a.sd(Reg::kZero, Reg::kT6, 0);   // Top: note
+  a.sd(Reg::kZero, Reg::kA7, 0);   // Top: note
+  a.sd(Reg::kZero, Reg::kS11, 0);  // still exactly kSrBase: violation
+  a.ebreak();
+  a.bind(fn);
+  a.ret();
+  Image img;
+  img.base = kBase;
+  img.words = a.finish();
+  const LintReport rep = lint_image(img, config());
+  EXPECT_EQ(rep.violation_count(), 1u) << rep.format();
+  EXPECT_TRUE(has_violation(rep, DiagKind::kRegularTouchesSecure));
+}
+
 TEST(PtLint, ReportFormatMentionsRuleAndLocation) {
   const Image img = image_of([](Assembler& a) {
     a.li(Reg::kT0, kSrBase);

@@ -1,0 +1,150 @@
+// Model-checker tests: the defences-on system proves P1-P4 over its entire
+// reachable closure; each mutation-matrix entry breaks exactly its targeted
+// properties with a shallow counterexample; exports are well-formed.
+#include <gtest/gtest.h>
+
+#include "analysis/ptmc.h"
+#include "telemetry/json.h"
+
+namespace ptstore::analysis::ptmc {
+namespace {
+
+TEST(Ptmc, DefencesOnHoldExhaustively) {
+  const CheckResult res = check(ModelConfig{});
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_EQ(res.props_violated, 0u);
+  // The default bounds exceed the closure: "holds" here means exhaustive
+  // over the abstraction, not merely bound-limited.
+  EXPECT_TRUE(res.complete) << res.format();
+  EXPECT_FALSE(res.depth_capped);
+  EXPECT_FALSE(res.state_capped);
+  EXPECT_GT(res.states, 100'000u);  // the closure is ~254k states
+  EXPECT_GE(res.depth, 10u);
+  EXPECT_TRUE(res.counterexamples.empty());
+}
+
+TEST(Ptmc, PackDistinguishesStateComponents) {
+  const State base = State::initial();
+  const u64 key = base.pack();
+  EXPECT_EQ(key, State::initial().pack());  // deterministic
+
+  State s = base;
+  s.boundary = 1;
+  EXPECT_NE(s.pack(), key);
+  s = base;
+  s.pages[0].content = PageContent::kAttacker;
+  EXPECT_NE(s.pack(), key);
+  s = base;
+  s.procs[1].live = true;
+  EXPECT_NE(s.pack(), key);
+  s = base;
+  s.tokens[0].live = true;
+  EXPECT_NE(s.pack(), key);
+  s = base;
+  s.satp.s = !s.satp.s;
+  EXPECT_NE(s.pack(), key);
+  s = base;
+  s.forced_alloc = 2;
+  EXPECT_NE(s.pack(), key);
+}
+
+TEST(Ptmc, OpAlphabetIsFixedAndDescribable) {
+  const auto& ops = all_ops();
+  EXPECT_EQ(ops.size(), 48u);
+  for (const Op& op : ops) EXPECT_FALSE(describe(op).empty());
+}
+
+TEST(Ptmc, MutationMatrixBreaksExactlyItsTargets) {
+  for (const MutationEntry& m : mutation_matrix(ModelConfig{})) {
+    ModelConfig cfg = m.cfg;
+    cfg.stop_after_violated = m.must_break;
+    const CheckResult res = check(cfg);
+    EXPECT_EQ(res.props_violated & m.must_break, m.must_break)
+        << m.name << ": " << res.format();
+    EXPECT_EQ(res.props_violated & ~(m.must_break | m.may_also_break), 0u)
+        << m.name << ": " << res.format();
+    for (unsigned p = 0; p < kNumProps; ++p) {
+      if (!(res.props_violated & (1u << p))) continue;
+      const Counterexample* ce = res.counterexample_for(p);
+      ASSERT_NE(ce, nullptr) << m.name << " " << prop_name(p);
+      ASSERT_FALSE(ce->steps.empty());
+      // BFS order: counterexamples are shortest-first and stay shallow.
+      EXPECT_LE(ce->steps.size(), 8u) << m.name << " " << prop_name(p);
+      EXPECT_NE(ce->steps.back().violations & (1u << p), 0u);
+    }
+  }
+}
+
+TEST(Ptmc, PtwCheckAloneIsRedundantDefenceInDepth) {
+  // Disabling only the walker check breaks nothing: token validation still
+  // pins satp to kernel-issued roots, so no secure-PTE bypass is reachable.
+  std::vector<MutationEntry> matrix = mutation_matrix(ModelConfig{});
+  const MutationEntry* alone = nullptr;
+  for (const MutationEntry& m : matrix) {
+    if (std::string(m.name) == "ptw-alone") alone = &m;
+  }
+  ASSERT_NE(alone, nullptr);
+  EXPECT_EQ(alone->must_break, 0u);
+  const CheckResult res = check(alone->cfg);
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(Ptmc, CsrGadgetBreaksSatpBinding) {
+  ModelConfig cfg;
+  cfg.csr_gadget = true;
+  cfg.stop_after_violated = kP2;
+  const CheckResult res = check(cfg);
+  EXPECT_NE(res.props_violated & kP2, 0u) << res.format();
+  const Counterexample* ce = res.counterexample_for(1);
+  ASSERT_NE(ce, nullptr);
+  EXPECT_LE(ce->steps.size(), 2u);  // the gadget is a one-shot bypass
+}
+
+TEST(Ptmc, DotExportIsWellFormed) {
+  ModelConfig cfg;
+  cfg.token_check = false;
+  cfg.stop_after_violated = kP2;
+  const CheckResult res = check(cfg);
+  const Counterexample* ce = res.counterexample_for(1);
+  ASSERT_NE(ce, nullptr);
+  const std::string dot = to_dot(*ce);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find('\t'), std::string::npos);
+}
+
+TEST(Ptmc, JsonExportParsesWithExpectedSchema) {
+  ModelConfig cfg;
+  cfg.token_check = false;
+  cfg.stop_after_violated = kP2;
+  const CheckResult res = check(cfg);
+  const auto doc = telemetry::json_parse(to_json(res));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* props = doc->find("properties");
+  ASSERT_NE(props, nullptr);
+  ASSERT_TRUE(props->is_array());
+  EXPECT_EQ(props->arr.size(), kNumProps);
+  const telemetry::JsonValue* states = doc->find("states");
+  ASSERT_NE(states, nullptr);
+  EXPECT_GT(states->number, 0);
+  const telemetry::JsonValue* ces = doc->find("counterexamples");
+  ASSERT_NE(ces, nullptr);
+  ASSERT_TRUE(ces->is_array());
+  ASSERT_FALSE(ces->arr.empty());
+  const telemetry::JsonValue* steps = ces->arr[0].find("steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_FALSE(steps->arr.empty());
+}
+
+TEST(Ptmc, FormatSummarisesVerdicts) {
+  ModelConfig cfg;
+  cfg.token_check = false;
+  cfg.stop_after_violated = kP2;
+  const std::string text = check(cfg).format();
+  EXPECT_NE(text.find("P2"), std::string::npos);
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptstore::analysis::ptmc

@@ -1,0 +1,120 @@
+// SARIF export tests: the document must parse, carry the 2.1.0 schema
+// header, declare every ptlint rule, and map violations/notes to the right
+// result levels so code scanning renders them correctly.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/sarif.h"
+#include "isa/assembler.h"
+#include "telemetry/json.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+constexpr u64 kBase = 0x8010'0000;
+constexpr u64 kSrBase = 0x9C00'0000;
+constexpr u64 kSrEnd = 0xA000'0000;
+
+LintReport lint(const std::function<void(Assembler&)>& build) {
+  Assembler a(kBase);
+  build(a);
+  Image img;
+  img.base = kBase;
+  img.words = a.finish();
+  LintConfig cfg;
+  cfg.sr_base = kSrBase;
+  cfg.sr_end = kSrEnd;
+  return lint_image(img, cfg);
+}
+
+TEST(Sarif, RuleIdsAreStable) {
+  EXPECT_STREQ(sarif_rule_id(DiagKind::kRegularTouchesSecure), "PTL001");
+  EXPECT_STREQ(sarif_rule_id(DiagKind::kIllegalInstruction), "PTL007");
+}
+
+TEST(Sarif, DocumentParsesWithSchemaAndRules) {
+  const LintReport rep = lint([](Assembler& a) {
+    a.li(Reg::kT0, kSrBase);
+    a.sd(Reg::kZero, Reg::kT0, 0);
+    a.ebreak();
+  });
+  ASSERT_FALSE(rep.clean());
+
+  const auto doc = telemetry::json_parse(to_sarif(rep, "test.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* version = doc->find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->str, "2.1.0");
+  const telemetry::JsonValue* schema = doc->find("$schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->str.find("sarif"), std::string::npos);
+
+  const telemetry::JsonValue* runs = doc->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->arr.size(), 1u);
+  const telemetry::JsonValue* tool = runs->arr[0].find("tool");
+  ASSERT_NE(tool, nullptr);
+  const telemetry::JsonValue* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->str, "ptlint");
+  const telemetry::JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->arr.size(), 7u);  // one per DiagKind
+}
+
+TEST(Sarif, ResultsCarryLevelLocationAndPc) {
+  const LintReport rep = lint([](Assembler& a) {
+    a.li(Reg::kT0, kSrBase);
+    a.sd(Reg::kZero, Reg::kT0, 0);  // violation -> "error"
+    a.ld(Reg::kT1, Reg::kA0, 0);
+    a.sd(Reg::kZero, Reg::kT1, 0);  // Top address note -> "note"
+    a.ebreak();
+  });
+
+  const auto doc = telemetry::json_parse(to_sarif(rep, "probe.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* results = doc->find("runs")->arr[0].find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_TRUE(results->is_array());
+  ASSERT_GE(results->arr.size(), 2u);
+
+  bool saw_error = false, saw_note = false;
+  for (const telemetry::JsonValue& r : results->arr) {
+    const telemetry::JsonValue* level = r.find("level");
+    ASSERT_NE(level, nullptr);
+    saw_error |= level->str == "error";
+    saw_note |= level->str == "note";
+    const telemetry::JsonValue* locs = r.find("locations");
+    ASSERT_NE(locs, nullptr);
+    ASSERT_FALSE(locs->arr.empty());
+    const telemetry::JsonValue* phys = locs->arr[0].find("physicalLocation");
+    ASSERT_NE(phys, nullptr);
+    EXPECT_EQ(phys->find("artifactLocation")->find("uri")->str, "probe.s");
+    const telemetry::JsonValue* props = r.find("properties");
+    ASSERT_NE(props, nullptr);
+    EXPECT_NE(props->find("pc")->str.find("0x"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_note);
+}
+
+TEST(Sarif, CleanReportHasEmptyResults) {
+  const LintReport rep = lint([](Assembler& a) {
+    a.nop();
+    a.ebreak();
+  });
+  ASSERT_TRUE(rep.clean());
+  const auto doc = telemetry::json_parse(to_sarif(rep, "clean.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* results = doc->find("runs")->arr[0].find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_TRUE(results->arr.empty());
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

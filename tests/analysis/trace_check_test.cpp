@@ -124,6 +124,52 @@ TEST(TraceCheck, UnreachablePcAndUnclassifiedAccessAreContradicted) {
             std::string::npos);
 }
 
+TEST(TraceCheck, UnknownSiteCoverageReportsUnexercisedSites) {
+  // Two accesses through loaded (statically Top) pointers: one on the
+  // executed path, one on a statically-reachable but dynamically-dead
+  // branch arm. The coverage report must count both Unknown sites, credit
+  // the exercised one, and name the blind spot.
+  testutil::Machine m;
+  Tracer tracer(4096);
+  tracer.attach(m.core);
+
+  const u64 base = m.core.config().reset_pc;
+  const u64 buffer = kDramBase + 0x2000;
+  Assembler a(base);
+  auto over = a.make_label();
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, buffer + 0x100);
+  a.sd(Reg::kT1, Reg::kT0, 0);    // mem[buffer] = buffer + 0x100
+  a.ld(Reg::kT2, Reg::kT0, 0);    // t2: Top statically
+  a.sd(Reg::kZero, Reg::kT2, 0);  // Unknown site, exercised
+  a.li(Reg::kT3, 1);
+  a.bnez(Reg::kT3, over);         // always taken: the arm below never runs
+  a.ld(Reg::kT4, Reg::kT0, 0);
+  a.sd(Reg::kZero, Reg::kT4, 0);  // Unknown site, never exercised
+  a.bind(over);
+  a.ebreak();
+  const Image img = image_from(a, base);
+
+  m.core.load_code(base, img.words);
+  m.core.run(1000);
+
+  LintConfig cfg;
+  cfg.sr_base = kDramBase + MiB(28);
+  cfg.sr_end = kDramBase + MiB(32);
+  const LintReport rep = lint_image(img, cfg);
+  EXPECT_EQ(rep.violation_count(), 0u) << rep.format();
+
+  const CrossCheckResult res =
+      cross_check(img, rep, tracer.records(), cfg.sr_base, cfg.sr_end);
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_EQ(res.unknown_sites, 2u) << res.format();
+  EXPECT_EQ(res.unknown_sites_exercised, 1u) << res.format();
+  ASSERT_EQ(res.unexercised.size(), 1u);
+  const std::string text = res.format();
+  EXPECT_NE(text.find("unknown-site coverage: 1/2"), std::string::npos) << text;
+  EXPECT_NE(text.find("never exercised"), std::string::npos) << text;
+}
+
 TEST(TraceCheck, GuestSmokeWorkloadHasNoContradiction) {
   // End-to-end: a guest program through the full kernel path (demand
   // paging, syscalls) with the tracer on the real core. The static view of

@@ -67,6 +67,15 @@ TEST(AttackPtStore, AllocatorMetadataDetectedByZeroCheck) {
   EXPECT_EQ(r.outcome, Outcome::kDetectedZero) << r.detail;
 }
 
+TEST(AttackPtStore, TokenForgeryBlockedByPmp) {
+  // The forgery's first move is a regular store into the token table, which
+  // lives in the secure region: the S-bit stops it before any validation
+  // logic even runs.
+  System sys(ptstore_cfg());
+  const AttackReport r = token_forgery(sys);
+  EXPECT_EQ(r.outcome, Outcome::kBlockedFault) << r.detail;
+}
+
 TEST(AttackPtStore, VmMetadataContained) {
   System sys(ptstore_cfg());
   const AttackReport r = vm_metadata(sys);
@@ -106,6 +115,13 @@ TEST(AttackBaseline, VmMetadataChainsToTampering) {
   EXPECT_EQ(vm_metadata(sys).outcome, Outcome::kSucceeded);
 }
 
+TEST(AttackBaseline, TokenForgerySucceeds) {
+  // No token table to forge on the baseline: the PCB redirection alone
+  // hands the scheduler an attacker root.
+  System sys(baseline_cfg());
+  EXPECT_EQ(token_forgery(sys).outcome, Outcome::kSucceeded);
+}
+
 TEST(AttackBaseline, TlbInconsistencySucceeds) {
   System sys(baseline_cfg());
   EXPECT_EQ(tlb_inconsistency(sys).outcome, Outcome::kSucceeded);
@@ -115,7 +131,7 @@ TEST(AttackBaseline, TlbInconsistencySucceeds) {
 
 TEST(AttackBattery, PtStoreDefendsAll) {
   const auto reports = run_all(ptstore_cfg());
-  ASSERT_EQ(reports.size(), 7u);
+  ASSERT_EQ(reports.size(), 8u);
   for (const auto& r : reports) {
     EXPECT_TRUE(r.defended()) << r.name << ": " << r.detail;
   }
@@ -123,7 +139,7 @@ TEST(AttackBattery, PtStoreDefendsAll) {
 
 TEST(AttackBattery, BaselineFallsToAll) {
   const auto reports = run_all(baseline_cfg());
-  ASSERT_EQ(reports.size(), 7u);
+  ASSERT_EQ(reports.size(), 8u);
   for (const auto& r : reports) {
     EXPECT_FALSE(r.defended()) << r.name << " unexpectedly defended";
   }

@@ -14,6 +14,8 @@
 //   --expect-clean     exit 1 if any violation is reported (default mode
 //                      already does this; the flag documents test intent)
 //   --expect-violation exit 0 only if at least one violation is reported
+//   --sarif FILE       also write the report as SARIF 2.1.0 (single-file
+//                      mode only; CI uploads this to code scanning)
 //   -v                 also print notes and summary for clean images
 //
 // Exit codes: 0 expectation met, 1 violated, 2 usage/input error.
@@ -25,6 +27,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/ptlint.h"
+#include "analysis/sarif.h"
 #include "kernel/pagetable.h"
 
 namespace {
@@ -51,7 +54,7 @@ bool parse_u64(const std::string& s, u64* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: ptlint [--base ADDR] [--sr BASE:END] [--expect-clean | "
-               "--expect-violation] [-v] file.s\n"
+               "--expect-violation] [--sarif FILE] [-v] file.s\n"
                "       ptlint [--sr BASE:END] --corpus <name|all>\n");
   return 2;
 }
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
   u64 sr_end = kDefaultSrEnd;
   std::string file;
   std::string corpus;
+  std::string sarif_path;
   bool expect_violation = false;
   bool verbose = false;
 
@@ -120,6 +124,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       corpus = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      sarif_path = v;
     } else if (arg == "--expect-clean") {
       expect_violation = false;
     } else if (arg == "--expect-violation") {
@@ -158,6 +166,15 @@ int main(int argc, char** argv) {
   cfg.sr_end = sr_end;
   const Image img = Image::from_assembly(res, base);
   const LintReport rep = lint_image(img, cfg);
+
+  if (!sarif_path.empty()) {
+    std::ofstream sf(sarif_path);
+    if (!sf) {
+      std::fprintf(stderr, "ptlint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    sf << to_sarif(rep, file);
+  }
 
   const size_t violations = rep.violation_count();
   if (violations > 0 || verbose) std::fputs(rep.format().c_str(), stdout);

@@ -74,6 +74,10 @@ class BranchPredictor {
     bank_.snapshot_into(stats_);
     return stats_;
   }
+  void clear_stats() {
+    bank_.clear();
+    stats_.clear();
+  }
   const BranchPredictorConfig& config() const { return cfg_; }
 
   /// Prediction accuracy over everything resolved so far.

@@ -373,6 +373,18 @@ StatSet Core::merged_stats() const {
   return out;
 }
 
+void Core::clear_all_stats() {
+  clear_stats();
+  icache_.clear_stats();
+  dcache_.clear_stats();
+  if (l2_) l2_->clear_stats();
+  mmu_.clear_stats();
+  mmu_.itlb().clear_stats();
+  mmu_.dtlb().clear_stats();
+  bpred_.clear_stats();
+  bbcache_.stats = {};
+}
+
 void Core::update_timer_pending() {
   if (cycles_ >= mtimecmp_) {
     mip_ |= u64{1} << csr::irq::kMti;

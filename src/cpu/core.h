@@ -149,6 +149,8 @@ class Core {
 
   PmpUnit& pmp() { return pmp_; }
   Mmu& mmu() { return mmu_; }
+  /// Read-only decode-cache view (tests assert it restores cold).
+  const BlockCache& bbcache() const { return bbcache_; }
   BranchPredictor& bpred() { return bpred_; }
   const BranchPredictor& bpred() const { return bpred_; }
   PhysMem& mem() { return mem_; }
@@ -215,6 +217,12 @@ class Core {
   /// Merged view of every hardware counter: core events, L1I/L1D caches,
   /// I/D TLBs, and MMU/PTW counters, plus cycles/instret.
   StatSet merged_stats() const;
+
+  /// Zero every hardware counter merged_stats() reports: core events,
+  /// caches, TLBs, MMU/PTW, branch predictor, and the decode-cache stats.
+  /// Architectural cycles/instret are untouched (they are machine state,
+  /// not telemetry). Checkpoint forks call this so shards count from zero.
+  void clear_all_stats();
 
   /// Convenience for loaders: copy a code image into physical memory.
   void load_code(PhysAddr base, const std::vector<u32>& words);

@@ -1,0 +1,213 @@
+#include "harness/diff_oracle.h"
+
+#include <cstdint>
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/core.h"
+#include "isa/assembler.h"
+
+namespace ptstore::harness {
+
+using isa::Assembler;
+using isa::Inst;
+using isa::Op;
+using isa::Reg;
+
+u64 diff_ref_eval(const Inst& in, u64 a, u64 b, bool* ok) {
+  auto sx = [](u64 v) { return static_cast<i64>(v); };
+  auto w = [](u64 v) { return static_cast<u64>(static_cast<i64>(static_cast<i32>(v))); };
+  *ok = true;
+  switch (in.op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kSll: return a << (b & 63);
+    case Op::kSlt: return sx(a) < sx(b) ? 1 : 0;
+    case Op::kSltu: return a < b ? 1 : 0;
+    case Op::kXor: return a ^ b;
+    case Op::kSrl: return a >> (b & 63);
+    case Op::kSra: return static_cast<u64>(sx(a) >> (b & 63));
+    case Op::kOr: return a | b;
+    case Op::kAnd: return a & b;
+    case Op::kAddw: return w(a + b);
+    case Op::kSubw: return w(a - b);
+    case Op::kSllw: return w(a << (b & 31));
+    case Op::kSrlw: return w(static_cast<u32>(a) >> (b & 31));
+    case Op::kSraw: return static_cast<u64>(static_cast<i64>(static_cast<i32>(a) >> (b & 31)));
+    case Op::kMul: return a * b;
+    case Op::kMulh:
+      return static_cast<u64>((static_cast<__int128>(sx(a)) * static_cast<__int128>(sx(b))) >> 64);
+    case Op::kMulhu:
+      return static_cast<u64>((static_cast<unsigned __int128>(a) *
+                               static_cast<unsigned __int128>(b)) >> 64);
+    case Op::kMulhsu:
+      return static_cast<u64>((static_cast<__int128>(sx(a)) *
+                               static_cast<unsigned __int128>(b)) >> 64);
+    case Op::kDiv:
+      if (b == 0) return ~u64{0};
+      if (a == u64{1} << 63 && sx(b) == -1) return a;
+      return static_cast<u64>(sx(a) / sx(b));
+    case Op::kDivu: return b == 0 ? ~u64{0} : a / b;
+    case Op::kRem:
+      if (b == 0) return a;
+      if (a == u64{1} << 63 && sx(b) == -1) return 0;
+      return static_cast<u64>(sx(a) % sx(b));
+    case Op::kRemu: return b == 0 ? a : a % b;
+    case Op::kMulw: return w(a * b);
+    case Op::kDivw: {
+      const i32 x = static_cast<i32>(a), y = static_cast<i32>(b);
+      if (y == 0) return ~u64{0};
+      if (x == INT32_MIN && y == -1) return w(static_cast<u32>(x));
+      return static_cast<u64>(static_cast<i64>(x / y));
+    }
+    case Op::kDivuw: {
+      const u32 x = static_cast<u32>(a), y = static_cast<u32>(b);
+      return w(y == 0 ? ~u32{0} : x / y);
+    }
+    case Op::kRemw: {
+      const i32 x = static_cast<i32>(a), y = static_cast<i32>(b);
+      if (y == 0) return static_cast<u64>(static_cast<i64>(x));
+      if (x == INT32_MIN && y == -1) return 0;
+      return static_cast<u64>(static_cast<i64>(x % y));
+    }
+    case Op::kRemuw: {
+      const u32 x = static_cast<u32>(a), y = static_cast<u32>(b);
+      return w(y == 0 ? x : x % y);
+    }
+    case Op::kAddi: return a + static_cast<u64>(in.imm);
+    case Op::kSlti: return sx(a) < in.imm ? 1 : 0;
+    case Op::kSltiu: return a < static_cast<u64>(in.imm) ? 1 : 0;
+    case Op::kXori: return a ^ static_cast<u64>(in.imm);
+    case Op::kOri: return a | static_cast<u64>(in.imm);
+    case Op::kAndi: return a & static_cast<u64>(in.imm);
+    case Op::kSlli: return a << in.imm;
+    case Op::kSrli: return a >> in.imm;
+    case Op::kSrai: return static_cast<u64>(sx(a) >> in.imm);
+    case Op::kAddiw: return w(a + static_cast<u64>(in.imm));
+    case Op::kSlliw: return w(a << in.imm);
+    case Op::kSrliw: return w(static_cast<u32>(a) >> in.imm);
+    case Op::kSraiw:
+      return static_cast<u64>(static_cast<i64>(static_cast<i32>(a) >> in.imm));
+    default:
+      *ok = false;
+      return 0;
+  }
+}
+
+std::string DiffOutcome::describe() const {
+  std::ostringstream os;
+  if (generator_error) {
+    os << "seed " << seed << ": stream hit an unmodelled op or failed to halt";
+  } else if (diverged) {
+    os << "seed " << seed << ": x" << reg << " diverged, core=0x" << std::hex
+       << core_value << " ref=0x" << ref_value;
+  } else {
+    os << "seed " << seed << ": agree";
+  }
+  return os.str();
+}
+
+DiffOutcome run_diff_stream(u64 seed, const DiffOptions& opts) {
+  DiffOutcome out;
+  out.seed = seed;
+
+  Rng rng(seed);
+  PhysMem mem(kDramBase, MiB(32));
+  CoreConfig ccfg;
+  ccfg.ptstore_enabled = true;
+  Core core(mem, ccfg);
+
+  // Seed registers x1..x31 with random values via li.
+  u64 ref_regs[32] = {};
+  {
+    Assembler a(kDramBase);
+    for (unsigned r = 1; r < 32; ++r) {
+      const u64 v = rng.next_u64();
+      ref_regs[r] = v;
+      a.li(static_cast<Reg>(r), v);
+    }
+    a.ebreak();
+    core.load_code(kDramBase, a.finish());
+    if (core.run(100000).stop != StopReason::kEbreakHalt) {
+      out.generator_error = true;
+      return out;
+    }
+  }
+
+  // Random register-only ALU stream, mirrored into decoded form for the
+  // reference replay.
+  Assembler a(kDramBase + MiB(1));
+  using EmitR = void (Assembler::*)(Reg, Reg, Reg);
+  static constexpr EmitR kROps[] = {
+      &Assembler::add,  &Assembler::sub,  &Assembler::sll,    &Assembler::slt,
+      &Assembler::sltu, &Assembler::xor_, &Assembler::srl,    &Assembler::sra,
+      &Assembler::or_,  &Assembler::and_, &Assembler::addw,   &Assembler::subw,
+      &Assembler::mul,  &Assembler::mulh, &Assembler::mulhsu, &Assembler::mulhu,
+      &Assembler::div,  &Assembler::divu, &Assembler::rem,    &Assembler::remu,
+  };
+  using EmitI = void (Assembler::*)(Reg, Reg, i64);
+  static constexpr EmitI kIOps[] = {
+      &Assembler::addi, &Assembler::slti, &Assembler::sltiu, &Assembler::xori,
+      &Assembler::ori,  &Assembler::andi, &Assembler::addiw,
+  };
+  for (u64 i = 0; i < opts.op_count; ++i) {
+    const Reg rd = static_cast<Reg>(1 + rng.next_below(31));
+    const Reg rs1 = static_cast<Reg>(rng.next_below(32));
+    if (rng.chance(0.6)) {
+      const Reg rs2 = static_cast<Reg>(rng.next_below(32));
+      (a.*kROps[rng.next_below(std::size(kROps))])(rd, rs1, rs2);
+    } else if (rng.chance(0.5)) {
+      (a.*kIOps[rng.next_below(std::size(kIOps))])(
+          rd, rs1, static_cast<i64>(rng.next_range(0, 4095)) - 2048);
+    } else {
+      const unsigned sh = static_cast<unsigned>(rng.next_below(64));
+      switch (rng.next_below(3)) {
+        case 0: a.slli(rd, rs1, sh); break;
+        case 1: a.srli(rd, rs1, sh); break;
+        default: a.srai(rd, rs1, sh); break;
+      }
+    }
+  }
+  a.ebreak();
+  const std::vector<u32> words = a.finish();
+
+  // Reference replay over the decoded stream (everything but the ebreak).
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    const Inst in = isa::decode(words[i]);
+    bool ok = true;
+    u64 v = diff_ref_eval(in, ref_regs[in.rs1], ref_regs[in.rs2], &ok);
+    if (!ok) {
+      out.generator_error = true;
+      return out;
+    }
+    // Deliberate off-by-one on every add: the known-bad-seed reference bug.
+    // Applied to all adds (not just the first) because a single early
+    // corruption is routinely overwritten before it reaches the final
+    // register file.
+    if (opts.sabotage && in.op == Op::kAdd) v += 1;
+    if (in.rd != 0) ref_regs[in.rd] = v;
+  }
+
+  // Core execution of the same stream.
+  core.load_code(kDramBase + MiB(1), words);
+  core.set_pc(kDramBase + MiB(1));
+  if (core.run(100000).stop != StopReason::kEbreakHalt) {
+    out.generator_error = true;
+    return out;
+  }
+
+  for (unsigned r = 0; r < 32; ++r) {
+    if (core.reg(r) != ref_regs[r]) {
+      out.diverged = true;
+      out.reg = r;
+      out.core_value = core.reg(r);
+      out.ref_value = ref_regs[r];
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace ptstore::harness

@@ -1,0 +1,49 @@
+// Two-ISA differential oracle: a random register-only instruction stream is
+// executed both by the Core interpreter and by an independent straight-line
+// reference evaluator; any register-file disagreement is semantic drift in
+// the interpreter's ALU. Promoted out of tests/cpu/diff_fuzz_test.cpp so the
+// campaign engine can fan thousands of seeds across the fleet runner and so
+// a failing seed replays identically from the ptcampaign CLI and from ctest.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "isa/inst.h"
+
+namespace ptstore::harness {
+
+/// Reference ALU semantics, written independently of cpu/exec.cpp: a pure
+/// function over (instruction, rs1 value, rs2 value). `ok` goes false on an
+/// op the oracle does not model (a generator bug, not an interpreter bug).
+u64 diff_ref_eval(const isa::Inst& in, u64 a, u64 b, bool* ok);
+
+/// Outcome of one differential run.
+struct DiffOutcome {
+  u64 seed = 0;
+  bool diverged = false;
+  bool generator_error = false;  ///< The stream hit an unmodelled op/halt.
+  unsigned reg = 0;              ///< First diverging register.
+  u64 core_value = 0;
+  u64 ref_value = 0;
+
+  bool failed() const { return diverged || generator_error; }
+  std::string describe() const;
+};
+
+/// Options for one differential run. `sabotage` makes the reference
+/// evaluator deliberately mis-model every add (off-by-one) so nearly any
+/// seed becomes a known-bad seed — the campaign regression tests use it to
+/// prove that a failing seed reproduces the same divergence on every
+/// replay.
+struct DiffOptions {
+  u64 op_count = 400;
+  bool sabotage = false;
+};
+
+/// Build a fresh bare machine, seed the registers and a random `op_count`
+/// ALU stream from `seed`, run both executions, and compare the final
+/// register files. Deterministic: same (seed, options) => same outcome.
+DiffOutcome run_diff_stream(u64 seed, const DiffOptions& opts = {});
+
+}  // namespace ptstore::harness

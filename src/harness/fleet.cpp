@@ -1,0 +1,108 @@
+#include "harness/fleet.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptstore::harness {
+
+u64 shard_seed(u64 campaign_seed, u64 shard_index) {
+  // SplitMix64 finalizer over the scrambled (seed, index) pair.
+  u64 z = campaign_seed ^ (shard_index * 0x9E3779B97F4A7C15ULL + 0x632BE59BD9B4E019ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// One worker's deque of shard indices. A plain mutex per deque: shard
+/// bodies simulate millions of instructions, so queue operations are far
+/// off the critical path and lock-free structures would buy nothing.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<u64> shards;
+
+  bool pop_back(u64* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    *out = shards.back();
+    shards.pop_back();
+    return true;
+  }
+
+  bool steal_front(u64* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    *out = shards.front();
+    shards.pop_front();
+    return true;
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return shards.size();
+  }
+};
+
+}  // namespace
+
+void run_fleet(unsigned jobs, u64 shard_count,
+               const std::function<void(u64)>& fn) {
+  if (shard_count == 0) return;
+  jobs = resolve_jobs(jobs);
+  if (jobs > shard_count) jobs = static_cast<unsigned>(shard_count);
+  if (jobs <= 1) {
+    for (u64 s = 0; s < shard_count; ++s) fn(s);
+    return;
+  }
+
+  std::vector<WorkerQueue> queues(jobs);
+  for (u64 s = 0; s < shard_count; ++s) {
+    queues[s % jobs].shards.push_back(s);
+  }
+
+  auto worker = [&](unsigned self) {
+    u64 shard = 0;
+    for (;;) {
+      if (queues[self].pop_back(&shard)) {
+        fn(shard);
+        continue;
+      }
+      // Steal from the worker with the most remaining shards.
+      unsigned victim = self;
+      size_t victim_load = 0;
+      for (unsigned w = 0; w < jobs; ++w) {
+        if (w == self) continue;
+        const size_t load = queues[w].size();
+        if (load > victim_load) {
+          victim_load = load;
+          victim = w;
+        }
+      }
+      if (victim == self || !queues[victim].steal_front(&shard)) {
+        // Re-scan once more under no lock ordering guarantees: if every
+        // queue is empty now, all shards are claimed and we are done.
+        bool any = false;
+        for (unsigned w = 0; w < jobs && !any; ++w) any = queues[w].size() != 0;
+        if (!any) return;
+        continue;
+      }
+      fn(shard);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace ptstore::harness

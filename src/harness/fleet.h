@@ -1,0 +1,35 @@
+// Work-stealing fleet runner: shards N independent simulation jobs across a
+// thread pool. Each shard is a pure function of (campaign seed, shard
+// index) — workers never share simulated machines and results are collected
+// into caller-indexed slots — so the outcome of a fleet run is byte-for-byte
+// identical for any --jobs value, and any failing shard replays bit-exactly
+// single-threaded. This is the substrate the campaign engine
+// (harness/campaign.h) builds on.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace ptstore::harness {
+
+/// Derive the per-shard seed from the campaign seed: SplitMix64 finalizer
+/// over seed ^ golden-ratio-scrambled index. Adjacent shard indices land in
+/// unrelated regions of the xoshiro seed space, and shard 0 of campaign
+/// seed S never collides with shard 1 of campaign seed S-1.
+u64 shard_seed(u64 campaign_seed, u64 shard_index);
+
+/// Resolve a --jobs request: 0 means "one per hardware thread" (min 1).
+unsigned resolve_jobs(unsigned requested);
+
+/// Run `fn(shard)` for every shard in [0, shard_count) on `jobs` worker
+/// threads. Shards are dealt round-robin onto per-worker deques; a worker
+/// drains its own deque from the back and steals from the front of the
+/// busiest other deque when empty, so stragglers cannot idle the pool.
+/// With jobs <= 1 (or a single shard) everything runs inline on the calling
+/// thread in index order — the bit-exact replay path.
+///
+/// `fn` must not throw; shard bodies record failures in their own slots.
+void run_fleet(unsigned jobs, u64 shard_count, const std::function<void(u64)>& fn);
+
+}  // namespace ptstore::harness

@@ -145,6 +145,28 @@ bool BuddyZone::donate_front(PhysAddr pa, u64 pages) {
   return true;
 }
 
+BuddyZone::State BuddyZone::save_state() const {
+  State st;
+  st.base = base_;
+  st.end = end_;
+  st.free_count = free_count_;
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    for (const u64 b : free_[o]) st.free.emplace_back(b, o);
+  }
+  return st;
+}
+
+void BuddyZone::restore_state(const State& st) {
+  base_ = st.base;
+  end_ = st.end;
+  free_count_ = st.free_count;
+  forced_.reset();
+  for (auto& lvl : free_) lvl.clear();
+  // Insert directly — the saved lists are already maximally coalesced, and
+  // insert_free would double-count free_count_.
+  for (const auto& [p, o] : st.free) free_[o].insert(p);
+}
+
 std::vector<std::pair<PhysAddr, unsigned>> BuddyZone::free_blocks() const {
   std::vector<std::pair<PhysAddr, unsigned>> out;
   for (unsigned o = 0; o <= kMaxOrder; ++o) {

@@ -62,6 +62,19 @@ class BuddyZone {
   /// models corrupted freelist metadata.
   void force_next_alloc(PhysAddr pa) { forced_ = pa; }
 
+  /// Allocator bookkeeping for full-system checkpoints. Captures the zone
+  /// geometry too: the PTStore zone's base moves on donate_front, so a
+  /// restored zone must recover the adjusted boundary, not the boot-time one.
+  struct State {
+    PhysAddr base = 0;
+    PhysAddr end = 0;
+    u64 free_count = 0;
+    /// Free blocks as (pfn, order), ascending — the exact free lists.
+    std::vector<std::pair<u64, unsigned>> free;
+  };
+  State save_state() const;
+  void restore_state(const State& st);
+
   /// Invariant checks for property tests: free blocks are block-aligned,
   /// inside the zone, non-overlapping, and no pair of buddies is free at the
   /// same order (they would have merged).

@@ -76,6 +76,8 @@ Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
       sbi_(sbi),
       cfg_(cfg),
       booted_count_(bank_.counter("kernel.booted", "successful boots")),
+      restored_count_(bank_.counter("kernel.checkpoint_restores",
+                                    "checkpoint restores (boots skipped)")),
       sr_adjustments_(bank_.counter("kernel.sr_adjustments",
                                     "secure-region boundary adjustments")),
       traps_(bank_.counter("kernel.traps", "kernel trap round-trips charged")),
@@ -152,6 +154,80 @@ bool Kernel::boot() {
   booted_ = true;
   booted_count_.add();
   return true;
+}
+
+Kernel::State Kernel::save_state() const {
+  State st;
+  st.normal_zone = pages_->normal().save_state();
+  st.ptstore_zone = pages_->ptstore().save_state();
+  st.pagetables = pt_->save_state();
+  st.token_cache = token_cache_->save_state();
+  st.pcb_cache = pcb_cache_->save_state();
+  st.processes = pm_->save_state();
+  st.kernel_root = kernel_root_;
+  st.uart_base = uart_base_;
+  st.init_pid = init_ != nullptr ? init_->pid : 0;
+  st.adjustments = adjustments_;
+  st.booted = booted_;
+  return st;
+}
+
+void Kernel::restore_state(const State& st) {
+  // Reconstruct the subsystems exactly as boot() wires them, minus every
+  // architectural side effect: memory contents, satp, and the PMP layout
+  // are restored separately (PhysMem frames + CoreArchState), so nothing
+  // here may touch simulated memory. The slab constructors exist on the
+  // rebuilt caches but run only in grow(); restore never invokes them.
+  kmem_ = std::make_unique<KernelMem>(
+      core_, cfg_.ptstore,
+      cfg_.monitor_checked_pt_writes ? cfg_.monitor_pt_write_cost : 0);
+  // Zone geometry comes from the checkpoint, not the boot-time layout: the
+  // PTSTORE base moves on secure-region growth.
+  pages_ = std::make_unique<PageAllocator>(st.normal_zone.base, st.ptstore_zone.base,
+                                           st.ptstore_zone.end);
+  pages_->normal().restore_state(st.normal_zone);
+  pages_->ptstore().restore_state(st.ptstore_zone);
+  pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, cfg_);
+  pt_->restore_state(st.pagetables);
+
+  token_cache_ = std::make_unique<KmemCache>(
+      "ptstore_token", kTokenSize, cfg_.ptstore ? Gfp::kPtStore : Gfp::kKernel,
+      *pages_, *kmem_, [](KernelMem& km, PhysAddr obj) {
+        km.must_pt_sd(obj + kTokenPtPtrOff, 0);
+        km.must_pt_sd(obj + kTokenUserPtrOff, 0);
+      });
+  token_cache_->restore_state(st.token_cache);
+  pcb_cache_ = std::make_unique<KmemCache>(
+      "task_struct", kPcbSize, Gfp::kKernel, *pages_, *kmem_,
+      [](KernelMem& km, PhysAddr obj) {
+        for (u64 off = 0; off < kPcbSize; off += 8) km.must_sd(obj + off, 0);
+      });
+  pcb_cache_->restore_state(st.pcb_cache);
+
+  kernel_root_ = st.kernel_root;
+  tokens_ = std::make_unique<TokenManager>(*kmem_, *token_cache_);
+  pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *tokens_,
+                                         *pcb_cache_, cfg_, kernel_root_);
+  pm_->restore_state(st.processes);
+
+  if (cfg_.ptstore && cfg_.allow_adjustment) {
+    pages_->set_grow_hook([this](unsigned order) { return grow_secure_region(order); });
+  }
+
+  init_ = st.init_pid != 0 ? pm_->find(st.init_pid) : nullptr;
+  uart_base_ = st.uart_base;
+  adjustments_ = st.adjustments;
+  booted_ = st.booted;
+  collect_latency_ = false;
+  latency_.clear();
+  restored_count_.add();
+}
+
+void Kernel::clear_stats() {
+  bank_.clear();
+  if (pages_) pages_->clear_stats();
+  if (pm_) pm_->clear_stats();
+  latency_.clear();
 }
 
 bool Kernel::grow_secure_region(unsigned order) {

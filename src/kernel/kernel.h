@@ -120,6 +120,37 @@ class Kernel {
   void enable_latency_collection(bool on) { collect_latency_ = on; }
   const std::map<Sys, Histogram>& syscall_latency() const { return latency_; }
 
+  /// Host-side kernel state for full-system checkpoints. Everything the
+  /// simulated kernel keeps *outside* simulated memory: allocator free
+  /// lists, slab bookkeeping, the process table, and the boot-derived
+  /// addresses. Simulated-memory contents (PCBs, page tables, tokens) are
+  /// captured separately via PhysMem frames.
+  struct State {
+    BuddyZone::State normal_zone;
+    BuddyZone::State ptstore_zone;
+    PageTableManager::State pagetables;
+    KmemCache::State token_cache;
+    KmemCache::State pcb_cache;
+    ProcessManager::State processes;
+    PhysAddr kernel_root = 0;
+    PhysAddr uart_base = 0;
+    u64 init_pid = 0;
+    u64 adjustments = 0;
+    bool booted = false;
+  };
+  /// Capture the current state. Requires a booted kernel.
+  State save_state() const;
+  /// Rebuild the subsystems from `st` without re-running boot: no SBI
+  /// calls, no satp write, no slab constructors — the architectural side of
+  /// the checkpoint (memory frames, CSRs, PMP) is restored by the caller.
+  /// The latency histogram resets; collection stays off.
+  void restore_state(const State& st);
+
+  /// Zero this kernel's telemetry counters and latency histograms (the
+  /// allocator's and process manager's included). Used by checkpoint forks
+  /// so shard counters start from zero.
+  void clear_stats();
+
  private:
   bool syscall_impl(Process& proc, Sys s);
 
@@ -145,6 +176,7 @@ class Kernel {
 
   telemetry::CounterBank bank_;
   telemetry::Counter booted_count_;
+  telemetry::Counter restored_count_;
   telemetry::Counter sr_adjustments_;
   telemetry::Counter traps_;
   telemetry::Counter syscalls_;

@@ -54,6 +54,8 @@ class PageAllocator {
     return stats_;
   }
 
+  void clear_stats() { bank_.clear(); }
+
  private:
   BuddyZone normal_;
   BuddyZone ptstore_;

@@ -73,6 +73,14 @@ class PageTableManager {
   /// Number of PT pages currently allocated (root + interior + leaf tables).
   u64 pt_pages_allocated() const { return pt_pages_allocated_; }
 
+  /// Checkpoint state: the manager is otherwise stateless — table contents
+  /// live in simulated memory and ownership lists in each Process.
+  struct State {
+    u64 pt_pages_allocated = 0;
+  };
+  State save_state() const { return State{pt_pages_allocated_}; }
+  void restore_state(const State& st) { pt_pages_allocated_ = st.pt_pages_allocated; }
+
  private:
   /// Walk to the PTE slot for va at level 0, allocating interior tables
   /// when `alloc` is set. Returns the slot's physical address.

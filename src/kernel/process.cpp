@@ -357,4 +357,26 @@ Process* ProcessManager::find(u64 pid) {
   return it == procs_.end() ? nullptr : it->second.get();
 }
 
+ProcessManager::State ProcessManager::save_state() const {
+  State st;
+  for (const auto& [pid, proc] : procs_) st.procs.push_back(*proc);
+  st.current_pid = current_ != nullptr ? current_->pid : 0;
+  st.page_refs.assign(page_refs_.begin(), page_refs_.end());
+  st.next_pid = next_pid_;
+  st.next_asid = next_asid_;
+  return st;
+}
+
+void ProcessManager::restore_state(const State& st) {
+  procs_.clear();
+  for (const Process& p : st.procs) {
+    procs_.emplace(p.pid, std::make_unique<Process>(p));
+  }
+  current_ = st.current_pid != 0 ? find(st.current_pid) : nullptr;
+  page_refs_.clear();
+  page_refs_.insert(st.page_refs.begin(), st.page_refs.end());
+  next_pid_ = st.next_pid;
+  next_asid_ = st.next_asid;
+}
+
 }  // namespace ptstore

@@ -108,6 +108,21 @@ class ProcessManager {
     return stats_;
   }
 
+  /// Process-table state for full-system checkpoints. `Process` is a plain
+  /// copyable value; `current` is saved by pid (0 = none) since pointers
+  /// don't survive a restore.
+  struct State {
+    std::vector<Process> procs;  ///< Ascending pid order.
+    u64 current_pid = 0;
+    std::vector<std::pair<PhysAddr, u32>> page_refs;
+    u64 next_pid = 1;
+    u16 next_asid = 1;
+  };
+  State save_state() const;
+  void restore_state(const State& st);
+
+  void clear_stats() { bank_.clear(); }
+
  private:
   Process* create_common(Process* parent, PtStatus* st);
   u16 alloc_asid();

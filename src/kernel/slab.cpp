@@ -56,6 +56,26 @@ void KmemCache::free(PhysAddr obj) {
 
 bool KmemCache::is_live_object(PhysAddr pa) const { return live_objs_.count(pa) != 0; }
 
+KmemCache::State KmemCache::save_state() const {
+  State st;
+  st.free_objs.assign(free_objs_.begin(), free_objs_.end());
+  st.live_objs.assign(live_objs_.begin(), live_objs_.end());
+  st.slabs.assign(slabs_.begin(), slabs_.end());
+  st.in_use = in_use_;
+  return st;
+}
+
+void KmemCache::restore_state(const State& st) {
+  free_objs_.clear();
+  free_objs_.insert(st.free_objs.begin(), st.free_objs.end());
+  live_objs_.clear();
+  live_objs_.insert(st.live_objs.begin(), st.live_objs.end());
+  slabs_.clear();
+  slabs_.insert(st.slabs.begin(), st.slabs.end());
+  in_use_ = st.in_use;
+  forced_.reset();
+}
+
 bool KmemCache::check_invariants(std::string* why) const {
   auto fail = [&](const char* msg) {
     if (why != nullptr) *why = msg;

@@ -41,6 +41,18 @@ class KmemCache {
   /// Attack hook: make the next alloc() return `pa` (corrupted freelist).
   void force_next_alloc(PhysAddr pa) { forced_ = pa; }
 
+  /// Cache bookkeeping for full-system checkpoints. Object *contents* live
+  /// in simulated memory and are restored with the PhysMem frames; restoring
+  /// this state never re-runs the constructor.
+  struct State {
+    std::vector<PhysAddr> free_objs;
+    std::vector<PhysAddr> live_objs;
+    std::vector<PhysAddr> slabs;
+    u64 in_use = 0;
+  };
+  State save_state() const;
+  void restore_state(const State& st);
+
   /// Invariants for property tests.
   bool check_invariants(std::string* why = nullptr) const;
 

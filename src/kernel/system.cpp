@@ -167,6 +167,45 @@ System::System(const SystemConfig& cfg)
 
 System::~System() = default;
 
+void System::clear_stats() {
+  core_->clear_all_stats();
+  kernel_->clear_stats();
+}
+
+SystemCheckpoint System::checkpoint() {
+  // Quiesce: round-tripping the architectural state through restore resets
+  // caches/TLBs/decode cache to cold, the same state a fork restores into.
+  core_->restore_arch_state(core_->arch_state());
+  SystemCheckpoint ck;
+  ck.config = cfg_;
+  ck.arch = core_->arch_state();
+  ck.frames = mem_->snapshot_frames();
+  ck.sbi = sbi_->save_state();
+  ck.kernel = kernel_->save_state();
+  return ck;
+}
+
+void System::restore(const SystemCheckpoint& ck) {
+  // Frames first: restore_arch_state re-syncs the decode cache's frame-table
+  // generation, so the memory image must already be in place.
+  mem_->restore_frames(ck.frames);
+  core_->restore_arch_state(ck.arch);
+  sbi_->restore_state(ck.sbi);
+  kernel_->restore_state(ck.kernel);
+}
+
+Result<std::unique_ptr<System>> System::create_from(const SystemCheckpoint& ck) {
+  using R = Result<std::unique_ptr<System>>;
+  const std::vector<ConfigIssue> issues = ck.config.validate();
+  if (!issues.empty()) return R::failure(describe_issues(issues));
+  if (!ck.kernel.booted) {
+    return R::failure("checkpoint does not carry a booted kernel");
+  }
+  auto sys = std::unique_ptr<System>(new System(ck.config, Unbooted{}));
+  sys->restore(ck);
+  return R::success(std::move(sys));
+}
+
 StatSet System::report() const {
   StatSet out = core_->merged_stats();
   out.merge(kernel_->stats());

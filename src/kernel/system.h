@@ -56,6 +56,25 @@ struct SystemConfig {
 /// Join validation issues into one "field: message; field: message" line.
 std::string describe_issues(const std::vector<ConfigIssue>& issues);
 
+/// Complete state of one simulated machine at a quiesce point: the config
+/// it was built from, the core's architectural state, every materialized
+/// DRAM frame, and the host-side firmware/kernel bookkeeping. A checkpoint
+/// taken once after boot lets the fleet runner fork N shard machines that
+/// skip the (identical) boot work — the paper-evaluation campaigns fork
+/// hundreds of shards, so boot amortization dominates their setup cost.
+///
+/// Microarchitectural state (caches, TLBs, branch predictor, decode cache)
+/// is deliberately absent: System::checkpoint() quiesces it to cold, so
+/// execution after checkpoint() on the original machine is bit-identical to
+/// execution after restore() on a fork.
+struct SystemCheckpoint {
+  SystemConfig config;
+  CoreArchState arch;
+  std::vector<std::pair<u64, std::vector<u8>>> frames;
+  SbiMonitor::State sbi;
+  Kernel::State kernel;
+};
+
 class System {
  public:
   /// Non-throwing factory: validates the whole config (reporting every bad
@@ -82,6 +101,26 @@ class System {
   /// caches, TLBs, MMU) plus kernel/process/allocator counters — the
   /// observability surface for benches and postmortems.
   StatSet report() const;
+
+  /// Zero every telemetry counter on the machine (hardware + kernel).
+  /// Architectural state — including cycles/instret — is untouched.
+  void clear_stats();
+
+  /// Capture a full-system checkpoint. Quiesces the core's
+  /// microarchitectural state (cold caches/TLBs/decode cache) first, so the
+  /// machine's own subsequent execution matches a restored fork's exactly.
+  SystemCheckpoint checkpoint();
+
+  /// Rewind this machine to `ck`. The checkpoint must come from a machine
+  /// with the same configuration. Bumps kernel.checkpoint_restores.
+  void restore(const SystemCheckpoint& ck);
+
+  /// Build a machine directly from a checkpoint, skipping kernel boot
+  /// entirely: memory frames, CSRs, PMP, and the kernel's host-side state
+  /// all come from `ck`. The fork starts with all-zero telemetry except
+  /// kernel.checkpoint_restores = 1 (and no kernel.booted), which is how
+  /// tests verify the boot was actually skipped.
+  static Result<std::unique_ptr<System>> create_from(const SystemCheckpoint& ck);
 
  private:
   struct Unbooted {};  // Tag: construct members without booting the kernel.

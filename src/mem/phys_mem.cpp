@@ -1,5 +1,6 @@
 #include "mem/phys_mem.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ptstore {
@@ -140,6 +141,40 @@ void PhysMem::restore_frames(
     std::memcpy(buf.get(), bytes.data(), kPageSize);
     frames_.emplace(frame, Frame{std::move(buf), 0});
   }
+}
+
+u64 PhysMem::content_digest() const {
+  std::vector<u64> indices;
+  indices.reserve(frames_.size());
+  for (const auto& [frame, f] : frames_) indices.push_back(frame);
+  std::sort(indices.begin(), indices.end());
+
+  u64 h = 0xcbf29ce484222325ULL;  // FNV offset basis.
+  auto mix = [&h](const u8* p, u64 len) {
+    for (u64 i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;  // FNV prime.
+    }
+  };
+  for (const u64 frame : indices) {
+    const Frame& f = frames_.at(frame);
+    bool all_zero = true;
+    for (u64 i = 0; i < kPageSize; ++i) {
+      if (f.data[i] != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) continue;
+    const u8 idx[8] = {
+        static_cast<u8>(frame), static_cast<u8>(frame >> 8),
+        static_cast<u8>(frame >> 16), static_cast<u8>(frame >> 24),
+        static_cast<u8>(frame >> 32), static_cast<u8>(frame >> 40),
+        static_cast<u8>(frame >> 48), static_cast<u8>(frame >> 56)};
+    mix(idx, 8);
+    mix(f.data.get(), kPageSize);
+  }
+  return h;
 }
 
 }  // namespace ptstore

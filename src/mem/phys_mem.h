@@ -102,6 +102,14 @@ class PhysMem {
   std::vector<std::pair<u64, std::vector<u8>>> snapshot_frames() const;
   void restore_frames(const std::vector<std::pair<u64, std::vector<u8>>>& frames);
 
+  /// Order-independent FNV-1a digest of DRAM *contents*: frames are hashed
+  /// in ascending frame order and all-zero frames are skipped, so a
+  /// materialized-but-zero frame digests the same as an untouched one. Two
+  /// machines with identical memory images produce identical digests
+  /// regardless of materialization history — the checkpoint round-trip
+  /// tests compare these.
+  u64 content_digest() const;
+
  private:
   struct Window {
     PhysAddr base;

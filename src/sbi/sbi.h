@@ -67,6 +67,23 @@ class SbiMonitor {
 
   bool initialized() const { return initialized_; }
 
+  /// Monitor-internal state for full-system checkpoints. The PMP entries the
+  /// monitor programmed live in CoreArchState; this captures the mirror the
+  /// firmware keeps of them.
+  struct State {
+    SecureRegion region;
+    bool initialized = false;
+    unsigned guards = 0;
+  };
+  State save_state() const { return State{region_, initialized_, guards_}; }
+  /// Restore the firmware mirror only — the caller restores the PMP CSRs
+  /// themselves via Core::restore_arch_state. Charges no cycles.
+  void restore_state(const State& st) {
+    region_ = st.region;
+    initialized_ = st.initialized;
+    guards_ = st.guards;
+  }
+
   /// Cycle cost of one SBI ecall round trip (trap to M, handler, mret) —
   /// charged on every sr_* call.
   static constexpr Cycles kSbiCallCost = 400;

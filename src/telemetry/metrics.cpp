@@ -10,6 +10,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 CounterId MetricsRegistry::intern(std::string_view name,
                                   std::string_view description,
                                   std::string_view unit) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = by_name_.find(name); it != by_name_.end()) {
     CounterMeta& m = metas_[it->second];
     if (m.description.empty()) m.description = description;
@@ -23,10 +24,27 @@ CounterId MetricsRegistry::intern(std::string_view name,
   return id;
 }
 
+CounterMeta MetricsRegistry::meta(CounterId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metas_[id];
+}
+
 std::optional<CounterId> MetricsRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
+}
+
+size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metas_.size();
+}
+
+StatSet merge_shard_stats(const std::vector<StatSet>& shards) {
+  StatSet out;
+  for (const StatSet& s : shards) out.merge(s);
+  return out;
 }
 
 Counter CounterBank::counter(std::string_view name, std::string_view description,

@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -42,7 +43,9 @@ struct CounterMeta {
 
 /// Process-wide catalog of counter names. Holds metadata only — values live
 /// in per-component CounterBanks, so two simulated machines in one process
-/// (e.g. the four configurations of measure()) never share cells.
+/// (e.g. the four configurations of measure()) never share cells. All
+/// members are mutex-guarded: the fleet runner (src/harness/fleet.h)
+/// constructs Systems — and therefore interns counters — on worker threads.
 class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
@@ -52,14 +55,21 @@ class MetricsRegistry {
   CounterId intern(std::string_view name, std::string_view description = {},
                    std::string_view unit = {});
 
-  const CounterMeta& meta(CounterId id) const { return metas_[id]; }
+  CounterMeta meta(CounterId id) const;
   std::optional<CounterId> find(std::string_view name) const;
-  size_t size() const { return metas_.size(); }
+  size_t size() const;
 
  private:
-  std::vector<CounterMeta> metas_;
+  mutable std::mutex mu_;
+  std::deque<CounterMeta> metas_;
   std::map<std::string, CounterId, std::less<>> by_name_;
 };
+
+/// Sum per-shard counter snapshots into one StatSet, in shard order. The
+/// result is independent of how shards were scheduled across workers —
+/// StatSet is name-keyed and addition commutes — which is what makes
+/// cross-shard campaign reports byte-identical for any --jobs value.
+StatSet merge_shard_stats(const std::vector<StatSet>& shards);
 
 namespace detail {
 /// Target of default-constructed Counter handles, so an unbound handle is

@@ -9,15 +9,18 @@
 
 namespace ptstore::workloads {
 
-// Defined in figures.cpp. Called from the registry accessor so the figure
-// workloads are linked and registered even though no bench references
-// figures.cpp symbols directly (static initializers in an unreferenced
+// Defined in figures.cpp / campaigns.cpp. Called from the registry accessor
+// so those workloads are linked and registered even though no bench
+// references their symbols directly (static initializers in an unreferenced
 // archive member would be dropped).
 void register_figure_workloads(WorkloadRegistry& reg);
+void register_campaign_workloads(WorkloadRegistry& reg);
 
 namespace {
 
 u64 g_instructions = 0;
+
+FleetOptions g_fleet;
 
 bool env_is(const char* name, char value) {
   const char* e = std::getenv(name);
@@ -64,6 +67,10 @@ bool smoke_mode() { return env_is("PTSTORE_SMOKE", '1'); }
 bool decode_cache_enabled() { return !env_is("PTSTORE_BBCACHE", '0'); }
 
 u64 instructions_simulated() { return g_instructions; }
+
+const FleetOptions& fleet_options() { return g_fleet; }
+
+void set_fleet_options(const FleetOptions& opts) { g_fleet = opts; }
 
 Cycles run_on(SystemConfig cfg, const WorkloadFn& fn, const char* config_label) {
   cfg.core.decode_cache = decode_cache_enabled();
@@ -170,6 +177,7 @@ WorkloadRegistry& WorkloadRegistry::instance() {
   static WorkloadRegistry reg = [] {
     WorkloadRegistry r;
     register_figure_workloads(r);
+    register_campaign_workloads(r);
     return r;
   }();
   return reg;
@@ -201,9 +209,16 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      g_fleet.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      g_fleet.shards = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--campaign-seed" && i + 1 < argc) {
+      g_fleet.campaign_seed = std::strtoull(argv[++i], nullptr, 0);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json <path>] [--trace <path>]\n",
+                   "usage: %s [--smoke] [--json <path>] [--trace <path>] "
+                   "[--jobs N] [--shards N] [--campaign-seed N]\n",
                    argv[0]);
       return 2;
     }

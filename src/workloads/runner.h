@@ -108,6 +108,23 @@ bool decode_cache_enabled();
 /// process — the numerator of the driver's Minst/s footer.
 u64 instructions_simulated();
 
+// ---- Fleet / campaign knobs (the --jobs / --shards / --campaign-seed flags) ----
+
+/// Sharding knobs the driver parses for fleet-backed workloads (the campaign
+/// benches in campaigns.cpp). Plain benches ignore them.
+struct FleetOptions {
+  unsigned jobs = 1;      ///< Worker threads; 0 = one per hardware thread.
+  u64 shards = 8;         ///< Independent machines in the campaign.
+  u64 campaign_seed = 1;  ///< Per-shard seeds derive from this via shard_seed().
+};
+
+/// The fleet options parsed from the current bench invocation.
+const FleetOptions& fleet_options();
+
+/// Override the process-wide fleet options (tests; the driver calls this
+/// from flag parsing).
+void set_fleet_options(const FleetOptions& opts);
+
 // ---- Machine-readable reporting (the --json flag and ptperf) ----
 
 /// Toggle the process-wide report collector. While on, every run_on():
@@ -196,9 +213,10 @@ class WorkloadRegistry {
 
 /// Driver for a directly constructed workload: parse flags (--smoke sets
 /// PTSTORE_SMOKE=1, --json <path> writes the machine-readable BenchReport,
-/// --trace <path> writes a Chrome trace_event dump of the run), print the
-/// banner, run, print the wall-clock + simulated-throughput footer. Smoke
-/// runs always exit 0.
+/// --trace <path> writes a Chrome trace_event dump of the run, --jobs /
+/// --shards / --campaign-seed fill fleet_options() for fleet-backed
+/// workloads), print the banner, run, print the wall-clock +
+/// simulated-throughput footer. Smoke runs always exit 0.
 int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv);
 
 /// Same driver for a registry-backed workload looked up by name.

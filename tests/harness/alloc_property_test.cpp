@@ -1,0 +1,162 @@
+// Randomized property tests for the two allocators the campaign generators
+// lean on hardest: the buddy zone (page churn under alloc/free/donate) and
+// the token slab (object churn inside the secure region). Each step checks
+// the allocator's own invariants against an independent shadow model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernel/buddy.h"
+#include "kernel/kernel.h"
+#include "kernel/slab.h"
+#include "kernel/system.h"
+
+namespace ptstore {
+namespace {
+
+class BuddyProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BuddyProperty, ChurnPreservesInvariantsAndReclaimsFully) {
+  constexpr PhysAddr kBase = MiB(512);
+  constexpr u64 kSize = MiB(16);
+  BuddyZone zone("prop", kBase, kSize);
+  const u64 total = zone.total_pages();
+  ASSERT_EQ(zone.free_pages_count(), total);
+
+  Rng rng(GetParam());
+  // Shadow model: every live allocation as (base, order). Blocks from the
+  // allocator must never overlap each other and must stay inside the zone.
+  std::map<PhysAddr, unsigned> live;
+  std::string why;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || rng.next_below(100) < 55;
+    if (do_alloc) {
+      const unsigned order = static_cast<unsigned>(rng.next_below(kMaxOrder + 1));
+      const auto pa = zone.alloc_pages(order);
+      if (!pa) continue;  // Fragmentation/oom is a legal outcome.
+      const u64 len = kPageSize << order;
+      EXPECT_TRUE(zone.contains(*pa, len)) << std::hex << *pa;
+      EXPECT_EQ(*pa % len, 0u) << "block not naturally aligned";
+      // Overlap check against every live block via the ordered map: the
+      // previous block must end at or before *pa, the next must start at or
+      // after *pa + len.
+      const auto next = live.lower_bound(*pa);
+      if (next != live.end()) {
+        EXPECT_GE(next->first, *pa + len) << "overlaps next block";
+      }
+      if (next != live.begin()) {
+        const auto prev = std::prev(next);
+        EXPECT_LE(prev->first + (kPageSize << prev->second), *pa)
+            << "overlaps previous block";
+      }
+      live[*pa] = order;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      zone.free_pages(it->first, it->second);
+      live.erase(it);
+    }
+    ASSERT_TRUE(zone.check_invariants(&why)) << "step " << step << ": " << why;
+  }
+
+  // Drain the model: everything handed out must come back, and the zone
+  // must coalesce to exactly its initial free-page population.
+  for (const auto& [pa, order] : live) zone.free_pages(pa, order);
+  EXPECT_EQ(zone.free_pages_count(), total);
+  ASSERT_TRUE(zone.check_invariants(&why)) << why;
+  // Full coalescing: a fully free 16 MiB zone is exactly four max-order blocks.
+  EXPECT_EQ(zone.free_blocks().size(), kSize / (kPageSize << kMaxOrder));
+}
+
+TEST_P(BuddyProperty, DonateFrontGrowsZoneDownward) {
+  constexpr PhysAddr kBase = MiB(512);
+  BuddyZone zone("grow", kBase, MiB(8));
+  Rng rng(GetParam());
+  std::string why;
+
+  // Interleave donations at the moving lower edge with allocation churn.
+  std::vector<std::pair<PhysAddr, unsigned>> live;
+  PhysAddr base = kBase;
+  u64 donated_pages = 0;
+  for (int round = 0; round < 20; ++round) {
+    const u64 pages = 1 + rng.next_below(8);
+    base -= pages * kPageSize;
+    ASSERT_TRUE(zone.donate_front(base, pages)) << "round " << round;
+    donated_pages += pages;
+    EXPECT_EQ(zone.base(), base);
+    // A donation that does not abut the base must be rejected.
+    EXPECT_FALSE(zone.donate_front(base - kPageSize * 4, 2));
+    for (int i = 0; i < 8; ++i) {
+      const unsigned order = static_cast<unsigned>(rng.next_below(4));
+      if (const auto pa = zone.alloc_pages(order)) live.emplace_back(*pa, order);
+    }
+    if (live.size() > 16) {
+      for (int i = 0; i < 8; ++i) {
+        zone.free_pages(live.back().first, live.back().second);
+        live.pop_back();
+      }
+    }
+    ASSERT_TRUE(zone.check_invariants(&why)) << "round " << round << ": " << why;
+  }
+  for (const auto& [pa, order] : live) zone.free_pages(pa, order);
+  EXPECT_EQ(zone.total_pages(), MiB(8) / kPageSize + donated_pages);
+  EXPECT_EQ(zone.free_pages_count(), zone.total_pages());
+  ASSERT_TRUE(zone.check_invariants(&why)) << why;
+}
+
+class TokenSlabProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TokenSlabProperty, ObjectsStayInsideSecureRegionAcrossChurnAndGrowth) {
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(128);
+  auto sys = System::create(cfg);
+  ASSERT_TRUE(sys.ok()) << sys.error();
+  Kernel& k = sys.value()->kernel();
+  KmemCache& cache = k.token_cache();
+  const u64 baseline = cache.objects_in_use();
+
+  Rng rng(GetParam());
+  std::vector<PhysAddr> ours;
+  std::string why;
+  for (int step = 0; step < 600; ++step) {
+    const u64 roll = rng.next_below(100);
+    if (roll < 55 || ours.empty()) {
+      if (const auto obj = cache.alloc()) {
+        EXPECT_TRUE(cache.is_live_object(*obj));
+        ours.push_back(*obj);
+      }
+    } else if (roll < 95) {
+      const size_t victim = rng.next_below(ours.size());
+      cache.free(ours[victim]);
+      EXPECT_FALSE(cache.is_live_object(ours[victim]));
+      ours.erase(ours.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      // Secure-region growth moves the boundary down; existing slabs must
+      // remain inside the (now larger) region.
+      k.grow_secure_region(0);
+    }
+    ASSERT_TRUE(cache.check_invariants(&why)) << "step " << step << ": " << why;
+    const SecureRegion sr = k.sbi().sr_get();
+    for (const PhysAddr obj : ours) {
+      EXPECT_TRUE(sr.contains(obj)) << "token object 0x" << std::hex << obj
+                                    << " escaped the secure region";
+    }
+  }
+
+  // Full reclamation of everything this test allocated.
+  for (const PhysAddr obj : ours) cache.free(obj);
+  EXPECT_EQ(cache.objects_in_use(), baseline);
+  ASSERT_TRUE(cache.check_invariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSlabProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u));
+
+}  // namespace
+}  // namespace ptstore

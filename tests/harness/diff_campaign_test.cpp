@@ -1,0 +1,89 @@
+// Differential-oracle campaigns: clean sweeps on the honest reference
+// model, and the known-bad-seed regression path — a sabotaged reference
+// must produce a divergence that reproduces identically on every replay,
+// which is what makes a campaign failure a filable bug report.
+#include <gtest/gtest.h>
+
+#include "harness/campaign.h"
+#include "harness/diff_oracle.h"
+#include "harness/fleet.h"
+
+namespace ptstore::harness {
+namespace {
+
+CampaignSpec diff_spec() {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::kDiff;
+  spec.shards = 16;
+  spec.diff.op_count = 200;
+  return spec;
+}
+
+TEST(DiffCampaign, CleanSweepOnHonestReference) {
+  const CampaignResult r = run_campaign(diff_spec());
+  EXPECT_EQ(r.failures, 0u);
+  for (const ShardOutcome& s : r.shards) {
+    EXPECT_FALSE(s.failed) << "shard " << s.shard << ": " << s.failure;
+    EXPECT_EQ(s.ops_executed, 200u);
+  }
+}
+
+TEST(DiffCampaign, SabotagedReferenceIsCaught) {
+  CampaignSpec spec = diff_spec();
+  spec.diff.sabotage = true;
+  const CampaignResult r = run_campaign(spec);
+  EXPECT_GT(r.failures, 0u)
+      << "a mis-modelled add must surface as divergence in some shard";
+  for (const ShardOutcome& s : r.shards) {
+    if (!s.failed) continue;
+    EXPECT_NE(s.failure.find("diverged"), std::string::npos) << s.failure;
+  }
+}
+
+TEST(DiffCampaign, KnownBadSeedReproducesTwice) {
+  // Campaign -> pick a failing shard -> replay its seed directly through the
+  // oracle twice. Both replays must produce the exact same divergence
+  // (register, both values, describe() text): the seed IS the reproducer.
+  CampaignSpec spec = diff_spec();
+  spec.diff.sabotage = true;
+  const CampaignResult r = run_campaign(spec);
+  ASSERT_GT(r.failures, 0u);
+
+  const ShardOutcome* bad = nullptr;
+  for (const ShardOutcome& s : r.shards) {
+    if (s.failed) { bad = &s; break; }
+  }
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->seed, shard_seed(spec.seed, bad->shard));
+
+  const DiffOutcome first = run_diff_stream(bad->seed, spec.diff);
+  const DiffOutcome second = run_diff_stream(bad->seed, spec.diff);
+  ASSERT_TRUE(first.diverged);
+  EXPECT_EQ(first.reg, second.reg);
+  EXPECT_EQ(first.core_value, second.core_value);
+  EXPECT_EQ(first.ref_value, second.ref_value);
+  EXPECT_EQ(first.describe(), second.describe());
+  // And the campaign's diagnosis is the replay's diagnosis.
+  EXPECT_NE(bad->failure.find(first.describe()), std::string::npos)
+      << "campaign says \"" << bad->failure << "\", replay says \""
+      << first.describe() << "\"";
+}
+
+TEST(DiffCampaign, FailureSetIndependentOfJobs) {
+  CampaignSpec spec = diff_spec();
+  spec.diff.sabotage = true;
+  spec.jobs = 1;
+  const CampaignResult serial = run_campaign(spec);
+  spec.jobs = 8;
+  const CampaignResult pooled = run_campaign(spec);
+  ASSERT_EQ(serial.shards.size(), pooled.shards.size());
+  for (size_t i = 0; i < serial.shards.size(); ++i) {
+    EXPECT_EQ(serial.shards[i].failed, pooled.shards[i].failed) << i;
+    EXPECT_EQ(serial.shards[i].failure, pooled.shards[i].failure) << i;
+  }
+  EXPECT_EQ(campaign_report_json(serial, false),
+            campaign_report_json(pooled, false));
+}
+
+}  // namespace
+}  // namespace ptstore::harness

@@ -1,0 +1,135 @@
+// ptcampaign: drive a randomized fleet campaign from the command line.
+//
+//   ptcampaign [proto|diff|attack] [--seed N] [--shards N] [--jobs N]
+//              [--ops N] [--json <path>] [--with-timing] [--sabotage]
+//              [--no-minimize]
+//
+// Boots one master machine, checkpoints it, forks every shard from the
+// checkpoint (kernel boot runs once regardless of shard count), and runs
+// the shards across a work-stealing pool. The exit code is the number of
+// failing shards (capped at 125); each failure is printed with its seed and
+// minimized reproducer so it can be replayed with --jobs 1.
+//
+// --json reports are deterministic: by default the timing block (the only
+// wall-clock-derived content) is omitted, so the same kind/seed/shards/ops
+// produce byte-identical files for any --jobs value. --with-timing adds the
+// wall-clock block plus the boot-amortization speedup of checkpoint forking.
+// --sabotage injects a deliberate off-by-one into the diff oracle's
+// reference model — the known-bad-seed path used to exercise reproducers.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/campaign.h"
+#include "harness/fleet.h"
+
+namespace {
+
+using namespace ptstore;
+using namespace ptstore::harness;
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(stderr,
+               "usage: %s [proto|diff|attack] [--seed N] [--shards N] "
+               "[--jobs N]\n"
+               "       %*s [--ops N] [--json <path>] [--with-timing] "
+               "[--sabotage] [--stock] [--no-minimize]\n",
+               argv0, static_cast<int>(std::strlen(argv0)), "");
+  return rc;
+}
+
+void print_repro(const ShardOutcome& s) {
+  std::printf("  repro (seed %llu, %zu ops):\n",
+              static_cast<unsigned long long>(s.seed), s.repro.size());
+  for (const CampaignOp& op : s.repro) {
+    std::printf("    %-16s pid=%llu arg=0x%llx\n", to_string(op.kind),
+                static_cast<unsigned long long>(op.pid),
+                static_cast<unsigned long long>(op.arg));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignSpec spec;
+  std::string json_path;
+  bool with_timing = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto kind = campaign_kind_from(arg)) {
+      spec.kind = *kind;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      spec.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      spec.shards = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      spec.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (arg == "--ops" && i + 1 < argc) {
+      spec.ops_per_shard = std::strtoull(argv[++i], nullptr, 0);
+      spec.diff.op_count = spec.ops_per_shard;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--with-timing") {
+      with_timing = true;
+    } else if (arg == "--sabotage") {
+      spec.diff.sabotage = true;
+    } else if (arg == "--stock") {
+      spec.ptstore = false;
+    } else if (arg == "--no-minimize") {
+      spec.minimize = false;
+    } else {
+      return usage(argv[0], arg == "--help" || arg == "-h" ? 0 : 2);
+    }
+  }
+  if (spec.shards == 0) {
+    std::fprintf(stderr, "--shards must be at least 1\n");
+    return 2;
+  }
+
+  std::printf("ptcampaign: %s campaign, seed %llu, %llu shards x %llu ops, "
+              "%u jobs\n",
+              to_string(spec.kind),
+              static_cast<unsigned long long>(spec.seed),
+              static_cast<unsigned long long>(spec.shards),
+              static_cast<unsigned long long>(spec.ops_per_shard),
+              resolve_jobs(spec.jobs));
+
+  const CampaignResult r = run_campaign(spec);
+
+  for (const ShardOutcome& s : r.shards) {
+    std::printf("shard %3llu  seed %-20llu %6llu ops  %s\n",
+                static_cast<unsigned long long>(s.shard),
+                static_cast<unsigned long long>(s.seed),
+                static_cast<unsigned long long>(s.ops_executed),
+                s.failed ? s.failure.c_str() : "ok");
+    if (s.failed && !s.repro.empty()) print_repro(s);
+  }
+
+  std::printf("\n%llu/%llu shards failed, wall %.2fs\n",
+              static_cast<unsigned long long>(r.failures),
+              static_cast<unsigned long long>(spec.shards),
+              r.timing.wall_seconds);
+  if (spec.kind != CampaignKind::kDiff) {
+    std::printf("boot amortization: %.1fx (%llu boots avoided; boot %.3fs, "
+                "forks %.3fs total)\n",
+                r.timing.boot_amortization(spec.shards),
+                static_cast<unsigned long long>(spec.shards - 1),
+                r.timing.boot_seconds, r.timing.fork_seconds_total);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 2;
+    }
+    write_campaign_report(os, r, with_timing);
+    std::printf("JSON report -> %s%s\n", json_path.c_str(),
+                with_timing ? "" : " (timing omitted: deterministic form)");
+  }
+
+  return r.failures > 125 ? 125 : static_cast<int>(r.failures);
+}

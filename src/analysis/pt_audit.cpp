@@ -20,14 +20,15 @@ class Auditor {
   Auditor(Kernel& kernel, PhysMem& mem)
       : mem_(mem),
         sr_(kernel.sbi().sr_get()),
-        ptstore_(kernel.config().ptstore && kernel.sbi().initialized()) {}
+        secure_zone_(kernel.iso().secure_zone && kernel.sbi().initialized()),
+        tokens_(kernel.iso().issue_tokens) {}
 
   void walk_root(PhysAddr root, const std::string& owner) {
     walk_table(root, 2, true, owner);
   }
 
   void check_tokens(Kernel& kernel) {
-    if (!ptstore_) return;
+    if (!tokens_) return;
     for (const auto& [pid, proc] : kernel.processes().all()) {
       ++report_.tokens_checked;
       const std::string who = "pid " + std::to_string(pid);
@@ -67,7 +68,7 @@ class Auditor {
               " is not DRAM-backed");
       return;
     }
-    if (ptstore_ && !sr_.contains(table, kPageSize)) {
+    if (secure_zone_ && !sr_.contains(table, kPageSize)) {
       finding(owner + ": page-table page " + hex(table) +
               " lies outside the secure region");
     }
@@ -108,7 +109,8 @@ class Auditor {
 
   PhysMem& mem_;
   SecureRegion sr_;
-  bool ptstore_;
+  bool secure_zone_;
+  bool tokens_;
   std::set<PhysAddr> visited_;
   AuditReport report_;
 };

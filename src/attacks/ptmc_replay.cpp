@@ -145,7 +145,7 @@ class Replayer {
       case mc::OpKind::kSwitchMm: {
         if (procs_[op.a] == nullptr) return std::nullopt;
         const ProtoResult r = proto_.switch_mm(*procs_[op.a]);
-        if (r.status == ProtoStatus::kTokenReject) {
+        if (is_credential_reject(r.status)) {
           rep.detail = "switch_mm rejected the pgd/token binding";
           return Outcome::kDetectedToken;
         }
@@ -282,8 +282,8 @@ class Replayer {
         const PhysAddr pa = bind(pre, op.a);
         if (pa == 0) return oom(rep);
         Kernel& kk = sys_.kernel();
-        BuddyZone& zone = kk.config().ptstore ? kk.pages().ptstore()
-                                              : kk.pages().normal();
+        BuddyZone& zone = kk.iso().secure_zone ? kk.pages().ptstore()
+                                               : kk.pages().normal();
         zone.force_next_alloc(pa);
         unsigned owner = 0;
         for (unsigned p = 0; p < mc::kNumProcs; ++p) {
@@ -338,7 +338,7 @@ class Replayer {
         ArbitraryRw rw(sys_.core());
         rw.write(procs_[forged_slot_]->pcb_pgd_field(), forged_pa_);
         const ProtoResult r = proto_.switch_mm(*procs_[forged_slot_]);
-        if (r.status == ProtoStatus::kTokenReject) {
+        if (is_credential_reject(r.status)) {
           rep.outcome = Outcome::kDetectedToken;
           rep.detail = "switch_mm still rejected the forged binding";
           return;

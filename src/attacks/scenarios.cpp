@@ -14,6 +14,8 @@ const char* to_string(Outcome o) {
     case Outcome::kDetectedToken: return "detected (token check)";
     case Outcome::kDetectedZero: return "detected (zero check)";
     case Outcome::kContained: return "contained (no protected state reached)";
+    case Outcome::kDetectedMac: return "detected (pointer MAC)";
+    case Outcome::kDetectedDomain: return "detected (domain check)";
   }
   return "?";
 }
@@ -46,6 +48,11 @@ AttackReport pt_tampering(System& sys) {
   // Write went through; confirm the compromise is architecturally real.
   sys.core().mmu().sfence(std::nullopt, std::nullopt);  // Attacker-forced flush.
   const MemAccessResult probe = user_probe(sys, kVictimVa, /*write=*/true);
+  if (!probe.ok && sys.kernel().iso().verify_on_walk) {
+    rep.outcome = Outcome::kDetectedMac;
+    rep.detail = "verify-on-walk refused the tampered PTE";
+    return rep;
+  }
   rep.outcome = probe.ok ? Outcome::kSucceeded : Outcome::kContained;
   rep.detail = probe.ok ? "read-only page is now writable from user mode"
                         : "PTE modified but probe still faulted";
@@ -80,6 +87,11 @@ AttackReport pt_tampering_kernel_expose(System& sys) {
   // Probe: user-mode read of kernel memory (a secret in the direct map).
   sys.mem().write_u64(dram + MiB(20), 0x5EC2E7);
   const MemAccessResult probe = user_probe(sys, dram + MiB(20), /*write=*/false);
+  if (!probe.ok && sys.kernel().iso().verify_on_walk) {
+    rep.outcome = Outcome::kDetectedMac;
+    rep.detail = "verify-on-walk refused the tampered kernel PTE";
+    return rep;
+  }
   rep.outcome = probe.ok && probe.value == 0x5EC2E7 ? Outcome::kSucceeded
                                                     : Outcome::kContained;
   rep.detail = probe.ok ? "user mode reads kernel memory through the flipped U bit"
@@ -147,6 +159,16 @@ AttackReport pt_injection(System& sys) {
     rep.detail = "switch_mm rejected the hijacked pgd: token mismatch";
     return rep;
   }
+  if (sw == SwitchResult::kMacInvalid) {
+    rep.outcome = Outcome::kDetectedMac;
+    rep.detail = "switch_mm rejected the hijacked pgd: credential MAC mismatch";
+    return rep;
+  }
+  if (sw == SwitchResult::kDomainInvalid) {
+    rep.outcome = Outcome::kDetectedDomain;
+    rep.detail = "switch_mm rejected the hijacked pgd: root not in the PT domain";
+    return rep;
+  }
 
   // satp now points at the fake root. Probe the injected mapping.
   const MemAccessResult probe = user_probe(sys, evil_va, /*write=*/true);
@@ -186,6 +208,16 @@ AttackReport pt_reuse(System& sys) {
     rep.detail = "token's user pointer does not point back at the victim PCB";
     return rep;
   }
+  if (sw == SwitchResult::kMacInvalid) {
+    rep.outcome = Outcome::kDetectedMac;
+    rep.detail = "copied MAC does not cover (attacker root, victim pid)";
+    return rep;
+  }
+  if (sw == SwitchResult::kDomainInvalid) {
+    rep.outcome = Outcome::kDetectedDomain;
+    rep.detail = "attacker root not registered in the PT domain";
+    return rep;
+  }
   // The root-privileged victim now runs on the attacker's address space —
   // the attacker's code executes with the victim's privileges.
   const u64 satp_now = sys.core().mmu().satp();
@@ -210,7 +242,7 @@ AttackReport allocator_metadata(System& sys) {
   // the victim's *live* root table.
   const PhysAddr victim_root = k.processes().pcb_pgd(*victim);
   BuddyZone& pt_zone =
-      k.config().ptstore ? k.pages().ptstore() : k.pages().normal();
+      k.iso().secure_zone ? k.pages().ptstore() : k.pages().normal();
   pt_zone.force_next_alloc(victim_root);
 
   // Watch the victim root's *user-half* entry (its kVictimVa subtree
@@ -343,6 +375,16 @@ AttackReport token_forgery(System& sys) {
   if (sw == SwitchResult::kTokenInvalid) {
     rep.outcome = Outcome::kDetectedToken;
     rep.detail = "switch_mm still rejected the forged binding";
+    return rep;
+  }
+  if (sw == SwitchResult::kMacInvalid) {
+    rep.outcome = Outcome::kDetectedMac;
+    rep.detail = "MAC validation still rejected the forged binding";
+    return rep;
+  }
+  if (sw == SwitchResult::kDomainInvalid) {
+    rep.outcome = Outcome::kDetectedDomain;
+    rep.detail = "domain registry still rejected the forged binding";
     return rep;
   }
   const u64 satp_now = sys.core().mmu().satp();

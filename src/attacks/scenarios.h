@@ -18,6 +18,10 @@ enum class Outcome : u8 {
   kDetectedToken,   ///< Token validation rejected the hijacked pointer.
   kDetectedZero,    ///< Zero-check rejected the overlapping allocation.
   kContained,       ///< Attack ran but could not affect protected state.
+  // Backend-specific detections append here (golden battery transcripts
+  // depend on the strings, not the values, but don't renumber anyway).
+  kDetectedMac,     ///< PTAuth pointer-MAC rejected the access or switch.
+  kDetectedDomain,  ///< DPTI domain registry rejected the hijacked root.
 };
 
 const char* to_string(Outcome o);

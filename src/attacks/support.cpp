@@ -36,7 +36,7 @@ void restore_kernel_satp(System& sys) {
   const u64 satp_v = isa::satp::make(
       isa::satp::kModeSv39, sys.kernel().config().kernel_asid,
       sys.kernel().kernel_root() >> kPageShift,
-      sys.kernel().config().ptstore && sys.kernel().config().ptw_check);
+      sys.kernel().iso().satp_s_bit);
   sys.core().write_csr(isa::csr::kSatp, satp_v, Privilege::kMachine);
   sys.core().mmu().sfence(std::nullopt, std::nullopt);
 }

@@ -107,7 +107,7 @@ OpResult exec_campaign_op(System& sys, const CampaignOp& op, CampaignKind kind) 
         // protocol corrupted its own state. Under kAttack those same
         // statuses are the defences working as intended.
         const bool defence_fired = r.status == ProtoStatus::kZeroDetect ||
-                                   r.status == ProtoStatus::kTokenReject ||
+                                   is_credential_reject(r.status) ||
                                    r.status == ProtoStatus::kFault;
         const bool violation = kind == CampaignKind::kProto && defence_fired;
         return {to_string(r.status), violation};
@@ -243,6 +243,7 @@ void run_op_shard(System& sys, CampaignKind kind, Rng& rng, u64 op_count,
 SystemCheckpoint campaign_checkpoint(const CampaignSpec& spec) {
   SystemConfig cfg =
       spec.ptstore ? SystemConfig::cfi_ptstore() : SystemConfig::cfi();
+  apply_backend(cfg, spec.backend);
   cfg.dram_size = spec.dram_size;
   auto sys = System::create(cfg);
   if (!sys.ok()) {
@@ -387,6 +388,11 @@ void write_campaign_report(std::ostream& os, const CampaignResult& r,
   w.kv("schema_version", kCampaignReportSchemaVersion);
   w.kv("campaign", to_string(r.spec.kind));
   w.kv("ptstore", r.spec.ptstore);
+  // Only emitted for explicit backend selections: seed reports (kAuto)
+  // predate this key and stay byte-identical.
+  if (r.spec.backend != BackendKind::kAuto) {
+    w.kv("backend", to_string(r.spec.backend));
+  }
   w.kv("campaign_seed", r.spec.seed);
   w.kv("shard_count", r.spec.shards);
   w.kv("ops_per_shard",

@@ -108,6 +108,10 @@ struct CampaignSpec {
   /// §III-A motivation — which is how the reproducer/minimization machinery
   /// is exercised end to end.
   bool ptstore = true;
+  /// Isolation backend for the shard machines. kAuto keeps the legacy
+  /// ptstore/stock selection above (and keeps seed reports byte-identical);
+  /// anything else layers apply_backend() over it.
+  BackendKind backend = BackendKind::kAuto;
   DiffOptions diff;      ///< op_count / sabotage for kDiff shards.
   bool minimize = true;  ///< Greedy trace minimization of failing shards.
 };

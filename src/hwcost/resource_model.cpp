@@ -121,4 +121,20 @@ TableIII build_table(const CoreParams& p, const BaselineUsage& base) {
   return t;
 }
 
+DefenseCycleCosts defense_cycle_costs(const CoreParams& p) {
+  DefenseCycleCosts c;
+  // DPTI domain entry/exit: one CSR write into the domain-permission
+  // register each way (serializing, so the LSU pipe drains both times)
+  // plus the in-flight memory ops that must retire before the switch.
+  const Cycles csr_serialize = 2 + p.lsu_pipe_stages;
+  c.dpti_domain_switch = 2 * csr_serialize;
+  // Domain-tagged flush on switch_mm: tag-match invalidation walks the
+  // memory-issue lanes once per LSU stage plus a fixed trigger cost.
+  c.dpti_switch_flush = 4 + p.lsu_pipe_stages * p.mem_width * 2;
+  // QARMA64-shaped MAC: 5 forward rounds + reflector + 5 backward rounds
+  // folded two-per-cycle in hardware, one extra cycle for the compare.
+  c.ptauth_mac = (5 + 1 + 5 + 1) / 2 + 1;
+  return c;
+}
+
 }  // namespace ptstore::hwcost

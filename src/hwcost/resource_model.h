@@ -85,4 +85,21 @@ TableIII build_table(const CoreParams& p, const BaselineUsage& base);
 /// slack; estimate the WSS/Fmax of the modified design.
 double estimate_wss_ns(const CoreParams& p, const BaselineUsage& base);
 
+/// Per-operation cycle costs of the related page-table defenses, derived
+/// from the same core parameters as the area model. These feed the
+/// IsolationBackend cost knobs (kernel/isolation.h) so the DPTI/PTAuth
+/// backends charge parameter-derived — not hand-waved — cycle counts.
+struct DefenseCycleCosts {
+  /// DPTI: enter + leave the page-table domain around one mediated PT
+  /// write (two domain-register CSR writes plus an LSU drain each way).
+  Cycles dpti_domain_switch = 0;
+  /// DPTI: domain-tagged TLB maintenance charged per address-space switch.
+  Cycles dpti_switch_flush = 0;
+  /// PTAuth: one pointer-MAC evaluation (QARMA64-shaped rounds), paid per
+  /// credential sign/verify and per walker PTE-fetch verification.
+  Cycles ptauth_mac = 0;
+};
+
+DefenseCycleCosts defense_cycle_costs(const CoreParams& p);
+
 }  // namespace ptstore::hwcost

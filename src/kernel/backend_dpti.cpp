@@ -1,0 +1,94 @@
+// DPTI-style backend (Canella et al., "Domain Page-Table Isolation"):
+// page tables live in a protected memory domain. The kernel enters the
+// domain around every PT write (modeled as the per-write domain-switch
+// cycles from hwcost on the mediated sd.pt path) and the domain tracks
+// which physical pages are currently valid PT roots. switch_mm accepts any
+// root registered in the domain — the defense stops PT-Injection (a forged
+// root was never produced by the domain) but, unlike PTStore's tokens, it
+// keeps no per-process binding: re-pointing a PCB at another live process's
+// root (PT-Reuse) passes. That differential is the point of the backend.
+#include <set>
+
+#include "kernel/isolation.h"
+#include "kernel/kernel.h"
+#include "telemetry/trace.h"
+
+namespace ptstore {
+
+namespace {
+
+class DptiBackend : public IsolationBackend {
+ public:
+  using IsolationBackend::IsolationBackend;
+
+  PtStatus accept_pt_page(PhysAddr page) override {
+    // The domain zeroes pages it adopts, in-domain (charged like the
+    // mediated write path).
+    const KAccess z = kmem().pt_bulk_zero(page);
+    if (!z.ok) return PtStatus{false, false, false, z.fault};
+    return PtStatus::success();
+  }
+
+  void release_pt_page(PhysAddr page) override {
+    // Scrub in-domain before the page leaves; a released root is no longer
+    // a valid domain root.
+    (void)kmem().pt_bulk_zero(page);
+    roots_.erase(page);
+  }
+
+  bool bind_root(Process& proc, PhysAddr root, PtStatus* st) override {
+    (void)st;
+    roots_.insert(root);
+    kmem().must_sd(proc.pcb_token_field(), 0);  // No per-process credential.
+    return true;
+  }
+
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+    (void)proc;
+    (void)old_cred;  // The stale root was dropped by release_pt_page.
+    roots_.insert(root);
+    return true;
+  }
+
+  void unbind_root(Process& proc, u64 cred) override {
+    (void)proc;
+    (void)cred;  // Roots leave the registry when their pages are released.
+  }
+
+  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+    // Domain-tagged TLB maintenance on every address-space switch.
+    core().add_cycles(iso_.switch_check_cost);
+    const bool valid = roots_.count(pgd) != 0;
+    if (telemetry::EventRing* tr = telemetry::tracing()) {
+      Core& c = core();
+      tr->instant(telemetry::Subsystem::kToken,
+                  valid ? "domain_ok" : "domain_reject", c.cycles(), c.instret(),
+                  static_cast<u8>(c.priv()), proc.pid);
+    }
+    if (!valid) return SwitchResult::kDomainInvalid;
+    return SwitchResult::kOk;
+  }
+
+  BackendState save_state() const override {
+    BackendState st;
+    st.roots.assign(roots_.begin(), roots_.end());
+    return st;
+  }
+
+  void restore_state(const BackendState& st) override {
+    roots_.clear();
+    roots_.insert(st.roots.begin(), st.roots.end());
+  }
+
+ private:
+  std::set<PhysAddr> roots_;  ///< Roots the domain has produced and not freed.
+};
+
+}  // namespace
+
+std::unique_ptr<IsolationBackend> make_dpti_backend(const IsolationConfig& iso,
+                                                    Kernel& k) {
+  return std::make_unique<DptiBackend>(iso, k);
+}
+
+}  // namespace ptstore

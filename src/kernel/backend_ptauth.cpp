@@ -1,0 +1,167 @@
+// PTAuth-style backend (Farkhani et al.): page tables stay in ordinary
+// kernel memory — no secure region, no new instructions — and integrity
+// comes from authentication. A MAC over (root, pid) is the PCB credential
+// checked in switch_mm, so a hijacked or re-pointed pgd fails verification
+// even though the PCB itself is attacker-writable. Every mediated PT write
+// is signed into an authenticated shadow, and the MMU verifies each PTE it
+// fetches from a tracked page against that shadow (verify-on-walk): a PTE
+// an attacker planted with plain stores was never signed and vetoes the
+// walk. What the scheme does NOT give — and the attack battery records —
+// is protection for translations already cached in the TLB (the walker
+// never runs) or for the allocator's free-page metadata.
+#include <map>
+#include <set>
+
+#include "common/bits.h"
+#include "kernel/isolation.h"
+#include "kernel/kernel.h"
+#include "telemetry/trace.h"
+
+namespace ptstore {
+
+namespace {
+
+class PtauthBackend : public IsolationBackend, public WalkVerifier {
+ public:
+  using IsolationBackend::IsolationBackend;
+
+  PtStatus accept_pt_page(PhysAddr page) override {
+    // Zero like the stock kernel (GFP_ZERO) — the probe/fill run before the
+    // page is tracked, then the page joins the authenticated set with an
+    // empty (all-zero) shadow.
+    const KAccess z = kmem().pt_bulk_zero(page);
+    if (!z.ok) return PtStatus{false, false, false, z.fault};
+    tracked_.insert(page);
+    erase_shadow(page);
+    return PtStatus::success();
+  }
+
+  void release_pt_page(PhysAddr page) override {
+    core().mem().fill(page, 0, kPageSize);
+    tracked_.erase(page);
+    erase_shadow(page);
+  }
+
+  bool bind_root(Process& proc, PhysAddr root, PtStatus* st) override;
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override;
+  void unbind_root(Process& proc, u64 cred) override {
+    (void)proc;
+    (void)cred;  // MACs are values, not allocations — nothing to free.
+  }
+  SwitchResult validate_switch(Process& proc, u64 pgd) override;
+
+  WalkVerifier* walk_verifier() override { return this; }
+
+  // Mediated PT writes are signed into the shadow; the signing cycles ride
+  // on the pt_write_extra charge in KernelMem.
+  void on_pt_write(VirtAddr va, u64 v) override {
+    if (tracked_.count(page_of(va)) == 0) return;
+    if (v == 0) {
+      shadow_.erase(va);
+    } else {
+      shadow_[va] = v;
+    }
+  }
+  void on_pt_page_zeroed(VirtAddr page_va) override { erase_shadow(page_of(page_va)); }
+  void on_pt_page_copied(VirtAddr dst_page, VirtAddr src_page) override {
+    const PhysAddr dst = page_of(dst_page);
+    if (tracked_.count(dst) == 0) return;
+    erase_shadow(dst);
+    for (u64 off = 0; off < kPageSize; off += 8) {
+      const u64 v = core().mem().read_u64(src_page + off);
+      if (v != 0) shadow_[dst + off] = v;
+    }
+  }
+
+  // WalkVerifier: authenticate every PTE the walker fetches from a tracked
+  // page. Untracked memory (a forged table an attacker points satp at) is
+  // not this unit's to judge — the MAC check in switch_mm already refused
+  // to install such a root.
+  bool check_pte_fetch(PhysAddr pte_addr, u64 pte, Cycles* cost) override {
+    if (tracked_.count(page_of(pte_addr)) == 0) return true;
+    *cost += iso_.mac_cost;
+    const auto it = shadow_.find(pte_addr);
+    const u64 expect = it == shadow_.end() ? 0 : it->second;
+    return pte == expect;
+  }
+  void on_hw_pte_update(PhysAddr pte_addr, u64 pte) override {
+    // Hardware A/D writeback re-signs the updated entry.
+    if (tracked_.count(page_of(pte_addr)) == 0) return;
+    shadow_[pte_addr] = pte;
+  }
+
+  BackendState save_state() const override {
+    BackendState st;
+    st.pages.assign(tracked_.begin(), tracked_.end());
+    st.shadow.assign(shadow_.begin(), shadow_.end());
+    return st;
+  }
+  void restore_state(const BackendState& st) override {
+    tracked_.clear();
+    tracked_.insert(st.pages.begin(), st.pages.end());
+    shadow_.clear();
+    shadow_.insert(st.shadow.begin(), st.shadow.end());
+  }
+
+ private:
+  static PhysAddr page_of(PhysAddr a) { return align_down(a, kPageSize); }
+
+  void erase_shadow(PhysAddr page) {
+    shadow_.erase(shadow_.lower_bound(page), shadow_.lower_bound(page + kPageSize));
+  }
+
+  /// MAC over (root, pid): a splitmix64-shaped keyed mix standing in for
+  /// the QARMA64 unit. The high bit is forced so a credential value can
+  /// never alias a DRAM address (and is never zero) — an attacker treating
+  /// it as a pointer faults deterministically.
+  u64 mac_of(PhysAddr root, u64 pid) const {
+    u64 x = root ^ (pid * 0x9E3779B97F4A7C15ull) ^ kMacKey;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x | (u64{1} << 63);
+  }
+
+  /// Per-design key: the model needs determinism, not secrecy — attacks in
+  /// the battery don't try to compute MACs, they replay/forge pointers.
+  static constexpr u64 kMacKey = 0xA5C3'9D01'7E66'D0F1ull;
+
+  std::set<PhysAddr> tracked_;        ///< PT pages under authentication.
+  std::map<PhysAddr, u64> shadow_;    ///< slot -> last signed (nonzero) PTE.
+};
+
+bool PtauthBackend::bind_root(Process& proc, PhysAddr root, PtStatus* st) {
+  (void)st;
+  core().add_cycles(iso_.mac_cost);  // Sign the credential.
+  kmem().must_sd(proc.pcb_token_field(), mac_of(root, proc.pid));
+  return true;
+}
+
+bool PtauthBackend::rebind_root(Process& proc, u64 old_cred, PhysAddr root) {
+  (void)old_cred;  // Stale MACs need no teardown.
+  core().add_cycles(iso_.mac_cost);
+  kmem().must_sd(proc.pcb_token_field(), mac_of(root, proc.pid));
+  return true;
+}
+
+SwitchResult PtauthBackend::validate_switch(Process& proc, u64 pgd) {
+  const u64 cred = kmem().must_ld(proc.pcb_token_field());
+  core().add_cycles(iso_.mac_cost);  // Recompute + compare.
+  const bool valid = cred == mac_of(pgd, proc.pid);
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    Core& c = core();
+    tr->instant(telemetry::Subsystem::kToken, valid ? "mac_ok" : "mac_reject",
+                c.cycles(), c.instret(), static_cast<u8>(c.priv()), proc.pid);
+  }
+  if (!valid) return SwitchResult::kMacInvalid;
+  return SwitchResult::kOk;
+}
+
+}  // namespace
+
+std::unique_ptr<IsolationBackend> make_ptauth_backend(const IsolationConfig& iso,
+                                                      Kernel& k) {
+  return std::make_unique<PtauthBackend>(iso, k);
+}
+
+}  // namespace ptstore

@@ -1,0 +1,230 @@
+#include "kernel/isolation.h"
+
+#include "hwcost/resource_model.h"
+#include "kernel/kernel.h"
+#include "telemetry/trace.h"
+
+namespace ptstore {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kAuto: return "auto";
+    case BackendKind::kStock: return "stock";
+    case BackendKind::kPtstore: return "ptstore";
+    case BackendKind::kDpti: return "dpti";
+    case BackendKind::kPtauth: return "ptauth";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> backend_kind_from(std::string_view name) {
+  if (name == "stock") return BackendKind::kStock;
+  if (name == "ptstore") return BackendKind::kPtstore;
+  if (name == "dpti") return BackendKind::kDpti;
+  if (name == "ptauth") return BackendKind::kPtauth;
+  if (name == "auto") return BackendKind::kAuto;
+  return std::nullopt;
+}
+
+IsolationConfig IsolationConfig::resolve(const KernelConfig& cfg) {
+  IsolationConfig iso;
+  iso.kind = cfg.backend == BackendKind::kAuto
+                 ? (cfg.ptstore ? BackendKind::kPtstore : BackendKind::kStock)
+                 : cfg.backend;
+  iso.secure_region_init = cfg.secure_region_init;
+  iso.adjustment_chunk_pages = cfg.adjustment_chunk_pages;
+
+  const hwcost::DefenseCycleCosts costs =
+      hwcost::defense_cycle_costs(hwcost::CoreParams{});
+
+  switch (iso.kind) {
+    case BackendKind::kAuto:  // Unreachable after the fold above.
+    case BackendKind::kStock:
+      break;
+    case BackendKind::kPtstore:
+      iso.pt_insns = true;
+      iso.secure_zone = true;
+      iso.satp_s_bit = cfg.ptw_check;
+      iso.issue_tokens = true;
+      iso.check_tokens = cfg.token_check;
+      iso.zero_check = cfg.zero_check;
+      iso.allow_adjustment = cfg.allow_adjustment;
+      iso.guard_console = true;
+      iso.pt_write_extra =
+          cfg.monitor_checked_pt_writes ? cfg.monitor_pt_write_cost : 0;
+      break;
+    case BackendKind::kDpti:
+      // Page tables sit in a protected domain: the secure zone + PMP model
+      // the domain's memory, every mediated PT write pays the domain
+      // entry/exit, and switch_mm pays a domain-tagged TLB flush. There is
+      // no per-process credential and no allocator zero check.
+      iso.pt_insns = true;
+      iso.secure_zone = true;
+      iso.allow_adjustment = cfg.allow_adjustment;
+      iso.guard_console = true;
+      iso.domain_roots = true;
+      iso.pt_write_extra = costs.dpti_domain_switch;
+      iso.switch_check_cost = costs.dpti_switch_flush;
+      break;
+    case BackendKind::kPtauth:
+      // No secure region and no new instructions: page tables stay in
+      // ordinary memory, protected by a MAC over (root, pid) verified at
+      // switch_mm and by per-PTE-fetch authentication in the walker.
+      iso.verify_on_walk = true;
+      iso.pt_write_extra = costs.ptauth_mac;  // Sign each mediated PT write.
+      iso.mac_cost = costs.ptauth_mac;
+      break;
+  }
+  return iso;
+}
+
+KernelMem& IsolationBackend::kmem() { return k_.kmem(); }
+Core& IsolationBackend::core() { return k_.core(); }
+
+namespace {
+
+/// Instant on the credential-check subsystem track (same track the token
+/// checks always used, so trace tooling needs no new subsystem).
+void trace_check(Core& c, const char* name, u64 pid) {
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    tr->instant(telemetry::Subsystem::kToken, name, c.cycles(), c.instret(),
+                static_cast<u8>(c.priv()), pid);
+  }
+}
+
+/// The undefended kernel: ordinary zones, no credentials, no checks. Fresh
+/// PT pages are still zeroed (GFP_ZERO) and scrubbed host-side on free so
+/// the model's allocators always hand out clean pages.
+class StockBackend : public IsolationBackend {
+ public:
+  using IsolationBackend::IsolationBackend;
+
+  PtStatus accept_pt_page(PhysAddr page) override {
+    // Unchecked kernels still zero fresh PT pages.
+    const KAccess z = kmem().pt_bulk_zero(page);
+    if (!z.ok) return PtStatus{false, false, false, z.fault};
+    return PtStatus::success();
+  }
+
+  void release_pt_page(PhysAddr page) override {
+    // Keep the architectural contents zeroed (the model's allocators hand
+    // pages to other subsystems); charge nothing extra — the baseline
+    // already paid its single zeroing pass at alloc time.
+    core().mem().fill(page, 0, kPageSize);
+  }
+
+  bool bind_root(Process& proc, PhysAddr root, PtStatus* st) override {
+    (void)root;
+    (void)st;
+    kmem().must_sd(proc.pcb_token_field(), 0);
+    return true;
+  }
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+    (void)proc;
+    (void)old_cred;
+    (void)root;
+    return true;  // The stock execve path writes no credential.
+  }
+  void unbind_root(Process& proc, u64 cred) override {
+    (void)proc;
+    (void)cred;
+  }
+  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+    (void)proc;
+    (void)pgd;
+    return SwitchResult::kOk;
+  }
+};
+
+/// The paper's defense, verbatim-moved from the pre-refactor kernel: PMP
+/// secure zone for PT pages and tokens, §V-E3 zero check, and the token
+/// binding validated in switch_mm. Access order and cycle charges are
+/// identical to the hard-wired implementation (the byte-identical report
+/// gate in tests/integration/backend_regression_test.cpp holds it there).
+class PtstoreBackend : public IsolationBackend {
+ public:
+  using IsolationBackend::IsolationBackend;
+
+  PtStatus accept_pt_page(PhysAddr page) override {
+    if (iso_.zero_check) {
+      // §V-E3: a genuinely free page is all-zero; a page the (corrupted)
+      // allocator re-handed out while in use as a page table is not.
+      const KAccess z = kmem().pt_bulk_is_zero(page);
+      if (!z.ok) return PtStatus{false, false, false, z.fault};
+      if (z.value == 0) return PtStatus{false, true, false, isa::TrapCause::kNone};
+      return PtStatus::success();
+    }
+    const KAccess z = kmem().pt_bulk_zero(page);
+    if (!z.ok) return PtStatus{false, false, false, z.fault};
+    return PtStatus::success();
+  }
+
+  void release_pt_page(PhysAddr page) override {
+    // Zero PT pages on free so the §V-E3 all-zero check holds for genuinely
+    // free pages; this pass (plus the read-back check on alloc) is
+    // PTStore's extra per-PT-page cost. The baseline zeroes on allocation
+    // instead (GFP_ZERO) — one pass.
+    if (iso_.zero_check) {
+      (void)kmem().pt_bulk_zero(page);
+    } else {
+      core().mem().fill(page, 0, kPageSize);
+    }
+  }
+
+  bool bind_root(Process& proc, PhysAddr root, PtStatus* st) override {
+    const auto tok = k_.tokens().issue(proc.pcb_token_field(), root);
+    if (!tok) {
+      *st = PtStatus{false, false, true, isa::TrapCause::kNone};
+      return false;
+    }
+    kmem().must_sd(proc.pcb_token_field(), *tok);
+    return true;
+  }
+
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+    if (old_cred != 0) k_.tokens().clear(old_cred);
+    const auto tok = k_.tokens().issue(proc.pcb_token_field(), root);
+    if (!tok) return false;
+    kmem().must_sd(proc.pcb_token_field(), *tok);
+    return true;
+  }
+
+  void unbind_root(Process& proc, u64 cred) override {
+    (void)proc;
+    if (cred != 0) k_.tokens().clear(cred);
+  }
+
+  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+    if (!iso_.check_tokens) return SwitchResult::kOk;
+    const u64 token = kmem().must_ld(proc.pcb_token_field());
+    const bool valid = k_.tokens().validate(token, proc.pcb_token_field(), pgd);
+    trace_check(core(), valid ? "token_ok" : "token_reject", proc.pid);
+    if (!valid) return SwitchResult::kTokenInvalid;
+    return SwitchResult::kOk;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IsolationBackend> make_dpti_backend(const IsolationConfig& iso,
+                                                    Kernel& k);
+std::unique_ptr<IsolationBackend> make_ptauth_backend(const IsolationConfig& iso,
+                                                      Kernel& k);
+
+std::unique_ptr<IsolationBackend> make_isolation_backend(const IsolationConfig& iso,
+                                                         Kernel& k) {
+  switch (iso.kind) {
+    case BackendKind::kAuto:
+    case BackendKind::kStock:
+      return std::make_unique<StockBackend>(iso, k);
+    case BackendKind::kPtstore:
+      return std::make_unique<PtstoreBackend>(iso, k);
+    case BackendKind::kDpti:
+      return make_dpti_backend(iso, k);
+    case BackendKind::kPtauth:
+      return make_ptauth_backend(iso, k);
+  }
+  return std::make_unique<StockBackend>(iso, k);
+}
+
+}  // namespace ptstore

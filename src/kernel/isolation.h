@@ -1,0 +1,150 @@
+// Pluggable page-table isolation backends.
+//
+// Every point where the kernel consults "the defense" is funneled through
+// the IsolationBackend interface below: PT-page allocation zoning and
+// acceptance (the §V-E3 all-zero check), exit-time scrub, root-credential
+// issue/validation around copy_mm/execve/exit/switch_mm, mediated PT-write
+// observation, and the walk-time hooks. The kernel proper never tests
+// `cfg.ptstore` for a mechanism decision — it asks the backend's
+// IsolationConfig capabilities, resolved once at construction time.
+//
+// Backends:
+//   StockBackend   — the undefended kernel (formalizes the old --stock path).
+//   PtstoreBackend — the paper's PMP secure region + ld.pt/sd.pt + satp.S
+//                    walker check + token binding. Behavior-identical to the
+//                    pre-refactor hard-wired implementation.
+//   DptiBackend    — DPTI-style (Canella et al.): page tables live in a
+//                    protected domain entered per PT write; switch_mm checks
+//                    the new root against the domain's registry and pays a
+//                    domain-tagged TLB flush. No per-process binding.
+//   PtauthBackend  — PTAuth-style (Farkhani et al.): a MAC over (root, pid)
+//                    is the PCB credential, and the MMU verifies every PTE
+//                    it fetches against the authenticated shadow.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kernel/pagetable.h"
+#include "mmu/mmu.h"
+
+namespace ptstore {
+
+class Kernel;
+struct Process;
+
+/// Result of a context switch attempt.
+enum class SwitchResult : u8 {
+  kOk = 0,
+  kTokenInvalid,   ///< Token validation failed — PT-Reuse attack caught.
+  kSatpFault,      ///< The satp write itself was refused.
+  kMacInvalid,     ///< PTAuth credential MAC mismatch.
+  kDomainInvalid,  ///< DPTI: root is not registered in the PT domain.
+};
+
+/// Construction-time capability/cost sheet of one backend. This replaces
+/// the scattered `cfg.ptstore && cfg.<mechanism>` tests: resolve() folds the
+/// KernelConfig bools into one immutable struct the kernel and the attack
+/// harness query.
+struct IsolationConfig {
+  BackendKind kind = BackendKind::kStock;
+
+  bool pt_insns = false;         ///< PT accessors compile to ld.pt/sd.pt.
+  bool secure_zone = false;      ///< PT pages + tokens from the PMP S=1 zone.
+  bool satp_s_bit = false;       ///< Walker secure-region check (satp.S).
+  bool issue_tokens = false;     ///< Secure-region tokens bind root <-> PCB.
+  bool check_tokens = false;     ///< Validate the binding in switch_mm.
+  bool zero_check = false;       ///< §V-E3 all-zero check on fresh PT pages.
+  bool allow_adjustment = false; ///< Secure-region growth hook (§IV-C1).
+  bool guard_console = false;    ///< §V-F UART guard region.
+  bool verify_on_walk = false;   ///< Walker PTE authentication (PTAuth).
+  bool domain_roots = false;     ///< Registry of valid roots (DPTI).
+
+  u64 secure_region_init = 0;    ///< Initial secure-region bytes.
+  u64 adjustment_chunk_pages = 0;
+
+  /// Extra cycles charged per mediated PT write (monitor round trip, DPTI
+  /// domain entry/exit, PTAuth MAC signing). Fed to KernelMem.
+  Cycles pt_write_extra = 0;
+  /// Extra cycles charged per switch_mm validation (DPTI tagged flush).
+  Cycles switch_check_cost = 0;
+  /// One MAC evaluation (PTAuth credential verify and per-PTE-fetch check).
+  Cycles mac_cost = 0;
+
+  /// Fold a KernelConfig into the capability sheet. `backend == kAuto`
+  /// resolves to kPtstore/kStock from the legacy `ptstore` master switch.
+  static IsolationConfig resolve(const KernelConfig& cfg);
+};
+
+/// Host-side backend state captured in full-system checkpoints (the
+/// architectural side — tokens, tables — lives in simulated memory and is
+/// checkpointed as PhysMem frames).
+struct BackendState {
+  std::vector<u64> roots;                   ///< DPTI: registered PT roots.
+  std::vector<u64> pages;                   ///< PTAuth: registered PT pages.
+  std::vector<std::pair<u64, u64>> shadow;  ///< PTAuth: slot -> signed PTE.
+};
+
+/// The narrow virtual API between the kernel and its page-table defense.
+/// Hook results map onto PtStatus/SwitchResult, which ProtocolOps lifts to
+/// ProtoStatus codes. Backends charge their own simulated cycles; hooks run
+/// in the same order as the code they were extracted from.
+class IsolationBackend : public PtWriteObserver {
+ public:
+  IsolationBackend(const IsolationConfig& iso, Kernel& k) : iso_(iso), k_(k) {}
+  ~IsolationBackend() override = default;
+
+  const IsolationConfig& caps() const { return iso_; }
+  BackendKind kind() const { return iso_.kind; }
+  const char* name() const { return to_string(iso_.kind); }
+
+  /// Allocation zone for page-table pages.
+  Gfp pt_page_gfp() const { return iso_.secure_zone ? Gfp::kPtStore : Gfp::kKernel; }
+
+  /// Validate + prepare a freshly allocated PT page (all-zero check or
+  /// plain zeroing). A non-ok status rejects the page.
+  virtual PtStatus accept_pt_page(PhysAddr page) = 0;
+  /// Scrub a PT page on free, before the zone takes it back.
+  virtual void release_pt_page(PhysAddr page) = 0;
+
+  /// Bind a fresh user root to `proc`, writing the PCB credential field.
+  /// On failure sets *st (never null) and returns false; the caller tears
+  /// the half-built process down.
+  virtual bool bind_root(Process& proc, PhysAddr root, PtStatus* st) = 0;
+  /// Re-bind after execve. `old_cred` is the PCB credential read before the
+  /// old address space was torn down.
+  virtual bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) = 0;
+  /// Drop the credential at exit. `cred` was read before teardown.
+  virtual void unbind_root(Process& proc, u64 cred) = 0;
+  /// switch_mm: validate the (attacker-writable) PCB pgd/credential pair
+  /// before it reaches satp.
+  virtual SwitchResult validate_switch(Process& proc, u64 pgd) = 0;
+
+  /// Walk-time PTE verifier to install in the MMU; null for most backends.
+  virtual WalkVerifier* walk_verifier() { return nullptr; }
+
+  /// PtWriteObserver: default backends don't track mediated writes.
+  void on_pt_write(VirtAddr va, u64 v) override {
+    (void)va;
+    (void)v;
+  }
+
+  virtual BackendState save_state() const { return {}; }
+  virtual void restore_state(const BackendState& st) { (void)st; }
+
+ protected:
+  KernelMem& kmem();
+  Core& core();
+
+  const IsolationConfig iso_;
+  Kernel& k_;
+};
+
+/// Build the backend selected by `iso.kind`. The kernel must already have
+/// its KernelMem and PageAllocator wired; TokenManager may come up later
+/// (backends fetch it lazily through `k`).
+std::unique_ptr<IsolationBackend> make_isolation_backend(const IsolationConfig& iso,
+                                                         Kernel& k);
+
+}  // namespace ptstore

@@ -8,13 +8,37 @@
 //                    adjustments triggered — paper §V-D1)
 #pragma once
 
+#include <optional>
+#include <string_view>
+
 #include "common/types.h"
 
 namespace ptstore {
 
+/// Which page-table isolation backend the kernel boots with. `kAuto` keeps
+/// the historical behaviour: `ptstore` picks between the PTStore backend and
+/// the stock (undefended) kernel. The explicit kinds exist for the
+/// backend-comparison experiments (DPTI's domain-switched PT bases, PTAuth's
+/// pointer-MAC with verify-on-walk).
+enum class BackendKind : u8 {
+  kAuto = 0,
+  kStock,
+  kPtstore,
+  kDpti,
+  kPtauth,
+};
+
+const char* to_string(BackendKind k);
+/// Parse "stock"/"ptstore"/"dpti"/"ptauth" (the --backend= flag values).
+std::optional<BackendKind> backend_kind_from(std::string_view name);
+
 struct KernelConfig {
   /// Master switch: secure region + new instructions + PTW check + tokens.
   bool ptstore = true;
+
+  /// Isolation backend selection; `kAuto` resolves from `ptstore` above.
+  /// See IsolationConfig::resolve() in kernel/isolation.h.
+  BackendKind backend = BackendKind::kAuto;
 
   /// Individual mechanisms (for the ablation benches; all default on and
   /// are only meaningful when `ptstore` is true).

@@ -75,6 +75,7 @@ Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
     : core_(core),
       sbi_(sbi),
       cfg_(cfg),
+      iso_(IsolationConfig::resolve(cfg)),
       booted_count_(bank_.counter("kernel.booted", "successful boots")),
       restored_count_(bank_.counter("kernel.checkpoint_restores",
                                     "checkpoint restores (boots skipped)")),
@@ -83,7 +84,11 @@ Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
       traps_(bank_.counter("kernel.traps", "kernel trap round-trips charged")),
       syscalls_(bank_.counter("kernel.syscalls", "syscalls executed")) {}
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // The core outlives the kernel inside System; detach the walk verifier so
+  // the MMU never dangles into the destroyed backend.
+  core_.mmu().set_walk_verifier(nullptr);
+}
 
 bool Kernel::boot() {
   if (booted_) return false;
@@ -94,33 +99,33 @@ bool Kernel::boot() {
   sbi_.boot_init();
 
   PhysAddr sr_base = dram_end;  // Empty PTStore zone on the baseline kernel.
-  if (cfg_.ptstore) {
-    if (cfg_.secure_region_init + kKernelImageSize + MiB(16) >
+  if (iso_.secure_zone) {
+    if (iso_.secure_region_init + kKernelImageSize + MiB(16) >
         core_.mem().dram_size()) {
       LOG_ERROR("kernel", "DRAM too small for the configured secure region");
       return false;
     }
-    sr_base = dram_end - cfg_.secure_region_init;
-    if (sbi_.sr_init(sr_base, cfg_.secure_region_init) != SbiStatus::kOk) {
+    sr_base = dram_end - iso_.secure_region_init;
+    if (sbi_.sr_init(sr_base, iso_.secure_region_init) != SbiStatus::kOk) {
       return false;
     }
   }
 
-  kmem_ = std::make_unique<KernelMem>(
-      core_, cfg_.ptstore,
-      cfg_.monitor_checked_pt_writes ? cfg_.monitor_pt_write_cost : 0);
+  kmem_ = std::make_unique<KernelMem>(core_, iso_.pt_insns, iso_.pt_write_extra);
   pages_ = std::make_unique<PageAllocator>(normal_base, sr_base, dram_end);
-  pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, cfg_);
+  backend_ = make_isolation_backend(iso_, *this);
+  kmem_->set_pt_write_observer(backend_.get());
+  core_.mmu().set_walk_verifier(backend_->walk_verifier());
+  pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, *backend_);
 
   PtStatus st;
   const auto root = pt_->create_kernel_root(dram_end, &st);
   if (!root) return false;
   kernel_root_ = *root;
 
-  // Enable paging (kernel direct map) with PTStore's walker check when on.
-  const bool s_bit = cfg_.ptstore && cfg_.ptw_check;
+  // Enable paging (kernel direct map) with the backend's walker check.
   const u64 satp_v = isa::satp::make(isa::satp::kModeSv39, cfg_.kernel_asid,
-                                     kernel_root_ >> kPageShift, s_bit);
+                                     kernel_root_ >> kPageShift, iso_.satp_s_bit);
   if (!core_.write_csr(isa::csr::kSatp, satp_v, Privilege::kSupervisor)) return false;
   core_.mmu().sfence(std::nullopt, std::nullopt);
 
@@ -128,7 +133,7 @@ bool Kernel::boot() {
   // (§IV-C3). The PCB slab is ordinary kernel memory — deliberately
   // attackable, per the threat model.
   token_cache_ = std::make_unique<KmemCache>(
-      "ptstore_token", kTokenSize, cfg_.ptstore ? Gfp::kPtStore : Gfp::kKernel,
+      "ptstore_token", kTokenSize, iso_.secure_zone ? Gfp::kPtStore : Gfp::kKernel,
       *pages_, *kmem_, [](KernelMem& km, PhysAddr obj) {
         km.must_pt_sd(obj + kTokenPtPtrOff, 0);
         km.must_pt_sd(obj + kTokenUserPtrOff, 0);
@@ -140,10 +145,10 @@ bool Kernel::boot() {
       });
 
   tokens_ = std::make_unique<TokenManager>(*kmem_, *token_cache_);
-  pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *tokens_,
+  pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *backend_,
                                          *pcb_cache_, cfg_, kernel_root_);
 
-  if (cfg_.ptstore && cfg_.allow_adjustment) {
+  if (iso_.allow_adjustment) {
     pages_->set_grow_hook([this](unsigned order) { return grow_secure_region(order); });
   }
 
@@ -164,6 +169,7 @@ Kernel::State Kernel::save_state() const {
   st.token_cache = token_cache_->save_state();
   st.pcb_cache = pcb_cache_->save_state();
   st.processes = pm_->save_state();
+  st.backend = backend_->save_state();
   st.kernel_root = kernel_root_;
   st.uart_base = uart_base_;
   st.init_pid = init_ != nullptr ? init_->pid : 0;
@@ -178,20 +184,22 @@ void Kernel::restore_state(const State& st) {
   // are restored separately (PhysMem frames + CoreArchState), so nothing
   // here may touch simulated memory. The slab constructors exist on the
   // rebuilt caches but run only in grow(); restore never invokes them.
-  kmem_ = std::make_unique<KernelMem>(
-      core_, cfg_.ptstore,
-      cfg_.monitor_checked_pt_writes ? cfg_.monitor_pt_write_cost : 0);
+  kmem_ = std::make_unique<KernelMem>(core_, iso_.pt_insns, iso_.pt_write_extra);
   // Zone geometry comes from the checkpoint, not the boot-time layout: the
   // PTSTORE base moves on secure-region growth.
   pages_ = std::make_unique<PageAllocator>(st.normal_zone.base, st.ptstore_zone.base,
                                            st.ptstore_zone.end);
   pages_->normal().restore_state(st.normal_zone);
   pages_->ptstore().restore_state(st.ptstore_zone);
-  pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, cfg_);
+  backend_ = make_isolation_backend(iso_, *this);
+  backend_->restore_state(st.backend);
+  kmem_->set_pt_write_observer(backend_.get());
+  core_.mmu().set_walk_verifier(backend_->walk_verifier());
+  pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, *backend_);
   pt_->restore_state(st.pagetables);
 
   token_cache_ = std::make_unique<KmemCache>(
-      "ptstore_token", kTokenSize, cfg_.ptstore ? Gfp::kPtStore : Gfp::kKernel,
+      "ptstore_token", kTokenSize, iso_.secure_zone ? Gfp::kPtStore : Gfp::kKernel,
       *pages_, *kmem_, [](KernelMem& km, PhysAddr obj) {
         km.must_pt_sd(obj + kTokenPtPtrOff, 0);
         km.must_pt_sd(obj + kTokenUserPtrOff, 0);
@@ -206,11 +214,11 @@ void Kernel::restore_state(const State& st) {
 
   kernel_root_ = st.kernel_root;
   tokens_ = std::make_unique<TokenManager>(*kmem_, *token_cache_);
-  pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *tokens_,
+  pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *backend_,
                                          *pcb_cache_, cfg_, kernel_root_);
   pm_->restore_state(st.processes);
 
-  if (cfg_.ptstore && cfg_.allow_adjustment) {
+  if (iso_.allow_adjustment) {
     pages_->set_grow_hook([this](unsigned order) { return grow_secure_region(order); });
   }
 
@@ -231,11 +239,11 @@ void Kernel::clear_stats() {
 }
 
 bool Kernel::grow_secure_region(unsigned order) {
-  if (!cfg_.ptstore || !cfg_.allow_adjustment) return false;
+  if (!iso_.allow_adjustment) return false;
   telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kSecureRegion,
                                    "sr_grow", order);
   const SecureRegion sr = sbi_.sr_get();
-  u64 chunk = std::max<u64>(cfg_.adjustment_chunk_pages, u64{1} << order);
+  u64 chunk = std::max<u64>(iso_.adjustment_chunk_pages, u64{1} << order);
 
   // Keep a safety floor so the NORMAL zone cannot be consumed entirely.
   const PhysAddr floor = pages_->normal().base() + MiB(8);
@@ -278,7 +286,7 @@ bool Kernel::grow_secure_region(unsigned order) {
 
 bool Kernel::attach_console(PhysAddr uart_base) {
   if (!booted_) return false;
-  if (cfg_.ptstore) {
+  if (iso_.guard_console) {
     // §V-F: the UART window becomes a guard region — regular stores (an
     // attacker silencing the console, say) fault; the driver uses sd.pt.
     if (sbi_.guard_region(uart_base, kPageSize) != SbiStatus::kOk) return false;

@@ -74,6 +74,13 @@ class Kernel {
   Core& core() { return core_; }
   SbiMonitor& sbi() { return sbi_; }
 
+  /// The page-table isolation backend (valid after boot()/restore_state()).
+  IsolationBackend& isolation() { return *backend_; }
+  /// The backend's capability sheet, resolved at construction time. This is
+  /// the query point that replaces scattered `config().ptstore && ...`
+  /// mechanism tests.
+  const IsolationConfig& iso() const { return iso_; }
+
   Process* init_proc() { return init_; }
   PhysAddr kernel_root() const { return kernel_root_; }
 
@@ -132,6 +139,7 @@ class Kernel {
     KmemCache::State token_cache;
     KmemCache::State pcb_cache;
     ProcessManager::State processes;
+    BackendState backend;
     PhysAddr kernel_root = 0;
     PhysAddr uart_base = 0;
     u64 init_pid = 0;
@@ -157,8 +165,10 @@ class Kernel {
   Core& core_;
   SbiMonitor& sbi_;
   KernelConfig cfg_;
+  IsolationConfig iso_;
 
   std::unique_ptr<KernelMem> kmem_;
+  std::unique_ptr<IsolationBackend> backend_;
   std::unique_ptr<PageAllocator> pages_;
   std::unique_ptr<PageTableManager> pt_;
   std::unique_ptr<KmemCache> token_cache_;

@@ -64,6 +64,7 @@ KAccess KernelMem::pt_bulk_zero(VirtAddr page_va) {
   if (!probe.ok) return probe;
   core_.mem().fill(page_va, 0, kPageSize);  // Kernel VA == PA (direct map).
   core_.retire_abstract(kWordsPerPage - 1, core_.config().timing.base_cpi);
+  if (pt_observer_ != nullptr) pt_observer_->on_pt_page_zeroed(page_va);
   return {true, isa::TrapCause::kNone, 0};
 }
 
@@ -76,6 +77,7 @@ KAccess KernelMem::pt_bulk_copy(VirtAddr dst_va, VirtAddr src_va) {
   core_.mem().read_block(src_va, buf, kPageSize);
   core_.mem().write_block(dst_va, buf, kPageSize);
   core_.retire_abstract(2 * (kWordsPerPage - 1), core_.config().timing.base_cpi);
+  if (pt_observer_ != nullptr) pt_observer_->on_pt_page_copied(dst_va, src_va);
   return {true, isa::TrapCause::kNone, 0};
 }
 

@@ -25,6 +25,25 @@ struct KAccess {
   u64 value = 0;
 };
 
+/// Observer for mediated page-table writes: the isolation backend hooks
+/// every successful pt_sd to keep backend-side bookkeeping (PTAuth's shadow
+/// of signed PTEs, DPTI's domain accounting) in sync with the tables. The
+/// callback is host-side only — it must not perform simulated accesses or
+/// charge cycles (per-write costs are modeled by the pt_write_extra cycles
+/// passed to KernelMem's constructor).
+class PtWriteObserver {
+ public:
+  virtual ~PtWriteObserver() = default;
+  virtual void on_pt_write(VirtAddr va, u64 v) = 0;
+  /// Bulk fast paths complete host-side after one probe access; these fire
+  /// so the observer can resync a whole page at once.
+  virtual void on_pt_page_zeroed(VirtAddr page_va) { (void)page_va; }
+  virtual void on_pt_page_copied(VirtAddr dst_page, VirtAddr src_page) {
+    (void)dst_page;
+    (void)src_page;
+  }
+};
+
 class KernelMem {
  public:
   /// `monitor_cost` > 0 enables the Penglai-style comparison mode (paper
@@ -48,9 +67,14 @@ class KernelMem {
   KAccess pt_sd(VirtAddr va, u64 v) {
     if (monitor_cost_ != 0) core_.add_cycles(monitor_cost_);
     trace_pt_insn("kernel.sd.pt", va);
-    return do_access(va, AccessType::kWrite,
-                     pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, v);
+    const KAccess r = do_access(va, AccessType::kWrite,
+                                pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, v);
+    if (r.ok && pt_observer_ != nullptr) pt_observer_->on_pt_write(va, v);
+    return r;
   }
+
+  /// Install the backend's mediated-write observer (null to detach).
+  void set_pt_write_observer(PtWriteObserver* o) { pt_observer_ = o; }
 
   /// Panic-on-fault variants for accesses the kernel knows must succeed.
   u64 must_ld(VirtAddr va);
@@ -97,6 +121,7 @@ class KernelMem {
   Core& core_;
   bool pt_insns_;
   Cycles monitor_cost_;
+  PtWriteObserver* pt_observer_ = nullptr;
 };
 
 /// Thrown when a must_* accessor faults — a kernel panic in the model.

@@ -1,6 +1,7 @@
 #include "kernel/pagetable.h"
 
 #include "common/bits.h"
+#include "kernel/isolation.h"
 
 namespace ptstore {
 
@@ -9,31 +10,15 @@ u64 vpn_index(VirtAddr va, unsigned level) { return bits(va, 12 + 9 * level, 9);
 }
 
 std::optional<PhysAddr> PageTableManager::alloc_pt_page(PtStatus* st) {
-  const Gfp gfp = cfg_.ptstore ? Gfp::kPtStore : Gfp::kKernel;
-  const auto page = pages_.alloc_pages(gfp, 0);
+  const auto page = pages_.alloc_pages(iso_.pt_page_gfp(), 0);
   if (!page) {
     if (st != nullptr) *st = PtStatus{false, false, true, isa::TrapCause::kNone};
     return std::nullopt;
   }
-  if (cfg_.ptstore && cfg_.zero_check) {
-    // §V-E3: a genuinely free page is all-zero; a page the (corrupted)
-    // allocator re-handed out while in use as a page table is not.
-    const KAccess z = kmem_.pt_bulk_is_zero(*page);
-    if (!z.ok) {
-      if (st != nullptr) *st = PtStatus{false, false, false, z.fault};
-      return std::nullopt;
-    }
-    if (z.value == 0) {
-      if (st != nullptr) *st = PtStatus{false, true, false, isa::TrapCause::kNone};
-      return std::nullopt;
-    }
-  } else {
-    // Unchecked kernels still zero fresh PT pages.
-    const KAccess z = kmem_.pt_bulk_zero(*page);
-    if (!z.ok) {
-      if (st != nullptr) *st = PtStatus{false, false, false, z.fault};
-      return std::nullopt;
-    }
+  const PtStatus acc = iso_.accept_pt_page(*page);
+  if (!acc.ok) {
+    if (st != nullptr) *st = acc;
+    return std::nullopt;
   }
   ++pt_pages_allocated_;
   if (st != nullptr) *st = PtStatus::success();
@@ -41,18 +26,7 @@ std::optional<PhysAddr> PageTableManager::alloc_pt_page(PtStatus* st) {
 }
 
 void PageTableManager::free_pt_page(PhysAddr pa) {
-  // The PTStore kernel zeroes page-table pages on free so the §V-E3
-  // all-zero check holds for genuinely free pages; this pass (plus the
-  // read-back check on alloc) is PTStore's extra per-PT-page cost. The
-  // baseline kernel zeroes on allocation instead (GFP_ZERO) — one pass.
-  if (cfg_.ptstore && cfg_.zero_check) {
-    (void)kmem_.pt_bulk_zero(pa);
-  } else {
-    // Keep the architectural contents zeroed either way (the model's
-    // allocators hand pages to other subsystems); charge nothing extra —
-    // the baseline already paid its single zeroing pass at alloc time.
-    kmem_.core().mem().fill(pa, 0, kPageSize);
-  }
+  iso_.release_pt_page(pa);
   pages_.free_pages(pa, 0);
   --pt_pages_allocated_;
 }

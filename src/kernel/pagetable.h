@@ -14,6 +14,8 @@
 
 namespace ptstore {
 
+class IsolationBackend;
+
 /// Lowest user-space virtual address. Sv39 root indices below
 /// kUserRootIndex hold the global kernel direct map; user mappings start at
 /// index kUserRootIndex.
@@ -35,11 +37,11 @@ struct PtStatus {
 
 class PageTableManager {
  public:
-  PageTableManager(KernelMem& kmem, PageAllocator& pages, const KernelConfig& cfg)
-      : kmem_(kmem), pages_(pages), cfg_(cfg) {}
+  PageTableManager(KernelMem& kmem, PageAllocator& pages, IsolationBackend& iso)
+      : kmem_(kmem), pages_(pages), iso_(iso) {}
 
-  /// Allocate + validate one page-table page. When PTStore is on the page
-  /// comes from the PTStore zone and must read back all-zero (§V-E3).
+  /// Allocate + validate one page-table page: zone choice and acceptance
+  /// (e.g. PTStore's §V-E3 all-zero read-back) are the backend's.
   std::optional<PhysAddr> alloc_pt_page(PtStatus* st);
   /// Zero and release a page-table page.
   void free_pt_page(PhysAddr pa);
@@ -89,7 +91,7 @@ class PageTableManager {
 
   KernelMem& kmem_;
   PageAllocator& pages_;
-  const KernelConfig& cfg_;
+  IsolationBackend& iso_;
   u64 pt_pages_allocated_ = 0;
 };
 

@@ -14,13 +14,13 @@ constexpr u64 kSwitchBodyInstrs = 600;
 }  // namespace
 
 ProcessManager::ProcessManager(KernelMem& kmem, PageTableManager& pt,
-                               PageAllocator& pages, TokenManager& tokens,
+                               PageAllocator& pages, IsolationBackend& iso,
                                KmemCache& pcb_cache, const KernelConfig& cfg,
                                PhysAddr kernel_root)
     : kmem_(kmem),
       pt_(pt),
       pages_(pages),
-      tokens_(tokens),
+      iso_(iso),
       pcb_cache_(pcb_cache),
       cfg_(cfg),
       kernel_root_(kernel_root),
@@ -69,17 +69,10 @@ Process* ProcessManager::create_common(Process* parent, PtStatus* st) {
   kmem_.must_sd(proc->pcb + kPcbParentOff, parent != nullptr ? parent->pid : 0);
   kmem_.must_sd(proc->pcb + kPcbAsidOff, proc->asid);
 
-  if (cfg_.ptstore) {
-    const auto tok = tokens_.issue(proc->pcb_token_field(), *root);
-    if (!tok) {
-      *st = PtStatus{false, false, true, isa::TrapCause::kNone};
-      teardown_mm(*proc);
-      pcb_cache_.free(*pcb);
-      return nullptr;
-    }
-    kmem_.must_sd(proc->pcb_token_field(), *tok);
-  } else {
-    kmem_.must_sd(proc->pcb_token_field(), 0);
+  if (!iso_.bind_root(*proc, *root, st)) {
+    teardown_mm(*proc);
+    pcb_cache_.free(*pcb);
+    return nullptr;
   }
 
   Process* raw = proc.get();
@@ -132,7 +125,7 @@ bool ProcessManager::exec(Process& proc, PtStatus* st) {
   if (st == nullptr) st = &local;
   execs_.add();
 
-  const u64 old_token = pcb_token(proc);
+  const u64 old_cred = pcb_token(proc);
   teardown_mm(proc);
   proc.vmas.clear();
 
@@ -140,12 +133,7 @@ bool ProcessManager::exec(Process& proc, PtStatus* st) {
   if (!root) return false;
   kmem_.must_sd(proc.pcb_pgd_field(), *root);
 
-  if (cfg_.ptstore) {
-    if (old_token != 0) tokens_.clear(old_token);
-    const auto tok = tokens_.issue(proc.pcb_token_field(), *root);
-    if (!tok) return false;
-    kmem_.must_sd(proc.pcb_token_field(), *tok);
-  }
+  if (!iso_.rebind_root(proc, old_cred, *root)) return false;
   kmem_.core().mmu().sfence(std::nullopt, proc.asid);
   return true;
 }
@@ -173,9 +161,9 @@ void ProcessManager::teardown_mm(Process& proc) {
 void ProcessManager::exit(Process& proc) {
   exits_.add();
   if (current_ == &proc) current_ = nullptr;
-  const u64 token = pcb_token(proc);
+  const u64 cred = pcb_token(proc);
   teardown_mm(proc);
-  if (cfg_.ptstore && token != 0) tokens_.clear(token);
+  iso_.unbind_root(proc, cred);
   kmem_.must_sd(proc.pcb + kPcbStateOff, static_cast<u64>(ProcState::kZombie));
   kmem_.core().mmu().sfence(std::nullopt, proc.asid);
   pcb_cache_.free(proc.pcb);
@@ -195,23 +183,14 @@ SwitchResult ProcessManager::switch_to(Process& proc) {
 
   const u64 pgd = kmem_.must_ld(proc.pcb_pgd_field());
 
-  if (cfg_.ptstore && cfg_.token_check) {
-    const u64 token = kmem_.must_ld(proc.pcb_token_field());
-    const bool valid = tokens_.validate(token, proc.pcb_token_field(), pgd);
-    if (telemetry::EventRing* tr = telemetry::tracing()) {
-      Core& c = kmem_.core();
-      tr->instant(telemetry::Subsystem::kToken,
-                  valid ? "token_ok" : "token_reject", c.cycles(), c.instret(),
-                  static_cast<u8>(c.priv()), proc.pid);
-    }
-    if (!valid) {
-      token_rejects_.add();
-      return SwitchResult::kTokenInvalid;
-    }
+  const SwitchResult check = iso_.validate_switch(proc, pgd);
+  if (check != SwitchResult::kOk) {
+    token_rejects_.add();
+    return check;
   }
 
   const u64 asid = kmem_.must_ld(proc.pcb + kPcbAsidOff);
-  const bool s_bit = cfg_.ptstore && cfg_.ptw_check;
+  const bool s_bit = iso_.caps().satp_s_bit;
   const u64 satp_v =
       isa::satp::make(isa::satp::kModeSv39, asid, pgd >> kPageShift, s_bit);
   if (!kmem_.core().write_csr(isa::csr::kSatp, satp_v, Privilege::kSupervisor)) {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "kernel/isolation.h"
 #include "kernel/pagetable.h"
 #include "kernel/token.h"
 #include "telemetry/metrics.h"
@@ -53,17 +54,12 @@ struct Process {
   PhysAddr pcb_token_field() const { return pcb + kPcbTokenOff; }
 };
 
-/// Result of a context switch attempt.
-enum class SwitchResult : u8 {
-  kOk = 0,
-  kTokenInvalid,  ///< Token validation failed — PT-Reuse attack caught.
-  kSatpFault,     ///< The satp write itself was refused.
-};
+// SwitchResult lives in kernel/isolation.h (the backend API returns it).
 
 class ProcessManager {
  public:
   ProcessManager(KernelMem& kmem, PageTableManager& pt, PageAllocator& pages,
-                 TokenManager& tokens, KmemCache& pcb_cache, const KernelConfig& cfg,
+                 IsolationBackend& iso, KmemCache& pcb_cache, const KernelConfig& cfg,
                  PhysAddr kernel_root);
 
   /// Create a process with no parent (init) or fork an existing one.
@@ -71,14 +67,14 @@ class ProcessManager {
   Process* fork(Process& parent, PtStatus* st = nullptr);
 
   /// Replace the address space with a fresh one (execve model): tears down
-  /// user mappings, keeps pid/PCB/token (token is re-issued for the new pgd).
+  /// user mappings, keeps pid/PCB; the backend re-binds its credential.
   bool exec(Process& proc, PtStatus* st = nullptr);
 
-  /// Terminate and reap: frees user pages, page tables, token, PCB.
+  /// Terminate and reap: frees user pages, page tables, credential, PCB.
   void exit(Process& proc);
 
-  /// Context switch to `proc`: validate the token binding (when enabled),
-  /// then write satp from the PCB's pgd field and charge switch costs.
+  /// Context switch to `proc`: the backend validates the PCB's pgd and
+  /// credential, then satp is written and switch costs charged.
   SwitchResult switch_to(Process& proc);
 
   /// Map a VMA into the process (mmap model). Pages are demand-faulted.
@@ -132,7 +128,7 @@ class ProcessManager {
   KernelMem& kmem_;
   PageTableManager& pt_;
   PageAllocator& pages_;
-  TokenManager& tokens_;
+  IsolationBackend& iso_;
   KmemCache& pcb_cache_;
   const KernelConfig& cfg_;
   PhysAddr kernel_root_;

@@ -12,6 +12,8 @@ const char* to_string(ProtoStatus s) {
     case ProtoStatus::kFault: return "fault";
     case ProtoStatus::kOom: return "oom";
     case ProtoStatus::kFailed: return "failed";
+    case ProtoStatus::kMacReject: return "mac-reject";
+    case ProtoStatus::kDomainReject: return "domain-reject";
   }
   return "?";
 }
@@ -62,6 +64,10 @@ ProtoResult ProtocolOps::switch_mm(Process& proc) {
       return {ProtoStatus::kTokenReject, proc.pid, 0};
     case SwitchResult::kSatpFault:
       return {ProtoStatus::kFault, proc.pid, 0};
+    case SwitchResult::kMacInvalid:
+      return {ProtoStatus::kMacReject, proc.pid, 0};
+    case SwitchResult::kDomainInvalid:
+      return {ProtoStatus::kDomainReject, proc.pid, 0};
   }
   return {ProtoStatus::kFailed, proc.pid, 0};
 }

@@ -13,14 +13,25 @@ namespace ptstore {
 
 enum class ProtoStatus : u8 {
   kOk = 0,
-  kTokenReject,  ///< switch_mm refused the pgd/token binding (§III-C3).
-  kZeroDetect,   ///< §V-E3 all-zero check refused a dirty PT page.
-  kFault,        ///< An architectural access fault surfaced mid-op (S-bit).
-  kOom,          ///< Backing zone exhausted.
-  kFailed,       ///< Op-specific failure (bad arguments, no VMA, ...).
+  kTokenReject,   ///< switch_mm refused the pgd/token binding (§III-C3).
+  kZeroDetect,    ///< §V-E3 all-zero check refused a dirty PT page.
+  kFault,         ///< An architectural access fault surfaced mid-op (S-bit).
+  kOom,           ///< Backing zone exhausted.
+  kFailed,        ///< Op-specific failure (bad arguments, no VMA, ...).
+  // Backend-specific rejections append here — existing values above are
+  // load-bearing (golden reports, replay epilogues) and never renumber.
+  kMacReject,     ///< PTAuth credential MAC mismatch in switch_mm.
+  kDomainReject,  ///< DPTI: switch_mm root not registered in the PT domain.
 };
 
 const char* to_string(ProtoStatus s);
+
+/// True for every credential-style switch_mm rejection, whichever backend
+/// raised it (token, MAC, or domain registry).
+inline bool is_credential_reject(ProtoStatus s) {
+  return s == ProtoStatus::kTokenReject || s == ProtoStatus::kMacReject ||
+         s == ProtoStatus::kDomainReject;
+}
 
 struct ProtoResult {
   ProtoStatus status = ProtoStatus::kFailed;

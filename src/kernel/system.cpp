@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "kernel/isolation.h"
+
 namespace ptstore {
 
 namespace {
@@ -64,10 +66,10 @@ std::vector<ConfigIssue> SystemConfig::validate() const {
   } else if (core.reset_pc < kDramBase || core.reset_pc >= kDramBase + dram_size) {
     out.push_back({"core.reset_pc", "must point into DRAM"});
   }
-  if (kernel.ptstore) {
+  if (IsolationConfig::resolve(kernel).secure_zone) {
     if (kernel.secure_region_init == 0) {
       out.push_back({"kernel.secure_region_init",
-                     "must be nonzero when kernel.ptstore is on"});
+                     "must be nonzero when the backend uses a secure zone"});
     } else if (!is_aligned(kernel.secure_region_init, kPageSize)) {
       out.push_back({"kernel.secure_region_init", "must be page-aligned"});
     } else if (kernel.secure_region_init > dram_size / 2) {
@@ -98,6 +100,22 @@ SystemConfig SystemConfig::cfi_ptstore() {
   cfg.kernel.ptstore = true;
   cfg.kernel.cfi = true;
   cfg.kernel.secure_region_init = MiB(64);
+  return cfg;
+}
+
+void apply_backend(SystemConfig& cfg, BackendKind k) {
+  if (k == BackendKind::kAuto) return;
+  cfg.kernel.backend = k;
+  // DPTI reuses the PMP secure zone + pt-insn store path; stock and PTAuth
+  // run on an unmodified core (PTAuth's machinery is the MAC + walker).
+  const bool secure = k == BackendKind::kPtstore || k == BackendKind::kDpti;
+  cfg.kernel.ptstore = secure;
+  cfg.core.ptstore_enabled = secure;
+}
+
+SystemConfig SystemConfig::for_backend(BackendKind k) {
+  SystemConfig cfg = cfi_ptstore();
+  apply_backend(cfg, k);
   return cfg;
 }
 

@@ -51,7 +51,19 @@ struct SystemConfig {
   static SystemConfig cfi_ptstore();  ///< CFI + PTStore, 64 MiB region.
   static SystemConfig cfi_ptstore_noadj();  ///< CFI + PTStore, 1 GiB region,
                                             ///< adjustments disabled (-Adj).
+  /// cfi_ptstore() retargeted at an isolation backend: same machine, same
+  /// CFI and region sizing, but the kernel's defense is `k`. This is the
+  /// config the differential bench and the `--backend=` driver flag use.
+  static SystemConfig for_backend(BackendKind k);
+  static SystemConfig dpti() { return for_backend(BackendKind::kDpti); }
+  static SystemConfig ptauth() { return for_backend(BackendKind::kPtauth); }
 };
+
+/// Point `cfg` at isolation backend `k`: sets kernel.backend and flips the
+/// hardware/kernel PTStore mechanism switches to what the backend needs
+/// (secure-zone backends keep the PMP + pt-insn machinery on; stock and
+/// PTAuth run on an unmodified core). kAuto leaves `cfg` untouched.
+void apply_backend(SystemConfig& cfg, BackendKind k);
 
 /// Join validation issues into one "field: message; field: message" line.
 std::string describe_issues(const std::vector<ConfigIssue>& issues);

@@ -37,6 +37,8 @@ Mmu::Mmu(PhysMem& mem, PmpUnit& pmp, const TlbConfig& itlb_cfg,
       ptw_nonsecure_fetch_(bank_.counter(
           "mmu.ptw_nonsecure_fetch",
           "PTE fetches consumed from outside every PMP S=1 region")),
+      ptw_verify_denied_(bank_.counter(
+          "mmu.ptw_verify_denied", "PTE fetches vetoed by the walk verifier")),
       ad_updates_(bank_.counter("mmu.ad_updates", "hardware A/D bit writebacks")),
       sfences_(bank_.counter("mmu.sfence", "sfence.vma executions")) {}
 
@@ -166,6 +168,19 @@ TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
       ptw_nonsecure_fetch_.add();
     }
     u64 entry = mem_.read_u64(pte_addr);
+    // PTAuth-style verify-on-walk: the authentication unit checks every
+    // fetched PTE before the walker consumes it; a MAC mismatch is an
+    // access fault, like the satp.S deny above.
+    if (verifier_ != nullptr) {
+      Cycles vcost = 0;
+      const bool pass = verifier_->check_pte_fetch(pte_addr, entry, &vcost);
+      res.cycles += vcost;
+      if (!pass) {
+        res.fault = isa::access_fault_for(type);
+        ptw_verify_denied_.add();
+        return res;
+      }
+    }
     if (!pte::valid(entry) || pte::malformed(entry)) {
       res.fault = isa::page_fault_for(type);
       return res;
@@ -188,6 +203,7 @@ TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
       if (type == AccessType::kWrite) updated |= pte::kD;
       if (updated != entry) {
         mem_.write_u64(pte_addr, updated);
+        if (verifier_ != nullptr) verifier_->on_hw_pte_update(pte_addr, updated);
         entry = updated;
         res.cycles += 1;
         ad_updates_.add();

@@ -33,6 +33,23 @@ struct TranslateResult {
   bool fetched_nonsecure_pte = false;
 };
 
+/// Walk-time PTE authentication hook (PTAuth-style verify-on-walk): when
+/// installed, the walker presents every PTE it fetches for verification
+/// before consuming it. A veto turns the translation into an access fault,
+/// exactly like the satp.S secure check. `cost` accumulates the cycles the
+/// verification hardware adds to this fetch (e.g. one MAC evaluation).
+class WalkVerifier {
+ public:
+  virtual ~WalkVerifier() = default;
+  virtual bool check_pte_fetch(PhysAddr pte_addr, u64 pte, Cycles* cost) = 0;
+  /// Hardware A/D writeback rewrote a PTE in place — the verifier must
+  /// re-sign the updated entry or the next fetch would self-veto.
+  virtual void on_hw_pte_update(PhysAddr pte_addr, u64 pte) {
+    (void)pte_addr;
+    (void)pte;
+  }
+};
+
 /// Inputs the walker needs from the current hart state.
 struct TranslationContext {
   Privilege priv = Privilege::kMachine;  ///< Effective privilege of the access.
@@ -55,6 +72,10 @@ class Mmu {
 
   void set_satp(u64 v) { satp_ = v; }
   u64 satp() const { return satp_; }
+
+  /// Install (or remove, with nullptr) the walk-time PTE verifier.
+  void set_walk_verifier(WalkVerifier* v) { verifier_ = v; }
+  WalkVerifier* walk_verifier() const { return verifier_; }
 
   /// Translate `va` for an access of `type` issued by `kind`. Does NOT apply
   /// the PMP check on the final physical address — the core does that per
@@ -100,6 +121,7 @@ class Mmu {
   Cache* ptw_cache_;  ///< PTE fetches go through the D-cache when present.
   Cache* l2_;         ///< Optional L2 behind the D-cache.
   u64 satp_ = 0;
+  WalkVerifier* verifier_ = nullptr;
 
   const u64* clock_cycles_ = nullptr;  ///< Owning core's cycle counter.
   const u64* clock_instret_ = nullptr;
@@ -112,6 +134,7 @@ class Mmu {
   telemetry::Counter ptw_secure_denied_;
   telemetry::Counter ptw_pmp_denied_;
   telemetry::Counter ptw_nonsecure_fetch_;
+  telemetry::Counter ptw_verify_denied_;
   telemetry::Counter ad_updates_;
   telemetry::Counter sfences_;
   mutable StatSet stats_;

@@ -22,6 +22,8 @@ u64 g_instructions = 0;
 
 FleetOptions g_fleet;
 
+std::optional<BackendKind> g_backend;
+
 bool env_is(const char* name, char value) {
   const char* e = std::getenv(name);
   return e != nullptr && e[0] == value;
@@ -34,6 +36,7 @@ struct Collector {
   std::map<std::string, u64> counters;
   std::map<Sys, Histogram> latency;
   std::vector<Measurement> rows;
+  std::vector<std::pair<std::string, std::string>> extra_config;
 };
 
 Collector g_collector;
@@ -72,8 +75,16 @@ const FleetOptions& fleet_options() { return g_fleet; }
 
 void set_fleet_options(const FleetOptions& opts) { g_fleet = opts; }
 
+std::optional<BackendKind> backend_override() { return g_backend; }
+
+void set_backend_override(std::optional<BackendKind> k) { g_backend = k; }
+
 Cycles run_on(SystemConfig cfg, const WorkloadFn& fn, const char* config_label) {
   cfg.core.decode_cache = decode_cache_enabled();
+  // Retarget only the defended configuration at the requested backend: the
+  // base/cfi reference machines must stay undefended for the overhead
+  // columns to mean anything.
+  if (g_backend && cfg.kernel.ptstore) apply_backend(cfg, *g_backend);
   auto sys = System::create(cfg);
   if (!sys) {
     std::fprintf(stderr, "bench configuration rejected: %s\n",
@@ -138,6 +149,14 @@ void collect_report(bool on) {
   g_collector.enabled = on;
 }
 
+void report_add_row(const Measurement& m) {
+  if (g_collector.enabled) g_collector.rows.push_back(m);
+}
+
+void report_add_config(const std::string& key, const std::string& value) {
+  if (g_collector.enabled) g_collector.extra_config.emplace_back(key, value);
+}
+
 telemetry::BenchReport build_report(const std::string& workload) {
   telemetry::BenchReport rep;
   rep.workload = workload;
@@ -146,6 +165,8 @@ telemetry::BenchReport build_report(const std::string& workload) {
   rep.config.emplace_back("scale", smoke_mode() ? "smoke"
                           : env_is("PTSTORE_FULL", '1') ? "paper"
                                                         : "default");
+  if (g_backend) rep.config.emplace_back("backend", to_string(*g_backend));
+  for (const auto& kv : g_collector.extra_config) rep.config.push_back(kv);
   for (const Measurement& m : g_collector.rows) {
     telemetry::BenchReport::Row row;
     row.name = m.name;
@@ -215,10 +236,27 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
       g_fleet.shards = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--campaign-seed" && i + 1 < argc) {
       g_fleet.campaign_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const auto kind = backend_kind_from(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s' (stock|ptstore|dpti|ptauth)\n",
+                     argv[i]);
+        return 2;
+      }
+      set_backend_override(*kind);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = backend_kind_from(arg.substr(10));
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s' (stock|ptstore|dpti|ptauth)\n",
+                     arg.substr(10).c_str());
+        return 2;
+      }
+      set_backend_override(*kind);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json <path>] [--trace <path>] "
-                   "[--jobs N] [--shards N] [--campaign-seed N]\n",
+                   "[--jobs N] [--shards N] [--campaign-seed N] "
+                   "[--backend NAME]\n",
                    argv[0]);
       return 2;
     }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,17 @@ const FleetOptions& fleet_options();
 /// from flag parsing).
 void set_fleet_options(const FleetOptions& opts);
 
+// ---- Backend selection (the --backend= flag) ----
+
+/// The isolation backend the driver was asked to measure, if any. run_on()
+/// applies it to every *defended* configuration it builds (base/cfi rows
+/// keep their undefended configs, so overhead columns stay comparable).
+std::optional<BackendKind> backend_override();
+
+/// Set/clear the process-wide backend override (the driver calls this from
+/// --backend=; benches that sweep all backends themselves clear it).
+void set_backend_override(std::optional<BackendKind> k);
+
 // ---- Machine-readable reporting (the --json flag and ptperf) ----
 
 /// Toggle the process-wide report collector. While on, every run_on():
@@ -136,6 +148,16 @@ void set_fleet_options(const FleetOptions& opts);
 /// counter snapshot. MatrixWorkload additionally captures its measured rows.
 /// Turning collection on resets previously collected state.
 void collect_report(bool on);
+
+/// Append a measured row to the report collector directly (no-op while
+/// collection is off). For benches that build Measurements by hand instead
+/// of through MatrixWorkload — e.g. the per-backend overhead experiment.
+void report_add_row(const Measurement& m);
+
+/// Attach an extra config key/value to the collected report (no-op while
+/// collection is off). Experiment-level facts like attack outcomes land
+/// here as "attack.<scenario>.<backend>" entries.
+void report_add_config(const std::string& key, const std::string& value);
 
 /// The data accumulated since collect_report(true), flattened into the
 /// versioned BenchReport schema. `workload` fills the report's workload

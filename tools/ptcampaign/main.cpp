@@ -35,7 +35,7 @@ int usage(const char* argv0, int rc) {
                "usage: %s [proto|diff|attack] [--seed N] [--shards N] "
                "[--jobs N]\n"
                "       %*s [--ops N] [--json <path>] [--with-timing] "
-               "[--sabotage] [--stock] [--no-minimize]\n",
+               "[--sabotage] [--stock] [--backend NAME] [--no-minimize]\n",
                argv0, static_cast<int>(std::strlen(argv0)), "");
   return rc;
 }
@@ -78,6 +78,14 @@ int main(int argc, char** argv) {
       spec.diff.sabotage = true;
     } else if (arg == "--stock") {
       spec.ptstore = false;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const auto kind = backend_kind_from(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s' (stock|ptstore|dpti|ptauth)\n",
+                     argv[i]);
+        return 2;
+      }
+      spec.backend = *kind;
     } else if (arg == "--no-minimize") {
       spec.minimize = false;
     } else {

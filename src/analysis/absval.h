@@ -9,9 +9,14 @@
 // the interval invariant lo <= hi always holds.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "common/types.h"
+
+namespace ptstore::isa {
+struct Inst;
+}
 
 namespace ptstore::analysis {
 
@@ -104,5 +109,16 @@ struct AbsVal {
 
   std::string describe() const;
 };
+
+/// One interval per architectural register (x0 pinned to exact 0).
+using RegIntervals = std::array<AbsVal, 32>;
+
+/// Shared forward transfer for one instruction's register effect: constants
+/// and address arithmetic stay precise, everything unmodelled (loads, CSR
+/// reads, mul/div, compares) degrades soundly to Top. Terminator link
+/// writes (jal/jalr rd) are the caller's job — it knows the edge kind.
+/// Used by both the intra-procedural linter and the interprocedural ptflow
+/// pass so the two analyses can never disagree on address formation.
+void interval_step(u64 pc, const isa::Inst& in, RegIntervals& regs);
 
 }  // namespace ptstore::analysis

@@ -1,0 +1,441 @@
+#include "analysis/flow_corpus.h"
+
+#include <functional>
+
+#include "analysis/corpus.h"
+#include "isa/assembler.h"
+#include "isa/csr.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+// Address map shared with FlowSpec::for_backend: secrets and the credential
+// home sit at fixed offsets from the secure region.
+u64 token_table(u64 sr_base) { return sr_base + 0x800; }
+u64 domain_registry(u64 sr_base) { return sr_base + 0x1000; }
+u64 mac_key(u64 sr_base) { return sr_base + 0x600; }
+u64 pcb_cred(u64 sr_base) { return sr_base - MiB(1); }
+/// Ordinary kernel memory: outside the secure region, every secret home,
+/// and the U-mode window — the T1 escape destination.
+u64 scratch(u64 sr_base) { return sr_base - 0x8000; }
+/// A page-table page inside the pool (= the secure region).
+u64 pt_page(u64 sr_base) { return sr_base + 0x4000; }
+u64 user_page() { return kUserSpaceBase + 0x1000; }
+
+Image build(const std::function<void(Assembler&, std::vector<Symbol>&)>& body) {
+  Assembler a(kCorpusBase);
+  std::vector<Symbol> symbols{{"entry", kCorpusBase}};
+  body(a, symbols);
+  Image img;
+  img.base = kCorpusBase;
+  img.words = a.finish();
+  img.symbols = std::move(symbols);
+  return img;
+}
+
+/// Helper function reading one doubleword from `addr` into a0. Emits the
+/// body at the current position, binds `name` to it, and returns.
+void emit_reader(Assembler& a, std::vector<Symbol>& symbols,
+                 Assembler::Label l, const char* name, u64 addr, bool pt) {
+  a.bind(l);
+  a.li(Reg::kT0, addr);
+  if (pt) {
+    a.ld_pt(Reg::kA0, Reg::kT0, 0);
+  } else {
+    a.ld(Reg::kA0, Reg::kT0, 0);
+  }
+  a.ret();
+  symbols.push_back({name, *a.label_address(l)});
+}
+
+/// A leaf function that just returns, bound to `name` (mediation gates,
+/// sinks, and MAC stubs in the corpus).
+void emit_leaf(Assembler& a, std::vector<Symbol>& symbols, Assembler::Label l,
+               const char* name) {
+  a.bind(l);
+  a.ret();
+  symbols.push_back({name, *a.label_address(l)});
+}
+
+}  // namespace
+
+std::vector<FlowCorpusEntry> flow_violation_corpus(u64 sr_base, u64 sr_end) {
+  (void)sr_end;
+  std::vector<FlowCorpusEntry> corpus;
+
+  // ---- ptstore trio -------------------------------------------------------
+
+  // T1, interprocedural: a helper returns the token in a0 (ret-taint in the
+  // bottom-up summary); the caller spills it to ordinary kernel memory.
+  corpus.push_back(
+      {"flow_ptstore_token_leak",
+       "token read by a helper, stored outside the secure region by its caller",
+       BackendKind::kPtstore,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto reader = a.make_label();
+         a.jal(Reg::kRa, reader);
+         a.li(Reg::kT0, scratch(sr_base));
+         a.sd(Reg::kA0, Reg::kT0, 0);
+         a.ebreak();
+         emit_reader(a, symbols, reader, "read_token", token_table(sr_base),
+                     /*pt=*/true);
+       }),
+       false, FlowDiagKind::kSecretEscapes});
+
+  // M1: a plain sd aimed at a PT-pool page. PTStore's mediation channel is
+  // the pt-instructions themselves, so a regular store is never mediated.
+  corpus.push_back(
+      {"flow_ptstore_unmediated_store",
+       "regular store into the PT pool bypassing the sd.pt channel",
+       BackendKind::kPtstore,
+       build([&](Assembler& a, std::vector<Symbol>&) {
+         a.li(Reg::kT0, pt_page(sr_base));
+         a.sd(Reg::kZero, Reg::kT0, 0);
+         a.ebreak();
+       }),
+       false, FlowDiagKind::kUnmediatedPtStore});
+
+  // M2: bind_root makes the root walkable (satp) before the token lands in
+  // the table — the PT-Reuse window the ordering rule closes.
+  corpus.push_back(
+      {"flow_ptstore_cred_after_walkable",
+       "bind_root writes satp before committing the token binding",
+       BackendKind::kPtstore,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto bind = a.make_label();
+         a.jal(Reg::kRa, bind);
+         a.ebreak();
+         a.bind(bind);
+         a.li(Reg::kT1, pt_page(sr_base) >> 12);
+         a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+         a.li(Reg::kT0, token_table(sr_base));
+         a.li(Reg::kT2, 0x5A5A);
+         a.sd_pt(Reg::kT2, Reg::kT0, 0);
+         a.ret();
+         symbols.push_back({"bind_root", *a.label_address(bind)});
+       }),
+       false, FlowDiagKind::kCredAfterWalkable});
+
+  // ---- dpti trio ----------------------------------------------------------
+
+  // T2: a registered domain root copied into a U-mode-readable page.
+  corpus.push_back(
+      {"flow_dpti_root_leak",
+       "domain-registry root copied to a U-mode-readable page",
+       BackendKind::kDpti,
+       build([&](Assembler& a, std::vector<Symbol>&) {
+         a.li(Reg::kT0, domain_registry(sr_base));
+         a.ld(Reg::kA0, Reg::kT0, 0);
+         a.li(Reg::kT1, user_page());
+         a.sd(Reg::kA0, Reg::kT1, 0);
+         a.ebreak();
+       }),
+       false, FlowDiagKind::kSecretToUser});
+
+  // M1: a PT-pool store on a path that never entered the PT domain.
+  corpus.push_back(
+      {"flow_dpti_unmediated_store",
+       "PT-pool store without a dominating dpti_domain_enter call",
+       BackendKind::kDpti,
+       build([&](Assembler& a, std::vector<Symbol>&) {
+         a.li(Reg::kT0, pt_page(sr_base));
+         a.sd(Reg::kZero, Reg::kT0, 0);
+         a.ebreak();
+       }),
+       false, FlowDiagKind::kUnmediatedPtStore});
+
+  // M2: the root reaches satp before it is registered in the domain.
+  corpus.push_back(
+      {"flow_dpti_register_after_walkable",
+       "bind_root installs the root before registering it in the domain",
+       BackendKind::kDpti,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto bind = a.make_label();
+         auto enter = a.make_label();
+         a.jal(Reg::kRa, bind);
+         a.ebreak();
+         a.bind(bind);
+         a.li(Reg::kT1, pt_page(sr_base) >> 12);
+         a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+         a.jal(Reg::kRa, enter);
+         a.li(Reg::kT0, domain_registry(sr_base));
+         a.li(Reg::kT2, pt_page(sr_base));
+         a.sd(Reg::kT2, Reg::kT0, 0);
+         a.ret();
+         symbols.push_back({"bind_root", *a.label_address(bind)});
+         emit_leaf(a, symbols, enter, "dpti_domain_enter");
+       }),
+       false, FlowDiagKind::kCredAfterWalkable});
+
+  // ---- ptauth trio (plus the credential variant of T2) --------------------
+
+  // T3: the MAC key handed to the trace sink as an argument.
+  corpus.push_back(
+      {"flow_ptauth_mac_to_trace",
+       "MAC key passed to trace_emit in a0",
+       BackendKind::kPtauth,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto sink = a.make_label();
+         a.li(Reg::kT0, mac_key(sr_base));
+         a.ld(Reg::kA0, Reg::kT0, 0);
+         a.jal(Reg::kRa, sink);
+         a.ebreak();
+         emit_leaf(a, symbols, sink, "trace_emit");
+       }),
+       false, FlowDiagKind::kSecretToSink});
+
+  // M1: a PTE installed without going through ptauth_sign_pte.
+  corpus.push_back(
+      {"flow_ptauth_unmediated_store",
+       "PTE store bypassing the sign-and-install routine",
+       BackendKind::kPtauth,
+       build([&](Assembler& a, std::vector<Symbol>&) {
+         a.li(Reg::kT0, pt_page(sr_base));
+         a.sd(Reg::kZero, Reg::kT0, 0);
+         a.ebreak();
+       }),
+       false, FlowDiagKind::kUnmediatedPtStore});
+
+  // M2: satp written before the MAC credential reaches the PCB.
+  corpus.push_back(
+      {"flow_ptauth_cred_after_walkable",
+       "bind_root writes satp before the PCB credential",
+       BackendKind::kPtauth,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto bind = a.make_label();
+         a.jal(Reg::kRa, bind);
+         a.ebreak();
+         a.bind(bind);
+         a.li(Reg::kT1, pt_page(sr_base) >> 12);
+         a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+         a.li(Reg::kT0, pcb_cred(sr_base));
+         a.li(Reg::kT2, 0x1234);
+         a.sd(Reg::kT2, Reg::kT0, 0);
+         a.ret();
+         symbols.push_back({"bind_root", *a.label_address(bind)});
+       }),
+       false, FlowDiagKind::kCredAfterWalkable});
+
+  // T2, credential class: the PCB MAC credential leaked to user memory.
+  corpus.push_back(
+      {"flow_ptauth_cred_to_user",
+       "PCB credential copied to a U-mode-readable page",
+       BackendKind::kPtauth,
+       build([&](Assembler& a, std::vector<Symbol>&) {
+         a.li(Reg::kT0, pcb_cred(sr_base));
+         a.ld(Reg::kA0, Reg::kT0, 0);
+         a.li(Reg::kT1, user_page());
+         a.sd(Reg::kA0, Reg::kT1, 0);
+         a.ebreak();
+       }),
+       false, FlowDiagKind::kSecretToUser});
+
+  // ---- benign near-miss ---------------------------------------------------
+
+  // Every rule's legal shape at once: a token read whose value only ever
+  // lands back in its sanctioned home, a PT write through the sd.pt channel,
+  // and a bind path that commits the credential before satp. Must stay clean.
+  corpus.push_back(
+      {"flow_ptstore_benign",
+       "token round-trip, mediated PT write, and correctly ordered bind",
+       BackendKind::kPtstore,
+       build([&](Assembler& a, std::vector<Symbol>& symbols) {
+         auto reader = a.make_label();
+         auto bind = a.make_label();
+         a.jal(Reg::kRa, reader);
+         a.li(Reg::kT0, token_table(sr_base) + 8);
+         a.sd_pt(Reg::kA0, Reg::kT0, 0);  // Sanctioned: back into the table.
+         a.li(Reg::kT0, pt_page(sr_base));
+         a.sd_pt(Reg::kZero, Reg::kT0, 0);  // Mediated by the pt channel.
+         a.jal(Reg::kRa, bind);
+         a.ebreak();
+         emit_reader(a, symbols, reader, "read_token", token_table(sr_base),
+                     /*pt=*/true);
+         a.bind(bind);
+         a.li(Reg::kT0, token_table(sr_base));
+         a.li(Reg::kT2, 0x5A5A);
+         a.sd_pt(Reg::kT2, Reg::kT0, 0);  // Credential first...
+         a.li(Reg::kT1, pt_page(sr_base) >> 12);
+         a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);  // ...then walkable.
+         a.ret();
+         symbols.push_back({"bind_root", *a.label_address(bind)});
+       }),
+       true, FlowDiagKind{}});
+
+  return corpus;
+}
+
+const FlowCorpusEntry* find_flow_entry(const std::vector<FlowCorpusEntry>& corpus,
+                                       const std::string& name) {
+  for (const FlowCorpusEntry& e : corpus) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Image reference_kernel_image(BackendKind k, u64 sr_base, u64 sr_end) {
+  (void)sr_end;
+  const u64 satp_val = pt_page(sr_base) >> 12;
+
+  switch (k) {
+    case BackendKind::kAuto:
+    case BackendKind::kStock:
+      // Undefended: bind zeroes the PCB token field and installs the root.
+      return build([&](Assembler& a, std::vector<Symbol>& symbols) {
+        auto bind = a.make_label();
+        a.jal(Reg::kRa, bind);
+        a.ebreak();
+        a.bind(bind);
+        a.li(Reg::kT0, pcb_cred(sr_base));
+        a.sd(Reg::kZero, Reg::kT0, 0);
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"bind_root", *a.label_address(bind)});
+      });
+
+    case BackendKind::kPtstore:
+      // The paper's protocol: tokens live in the secure region and move only
+      // through ld.pt/sd.pt; every satp write is dominated by
+      // token_validate; bind commits the token before satp. This rendering
+      // is both flow-clean and ptlint-clean (R1–R4).
+      return build([&](Assembler& a, std::vector<Symbol>& symbols) {
+        auto bind = a.make_label();
+        auto swtch = a.make_label();
+        auto install = a.make_label();
+        auto validate = a.make_label();
+        a.jal(Reg::kRa, bind);
+        a.jal(Reg::kRa, swtch);
+        a.jal(Reg::kRa, install);
+        a.ebreak();
+
+        a.bind(bind);  // bind_root: issue token, validate, then walkable.
+        a.li(Reg::kT0, token_table(sr_base));
+        a.li(Reg::kT2, 0x5A5A);
+        a.sd_pt(Reg::kT2, Reg::kT0, 0);
+        a.jal(Reg::kRa, validate);
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"bind_root", *a.label_address(bind)});
+
+        a.bind(swtch);  // switch_mm: validate the binding, then satp.
+        a.jal(Reg::kRa, validate);
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"switch_mm", *a.label_address(swtch)});
+
+        a.bind(install);  // Mediated PT write: the pt channel itself.
+        a.li(Reg::kT0, pt_page(sr_base));
+        a.li(Reg::kT1, 0x200000CF);  // A leaf PTE.
+        a.sd_pt(Reg::kT1, Reg::kT0, 0);
+        a.ret();
+        symbols.push_back({"pt_install", *a.label_address(install)});
+
+        emit_reader(a, symbols, validate, "token_validate",
+                    token_table(sr_base), /*pt=*/true);
+      });
+
+    case BackendKind::kDpti:
+      // Roots registered in the protected domain before satp; every PT-pool
+      // store behind the domain gate.
+      return build([&](Assembler& a, std::vector<Symbol>& symbols) {
+        auto bind = a.make_label();
+        auto swtch = a.make_label();
+        auto write = a.make_label();
+        auto enter = a.make_label();
+        a.jal(Reg::kRa, bind);
+        a.jal(Reg::kRa, swtch);
+        a.jal(Reg::kRa, write);
+        a.ebreak();
+
+        a.bind(bind);  // bind_root: register in-domain, then walkable.
+        a.jal(Reg::kRa, enter);
+        a.li(Reg::kT0, domain_registry(sr_base));
+        a.li(Reg::kT2, pt_page(sr_base));
+        a.sd(Reg::kT2, Reg::kT0, 0);
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"bind_root", *a.label_address(bind)});
+
+        a.bind(swtch);  // switch_mm: check the registry, then satp.
+        a.li(Reg::kT0, domain_registry(sr_base));
+        a.ld(Reg::kA0, Reg::kT0, 0);  // Root stays in registers only.
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"switch_mm", *a.label_address(swtch)});
+
+        a.bind(write);  // PT write inside the domain.
+        a.jal(Reg::kRa, enter);
+        a.li(Reg::kT0, pt_page(sr_base));
+        a.li(Reg::kT1, 0x200000CF);
+        a.sd(Reg::kT1, Reg::kT0, 0);
+        a.ret();
+        symbols.push_back({"pt_write", *a.label_address(write)});
+
+        emit_leaf(a, symbols, enter, "dpti_domain_enter");
+      });
+
+    case BackendKind::kPtauth:
+      // The MAC over (root, pid) is the credential: computed from the key,
+      // stored only into its PCB home, committed before satp; PTE installs
+      // go through the signing routine.
+      return build([&](Assembler& a, std::vector<Symbol>& symbols) {
+        auto bind = a.make_label();
+        auto swtch = a.make_label();
+        auto install = a.make_label();
+        auto mac = a.make_label();
+        auto sign = a.make_label();
+        a.jal(Reg::kRa, bind);
+        a.jal(Reg::kRa, swtch);
+        a.jal(Reg::kRa, install);
+        a.ebreak();
+
+        a.bind(bind);  // bind_root: MAC into the PCB, then walkable.
+        a.jal(Reg::kRa, mac);
+        a.li(Reg::kT0, pcb_cred(sr_base));
+        a.sd(Reg::kA0, Reg::kT0, 0);  // Sanctioned home of the credential.
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"bind_root", *a.label_address(bind)});
+
+        a.bind(swtch);  // switch_mm: recompute and compare, then satp.
+        a.li(Reg::kT0, pcb_cred(sr_base));
+        a.ld(Reg::kA1, Reg::kT0, 0);
+        a.jal(Reg::kRa, mac);
+        a.xor_(Reg::kA0, Reg::kA0, Reg::kA1);  // Zero iff the MAC matches.
+        a.li(Reg::kT1, satp_val);
+        a.csrrw(Reg::kZero, isa::csr::kSatp, Reg::kT1);
+        a.ret();
+        symbols.push_back({"switch_mm", *a.label_address(swtch)});
+
+        a.bind(install);  // PTE install through the signing routine.
+        a.jal(Reg::kRa, sign);
+        a.li(Reg::kT0, pt_page(sr_base));
+        a.li(Reg::kT1, 0x200000CF);
+        a.sd(Reg::kT1, Reg::kT0, 0);
+        a.ret();
+        symbols.push_back({"pt_install", *a.label_address(install)});
+
+        a.bind(mac);  // MAC(root, pid) from the monitor key.
+        a.li(Reg::kT0, mac_key(sr_base));
+        a.ld(Reg::kA0, Reg::kT0, 0);
+        a.li(Reg::kT1, 0x1001);
+        a.xor_(Reg::kA0, Reg::kA0, Reg::kT1);
+        a.ret();
+        symbols.push_back({"compute_mac", *a.label_address(mac)});
+
+        emit_leaf(a, symbols, sign, "ptauth_sign_pte");
+      });
+  }
+  return Image{};
+}
+
+}  // namespace ptstore::analysis

@@ -1,0 +1,43 @@
+// Seeded-violation corpus for ptflow, mirroring analysis/corpus.h: small
+// attack-shaped guest images, one trio per defended backend (a secret leak,
+// an unmediated PT-pool store, a credential-after-walkable bind), plus a
+// benign image that exercises every rule's legal path and must stay clean.
+//
+// Alongside the violations, reference_kernel_image() renders each backend's
+// kernel protocol paths (bind_root / switch_mm / mediated PT install) as
+// guest assembly over the same geometry FlowSpec::for_backend assumes.
+// These are the "shipped kernel" images CI proves T1–T3/M1–M2 clean.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ptflow.h"
+
+namespace ptstore::analysis {
+
+struct FlowCorpusEntry {
+  std::string name;
+  std::string description;
+  BackendKind backend = BackendKind::kStock;
+  Image image;
+  bool expect_clean = false;   ///< The benign near-miss.
+  FlowDiagKind expected{};     ///< Expected violation kind otherwise.
+};
+
+/// Build the ptflow corpus against a secure region [sr_base, sr_end).
+/// Images load at kCorpusBase (shared with the ptlint corpus).
+std::vector<FlowCorpusEntry> flow_violation_corpus(u64 sr_base, u64 sr_end);
+
+/// Entry by name; nullptr when absent.
+const FlowCorpusEntry* find_flow_entry(const std::vector<FlowCorpusEntry>& corpus,
+                                       const std::string& name);
+
+/// The reference kernel for one backend: bind_root (credential committed
+/// before the root becomes walkable), switch_mm (validated satp install),
+/// and a mediated PT write, composed from one entry function. Must verify
+/// clean under flow_verify with FlowSpec::for_backend(k, sr_base, sr_end);
+/// the PTStore rendering is additionally ptlint-clean (R1–R4).
+Image reference_kernel_image(BackendKind k, u64 sr_base, u64 sr_end);
+
+}  // namespace ptstore::analysis

@@ -75,81 +75,9 @@ bool is_pmp_csr(u32 csr) {
 }
 
 /// Transfer function for one non-terminator effect (terminator link writes
-/// are applied by the caller, which knows the edge kind).
-void step(u64 pc, const Inst& in, RegState& st) {
-  const auto set = [&st](u8 rd, AbsVal v) {
-    if (rd != 0) st.regs[rd] = v;
-  };
-  const AbsVal a = st.regs[in.rs1];
-  const AbsVal b = st.regs[in.rs2];
-  switch (in.op) {
-    case Op::kLui:
-      set(in.rd, AbsVal::exact(static_cast<u64>(in.imm)));
-      return;
-    case Op::kAuipc:
-      set(in.rd, AbsVal::exact(pc + static_cast<u64>(in.imm)));
-      return;
-    case Op::kAddi:
-      set(in.rd, AbsVal::add_imm(a, in.imm));
-      return;
-    case Op::kAddiw:
-      set(in.rd, AbsVal::sext_w(AbsVal::add_imm(a, in.imm)));
-      return;
-    case Op::kAndi:
-      set(in.rd, AbsVal::and_imm(a, in.imm));
-      return;
-    case Op::kOri:
-      set(in.rd, a.is_exact() ? AbsVal::exact(a.lo | static_cast<u64>(in.imm))
-                              : AbsVal::top());
-      return;
-    case Op::kXori:
-      set(in.rd, a.is_exact() ? AbsVal::exact(a.lo ^ static_cast<u64>(in.imm))
-                              : AbsVal::top());
-      return;
-    case Op::kSlli:
-      set(in.rd, AbsVal::shl(a, static_cast<unsigned>(in.imm)));
-      return;
-    case Op::kSrli:
-      set(in.rd, AbsVal::shr(a, static_cast<unsigned>(in.imm)));
-      return;
-    case Op::kSrai:
-      set(in.rd, a.is_exact()
-                     ? AbsVal::exact(static_cast<u64>(static_cast<i64>(a.lo) >>
-                                                      (in.imm & 63)))
-                     : AbsVal::top());
-      return;
-    case Op::kAdd:
-      set(in.rd, AbsVal::add(a, b));
-      return;
-    case Op::kSub:
-      set(in.rd, AbsVal::sub(a, b));
-      return;
-    case Op::kAddw:
-      set(in.rd, AbsVal::sext_w(AbsVal::add(a, b)));
-      return;
-    case Op::kSubw:
-      set(in.rd, AbsVal::sext_w(AbsVal::sub(a, b)));
-      return;
-    case Op::kAnd:
-      set(in.rd, b.is_exact() ? AbsVal::and_imm(a, static_cast<i64>(b.lo))
-                              : (a.is_exact() ? AbsVal::and_imm(b, static_cast<i64>(a.lo))
-                                              : AbsVal::top()));
-      return;
-    case Op::kOr:
-    case Op::kXor:
-      set(in.rd, (a.is_exact() && b.is_exact())
-                     ? AbsVal::exact(in.op == Op::kOr ? (a.lo | b.lo)
-                                                      : (a.lo ^ b.lo))
-                     : AbsVal::top());
-      return;
-    default:
-      // Stores and branches write no register (rd is 0 in those formats);
-      // everything else — loads (incl. ld.pt), AMOs, CSR reads, mul/div,
-      // compares, word shifts — soundly degrades to Top.
-      set(in.rd, AbsVal::top());
-      return;
-  }
-}
+/// are applied by the caller, which knows the edge kind). The interval part
+/// is the shared analysis/absval.h transfer, so ptlint and ptflow agree.
+void step(u64 pc, const Inst& in, RegState& st) { interval_step(pc, in, st.regs); }
 
 struct AccessInfo {
   bool is_access = false;

@@ -1,6 +1,9 @@
 #include "analysis/sarif.h"
 
+#include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "telemetry/json.h"
 
@@ -8,9 +11,11 @@ namespace ptstore::analysis {
 
 namespace {
 
-constexpr unsigned kNumKinds = 7;
+constexpr unsigned kNumLintKinds = 7;
+constexpr unsigned kNumFlowKinds = 7;
 
 unsigned kind_index(DiagKind k) { return static_cast<unsigned>(k); }
+unsigned kind_index(FlowDiagKind k) { return static_cast<unsigned>(k); }
 
 const char* rule_description(DiagKind k) {
   switch (k) {
@@ -37,16 +42,49 @@ const char* rule_description(DiagKind k) {
   return "?";
 }
 
-}  // namespace
-
-const char* sarif_rule_id(DiagKind k) {
-  static const char* kIds[kNumKinds] = {"PTL001", "PTL002", "PTL003", "PTL004",
-                                        "PTL005", "PTL006", "PTL007"};
-  const unsigned i = kind_index(k);
-  return i < kNumKinds ? kIds[i] : "PTL000";
+const char* rule_description(FlowDiagKind k) {
+  switch (k) {
+    case FlowDiagKind::kSecretEscapes:
+      return "A backend secret flows into memory outside the secure region "
+             "and outside its sanctioned home (T1).";
+    case FlowDiagKind::kSecretToUser:
+      return "A backend secret flows into U-mode-readable memory (T2).";
+    case FlowDiagKind::kSecretToSink:
+      return "A backend secret reaches a trace/telemetry sink call (T3).";
+    case FlowDiagKind::kUnmediatedPtStore:
+      return "A store that may alias a page-table page is not dominated by "
+             "the backend's mediation entry point (M1).";
+    case FlowDiagKind::kCredAfterWalkable:
+      return "A bind path makes the root walkable before committing the "
+             "credential (M2).";
+    case FlowDiagKind::kUnresolvedCall:
+      return "An indirect call target is not statically resolvable; its "
+             "effects were over-approximated.";
+    case FlowDiagKind::kUnconstrainedStore:
+      return "A store address is unconstrained (Top); PT-page aliasing is "
+             "deferred to dynamic checking.";
+  }
+  return "?";
 }
 
-std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
+/// One exportable finding, uniform across the two report types.
+struct SarifResult {
+  const char* rule_id;
+  unsigned rule_index;
+  bool violation;
+  const std::string* message;
+  u64 pc;
+};
+
+struct SarifRule {
+  const char* id;
+  const char* name;
+  const char* description;
+};
+
+std::string render(const char* driver_name, const std::vector<SarifRule>& rules,
+                   const std::vector<SarifResult>& results,
+                   const std::string& artifact_uri) {
   std::ostringstream os;
   telemetry::JsonWriter w(os);
   w.begin_object()
@@ -55,15 +93,14 @@ std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
   w.key("runs").begin_array().begin_object();
 
   w.key("tool").begin_object().key("driver").begin_object();
-  w.kv("name", "ptlint").kv("version", "1.0.0");
+  w.kv("name", driver_name).kv("version", "1.0.0");
   w.kv("informationUri", "docs/ANALYSIS.md");
   w.key("rules").begin_array();
-  for (unsigned i = 0; i < kNumKinds; ++i) {
-    const auto k = static_cast<DiagKind>(i);
-    w.begin_object().kv("id", sarif_rule_id(k)).kv("name", diag_kind_name(k));
+  for (const SarifRule& r : rules) {
+    w.begin_object().kv("id", r.id).kv("name", r.name);
     w.key("shortDescription")
         .begin_object()
-        .kv("text", rule_description(k))
+        .kv("text", r.description)
         .end_object();
     w.end_object();
   }
@@ -81,15 +118,18 @@ std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
       .end_object()
       .end_array();
 
+  // Dedup: one result per (ruleId, pc), keeping first-reported order.
+  std::set<std::pair<const char*, u64>> seen;
   w.key("results").begin_array();
-  for (const Diag& d : rep.diags) {
+  for (const SarifResult& r : results) {
+    if (!seen.insert({r.rule_id, r.pc}).second) continue;
     std::ostringstream pc;
-    pc << "0x" << std::hex << d.pc;
+    pc << "0x" << std::hex << r.pc;
     w.begin_object()
-        .kv("ruleId", sarif_rule_id(d.kind))
-        .kv("ruleIndex", static_cast<u64>(kind_index(d.kind)))
-        .kv("level", d.sev == Severity::kViolation ? "error" : "note");
-    w.key("message").begin_object().kv("text", d.message).end_object();
+        .kv("ruleId", r.rule_id)
+        .kv("ruleIndex", static_cast<u64>(r.rule_index))
+        .kv("level", r.violation ? "error" : "note");
+    w.key("message").begin_object().kv("text", *r.message).end_object();
     w.key("locations")
         .begin_array()
         .begin_object()
@@ -107,6 +147,53 @@ std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
   w.end_array();   // runs
   w.end_object();  // document
   return os.str();
+}
+
+}  // namespace
+
+const char* sarif_rule_id(DiagKind k) {
+  static const char* kIds[kNumLintKinds] = {"PTL001", "PTL002", "PTL003",
+                                            "PTL004", "PTL005", "PTL006",
+                                            "PTL007"};
+  const unsigned i = kind_index(k);
+  return i < kNumLintKinds ? kIds[i] : "PTL000";
+}
+
+const char* sarif_rule_id(FlowDiagKind k) {
+  static const char* kIds[kNumFlowKinds] = {"PTF101", "PTF102", "PTF103",
+                                            "PTF104", "PTF105", "PTF106",
+                                            "PTF107"};
+  const unsigned i = kind_index(k);
+  return i < kNumFlowKinds ? kIds[i] : "PTF100";
+}
+
+std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
+  std::vector<SarifRule> rules;
+  for (unsigned i = 0; i < kNumLintKinds; ++i) {
+    const auto k = static_cast<DiagKind>(i);
+    rules.push_back({sarif_rule_id(k), diag_kind_name(k), rule_description(k)});
+  }
+  std::vector<SarifResult> results;
+  for (const Diag& d : rep.diags) {
+    results.push_back({sarif_rule_id(d.kind), kind_index(d.kind),
+                       d.sev == Severity::kViolation, &d.message, d.pc});
+  }
+  return render("ptlint", rules, results, artifact_uri);
+}
+
+std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri) {
+  std::vector<SarifRule> rules;
+  for (unsigned i = 0; i < kNumFlowKinds; ++i) {
+    const auto k = static_cast<FlowDiagKind>(i);
+    rules.push_back(
+        {sarif_rule_id(k), flow_diag_kind_name(k), rule_description(k)});
+  }
+  std::vector<SarifResult> results;
+  for (const FlowDiag& d : rep.diags) {
+    results.push_back({sarif_rule_id(d.kind), kind_index(d.kind),
+                       d.sev == Severity::kViolation, &d.message, d.pc});
+  }
+  return render("ptflow", rules, results, artifact_uri);
 }
 
 }  // namespace ptstore::analysis

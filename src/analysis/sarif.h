@@ -1,22 +1,31 @@
-// SARIF 2.1.0 export for ptlint reports, so CI can upload findings to code
-// scanning. One run per document; each DiagKind is a stable reporting rule
-// (PTL001..PTL007); violations map to level "error", notes to "note". The
-// analysed image is a binary artifact, so locations carry the artifact URI
-// plus the instruction address in properties.pc (SARIF has no native
-// "address" region for our purposes — startLine 1 keeps viewers happy).
+// SARIF 2.1.0 export for ptlint and ptflow reports, so CI can upload
+// findings to code scanning. One run per document; each diagnostic kind is a
+// stable reporting rule (PTL001..PTL007 for the intra-procedural linter,
+// PTF101..PTF107 for the interprocedural flow verifier); violations map to
+// level "error", notes to "note". Results are deduplicated by
+// (ruleId, instruction address) — a diagnostic reachable along several paths
+// exports once — and every result carries the ruleIndex of its rule in the
+// run's rules array. The analysed image is a binary artifact, so locations
+// carry the artifact URI plus the instruction address in properties.pc
+// (SARIF has no native "address" region for our purposes — startLine 1
+// keeps viewers happy).
 #pragma once
 
 #include <string>
 
+#include "analysis/ptflow.h"
 #include "analysis/ptlint.h"
 
 namespace ptstore::analysis {
 
 /// Stable SARIF rule id for a diagnostic kind, e.g. "PTL003".
 const char* sarif_rule_id(DiagKind k);
+/// Stable SARIF rule id for a flow diagnostic kind, e.g. "PTF104".
+const char* sarif_rule_id(FlowDiagKind k);
 
 /// Render `rep` as a complete SARIF 2.1.0 document. `artifact_uri` names
 /// the analysed image (file path or pseudo-URI like "corpus:r1_store").
 std::string to_sarif(const LintReport& rep, const std::string& artifact_uri);
+std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri);
 
 }  // namespace ptstore::analysis

@@ -227,4 +227,82 @@ std::unique_ptr<IsolationBackend> make_isolation_backend(const IsolationConfig& 
   return std::make_unique<StockBackend>(iso, k);
 }
 
+const char* to_string(SecretClass c) {
+  switch (c) {
+    case SecretClass::kToken: return "token";
+    case SecretClass::kMacKey: return "mac-key";
+    case SecretClass::kCredential: return "credential";
+    case SecretClass::kDomainRoot: return "domain-root";
+  }
+  return "?";
+}
+
+const FlowAnnotation& flow_annotation(BackendKind k) {
+  // Shared vocabulary: every backend's bind paths carry the same symbol
+  // names, and the telemetry sinks are backend-independent.
+  static const std::vector<const char*> kBindSymbols = {"bind_root",
+                                                        "rebind_root"};
+  static const std::vector<const char*> kSinkSymbols = {"trace_emit",
+                                                        "telemetry_log",
+                                                        "uart_putc"};
+
+  static const FlowAnnotation kStock = [] {
+    FlowAnnotation a;
+    a.kind = BackendKind::kStock;  // Undefended: nothing to prove.
+    return a;
+  }();
+
+  static const FlowAnnotation kPtstore = [] {
+    FlowAnnotation a;
+    a.kind = BackendKind::kPtstore;
+    a.taint_rules = true;
+    a.mediation_rule = true;
+    a.bind_order_rule = true;
+    a.pt_insn_mediates = true;  // ld.pt/sd.pt *are* the mediation channel.
+    a.secrets = {SecretClass::kToken};
+    a.bind_symbols = kBindSymbols;
+    a.sink_symbols = kSinkSymbols;
+    return a;
+  }();
+
+  static const FlowAnnotation kDpti = [] {
+    FlowAnnotation a;
+    a.kind = BackendKind::kDpti;
+    a.taint_rules = true;
+    a.mediation_rule = true;
+    a.bind_order_rule = true;  // Root registered before it may reach satp.
+    a.secrets = {SecretClass::kDomainRoot};
+    a.mediation_symbols = {"dpti_domain_enter"};
+    a.bind_symbols = kBindSymbols;
+    a.sink_symbols = kSinkSymbols;
+    return a;
+  }();
+
+  static const FlowAnnotation kPtauth = [] {
+    FlowAnnotation a;
+    a.kind = BackendKind::kPtauth;
+    a.taint_rules = true;
+    a.mediation_rule = true;   // Every PTE install goes through signing.
+    a.bind_order_rule = true;  // MAC credential written before satp.
+    a.secrets = {SecretClass::kMacKey, SecretClass::kCredential};
+    a.mediation_symbols = {"ptauth_sign_pte"};
+    a.bind_symbols = kBindSymbols;
+    a.sink_symbols = kSinkSymbols;
+    return a;
+  }();
+
+  switch (k) {
+    case BackendKind::kAuto:
+    case BackendKind::kStock:
+      return kStock;
+    case BackendKind::kPtstore:
+      return kPtstore;
+    case BackendKind::kDpti:
+      return kDpti;
+    case BackendKind::kPtauth:
+      return kPtauth;
+  }
+  return kStock;
+}
+
 }  // namespace ptstore

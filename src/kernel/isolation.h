@@ -147,4 +147,47 @@ class IsolationBackend : public PtWriteObserver {
 std::unique_ptr<IsolationBackend> make_isolation_backend(const IsolationConfig& iso,
                                                          Kernel& k);
 
+// ---------------------------------------------------------------------------
+// ptflow annotations: the declarative security sheet of each backend, the
+// source of truth for the interprocedural verifier (analysis/ptflow.h).
+// Where IsolationConfig says what a backend *does*, FlowAnnotation says what
+// must *never happen* around it: which values are secrets (taint sources),
+// which guest symbols mediate page-table writes, which bind paths must
+// commit the credential before a root becomes walkable, and which rule
+// families (T1–T3 confidentiality, M1–M2 mediation completeness) apply.
+
+/// Secret classes a backend's credential scheme introduces. The verifier
+/// maps each class to its address range in the analyzed image geometry.
+enum class SecretClass : u8 {
+  kToken,       ///< PTStore secure-region token values.
+  kMacKey,      ///< PTAuth MAC key held by the monitor.
+  kCredential,  ///< PCB credential field contents (PTAuth MAC).
+  kDomainRoot,  ///< DPTI domain-registry root entries.
+};
+
+const char* to_string(SecretClass c);
+
+struct FlowAnnotation {
+  BackendKind kind = BackendKind::kStock;
+
+  bool taint_rules = false;      ///< T1–T3 apply (the backend has secrets).
+  bool mediation_rule = false;   ///< M1: PT-page stores must be mediated.
+  bool bind_order_rule = false;  ///< M2: credential before walkable root.
+  /// sd.pt/ld.pt are the mediation mechanism itself (PTStore): a pt-insn
+  /// store counts as mediated without a dominating call.
+  bool pt_insn_mediates = false;
+
+  std::vector<SecretClass> secrets;
+  /// Guest symbols whose call marks subsequent PT writes mediated (M1):
+  /// DPTI's domain gate, PTAuth's sign-and-install routine.
+  std::vector<const char*> mediation_symbols;
+  /// Functions under the M2 ordering obligation (bind/rebind paths).
+  std::vector<const char*> bind_symbols;
+  /// Trace/telemetry sinks no secret may reach (T3).
+  std::vector<const char*> sink_symbols;
+};
+
+/// The immutable annotation sheet for one backend kind.
+const FlowAnnotation& flow_annotation(BackendKind k);
+
 }  // namespace ptstore

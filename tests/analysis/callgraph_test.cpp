@@ -1,0 +1,241 @@
+// Call-graph construction tests: function partition from call targets,
+// bottom-up summary order, recursion SCCs, indirect-call resolution through
+// the interval domain, sound degradation on unresolvable targets, and
+// tail-call edges.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/callgraph.h"
+#include "isa/assembler.h"
+
+namespace ptstore::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+constexpr u64 kBase = 0x8010'0000;
+
+Image image_of(
+    const std::function<void(Assembler&, std::vector<Symbol>&)>& build) {
+  Assembler a(kBase);
+  std::vector<Symbol> symbols{{"entry", kBase}};
+  build(a, symbols);
+  Image img;
+  img.base = kBase;
+  img.words = a.finish();
+  img.symbols = std::move(symbols);
+  return img;
+}
+
+/// Position of `entry` in the bottom-up order.
+size_t order_pos(const CallGraph& cg, u64 entry) {
+  const auto& order = cg.bottom_up();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == entry) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+TEST(CallGraph, DirectCallPartitionsAndOrdersBottomUp) {
+  u64 helper = 0;
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>& symbols) {
+    auto h = a.make_label();
+    a.jal(Reg::kRa, h);
+    a.ebreak();
+    a.bind(h);
+    a.li(Reg::kA0, 7);
+    a.ret();
+    helper = *a.label_address(h);
+    symbols.push_back({"helper", helper});
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  ASSERT_EQ(cg.functions().size(), 2u);
+
+  const Function* entry = cg.function_at(kBase);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "entry");
+  ASSERT_EQ(entry->calls.size(), 1u);
+  EXPECT_TRUE(entry->calls[0].resolved);
+  EXPECT_FALSE(entry->calls[0].tail);
+  ASSERT_EQ(entry->calls[0].targets.size(), 1u);
+  EXPECT_EQ(entry->calls[0].targets[0], helper);
+
+  const Function* h = cg.function_at(helper);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->name, "helper");
+  EXPECT_TRUE(h->calls.empty());
+
+  // Callee before caller.
+  EXPECT_LT(order_pos(cg, helper), order_pos(cg, kBase));
+  EXPECT_NE(cg.scc_id(helper), cg.scc_id(kBase));
+}
+
+TEST(CallGraph, SelfRecursionFormsItsOwnScc) {
+  u64 rec = 0;
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>& symbols) {
+    auto r = a.make_label();
+    auto done = a.make_label();
+    a.jal(Reg::kRa, r);
+    a.ebreak();
+    a.bind(r);
+    a.beqz(Reg::kA0, done);
+    a.addi(Reg::kA0, Reg::kA0, -1);
+    a.jal(Reg::kRa, r);
+    a.bind(done);
+    a.ret();
+    rec = *a.label_address(r);
+    symbols.push_back({"rec", rec});
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  ASSERT_NE(cg.function_at(rec), nullptr);
+  EXPECT_TRUE(cg.recursive(rec));
+  EXPECT_FALSE(cg.recursive(kBase));
+  EXPECT_LT(order_pos(cg, rec), order_pos(cg, kBase));
+}
+
+TEST(CallGraph, MutualRecursionSharesAnScc) {
+  u64 f = 0, g = 0;
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>& symbols) {
+    auto lf = a.make_label();
+    auto lg = a.make_label();
+    auto out_f = a.make_label();
+    auto out_g = a.make_label();
+    a.jal(Reg::kRa, lf);
+    a.ebreak();
+    a.bind(lf);
+    a.beqz(Reg::kA0, out_f);
+    a.addi(Reg::kA0, Reg::kA0, -1);
+    a.jal(Reg::kRa, lg);
+    a.bind(out_f);
+    a.ret();
+    a.bind(lg);
+    a.beqz(Reg::kA0, out_g);
+    a.addi(Reg::kA0, Reg::kA0, -1);
+    a.jal(Reg::kRa, lf);
+    a.bind(out_g);
+    a.ret();
+    f = *a.label_address(lf);
+    g = *a.label_address(lg);
+    symbols.push_back({"f", f});
+    symbols.push_back({"g", g});
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  ASSERT_EQ(cg.functions().size(), 3u);
+  EXPECT_EQ(cg.scc_id(f), cg.scc_id(g));
+  EXPECT_NE(cg.scc_id(f), cg.scc_id(kBase));
+  EXPECT_TRUE(cg.recursive(f));
+  EXPECT_TRUE(cg.recursive(g));
+  // The whole SCC sits below its caller in the bottom-up order.
+  EXPECT_LT(order_pos(cg, f), order_pos(cg, kBase));
+  EXPECT_LT(order_pos(cg, g), order_pos(cg, kBase));
+}
+
+TEST(CallGraph, IndirectCallResolvedThroughConstant) {
+  // Pin the helper at kBase+4 (right after the opening goto) so the
+  // li-materialised pointer below has a layout-independent value.
+  constexpr u64 kHelper = kBase + 4;
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>& symbols) {
+    auto over = a.make_label();
+    a.j(over);
+    a.ret();  // The helper body: only reachable through the resolved jalr.
+    a.bind(over);
+    a.li(Reg::kT0, kHelper);
+    a.jalr(Reg::kRa, Reg::kT0, 0);
+    a.ebreak();
+    symbols.push_back({"helper", kHelper});
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  const Function* entry = cg.function_at(kBase);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->calls.size(), 1u);
+  const CallSite& indirect = entry->calls[0];
+  EXPECT_TRUE(indirect.resolved);
+  EXPECT_FALSE(indirect.tail);
+  ASSERT_EQ(indirect.targets.size(), 1u);
+  EXPECT_EQ(indirect.targets[0], kHelper);
+  EXPECT_FALSE(entry->has_unresolved_call);
+
+  // The discovery loop promoted the resolved target to a function.
+  const Function* helper = cg.function_at(kHelper);
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->name, "helper");
+  EXPECT_LT(order_pos(cg, kHelper), order_pos(cg, kBase));
+}
+
+TEST(CallGraph, UnresolvableIndirectDegradesWithoutCrash) {
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>&) {
+    a.ld(Reg::kT0, Reg::kA0, 0);  // Target from memory: Top.
+    a.jalr(Reg::kRa, Reg::kT0, 0);
+    a.ebreak();
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  const Function* entry = cg.function_at(kBase);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->has_unresolved_call);
+  ASSERT_EQ(entry->calls.size(), 1u);
+  EXPECT_FALSE(entry->calls[0].resolved);
+  EXPECT_TRUE(entry->calls[0].targets.empty());
+  // The continuation after the unresolved call still belongs to entry.
+  EXPECT_NE(cg.function_containing(entry->calls[0].pc + 4), nullptr);
+}
+
+TEST(CallGraph, TailJumpToKnownFunctionIsATailCall) {
+  u64 f = 0, g = 0;
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>& symbols) {
+    auto lf = a.make_label();
+    auto lg = a.make_label();
+    a.jal(Reg::kRa, lf);
+    a.jal(Reg::kRa, lg);
+    a.ebreak();
+    a.bind(lf);
+    a.addi(Reg::kA0, Reg::kA0, 1);
+    a.j(lg);  // Tail call: g is a known function entry.
+    a.bind(lg);
+    a.ret();
+    f = *a.label_address(lf);
+    g = *a.label_address(lg);
+    symbols.push_back({"f", f});
+    symbols.push_back({"g", g});
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  const Function* ff = cg.function_at(f);
+  ASSERT_NE(ff, nullptr);
+  ASSERT_EQ(ff->calls.size(), 1u);
+  EXPECT_TRUE(ff->calls[0].tail);
+  EXPECT_TRUE(ff->calls[0].resolved);
+  ASSERT_EQ(ff->calls[0].targets.size(), 1u);
+  EXPECT_EQ(ff->calls[0].targets[0], g);
+  // g's block is owned by g, not absorbed into f.
+  const Function* gf = cg.function_at(g);
+  ASSERT_NE(gf, nullptr);
+  EXPECT_EQ(cg.function_containing(g), gf);
+  EXPECT_LT(order_pos(cg, g), order_pos(cg, f));
+}
+
+TEST(CallGraph, PlainGotoStaysIntraprocedural) {
+  const Image img = image_of([&](Assembler& a, std::vector<Symbol>&) {
+    auto skip = a.make_label();
+    a.j(skip);  // Goto a non-entry block: stays inside the function.
+    a.nop();
+    a.bind(skip);
+    a.ebreak();
+  });
+
+  const CallGraph cg = CallGraph::build(img);
+  ASSERT_EQ(cg.functions().size(), 1u);
+  const Function* entry = cg.function_at(kBase);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->calls.empty());
+  EXPECT_EQ(entry->blocks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "analysis/sarif.h"
 #include "isa/assembler.h"
@@ -101,6 +103,100 @@ TEST(Sarif, ResultsCarryLevelLocationAndPc) {
   }
   EXPECT_TRUE(saw_error);
   EXPECT_TRUE(saw_note);
+}
+
+/// Hand-built flow report: lets the tests exercise the exporter's own
+/// (ruleId, pc) dedup, which flow_verify's internal dedup would mask.
+FlowReport flow_report_with(
+    const std::vector<std::pair<FlowDiagKind, u64>>& items) {
+  FlowReport rep;
+  for (const auto& [kind, pc] : items) {
+    FlowDiag d;
+    d.kind = kind;
+    d.sev = (kind == FlowDiagKind::kUnresolvedCall ||
+             kind == FlowDiagKind::kUnconstrainedStore)
+                ? Severity::kNote
+                : Severity::kViolation;
+    d.pc = pc;
+    d.message = std::string(flow_diag_kind_name(kind)) + " at test pc";
+    rep.diags.push_back(std::move(d));
+  }
+  return rep;
+}
+
+TEST(Sarif, FlowRuleIdsAreStable) {
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kSecretEscapes), "PTF101");
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kSecretToUser), "PTF102");
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kSecretToSink), "PTF103");
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kUnmediatedPtStore), "PTF104");
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kCredAfterWalkable), "PTF105");
+  EXPECT_STREQ(sarif_rule_id(FlowDiagKind::kUnconstrainedStore), "PTF107");
+}
+
+TEST(Sarif, FlowDocumentCarriesPtflowDriverRulesAndRuleIndex) {
+  const FlowReport rep =
+      flow_report_with({{FlowDiagKind::kSecretEscapes, kBase},
+                        {FlowDiagKind::kUnresolvedCall, kBase + 8}});
+  const auto doc = telemetry::json_parse(to_sarif(rep, "flow.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue& run = doc->find("runs")->arr[0];
+  const telemetry::JsonValue* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->str, "ptflow");
+  EXPECT_EQ(driver->find("rules")->arr.size(), 7u);  // one per FlowDiagKind
+  EXPECT_EQ(driver->find("rules")->arr[0].find("id")->str, "PTF101");
+
+  const telemetry::JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->arr.size(), 2u);
+  // ruleIndex points into the rules array: index == FlowDiagKind value.
+  EXPECT_EQ(results->arr[0].find("ruleId")->str, "PTF101");
+  EXPECT_EQ(results->arr[0].find("ruleIndex")->number, 0.0);
+  EXPECT_EQ(results->arr[0].find("level")->str, "error");
+  EXPECT_EQ(results->arr[1].find("ruleId")->str, "PTF106");
+  EXPECT_EQ(results->arr[1].find("ruleIndex")->number, 5.0);
+  EXPECT_EQ(results->arr[1].find("level")->str, "note");
+}
+
+TEST(Sarif, ResultsDedupByRuleIdAndPc) {
+  // Two identical (rule, pc) findings collapse to one; the same pc under a
+  // different rule and the same rule at a different pc both survive.
+  const FlowReport rep =
+      flow_report_with({{FlowDiagKind::kSecretEscapes, kBase},
+                        {FlowDiagKind::kSecretEscapes, kBase},
+                        {FlowDiagKind::kSecretToUser, kBase},
+                        {FlowDiagKind::kSecretEscapes, kBase + 4}});
+  const auto doc = telemetry::json_parse(to_sarif(rep, "dedup.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* results =
+      doc->find("runs")->arr[0].find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->arr.size(), 3u);
+  // First-reported order is kept.
+  EXPECT_EQ(results->arr[0].find("ruleId")->str, "PTF101");
+  EXPECT_EQ(results->arr[1].find("ruleId")->str, "PTF102");
+  EXPECT_EQ(results->arr[2].find("ruleId")->str, "PTF101");
+  EXPECT_EQ(results->arr[2].find("properties")->find("pc")->str,
+            "0x80100004");
+}
+
+TEST(Sarif, LintResultsDedupToo) {
+  // The shared renderer applies the same (ruleId, pc) dedup to ptlint
+  // reports: the same violating store reported twice exports once.
+  LintReport rep = lint([](Assembler& a) {
+    a.li(Reg::kT0, kSrBase);
+    a.sd(Reg::kZero, Reg::kT0, 0);
+    a.ebreak();
+  });
+  ASSERT_FALSE(rep.clean());
+  const size_t unique = rep.diags.size();
+  rep.diags.insert(rep.diags.end(), rep.diags.begin(), rep.diags.end());
+  const auto doc = telemetry::json_parse(to_sarif(rep, "twice.s"));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* results =
+      doc->find("runs")->arr[0].find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(results->arr.size(), unique);
 }
 
 TEST(Sarif, CleanReportHasEmptyResults) {

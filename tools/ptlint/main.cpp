@@ -1,21 +1,30 @@
 // ptlint CLI: statically verify PTStore isolation invariants over an
 // assembled guest program (docs/ANALYSIS.md).
 //
-//   ptlint [options] file.s         lint a text-assembly program
+//   ptlint [options] file.s         lint a text-assembly program (R1–R4)
 //   ptlint --corpus all             self-check against the seeded-violation
 //                                   corpus (each entry must produce exactly
 //                                   its expected verdict)
+//   ptlint --flow [options] file.s  interprocedural taint & mediation
+//                                   verification (T1–T3, M1–M2) under the
+//                                   backend selected with --backend
+//   ptlint --flow --kernel          verify the backend's reference kernel
+//                                   image (the shipped protocol paths)
+//   ptlint --flow --corpus all      self-check against the flow corpus;
+//                                   --backend filters to one backend's trio
 //
 // Options:
 //   --base ADDR        load address of file.s (default: guest_cli's image
 //                      base, 64 GiB + 64 MiB)
 //   --sr BASE:END      secure region bounds (default: the paper's default
 //                      machine — 512 MiB DRAM, 64 MiB region at the top)
+//   --backend B        isolation backend for --flow: stock, ptstore, dpti,
+//                      ptauth (also accepted as --backend=B; default ptstore)
 //   --expect-clean     exit 1 if any violation is reported (default mode
 //                      already does this; the flag documents test intent)
 //   --expect-violation exit 0 only if at least one violation is reported
 //   --sarif FILE       also write the report as SARIF 2.1.0 (single-file
-//                      mode only; CI uploads this to code scanning)
+//                      and --kernel modes; CI uploads this to code scanning)
 //   -v                 also print notes and summary for clean images
 //
 // Exit codes: 0 expectation met, 1 violated, 2 usage/input error.
@@ -26,6 +35,8 @@
 #include <vector>
 
 #include "analysis/corpus.h"
+#include "analysis/flow_corpus.h"
+#include "analysis/ptflow.h"
 #include "analysis/ptlint.h"
 #include "analysis/sarif.h"
 #include "kernel/pagetable.h"
@@ -55,8 +66,21 @@ int usage() {
   std::fprintf(stderr,
                "usage: ptlint [--base ADDR] [--sr BASE:END] [--expect-clean | "
                "--expect-violation] [--sarif FILE] [-v] file.s\n"
-               "       ptlint [--sr BASE:END] --corpus <name|all>\n");
+               "       ptlint [--sr BASE:END] --corpus <name|all>\n"
+               "       ptlint --flow [--backend B] [--sr BASE:END] "
+               "[--sarif FILE] [-v] (file.s | --kernel | --corpus <name|all>)\n");
   return 2;
+}
+
+bool write_sarif(const std::string& path, const std::string& doc,
+                 const char* tool) {
+  std::ofstream sf(path);
+  if (!sf) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool, path.c_str());
+    return false;
+  }
+  sf << doc;
+  return true;
 }
 
 int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose) {
@@ -90,6 +114,55 @@ int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose) 
   return failures == 0 ? 0 : 1;
 }
 
+int run_flow_corpus(const std::string& which, BackendKind backend,
+                    bool backend_given, u64 sr_base, u64 sr_end, bool verbose) {
+  const auto corpus = flow_violation_corpus(sr_base, sr_end);
+  if (which != "all" && find_flow_entry(corpus, which) == nullptr) {
+    std::fprintf(stderr, "ptlint: unknown flow corpus entry '%s'\n",
+                 which.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const FlowCorpusEntry& e : corpus) {
+    if (which != "all" && e.name != which) continue;
+    if (which == "all" && backend_given && e.backend != backend) continue;
+    const FlowSpec spec = FlowSpec::for_backend(e.backend, sr_base, sr_end);
+    const FlowReport rep = flow_verify(e.image, spec);
+    bool pass;
+    if (e.expect_clean) {
+      pass = rep.clean();
+    } else {
+      pass = false;
+      for (const FlowDiag* d : rep.violations()) {
+        if (d->kind == e.expected) pass = true;
+      }
+    }
+    std::printf("%-34s %s  (%s: expected %s)\n", e.name.c_str(),
+                pass ? "PASS" : "FAIL", e.description.c_str(),
+                e.expect_clean ? "clean" : flow_diag_kind_name(e.expected));
+    if (!pass || verbose) std::fputs(rep.format().c_str(), stdout);
+    failures += pass ? 0 : 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int report_flow(const FlowReport& rep, const std::string& what,
+                const std::string& sarif_path, bool expect_violation,
+                bool verbose) {
+  if (!sarif_path.empty() &&
+      !write_sarif(sarif_path, to_sarif(rep, what), "ptlint")) {
+    return 2;
+  }
+  const size_t violations = rep.violation_count();
+  if (violations > 0 || verbose) std::fputs(rep.format().c_str(), stdout);
+  std::printf("%s: %zu function(s), %zu call site(s), %zu unresolved, "
+              "%zu violation(s)\n",
+              what.c_str(), rep.function_count, rep.callsite_count,
+              rep.unresolved_calls, violations);
+  if (expect_violation) return violations > 0 ? 0 : 1;
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +172,9 @@ int main(int argc, char** argv) {
   std::string file;
   std::string corpus;
   std::string sarif_path;
+  std::string backend_name;
+  bool flow = false;
+  bool kernel = false;
   bool expect_violation = false;
   bool verbose = false;
 
@@ -128,6 +204,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       sarif_path = v;
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      backend_name = v;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend_name = arg.substr(10);
+    } else if (arg == "--flow") {
+      flow = true;
+    } else if (arg == "--kernel") {
+      kernel = true;
     } else if (arg == "--expect-clean") {
       expect_violation = false;
     } else if (arg == "--expect-violation") {
@@ -141,6 +227,50 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  BackendKind backend = BackendKind::kPtstore;
+  if (!backend_name.empty()) {
+    const auto k = backend_kind_from(backend_name);
+    if (!k || *k == BackendKind::kAuto) {
+      std::fprintf(stderr, "ptlint: unknown backend '%s'\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    backend = *k;
+  }
+  if ((kernel || !backend_name.empty()) && !flow) return usage();
+
+  if (flow) {
+    if (!corpus.empty()) {
+      return run_flow_corpus(corpus, backend, !backend_name.empty(), sr_base,
+                             sr_end, verbose);
+    }
+    if (kernel) {
+      const Image img = reference_kernel_image(backend, sr_base, sr_end);
+      const FlowSpec spec = FlowSpec::for_backend(backend, sr_base, sr_end);
+      return report_flow(flow_verify(img, spec),
+                         std::string("kernel:") + to_string(backend),
+                         sarif_path, expect_violation, verbose);
+    }
+    if (file.empty()) return usage();
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "ptlint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    const isa::AsmResult res = isa::assemble_text(source.str(), base);
+    if (!res.ok) {
+      std::fprintf(stderr, "ptlint: %s: assembly failed: %s\n", file.c_str(),
+                   res.error.message.c_str());
+      return 2;
+    }
+    const Image img = Image::from_assembly(res, base);
+    const FlowSpec spec = FlowSpec::for_backend(backend, sr_base, sr_end);
+    return report_flow(flow_verify(img, spec), file, sarif_path,
+                       expect_violation, verbose);
   }
 
   if (!corpus.empty()) return run_corpus(corpus, sr_base, sr_end, verbose);
@@ -167,13 +297,9 @@ int main(int argc, char** argv) {
   const Image img = Image::from_assembly(res, base);
   const LintReport rep = lint_image(img, cfg);
 
-  if (!sarif_path.empty()) {
-    std::ofstream sf(sarif_path);
-    if (!sf) {
-      std::fprintf(stderr, "ptlint: cannot write %s\n", sarif_path.c_str());
-      return 2;
-    }
-    sf << to_sarif(rep, file);
+  if (!sarif_path.empty() &&
+      !write_sarif(sarif_path, to_sarif(rep, file), "ptlint")) {
+    return 2;
   }
 
   const size_t violations = rep.violation_count();

@@ -110,12 +110,26 @@ StepResult Core::exec_alu(const Inst& in) {
       next_pc = pc_ + imm;
       cycles_ += cfg_.bpred.enabled ? bpred_.resolve_jump(pc_, next_pc)
                                     : cfg_.timing.jump_penalty;
+      // Shadow call stack: `jal ra/t0` is a call under the RISC-V link
+      // register convention. Pure observation — no cycles charged.
+      if (in.rd == 1 || in.rd == 5) {
+        if (telemetry::Profiler* p = telemetry::profiling()) {
+          p->on_call(next_pc, cycles_, static_cast<u8>(priv_));
+        }
+      }
       break;
     case Op::kJalr:
       rd = pc_ + in.len;
       next_pc = (rs1 + imm) & ~u64{1};
       cycles_ += cfg_.bpred.enabled ? bpred_.resolve_jump(pc_, next_pc)
                                     : cfg_.timing.jump_penalty;
+      if (telemetry::Profiler* p = telemetry::profiling()) {
+        if (in.rd == 1 || in.rd == 5) {
+          p->on_call(next_pc, cycles_, static_cast<u8>(priv_));
+        } else if (in.rd == 0 && (in.rs1 == 1 || in.rs1 == 5)) {
+          p->on_ret(cycles_, static_cast<u8>(priv_));
+        }
+      }
       break;
     case Op::kBeq: case Op::kBne: case Op::kBlt:
     case Op::kBge: case Op::kBltu: case Op::kBgeu: {

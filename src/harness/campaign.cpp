@@ -360,7 +360,21 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     if (spec.kind == CampaignKind::kAttack) {
       attacks::setup_victim(*sys.value());
     }
+    // Per-shard call-stack capture: the profiler is thread-local, so each
+    // worker profiles its own shard; the session brackets exactly the op
+    // stream (fork/minimize replays stay outside it).
+    if (spec.profile) {
+      System& m = *sys.value();
+      telemetry::enable_profiling().session_begin(
+          "shard", m.core().cycles(), static_cast<u8>(m.core().priv()));
+    }
     run_op_shard(*sys.value(), spec.kind, rng, spec.ops_per_shard, &out);
+    if (spec.profile) {
+      telemetry::Profiler& pf = *telemetry::profiling();
+      pf.session_end(sys.value()->core().cycles());
+      out.profile = pf.snapshot();
+      telemetry::disable_profiling();
+    }
     if (out.failed && spec.minimize && !out.repro.empty()) {
       out.repro = minimize_trace(ck, spec.kind, out.repro);
     }
@@ -377,6 +391,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     for (const ShardOutcome& s : result.shards) per_shard.push_back(s.stats);
     return per_shard;
   }());
+  if (spec.profile) {
+    for (const ShardOutcome& s : result.shards) {
+      telemetry::merge_folded(result.profile, s.profile);
+    }
+  }
   result.timing.wall_seconds = seconds_since(wall0);
   return result;
 }
@@ -428,6 +447,24 @@ void write_campaign_report(std::ostream& os, const CampaignResult& r,
   w.key("aggregate_counters").begin_object();
   for (const auto& [name, value] : r.aggregate.counters()) w.kv(name, value);
   w.end_object();
+
+  // Conditional: absent unless the campaign profiled, so pre-profile seed
+  // reports stay byte-identical.
+  if (r.spec.profile) {
+    w.key("profile").begin_object();
+    w.kv("total_cycles", r.profile.total_cycles);
+    w.kv("truncated_frames", r.profile.truncated_frames);
+    w.key("stacks").begin_array();
+    for (const auto& [key, entry] : r.profile.stacks) {
+      w.begin_object();
+      w.kv("stack", key);
+      w.kv("cycles", entry.cycles);
+      w.kv("count", entry.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
 
   if (include_timing) {
     w.key("timing").begin_object();

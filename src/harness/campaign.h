@@ -29,6 +29,7 @@
 #include "common/stats.h"
 #include "harness/diff_oracle.h"
 #include "kernel/system.h"
+#include "telemetry/profile.h"
 
 namespace ptstore::harness {
 
@@ -86,6 +87,9 @@ struct ShardOutcome {
   std::vector<CampaignOp> repro;
   /// Full telemetry report of the shard machine (empty for kDiff).
   StatSet stats;
+  /// Folded call-stack profile of the shard run (only when
+  /// CampaignSpec::profile is set; empty for kDiff).
+  telemetry::FoldedProfile profile;
 };
 
 struct CampaignSpec {
@@ -114,6 +118,10 @@ struct CampaignSpec {
   BackendKind backend = BackendKind::kAuto;
   DiffOptions diff;      ///< op_count / sabotage for kDiff shards.
   bool minimize = true;  ///< Greedy trace minimization of failing shards.
+  /// Capture a per-shard call-stack profile (proto/attack shards) and merge
+  /// them into CampaignResult::profile + a "profile" report section. Off by
+  /// default so seed reports stay byte-identical.
+  bool profile = false;
 };
 
 /// Host wall-clock accounting. Everything here varies run to run and with
@@ -137,6 +145,9 @@ struct CampaignResult {
   CampaignSpec spec;
   std::vector<ShardOutcome> shards;  ///< Index order, regardless of jobs.
   StatSet aggregate;                 ///< merge_shard_stats over the shards.
+  /// merge_folded over the shard profiles — a pure sum by stack key, so the
+  /// merged profile is byte-identical for any --jobs value.
+  telemetry::FoldedProfile profile;
   u64 failures = 0;
   CampaignTiming timing;
 };

@@ -57,6 +57,7 @@ class DptiBackend : public IsolationBackend {
 
   SwitchResult validate_switch(Process& proc, u64 pgd) override {
     // Domain-tagged TLB maintenance on every address-space switch.
+    telemetry::ProfScope<Core> prof(core(), "dpti.domain_flush");
     core().add_cycles(iso_.switch_check_cost);
     const bool valid = roots_.count(pgd) != 0;
     if (telemetry::EventRing* tr = telemetry::tracing()) {

@@ -132,6 +132,7 @@ class PtauthBackend : public IsolationBackend, public WalkVerifier {
 
 bool PtauthBackend::bind_root(Process& proc, PhysAddr root, PtStatus* st) {
   (void)st;
+  telemetry::ProfScope<Core> prof(core(), "ptauth.mac_sign");
   core().add_cycles(iso_.mac_cost);  // Sign the credential.
   kmem().must_sd(proc.pcb_token_field(), mac_of(root, proc.pid));
   return true;
@@ -139,12 +140,14 @@ bool PtauthBackend::bind_root(Process& proc, PhysAddr root, PtStatus* st) {
 
 bool PtauthBackend::rebind_root(Process& proc, u64 old_cred, PhysAddr root) {
   (void)old_cred;  // Stale MACs need no teardown.
+  telemetry::ProfScope<Core> prof(core(), "ptauth.mac_sign");
   core().add_cycles(iso_.mac_cost);
   kmem().must_sd(proc.pcb_token_field(), mac_of(root, proc.pid));
   return true;
 }
 
 SwitchResult PtauthBackend::validate_switch(Process& proc, u64 pgd) {
+  telemetry::ProfScope<Core> prof(core(), "ptauth.mac_verify");
   const u64 cred = kmem().must_ld(proc.pcb_token_field());
   core().add_cycles(iso_.mac_cost);  // Recompute + compare.
   const bool valid = cred == mac_of(pgd, proc.pid);

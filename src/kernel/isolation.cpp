@@ -196,6 +196,7 @@ class PtstoreBackend : public IsolationBackend {
 
   SwitchResult validate_switch(Process& proc, u64 pgd) override {
     if (!iso_.check_tokens) return SwitchResult::kOk;
+    telemetry::ProfScope<Core> prof(core(), "ptstore.token_check");
     const u64 token = kmem().must_ld(proc.pcb_token_field());
     const bool valid = k_.tokens().validate(token, proc.pcb_token_field(), pgd);
     trace_check(core(), valid ? "token_ok" : "token_reject", proc.pid);

@@ -65,7 +65,13 @@ class KernelMem {
                      pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, 0);
   }
   KAccess pt_sd(VirtAddr va, u64 v) {
-    if (monitor_cost_ != 0) core_.add_cycles(monitor_cost_);
+    if (monitor_cost_ != 0) {
+      // The mediation surcharge (monitor round trip / DPTI domain entry /
+      // PTAuth signing) gets its own profile frame so differential
+      // attribution can name it even inside an inlined handler.
+      telemetry::ProfScope<Core> prof(core_, "pt_write_mediate");
+      core_.add_cycles(monitor_cost_);
+    }
     trace_pt_insn("kernel.sd.pt", va);
     const KAccess r = do_access(va, AccessType::kWrite,
                                 pt_insns_ ? AccessKind::kPtInsn : AccessKind::kRegular, v);

@@ -87,6 +87,7 @@ Process* ProcessManager::create_init(PtStatus* st) {
 }
 
 Process* ProcessManager::fork(Process& parent, PtStatus* st) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "copy_mm");
   PtStatus local;
   if (st == nullptr) st = &local;
   Process* child = create_common(&parent, st);
@@ -121,6 +122,7 @@ Process* ProcessManager::fork(Process& parent, PtStatus* st) {
 }
 
 bool ProcessManager::exec(Process& proc, PtStatus* st) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "execve");
   PtStatus local;
   if (st == nullptr) st = &local;
   execs_.add();
@@ -159,6 +161,7 @@ void ProcessManager::teardown_mm(Process& proc) {
 }
 
 void ProcessManager::exit(Process& proc) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "exit_mm");
   exits_.add();
   if (current_ == &proc) current_ = nullptr;
   const u64 cred = pcb_token(proc);
@@ -198,10 +201,18 @@ SwitchResult ProcessManager::switch_to(Process& proc) {
   }
   kmem_.core().add_cycles(kmem_.core().config().timing.csr_extra);
   current_ = &proc;
+  // The user shadow call stack is per address space: tell the profiler so
+  // it banks the outgoing process's U-mode stack and restores the incoming
+  // one (observation only — no cycles).
+  if (telemetry::Profiler* pf = telemetry::profiling()) {
+    pf->on_context_switch(proc.pid, kmem_.core().cycles(),
+                          static_cast<u8>(kmem_.core().priv()));
+  }
   return SwitchResult::kOk;
 }
 
 bool ProcessManager::add_vma(Process& proc, VirtAddr start, u64 len, u64 prot) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "add_vma");
   if (len == 0 || !is_aligned(start, kPageSize)) return false;
   const VirtAddr end = start + align_up(len, kPageSize);
   if (start < kUserSpaceBase) return false;
@@ -213,6 +224,7 @@ bool ProcessManager::add_vma(Process& proc, VirtAddr start, u64 len, u64 prot) {
 }
 
 bool ProcessManager::remove_vma(Process& proc, VirtAddr start, u64 len) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "remove_vma");
   if (len == 0 || !is_aligned(start, kPageSize)) return false;
   const VirtAddr end = start + align_up(len, kPageSize);
   const u64 root = pcb_pgd(proc);
@@ -261,6 +273,7 @@ bool ProcessManager::remove_vma(Process& proc, VirtAddr start, u64 len) {
 }
 
 bool ProcessManager::protect_vma(Process& proc, VirtAddr start, u64 len, u64 prot) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "protect_vma");
   if (len == 0 || !is_aligned(start, kPageSize)) return false;
   const VirtAddr end = start + align_up(len, kPageSize);
   const u64 root = pcb_pgd(proc);
@@ -292,6 +305,7 @@ bool ProcessManager::protect_vma(Process& proc, VirtAddr start, u64 len, u64 pro
 }
 
 bool ProcessManager::handle_fault(Process& proc, VirtAddr va, bool write, PtStatus* st) {
+  telemetry::ProfScope<Core> prof(kmem_.core(), "handle_fault");
   PtStatus local;
   if (st == nullptr) st = &local;
   faults_.add();

@@ -110,17 +110,36 @@ TranslateResult Mmu::translate(VirtAddr va, AccessType type, AccessKind kind,
 TranslateResult Mmu::walk(VirtAddr va, AccessType type, AccessKind kind,
                           const TranslationContext& ctx) {
   telemetry::EventRing* tr = telemetry::tracing();
-  if (tr == nullptr || clock_cycles_ == nullptr) return walk_impl(va, type, kind, ctx);
+  telemetry::Profiler* pf = telemetry::profiling();
+  if ((tr == nullptr && pf == nullptr) || clock_cycles_ == nullptr) {
+    return walk_impl(va, type, kind, ctx);
+  }
 
   // The walk's cycles are charged by the caller on top of the core clock, so
   // the span covers [now, now + res.cycles) in simulated time.
   const u64 now = *clock_cycles_;
   const u64 instret = *clock_instret_;
   const u8 priv = static_cast<u8>(*clock_priv_);
-  tr->begin(telemetry::Subsystem::kPtw, "ptw", now, instret, priv, va);
+  if (tr != nullptr) {
+    tr->begin(telemetry::Subsystem::kPtw, "ptw", now, instret, priv, va);
+  }
+  if (pf != nullptr) pf->push("ptw", now, priv);
   TranslateResult res = walk_impl(va, type, kind, ctx);
-  tr->end(telemetry::Subsystem::kPtw, "ptw", now + res.cycles, instret, priv,
-          res.ok ? 1 : 0);
+  const u64 end = now + res.cycles;
+  if (pf != nullptr) {
+    // The verifier's cycles are modeled as the tail of the walk: carve them
+    // into a "ptw_verify" child so PTAuth's per-fetch MAC cost is a named
+    // frame in flamegraphs and the differential attribution table.
+    if (res.verify_cycles != 0 && res.verify_cycles <= res.cycles) {
+      pf->push("ptw_verify", end - res.verify_cycles, priv);
+      pf->pop(end, priv);
+    }
+    pf->pop(end, priv);
+  }
+  if (tr != nullptr) {
+    tr->end(telemetry::Subsystem::kPtw, "ptw", end, instret, priv,
+            res.ok ? 1 : 0);
+  }
   return res;
 }
 
@@ -175,6 +194,7 @@ TranslateResult Mmu::walk_impl(VirtAddr va, AccessType type, AccessKind kind,
       Cycles vcost = 0;
       const bool pass = verifier_->check_pte_fetch(pte_addr, entry, &vcost);
       res.cycles += vcost;
+      res.verify_cycles += vcost;
       if (!pass) {
         res.fault = isa::access_fault_for(type);
         ptw_verify_denied_.add();

@@ -26,6 +26,9 @@ struct TranslateResult {
   unsigned level = 0;
   bool tlb_hit = false;
   Cycles cycles = 0;  ///< PTW + PTE-fetch cycles charged to this translation.
+  /// Portion of `cycles` charged by the walk-time verifier (PTAuth MAC
+  /// checks); the profiler carves it out as a "ptw_verify" child frame.
+  Cycles verify_cycles = 0;
   /// The walk consumed at least one PTE from outside every PMP S=1 region.
   /// Always false on a TLB hit. This is the observable for ptmc's P1
   /// ("PTW never fetches a PTE outside the secure region") when the satp.S

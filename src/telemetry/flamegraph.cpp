@@ -1,0 +1,181 @@
+#include "telemetry/flamegraph.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace ptstore::telemetry {
+
+namespace {
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// FNV-1a over the frame name: the same function gets the same color in
+/// every graph, and the SVG is a pure function of the profile.
+u32 name_hash(std::string_view s) {
+  u32 h = 2166136261u;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Classic flamegraph warm palette, driven by the hash instead of rand().
+void frame_color(std::string_view name, u32* r, u32* g, u32* b) {
+  const u32 h = name_hash(name);
+  *r = 205 + h % 50;
+  *g = (h >> 8) % 230;
+  *b = (h >> 16) % 55;
+}
+
+struct FlameNode {
+  u64 self = 0;
+  u64 total = 0;
+  std::map<std::string, FlameNode> children;  ///< Ordered: deterministic x.
+};
+
+u64 finalize_totals(FlameNode& n) {
+  n.total = n.self;
+  for (auto& [name, child] : n.children) n.total += finalize_totals(child);
+  return n.total;
+}
+
+size_t max_depth(const FlameNode& n) {
+  size_t d = 0;
+  for (const auto& [name, child] : n.children) {
+    const size_t cd = 1 + max_depth(child);
+    if (cd > d) d = cd;
+  }
+  return d;
+}
+
+struct Emitter {
+  std::ostream& os;
+  const FlamegraphOptions& opts;
+  double px_per_cycle = 0;
+  u64 root_total = 0;
+  u32 svg_height = 0;
+
+  void emit(const FlameNode& n, const std::string& name,
+            const std::string& stack, u64 offset_cycles, size_t depth) {
+    const double x = static_cast<double>(offset_cycles) * px_per_cycle;
+    const double w = static_cast<double>(n.total) * px_per_cycle;
+    if (w >= opts.min_width_px && !name.empty()) {
+      // Root sits at the bottom; children stack upward.
+      const u32 y = svg_height - 24 -
+                    static_cast<u32>(depth) * opts.frame_height_px -
+                    opts.frame_height_px;
+      u32 r = 0, g = 0, b = 0;
+      frame_color(name, &r, &g, &b);
+      const double pct = root_total == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(n.total) /
+                                   static_cast<double>(root_total);
+      char buf[128];
+      os << "<g>\n<title>" << xml_escape(stack);
+      std::snprintf(buf, sizeof buf, "\n%llu cycles (%.2f%%)</title>\n",
+                    static_cast<unsigned long long>(n.total), pct);
+      os << buf;
+      std::snprintf(buf, sizeof buf,
+                    "<rect x=\"%.1f\" y=\"%u\" width=\"%.1f\" height=\"%u\" "
+                    "fill=\"rgb(%u,%u,%u)\" rx=\"1\"/>\n",
+                    x, y, w < 1.0 ? 1.0 : w, opts.frame_height_px - 1, r, g, b);
+      os << buf;
+      // Label only when it has room; ~6.5px per character at 11px font.
+      const size_t fit = w < 20.0 ? 0 : static_cast<size_t>((w - 6.0) / 6.5);
+      if (fit >= 3) {
+        std::string label = name;
+        if (label.size() > fit) label = label.substr(0, fit - 2) + "..";
+        std::snprintf(buf, sizeof buf, "<text x=\"%.1f\" y=\"%u\">", x + 3.0,
+                      y + opts.frame_height_px - 5);
+        os << buf << xml_escape(label) << "</text>\n";
+      }
+      os << "</g>\n";
+    }
+    u64 child_offset = offset_cycles + n.self;
+    for (const auto& [cname, child] : n.children) {
+      emit(child, cname, stack.empty() ? cname : stack + ";" + cname,
+           child_offset, name.empty() ? depth : depth + 1);
+      child_offset += child.total;
+    }
+  }
+};
+
+}  // namespace
+
+void write_flamegraph_svg(std::ostream& os, const FoldedProfile& profile,
+                          const FlamegraphOptions& opts) {
+  // Rebuild the frame tree from the folded keys.
+  FlameNode root;
+  for (const auto& [key, entry] : profile.stacks) {
+    FlameNode* cur = &root;
+    size_t pos = 0;
+    while (pos <= key.size()) {
+      const size_t semi = key.find(';', pos);
+      const std::string frame = semi == std::string::npos
+                                    ? key.substr(pos)
+                                    : key.substr(pos, semi - pos);
+      cur = &cur->children[frame];
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+    cur->self += entry.cycles;
+  }
+  finalize_totals(root);
+
+  const size_t depth = max_depth(root);
+  const u32 height =
+      static_cast<u32>(depth) * opts.frame_height_px + 24 /* title */ +
+      24 /* footer */;
+  Emitter em{os, opts, 0.0, root.total, height};
+  em.px_per_cycle = root.total == 0
+                        ? 0.0
+                        : static_cast<double>(opts.width_px) /
+                              static_cast<double>(root.total);
+
+  os << "<?xml version=\"1.0\" standalone=\"no\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width_px
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << opts.width_px << " "
+     << height << "\">\n"
+     << "<style>text { font-family: monospace; font-size: 11px; fill: #111; }"
+     << " rect { stroke: #fff; stroke-width: 0.4; }</style>\n"
+     << "<rect x=\"0\" y=\"0\" width=\"" << opts.width_px << "\" height=\""
+     << height << "\" fill=\"#f8f8f8\" stroke=\"none\"/>\n"
+     << "<text x=\"4\" y=\"14\" style=\"font-size:13px\">"
+     << xml_escape(opts.title) << "</text>\n";
+  em.emit(root, "", "", 0, 0);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"4\" y=\"%u\">%llu cycles total, %zu stacks"
+                "%s</text>\n",
+                height - 8,
+                static_cast<unsigned long long>(profile.total_cycles),
+                profile.stacks.size(),
+                profile.truncated_frames != 0 ? " (depth-truncated)" : "");
+  os << buf << "</svg>\n";
+}
+
+std::string flamegraph_svg(const FoldedProfile& profile,
+                           const FlamegraphOptions& opts) {
+  std::ostringstream os;
+  write_flamegraph_svg(os, profile, opts);
+  return os.str();
+}
+
+}  // namespace ptstore::telemetry

@@ -1,0 +1,33 @@
+// Self-contained SVG flamegraph renderer over a FoldedProfile — no
+// JavaScript, no external tooling: every <rect> carries a <title> tooltip
+// with the full stack, cycle count, and percentage, so the file is useful
+// in any browser or image viewer. Frame colors are a deterministic hash of
+// the frame name (same function -> same color across graphs and runs, and
+// the SVG bytes are a pure function of the profile — diffable in CI).
+//
+// The folded text form (write_folded) stays flamegraph.pl-compatible for
+// anyone who prefers the classic toolchain.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/profile.h"
+
+namespace ptstore::telemetry {
+
+struct FlamegraphOptions {
+  std::string title = "ptstore flamegraph";
+  u32 width_px = 1200;
+  u32 frame_height_px = 16;
+  /// Frames narrower than this many pixels are still emitted (1px minimum)
+  /// so the graph always accounts for 100% of the cycles.
+  double min_width_px = 0.1;
+};
+
+void write_flamegraph_svg(std::ostream& os, const FoldedProfile& profile,
+                          const FlamegraphOptions& opts = {});
+std::string flamegraph_svg(const FoldedProfile& profile,
+                           const FlamegraphOptions& opts = {});
+
+}  // namespace ptstore::telemetry

@@ -85,6 +85,12 @@ JsonWriter& JsonWriter::value(u64 v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_i64(i64 v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(double d) {
   separate();
   if (!std::isfinite(d)) {

@@ -34,6 +34,7 @@ class JsonWriter {
   JsonWriter& value(std::string_view s);
   JsonWriter& value(const char* s) { return value(std::string_view(s)); }
   JsonWriter& value(u64 v);
+  JsonWriter& value_i64(i64 v);
   JsonWriter& value(int v) { return value(static_cast<u64>(v < 0 ? 0 : v)); }
   JsonWriter& value(double d);
   JsonWriter& value(bool b);

@@ -1,11 +1,27 @@
 #include "telemetry/report.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
 namespace ptstore::telemetry {
+
+std::vector<std::pair<std::string, u64>> top_counters(const BenchReport& report,
+                                                      size_t top_n) {
+  std::vector<std::pair<std::string, u64>> rows(report.counters.begin(),
+                                                report.counters.end());
+  // The source map is name-ordered, so a stable sort on value alone already
+  // breaks ties by name; the explicit tie-break keeps that guarantee even if
+  // a caller ever feeds rows from an unordered source.
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top_n != 0 && rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
 
 void write_bench_report(std::ostream& os, const BenchReport& report) {
   const MetricsRegistry& reg = MetricsRegistry::instance();

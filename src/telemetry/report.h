@@ -71,4 +71,10 @@ struct BenchReport {
 void write_bench_report(std::ostream& os, const BenchReport& report);
 std::string bench_report_json(const BenchReport& report);
 
+/// The report's counters ranked value-descending, name-ascending under ties
+/// — a total order, so top-N listings are identical across runs even when
+/// counters tie. `top_n == 0` keeps every row.
+std::vector<std::pair<std::string, u64>> top_counters(const BenchReport& report,
+                                                      size_t top_n);
+
 }  // namespace ptstore::telemetry

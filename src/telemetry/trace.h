@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "telemetry/profile.h"
 
 namespace ptstore::telemetry {
 
@@ -139,20 +140,30 @@ void disable_tracing();
 
 /// RAII span over any clock-bearing object with cycles()/instret()/priv()
 /// (Core and Kernel-adjacent components). No-op while tracing is disabled.
+/// When a call-stack profiler is active on this thread (profile.h), the
+/// span doubles as a profile frame, so every instrumented kernel path shows
+/// up in flamegraphs without separate markers.
 template <typename ClockT>
 class ScopedSpan {
  public:
   ScopedSpan(ClockT& clock, Subsystem sub, const char* name, u64 arg = 0)
-      : clock_(clock), ring_(tracing()), sub_(sub), name_(name) {
+      : clock_(clock), ring_(tracing()), prof_(profiling()), sub_(sub),
+        name_(name) {
     if (ring_ != nullptr) {
       ring_->begin(sub_, name_, clock_.cycles(), clock_.instret(),
                    static_cast<u8>(clock_.priv()), arg);
+    }
+    if (prof_ != nullptr) {
+      prof_->push(name_, clock_.cycles(), static_cast<u8>(clock_.priv()));
     }
   }
   ~ScopedSpan() {
     if (ring_ != nullptr) {
       ring_->end(sub_, name_, clock_.cycles(), clock_.instret(),
                  static_cast<u8>(clock_.priv()));
+    }
+    if (prof_ != nullptr) {
+      prof_->pop(clock_.cycles(), static_cast<u8>(clock_.priv()));
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -161,6 +172,7 @@ class ScopedSpan {
  private:
   ClockT& clock_;
   EventRing* ring_;
+  Profiler* prof_;
   Subsystem sub_;
   const char* name_;
 };

@@ -73,8 +73,12 @@ std::string render_profile(const CycleProfile& prof) {
   for (size_t i = 0; i < kSubsystemCount; ++i) {
     rows.push_back(Row{static_cast<Subsystem>(i), prof.self_cycles[i]});
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.cycles > b.cycles; });
+  // Tie-break on the subsystem id: std::sort is unstable, so equal-cycle
+  // subsystems would otherwise swap between runs of an identical simulation.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    return a.sub < b.sub;
+  });
 
   const double total =
       prof.total_cycles == 0 ? 1.0 : static_cast<double>(prof.total_cycles);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "telemetry/trace_export.h"
 
@@ -98,8 +99,14 @@ Cycles run_on(SystemConfig cfg, const WorkloadFn& fn, const char* config_label) 
   // Boot-time events stay outside the session: attribution covers exactly
   // the measured interval, so the profile total matches the cycle delta.
   telemetry::EventRing* tr = telemetry::tracing();
+  telemetry::Profiler* pf = telemetry::profiling();
   if (tr != nullptr) tr->session_begin(before);
+  if (pf != nullptr) {
+    pf->session_begin(config_label[0] != '\0' ? config_label : "run", before,
+                      static_cast<u8>(s.core().priv()));
+  }
   fn(s);
+  if (pf != nullptr) pf->session_end(s.cycles());
   if (tr != nullptr) tr->session_end(s.cycles());
   g_instructions += s.core().instret() - instret_before;
   if (g_collector.enabled) capture_run(config_label, s);
@@ -180,6 +187,21 @@ telemetry::BenchReport build_report(const std::string& workload) {
     rep.measurements.push_back(std::move(row));
   }
   rep.counters = g_collector.counters;
+  // Truncated traces/profiles are self-announcing: when the observers are
+  // active, their loss counters ride along in the report.
+  if (telemetry::EventRing* tr = telemetry::tracing()) {
+    telemetry::MetricsRegistry::instance().intern(
+        "telemetry.trace_dropped",
+        "trace events lost to EventRing capacity (0 = complete trace)",
+        "events");
+    rep.counters["telemetry.trace_dropped"] = tr->dropped();
+  }
+  if (telemetry::Profiler* pf = telemetry::profiling()) {
+    telemetry::MetricsRegistry::instance().intern(
+        "telemetry.profile_truncated",
+        "profile frames dropped at the shadow-stack depth cap", "frames");
+    rep.counters["telemetry.profile_truncated"] = pf->truncated_frames();
+  }
   for (const auto& [sys, hist] : g_collector.latency) {
     telemetry::HistogramSummary s;
     s.count = hist.count();
@@ -222,6 +244,7 @@ std::vector<std::string> WorkloadRegistry::names() const {
 int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -230,6 +253,10 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(10);
     } else if (arg == "--jobs" && i + 1 < argc) {
       g_fleet.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else if (arg == "--shards" && i + 1 < argc) {
@@ -255,14 +282,15 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json <path>] [--trace <path>] "
-                   "[--jobs N] [--shards N] [--campaign-seed N] "
-                   "[--backend NAME]\n",
+                   "[--profile <path>] [--jobs N] [--shards N] "
+                   "[--campaign-seed N] [--backend NAME]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!json_path.empty()) collect_report(true);
   if (!trace_path.empty()) telemetry::enable_tracing();
+  if (!profile_path.empty()) telemetry::enable_profiling();
 
   header(w->title());
   const auto t0 = std::chrono::steady_clock::now();
@@ -300,6 +328,17 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
     std::printf("[%s] Chrome trace -> %s\n", w->name().c_str(),
                 trace_path.c_str());
     telemetry::disable_tracing();
+  }
+  if (!profile_path.empty()) {
+    std::ofstream os(profile_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", profile_path.c_str());
+      return 2;
+    }
+    telemetry::write_profile_json(os, telemetry::profiling()->snapshot());
+    std::printf("[%s] call-stack profile -> %s (render: ptprof flame %s)\n",
+                w->name().c_str(), profile_path.c_str(), profile_path.c_str());
+    telemetry::disable_profiling();
   }
 
   // Smoke runs exist to prove the bench builds and executes (briefly, e.g.

@@ -1,6 +1,7 @@
 #include "workloads/usercode.h"
 
 #include "isa/assembler.h"
+#include "telemetry/profile.h"
 
 namespace ptstore::workloads {
 
@@ -12,9 +13,18 @@ using isa::Reg;
 // A self-contained xorshift-style mixing loop: straight-line ALU work plus
 // one store/load pair per iteration, closed by a backward jump. Never
 // exits — every slice is cut by the run_slice instruction budget.
-std::vector<u32> compute_loop(VirtAddr entry) {
+//
+// The loop body is entered by one `jal ra` from the prologue so it is a
+// *function* under the link-register convention: the call-stack profiler
+// names all user compute time "user_compute" instead of leaving it in the
+// "[U]" pseudo-root. `fn_entry` returns the body's address for symbol
+// registration.
+std::vector<u32> compute_loop(VirtAddr entry, VirtAddr* fn_entry) {
   Assembler p(entry);
   p.li(Reg::kSp, GuestRunner::kStackTop - 256);
+  const Assembler::Label fn = p.make_label();
+  p.jal(Reg::kRa, fn);  // Never returns; slices are budget-cut.
+  p.bind(fn);
   p.li(Reg::kT0, 0x9e3779b97f4a7c15);  // Mix state.
   p.li(Reg::kT1, 0);                   // Iteration counter.
   const Assembler::Label loop = p.make_label();
@@ -29,7 +39,9 @@ std::vector<u32> compute_loop(VirtAddr entry) {
   p.ld(Reg::kT3, Reg::kSp, 0);
   p.add(Reg::kT0, Reg::kT0, Reg::kT3);
   p.jal(Reg::kZero, loop);
-  return p.finish();
+  std::vector<u32> words = p.finish();
+  if (fn_entry != nullptr) *fn_entry = *p.label_address(fn);
+  return words;
 }
 
 }  // namespace
@@ -37,7 +49,13 @@ std::vector<u32> compute_loop(VirtAddr entry) {
 u64 UserCompute::run(Process& proc, u64 budget) {
   if (budget == 0) return 0;
   if (loaded_.count(proc.pid) == 0) {
-    if (!runner_.load_program(proc, kEntry, compute_loop(kEntry))) return 0;
+    VirtAddr fn_entry = 0;
+    if (!runner_.load_program(proc, kEntry, compute_loop(kEntry, &fn_entry))) {
+      return 0;
+    }
+    if (telemetry::Profiler* pf = telemetry::profiling()) {
+      pf->add_symbol(fn_entry, "user_compute");
+    }
     loaded_.insert(proc.pid);
   }
   const GuestResult r = runner_.run_slice(proc, kEntry, budget);

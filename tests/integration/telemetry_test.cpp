@@ -1,9 +1,11 @@
-// Telemetry end-to-end: tracing must be a pure observer (simulated timing
-// bit-identical on vs off), the cycle-attribution profile must sum exactly
-// to the bracketed session cycles, the Chrome trace must parse with
-// correctly nested spans (trap inside syscall, PTW inside trap), and the
-// --json report path must meet the acceptance bar (>= 20 named counters,
-// per-syscall percentiles).
+// Telemetry end-to-end: tracing and call-stack profiling must be pure
+// observers (simulated timing bit-identical on vs off), the cycle
+// attributions must sum exactly to the bracketed session cycles, the Chrome
+// trace must parse with correctly nested spans (trap inside syscall, PTW
+// inside trap), the guest shadow stack must symbolize real user code, the
+// backend diff must attribute >= 90% of ptauth's overhead to named
+// functions, and the --json report path must meet the acceptance bar
+// (>= 20 named counters, per-syscall percentiles).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -11,9 +13,11 @@
 
 #include "mmu/pte.h"
 #include "telemetry/json.h"
+#include "telemetry/profile.h"
 #include "telemetry/trace.h"
 #include "telemetry/trace_export.h"
 #include "workloads/runner.h"
+#include "workloads/usercode.h"
 
 namespace ptstore::workloads {
 namespace {
@@ -41,7 +45,9 @@ class TelemetryTest : public ::testing::Test {
  protected:
   void TearDown() override {
     telemetry::disable_tracing();
+    telemetry::disable_profiling();
     collect_report(false);
+    set_backend_override(std::nullopt);
   }
 };
 
@@ -55,6 +61,94 @@ TEST_F(TelemetryTest, TracingDoesNotPerturbSimulatedTiming) {
   const Cycles on_again = run_on(cfg, busy_body);
   EXPECT_EQ(off, on) << "tracing perturbed simulated timing";
   EXPECT_EQ(on, on_again) << "tracing made timing nondeterministic";
+}
+
+TEST_F(TelemetryTest, ProfilingDoesNotPerturbSimulatedTiming) {
+  // The PR's gate: the call-stack profiler is a pure observer. Same body,
+  // profiler off / on / on together with tracing — bit-identical cycles.
+  telemetry::disable_tracing();
+  telemetry::disable_profiling();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  const Cycles off = run_on(cfg, busy_body);
+
+  telemetry::enable_profiling();
+  const Cycles on = run_on(cfg, busy_body);
+
+  telemetry::enable_tracing();
+  telemetry::enable_profiling();
+  const Cycles both = run_on(cfg, busy_body);
+
+  EXPECT_EQ(off, on) << "profiling perturbed simulated timing";
+  EXPECT_EQ(off, both) << "profiling+tracing perturbed simulated timing";
+}
+
+TEST_F(TelemetryTest, ProfilerSelfCyclesSumToSessionTotal) {
+  telemetry::enable_profiling();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  const Cycles measured = run_on(cfg, busy_body, "cfi_ptstore");
+  const telemetry::FoldedProfile p = telemetry::profiling()->snapshot();
+
+  EXPECT_EQ(p.total_cycles, measured);
+  u64 folded_sum = 0;
+  for (const auto& [stack, e] : p.stacks) folded_sum += e.cycles;
+  EXPECT_EQ(folded_sum, p.total_cycles)
+      << "per-stack self cycles must sum exactly to the session total";
+  // The body's hot paths show up as named kernel frames.
+  const auto rows = telemetry::function_table(p);
+  bool saw_named_kernel_frame = false;
+  for (const auto& r : rows) {
+    if (!telemetry::is_unattributed_frame(r.name)) saw_named_kernel_frame = true;
+  }
+  EXPECT_TRUE(saw_named_kernel_frame);
+}
+
+TEST_F(TelemetryTest, GuestShadowStackSymbolizesUserCode) {
+  telemetry::enable_profiling();
+  SystemConfig cfg = SystemConfig::cfi_ptstore();
+  cfg.dram_size = MiB(256);
+  run_on(cfg, [](System& sys) {
+    UserCompute uc(sys);
+    ASSERT_GT(uc.run(sys.init(), 20000), 0u);
+  });
+  const telemetry::FoldedProfile p = telemetry::profiling()->snapshot();
+
+  // The compute loop is entered by one `jal ra`, so the guest shadow stack
+  // must carry a symbolized user_compute frame under the [U] pseudo-root.
+  u64 user_compute_cycles = 0;
+  for (const auto& [stack, e] : p.stacks) {
+    if (stack.find(";[U];user_compute") != std::string::npos) {
+      user_compute_cycles += e.cycles;
+    }
+  }
+  EXPECT_GT(user_compute_cycles, 0u)
+      << "guest call at retire did not symbolize; profile:\n"
+      << telemetry::render_function_table(p, 10);
+}
+
+TEST_F(TelemetryTest, BackendDiffAttributionMeetsBar) {
+  // The §VI methodology gate at unit scale: run the same body under the
+  // stock and ptauth backends, diff the profiles, and require >= 90% of the
+  // cycle delta to land in named functions (the mediation markers:
+  // ptauth.mac_sign / ptauth.mac_verify / ptw / pt_write_mediate / spans).
+  const auto profile_backend = [](BackendKind k) {
+    telemetry::enable_profiling();
+    SystemConfig cfg = SystemConfig::for_backend(k);
+    cfg.dram_size = MiB(256);
+    run_on(cfg, busy_body, "be");
+    telemetry::FoldedProfile p =
+        telemetry::profiling()->snapshot().filter_label("be");
+    telemetry::disable_profiling();
+    return p;
+  };
+  const telemetry::FoldedProfile stock = profile_backend(BackendKind::kStock);
+  const telemetry::FoldedProfile ptauth = profile_backend(BackendKind::kPtauth);
+
+  const telemetry::ProfileDiff d = telemetry::diff_profiles(stock, ptauth);
+  EXPECT_GT(d.total_delta, 0) << "ptauth should cost cycles over stock";
+  EXPECT_GE(d.attributed_pct, 90.0)
+      << telemetry::render_diff(d, "stock", "ptauth", 20);
 }
 
 TEST_F(TelemetryTest, ProfileAttributionSumsToSessionCycles) {

@@ -1,0 +1,49 @@
+# Jobs-invariance gate for the fleet profile merge: a 64-shard proto
+# campaign's merged call-stack profile must be byte-identical whether the
+# shards ran on one worker or eight. The merge is a sum over an ordered
+# folded-stack map, so any ordering sensitivity (racy attribution, shard
+# state bleeding across workers) shows up as a byte diff here.
+#
+# Invoked by ctest as:
+#   cmake -DPTCAMPAIGN=<path> -DWORK_DIR=<dir> -P profile_jobs_invariance.cmake
+if(NOT DEFINED PTCAMPAIGN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DPTCAMPAIGN=... -DWORK_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(profile_serial "${WORK_DIR}/profile_jobs1.json")
+set(profile_pooled "${WORK_DIR}/profile_jobs8.json")
+
+foreach(run IN ITEMS serial pooled)
+  if(run STREQUAL "serial")
+    set(jobs 1)
+    set(out "${profile_serial}")
+  else()
+    set(jobs 8)
+    set(out "${profile_pooled}")
+  endif()
+  execute_process(
+    COMMAND "${PTCAMPAIGN}" proto --shards 64 --ops 96 --jobs ${jobs}
+            --profile "${out}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE log
+    ERROR_VARIABLE log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ptcampaign --jobs ${jobs} exited ${rc}:\n${log}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${profile_serial}" "${profile_pooled}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "merged campaign profiles differ between --jobs 1 and --jobs 8:\n"
+    "  ${profile_serial}\n  ${profile_pooled}")
+endif()
+
+file(SIZE "${profile_serial}" profile_bytes)
+if(profile_bytes LESS 64)
+  message(FATAL_ERROR "merged profile suspiciously small (${profile_bytes} bytes) — did shards profile at all?")
+endif()
+message(STATUS "64-shard merged profile byte-identical across --jobs 1 / --jobs 8 (${profile_bytes} bytes)")

@@ -93,5 +93,28 @@ TEST(BenchReportWriter, EmptyReportStillParses) {
   EXPECT_TRUE(doc->find("histograms")->is_object());
 }
 
+
+TEST(TopCounters, TiedValuesOrderByNameDeterministically) {
+  BenchReport rep;
+  // Three-way tie plus a unique maximum: the ranking must be a total order
+  // (value descending, name ascending), not whatever the sort left behind.
+  rep.counters["zeta.count"] = 50;
+  rep.counters["alpha.count"] = 50;
+  rep.counters["mid.count"] = 50;
+  rep.counters["top.count"] = 99;
+  rep.counters["low.count"] = 1;
+
+  const auto rows = top_counters(rep, 4);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].first, "top.count");
+  EXPECT_EQ(rows[1].first, "alpha.count");
+  EXPECT_EQ(rows[2].first, "mid.count");
+  EXPECT_EQ(rows[3].first, "zeta.count");
+
+  // top_n == 0 keeps everything; repeated calls agree byte-for-byte.
+  EXPECT_EQ(top_counters(rep, 0).size(), rep.counters.size());
+  EXPECT_EQ(top_counters(rep, 4), rows);
+}
+
 }  // namespace
 }  // namespace ptstore::telemetry

@@ -1,8 +1,8 @@
 // ptcampaign: drive a randomized fleet campaign from the command line.
 //
 //   ptcampaign [proto|diff|attack] [--seed N] [--shards N] [--jobs N]
-//              [--ops N] [--json <path>] [--with-timing] [--sabotage]
-//              [--no-minimize]
+//              [--ops N] [--json <path>] [--profile <path>] [--with-timing]
+//              [--sabotage] [--no-minimize]
 //
 // Boots one master machine, checkpoints it, forks every shard from the
 // checkpoint (kernel boot runs once regardless of shard count), and runs
@@ -16,6 +16,9 @@
 // wall-clock block plus the boot-amortization speedup of checkpoint forking.
 // --sabotage injects a deliberate off-by-one into the diff oracle's
 // reference model — the known-bad-seed path used to exercise reproducers.
+// --profile captures a per-shard call-stack profile and writes the merged
+// (sum-by-stack, also jobs-invariant) profile as ptstore.profile.v1 JSON —
+// feed it to `ptprof flame` / `ptprof profile`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +37,9 @@ int usage(const char* argv0, int rc) {
   std::fprintf(stderr,
                "usage: %s [proto|diff|attack] [--seed N] [--shards N] "
                "[--jobs N]\n"
-               "       %*s [--ops N] [--json <path>] [--with-timing] "
-               "[--sabotage] [--stock] [--backend NAME] [--no-minimize]\n",
+               "       %*s [--ops N] [--json <path>] [--profile <path>] "
+               "[--with-timing] [--sabotage] [--stock] [--backend NAME] "
+               "[--no-minimize]\n",
                argv0, static_cast<int>(std::strlen(argv0)), "");
   return rc;
 }
@@ -55,6 +59,7 @@ void print_repro(const ShardOutcome& s) {
 int main(int argc, char** argv) {
   CampaignSpec spec;
   std::string json_path;
+  std::string profile_path;
   bool with_timing = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +77,12 @@ int main(int argc, char** argv) {
       spec.diff.op_count = spec.ops_per_shard;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
+      spec.profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(10);
+      spec.profile = true;
     } else if (arg == "--with-timing") {
       with_timing = true;
     } else if (arg == "--sabotage") {
@@ -137,6 +148,18 @@ int main(int argc, char** argv) {
     write_campaign_report(os, r, with_timing);
     std::printf("JSON report -> %s%s\n", json_path.c_str(),
                 with_timing ? "" : " (timing omitted: deterministic form)");
+  }
+
+  if (!profile_path.empty()) {
+    std::ofstream os(profile_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", profile_path.c_str());
+      return 2;
+    }
+    telemetry::write_profile_json(os, r.profile);
+    std::printf("merged call-stack profile -> %s (%zu stacks, %llu cycles)\n",
+                profile_path.c_str(), r.profile.stacks.size(),
+                static_cast<unsigned long long>(r.profile.total_cycles));
   }
 
   return r.failures > 125 ? 125 : static_cast<int>(r.failures);

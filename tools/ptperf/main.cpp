@@ -10,7 +10,6 @@
 // cycles of the bracketed sessions. --json writes the same BenchReport the
 // bench drivers emit under --json; --trace writes a Chrome trace_event dump
 // viewable in chrome://tracing or ui.perfetto.dev.
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,11 +37,8 @@ int usage(const char* argv0, int rc) {
 }
 
 void print_top_counters(const telemetry::BenchReport& rep, size_t top_n) {
-  std::vector<std::pair<std::string, u64>> rows(rep.counters.begin(),
-                                                rep.counters.end());
-  std::stable_sort(rows.begin(), rows.end(),
-                   [](const auto& a, const auto& b) { return a.second > b.second; });
-  if (rows.size() > top_n) rows.resize(top_n);
+  const std::vector<std::pair<std::string, u64>> rows =
+      telemetry::top_counters(rep, top_n);
   std::printf("\ntop %zu counters (cfi_ptstore configuration):\n", rows.size());
   for (const auto& [name, value] : rows) {
     std::printf("  %-32s %14llu\n", name.c_str(),

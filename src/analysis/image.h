@@ -27,12 +27,20 @@ struct Image {
   u64 end() const { return base + 4 * words.size(); }
   u64 size_bytes() const { return 4 * words.size(); }
 
-  /// True if `pc` names an instruction slot of this image.
+  /// True if `pc` names an instruction slot of this image. Phrased as an
+  /// offset comparison so addresses near the top of the address space
+  /// cannot wrap `pc + 4` back into range.
   bool contains(u64 pc) const {
-    return pc >= base && pc + 4 <= end() && ((pc - base) & 3) == 0;
+    return pc >= base && pc - base < size_bytes() && ((pc - base) & 3) == 0;
   }
 
-  isa::Inst inst_at(u64 pc) const { return isa::decode(words[(pc - base) / 4]); }
+  /// Decode the instruction at `pc`; out-of-image or misaligned addresses
+  /// yield Op::kIllegal instead of undefined behaviour, so callers fuzzing
+  /// arbitrary pcs get a graceful diagnostic.
+  isa::Inst inst_at(u64 pc) const {
+    if (!contains(pc)) return isa::Inst{};
+    return isa::decode(words[(pc - base) / 4]);
+  }
 
   /// "symbol+0x18"-style location for diagnostics; falls back to
   /// "entry+offset" when no symbol precedes `pc`.

@@ -1,5 +1,6 @@
 #include "analysis/sarif.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -74,7 +75,21 @@ struct SarifResult {
   bool violation;
   const std::string* message;
   u64 pc;
+  /// ptsym refinement for this violation, when the caller ran one.
+  const symexec::SymVerdict* verdict = nullptr;
 };
+
+/// Pair verdicts (parallel to rep.violations() order) with their diags.
+template <typename Report>
+std::map<const void*, const symexec::SymVerdict*> verdict_map(
+    const Report& rep, const std::vector<symexec::SymVerdict>* verdicts) {
+  std::map<const void*, const symexec::SymVerdict*> m;
+  if (verdicts == nullptr) return m;
+  const auto viol = rep.violations();
+  for (size_t i = 0; i < viol.size() && i < verdicts->size(); ++i)
+    m[viol[i]] = &(*verdicts)[i];
+  return m;
+}
 
 struct SarifRule {
   const char* id;
@@ -139,7 +154,16 @@ std::string render(const char* driver_name, const std::vector<SarifRule>& rules,
     w.key("region").begin_object().kv("startLine", static_cast<u64>(1)).end_object();
     w.end_object();  // physicalLocation
     w.end_object().end_array();  // locations
-    w.key("properties").begin_object().kv("pc", pc.str()).end_object();
+    w.key("properties").begin_object().kv("pc", pc.str());
+    if (r.verdict != nullptr) {
+      w.kv("ptsymVerdict", symexec::verdict_name(r.verdict->verdict));
+      w.kv("ptsymDetail", r.verdict->detail);
+      w.kv("ptsymPaths", static_cast<u64>(r.verdict->paths_explored));
+      w.kv("ptsymDepth", static_cast<u64>(r.verdict->depth_bound));
+      if (r.verdict->witness)
+        w.kv("ptsymWitnessSteps", r.verdict->witness->depth());
+    }
+    w.end_object();  // properties
     w.end_object();  // result
   }
   w.end_array();   // results
@@ -167,31 +191,39 @@ const char* sarif_rule_id(FlowDiagKind k) {
   return i < kNumFlowKinds ? kIds[i] : "PTF100";
 }
 
-std::string to_sarif(const LintReport& rep, const std::string& artifact_uri) {
+std::string to_sarif(const LintReport& rep, const std::string& artifact_uri,
+                     const std::vector<symexec::SymVerdict>* verdicts) {
   std::vector<SarifRule> rules;
   for (unsigned i = 0; i < kNumLintKinds; ++i) {
     const auto k = static_cast<DiagKind>(i);
     rules.push_back({sarif_rule_id(k), diag_kind_name(k), rule_description(k)});
   }
+  const auto vmap = verdict_map(rep, verdicts);
   std::vector<SarifResult> results;
   for (const Diag& d : rep.diags) {
+    const auto it = vmap.find(&d);
     results.push_back({sarif_rule_id(d.kind), kind_index(d.kind),
-                       d.sev == Severity::kViolation, &d.message, d.pc});
+                       d.sev == Severity::kViolation, &d.message, d.pc,
+                       it == vmap.end() ? nullptr : it->second});
   }
   return render("ptlint", rules, results, artifact_uri);
 }
 
-std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri) {
+std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri,
+                     const std::vector<symexec::SymVerdict>* verdicts) {
   std::vector<SarifRule> rules;
   for (unsigned i = 0; i < kNumFlowKinds; ++i) {
     const auto k = static_cast<FlowDiagKind>(i);
     rules.push_back(
         {sarif_rule_id(k), flow_diag_kind_name(k), rule_description(k)});
   }
+  const auto vmap = verdict_map(rep, verdicts);
   std::vector<SarifResult> results;
   for (const FlowDiag& d : rep.diags) {
+    const auto it = vmap.find(&d);
     results.push_back({sarif_rule_id(d.kind), kind_index(d.kind),
-                       d.sev == Severity::kViolation, &d.message, d.pc});
+                       d.sev == Severity::kViolation, &d.message, d.pc,
+                       it == vmap.end() ? nullptr : it->second});
   }
   return render("ptflow", rules, results, artifact_uri);
 }

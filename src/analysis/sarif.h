@@ -12,9 +12,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "analysis/ptflow.h"
 #include "analysis/ptlint.h"
+#include "analysis/symexec/witness.h"
 
 namespace ptstore::analysis {
 
@@ -25,7 +27,16 @@ const char* sarif_rule_id(FlowDiagKind k);
 
 /// Render `rep` as a complete SARIF 2.1.0 document. `artifact_uri` names
 /// the analysed image (file path or pseudo-URI like "corpus:r1_store").
-std::string to_sarif(const LintReport& rep, const std::string& artifact_uri);
-std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri);
+///
+/// `verdicts`, when non-null, must be parallel to rep.violations() order
+/// (what symexec_lint/symexec_flow return); each violation result then
+/// carries its ptsym refinement in properties (ptsymVerdict, ptsymDetail,
+/// ptsymPaths, ptsymDepth, and ptsymWitnessSteps for witnessed ones).
+/// Passing nullptr — or calling the two-argument form — produces a
+/// byte-identical document to the pre-ptsym exporter.
+std::string to_sarif(const LintReport& rep, const std::string& artifact_uri,
+                     const std::vector<symexec::SymVerdict>* verdicts = nullptr);
+std::string to_sarif(const FlowReport& rep, const std::string& artifact_uri,
+                     const std::vector<symexec::SymVerdict>* verdicts = nullptr);
 
 }  // namespace ptstore::analysis

@@ -1,0 +1,217 @@
+#include "analysis/symexec/expr.h"
+
+#include <sstream>
+
+namespace ptstore::analysis::symexec {
+
+namespace {
+
+u64 apply_binary(ExprOp op, u64 a, u64 b) {
+  switch (op) {
+    case ExprOp::kAdd: return a + b;
+    case ExprOp::kSub: return a - b;
+    case ExprOp::kAnd: return a & b;
+    case ExprOp::kOr: return a | b;
+    case ExprOp::kXor: return a ^ b;
+    case ExprOp::kShl: return a << (b & 63);
+    case ExprOp::kShrl: return a >> (b & 63);
+    case ExprOp::kShra:
+      return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+    case ExprOp::kMul: return a * b;
+    case ExprOp::kEq: return a == b ? 1 : 0;
+    case ExprOp::kNe: return a != b ? 1 : 0;
+    case ExprOp::kLtu: return a < b ? 1 : 0;
+    case ExprOp::kLts:
+      return static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0;
+    default: return 0;
+  }
+}
+
+u64 apply_unary(ExprOp op, u64 a) {
+  if (op == ExprOp::kSextW)
+    return static_cast<u64>(static_cast<i64>(static_cast<i32>(a)));
+  return a;
+}
+
+}  // namespace
+
+const char* expr_op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst: return "const";
+    case ExprOp::kInput: return "input";
+    case ExprOp::kAdd: return "add";
+    case ExprOp::kSub: return "sub";
+    case ExprOp::kAnd: return "and";
+    case ExprOp::kOr: return "or";
+    case ExprOp::kXor: return "xor";
+    case ExprOp::kShl: return "shl";
+    case ExprOp::kShrl: return "shrl";
+    case ExprOp::kShra: return "shra";
+    case ExprOp::kMul: return "mul";
+    case ExprOp::kEq: return "eq";
+    case ExprOp::kNe: return "ne";
+    case ExprOp::kLtu: return "ltu";
+    case ExprOp::kLts: return "lts";
+    case ExprOp::kSextW: return "sextw";
+  }
+  return "?";
+}
+
+ExprId ExprArena::constant(u64 v) {
+  // Small cache for the hot constants (0, immediates reused along a path)
+  // would be nice but ids must stay append-only for PathState copies; a
+  // linear dedup over the last few nodes keeps the arena small enough.
+  const u32 n = static_cast<u32>(nodes_.size());
+  const u32 lookback = n < 32 ? n : 32;
+  for (u32 i = n - lookback; i < n; ++i)
+    if (nodes_[i].op == ExprOp::kConst && nodes_[i].cval == v) return i;
+  ExprNode node;
+  node.op = ExprOp::kConst;
+  node.cval = v;
+  nodes_.push_back(node);
+  return n;
+}
+
+ExprId ExprArena::input(InputOrigin origin, u8 reg, ExprId addr) {
+  InputInfo info;
+  info.origin = origin;
+  info.reg = reg;
+  info.addr = addr;
+  inputs_.push_back(info);
+  ExprNode node;
+  node.op = ExprOp::kInput;
+  node.input = static_cast<InputId>(inputs_.size() - 1);
+  nodes_.push_back(node);
+  return static_cast<ExprId>(nodes_.size() - 1);
+}
+
+ExprId ExprArena::unary(ExprOp op, ExprId a) {
+  if (is_const(a)) return constant(apply_unary(op, const_value(a)));
+  ExprNode node;
+  node.op = op;
+  node.a = a;
+  nodes_.push_back(node);
+  return static_cast<ExprId>(nodes_.size() - 1);
+}
+
+ExprId ExprArena::binary(ExprOp op, ExprId a, ExprId b) {
+  if (is_const(a) && is_const(b))
+    return constant(apply_binary(op, const_value(a), const_value(b)));
+  // x + 0 / x ^ 0 / x | 0 / x << 0 keep chains short (li sequences emit
+  // plenty of identity steps).
+  if (is_const(b) && const_value(b) == 0 &&
+      (op == ExprOp::kAdd || op == ExprOp::kSub || op == ExprOp::kOr ||
+       op == ExprOp::kXor || op == ExprOp::kShl || op == ExprOp::kShrl ||
+       op == ExprOp::kShra))
+    return a;
+  if (is_const(a) && const_value(a) == 0 &&
+      (op == ExprOp::kAdd || op == ExprOp::kOr || op == ExprOp::kXor))
+    return b;
+  ExprNode node;
+  node.op = op;
+  node.a = a;
+  node.b = b;
+  nodes_.push_back(node);
+  return static_cast<ExprId>(nodes_.size() - 1);
+}
+
+u64 ExprArena::eval(ExprId id, const std::vector<u64>& assign) const {
+  // Iterative post-order over an explicit stack; memoised per call. The DAG
+  // is append-only, so child ids are always smaller than parent ids and a
+  // simple forward sweep up to `id` would also work, but most queries touch
+  // a small subgraph — the stack walk only visits reachable nodes.
+  std::vector<u64> memo(id + 1, 0);
+  std::vector<bool> done(id + 1, false);
+  std::vector<ExprId> stack{id};
+  while (!stack.empty()) {
+    const ExprId cur = stack.back();
+    const ExprNode& n = nodes_[cur];
+    if (done[cur]) {
+      stack.pop_back();
+      continue;
+    }
+    if (n.op == ExprOp::kConst) {
+      memo[cur] = n.cval;
+      done[cur] = true;
+      stack.pop_back();
+      continue;
+    }
+    if (n.op == ExprOp::kInput) {
+      memo[cur] = n.input < assign.size() ? assign[n.input] : 0;
+      done[cur] = true;
+      stack.pop_back();
+      continue;
+    }
+    const bool need_a = n.a != kNoExpr && !done[n.a];
+    const bool need_b = n.b != kNoExpr && !done[n.b];
+    if (need_a) stack.push_back(n.a);
+    if (need_b) stack.push_back(n.b);
+    if (need_a || need_b) continue;
+    if (n.b == kNoExpr)
+      memo[cur] = apply_unary(n.op, memo[n.a]);
+    else
+      memo[cur] = apply_binary(n.op, memo[n.a], memo[n.b]);
+    done[cur] = true;
+    stack.pop_back();
+  }
+  return memo[id];
+}
+
+bool ExprArena::depends_on_memory(ExprId id) const {
+  std::vector<ExprId> stack{id};
+  std::vector<bool> seen(id + 1, false);
+  while (!stack.empty()) {
+    const ExprId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    const ExprNode& n = nodes_[cur];
+    if (n.op == ExprOp::kInput &&
+        inputs_[n.input].origin == InputOrigin::kMem)
+      return true;
+    if (n.a != kNoExpr) stack.push_back(n.a);
+    if (n.b != kNoExpr) stack.push_back(n.b);
+  }
+  return false;
+}
+
+void ExprArena::collect_inputs(ExprId id, std::vector<InputId>& out) const {
+  std::vector<ExprId> stack{id};
+  std::vector<bool> seen(id + 1, false);
+  while (!stack.empty()) {
+    const ExprId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    const ExprNode& n = nodes_[cur];
+    if (n.op == ExprOp::kInput) {
+      bool dup = false;
+      for (InputId existing : out) dup = dup || existing == n.input;
+      if (!dup) out.push_back(n.input);
+    }
+    if (n.a != kNoExpr) stack.push_back(n.a);
+    if (n.b != kNoExpr) stack.push_back(n.b);
+  }
+}
+
+std::string ExprArena::to_string(ExprId id) const {
+  const ExprNode& n = nodes_[id];
+  std::ostringstream os;
+  if (n.op == ExprOp::kConst) {
+    os << "0x" << std::hex << n.cval;
+  } else if (n.op == ExprOp::kInput) {
+    const InputInfo& info = inputs_[n.input];
+    os << (info.origin == InputOrigin::kReg
+               ? "reg"
+               : info.origin == InputOrigin::kMem ? "mem" : "havoc")
+       << "#" << n.input;
+  } else if (n.b == kNoExpr) {
+    os << expr_op_name(n.op) << "(" << to_string(n.a) << ")";
+  } else {
+    os << expr_op_name(n.op) << "(" << to_string(n.a) << ", " << to_string(n.b)
+       << ")";
+  }
+  return os.str();
+}
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,110 @@
+// Expression arena for ptsym, the bounded symbolic executor. Path execution
+// builds a DAG of bitvector expressions over RV64 values; leaves are either
+// constants or *inputs* — free symbols the witness solver must assign. An
+// input is minted for every initial register the path reads before writing,
+// for every load that no earlier store on the path provably feeds, and for
+// every operation the executor does not model (CSR reads, div/rem). Nodes
+// are arena-indexed (ExprId) so path forks can share the DAG by value:
+// copying a PathState copies ids, never nodes.
+//
+// The arena also owns concrete evaluation: given an assignment of input ids
+// to 64-bit values, eval() folds the DAG bottom-up. The solver's final
+// acceptance test is always concrete — a candidate assignment is only SAT
+// if every path constraint and the goal predicate hold under eval() — so
+// imprecision in the abstract domains can never produce a false witness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::analysis::symexec {
+
+using ExprId = u32;
+constexpr ExprId kNoExpr = ~0u;
+
+enum class ExprOp : u8 {
+  kConst,  // value in `cval`
+  kInput,  // free symbol; `input` is its InputId
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShrl,
+  kShra,
+  kMul,
+  kEq,     // 1 if a == b else 0
+  kNe,
+  kLtu,    // 1 if a <u b else 0
+  kLts,    // 1 if a <s b else 0
+  kSextW,  // sign-extend low 32 bits of a
+};
+
+const char* expr_op_name(ExprOp op);
+
+/// Why an input exists — drives witness materialisation (initial register
+/// vs. memory cell to poke) and taint bookkeeping.
+enum class InputOrigin : u8 {
+  kReg,    // initial value of register `reg` at path entry
+  kMem,    // value loaded from memory; address expr recorded by the path
+  kHavoc,  // unmodeled operation result (CSR read, div, ...)
+};
+
+using InputId = u32;
+
+struct InputInfo {
+  InputOrigin origin = InputOrigin::kHavoc;
+  u8 reg = 0;             // for kReg: architectural register index
+  ExprId addr = kNoExpr;  // for kMem: the load's address expression
+  u64 preferred = 0;      // solver tries this value first (secret sentinels)
+  bool has_preferred = false;
+};
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  ExprId a = kNoExpr;
+  ExprId b = kNoExpr;
+  u64 cval = 0;        // kConst payload
+  InputId input = 0;   // kInput payload
+};
+
+class ExprArena {
+ public:
+  ExprId constant(u64 v);
+  ExprId input(InputOrigin origin, u8 reg = 0, ExprId addr = kNoExpr);
+  ExprId unary(ExprOp op, ExprId a);
+  ExprId binary(ExprOp op, ExprId a, ExprId b);
+
+  const ExprNode& node(ExprId id) const { return nodes_[id]; }
+  InputInfo& input_info(InputId id) { return inputs_[id]; }
+  const InputInfo& input_info(InputId id) const { return inputs_[id]; }
+  u32 size() const { return static_cast<u32>(nodes_.size()); }
+  u32 input_count() const { return static_cast<u32>(inputs_.size()); }
+
+  /// True iff the node folds to a constant (op == kConst after building —
+  /// binary() constant-folds eagerly, so this is a plain tag test).
+  bool is_const(ExprId id) const { return nodes_[id].op == ExprOp::kConst; }
+  u64 const_value(ExprId id) const { return nodes_[id].cval; }
+
+  /// Fold the DAG under `assign` (indexed by InputId; missing entries are 0).
+  u64 eval(ExprId id, const std::vector<u64>& assign) const;
+
+  /// True iff any kInput leaf under `id` has kMem origin — used by the R2
+  /// witness goal to recognise memory-derived pt-insn pointers.
+  bool depends_on_memory(ExprId id) const;
+
+  /// Collect every InputId reachable from `id` into `out` (deduplicated).
+  void collect_inputs(ExprId id, std::vector<InputId>& out) const;
+
+  std::string to_string(ExprId id) const;
+
+ private:
+  std::vector<ExprNode> nodes_;
+  std::vector<InputInfo> inputs_;
+};
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,204 @@
+// Bounded path-sensitive symbolic execution for ptsym. The explorer runs a
+// depth-first search over concrete program paths from an entry pc toward
+// one flagged pc (the *goal*), carrying:
+//
+//   - a symbolic register file of ExprArena expressions over path inputs
+//     (initial registers, unresolved loads, havocked CSR reads),
+//   - the path condition: one (expr, required-domain) constraint per
+//     conditional branch taken,
+//   - a store history with constant-address forwarding, so loads see the
+//     values earlier stores on the same path wrote,
+//   - the same must-flags ptlint/ptflow track (validated, mediated,
+//     cred_written), updated at validate/mediation calls and
+//     credential-home stores,
+//   - per-register taint mirroring ptflow's secret classes.
+//
+// When a path reaches the goal pc, the goal's premise (must-flag state,
+// value taint) is checked path-locally and its effective-address/value
+// requirements become solver constraints on top of the path condition. A
+// SAT assignment is materialised into a WitnessTrace. Paths are pruned at
+// branches whose target provably cannot reach the goal (see slice.h);
+// pruning is disabled inside calls because kCallReturn edges do not model
+// the callee-to-caller return.
+//
+// Truncation discipline: any under-approximating cut — path or step budget
+// exhausted, unresolved indirect jump, solver budget, irreplayable havoc —
+// sets `truncated`, and the driver must then report UNKNOWN instead of
+// BOUNDED-UNREACHABLE. Fresh inputs for unresolved loads over-approximate
+// memory and never block an unreachability claim.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/image.h"
+#include "analysis/ptflow.h"
+#include "analysis/ptlint.h"
+#include "analysis/symexec/expr.h"
+#include "analysis/symexec/solver.h"
+#include "analysis/symexec/witness.h"
+
+namespace ptstore::analysis::symexec {
+
+/// Executor-private taint bit: the value passed through memory (loaded,
+/// possibly forwarded from an earlier store on the path). Rides in the
+/// secret byte of TaintSet — taint.h defines only bits 0..3, and bit 7 is
+/// reserved here — so taint_after() propagates it through ALU chains for
+/// free. The R2 goal uses it to recognise attacker-planted pt-insn
+/// pointers whose concrete value forwarding already resolved.
+inline constexpr TaintSet kTaintSymMem = 1u << 7;
+/// The real secret classes: the secret byte minus the executor's bit.
+inline constexpr TaintSet kSecretBits =
+    static_cast<TaintSet>(kTaintSecretMask & ~kTaintSymMem);
+
+/// Budget knobs. Defaults are generous for corpus-sized images; the
+/// --witness-budget N CLI knob scales solver splits.
+struct WitnessBudget {
+  u32 max_paths = 512;      ///< completed paths per diagnostic
+  u32 max_steps = 4096;     ///< instructions per path
+  u32 solver_splits = 4096; ///< branch-and-bound splits per solve() call
+};
+
+/// What must hold at the flagged pc for a path to witness the diagnostic.
+struct Goal {
+  u64 pc = 0;
+  WitnessCheck check = WitnessCheck::kReach;
+  std::string rule_id;
+  std::string kind_name;
+
+  /// EA must fall in one of these [lo, hi) ranges (tried in order; the
+  /// first SAT disjunct wins). Empty means no EA constraint.
+  std::vector<std::pair<u64, u64>> ea_in;
+  /// R2 semantics: a pt-insn pointer *derived from memory* (kTaintSymMem
+  /// on its base register) witnesses the diagnostic even when its concrete
+  /// EA stays inside the secure region — the static analysis could not
+  /// confine an attacker-planted pointer, and the replayed access shows it
+  /// being dereferenced. Replay-friendly out-of-region disjuncts are still
+  /// tried first.
+  bool allow_mem_derived_ea = false;
+  /// T1/T2: the stored value must carry one of these secret-taint bits.
+  u16 value_taint_mask = 0;
+  /// T3: some argument register a0..a7 must carry secret taint.
+  bool arg_taint = false;
+
+  enum class FlagReq : u8 {
+    kNone,
+    kValidatedFalse,   // R3: no dominating token validation
+    kMediatedFalse,    // M1: no dominating mediation call
+    kCredWrittenFalse, // M2: credential not yet committed
+  };
+  FlagReq flag = FlagReq::kNone;
+
+  /// Extra concrete veto on (ea, value) after the solver accepts — e.g.
+  /// T1's sanctioned-home exclusion. Return false to reject.
+  std::function<bool(u64 ea, u64 value)> concrete_ok;
+};
+
+struct ExploreResult {
+  bool found = false;
+  bool truncated = false;
+  std::string truncation_reason;
+  u32 paths = 0;       ///< completed paths
+  u32 max_depth = 0;   ///< longest path explored (instructions)
+  WitnessTrace witness;  ///< valid when found
+};
+
+class PathExplorer {
+ public:
+  PathExplorer(const Image& img, const Cfg& cfg, const WitnessBudget& budget);
+
+  /// Optional ptflow geometry: secret taint sources, mediation/bind
+  /// symbols, credential home. Must outlive the explorer.
+  void set_flow_spec(const FlowSpec* spec) { flow_ = spec; }
+  /// Optional ptlint geometry: token-validate symbols. Must outlive.
+  void set_lint_config(const LintConfig* cfg) { lint_ = cfg; }
+
+  /// Search all paths from `entry_pc` to goal.pc within the budget.
+  ExploreResult explore(const Goal& goal, u64 entry_pc);
+
+ private:
+  struct StoreRec {
+    bool addr_const = false;
+    u64 addr = 0;        // valid when addr_const
+    ExprId addr_expr = kNoExpr;
+    ExprId value = kNoExpr;
+    u8 size = 8;
+    TaintSet taint = 0;  // of the stored value, for load forwarding
+  };
+  struct LoadCacheEntry {
+    u64 addr = 0;
+    u8 size = 8;
+    ExprId value = kNoExpr;
+  };
+  /// One fresh memory input minted by an unresolved load; the witness
+  /// materialises the cell so replay can poke the solved value in.
+  struct CellRec {
+    InputId input = 0;
+    bool addr_const = false;
+    u64 addr = 0;  // valid when addr_const
+    ExprId addr_expr = kNoExpr;
+    u8 size = 8;
+  };
+  struct PathConstraint {
+    ExprId node = kNoExpr;
+    Domain dom;
+  };
+  struct PathState {
+    u64 pc = 0;
+    u32 steps = 0;
+    u32 call_depth = 0;
+    std::array<ExprId, 32> regs{};
+    std::array<TaintSet, 32> taint{};
+    bool validated = false;
+    bool mediated = false;
+    bool cred_written = false;
+    bool has_symbolic_load = false;
+    std::vector<u64> trace;
+    std::vector<PathConstraint> constraints;
+    std::vector<StoreRec> stores;
+    std::vector<LoadCacheEntry> load_cache;
+    std::vector<CellRec> cells;
+  };
+
+  ExprId reg(PathState& st, unsigned r);
+  void set_reg(PathState& st, unsigned r, ExprId v, TaintSet t);
+  ExprId effective_address(PathState& st, const isa::Inst& in);
+  ExprId do_load(PathState& st, ExprId addr, u8 size, bool sign_extend,
+                 TaintSet* taint_out);
+  void do_store(PathState& st, ExprId addr, ExprId value, u8 size,
+                TaintSet value_taint);
+  void note_call_target(PathState& st, u64 target);
+
+  /// Execute the instruction at st.pc, possibly forking onto `stack`.
+  /// Returns false when the path ends (or truncates) at this instruction.
+  bool step(PathState& st, std::vector<PathState>& stack,
+            ExploreResult& result);
+
+  /// Attempt to witness the goal from `st` (st.pc == goal.pc, instruction
+  /// not yet executed). Sets result.found / truncated.
+  void try_goal(PathState& st, const Goal& goal, ExploreResult& result);
+
+  bool solve_goal(PathState& st, const Goal& goal, ExprId ea,
+                  ExprId value, u8 access_size, bool mem_derived_ea,
+                  ExploreResult& result);
+  bool build_witness(PathState& st, const Goal& goal, ExprId ea, ExprId value,
+                     const std::vector<u64>& assign, ExploreResult& result);
+
+  void truncate(ExploreResult& result, const std::string& why);
+
+  const Image& img_;
+  const Cfg& cfg_;
+  WitnessBudget budget_;
+  const FlowSpec* flow_ = nullptr;
+  const LintConfig* lint_ = nullptr;
+
+  ExprArena arena_;
+  std::set<u64> slice_;       // blocks that can reach the goal
+  std::set<u64> wild_;        // blocks upstream of unmodeled indirect exits
+};
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,50 @@
+#include "analysis/symexec/slice.h"
+
+#include <deque>
+
+#include "isa/inst.h"
+
+namespace ptstore::analysis::symexec {
+
+namespace {
+
+/// Reverse closure over predecessor edges from `seeds`.
+std::set<u64> reverse_closure(const Cfg& cfg, std::deque<u64> work) {
+  std::set<u64> out(work.begin(), work.end());
+  while (!work.empty()) {
+    const u64 at = work.front();
+    work.pop_front();
+    const BasicBlock* bb = cfg.block_at(at);
+    if (bb == nullptr) continue;
+    for (u64 pred : bb->preds)
+      if (out.insert(pred).second) work.push_back(pred);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<u64> backward_block_slice(const Cfg& cfg, u64 goal_pc) {
+  const BasicBlock* goal = cfg.block_containing(goal_pc);
+  if (goal == nullptr) return {};
+  return reverse_closure(cfg, {goal->start});
+}
+
+std::set<u64> wild_block_slice(const Cfg& cfg, const Image& img) {
+  std::deque<u64> seeds;
+  for (const BasicBlock& bb : cfg.blocks()) {
+    if (!bb.indirect_exit) continue;
+    const u64 term_pc = bb.end - 4;
+    bool is_ret = false;
+    if (img.contains(term_pc)) {
+      const isa::Inst term = img.inst_at(term_pc);
+      is_ret = term.op == isa::Op::kJalr && term.rd == 0 && term.rs1 == 1 &&
+               term.imm == 0;
+    }
+    if (!is_ret) seeds.push_back(bb.start);
+  }
+  if (seeds.empty()) return {};
+  return reverse_closure(cfg, std::move(seeds));
+}
+
+}  // namespace ptstore::analysis::symexec

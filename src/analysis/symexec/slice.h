@@ -1,0 +1,27 @@
+// Backward slicing over the recovered CFG. The path explorer prunes branch
+// successors that provably cannot reach the flagged pc — but only when the
+// claim is sound: CFG edges over-approximate control flow except at blocks
+// ending in *unresolved* indirect jumps (indirect_exit, no successors).
+// Matched call/return pairs are modeled by kCall/kCallReturn edges, so a
+// plain `ret` terminator is safe; any other indirect exit could jump
+// anywhere, and a block that can reach one must never be pruned.
+#pragma once
+
+#include <set>
+
+#include "analysis/cfg.h"
+#include "analysis/image.h"
+
+namespace ptstore::analysis::symexec {
+
+/// Block starts whose block can reach (over CFG successor edges) the block
+/// containing `goal_pc`. Computed as a reverse BFS over predecessor edges.
+std::set<u64> backward_block_slice(const Cfg& cfg, u64 goal_pc);
+
+/// Block starts whose block can reach a "wild" block: one with an indirect
+/// exit whose terminator is not a plain `ret` (jalr zero, ra, 0). Such
+/// blocks may transfer control anywhere the CFG does not model, so they
+/// (and everything upstream of them) are exempt from slice pruning.
+std::set<u64> wild_block_slice(const Cfg& cfg, const Image& img);
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,590 @@
+#include "analysis/symexec/solver.h"
+
+#include <algorithm>
+
+namespace ptstore::analysis::symexec {
+
+namespace {
+
+constexpr u64 kSignBit = u64{1} << 63;
+
+u64 bit_mask(unsigned n) { return n >= 64 ? ~u64{0} : (u64{1} << n) - 1; }
+
+unsigned msb_index(u64 v) {
+  unsigned i = 0;
+  while (v >>= 1) ++i;
+  return i;
+}
+
+/// Count of consecutive known bits starting at bit 0.
+unsigned trailing_known(u64 kmask) {
+  unsigned n = 0;
+  while (n < 64 && ((kmask >> n) & 1)) ++n;
+  return n;
+}
+
+/// A [lo,hi] interval maps to a contiguous interval under the 2^63 signed
+/// bias iff it does not straddle the sign boundary.
+bool sign_contiguous(const Domain& d) {
+  return (d.lo < kSignBit) == (d.hi < kSignBit);
+}
+
+}  // namespace
+
+void Domain::meet_interval(u64 nlo, u64 nhi) {
+  if (bottom) return;
+  lo = std::max(lo, nlo);
+  hi = std::min(hi, nhi);
+  if (lo > hi) bottom = true;
+}
+
+void Domain::meet_known(u64 nmask, u64 nval) {
+  if (bottom) return;
+  nval &= nmask;
+  const u64 both = kmask & nmask;
+  if ((kval & both) != (nval & both)) {
+    bottom = true;
+    return;
+  }
+  kmask |= nmask;
+  kval |= nval;
+}
+
+void Domain::meet(const Domain& other) {
+  if (other.bottom) {
+    bottom = true;
+    return;
+  }
+  meet_interval(other.lo, other.hi);
+  meet_known(other.kmask, other.kval);
+}
+
+void Domain::reduce() {
+  if (bottom) return;
+  for (int round = 0; round < 2 && !bottom; ++round) {
+    // Interval → known bits: the common high-order prefix of lo and hi is
+    // fixed for every value in [lo,hi].
+    if (lo == hi) {
+      meet_known(~u64{0}, lo);
+    } else {
+      const u64 diff = lo ^ hi;
+      const u64 prefix = ~bit_mask(msb_index(diff) + 1);
+      if (prefix) meet_known(prefix, lo & prefix);
+    }
+    if (bottom) return;
+    // Known bits → interval: every matching value lies in
+    // [kval, kval | ~kmask] (free bits all-0 / all-1).
+    meet_interval(kval, kval | ~kmask);
+  }
+}
+
+const char* solve_status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "sat";
+    case SolveStatus::kUnsat: return "unsat";
+    case SolveStatus::kBudget: return "budget";
+  }
+  return "?";
+}
+
+Solver::Solver(const ExprArena& arena, u32 split_budget)
+    : arena_(arena), budget_(split_budget) {}
+
+void Solver::require(ExprId node, Domain d) {
+  constraints_.push_back({node, d});
+  note_support(node);
+}
+
+void Solver::note_support(ExprId node) {
+  std::vector<InputId> ids;
+  arena_.collect_inputs(node, ids);
+  for (InputId in : ids) {
+    // Find the arena node for this input: inputs are minted with their node
+    // appended immediately, so scan once (arena is small per path).
+    for (u32 i = 0; i < arena_.size(); ++i) {
+      const ExprNode& n = arena_.node(i);
+      if (n.op == ExprOp::kInput && n.input == in) {
+        if (std::find(support_inputs_.begin(), support_inputs_.end(), i) ==
+            support_inputs_.end())
+          support_inputs_.push_back(i);
+        break;
+      }
+    }
+  }
+}
+
+void Solver::forward(std::vector<Domain>& doms, ExprId id) {
+  const ExprNode& n = arena_.node(id);
+  Domain r = Domain::top();
+  switch (n.op) {
+    case ExprOp::kConst:
+      r = Domain::exact(n.cval);
+      break;
+    case ExprOp::kInput:
+      return;  // inputs have no children; their domain comes from meets
+    case ExprOp::kSextW: {
+      const Domain& a = doms[n.a];
+      if (a.bottom) {
+        doms[id].bottom = true;
+        return;
+      }
+      if (a.is_singleton()) {
+        r = Domain::exact(
+            static_cast<u64>(static_cast<i64>(static_cast<i32>(a.lo))));
+      } else {
+        // Low 32 known bits survive; if bit 31 is known the top 32 bits are
+        // its copies.
+        r.meet_known(a.kmask & 0xFFFFFFFFu, a.kval & 0xFFFFFFFFu);
+        if (a.kmask & 0x80000000u) {
+          const u64 sign = (a.kval >> 31) & 1;
+          r.meet_known(~u64{0} << 31, sign ? (~u64{0} << 31) : 0);
+        }
+        if (a.hi < 0x80000000u) r.meet_interval(a.lo, a.hi);
+      }
+      break;
+    }
+    default: {
+      const Domain& a = doms[n.a];
+      const Domain& b = doms[n.b];
+      if (a.bottom || b.bottom) {
+        doms[id].bottom = true;
+        return;
+      }
+      switch (n.op) {
+        case ExprOp::kAdd: {
+          if (a.hi <= ~u64{0} - b.hi) r.meet_interval(a.lo + b.lo, a.hi + b.hi);
+          const unsigned t =
+              std::min(trailing_known(a.kmask), trailing_known(b.kmask));
+          if (t > 0)
+            r.meet_known(bit_mask(t), (a.kval + b.kval) & bit_mask(t));
+          break;
+        }
+        case ExprOp::kSub: {
+          if (a.lo >= b.hi) r.meet_interval(a.lo - b.hi, a.hi - b.lo);
+          const unsigned t =
+              std::min(trailing_known(a.kmask), trailing_known(b.kmask));
+          if (t > 0)
+            r.meet_known(bit_mask(t), (a.kval - b.kval) & bit_mask(t));
+          break;
+        }
+        case ExprOp::kAnd: {
+          const u64 zero = (a.kmask & ~a.kval) | (b.kmask & ~b.kval);
+          const u64 one = (a.kmask & a.kval) & (b.kmask & b.kval);
+          r.meet_known(zero | one, one);
+          r.meet_interval(0, std::min(a.hi, b.hi));
+          break;
+        }
+        case ExprOp::kOr: {
+          const u64 one = (a.kmask & a.kval) | (b.kmask & b.kval);
+          const u64 zero = (a.kmask & ~a.kval) & (b.kmask & ~b.kval);
+          r.meet_known(zero | one, one);
+          const u64 top = a.hi | b.hi;
+          r.meet_interval(std::max(a.lo, b.lo),
+                          top ? bit_mask(msb_index(top) + 1) : 0);
+          break;
+        }
+        case ExprOp::kXor: {
+          const u64 both = a.kmask & b.kmask;
+          r.meet_known(both, (a.kval ^ b.kval) & both);
+          const u64 top = a.hi | b.hi;
+          r.meet_interval(0, top ? bit_mask(msb_index(top) + 1) : 0);
+          break;
+        }
+        case ExprOp::kShl:
+          if (b.is_singleton()) {
+            const unsigned s = static_cast<unsigned>(b.lo & 63);
+            r.meet_known((a.kmask << s) | bit_mask(s), a.kval << s);
+            if (a.hi <= (~u64{0} >> s))
+              r.meet_interval(a.lo << s, a.hi << s);
+          }
+          break;
+        case ExprOp::kShrl:
+          if (b.is_singleton()) {
+            const unsigned s = static_cast<unsigned>(b.lo & 63);
+            r.meet_known((a.kmask >> s) | ~(~u64{0} >> s), a.kval >> s);
+            r.meet_interval(a.lo >> s, a.hi >> s);
+          }
+          break;
+        case ExprOp::kShra:
+          if (b.is_singleton()) {
+            const unsigned s = static_cast<unsigned>(b.lo & 63);
+            if (a.hi < kSignBit) {
+              // Provably non-negative: behaves like a logical shift.
+              r.meet_known((a.kmask >> s) | ~(~u64{0} >> s), a.kval >> s);
+              r.meet_interval(a.lo >> s, a.hi >> s);
+            } else if (a.kmask & kSignBit) {
+              const u64 sign = (a.kval >> 63) & 1;
+              const u64 ext = sign ? ~(~u64{0} >> s) : 0;
+              r.meet_known((a.kmask >> s) | ~(~u64{0} >> s),
+                           (a.kval >> s) | ext);
+            }
+          }
+          break;
+        case ExprOp::kMul:
+          if (a.is_singleton() && b.is_singleton())
+            r = Domain::exact(a.lo * b.lo);
+          else if (b.is_singleton() && b.lo != 0 && a.hi <= ~u64{0} / b.lo)
+            r.meet_interval(a.lo * b.lo, a.hi * b.lo);
+          else if (a.is_singleton() && a.lo != 0 && b.hi <= ~u64{0} / a.lo)
+            r.meet_interval(a.lo * b.lo, a.lo * b.hi);
+          break;
+        case ExprOp::kEq:
+          r.meet_interval(0, 1);
+          if (a.hi < b.lo || b.hi < a.lo)
+            r.meet_interval(0, 0);  // disjoint: never equal
+          else if (a.is_singleton() && b.is_singleton() && a.lo == b.lo)
+            r.meet_interval(1, 1);
+          break;
+        case ExprOp::kNe:
+          r.meet_interval(0, 1);
+          if (a.hi < b.lo || b.hi < a.lo)
+            r.meet_interval(1, 1);
+          else if (a.is_singleton() && b.is_singleton() && a.lo == b.lo)
+            r.meet_interval(0, 0);
+          break;
+        case ExprOp::kLtu:
+          r.meet_interval(0, 1);
+          if (a.hi < b.lo) r.meet_interval(1, 1);
+          else if (a.lo >= b.hi) r.meet_interval(0, 0);
+          break;
+        case ExprOp::kLts:
+          r.meet_interval(0, 1);
+          if (sign_contiguous(a) && sign_contiguous(b)) {
+            const u64 alo = a.lo ^ kSignBit, ahi = a.hi ^ kSignBit;
+            const u64 blo = b.lo ^ kSignBit, bhi = b.hi ^ kSignBit;
+            if (ahi < blo) r.meet_interval(1, 1);
+            else if (alo >= bhi) r.meet_interval(0, 0);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  r.reduce();
+  doms[id].meet(r);
+  doms[id].reduce();
+}
+
+void Solver::backward(std::vector<Domain>& doms, ExprId id) {
+  const ExprNode& n = arena_.node(id);
+  const Domain& r = doms[id];
+  if (r.bottom || n.op == ExprOp::kConst || n.op == ExprOp::kInput) return;
+
+  // Shift children into place, meeting refined domains back in.
+  auto refine_shifted_add = [&](ExprId child, u64 delta, bool add) {
+    // child = r -/+ delta; valid only when the shifted interval stays
+    // contiguous (no mixed wraparound).
+    const u64 x = add ? r.lo + delta : r.lo - delta;
+    const u64 y = add ? r.hi + delta : r.hi - delta;
+    if (x <= y) doms[child].meet_interval(x, y);
+    const unsigned t = trailing_known(r.kmask);
+    if (t > 0)
+      doms[child].meet_known(bit_mask(t),
+                             (add ? r.kval + delta : r.kval - delta) &
+                                 bit_mask(t));
+    doms[child].reduce();
+  };
+
+  switch (n.op) {
+    case ExprOp::kAdd: {
+      if (doms[n.b].is_singleton()) refine_shifted_add(n.a, doms[n.b].lo, false);
+      if (doms[n.a].is_singleton()) refine_shifted_add(n.b, doms[n.a].lo, false);
+      break;
+    }
+    case ExprOp::kSub: {
+      if (doms[n.b].is_singleton()) refine_shifted_add(n.a, doms[n.b].lo, true);
+      if (doms[n.a].is_singleton()) {
+        // b = a - r
+        const u64 s = doms[n.a].lo;
+        const u64 x = s - r.hi, y = s - r.lo;
+        if (x <= y) doms[n.b].meet_interval(x, y);
+        doms[n.b].reduce();
+      }
+      break;
+    }
+    case ExprOp::kAnd: {
+      auto refine_and = [&](ExprId child, const Domain& mask_dom) {
+        if (!mask_dom.is_singleton()) return;
+        const u64 m = mask_dom.lo;
+        if (r.kmask & r.kval & ~m) {
+          doms[child].bottom = true;  // result has a 1 where the mask is 0
+          return;
+        }
+        doms[child].meet_known(m & r.kmask, r.kval & m);
+        doms[child].reduce();
+      };
+      refine_and(n.a, doms[n.b]);
+      refine_and(n.b, doms[n.a]);
+      break;
+    }
+    case ExprOp::kOr: {
+      auto refine_or = [&](ExprId child, const Domain& mask_dom) {
+        if (!mask_dom.is_singleton()) return;
+        const u64 m = mask_dom.lo;
+        if (r.kmask & ~r.kval & m) {
+          doms[child].bottom = true;  // result has a 0 where the mask is 1
+          return;
+        }
+        doms[child].meet_known(~m & r.kmask, r.kval & ~m);
+        doms[child].reduce();
+      };
+      refine_or(n.a, doms[n.b]);
+      refine_or(n.b, doms[n.a]);
+      break;
+    }
+    case ExprOp::kXor: {
+      auto refine_xor = [&](ExprId child, const Domain& mask_dom) {
+        if (!mask_dom.is_singleton()) return;
+        doms[child].meet_known(r.kmask, (r.kval ^ mask_dom.lo) & r.kmask);
+        doms[child].reduce();
+      };
+      refine_xor(n.a, doms[n.b]);
+      refine_xor(n.b, doms[n.a]);
+      break;
+    }
+    case ExprOp::kShl:
+      if (doms[n.b].is_singleton()) {
+        const unsigned s = static_cast<unsigned>(doms[n.b].lo & 63);
+        if (r.kmask & r.kval & bit_mask(s)) {
+          doms[n.a].bottom = true;  // low bits of a left shift must be zero
+          break;
+        }
+        doms[n.a].meet_known(bit_mask(64 - s) & (r.kmask >> s), r.kval >> s);
+        doms[n.a].reduce();
+      }
+      break;
+    case ExprOp::kShrl:
+      if (doms[n.b].is_singleton()) {
+        const unsigned s = static_cast<unsigned>(doms[n.b].lo & 63);
+        if (s > 0 && (r.kmask & r.kval & ~(~u64{0} >> s))) {
+          doms[n.a].bottom = true;  // top bits of a logical right shift are 0
+          break;
+        }
+        doms[n.a].meet_known(r.kmask << s, r.kval << s);
+        if (r.hi <= (~u64{0} >> s))
+          doms[n.a].meet_interval(r.lo << s, (r.hi << s) | bit_mask(s));
+        doms[n.a].reduce();
+      }
+      break;
+    case ExprOp::kEq:
+    case ExprOp::kNe: {
+      const bool forced_true =
+          r.is_singleton() && (r.lo == 1) == (n.op == ExprOp::kEq);
+      const bool forced_false =
+          r.is_singleton() && (r.lo == 1) != (n.op == ExprOp::kEq);
+      if (forced_true) {
+        Domain both = doms[n.a];
+        both.meet(doms[n.b]);
+        both.reduce();
+        doms[n.a].meet(both);
+        doms[n.b].meet(both);
+        doms[n.a].reduce();
+        doms[n.b].reduce();
+      } else if (forced_false) {
+        auto trim = [&](ExprId child, const Domain& other) {
+          if (!other.is_singleton()) return;
+          Domain& d = doms[child];
+          if (d.bottom) return;
+          if (d.is_singleton() && d.lo == other.lo) {
+            d.bottom = true;
+          } else if (d.lo == other.lo) {
+            d.meet_interval(d.lo + 1, d.hi);
+            d.reduce();
+          } else if (d.hi == other.lo) {
+            d.meet_interval(d.lo, d.hi - 1);
+            d.reduce();
+          }
+        };
+        trim(n.a, doms[n.b]);
+        trim(n.b, doms[n.a]);
+      }
+      break;
+    }
+    case ExprOp::kLtu:
+    case ExprOp::kLts: {
+      if (!r.is_singleton()) break;
+      const bool biased = n.op == ExprOp::kLts;
+      Domain a = doms[n.a];
+      Domain b = doms[n.b];
+      if (biased) {
+        if (!sign_contiguous(a) || !sign_contiguous(b)) break;
+        a.lo ^= kSignBit;
+        a.hi ^= kSignBit;
+        b.lo ^= kSignBit;
+        b.hi ^= kSignBit;
+        a.kmask = a.kval = 0;  // known bits do not survive the bias cheaply
+        b.kmask = b.kval = 0;
+      }
+      if (r.lo == 1) {
+        // a < b: a <= b.hi - 1, b >= a.lo + 1.
+        if (b.hi == 0) {
+          doms[n.a].bottom = true;
+          break;
+        }
+        a.meet_interval(a.lo, b.hi - 1);
+        if (a.lo == ~u64{0}) {
+          doms[n.b].bottom = true;
+          break;
+        }
+        b.meet_interval(a.lo + 1, b.hi);
+      } else {
+        // a >= b.
+        a.meet_interval(b.lo, a.hi);
+        b.meet_interval(b.lo, a.hi);
+      }
+      if (biased) {
+        a.lo ^= kSignBit;
+        a.hi ^= kSignBit;
+        b.lo ^= kSignBit;
+        b.hi ^= kSignBit;
+        if (a.lo > a.hi || b.lo > b.hi) break;  // wrapped back: skip
+        doms[n.a].meet_interval(a.lo, a.hi);
+        doms[n.b].meet_interval(b.lo, b.hi);
+      } else {
+        doms[n.a].meet(a);
+        doms[n.b].meet(b);
+      }
+      doms[n.a].reduce();
+      doms[n.b].reduce();
+      break;
+    }
+    case ExprOp::kSextW: {
+      // Push the low 32 result bits back into the operand (bits 63..32 of
+      // the result are sign copies and carry no extra information).
+      doms[n.a].meet_known(r.kmask & 0xFFFFFFFFu, r.kval & 0xFFFFFFFFu);
+      doms[n.a].reduce();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool Solver::propagate(std::vector<Domain>& doms,
+                       const std::vector<Split>& splits) {
+  const u32 n = arena_.size();
+  doms.assign(n, Domain::top());
+  for (int iter = 0; iter < 4; ++iter) {
+    // Children precede parents (arena is append-only), so one forward sweep
+    // in id order reaches a fixpoint of the forward transfers.
+    for (u32 i = 0; i < n; ++i) forward(doms, i);
+    for (const Split& c : constraints_) {
+      doms[c.node].meet(c.dom);
+      doms[c.node].reduce();
+    }
+    for (const Split& s : splits) {
+      doms[s.node].meet(s.dom);
+      doms[s.node].reduce();
+    }
+    for (u32 i = n; i-- > 0;) backward(doms, i);
+    for (u32 i = 0; i < n; ++i)
+      if (doms[i].bottom) return false;
+  }
+  return true;
+}
+
+std::vector<u64> Solver::pick(const std::vector<Domain>& doms) {
+  std::vector<u64> assign(arena_.input_count(), 0);
+  for (ExprId node : support_inputs_) {
+    const InputId in = arena_.node(node).input;
+    const Domain& d = doms[node];
+    const InputInfo& info = arena_.input_info(in);
+    u64 v = d.lo;
+    if (info.has_preferred && d.contains(info.preferred)) {
+      v = info.preferred;
+    } else if (d.contains(d.lo)) {
+      v = d.lo;
+    } else if (d.contains(d.kval)) {
+      v = d.kval;  // free bits zero
+    } else {
+      const u64 forced = (d.lo & ~d.kmask) | d.kval;
+      if (d.contains(forced)) v = forced;
+      else if (d.contains(d.hi)) v = d.hi;
+    }
+    assign[in] = v;
+  }
+  // Unsupported inputs keep their preferred value (secret sentinels must
+  // materialise even when no constraint mentions them).
+  for (InputId in = 0; in < arena_.input_count(); ++in) {
+    const InputInfo& info = arena_.input_info(in);
+    bool supported = false;
+    for (ExprId node : support_inputs_)
+      supported = supported || arena_.node(node).input == in;
+    if (!supported && info.has_preferred) assign[in] = info.preferred;
+  }
+  return assign;
+}
+
+bool Solver::concrete_ok(const std::vector<u64>& assign,
+                         const GoalCheck& goal) {
+  for (const Split& c : constraints_)
+    if (!c.dom.contains(arena_.eval(c.node, assign))) return false;
+  return !goal || goal(assign);
+}
+
+SolveStatus Solver::search(std::vector<Split>& splits, const GoalCheck& goal,
+                           SolveResult& out) {
+  std::vector<Domain> doms;
+  if (!propagate(doms, splits)) return SolveStatus::kUnsat;
+
+  const std::vector<u64> assign = pick(doms);
+  if (concrete_ok(assign, goal)) {
+    out.assign = assign;
+    return SolveStatus::kSat;
+  }
+
+  // Split the widest supported input.
+  ExprId widest = kNoExpr;
+  u64 width = 0;
+  for (ExprId node : support_inputs_) {
+    const Domain& d = doms[node];
+    const u64 w = d.hi - d.lo;
+    if (w > width || (widest == kNoExpr && w > 0)) {
+      width = w;
+      widest = node;
+    }
+  }
+  if (widest == kNoExpr || width == 0) {
+    // Every supported input is pinned; the unique assignment fails the
+    // concrete check, so the constraint set is unsatisfiable.
+    return SolveStatus::kUnsat;
+  }
+  if (splits_used_ >= budget_) return SolveStatus::kBudget;
+  ++splits_used_;
+
+  const Domain& d = doms[widest];
+  const u64 mid = d.lo + (d.hi - d.lo) / 2;
+  Domain left = Domain::range(d.lo, mid);
+  Domain right = Domain::range(mid + 1, d.hi);
+  // Search the half holding the preferred (or current) pick first.
+  const InputId in = arena_.node(widest).input;
+  const u64 cur = assign[in];
+  const bool left_first = cur <= mid;
+
+  SolveStatus first_status, second_status;
+  splits.push_back({widest, left_first ? left : right});
+  first_status = search(splits, goal, out);
+  splits.pop_back();
+  if (first_status == SolveStatus::kSat) return SolveStatus::kSat;
+
+  splits.push_back({widest, left_first ? right : left});
+  second_status = search(splits, goal, out);
+  splits.pop_back();
+  if (second_status == SolveStatus::kSat) return SolveStatus::kSat;
+
+  if (first_status == SolveStatus::kBudget ||
+      second_status == SolveStatus::kBudget)
+    return SolveStatus::kBudget;
+  return SolveStatus::kUnsat;
+}
+
+SolveResult Solver::solve(const GoalCheck& goal) {
+  SolveResult out;
+  std::vector<Split> splits;
+  out.status = search(splits, goal, out);
+  out.splits_used = splits_used_;
+  return out;
+}
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,93 @@
+#include "analysis/symexec/witness.h"
+
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace ptstore::analysis::symexec {
+
+namespace {
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kWitnessed: return "WITNESSED";
+    case Verdict::kBoundedUnreachable: return "BOUNDED-UNREACHABLE";
+    case Verdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+const char* witness_check_name(WitnessCheck c) {
+  switch (c) {
+    case WitnessCheck::kReach: return "reach";
+    case WitnessCheck::kStore: return "store";
+    case WitnessCheck::kLoad: return "load";
+    case WitnessCheck::kSatp: return "satp";
+    case WitnessCheck::kPmpCsr: return "pmp_csr";
+    case WitnessCheck::kCallArg: return "call_arg";
+  }
+  return "?";
+}
+
+std::string witnesses_to_json(const std::vector<SymVerdict>& verdicts,
+                              const std::string& image_name,
+                              const std::string& backend_name) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os);
+  w.begin_object()
+      .kv("schema", "ptsym-witness-v1")
+      .kv("image", image_name)
+      .kv("backend", backend_name);
+  w.key("verdicts").begin_array();
+  for (const SymVerdict& v : verdicts) {
+    w.begin_object()
+        .kv("rule", v.rule_id)
+        .kv("pc", hex(v.pc))
+        .kv("verdict", verdict_name(v.verdict))
+        .kv("detail", v.detail)
+        .kv("depth_bound", static_cast<u64>(v.depth_bound))
+        .kv("paths_explored", static_cast<u64>(v.paths_explored));
+    if (v.witness) {
+      const WitnessTrace& t = *v.witness;
+      w.key("witness").begin_object();
+      w.kv("check", witness_check_name(t.check))
+          .kv("ea", hex(t.ea))
+          .kv("value", hex(t.value))
+          .kv("pt_access", t.pt_access)
+          .kv("depth", t.depth());
+      w.key("init_regs").begin_array();
+      for (const auto& [reg, val] : t.init_regs)
+        w.begin_object()
+            .kv("reg", static_cast<u64>(reg))
+            .kv("value", hex(val))
+            .end_object();
+      w.end_array();
+      w.key("mem_cells").begin_array();
+      for (const WitnessMemCell& cell : t.mem_cells)
+        w.begin_object()
+            .kv("addr", hex(cell.addr))
+            .kv("value", hex(cell.value))
+            .kv("size", static_cast<u64>(cell.size))
+            .end_object();
+      w.end_array();
+      w.key("path").begin_array();
+      for (u64 pc : t.path) w.value(hex(pc));
+      w.end_array();
+      w.end_object();  // witness
+    }
+    w.end_object();  // verdict
+  }
+  w.end_array();   // verdicts
+  w.end_object();  // document
+  return os.str();
+}
+
+}  // namespace ptstore::analysis::symexec

@@ -1,0 +1,88 @@
+// Witness types for ptsym. A WitnessTrace is everything the replay harness
+// needs to reproduce a diagnostic on the concrete System: the initial
+// register file, the memory cells to poke (the solver's assignment for
+// every load the path could not resolve from its own stores), the exact pc
+// sequence the path takes, and the predicted architectural fact at the
+// flagged instruction (effective address / stored value / satp value /
+// tainted argument). Replay single-steps the core, checks the pc op-for-op,
+// and asserts the predicted fact — only then does a diagnostic earn the
+// WITNESSED verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ptstore::analysis::symexec {
+
+enum class Verdict : u8 {
+  kWitnessed,           // concrete replay reached the violation
+  kBoundedUnreachable,  // all paths to the pc exhausted within the bound
+  kUnknown,             // budget/modeling limit — no claim either way
+};
+
+const char* verdict_name(Verdict v);
+
+/// What the replay harness must assert at the final (flagged) pc.
+enum class WitnessCheck : u8 {
+  kReach,    // reaching the pc is the violation (fetch/jump/illegal)
+  kStore,    // a store retires with EA `ea` and value `value`
+  kLoad,     // a load retires with EA `ea`
+  kSatp,     // the csrrw retires and satp reads back `value`
+  kPmpCsr,   // the PMP CSR write is attempted (trap or success both count)
+  kCallArg,  // at the call pc, register index `ea` holds secret `value`
+};
+
+const char* witness_check_name(WitnessCheck c);
+
+/// One memory cell replay must poke before execution starts.
+struct WitnessMemCell {
+  u64 addr = 0;
+  u64 value = 0;
+  u8 size = 8;  // bytes; sub-8 for narrow loads
+};
+
+struct WitnessTrace {
+  u64 diag_pc = 0;           // flagged instruction
+  std::string rule_id;       // PTLxxx / PTFxxx
+  std::string kind_name;     // diag kind, human readable
+  WitnessCheck check = WitnessCheck::kReach;
+  u64 ea = 0;     // predicted effective address (or register index for
+                  // kCallArg)
+  u64 value = 0;  // predicted stored/satp/secret value
+  bool pt_access = false;  // flagged access uses ld.pt/sd.pt
+
+  /// Initial architectural register values (reg index, value). Registers
+  /// absent here were never read before being written; replay zeroes them.
+  std::vector<std::pair<unsigned, u64>> init_regs;
+  /// Memory cells to poke before execution.
+  std::vector<WitnessMemCell> mem_cells;
+  /// The pc of every instruction on the path, entry first; back() is
+  /// diag_pc. Replay follows this op-for-op.
+  std::vector<u64> path;
+
+  u64 depth() const { return path.size(); }
+};
+
+/// Result of refining one diagnostic.
+struct SymVerdict {
+  Verdict verdict = Verdict::kUnknown;
+  unsigned kind_index = 0;  // DiagKind / FlowDiagKind enum value
+  bool is_flow = false;
+  u64 pc = 0;
+  std::string rule_id;
+  std::string detail;  // explored-path stats / truncation reason / replay log
+  u32 depth_bound = 0;       // K in BOUNDED-UNREACHABLE(depth=K)
+  u32 paths_explored = 0;
+  std::optional<WitnessTrace> witness;  // present when verdict == kWitnessed
+};
+
+/// JSON document ("ptsym-witness-v1") covering a batch of verdicts, for the
+/// --witness-json artifact. `image_name` labels the analysed image.
+std::string witnesses_to_json(const std::vector<SymVerdict>& verdicts,
+                              const std::string& image_name,
+                              const std::string& backend_name);
+
+}  // namespace ptstore::analysis::symexec

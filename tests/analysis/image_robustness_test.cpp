@@ -1,0 +1,113 @@
+// Robustness of the analysis layer against degenerate and hostile images:
+// empty images, out-of-image and misaligned pcs (including u64-overflow
+// probes), truncated corpus entries, and LCG-fuzzed garbage words must all
+// produce graceful diagnostics — never crashes or false decodes.
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/corpus.h"
+#include "analysis/flow_corpus.h"
+#include "analysis/image.h"
+#include "analysis/ptflow.h"
+#include "analysis/ptlint.h"
+#include "isa/text_asm.h"
+
+namespace ptstore::analysis {
+namespace {
+
+constexpr u64 kSrEnd = kDramBase + MiB(512);
+constexpr u64 kSrBase = kSrEnd - MiB(64);
+
+LintConfig lint_cfg() {
+  LintConfig cfg;
+  cfg.sr_base = kSrBase;
+  cfg.sr_end = kSrEnd;
+  return cfg;
+}
+
+u64 lcg(u64& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s;
+}
+
+TEST(ImageRobustness, EmptyImageIsHandledEverywhere) {
+  Image img;
+  img.base = kCorpusBase;
+  EXPECT_FALSE(img.contains(kCorpusBase));
+  EXPECT_EQ(img.inst_at(kCorpusBase).op, isa::Op::kIllegal);
+
+  const LintReport rep = lint_image(img, lint_cfg());
+  EXPECT_EQ(rep.reachable.size(), size_t{0});
+
+  const FlowSpec spec =
+      FlowSpec::for_backend(BackendKind::kPtstore, kSrBase, kSrEnd);
+  flow_verify(img, spec);  // must not crash
+
+  const Cfg cfg = Cfg::build(img, {});
+  EXPECT_TRUE(cfg.blocks().empty());
+}
+
+TEST(ImageRobustness, ContainsRejectsOverflowAndMisalignment) {
+  Image img;
+  img.base = ~u64{0} - 7;  // 8 bytes below the top of the address space
+  img.words = {0x00000013, 0x00000013};  // two nops
+  // pc + 4 would wrap; contains() must stay overflow-safe.
+  EXPECT_TRUE(img.contains(img.base));
+  EXPECT_TRUE(img.contains(img.base + 4));
+  EXPECT_FALSE(img.contains(img.base + 8));  // wraps to 0
+  EXPECT_FALSE(img.contains(0));
+  EXPECT_FALSE(img.contains(img.base + 1));  // misaligned
+  EXPECT_FALSE(img.contains(img.base - 4));  // below base
+
+  // Out-of-image decode is a graceful illegal, not an OOB read.
+  EXPECT_EQ(img.inst_at(0).op, isa::Op::kIllegal);
+  EXPECT_EQ(img.inst_at(img.base + 8).op, isa::Op::kIllegal);
+}
+
+TEST(ImageRobustness, HeaderOnlyAndTruncatedCorpusEntriesStayGraceful) {
+  const auto corpus = violation_corpus(kSrBase, kSrEnd);
+  ASSERT_FALSE(corpus.empty());
+  const LintConfig cfg = lint_cfg();
+  for (const CorpusEntry& e : corpus) {
+    // Truncate the image at every prefix length, including zero (header
+    // only: base + symbols, no words) and mid-"function" cuts. Symbols now
+    // point past the text; analysis must diagnose, not crash.
+    for (size_t keep : {size_t{0}, size_t{1}, e.image.words.size() / 2}) {
+      Image cut = e.image;
+      cut.words.resize(std::min(keep, cut.words.size()));
+      lint_image(cut, cfg);
+      Cfg::build(cut, {});
+      const FlowSpec spec =
+          FlowSpec::for_backend(BackendKind::kPtstore, kSrBase, kSrEnd);
+      flow_verify(cut, spec);
+    }
+  }
+}
+
+TEST(ImageRobustness, FuzzedWordsNeverCrashTheAnalyses) {
+  u64 seed = 0xF022;
+  const LintConfig cfg = lint_cfg();
+  const FlowSpec spec =
+      FlowSpec::for_backend(BackendKind::kPtstore, kSrBase, kSrEnd);
+  for (int iter = 0; iter < 50; ++iter) {
+    Image img;
+    img.base = kCorpusBase;
+    const size_t n = 1 + (lcg(seed) & 63);
+    for (size_t i = 0; i < n; ++i)
+      img.words.push_back(static_cast<u32>(lcg(seed)));
+    img.symbols = {{"entry", kCorpusBase}};
+    lint_image(img, cfg);
+    flow_verify(img, spec);
+    Cfg::build(img, {});
+  }
+}
+
+TEST(ImageRobustness, GarbageAssemblyFailsWithDiagnostic) {
+  const isa::AsmResult r =
+      isa::assemble_text("this is not assembly\n!!??\n", kCorpusBase);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.message.empty());
+}
+
+}  // namespace
+}  // namespace ptstore::analysis

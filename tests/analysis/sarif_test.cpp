@@ -199,6 +199,64 @@ TEST(Sarif, LintResultsDedupToo) {
   EXPECT_EQ(results->arr.size(), unique);
 }
 
+TEST(Sarif, WitnessDisabledOutputIsByteStable) {
+  // The 2-arg exporter and an explicit nullptr verdict list must render
+  // byte-identically for both drivers — witness mode off leaves existing
+  // SARIF consumers (and golden diffs) untouched.
+  const LintReport lrep = lint([](Assembler& a) {
+    a.li(Reg::kT0, kSrBase);
+    a.sd(Reg::kZero, Reg::kT0, 0);
+    a.ebreak();
+  });
+  EXPECT_EQ(to_sarif(lrep, "stable.s"), to_sarif(lrep, "stable.s", nullptr));
+  EXPECT_EQ(to_sarif(lrep, "stable.s").find("ptsym"), std::string::npos);
+
+  const FlowReport frep =
+      flow_report_with({{FlowDiagKind::kSecretEscapes, kBase}});
+  EXPECT_EQ(to_sarif(frep, "stable.s"), to_sarif(frep, "stable.s", nullptr));
+  EXPECT_EQ(to_sarif(frep, "stable.s").find("ptsym"), std::string::npos);
+}
+
+TEST(Sarif, WitnessVerdictsLandInResultProperties) {
+  const FlowReport rep =
+      flow_report_with({{FlowDiagKind::kSecretEscapes, kBase},
+                        {FlowDiagKind::kUnresolvedCall, kBase + 8}});
+
+  // Verdicts are parallel to rep.violations() — one here (the note is not
+  // refined).
+  std::vector<symexec::SymVerdict> verdicts(1);
+  verdicts[0].verdict = symexec::Verdict::kWitnessed;
+  verdicts[0].kind_index = static_cast<unsigned>(FlowDiagKind::kSecretEscapes);
+  verdicts[0].pc = kBase;
+  verdicts[0].rule_id = "PTF101";
+  verdicts[0].detail = "witness path of 3 instruction(s)";
+  verdicts[0].paths_explored = 2;
+  verdicts[0].depth_bound = 3;
+  verdicts[0].witness.emplace();
+  verdicts[0].witness->path = {kBase - 8, kBase - 4, kBase};
+
+  const auto doc = telemetry::json_parse(to_sarif(rep, "wit.s", &verdicts));
+  ASSERT_TRUE(doc.has_value());
+  const telemetry::JsonValue* results =
+      doc->find("runs")->arr[0].find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->arr.size(), 2u);
+
+  const telemetry::JsonValue* props = results->arr[0].find("properties");
+  ASSERT_NE(props, nullptr);
+  ASSERT_NE(props->find("ptsymVerdict"), nullptr);
+  EXPECT_EQ(props->find("ptsymVerdict")->str, "WITNESSED");
+  EXPECT_EQ(props->find("ptsymPaths")->number, 2.0);
+  EXPECT_EQ(props->find("ptsymDepth")->number, 3.0);
+  EXPECT_EQ(props->find("ptsymWitnessSteps")->number, 3.0);
+
+  // The note result carries no verdict annotations.
+  const telemetry::JsonValue* note_props = results->arr[1].find("properties");
+  ASSERT_NE(note_props, nullptr);
+  EXPECT_EQ(note_props->find("ptsymVerdict"), nullptr);
+  EXPECT_NE(note_props->find("pc"), nullptr);
+}
+
 TEST(Sarif, CleanReportHasEmptyResults) {
   const LintReport rep = lint([](Assembler& a) {
     a.nop();

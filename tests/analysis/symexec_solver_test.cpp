@@ -1,0 +1,138 @@
+// ptsym constraint-propagator soundness: reduce() must never exclude a
+// value it previously admitted, branch splits must respect signedness, and
+// budget exhaustion must surface as kBudget (the driver's UNKNOWN) — never
+// as a sound UNSAT.
+#include "analysis/symexec/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/symexec/expr.h"
+
+namespace ptstore::analysis::symexec {
+namespace {
+
+/// Deterministic LCG (same constants as common/rng idiom) so the sampling
+/// fuzz below is reproducible.
+u64 lcg(u64& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s;
+}
+
+TEST(SymexecDomain, ReduceRoundTripIsSound) {
+  u64 seed = 0x5eed;
+  for (int iter = 0; iter < 2000; ++iter) {
+    Domain d;
+    u64 a = lcg(seed), b = lcg(seed);
+    d.lo = a < b ? a : b;
+    d.hi = a < b ? b : a;
+    // Narrow intervals exercise the common-prefix extraction harder.
+    if (iter % 2 == 0) d.hi = d.lo + (lcg(seed) & 0xFFFF);
+    d.kmask = lcg(seed) & lcg(seed);  // sparse known bits
+    d.kval = lcg(seed) & d.kmask;
+
+    // Sample values that pass contains() before reduction.
+    std::vector<u64> admitted;
+    for (int s = 0; s < 64; ++s) {
+      const u64 span = d.hi - d.lo;
+      u64 v = d.lo + (span == ~u64{0} ? lcg(seed) : lcg(seed) % (span + 1));
+      v = (v & ~d.kmask) | d.kval;  // force known bits, keep the rest
+      if (d.contains(v)) admitted.push_back(v);
+    }
+
+    Domain r = d;
+    r.reduce();
+    for (u64 v : admitted) {
+      ASSERT_TRUE(r.contains(v))
+          << "reduce() excluded admitted value " << std::hex << v
+          << " from [" << d.lo << "," << d.hi << "] kmask=" << d.kmask
+          << " kval=" << d.kval;
+    }
+  }
+}
+
+TEST(SymexecDomain, ReduceTightensIntervalToKnownBitsEnvelope) {
+  Domain d = Domain::range(0, ~u64{0});
+  d.meet_known(0xFF, 0x80);  // low byte pinned to 0x80
+  d.reduce();
+  EXPECT_GE(d.lo, u64{0x80});
+  EXPECT_TRUE(d.contains(0x80));
+  EXPECT_FALSE(d.contains(0x81));
+}
+
+TEST(SymexecSolver, SolvesLinearEquality) {
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kReg, 5);
+  const ExprId sum = arena.binary(ExprOp::kAdd, x, arena.constant(5));
+  Solver solver(arena, 64);
+  solver.require_eq(sum, 12);
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(arena.eval(x, r.assign), u64{7});
+}
+
+TEST(SymexecSolver, AlignmentMeetsRange) {
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kReg, 5);
+  Solver solver(arena, 256);
+  solver.require_in(x, 0x101, 0x1FF);
+  Domain aligned = Domain::top();
+  aligned.meet_known(7, 0);  // 8-byte aligned
+  solver.require(x, aligned);
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  const u64 v = arena.eval(x, r.assign);
+  EXPECT_GE(v, u64{0x101});
+  EXPECT_LE(v, u64{0x1FF});
+  EXPECT_EQ(v & 7, u64{0});
+}
+
+TEST(SymexecSolver, SignedLessThanZeroIsSatisfiable) {
+  // x <s 0 has solutions (sign bit set)...
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kReg, 5);
+  const ExprId lt = arena.binary(ExprOp::kLts, x, arena.constant(0));
+  Solver solver(arena, 256);
+  solver.require_eq(lt, 1);
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_GE(arena.eval(x, r.assign), u64{1} << 63);
+}
+
+TEST(SymexecSolver, UnsignedLessThanZeroIsUnsat) {
+  // ...while x <u 0 has none; the split must not conflate the orders.
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kReg, 5);
+  const ExprId lt = arena.binary(ExprOp::kLtu, x, arena.constant(0));
+  Solver solver(arena, 256);
+  solver.require_eq(lt, 1);
+  EXPECT_EQ(solver.solve().status, SolveStatus::kUnsat);
+}
+
+TEST(SymexecSolver, BudgetExhaustionIsUnknownNotUnsat) {
+  // x*x == 999983 is infeasible (999983 % 8 == 7; squares mod 8 are
+  // 0/1/4), but the multiply transfer cannot refute it abstractly, so a
+  // tiny split budget must end in kBudget — reporting UNSAT here would be
+  // an unsound BOUNDED-UNREACHABLE upstream.
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kReg, 5);
+  const ExprId sq = arena.binary(ExprOp::kMul, x, x);
+  Solver solver(arena, 4);
+  solver.require_eq(sq, 999983);
+  EXPECT_EQ(solver.solve().status, SolveStatus::kBudget);
+}
+
+TEST(SymexecSolver, PreferredValueWinsWhenFeasible) {
+  ExprArena arena;
+  const ExprId x = arena.input(InputOrigin::kMem, 0);
+  InputInfo& info = arena.input_info(arena.node(x).input);
+  info.preferred = 0x5EC7'E700'0000'0000ull;
+  info.has_preferred = true;
+  Solver solver(arena, 64);
+  solver.require_in(x, 1, ~u64{0});
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(arena.eval(x, r.assign), 0x5EC7'E700'0000'0000ull);
+}
+
+}  // namespace
+}  // namespace ptstore::analysis::symexec

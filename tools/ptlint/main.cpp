@@ -25,13 +25,26 @@
 //   --expect-violation exit 0 only if at least one violation is reported
 //   --sarif FILE       also write the report as SARIF 2.1.0 (single-file
 //                      and --kernel modes; CI uploads this to code scanning)
+//   --witness          refine every violation with bounded symbolic
+//                      execution (ptsym): search for a replayable witness
+//                      path, replay it on the concrete System, and print a
+//                      WITNESSED / BOUNDED-UNREACHABLE / UNKNOWN verdict
+//                      per diagnostic. In corpus modes each seeded
+//                      violation must come back WITNESSED.
+//   --witness-budget N solver split budget per diagnostic (default 4096)
+//   --witness-json F   write all verdicts + witness traces as JSON
 //   -v                 also print notes and summary for clean images
 //
-// Exit codes: 0 expectation met, 1 violated, 2 usage/input error.
+// Exit codes: 0 expectation met, 1 violated, 2 usage/input error. With
+// --witness (single-file / --kernel modes) the refinement outcome is
+// encoded too: 1 witnessed violations, 3 every violation
+// BOUNDED-UNREACHABLE, 4 some verdict UNKNOWN, 0 clean.
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/corpus.h"
@@ -39,6 +52,8 @@
 #include "analysis/ptflow.h"
 #include "analysis/ptlint.h"
 #include "analysis/sarif.h"
+#include "analysis/symexec/ptsym.h"
+#include "attacks/witness_replay.h"
 #include "kernel/pagetable.h"
 
 namespace {
@@ -65,11 +80,87 @@ bool parse_u64(const std::string& s, u64* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: ptlint [--base ADDR] [--sr BASE:END] [--expect-clean | "
-               "--expect-violation] [--sarif FILE] [-v] file.s\n"
-               "       ptlint [--sr BASE:END] --corpus <name|all>\n"
+               "--expect-violation] [--sarif FILE] [--witness] "
+               "[--witness-budget N] [--witness-json FILE] [-v] file.s\n"
+               "       ptlint [--sr BASE:END] [--witness] --corpus <name|all>\n"
                "       ptlint --flow [--backend B] [--sr BASE:END] "
-               "[--sarif FILE] [-v] (file.s | --kernel | --corpus <name|all>)\n");
+               "[--sarif FILE] [--witness] [-v] "
+               "(file.s | --kernel | --corpus <name|all>)\n");
   return 2;
+}
+
+namespace symx = ptstore::analysis::symexec;
+
+/// Witness-mode options threaded through every driver mode.
+struct WitnessOpts {
+  bool enabled = false;
+  symx::WitnessBudget budget;
+  std::string json_path;
+  /// Verdicts accumulated across the run for --witness-json.
+  std::vector<symx::SymVerdict> all;
+};
+
+/// Replay every candidate witness on the concrete System for `backend`;
+/// failures downgrade the verdict to UNKNOWN (a witness that does not
+/// reproduce architecturally is no witness).
+void replay_verdicts(const Image& img, BackendKind backend,
+                     std::vector<symx::SymVerdict>& verdicts) {
+  for (symx::SymVerdict& v : verdicts) {
+    if (v.verdict != symx::Verdict::kWitnessed || !v.witness) continue;
+    const attacks::WitnessReplayReport rr =
+        attacks::replay_witness(img, *v.witness, backend);
+    if (rr.ok) {
+      v.detail += "; replayed " + std::to_string(rr.steps) + " step(s), " +
+                  rr.detail;
+    } else {
+      v.verdict = symx::Verdict::kUnknown;
+      v.detail = "replay failed: " + rr.detail;
+      v.witness.reset();
+    }
+  }
+}
+
+void print_verdicts(const std::vector<symx::SymVerdict>& verdicts) {
+  for (const symx::SymVerdict& v : verdicts) {
+    std::printf("  witness %s @0x%llx: %s — %s\n", v.rule_id.c_str(),
+                static_cast<unsigned long long>(v.pc),
+                symx::verdict_name(v.verdict), v.detail.c_str());
+  }
+}
+
+/// Witness-mode exit code for single-file / kernel runs. Witnessed
+/// violations dominate (the finding is confirmed real), then UNKNOWN,
+/// then all-BOUNDED-UNREACHABLE, then clean.
+int witness_exit(const std::vector<symx::SymVerdict>& verdicts,
+                 bool expect_violation) {
+  size_t witnessed = 0, unknown = 0, unreachable = 0;
+  for (const symx::SymVerdict& v : verdicts) {
+    switch (v.verdict) {
+      case symx::Verdict::kWitnessed: ++witnessed; break;
+      case symx::Verdict::kUnknown: ++unknown; break;
+      case symx::Verdict::kBoundedUnreachable: ++unreachable; break;
+    }
+  }
+  std::printf("ptsym: %zu witnessed, %zu bounded-unreachable, %zu unknown\n",
+              witnessed, unreachable, unknown);
+  if (expect_violation) return witnessed > 0 ? 0 : 1;
+  if (witnessed > 0) return 1;
+  if (unknown > 0) return 4;
+  if (unreachable > 0) return 3;
+  return 0;
+}
+
+/// Flush accumulated verdicts to --witness-json. Returns false on I/O error.
+bool write_witness_json(WitnessOpts& w, const std::string& image_name,
+                        const std::string& backend_name) {
+  if (w.json_path.empty()) return true;
+  std::ofstream jf(w.json_path);
+  if (!jf) {
+    std::fprintf(stderr, "ptlint: cannot write %s\n", w.json_path.c_str());
+    return false;
+  }
+  jf << symx::witnesses_to_json(w.all, image_name, backend_name);
+  return true;
 }
 
 bool write_sarif(const std::string& path, const std::string& doc,
@@ -83,7 +174,8 @@ bool write_sarif(const std::string& path, const std::string& doc,
   return true;
 }
 
-int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose) {
+int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose,
+               WitnessOpts& wit) {
   const auto corpus = violation_corpus(sr_base, sr_end);
   if (which != "all" && find_entry(corpus, which) == nullptr) {
     std::fprintf(stderr, "ptlint: unknown corpus entry '%s'\n", which.c_str());
@@ -109,13 +201,37 @@ int run_corpus(const std::string& which, u64 sr_base, u64 sr_end, bool verbose) 
                 pass ? "PASS" : "FAIL", e.description.c_str(),
                 e.expect_clean ? "clean" : diag_kind_name(e.expected));
     if (!pass || verbose) std::fputs(rep.format().c_str(), stdout);
+    if (wit.enabled && pass && !e.expect_clean) {
+      // The seeded diagnostic must refine to WITNESSED and survive replay
+      // (ptlint invariants are PTStore's; replay under that backend).
+      std::vector<symx::SymVerdict> verdicts =
+          symx::symexec_lint(e.image, rep, cfg, wit.budget);
+      replay_verdicts(e.image, BackendKind::kPtstore, verdicts);
+      bool witnessed = false;
+      for (const symx::SymVerdict& v : verdicts) {
+        if (v.kind_index == static_cast<unsigned>(e.expected) &&
+            v.verdict == symx::Verdict::kWitnessed)
+          witnessed = true;
+      }
+      print_verdicts(verdicts);
+      if (!witnessed) {
+        std::printf("%-18s WITNESS-FAIL (expected %s WITNESSED)\n",
+                    e.name.c_str(), diag_kind_name(e.expected));
+        ++failures;
+      }
+      wit.all.insert(wit.all.end(),
+                     std::make_move_iterator(verdicts.begin()),
+                     std::make_move_iterator(verdicts.end()));
+    }
     failures += pass ? 0 : 1;
   }
+  if (!write_witness_json(wit, "corpus:" + which, "ptstore")) return 2;
   return failures == 0 ? 0 : 1;
 }
 
 int run_flow_corpus(const std::string& which, BackendKind backend,
-                    bool backend_given, u64 sr_base, u64 sr_end, bool verbose) {
+                    bool backend_given, u64 sr_base, u64 sr_end, bool verbose,
+                    WitnessOpts& wit) {
   const auto corpus = flow_violation_corpus(sr_base, sr_end);
   if (which != "all" && find_flow_entry(corpus, which) == nullptr) {
     std::fprintf(stderr, "ptlint: unknown flow corpus entry '%s'\n",
@@ -141,24 +257,64 @@ int run_flow_corpus(const std::string& which, BackendKind backend,
                 pass ? "PASS" : "FAIL", e.description.c_str(),
                 e.expect_clean ? "clean" : flow_diag_kind_name(e.expected));
     if (!pass || verbose) std::fputs(rep.format().c_str(), stdout);
+    if (wit.enabled && pass && !e.expect_clean) {
+      // The seeded flow diagnostic must refine to WITNESSED and replay on
+      // the System configured for this entry's backend.
+      std::vector<symx::SymVerdict> verdicts =
+          symx::symexec_flow(e.image, rep, spec, wit.budget);
+      replay_verdicts(e.image, e.backend, verdicts);
+      bool witnessed = false;
+      for (const symx::SymVerdict& v : verdicts) {
+        if (v.kind_index == static_cast<unsigned>(e.expected) &&
+            v.verdict == symx::Verdict::kWitnessed)
+          witnessed = true;
+      }
+      print_verdicts(verdicts);
+      if (!witnessed) {
+        std::printf("%-34s WITNESS-FAIL (expected %s WITNESSED)\n",
+                    e.name.c_str(), flow_diag_kind_name(e.expected));
+        ++failures;
+      }
+      wit.all.insert(wit.all.end(),
+                     std::make_move_iterator(verdicts.begin()),
+                     std::make_move_iterator(verdicts.end()));
+    }
     failures += pass ? 0 : 1;
   }
+  if (!write_witness_json(wit, "flow-corpus:" + which,
+                          backend_given ? to_string(backend) : "all"))
+    return 2;
   return failures == 0 ? 0 : 1;
 }
 
-int report_flow(const FlowReport& rep, const std::string& what,
+int report_flow(const FlowReport& rep, const Image& img, const FlowSpec& spec,
+                BackendKind backend, const std::string& what,
                 const std::string& sarif_path, bool expect_violation,
-                bool verbose) {
+                bool verbose, WitnessOpts& wit) {
+  std::vector<symx::SymVerdict> verdicts;
+  if (wit.enabled) {
+    verdicts = symx::symexec_flow(img, rep, spec, wit.budget);
+    replay_verdicts(img, backend, verdicts);
+  }
   if (!sarif_path.empty() &&
-      !write_sarif(sarif_path, to_sarif(rep, what), "ptlint")) {
+      !write_sarif(sarif_path,
+                   to_sarif(rep, what, wit.enabled ? &verdicts : nullptr),
+                   "ptlint")) {
     return 2;
   }
   const size_t violations = rep.violation_count();
   if (violations > 0 || verbose) std::fputs(rep.format().c_str(), stdout);
+  if (wit.enabled) print_verdicts(verdicts);
   std::printf("%s: %zu function(s), %zu call site(s), %zu unresolved, "
               "%zu violation(s)\n",
               what.c_str(), rep.function_count, rep.callsite_count,
               rep.unresolved_calls, violations);
+  if (wit.enabled) {
+    const int rc = witness_exit(verdicts, expect_violation);
+    wit.all = std::move(verdicts);
+    if (!write_witness_json(wit, what, to_string(backend))) return 2;
+    return rc;
+  }
   if (expect_violation) return violations > 0 ? 0 : 1;
   return violations == 0 ? 0 : 1;
 }
@@ -177,6 +333,7 @@ int main(int argc, char** argv) {
   bool kernel = false;
   bool expect_violation = false;
   bool verbose = false;
+  WitnessOpts wit;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -210,6 +367,17 @@ int main(int argc, char** argv) {
       backend_name = v;
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend_name = arg.substr(10);
+    } else if (arg == "--witness") {
+      wit.enabled = true;
+    } else if (arg == "--witness-budget") {
+      const char* v = next();
+      u64 n = 0;
+      if (v == nullptr || !parse_u64(v, &n) || n == 0) return usage();
+      wit.budget.solver_splits = static_cast<u32>(n);
+    } else if (arg == "--witness-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      wit.json_path = v;
     } else if (arg == "--flow") {
       flow = true;
     } else if (arg == "--kernel") {
@@ -244,14 +412,14 @@ int main(int argc, char** argv) {
   if (flow) {
     if (!corpus.empty()) {
       return run_flow_corpus(corpus, backend, !backend_name.empty(), sr_base,
-                             sr_end, verbose);
+                             sr_end, verbose, wit);
     }
     if (kernel) {
       const Image img = reference_kernel_image(backend, sr_base, sr_end);
       const FlowSpec spec = FlowSpec::for_backend(backend, sr_base, sr_end);
-      return report_flow(flow_verify(img, spec),
+      return report_flow(flow_verify(img, spec), img, spec, backend,
                          std::string("kernel:") + to_string(backend),
-                         sarif_path, expect_violation, verbose);
+                         sarif_path, expect_violation, verbose, wit);
     }
     if (file.empty()) return usage();
     std::ifstream in(file);
@@ -269,11 +437,12 @@ int main(int argc, char** argv) {
     }
     const Image img = Image::from_assembly(res, base);
     const FlowSpec spec = FlowSpec::for_backend(backend, sr_base, sr_end);
-    return report_flow(flow_verify(img, spec), file, sarif_path,
-                       expect_violation, verbose);
+    return report_flow(flow_verify(img, spec), img, spec, backend, file,
+                       sarif_path, expect_violation, verbose, wit);
   }
 
-  if (!corpus.empty()) return run_corpus(corpus, sr_base, sr_end, verbose);
+  if (!corpus.empty())
+    return run_corpus(corpus, sr_base, sr_end, verbose, wit);
   if (file.empty()) return usage();
 
   std::ifstream in(file);
@@ -297,15 +466,30 @@ int main(int argc, char** argv) {
   const Image img = Image::from_assembly(res, base);
   const LintReport rep = lint_image(img, cfg);
 
+  std::vector<symx::SymVerdict> verdicts;
+  if (wit.enabled) {
+    verdicts = symx::symexec_lint(img, rep, cfg, wit.budget);
+    replay_verdicts(img, BackendKind::kPtstore, verdicts);
+  }
+
   if (!sarif_path.empty() &&
-      !write_sarif(sarif_path, to_sarif(rep, file), "ptlint")) {
+      !write_sarif(sarif_path,
+                   to_sarif(rep, file, wit.enabled ? &verdicts : nullptr),
+                   "ptlint")) {
     return 2;
   }
 
   const size_t violations = rep.violation_count();
   if (violations > 0 || verbose) std::fputs(rep.format().c_str(), stdout);
+  if (wit.enabled) print_verdicts(verdicts);
   std::printf("%s: %zu instruction(s), %zu reachable, %zu violation(s)\n",
               file.c_str(), img.words.size(), rep.reachable.size(), violations);
+  if (wit.enabled) {
+    const int rc = witness_exit(verdicts, expect_violation);
+    wit.all = std::move(verdicts);
+    if (!write_witness_json(wit, file, "ptstore")) return 2;
+    return rc;
+  }
   if (expect_violation) return violations > 0 ? 0 : 1;
   return violations == 0 ? 0 : 1;
 }

@@ -17,7 +17,9 @@ namespace ptstore::analysis::ptmc {
 //   [37..44] tokens[t]: live (1) + pt_page (3)
 //   [45..49] satp: root (3) + s (1) + bound (1)
 //   [50..52] forced_alloc
-// 53 bits total — fits a u64 key exactly.
+//   [53..57] satp1: root (3) + s (1) + bound (1)   (SMP extension)
+// 58 bits total — fits a u64 key. satp1 is constant in single-hart mode, so
+// the historical 53-bit keyspace is embedded unchanged.
 
 u64 State::pack() const {
   u64 k = static_cast<u64>(boundary - 1);
@@ -48,6 +50,10 @@ u64 State::pack() const {
        << shift;
   shift += 5;
   k |= static_cast<u64>(forced_alloc) << shift;
+  shift += 3;
+  k |= (static_cast<u64>(satp1.root) | (static_cast<u64>(satp1.s) << 3) |
+        (static_cast<u64>(satp1.bound) << 4))
+       << shift;
   return k;
 }
 
@@ -105,6 +111,21 @@ const std::vector<Op>& all_ops() {
   return ops;
 }
 
+const std::vector<Op>& all_ops_smp() {
+  // Append-only: IDs 0..47 are all_ops() verbatim; the hart-1 interleavings
+  // take 48..50. Only the ops whose semantics read per-hart state run on
+  // hart 1 — everything else is hart-agnostic (shared memory), and modelling
+  // it per-hart would only square the alphabet without reaching new states.
+  static const std::vector<Op> ops = [] {
+    std::vector<Op> v = all_ops();
+    for (u8 p = 0; p < kNumProcs; ++p)
+      v.push_back({OpKind::kSwitchMm, p, 0, 1});
+    v.push_back({OpKind::kUserAccess, 0, 0, 1});
+    return v;
+  }();
+  return ops;
+}
+
 namespace {
 
 const char* token_ref_name(TokenRef r) {
@@ -154,6 +175,7 @@ std::string describe(const Op& op) {
       os << "atk: csrw satp = " << page_name(op.a);
       break;
   }
+  if (op.hart != 0) os << "@h" << int{op.hart};
   return os.str();
 }
 
@@ -193,6 +215,12 @@ std::string describe(const State& s) {
   }
   os << "] satp=" << page_name(s.satp.root) << (s.satp.s ? "+S" : "")
      << (s.satp.bound ? "" : "!unbound");
+  // Hart 1's satp appears only once it has left its reset value, so
+  // single-hart renderings are unchanged.
+  if (s.satp1.root != kNoPage || s.satp1.s || !s.satp1.bound) {
+    os << " satp@h1=" << page_name(s.satp1.root) << (s.satp1.s ? "+S" : "")
+       << (s.satp1.bound ? "" : "!stale");
+  }
   if (s.forced_alloc != kNoPage) os << " forced=" << page_name(s.forced_alloc);
   return os.str();
 }
@@ -289,7 +317,7 @@ std::optional<Successor> apply_alloc_pt(const State& s, u8 p,
 }
 
 std::optional<Successor> apply_switch(const State& s, u8 p,
-                                      const ModelConfig& cfg) {
+                                      const ModelConfig& cfg, u8 hart) {
   if (!s.procs[p].live) return std::nullopt;
   const u8 pgd = s.procs[p].pgd;
   if (pgd == kNoPage) return std::nullopt;
@@ -309,8 +337,10 @@ std::optional<Successor> apply_switch(const State& s, u8 p,
       }
       case TokenRef::kFake:
         // A forged token image in normal memory validates only if ld.pt can
-        // reach it (S-bit enforcement off) and the attacker has written it.
-        valid = !cfg.s_bit && s.pages[0].content == PageContent::kAttacker;
+        // reach it (S-bit enforcement off), the attacker has written it, and
+        // the credential scheme is forgeable at all (not DPTI/PTAuth).
+        valid = !cfg.s_bit && !cfg.cred_unforgeable &&
+                s.pages[0].content == PageContent::kAttacker;
         break;
     }
     if (!valid) return std::nullopt;  // switch_mm: kTokenReject.
@@ -319,8 +349,9 @@ std::optional<Successor> apply_switch(const State& s, u8 p,
   suc.next = s;
   const bool bound =
       s.procs[p].ghost_root != kNoPage && pgd == s.procs[p].ghost_root;
-  suc.next.satp = {pgd, cfg.ptw_check, bound};
+  suc.next.satp_of(hart) = {pgd, cfg.ptw_check, bound};
   suc.note = "satp <- " + page_name(pgd);
+  if (hart != 0) suc.note += " on hart " + std::to_string(hart);
   if (!bound) {
     suc.violations |= kP2;
     suc.note += "; P2: root was never issued to p" + std::to_string(p);
@@ -328,18 +359,34 @@ std::optional<Successor> apply_switch(const State& s, u8 p,
   return suc;
 }
 
-std::optional<Successor> apply_user_access(const State& s) {
-  const u8 root = s.satp.root;
+std::optional<Successor> apply_user_access(const State& s,
+                                           const ModelConfig& cfg, u8 hart) {
+  const SatpState& sp = s.satp_of(hart);
+  const u8 root = sp.root;
   if (root == kNoPage) return std::nullopt;  // Kernel address space.
   Successor suc;
   suc.next = s;
+  // SMP: `!bound` on a still-held root marks a satp left stale by a
+  // shootdown that never arrived (ipi sabotage). Walking it is harmless
+  // while the page sits free and zeroed — the breach is when the allocator
+  // recycles it into ANOTHER process's page table and this hart silently
+  // runs on an address space the kernel never issued to it: P2.
+  if (cfg.nharts >= 2 && !sp.bound &&
+      s.pages[root].status == PageStatus::kPt) {
+    suc.violations = kP2;
+    suc.note = "P2: hart " + std::to_string(hart) + " walked stale root " +
+               page_name(root) + ", recycled to another process";
+    return suc;
+  }
   if (!is_secure(s, root)) {
     // Root fetch comes from normal memory. With satp.S the walker refuses
     // it (architectural fault — attack blocked, nothing to report). Without
     // it, consuming an attacker-written entry is exactly P1; zeroed or
-    // stale-PT pages fault or walk benignly instead.
-    if (s.satp.s) return std::nullopt;
+    // stale-PT pages fault or walk benignly instead. A verifying walker
+    // (PTAuth) faults on the unauthenticated entry the same way.
+    if (sp.s) return std::nullopt;
     if (s.pages[root].content != PageContent::kAttacker) return std::nullopt;
+    if (cfg.verify_on_walk) return std::nullopt;
     suc.violations = kP1;
     suc.note = "P1: walker consumed attacker PTE from " + page_name(root);
     return suc;
@@ -347,8 +394,8 @@ std::optional<Successor> apply_user_access(const State& s) {
   // Root inside the region: the level-0 fetch is in-region, but if the
   // attacker controls the root's *content* its entries point at a fake
   // hierarchy in normal memory (page 0) — the next fetch is out-of-region.
-  if (s.pages[root].content == PageContent::kAttacker && !s.satp.s &&
-      s.pages[0].content == PageContent::kAttacker) {
+  if (s.pages[root].content == PageContent::kAttacker && !sp.s &&
+      !cfg.verify_on_walk && s.pages[0].content == PageContent::kAttacker) {
     suc.violations = kP1;
     suc.note = "P1: in-region root chained to attacker tables in page0";
     return suc;
@@ -379,10 +426,27 @@ std::optional<Successor> apply(const State& s, const Op& op,
       suc.next.procs[op.a] = ProcState{};
       suc.next.tokens[op.a] = TokenState{};
       suc.note = "p" + std::to_string(op.a) + " reaped";
+      // SMP: the teardown's cross-hart shootdown (retire_mm). A remote hart
+      // parked on one of the dying roots is repointed at the kernel address
+      // space (leave_mm) once its IPI lands; with the sabotage knob the IPI
+      // never arrives and its satp goes stale — it keeps the root, and the
+      // `bound` ghost drops to mark the missing shootdown.
+      if (cfg.nharts >= 2) {
+        SatpState& h1 = suc.next.satp1;
+        if (h1.root != kNoPage && (h1.root == ghost || h1.root == extra)) {
+          if (cfg.ipi) {
+            h1 = {kNoPage, h1.s, true};
+            suc.note += "; hart 1 shot down";
+          } else {
+            h1.bound = false;
+            suc.note += "; hart 1 satp stale (no IPI)";
+          }
+        }
+      }
       return suc;
     }
     case OpKind::kSwitchMm:
-      return apply_switch(s, op.a, cfg);
+      return apply_switch(s, op.a, cfg, op.hart);
     case OpKind::kAllocPt:
       return apply_alloc_pt(s, op.a, cfg);
     case OpKind::kFreePt: {
@@ -407,12 +471,20 @@ std::optional<Successor> apply(const State& s, const Op& op,
       return suc;
     }
     case OpKind::kUserAccess:
-      return apply_user_access(s);
+      return apply_user_access(s, cfg, op.hart);
     case OpKind::kAtkWritePage: {
       if (cfg.s_bit && is_secure(s, op.a)) return std::nullopt;  // PMP fault.
       Successor suc;
       suc.next = s;
-      suc.next.pages[op.a].content = PageContent::kAttacker;
+      // Verifying-walker backends (PTAuth): attacker bytes are
+      // indistinguishable from stale PT bytes to every defence predicate —
+      // the walker faults on both, the zero check rejects both, and
+      // credentials can't be fabricated from them. Folding the two content
+      // classes is an exact quotient of the transition system that keeps
+      // the placement-unrestricted closure enumerable.
+      suc.next.pages[op.a].content =
+          cfg.verify_on_walk && cfg.cred_unforgeable ? PageContent::kPtData
+                                                     : PageContent::kAttacker;
       suc.note = page_name(op.a) + " now attacker-controlled";
       return suc;
     }
@@ -437,8 +509,9 @@ std::optional<Successor> apply(const State& s, const Op& op,
     }
     case OpKind::kAtkForgeToken: {
       // The token table sits in the secure region: a regular store into it
-      // is exactly what the S bit forbids.
-      if (cfg.s_bit) return std::nullopt;
+      // is exactly what the S bit forbids. Unforgeable-credential backends
+      // (DPTI registry, PTAuth MAC) are immune regardless of placement.
+      if (cfg.s_bit || cfg.cred_unforgeable) return std::nullopt;
       if (s.tokens[op.a].live && s.tokens[op.a].pt_page == op.b)
         return std::nullopt;
       Successor suc;
@@ -522,6 +595,8 @@ Counterexample rebuild_counterexample(
 
 CheckResult check(const ModelConfig& cfg) {
   CheckResult res;
+  const std::vector<Op>& alphabet =
+      cfg.nharts >= 2 ? all_ops_smp() : all_ops();
   const State init = State::initial();
   const u64 init_key = init.pack();
 
@@ -540,7 +615,7 @@ CheckResult check(const ModelConfig& cfg) {
       res.depth_capped = true;
       continue;
     }
-    for (const Op& op : all_ops()) {
+    for (const Op& op : alphabet) {
       auto suc = apply(s, op, cfg);
       if (!suc) continue;
       ++res.transitions;
@@ -667,6 +742,18 @@ std::vector<MutationEntry> mutation_matrix(const ModelConfig& base) {
         "is still a kernel-issued in-region table, so all properties hold";
     m.push_back(e);
   }
+  if (base.nharts >= 2) {
+    // Appended (never reordered) and only under an SMP base, so the
+    // single-hart matrix — and everything golden-pinned to it — is intact.
+    MutationEntry e{"ipi", base, kP2, 0, ""};
+    e.cfg.ipi = false;
+    e.rationale =
+        "exit_mm skips the shootdown IPI: a remote hart stays parked on the "
+        "retired root, and once the allocator recycles that page into "
+        "another process's tables the hart's next user access runs on an "
+        "address space the kernel never issued to it";
+    m.push_back(e);
+  }
   return m;
 }
 
@@ -706,8 +793,15 @@ void write_config(telemetry::JsonWriter& w, const ModelConfig& cfg) {
       .kv("csr_gadget", cfg.csr_gadget)
       .kv("allow_grow", cfg.allow_grow)
       .kv("max_depth", static_cast<u64>(cfg.max_depth))
-      .kv("max_states", cfg.max_states)
-      .end_object();
+      .kv("max_states", cfg.max_states);
+  // SMP / backend-capability keys are emitted only when they deviate from
+  // the historical model, keeping single-hart PTStore JSON byte-identical.
+  if (cfg.nharts > 1) {
+    w.kv("nharts", static_cast<u64>(cfg.nharts)).kv("ipi", cfg.ipi);
+  }
+  if (cfg.verify_on_walk) w.kv("verify_on_walk", true);
+  if (cfg.cred_unforgeable) w.kv("cred_unforgeable", true);
+  w.end_object();
 }
 
 }  // namespace

@@ -31,7 +31,16 @@
 //   P4  no page-table page is placed with non-zero (stale or attacker)
 //       content — freed PT pages are zeroed before reuse.
 //
-// The checker is a BFS over packed 53-bit states with hash dedup, so every
+// SMP extension: with ModelConfig::nharts == 2 the state gains a second
+// satp (hart 1), the alphabet gains hart-1 interleavings of switch_mm and
+// user_access, and exit_mm models the cross-hart TLB-shootdown protocol —
+// with IPIs on, a remote hart parked on the dying root is repointed at the
+// kernel space (leave_mm); with the sabotage knob (ipi = false) its satp
+// goes stale, and a later user access through the recycled root is the P2
+// breach the shootdown exists to prevent. nharts == 1 reproduces the
+// historical model bit-for-bit.
+//
+// The checker is a BFS over packed 58-bit states with hash dedup, so every
 // counterexample is shortest-first. Each ModelConfig defence flag mirrors
 // one concrete kernel/PMP knob, which is what lets ptmc's counterexamples
 // be replayed op-for-op against the real System (src/attacks/ptmc_replay.h).
@@ -92,11 +101,22 @@ struct State {
   ProcState procs[kNumProcs];
   TokenState tokens[kNumProcs];
   SatpState satp;
+  /// Hart 1's satp (SMP extension). Constant at its initial value when
+  /// ModelConfig::nharts == 1, so single-hart packing/dedup is unchanged.
+  /// `bound == false` additionally marks a *stale* root: the address space
+  /// was retired but no shootdown IPI reached this hart.
+  SatpState satp1;
   u8 forced_alloc = kNoPage;  ///< Corrupted free list: next PT alloc target.
 
-  /// Canonical 53-bit packing — the BFS dedup key.
+  /// Canonical 58-bit packing — the BFS dedup key (53 historical bits plus
+  /// hart 1's satp at [53..57]).
   u64 pack() const;
   static State initial();
+
+  SatpState& satp_of(unsigned hart) { return hart == 0 ? satp : satp1; }
+  const SatpState& satp_of(unsigned hart) const {
+    return hart == 0 ? satp : satp1;
+  }
 };
 
 inline bool is_secure(const State& s, u8 page) { return page >= s.boundary; }
@@ -141,12 +161,21 @@ struct Op {
   OpKind kind = OpKind::kUserAccess;
   u8 a = 0;
   u8 b = 0;
+  u8 hart = 0;  ///< Executing hart (only switch_mm/user_access run on hart 1).
 };
 
-/// The fixed 48-op alphabet (every kind × operand combination).
+/// The fixed 48-op alphabet (every kind × operand combination). Op IDs are
+/// indices into this vector and are append-only (pinned by a golden test):
+/// saved counterexamples and seeds must replay identically across versions.
 const std::vector<Op>& all_ops();
 
-/// Human-readable rendering, e.g. "switch_mm(p1)" or "atk: pcb[0].pgd = page3".
+/// The 51-op SMP alphabet: all_ops() (IDs 0..47, hart 0) plus hart-1
+/// interleavings appended at IDs 48..50 — switch_mm(p0)@h1, switch_mm(p1)@h1,
+/// user_access@h1. Used when ModelConfig::nharts >= 2.
+const std::vector<Op>& all_ops_smp();
+
+/// Human-readable rendering, e.g. "switch_mm(p1)" or "atk: pcb[0].pgd = page3";
+/// hart-1 ops get an "@h1" suffix.
 std::string describe(const Op& op);
 /// Compact state rendering for traces and DOT labels.
 std::string describe(const State& s);
@@ -164,6 +193,21 @@ struct ModelConfig {
   u32 max_depth = 16;        ///< BFS depth bound (full closure needs 14).
   u64 max_states = 600'000;  ///< Visited-state budget (closure is ~254k).
   u8 stop_after_violated = 0;  ///< Stop early once these props are violated.
+
+  // ---- SMP extension. nharts == 1 reproduces the historical single-hart
+  // transition system bit-for-bit (alphabet, packing, counts). ----
+  unsigned nharts = 1;  ///< Model harts (1 or 2).
+  bool ipi = true;      ///< retire_mm sends shootdown IPIs; off = the
+                        ///< skip_shootdown_ipi sabotage knob, leaving remote
+                        ///< harts parked on stale roots.
+  // ---- Backend capability knobs (for modelling DPTI/PTAuth; the PTStore
+  // defaults leave both off). ----
+  bool verify_on_walk = false;    ///< Walker authenticates every PTE fetched
+                                  ///< (PTAuth): attacker PTEs fault instead
+                                  ///< of being consumed.
+  bool cred_unforgeable = false;  ///< Credentials can't be fabricated from
+                                  ///< normal memory (DPTI's registry, PTAuth's
+                                  ///< keyed MAC): forge/fake ops are inert.
 };
 
 /// One transition: op applied to a state either has no successor (the op is

@@ -19,7 +19,10 @@ class Replayer {
  public:
   explicit Replayer(const mc::ModelConfig& mcfg)
       : mcfg_(mcfg), sys_(make_config(mcfg)), proto_(sys_.kernel()) {
-    if (!mcfg.s_bit) sys_.core().pmp().set_secure_enforcement(false);
+    if (!mcfg.s_bit) {
+      for (unsigned h = 0; h < sys_.nharts(); ++h)
+        sys_.core(h).pmp().set_secure_enforcement(false);
+    }
   }
 
   ReplayReport run(const mc::Counterexample& ce) {
@@ -43,6 +46,11 @@ class Replayer {
     c.kernel.ptw_check = m.ptw_check;
     c.kernel.token_check = m.token_check;
     c.kernel.zero_check = m.zero_check;
+    c.nharts = m.nharts;
+    // The model's `ipi` knob maps onto the kernel's shootdown sabotage
+    // switch: an ipi-less model replays on a System whose initiating hart
+    // skips the cross-hart IPI leg (local sfence only).
+    c.kernel.skip_shootdown_ipi = !m.ipi;
     return c;
   }
 
@@ -105,6 +113,10 @@ class Replayer {
                                    ReplayReport& rep) {
     Kernel& k = sys_.kernel();
     const mc::Op& op = step.op;
+    // Execute each op on the hart the counterexample names: the kernel's
+    // active-hart switch rebinds KernelMem, so protocol calls below charge
+    // and take effect on that hart's core.
+    if (k.nharts() > 1) k.set_active_hart(op.hart < k.nharts() ? op.hart : 0);
     switch (op.kind) {
       case mc::OpKind::kSpawn: {
         const unsigned p = op.a;
@@ -188,10 +200,41 @@ class Replayer {
         return std::nullopt;
       }
       case mc::OpKind::kUserAccess: {
-        // In a counterexample this op only appears as the P1 witness: the
-        // walker must consume the attacker's out-of-region PTEs.
+        Core& pc = sys_.core(op.hart < sys_.nharts() ? op.hart : 0);
+        const mc::SatpState& sp = pre.satp_of(op.hart);
+        if (mcfg_.nharts >= 2 && (step.violations & mc::kP2) && !sp.bound) {
+          // SMP P2 witness: this hart's satp still carries a root that was
+          // retired without a shootdown and has since been recycled to a new
+          // process. The hart therefore translates through another process's
+          // live page tables while believing it runs the dead one.
+          const u64 stale_ppn = isa::satp::ppn(pc.mmu().satp());
+          unsigned owner = mc::kNumProcs;
+          for (unsigned p = 0; p < mc::kNumProcs; ++p) {
+            if (procs_[p] != nullptr &&
+                (k.processes().pcb_pgd(*procs_[p]) >> kPageShift) == stale_ppn)
+              owner = p;
+          }
+          if (owner == mc::kNumProcs) {
+            rep.detail = "remote hart's satp does not carry a recycled root";
+            return Outcome::kContained;
+          }
+          const MemAccessResult sprobe =
+              user_probe(pc, victim_va(owner), /*write=*/false);
+          if (!sprobe.ok) {
+            rep.detail = std::string("stale walk faulted: ") +
+                         isa::to_string(sprobe.fault);
+            return Outcome::kBlockedFault;
+          }
+          rep.detail = "hart " + std::to_string(op.hart) +
+                       " read another process's memory through a stale, "
+                       "recycled satp root (P2)";
+          log(rep, op, "stale satp breach on remote hart");
+          return Outcome::kSucceeded;
+        }
+        // Otherwise this op is the P1 witness: the walker must consume the
+        // attacker's out-of-region PTEs.
         const VirtAddr va = fake_built_ ? evil_va_ : victim_va(op.a);
-        const MemAccessResult probe = user_probe(sys_, va, /*write=*/true);
+        const MemAccessResult probe = user_probe(pc, va, /*write=*/true);
         if (!probe.ok) {
           rep.detail = std::string("PTW refused the injected tables: ") +
                        isa::to_string(probe.fault);
@@ -398,6 +441,7 @@ ReplayReport replay_counterexample(const analysis::ptmc::Counterexample& ce) {
 ReplayReport replay_on_stock(const analysis::ptmc::Counterexample& ce) {
   analysis::ptmc::ModelConfig stock = ce.cfg;
   stock.s_bit = stock.ptw_check = stock.token_check = stock.zero_check = true;
+  stock.ipi = true;  // The defended kernel always sends its shootdown IPIs.
   Replayer r(stock);
   return r.run(ce);
 }

@@ -27,9 +27,13 @@ Process* setup_victim(System& sys, u64 prot, VirtAddr va) {
 }
 
 MemAccessResult user_probe(System& sys, VirtAddr va, bool write) {
-  return sys.core().access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
-                              AccessKind::kRegular, Privilege::kUser,
-                              0x4141414141414141);
+  return user_probe(sys.core(), va, write);
+}
+
+MemAccessResult user_probe(Core& core, VirtAddr va, bool write) {
+  return core.access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
+                        AccessKind::kRegular, Privilege::kUser,
+                        0x4141414141414141);
 }
 
 void restore_kernel_satp(System& sys) {

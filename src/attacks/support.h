@@ -28,6 +28,9 @@ Process* setup_victim(System& sys, u64 prot = pte::kR | pte::kW,
 
 /// U-mode probe access issued directly (no kernel demand-paging behind it).
 MemAccessResult user_probe(System& sys, VirtAddr va, bool write);
+/// Same, through a specific core — SMP replays probe the hart named by the
+/// counterexample op, not whichever hart the kernel last ran on.
+MemAccessResult user_probe(Core& core, VirtAddr va, bool write);
 
 /// Restore a sane address space after an attack wedged satp (harness-only
 /// recovery so later assertions can run; M-mode write bypasses S-mode state).

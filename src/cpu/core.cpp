@@ -154,7 +154,7 @@ std::optional<u64> Core::read_csr(u32 num, Privilege as) {
     case csr::kMcause: return mcause_;
     case csr::kMtval: return mtval_;
     case csr::kMip: return mip_;
-    case csr::kMhartid: return 0;
+    case csr::kMhartid: return hartid_;
     case csr::kSstatus: {
       const u64 mask = csr::mstatus::kSie | csr::mstatus::kSpie | csr::mstatus::kSpp |
                        csr::mstatus::kSum | csr::mstatus::kMxr;
@@ -396,6 +396,16 @@ void Core::update_timer_pending() {
 bool Core::interrupt_pending() const {
   return (mip_ & mie_) != 0;
 }
+
+void Core::set_ssip(bool pending) {
+  if (pending) {
+    mip_ |= u64{1} << csr::irq::kSsi;
+  } else {
+    mip_ &= ~(u64{1} << csr::irq::kSsi);
+  }
+}
+
+bool Core::ssip() const { return ((mip_ >> csr::irq::kSsi) & 1) != 0; }
 
 bool Core::maybe_take_interrupt() {
   update_timer_pending();

@@ -184,6 +184,16 @@ class Core {
   /// True if any enabled interrupt is pending at the current privilege.
   bool interrupt_pending() const;
 
+  /// Hart index reported by mhartid (SMP topology; 0 on a single-hart
+  /// system). Set once by System when the hart is wired up.
+  unsigned hartid() const { return hartid_; }
+  void set_hartid(unsigned id) { hartid_ = id; }
+
+  /// Assert / retract the supervisor software-interrupt pending bit — the
+  /// CLINT MSIP->SSIP delivery path the SBI uses for cross-hart IPIs.
+  void set_ssip(bool pending);
+  bool ssip() const;
+
   /// Install a per-instruction trace callback (see cpu/tracer.h); pass
   /// nullptr to disable.
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
@@ -283,6 +293,7 @@ class Core {
   u64 mideleg_ = 0;
   u64 mie_ = 0;
   u64 mip_ = 0;
+  unsigned hartid_ = 0;
   u64 mscratch_ = 0;
   u64 mepc_ = 0;
   u64 mcause_ = 0;

@@ -51,6 +51,7 @@ const char* to_string(CampaignKind k) {
     case CampaignKind::kProto: return "proto";
     case CampaignKind::kDiff: return "diff";
     case CampaignKind::kAttack: return "attack";
+    case CampaignKind::kSmp: return "smp";
   }
   return "?";
 }
@@ -59,6 +60,7 @@ std::optional<CampaignKind> campaign_kind_from(std::string_view name) {
   if (name == "proto") return CampaignKind::kProto;
   if (name == "diff") return CampaignKind::kDiff;
   if (name == "attack") return CampaignKind::kAttack;
+  if (name == "smp") return CampaignKind::kSmp;
   return std::nullopt;
 }
 
@@ -73,6 +75,7 @@ const char* to_string(CampaignOp::Kind k) {
     case CampaignOp::Kind::kRwWriteLeaf: return "rw_write_leaf";
     case CampaignOp::Kind::kRwWriteSecure: return "rw_write_secure";
     case CampaignOp::Kind::kPcbRewire: return "pcb_rewire";
+    case CampaignOp::Kind::kRaceProbe: return "race_probe";
   }
   return "?";
 }
@@ -80,6 +83,11 @@ const char* to_string(CampaignOp::Kind k) {
 OpResult exec_campaign_op(System& sys, const CampaignOp& op, CampaignKind kind) {
   ProtocolOps proto(sys.kernel());
   ProcessManager& pm = sys.kernel().processes();
+  // SMP campaigns record the executing hart per op; replays re-dispatch to
+  // the same hart, so reproducers stay interleave-deterministic.
+  if (sys.nharts() > 1) {
+    sys.kernel().set_active_hart(op.hart < sys.nharts() ? op.hart : 0);
+  }
   try {
     switch (op.kind) {
       case CampaignOp::Kind::kCopyMm:
@@ -109,7 +117,9 @@ OpResult exec_campaign_op(System& sys, const CampaignOp& op, CampaignKind kind) 
         const bool defence_fired = r.status == ProtoStatus::kZeroDetect ||
                                    is_credential_reject(r.status) ||
                                    r.status == ProtoStatus::kFault;
-        const bool violation = kind == CampaignKind::kProto && defence_fired;
+        const bool violation = (kind == CampaignKind::kProto ||
+                                kind == CampaignKind::kSmp) &&
+                               defence_fired;
         return {to_string(r.status), violation};
       }
 
@@ -144,6 +154,37 @@ OpResult exec_campaign_op(System& sys, const CampaignOp& op, CampaignKind kind) 
         // Undo so later ops run on an uncorrupted machine.
         (void)rw.write(proc->pcb_pgd_field(), orig);
         if (r.status == ProtoStatus::kOk) return {"breach", true};
+        return {"blocked", false};
+      }
+
+      case CampaignOp::Kind::kRaceProbe: {
+        // Cross-hart stale-TLB race probe, in three beats:
+        //   1. hart 1 runs the subject and faults op.arg in writable — its
+        //      TLB now caches a writable translation;
+        //   2. hart 0 downgrades the page to read-only, which ends in a
+        //      targeted cross-hart shootdown;
+        //   3. hart 1 write-probes the page in U-mode. After the shootdown
+        //      acked, the write MUST fault; a completed write means hart 1
+        //      kept the stale writable entry — a shootdown-protocol breach.
+        if (sys.nharts() < 2) return {"no-smp", false};
+        Process* proc = op.pid != 0 ? pm.find(op.pid) : nullptr;
+        if (proc == nullptr) return {"no-proc", false};
+        Kernel& k = sys.kernel();
+        const VirtAddr va = op.arg;
+        k.set_active_hart(1);
+        (void)proto.alloc_pt(*proc, va);  // Idempotent: may already be mapped.
+        if (!proto.switch_mm(*proc).ok() || !k.user_access(*proc, va, true)) {
+          k.set_active_hart(0);
+          return {"no-map", false};
+        }
+        k.set_active_hart(0);
+        if (!pm.protect_vma(*proc, va, kPageSize, pte::kR)) {
+          return {"no-vma", false};
+        }
+        const MemAccessResult w = attacks::user_probe(sys.core(1), va, true);
+        // Restore writability so later ops see a consistent machine.
+        (void)pm.protect_vma(*proc, va, kPageSize, pte::kR | pte::kW);
+        if (w.ok) return {"breach", true};
         return {"blocked", false};
       }
     }
@@ -181,7 +222,10 @@ void run_op_shard(System& sys, CampaignKind kind, Rng& rng, u64 op_count,
 
     CampaignOp op;
     const u64 roll = rng.next_below(100);
-    if (kind == CampaignKind::kAttack && roll < 25) {
+    if (kind == CampaignKind::kSmp && roll < 12) {
+      // Race-probe slice: the composite op drives both harts itself.
+      op = {CampaignOp::Kind::kRaceProbe, some_pid, some_va};
+    } else if (kind == CampaignKind::kAttack && roll < 25) {
       // Attacker-primitive slice of the interleaving.
       switch (roll % 3) {
         case 0:
@@ -221,6 +265,11 @@ void run_op_shard(System& sys, CampaignKind kind, Rng& rng, u64 op_count,
     } else {
       op = {CampaignOp::Kind::kGrow, 0, rng.next_below(3)};
     }
+    if (kind == CampaignKind::kSmp && op.kind != CampaignOp::Kind::kRaceProbe) {
+      // Scatter protocol ops across the harts; the recorded hart makes the
+      // interleaving part of the reproducer.
+      op.hart = static_cast<u8>(rng.next_below(sys.nharts()));
+    }
 
     out->repro.push_back(op);
     const OpResult r = exec_campaign_op(sys, op, kind);
@@ -245,6 +294,8 @@ SystemCheckpoint campaign_checkpoint(const CampaignSpec& spec) {
       spec.ptstore ? SystemConfig::cfi_ptstore() : SystemConfig::cfi();
   apply_backend(cfg, spec.backend);
   cfg.dram_size = spec.dram_size;
+  cfg.nharts = spec.nharts;
+  cfg.kernel.skip_shootdown_ipi = spec.sabotage_skip_ipi;
   auto sys = System::create(cfg);
   if (!sys.ok()) {
     throw std::runtime_error("campaign master boot failed: " + sys.error());
@@ -412,6 +463,12 @@ void write_campaign_report(std::ostream& os, const CampaignResult& r,
   if (r.spec.backend != BackendKind::kAuto) {
     w.kv("backend", to_string(r.spec.backend));
   }
+  // SMP campaigns only: single-hart reports predate these keys and stay
+  // byte-identical.
+  if (r.spec.nharts > 1) {
+    w.kv("nharts", static_cast<u64>(r.spec.nharts));
+    w.kv("sabotage_skip_ipi", r.spec.sabotage_skip_ipi);
+  }
   w.kv("campaign_seed", r.spec.seed);
   w.kv("shard_count", r.spec.shards);
   w.kv("ops_per_shard",
@@ -436,6 +493,8 @@ void write_campaign_report(std::ostream& os, const CampaignResult& r,
         w.kv("op", to_string(op.kind));
         w.kv("pid", op.pid);
         w.kv("arg", op.arg);
+        // Hart 0 is implied (and the only hart in pre-SMP reports).
+        if (op.hart != 0) w.kv("hart", static_cast<u64>(op.hart));
         w.end_object();
       }
       w.end_array();

@@ -12,6 +12,13 @@
 //   kAttack — random interleavings of protocol ops with the §III-A attacker
 //             primitives (regular-store PTE rewrites, secure-region stores,
 //             PCB pgd rewires). Any primitive that *succeeds* is a breach.
+//   kSmp    — protocol ops scattered across the harts of a multi-hart
+//             machine, interleaved with cross-hart race probes (warm a
+//             remote TLB, downgrade the mapping from another hart, probe
+//             the remote hart). A probe that still writes after the
+//             shootdown acked is a stale-TLB breach; with
+//             `sabotage_skip_ipi` the breach is EXPECTED and exercises the
+//             reproducer machinery, mirroring kAttack-on-stock.
 //
 // Every op is recorded with resolved arguments, so a failing shard yields a
 // reproducer (seed + op trace) that replays without the RNG and minimizes
@@ -35,7 +42,7 @@ namespace ptstore::harness {
 
 inline constexpr u64 kCampaignReportSchemaVersion = 1;
 
-enum class CampaignKind : u8 { kProto, kDiff, kAttack };
+enum class CampaignKind : u8 { kProto, kDiff, kAttack, kSmp };
 
 const char* to_string(CampaignKind k);
 std::optional<CampaignKind> campaign_kind_from(std::string_view name);
@@ -54,10 +61,12 @@ struct CampaignOp {
     kRwWriteLeaf,    ///< Attack: regular-store rewrite of a leaf PTE slot.
     kRwWriteSecure,  ///< Attack: regular store at a secure-region address.
     kPcbRewire,      ///< Attack: fake pgd into the PCB, then switch_mm.
+    kRaceProbe,      ///< SMP: warm remote TLB, downgrade, probe remote hart.
   };
   Kind kind = Kind::kSwitchMm;
   u64 pid = 0;  ///< Subject process, 0 when the op has none.
   u64 arg = 0;  ///< va / order / store value, depending on kind.
+  u8 hart = 0;  ///< Executing hart (SMP campaigns; always 0 single-hart).
 };
 
 const char* to_string(CampaignOp::Kind k);
@@ -122,6 +131,13 @@ struct CampaignSpec {
   /// them into CampaignResult::profile + a "profile" report section. Off by
   /// default so seed reports stay byte-identical.
   bool profile = false;
+  /// Harts per shard machine. 1 keeps the historical single-hart campaigns
+  /// (and their byte-identical seed reports); kSmp campaigns default to 2.
+  unsigned nharts = 1;
+  /// Sabotage: the kernel skips the IPI leg of its TLB shootdowns (local
+  /// sfence only). Race probes then reproducibly breach — the known-bad
+  /// path that exercises SMP reproducers end to end.
+  bool sabotage_skip_ipi = false;
 };
 
 /// Host wall-clock accounting. Everything here varies run to run and with

@@ -43,7 +43,9 @@ class DptiBackend : public IsolationBackend {
     return true;
   }
 
-  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                   unsigned hart) override {
+    (void)hart;
     (void)proc;
     (void)old_cred;  // The stale root was dropped by release_pt_page.
     roots_.insert(root);
@@ -55,7 +57,8 @@ class DptiBackend : public IsolationBackend {
     (void)cred;  // Roots leave the registry when their pages are released.
   }
 
-  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+  SwitchResult validate_switch(Process& proc, u64 pgd, unsigned hart) override {
+    (void)hart;
     // Domain-tagged TLB maintenance on every address-space switch.
     telemetry::ProfScope<Core> prof(core(), "dpti.domain_flush");
     core().add_cycles(iso_.switch_check_cost);

@@ -43,12 +43,13 @@ class PtauthBackend : public IsolationBackend, public WalkVerifier {
   }
 
   bool bind_root(Process& proc, PhysAddr root, PtStatus* st) override;
-  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override;
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                   unsigned hart) override;
   void unbind_root(Process& proc, u64 cred) override {
     (void)proc;
     (void)cred;  // MACs are values, not allocations — nothing to free.
   }
-  SwitchResult validate_switch(Process& proc, u64 pgd) override;
+  SwitchResult validate_switch(Process& proc, u64 pgd, unsigned hart) override;
 
   WalkVerifier* walk_verifier() override { return this; }
 
@@ -138,7 +139,9 @@ bool PtauthBackend::bind_root(Process& proc, PhysAddr root, PtStatus* st) {
   return true;
 }
 
-bool PtauthBackend::rebind_root(Process& proc, u64 old_cred, PhysAddr root) {
+bool PtauthBackend::rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                                unsigned hart) {
+  (void)hart;
   (void)old_cred;  // Stale MACs need no teardown.
   telemetry::ProfScope<Core> prof(core(), "ptauth.mac_sign");
   core().add_cycles(iso_.mac_cost);
@@ -146,7 +149,9 @@ bool PtauthBackend::rebind_root(Process& proc, u64 old_cred, PhysAddr root) {
   return true;
 }
 
-SwitchResult PtauthBackend::validate_switch(Process& proc, u64 pgd) {
+SwitchResult PtauthBackend::validate_switch(Process& proc, u64 pgd,
+                                            unsigned hart) {
+  (void)hart;
   telemetry::ProfScope<Core> prof(core(), "ptauth.mac_verify");
   const u64 cred = kmem().must_ld(proc.pcb_token_field());
   core().add_cycles(iso_.mac_cost);  // Recompute + compare.

@@ -119,7 +119,9 @@ class StockBackend : public IsolationBackend {
     kmem().must_sd(proc.pcb_token_field(), 0);
     return true;
   }
-  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                   unsigned hart) override {
+    (void)hart;
     (void)proc;
     (void)old_cred;
     (void)root;
@@ -129,7 +131,8 @@ class StockBackend : public IsolationBackend {
     (void)proc;
     (void)cred;
   }
-  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+  SwitchResult validate_switch(Process& proc, u64 pgd, unsigned hart) override {
+    (void)hart;
     (void)proc;
     (void)pgd;
     return SwitchResult::kOk;
@@ -181,7 +184,9 @@ class PtstoreBackend : public IsolationBackend {
     return true;
   }
 
-  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) override {
+  bool rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                   unsigned hart) override {
+    (void)hart;
     if (old_cred != 0) k_.tokens().clear(old_cred);
     const auto tok = k_.tokens().issue(proc.pcb_token_field(), root);
     if (!tok) return false;
@@ -194,7 +199,8 @@ class PtstoreBackend : public IsolationBackend {
     if (cred != 0) k_.tokens().clear(cred);
   }
 
-  SwitchResult validate_switch(Process& proc, u64 pgd) override {
+  SwitchResult validate_switch(Process& proc, u64 pgd, unsigned hart) override {
+    (void)hart;
     if (!iso_.check_tokens) return SwitchResult::kOk;
     telemetry::ProfScope<Core> prof(core(), "ptstore.token_check");
     const u64 token = kmem().must_ld(proc.pcb_token_field());

@@ -113,13 +113,17 @@ class IsolationBackend : public PtWriteObserver {
   /// the half-built process down.
   virtual bool bind_root(Process& proc, PhysAddr root, PtStatus* st) = 0;
   /// Re-bind after execve. `old_cred` is the PCB credential read before the
-  /// old address space was torn down.
-  virtual bool rebind_root(Process& proc, u64 old_cred, PhysAddr root) = 0;
+  /// old address space was torn down. `hart` is the executing hart — SMP
+  /// backends may keep per-hart state; the bundled ones are hart-agnostic
+  /// (their credentials live in shared memory) and ignore it.
+  virtual bool rebind_root(Process& proc, u64 old_cred, PhysAddr root,
+                           unsigned hart = 0) = 0;
   /// Drop the credential at exit. `cred` was read before teardown.
   virtual void unbind_root(Process& proc, u64 cred) = 0;
   /// switch_mm: validate the (attacker-writable) PCB pgd/credential pair
-  /// before it reaches satp.
-  virtual SwitchResult validate_switch(Process& proc, u64 pgd) = 0;
+  /// before it reaches satp on hart `hart`.
+  virtual SwitchResult validate_switch(Process& proc, u64 pgd,
+                                       unsigned hart = 0) = 0;
 
   /// Walk-time PTE verifier to install in the MMU; null for most backends.
   virtual WalkVerifier* walk_verifier() { return nullptr; }

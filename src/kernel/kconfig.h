@@ -72,6 +72,13 @@ struct KernelConfig {
 
   /// ASID assigned to kernel/global mappings.
   u16 kernel_asid = 0;
+
+  /// SMP sabotage knob (test-only, like diff_oracle's --sabotage): suppress
+  /// the cross-hart IPI leg of TLB shootdowns so remote harts keep stale
+  /// translations / stale satp roots. Exists so the seeded-race tests and
+  /// the campaign_smp generator can demonstrate the breach the shootdown
+  /// protocol prevents. No effect on a single-hart system.
+  bool skip_shootdown_ipi = false;
 };
 
 }  // namespace ptstore

@@ -73,6 +73,7 @@ SyscallCost syscall_cost(Sys s) {
 
 Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
     : core_(core),
+      harts_{&core},
       sbi_(sbi),
       cfg_(cfg),
       iso_(IsolationConfig::resolve(cfg)),
@@ -85,9 +86,62 @@ Kernel::Kernel(Core& core, SbiMonitor& sbi, const KernelConfig& cfg)
       syscalls_(bank_.counter("kernel.syscalls", "syscalls executed")) {}
 
 Kernel::~Kernel() {
-  // The core outlives the kernel inside System; detach the walk verifier so
-  // the MMU never dangles into the destroyed backend.
-  core_.mmu().set_walk_verifier(nullptr);
+  // The cores outlive the kernel inside System; detach the walk verifier so
+  // no MMU dangles into the destroyed backend.
+  for (Core* hart : harts_) hart->mmu().set_walk_verifier(nullptr);
+}
+
+void Kernel::set_active_hart(unsigned h) {
+  active_hart_ = h;
+  // KernelMem is the single access funnel shared by every subsystem
+  // (allocator, page tables, tokens, processes): rebinding it moves all
+  // kernel-model accesses and cycle charges to the executing hart.
+  if (kmem_) kmem_->rebind_core(*harts_[h]);
+}
+
+void Kernel::tlb_shootdown(std::optional<VirtAddr> va, std::optional<u16> asid) {
+  // Initiator's local flush — on a single-hart system this is the whole
+  // operation, byte-identical (in cycles and calls) to the historical
+  // per-hart sfence.
+  core().mmu().sfence(va, asid);
+  if (harts_.size() <= 1) return;
+  ++shootdowns_;
+  for (unsigned h = 0; h < harts_.size(); ++h) {
+    if (h == active_hart_) continue;
+    if (cfg_.skip_shootdown_ipi) continue;  // Sabotage knob: stale TLBs stay.
+    // sbi_send_ipi → remote SSIP → remote handler sfences and acks → the
+    // initiator spin-waits on the ack before touching the freed mapping.
+    sbi_.send_ipi(core(), h);
+    ++ipis_sent_;
+    harts_[h]->mmu().sfence(va, asid);
+    sbi_.clear_ipi(h);
+    core().add_cycles(kShootdownAckWait);
+  }
+}
+
+void Kernel::retire_mm(u16 asid, PhysAddr root) {
+  core().mmu().sfence(std::nullopt, asid);
+  if (harts_.size() <= 1) return;
+  ++shootdowns_;
+  for (unsigned h = 0; h < harts_.size(); ++h) {
+    if (h == active_hart_) continue;
+    if (cfg_.skip_shootdown_ipi) continue;
+    sbi_.send_ipi(core(), h);
+    ++ipis_sent_;
+    Core& rc = *harts_[h];
+    // leave_mm(): a remote hart lazily parked on the dying address space
+    // must not keep its root in satp past the teardown — repoint it at the
+    // kernel page table before the pages are freed for reuse.
+    if (root != 0 && isa::satp::ppn(rc.mmu().satp()) == root >> kPageShift) {
+      const u64 ksatp = isa::satp::make(isa::satp::kModeSv39, cfg_.kernel_asid,
+                                        kernel_root_ >> kPageShift,
+                                        iso_.satp_s_bit);
+      rc.write_csr(isa::csr::kSatp, ksatp, Privilege::kSupervisor);
+    }
+    rc.mmu().sfence(std::nullopt, asid);
+    sbi_.clear_ipi(h);
+    core().add_cycles(kShootdownAckWait);
+  }
 }
 
 bool Kernel::boot() {
@@ -115,7 +169,7 @@ bool Kernel::boot() {
   pages_ = std::make_unique<PageAllocator>(normal_base, sr_base, dram_end);
   backend_ = make_isolation_backend(iso_, *this);
   kmem_->set_pt_write_observer(backend_.get());
-  core_.mmu().set_walk_verifier(backend_->walk_verifier());
+  for (Core* hart : harts_) hart->mmu().set_walk_verifier(backend_->walk_verifier());
   pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, *backend_);
 
   PtStatus st;
@@ -147,9 +201,21 @@ bool Kernel::boot() {
   tokens_ = std::make_unique<TokenManager>(*kmem_, *token_cache_);
   pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *backend_,
                                          *pcb_cache_, cfg_, kernel_root_);
+  pm_->set_kernel(this);
 
   if (iso_.allow_adjustment) {
     pages_->set_grow_hook([this](unsigned order) { return grow_secure_region(order); });
+  }
+
+  // Secondary harts come online idle in the kernel address space: same
+  // paging mode and walker check as the boot hart, parked at Supervisor.
+  // (PMP was already mirrored to them by the SBI calls above.)
+  for (unsigned h = 1; h < harts_.size(); ++h) {
+    if (!harts_[h]->write_csr(isa::csr::kSatp, satp_v, Privilege::kSupervisor)) {
+      return false;
+    }
+    harts_[h]->mmu().sfence(std::nullopt, std::nullopt);
+    harts_[h]->set_priv(Privilege::kSupervisor);
   }
 
   init_ = pm_->create_init(&st);
@@ -184,6 +250,7 @@ void Kernel::restore_state(const State& st) {
   // are restored separately (PhysMem frames + CoreArchState), so nothing
   // here may touch simulated memory. The slab constructors exist on the
   // rebuilt caches but run only in grow(); restore never invokes them.
+  active_hart_ = 0;
   kmem_ = std::make_unique<KernelMem>(core_, iso_.pt_insns, iso_.pt_write_extra);
   // Zone geometry comes from the checkpoint, not the boot-time layout: the
   // PTSTORE base moves on secure-region growth.
@@ -194,7 +261,7 @@ void Kernel::restore_state(const State& st) {
   backend_ = make_isolation_backend(iso_, *this);
   backend_->restore_state(st.backend);
   kmem_->set_pt_write_observer(backend_.get());
-  core_.mmu().set_walk_verifier(backend_->walk_verifier());
+  for (Core* hart : harts_) hart->mmu().set_walk_verifier(backend_->walk_verifier());
   pt_ = std::make_unique<PageTableManager>(*kmem_, *pages_, *backend_);
   pt_->restore_state(st.pagetables);
 
@@ -216,6 +283,7 @@ void Kernel::restore_state(const State& st) {
   tokens_ = std::make_unique<TokenManager>(*kmem_, *token_cache_);
   pm_ = std::make_unique<ProcessManager>(*kmem_, *pt_, *pages_, *backend_,
                                          *pcb_cache_, cfg_, kernel_root_);
+  pm_->set_kernel(this);
   pm_->restore_state(st.processes);
 
   if (iso_.allow_adjustment) {
@@ -240,7 +308,7 @@ void Kernel::clear_stats() {
 
 bool Kernel::grow_secure_region(unsigned order) {
   if (!iso_.allow_adjustment) return false;
-  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kSecureRegion,
+  telemetry::ScopedSpan<Core> span(core(), telemetry::Subsystem::kSecureRegion,
                                    "sr_grow", order);
   const SecureRegion sr = sbi_.sr_get();
   u64 chunk = std::max<u64>(iso_.adjustment_chunk_pages, u64{1} << order);
@@ -255,8 +323,8 @@ bool Kernel::grow_secure_region(unsigned order) {
     }
     const PhysAddr new_base = sr.base - bytes;
     // alloc_contig_range() on the pages adjacent to the boundary.
-    core_.retire_abstract(chunk * kAdjustPerPageInstrs,
-                          core_.config().timing.base_cpi);
+    core().retire_abstract(chunk * kAdjustPerPageInstrs,
+                           core().config().timing.base_cpi);
     if (!pages_->normal().alloc_range(new_base, chunk)) {
       chunk >>= 1;
       continue;
@@ -271,9 +339,9 @@ bool Kernel::grow_secure_region(unsigned order) {
     }
     // Scrub the donated pages: they may carry stale normal-memory data, and
     // the §V-E3 zero-check requires free secure pages to read back zero.
-    core_.mem().fill(new_base, 0, bytes);
-    core_.retire_abstract(chunk * (kPageSize / 8),
-                          core_.config().timing.base_cpi);
+    core().mem().fill(new_base, 0, bytes);
+    core().retire_abstract(chunk * (kPageSize / 8),
+                           core().config().timing.base_cpi);
     ++adjustments_;
     sr_adjustments_.add();
     LOG_INFO("kernel", "secure region grown to [0x%llx, 0x%llx)",
@@ -309,21 +377,21 @@ bool Kernel::console_write(const std::string& bytes) {
 }
 
 void Kernel::charge_trap_roundtrip() {
-  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kTrap,
+  telemetry::ScopedSpan<Core> span(core(), telemetry::Subsystem::kTrap,
                                    "trap_roundtrip");
-  core_.add_cycles(core_.config().timing.trap_entry +
-                   core_.config().timing.trap_return);
-  core_.retire_abstract(kTrapBodyInstrs, core_.config().timing.base_cpi);
+  core().add_cycles(core().config().timing.trap_entry +
+                    core().config().timing.trap_return);
+  core().retire_abstract(kTrapBodyInstrs, core().config().timing.base_cpi);
   cfi_charge(1);
   traps_.add();
 }
 
 bool Kernel::syscall(Process& proc, Sys s) {
-  telemetry::ScopedSpan<Core> span(core_, telemetry::Subsystem::kSyscall,
+  telemetry::ScopedSpan<Core> span(core(), telemetry::Subsystem::kSyscall,
                                    to_string(s), static_cast<u64>(s));
-  const Cycles entry_cycles = core_.cycles();
+  const Cycles entry_cycles = core().cycles();
   const bool ok = syscall_impl(proc, s);
-  if (collect_latency_) latency_[s].record(core_.cycles() - entry_cycles);
+  if (collect_latency_) latency_[s].record(core().cycles() - entry_cycles);
   return ok;
 }
 
@@ -331,7 +399,7 @@ bool Kernel::syscall_impl(Process& proc, Sys s) {
   syscalls_.add();
   charge_trap_roundtrip();
   const SyscallCost cost = syscall_cost(s);
-  core_.retire_abstract(cost.body_instrs, core_.config().timing.base_cpi);
+  core().retire_abstract(cost.body_instrs, core().config().timing.base_cpi);
   cfi_charge(cost.indirect_calls);
 
   switch (s) {
@@ -406,10 +474,10 @@ bool Kernel::user_access(Process& proc, VirtAddr va, bool write) {
   std::optional<telemetry::ScopedSpan<Core>> fault_span;
   for (int attempt = 0; attempt < 2; ++attempt) {
     const MemAccessResult r =
-        core_.access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
-                        AccessKind::kRegular, Privilege::kUser, 0x5A5A5A5A5A5A5A5A);
-    core_.retire_abstract(1, core_.config().timing.base_cpi);
-    core_.add_cycles(r.cycles);
+        core().access_as(va, 8, write ? AccessType::kWrite : AccessType::kRead,
+                         AccessKind::kRegular, Privilege::kUser, 0x5A5A5A5A5A5A5A5A);
+    core().retire_abstract(1, core().config().timing.base_cpi);
+    core().add_cycles(r.cycles);
     if (r.ok) return true;
 
     const bool page_fault = r.fault == isa::TrapCause::kLoadPageFault ||
@@ -417,9 +485,9 @@ bool Kernel::user_access(Process& proc, VirtAddr va, bool write) {
                             r.fault == isa::TrapCause::kInstPageFault;
     if (!page_fault) return false;
 
-    fault_span.emplace(core_, telemetry::Subsystem::kTrap, "page_fault", va);
+    fault_span.emplace(core(), telemetry::Subsystem::kTrap, "page_fault", va);
     charge_trap_roundtrip();
-    core_.retire_abstract(kFaultBodyInstrs, core_.config().timing.base_cpi);
+    core().retire_abstract(kFaultBodyInstrs, core().config().timing.base_cpi);
     cfi_charge(6);
     PtStatus st;
     if (!pm_->handle_fault(proc, va, write, &st)) return false;

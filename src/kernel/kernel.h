@@ -5,7 +5,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "kernel/kconfig.h"
@@ -71,8 +73,40 @@ class Kernel {
   KmemCache& token_cache() { return *token_cache_; }
   KmemCache& pcb_cache() { return *pcb_cache_; }
   const KernelConfig& config() const { return cfg_; }
-  Core& core() { return core_; }
+  /// The hart the kernel is currently executing on. All cycle charges and
+  /// simulated accesses land here; on a single-hart system this is the boot
+  /// core, always.
+  Core& core() { return *harts_[active_hart_]; }
   SbiMonitor& sbi() { return sbi_; }
+
+  // ---- SMP ----
+  /// Register a secondary hart. Must happen before boot() so the walk
+  /// verifier, satp, and privilege reach every hart.
+  void add_hart(Core& core) { harts_.push_back(&core); }
+  unsigned nharts() const { return static_cast<unsigned>(harts_.size()); }
+  Core& hart(unsigned h) { return *harts_[h]; }
+  unsigned active_hart() const { return active_hart_; }
+  /// Move kernel execution to hart `h`: subsequent protocol ops, syscalls,
+  /// and probes run (and charge cycles) on that hart's core.
+  void set_active_hart(unsigned h);
+
+  /// Cross-hart TLB shootdown (Linux flush_tlb_range analog): local sfence,
+  /// then an IPI to every remote hart whose handler sfences and acks while
+  /// the initiator spin-waits. On a single-hart system this is exactly a
+  /// local `sfence(va, asid)` — no extra cycles, no IPIs.
+  void tlb_shootdown(std::optional<VirtAddr> va, std::optional<u16> asid);
+
+  /// Retire an address space (exec/exit teardown): ASID-scoped shootdown
+  /// plus the leave_mm() leg — any remote hart still lazily holding the dead
+  /// root in satp is repointed at the kernel page table. `root` may be 0
+  /// when the caller does not track it (single-hart fast path).
+  void retire_mm(u16 asid, PhysAddr root);
+
+  /// Initiator-side spin cycles charged per remote hart acked.
+  static constexpr Cycles kShootdownAckWait = 120;
+
+  u64 shootdowns() const { return shootdowns_; }
+  u64 ipis_sent() const { return ipis_sent_; }
 
   /// The page-table isolation backend (valid after boot()/restore_state()).
   IsolationBackend& isolation() { return *backend_; }
@@ -102,7 +136,7 @@ class Kernel {
 
   /// Charge `n` CFI indirect-call checks (kernel-mode code only).
   void cfi_charge(u64 n) {
-    if (cfg_.cfi) core_.add_cycles(n * cfg_.cfi_check_cost);
+    if (cfg_.cfi) core().add_cycles(n * cfg_.cfi_check_cost);
   }
 
   /// Charge the kernel trap entry/exit path (ecall or fault).
@@ -162,7 +196,11 @@ class Kernel {
  private:
   bool syscall_impl(Process& proc, Sys s);
 
-  Core& core_;
+  Core& core_;  ///< Boot hart (== harts_[0]).
+  std::vector<Core*> harts_;
+  unsigned active_hart_ = 0;
+  u64 shootdowns_ = 0;  ///< Plain members, not interned counters: the
+  u64 ipis_sent_ = 0;   ///< single-hart report key set must not change.
   SbiMonitor& sbi_;
   KernelConfig cfg_;
   IsolationConfig iso_;

@@ -50,7 +50,7 @@ class KernelMem {
   /// §VI-4): every pt_sd additionally pays an M-mode monitor round trip
   /// that re-validates the mapping.
   KernelMem(Core& core, bool use_pt_insns, Cycles monitor_cost = 0)
-      : core_(core), pt_insns_(use_pt_insns), monitor_cost_(monitor_cost) {}
+      : core_(&core), pt_insns_(use_pt_insns), monitor_cost_(monitor_cost) {}
 
   /// Regular 64-bit kernel load/store (ordinary instructions).
   KAccess ld(VirtAddr va) { return do_access(va, AccessType::kRead, AccessKind::kRegular, 0); }
@@ -69,8 +69,8 @@ class KernelMem {
       // The mediation surcharge (monitor round trip / DPTI domain entry /
       // PTAuth signing) gets its own profile frame so differential
       // attribution can name it even inside an inlined handler.
-      telemetry::ProfScope<Core> prof(core_, "pt_write_mediate");
-      core_.add_cycles(monitor_cost_);
+      telemetry::ProfScope<Core> prof(*core_, "pt_write_mediate");
+      core_->add_cycles(monitor_cost_);
     }
     trace_pt_insn("kernel.sd.pt", va);
     const KAccess r = do_access(va, AccessType::kWrite,
@@ -108,7 +108,12 @@ class KernelMem {
   /// True if the kernel is compiled with the new instructions.
   bool uses_pt_insns() const { return pt_insns_; }
 
-  Core& core() { return core_; }
+  Core& core() { return *core_; }
+
+  /// Retarget the accessor at another hart's core: the kernel rebinds this
+  /// when it migrates execution between harts (set_active_hart), so every
+  /// simulated access and cycle charge lands on the executing hart.
+  void rebind_core(Core& c) { core_ = &c; }
 
  private:
   KAccess do_access(VirtAddr va, AccessType type, AccessKind kind, u64 value,
@@ -119,12 +124,12 @@ class KernelMem {
   void trace_pt_insn(const char* name, VirtAddr va) {
     if (!pt_insns_) return;
     if (telemetry::EventRing* tr = telemetry::tracing()) {
-      tr->instant(telemetry::Subsystem::kPtInsn, name, core_.cycles(),
-                  core_.instret(), static_cast<u8>(core_.priv()), va);
+      tr->instant(telemetry::Subsystem::kPtInsn, name, core_->cycles(),
+                  core_->instret(), static_cast<u8>(core_->priv()), va);
     }
   }
 
-  Core& core_;
+  Core* core_;
   bool pt_insns_;
   Cycles monitor_cost_;
   PtWriteObserver* pt_observer_ = nullptr;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.h"
+#include "kernel/kernel.h"
 #include "telemetry/trace.h"
 
 namespace ptstore {
@@ -33,10 +34,23 @@ ProcessManager::ProcessManager(KernelMem& kmem, PageTableManager& pt,
                                    "context switches refused by token validation")),
       faults_(bank_.counter("process.faults", "demand page faults handled")) {}
 
+void ProcessManager::shootdown(std::optional<VirtAddr> va, std::optional<u16> asid) {
+  if (k_ != nullptr) {
+    k_->tlb_shootdown(va, asid);
+  } else {
+    kmem_.core().mmu().sfence(va, asid);
+  }
+}
+
+unsigned ProcessManager::hart() const {
+  return k_ != nullptr ? k_->active_hart() : 0;
+}
+
 u16 ProcessManager::alloc_asid() {
   if (next_asid_ >= 0x3FFF) {
-    // ASID space wrapped: flush all non-global translations.
-    kmem_.core().mmu().sfence(std::nullopt, std::nullopt);
+    // ASID space wrapped: flush all non-global translations — on every hart,
+    // since recycled ASIDs would otherwise hit stale entries in remote TLBs.
+    shootdown(std::nullopt, std::nullopt);
     next_asid_ = 1;
   }
   return next_asid_++;
@@ -128,6 +142,11 @@ bool ProcessManager::exec(Process& proc, PtStatus* st) {
   execs_.add();
 
   const u64 old_cred = pcb_token(proc);
+  // The dying root only matters for the cross-hart leave_mm leg; skip the
+  // extra PCB load on single-hart machines so their cycle traces (and thus
+  // campaign reports) are unchanged.
+  u64 old_root = 0;
+  if (k_ != nullptr && k_->nharts() > 1) old_root = pcb_pgd(proc);
   teardown_mm(proc);
   proc.vmas.clear();
 
@@ -135,8 +154,12 @@ bool ProcessManager::exec(Process& proc, PtStatus* st) {
   if (!root) return false;
   kmem_.must_sd(proc.pcb_pgd_field(), *root);
 
-  if (!iso_.rebind_root(proc, old_cred, *root)) return false;
-  kmem_.core().mmu().sfence(std::nullopt, proc.asid);
+  if (!iso_.rebind_root(proc, old_cred, *root, hart())) return false;
+  if (k_ != nullptr) {
+    k_->retire_mm(proc.asid, old_root);
+  } else {
+    kmem_.core().mmu().sfence(std::nullopt, proc.asid);
+  }
   return true;
 }
 
@@ -165,10 +188,16 @@ void ProcessManager::exit(Process& proc) {
   exits_.add();
   if (current_ == &proc) current_ = nullptr;
   const u64 cred = pcb_token(proc);
+  u64 old_root = 0;
+  if (k_ != nullptr && k_->nharts() > 1) old_root = pcb_pgd(proc);
   teardown_mm(proc);
   iso_.unbind_root(proc, cred);
   kmem_.must_sd(proc.pcb + kPcbStateOff, static_cast<u64>(ProcState::kZombie));
-  kmem_.core().mmu().sfence(std::nullopt, proc.asid);
+  if (k_ != nullptr) {
+    k_->retire_mm(proc.asid, old_root);
+  } else {
+    kmem_.core().mmu().sfence(std::nullopt, proc.asid);
+  }
   pcb_cache_.free(proc.pcb);
   procs_.erase(proc.pid);
 }
@@ -186,7 +215,7 @@ SwitchResult ProcessManager::switch_to(Process& proc) {
 
   const u64 pgd = kmem_.must_ld(proc.pcb_pgd_field());
 
-  const SwitchResult check = iso_.validate_switch(proc, pgd);
+  const SwitchResult check = iso_.validate_switch(proc, pgd, hart());
   if (check != SwitchResult::kOk) {
     token_rejects_.add();
     return check;
@@ -246,7 +275,7 @@ bool ProcessManager::remove_vma(Process& proc, VirtAddr start, u64 len) {
     for (auto up = proc.user_pages.begin(); up != proc.user_pages.end();) {
       if (up->first >= cut_lo && up->first < cut_hi) {
         (void)pt_.unmap_page(root, up->first);
-        kmem_.core().mmu().sfence(up->first, proc.asid);
+        shootdown(up->first, proc.asid);
         dec_page_ref(up->second);
         up = proc.user_pages.erase(up);
       } else {
@@ -296,7 +325,7 @@ bool ProcessManager::protect_vma(Process& proc, VirtAddr start, u64 len, u64 pro
       (void)pa;
       if (va >= start && va < end) {
         (void)pt_.protect_page(root, va, prot | pte::kU);
-        kmem_.core().mmu().sfence(va, proc.asid);
+        shootdown(va, proc.asid);
       }
     }
     return true;

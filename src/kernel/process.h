@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "kernel/isolation.h"
@@ -22,6 +23,8 @@
 #include "telemetry/metrics.h"
 
 namespace ptstore {
+
+class Kernel;
 
 inline constexpr u64 kPcbSize = 64;
 inline constexpr u64 kPcbPidOff = 0x00;
@@ -61,6 +64,12 @@ class ProcessManager {
   ProcessManager(KernelMem& kmem, PageTableManager& pt, PageAllocator& pages,
                  IsolationBackend& iso, KmemCache& pcb_cache, const KernelConfig& cfg,
                  PhysAddr kernel_root);
+
+  /// Attach the owning kernel: TLB invalidations then go through its
+  /// cross-hart shootdown protocol instead of a local-only sfence, and
+  /// backend calls carry the executing hart. Null (the default) keeps the
+  /// historical local-sfence behavior for kernel-less unit tests.
+  void set_kernel(Kernel* k) { k_ = k; }
 
   /// Create a process with no parent (init) or fork an existing one.
   Process* create_init(PtStatus* st = nullptr);
@@ -124,7 +133,13 @@ class ProcessManager {
   u16 alloc_asid();
   void teardown_mm(Process& proc);
   void dec_page_ref(PhysAddr pa);
+  /// Cross-hart TLB shootdown via the kernel; plain local sfence when no
+  /// kernel is attached. On a single-hart system both paths are identical.
+  void shootdown(std::optional<VirtAddr> va, std::optional<u16> asid);
+  /// The hart this manager's kernel is currently executing on (0 without one).
+  unsigned hart() const;
 
+  Kernel* k_ = nullptr;
   KernelMem& kmem_;
   PageTableManager& pt_;
   PageAllocator& pages_;

@@ -61,6 +61,9 @@ std::vector<ConfigIssue> SystemConfig::validate() const {
   if (core.timing.base_cpi == 0) {
     out.push_back({"core.timing.base_cpi", "must be at least 1"});
   }
+  if (nharts < 1 || nharts > 8) {
+    out.push_back({"nharts", "must be between 1 and 8"});
+  }
   if (!is_aligned(core.reset_pc, 2)) {
     out.push_back({"core.reset_pc", "must be 2-byte aligned (IALIGN=16)"});
   } else if (core.reset_pc < kDramBase || core.reset_pc >= kDramBase + dram_size) {
@@ -133,7 +136,16 @@ System::System(const SystemConfig& cfg, Unbooted) : cfg_(cfg) {
   if (cfg.console_uart) mem_->map_device(kUartBase, UartDevice::kWindowSize, &uart_);
   core_ = std::make_unique<Core>(*mem_, cfg.core);
   sbi_ = std::make_unique<SbiMonitor>(*core_);
+  // Secondary harts: private Core (L1s/TLBs/bpred/bbcache) over the shared
+  // PhysMem. They must be registered with firmware and kernel before boot so
+  // PMP mirroring and the shootdown protocol cover them.
+  for (unsigned h = 1; h < cfg.nharts; ++h) {
+    extra_cores_.push_back(std::make_unique<Core>(*mem_, cfg.core));
+    extra_cores_.back()->set_hartid(h);
+    sbi_->add_hart(*extra_cores_.back());
+  }
   kernel_ = std::make_unique<Kernel>(*core_, *sbi_, cfg.kernel);
+  for (auto& c : extra_cores_) kernel_->add_hart(*c);
   // Metadata for the gauges report() sets directly, so JSON reports carry
   // their units/descriptions like every bank-backed counter.
   auto& reg = telemetry::MetricsRegistry::instance();
@@ -194,9 +206,11 @@ SystemCheckpoint System::checkpoint() {
   // Quiesce: round-tripping the architectural state through restore resets
   // caches/TLBs/decode cache to cold, the same state a fork restores into.
   core_->restore_arch_state(core_->arch_state());
+  for (auto& c : extra_cores_) c->restore_arch_state(c->arch_state());
   SystemCheckpoint ck;
   ck.config = cfg_;
   ck.arch = core_->arch_state();
+  for (auto& c : extra_cores_) ck.extra_arch.push_back(c->arch_state());
   ck.frames = mem_->snapshot_frames();
   ck.sbi = sbi_->save_state();
   ck.kernel = kernel_->save_state();
@@ -208,6 +222,14 @@ void System::restore(const SystemCheckpoint& ck) {
   // generation, so the memory image must already be in place.
   mem_->restore_frames(ck.frames);
   core_->restore_arch_state(ck.arch);
+  for (size_t h = 0; h < extra_cores_.size(); ++h) {
+    // A checkpoint from a smaller machine leaves the surplus harts where
+    // construction put them; same-config forks (the fleet path) always carry
+    // one entry per secondary hart.
+    if (h < ck.extra_arch.size()) {
+      extra_cores_[h]->restore_arch_state(ck.extra_arch[h]);
+    }
+  }
   sbi_->restore_state(ck.sbi);
   kernel_->restore_state(ck.kernel);
 }

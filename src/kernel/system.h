@@ -36,6 +36,12 @@ struct SystemConfig {
   u64 dram_size = MiB(512);
   /// Map a console UART at kUartBase and (with PTStore) guard it (§V-F).
   bool console_uart = true;
+  /// Number of harts (cores). Every hart gets its own Core — private
+  /// L1s/TLBs/branch predictor/decode cache and per-hart satp/privilege —
+  /// while DRAM, the L2 (per-core in this model), PMP *policy* (mirrored
+  /// banks) and the kernel's host-side state are shared. 1 is the default
+  /// and is byte-identical to the historical single-hart machine.
+  unsigned nharts = 1;
   CoreConfig core;
   KernelConfig kernel;
 
@@ -81,7 +87,10 @@ std::string describe_issues(const std::vector<ConfigIssue>& issues);
 /// execution after restore() on a fork.
 struct SystemCheckpoint {
   SystemConfig config;
-  CoreArchState arch;
+  CoreArchState arch;  ///< Hart 0.
+  /// Harts 1..N-1, in order (empty on a single-hart machine, so existing
+  /// checkpoints keep their meaning).
+  std::vector<CoreArchState> extra_arch;
   std::vector<std::pair<u64, std::vector<u8>>> frames;
   SbiMonitor::State sbi;
   Kernel::State kernel;
@@ -105,6 +114,13 @@ class System {
   Kernel& kernel() { return *kernel_; }
   Process& init() { return *kernel_->init_proc(); }
   const SystemConfig& config() const { return cfg_; }
+
+  /// SMP topology. Hart 0 is the boot hart (== core()); secondary harts come
+  /// up idle in the kernel address space after boot.
+  unsigned nharts() const { return 1 + static_cast<unsigned>(extra_cores_.size()); }
+  Core& core(unsigned hart) {
+    return hart == 0 ? *core_ : *extra_cores_[hart - 1];
+  }
 
   /// Total cycles elapsed on the core.
   Cycles cycles() const { return core_->cycles(); }
@@ -144,6 +160,7 @@ class System {
   UartDevice uart_;
   std::unique_ptr<PhysMem> mem_;
   std::unique_ptr<Core> core_;
+  std::vector<std::unique_ptr<Core>> extra_cores_;  ///< Harts 1..N-1.
   std::unique_ptr<SbiMonitor> sbi_;
   std::unique_ptr<Kernel> kernel_;
 };

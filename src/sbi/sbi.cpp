@@ -11,23 +11,40 @@ constexpr u8 kCfgTor = static_cast<u8>(PmpMatch::kTor) << pmpcfg::kAShift;
 void SbiMonitor::boot_init() {
   // One wide-open TOR entry covering everything below DRAM end. S/U code can
   // run; no secure region yet (satp.S is off until the kernel enables it).
-  // Entry 8 so guard entries 0..3 keep priority when added later.
+  // Entry 8 so guard entries 0..3 keep priority when added later. PMP banks
+  // are per-hart; the firmware programs every registered hart identically.
   const PhysAddr dram_end = core_.mem().dram_end();
-  core_.write_csr(isa::csr::kPmpaddr0 + kTorNormal, dram_end >> 2,
-                  Privilege::kMachine);
   const u64 cfg = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kX | kCfgTor};
-  core_.write_csr(isa::csr::kPmpcfg2, cfg, Privilege::kMachine);
+  for (Core* hart : harts_) {
+    hart->write_csr(isa::csr::kPmpaddr0 + kTorNormal, dram_end >> 2,
+                    Privilege::kMachine);
+    hart->write_csr(isa::csr::kPmpcfg2, cfg, Privilege::kMachine);
+  }
 }
 
 void SbiMonitor::program_pmp() {
   // pmp8: [0, base) RWX; pmp9: [base, end) RW+S (TOR chains off pmpaddr8).
-  core_.write_csr(isa::csr::kPmpaddr0 + kTorNormal, region_.base >> 2,
-                  Privilege::kMachine);
-  core_.write_csr(isa::csr::kPmpaddr0 + kTorSecure, region_.end >> 2,
-                  Privilege::kMachine);
   const u64 cfg8 = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kX | kCfgTor};
   const u64 cfg9 = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kS | kCfgTor};
-  core_.write_csr(isa::csr::kPmpcfg2, cfg8 | (cfg9 << 8), Privilege::kMachine);
+  for (Core* hart : harts_) {
+    hart->write_csr(isa::csr::kPmpaddr0 + kTorNormal, region_.base >> 2,
+                    Privilege::kMachine);
+    hart->write_csr(isa::csr::kPmpaddr0 + kTorSecure, region_.end >> 2,
+                    Privilege::kMachine);
+    hart->write_csr(isa::csr::kPmpcfg2, cfg8 | (cfg9 << 8),
+                    Privilege::kMachine);
+  }
+}
+
+SbiStatus SbiMonitor::send_ipi(Core& initiator, unsigned target_hart) {
+  initiator.add_cycles(kSbiCallCost);
+  if (target_hart >= harts_.size()) return SbiStatus::kInvalidParam;
+  harts_[target_hart]->set_ssip(true);
+  return SbiStatus::kOk;
+}
+
+void SbiMonitor::clear_ipi(unsigned target_hart) {
+  if (target_hart < harts_.size()) harts_[target_hart]->set_ssip(false);
 }
 
 SbiStatus SbiMonitor::guard_region(PhysAddr base, u64 size) {
@@ -38,13 +55,15 @@ SbiStatus SbiMonitor::guard_region(PhysAddr base, u64 size) {
   }
   const unsigned idx = kGuardBase + guards_;
   const u64 napot = (base >> 2) | ((size / 8) - 1);
-  core_.write_csr(isa::csr::kPmpaddr0 + idx, napot, Privilege::kMachine);
-  // Read-modify-write the guard's cfg byte inside pmpcfg0.
-  const u64 cur = *core_.read_csr(isa::csr::kPmpcfg0, Privilege::kMachine);
   const u64 byte = u64{pmpcfg::kR | pmpcfg::kW | pmpcfg::kS |
                        (static_cast<u8>(PmpMatch::kNapot) << pmpcfg::kAShift)};
-  core_.write_csr(isa::csr::kPmpcfg0,
-                  insert_bits(cur, 8 * idx, 8, byte), Privilege::kMachine);
+  for (Core* hart : harts_) {
+    hart->write_csr(isa::csr::kPmpaddr0 + idx, napot, Privilege::kMachine);
+    // Read-modify-write the guard's cfg byte inside pmpcfg0.
+    const u64 cur = *hart->read_csr(isa::csr::kPmpcfg0, Privilege::kMachine);
+    hart->write_csr(isa::csr::kPmpcfg0, insert_bits(cur, 8 * idx, 8, byte),
+                    Privilege::kMachine);
+  }
   ++guards_;
   LOG_INFO("sbi", "guard region #%u: [0x%llx, 0x%llx)", guards_,
            static_cast<unsigned long long>(base),

@@ -15,6 +15,8 @@
 // rewriting pmpaddr8.
 #pragma once
 
+#include <vector>
+
 #include "cpu/core.h"
 
 namespace ptstore {
@@ -37,7 +39,22 @@ struct SecureRegion {
 
 class SbiMonitor {
  public:
-  explicit SbiMonitor(Core& core) : core_(core) {}
+  explicit SbiMonitor(Core& core) : core_(core) { harts_.push_back(&core); }
+
+  /// Register a secondary hart. The monitor mirrors every PMP programming
+  /// operation (boot_init / sr_* / guard_region) to all registered harts —
+  /// PMP is per-hart state but the secure-region layout is global policy, so
+  /// firmware keeps the banks coherent (the SMP analog of §IV-B). Must be
+  /// called before boot_init so the initial layout reaches every hart.
+  void add_hart(Core& core) { harts_.push_back(&core); }
+  unsigned nharts() const { return static_cast<unsigned>(harts_.size()); }
+  Core& hart(unsigned h) const { return *harts_[h]; }
+
+  /// SBI send_ipi: post a supervisor software interrupt to `target_hart`
+  /// (CLINT MSIP -> SSIP delivery). Charges the ecall round trip on the
+  /// initiating hart. The target's handler acks by clearing SSIP.
+  SbiStatus send_ipi(Core& initiator, unsigned target_hart);
+  void clear_ipi(unsigned target_hart);
 
   /// Firmware boot: open PMP for the whole address space (entry 0 TOR up to
   /// DRAM end, RWX) so the S-mode kernel can run before the secure region
@@ -92,6 +109,7 @@ class SbiMonitor {
   void program_pmp();
 
   Core& core_;
+  std::vector<Core*> harts_;
   SecureRegion region_{};
   bool initialized_ = false;
   unsigned guards_ = 0;

@@ -6,6 +6,8 @@
 //   campaign_proto  — random kernel-protocol op sequences.
 //   campaign_diff   — random instruction streams vs. the two-ISA oracle.
 //   campaign_attack — protocol ops interleaved with attacker primitives.
+//   campaign_smp    — protocol ops scattered across >= 2 harts, interleaved
+//                     with cross-hart stale-TLB race probes (--harts).
 //
 // The run fails (non-zero exit) when any shard reports a violation; the
 // footer prints the boot-amortization speedup from checkpoint forking.
@@ -50,6 +52,8 @@ class CampaignWorkload : public Workload {
     spec.jobs = f.jobs;
     spec.ops_per_shard = spec_ops();
     spec.diff.op_count = spec_ops();
+    // SMP campaigns need a multi-hart machine; --harts can widen further.
+    spec.nharts = kind_ == CampaignKind::kSmp ? std::max(2u, f.harts) : f.harts;
 
     const CampaignResult r = harness::run_campaign(spec);
 
@@ -91,6 +95,8 @@ void register_campaign_workloads(WorkloadRegistry& reg) {
           [] { return std::make_unique<CampaignWorkload>(CampaignKind::kDiff); });
   reg.add("campaign_attack",
           [] { return std::make_unique<CampaignWorkload>(CampaignKind::kAttack); });
+  reg.add("campaign_smp",
+          [] { return std::make_unique<CampaignWorkload>(CampaignKind::kSmp); });
 }
 
 }  // namespace ptstore::workloads

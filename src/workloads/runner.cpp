@@ -82,6 +82,10 @@ void set_backend_override(std::optional<BackendKind> k) { g_backend = k; }
 
 Cycles run_on(SystemConfig cfg, const WorkloadFn& fn, const char* config_label) {
   cfg.core.decode_cache = decode_cache_enabled();
+  // Only touched when --harts asked for an SMP machine: the workloads run
+  // on hart 0 either way, but secondary harts change boot work and L2
+  // sharing, which is exactly what the 1-vs-2-hart bench columns measure.
+  if (g_fleet.harts > 1) cfg.nharts = g_fleet.harts;
   // Retarget only the defended configuration at the requested backend: the
   // base/cfi reference machines must stay undefended for the overhead
   // columns to mean anything.
@@ -173,6 +177,10 @@ telemetry::BenchReport build_report(const std::string& workload) {
                           : env_is("PTSTORE_FULL", '1') ? "paper"
                                                         : "default");
   if (g_backend) rep.config.emplace_back("backend", to_string(*g_backend));
+  // Conditional like "backend": absent at the 1-hart default so historical
+  // reports stay byte-identical.
+  if (g_fleet.harts > 1)
+    rep.config.emplace_back("harts", std::to_string(g_fleet.harts));
   for (const auto& kv : g_collector.extra_config) rep.config.push_back(kv);
   for (const Measurement& m : g_collector.rows) {
     telemetry::BenchReport::Row row;
@@ -263,6 +271,12 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
       g_fleet.shards = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--campaign-seed" && i + 1 < argc) {
       g_fleet.campaign_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--harts" && i + 1 < argc) {
+      g_fleet.harts = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      if (g_fleet.harts < 1 || g_fleet.harts > 8) {
+        std::fprintf(stderr, "--harts must be 1..8\n");
+        return 2;
+      }
     } else if (arg == "--backend" && i + 1 < argc) {
       const auto kind = backend_kind_from(argv[++i]);
       if (!kind) {
@@ -283,7 +297,7 @@ int run_workload_main_with(std::unique_ptr<Workload> w, int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json <path>] [--trace <path>] "
                    "[--profile <path>] [--jobs N] [--shards N] "
-                   "[--campaign-seed N] [--backend NAME]\n",
+                   "[--campaign-seed N] [--harts N] [--backend NAME]\n",
                    argv[0]);
       return 2;
     }

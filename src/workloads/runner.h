@@ -117,6 +117,10 @@ struct FleetOptions {
   unsigned jobs = 1;      ///< Worker threads; 0 = one per hardware thread.
   u64 shards = 8;         ///< Independent machines in the campaign.
   u64 campaign_seed = 1;  ///< Per-shard seeds derive from this via shard_seed().
+  /// Simulated harts per machine (the --harts flag). 1 keeps the historical
+  /// single-hart machines; run_on() only touches its SystemConfig when >1,
+  /// so default bench reports stay byte-identical.
+  unsigned harts = 1;
 };
 
 /// The fleet options parsed from the current bench invocation.

@@ -146,5 +146,136 @@ TEST(Ptmc, FormatSummarisesVerdicts) {
   EXPECT_NE(text.find("VIOLATED"), std::string::npos);
 }
 
+// Op IDs are an external ABI: counterexample JSON, replay logs, and the
+// campaign reproducers all name ops by index. The alphabet is append-only —
+// this golden pins every ID to its describe() string, so any reorder,
+// removal, or mid-list insertion fails here instead of silently re-keying
+// persisted counterexamples. New ops may only append past ID 50.
+TEST(Ptmc, OpIdsAreAppendOnlyGolden) {
+  static const char* const kGolden[] = {
+      "spawn(p0)",
+      "exit_mm(p0)",
+      "switch_mm(p0)",
+      "alloc_pt(p0)",
+      "free_pt(p0)",
+      "spawn(p1)",
+      "exit_mm(p1)",
+      "switch_mm(p1)",
+      "alloc_pt(p1)",
+      "free_pt(p1)",
+      "grow_secure_region()",
+      "user_access()",
+      "atk: write page0",
+      "atk: write page1",
+      "atk: write page2",
+      "atk: write page3",
+      "atk: pcb[0].pgd = page0",
+      "atk: pcb[0].pgd = page1",
+      "atk: pcb[0].pgd = page2",
+      "atk: pcb[0].pgd = page3",
+      "atk: pcb[1].pgd = page0",
+      "atk: pcb[1].pgd = page1",
+      "atk: pcb[1].pgd = page2",
+      "atk: pcb[1].pgd = page3",
+      "atk: pcb[0].token = none",
+      "atk: pcb[0].token = slot0",
+      "atk: pcb[0].token = slot1",
+      "atk: pcb[0].token = fake",
+      "atk: pcb[1].token = none",
+      "atk: pcb[1].token = slot0",
+      "atk: pcb[1].token = slot1",
+      "atk: pcb[1].token = fake",
+      "atk: token_slot[0] := page0",
+      "atk: token_slot[0] := page1",
+      "atk: token_slot[0] := page2",
+      "atk: token_slot[0] := page3",
+      "atk: token_slot[1] := page0",
+      "atk: token_slot[1] := page1",
+      "atk: token_slot[1] := page2",
+      "atk: token_slot[1] := page3",
+      "atk: freelist head = page0",
+      "atk: freelist head = page1",
+      "atk: freelist head = page2",
+      "atk: freelist head = page3",
+      "atk: csrw satp = page0",
+      "atk: csrw satp = page1",
+      "atk: csrw satp = page2",
+      "atk: csrw satp = page3",
+      "switch_mm(p0)@h1",
+      "switch_mm(p1)@h1",
+      "user_access()@h1",
+  };
+  const auto& smp = all_ops_smp();
+  ASSERT_EQ(smp.size(), std::size(kGolden));
+  for (size_t i = 0; i < smp.size(); ++i) {
+    EXPECT_EQ(describe(smp[i]), kGolden[i]) << "op ID " << i << " re-keyed";
+  }
+  // The single-hart alphabet is exactly the SMP alphabet's prefix.
+  const auto& ops = all_ops();
+  ASSERT_EQ(ops.size(), 48u);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(describe(ops[i]), kGolden[i]);
+  }
+}
+
+// ---- SMP model tests --------------------------------------------------------
+
+TEST(Ptmc, SmpDefencesOnHoldExhaustively) {
+  ModelConfig cfg;
+  cfg.nharts = 2;
+  cfg.max_states = 2'000'000;
+  cfg.max_depth = 18;
+  const CheckResult res = check(cfg);
+  EXPECT_TRUE(res.ok()) << res.format();
+  EXPECT_TRUE(res.complete) << res.format();
+  EXPECT_GT(res.states, 500'000u);  // the 2-hart closure is ~991k states
+}
+
+// Dropping the shootdown IPI is only observable with a second hart: the
+// mutation matrix gains the entry at nharts >= 2, it breaks exactly P2, and
+// the counterexample ends with the remote hart's user access through the
+// stale, recycled root.
+TEST(Ptmc, SmpIpiMutationBreaksP2WithStaleRootWitness) {
+  ModelConfig base;
+  base.nharts = 2;
+  base.max_states = 2'000'000;
+  base.max_depth = 18;
+  bool found = false;
+  for (const MutationEntry& m : mutation_matrix(base)) {
+    if (std::string(m.name) != "ipi") continue;
+    found = true;
+    EXPECT_EQ(m.must_break, kP2);
+    ModelConfig cfg = m.cfg;
+    cfg.stop_after_violated = m.must_break;
+    const CheckResult res = check(cfg);
+    EXPECT_EQ(res.props_violated, kP2) << res.format();
+    ASSERT_FALSE(res.counterexamples.empty());
+    const Counterexample& ce = res.counterexamples.front();
+    ASSERT_FALSE(ce.steps.empty());
+    const Step& last = ce.steps.back();
+    EXPECT_EQ(last.op.kind, OpKind::kUserAccess);
+    EXPECT_EQ(last.op.hart, 1);
+    EXPECT_NE(last.note.find("stale root"), std::string::npos) << last.note;
+  }
+  EXPECT_TRUE(found) << "mutation matrix lost its ipi entry at nharts=2";
+  // ...and the entry must NOT exist on a single-hart model, where skipping
+  // the IPI is unobservable and would poison the matrix with a vacuous row.
+  for (const MutationEntry& m : mutation_matrix(ModelConfig{})) {
+    EXPECT_NE(std::string(m.name), "ipi");
+  }
+}
+
+TEST(Ptmc, SmpPackDistinguishesSecondHartSatp) {
+  ModelConfig cfg;
+  cfg.nharts = 2;
+  const State base = State::initial();
+  State s = base;
+  s.satp_of(1).root = 2;
+  EXPECT_NE(s.pack(), base.pack());
+  s = base;
+  s.satp_of(1).bound = false;
+  EXPECT_NE(s.pack(), base.pack());
+}
+
 }  // namespace
 }  // namespace ptstore::analysis::ptmc

@@ -1,8 +1,8 @@
 // ptcampaign: drive a randomized fleet campaign from the command line.
 //
-//   ptcampaign [proto|diff|attack] [--seed N] [--shards N] [--jobs N]
-//              [--ops N] [--json <path>] [--profile <path>] [--with-timing]
-//              [--sabotage] [--no-minimize]
+//   ptcampaign [proto|diff|attack|smp] [--seed N] [--shards N] [--jobs N]
+//              [--ops N] [--harts N] [--json <path>] [--profile <path>]
+//              [--with-timing] [--sabotage] [--skip-ipi] [--no-minimize]
 //
 // Boots one master machine, checkpoints it, forks every shard from the
 // checkpoint (kernel boot runs once regardless of shard count), and runs
@@ -16,6 +16,10 @@
 // wall-clock block plus the boot-amortization speedup of checkpoint forking.
 // --sabotage injects a deliberate off-by-one into the diff oracle's
 // reference model — the known-bad-seed path used to exercise reproducers.
+// --skip-ipi is the SMP analogue: the kernel drops the IPI leg of its TLB
+// shootdowns, so `smp` race probes reproducibly catch stale remote TLBs.
+// The smp kind defaults to 2 harts; --harts overrides (proto/attack accept
+// it too and then scatter their ops across harts).
 // --profile captures a per-shard call-stack profile and writes the merged
 // (sum-by-stack, also jobs-invariant) profile as ptstore.profile.v1 JSON —
 // feed it to `ptprof flame` / `ptprof profile`.
@@ -35,11 +39,11 @@ using namespace ptstore::harness;
 
 int usage(const char* argv0, int rc) {
   std::fprintf(stderr,
-               "usage: %s [proto|diff|attack] [--seed N] [--shards N] "
-               "[--jobs N]\n"
+               "usage: %s [proto|diff|attack|smp] [--seed N] [--shards N] "
+               "[--jobs N] [--harts N]\n"
                "       %*s [--ops N] [--json <path>] [--profile <path>] "
-               "[--with-timing] [--sabotage] [--stock] [--backend NAME] "
-               "[--no-minimize]\n",
+               "[--with-timing] [--sabotage] [--skip-ipi] [--stock] "
+               "[--backend NAME] [--no-minimize]\n",
                argv0, static_cast<int>(std::strlen(argv0)), "");
   return rc;
 }
@@ -48,9 +52,11 @@ void print_repro(const ShardOutcome& s) {
   std::printf("  repro (seed %llu, %zu ops):\n",
               static_cast<unsigned long long>(s.seed), s.repro.size());
   for (const CampaignOp& op : s.repro) {
-    std::printf("    %-16s pid=%llu arg=0x%llx\n", to_string(op.kind),
+    std::printf("    %-16s pid=%llu arg=0x%llx", to_string(op.kind),
                 static_cast<unsigned long long>(op.pid),
                 static_cast<unsigned long long>(op.arg));
+    if (op.hart != 0) std::printf(" hart=%u", op.hart);
+    std::printf("\n");
   }
 }
 
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string profile_path;
   bool with_timing = false;
+  bool harts_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,6 +92,11 @@ int main(int argc, char** argv) {
       spec.profile = true;
     } else if (arg == "--with-timing") {
       with_timing = true;
+    } else if (arg == "--harts" && i + 1 < argc) {
+      spec.nharts = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+      harts_set = true;
+    } else if (arg == "--skip-ipi") {
+      spec.sabotage_skip_ipi = true;
     } else if (arg == "--sabotage") {
       spec.diff.sabotage = true;
     } else if (arg == "--stock") {
@@ -107,14 +119,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must be at least 1\n");
     return 2;
   }
+  if (spec.kind == CampaignKind::kSmp && !harts_set) spec.nharts = 2;
+  if (spec.nharts < 1 || spec.nharts > 8) {
+    std::fprintf(stderr, "--harts must be 1..8\n");
+    return 2;
+  }
+  if (spec.kind == CampaignKind::kSmp && spec.nharts < 2) {
+    std::fprintf(stderr, "the smp campaign needs --harts >= 2\n");
+    return 2;
+  }
 
   std::printf("ptcampaign: %s campaign, seed %llu, %llu shards x %llu ops, "
-              "%u jobs\n",
+              "%u jobs",
               to_string(spec.kind),
               static_cast<unsigned long long>(spec.seed),
               static_cast<unsigned long long>(spec.shards),
               static_cast<unsigned long long>(spec.ops_per_shard),
               resolve_jobs(spec.jobs));
+  if (spec.nharts > 1) {
+    std::printf(", %u harts%s", spec.nharts,
+                spec.sabotage_skip_ipi ? " (IPIs sabotaged)" : "");
+  }
+  std::printf("\n");
 
   const CampaignResult r = run_campaign(spec);
 

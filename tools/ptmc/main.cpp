@@ -6,6 +6,12 @@
 //   ptmc --matrix [--replay]   run the whole mutation matrix (the §V-E
 //                              substitution argument, machine-checked)
 //   ptmc --gadget              grant the attacker a satp-write gadget
+//   ptmc --harts 2             two model harts: concurrent switch_mm /
+//                              user_access interleavings + the shootdown
+//                              protocol (see --mutate ipi)
+//   ptmc --backend NAME        model another backend's capability set
+//                              (stock | ptstore | dpti | ptauth); stock is
+//                              expected to violate, like --mutate
 //   ptmc --dot FILE            write the first counterexample as GraphViz
 //   ptmc --json [FILE]         emit the CheckResult as JSON
 //
@@ -38,6 +44,10 @@ int usage() {
                "  --depth N        BFS depth bound (default 12)\n"
                "  --states N       visited-state budget (default 400000)\n"
                "  --gadget         grant the attacker a satp-write gadget\n"
+               "  --harts N        model harts (1 or 2; default 1)\n"
+               "  --skip-ipi       sabotage: exit_mm skips shootdown IPIs\n"
+               "  --backend NAME   capability set: stock | ptstore | dpti |\n"
+               "                   ptauth (stock expects violations)\n"
                "  --no-grow        disable secure-region growth\n"
                "  --dot FILE       write first counterexample as GraphViz\n"
                "  --json [FILE]    emit result JSON (stdout without FILE)\n"
@@ -109,6 +119,10 @@ int main(int argc, char** argv) {
   mc::ModelConfig cfg;
   bool verbose = false;
   bool replay = false;
+  bool states_set = false;
+  bool depth_set = false;
+  bool expect_breach = false;  // --backend stock: violations are the verdict.
+  bool unrestricted_placement = false;  // ptauth: larger closure, see below.
   int prop_filter = 0;
   std::string dot_path;
   bool json_out = false;
@@ -143,10 +157,49 @@ int main(int argc, char** argv) {
       const char* n = next("--depth");
       if (n == nullptr) return usage();
       cfg.max_depth = static_cast<u32>(std::atoi(n));
+      depth_set = true;
     } else if (arg == "--states") {
       const char* n = next("--states");
       if (n == nullptr) return usage();
       cfg.max_states = static_cast<u64>(std::atoll(n));
+      states_set = true;
+    } else if (arg == "--harts") {
+      const char* n = next("--harts");
+      if (n == nullptr) return usage();
+      const int h = std::atoi(n);
+      if (h < 1 || h > 2) {
+        std::fprintf(stderr, "ptmc: --harts must be 1 or 2\n");
+        return usage();
+      }
+      cfg.nharts = static_cast<unsigned>(h);
+    } else if (arg == "--skip-ipi") {
+      cfg.ipi = false;
+    } else if (arg == "--backend") {
+      const char* n = next("--backend");
+      if (n == nullptr) return usage();
+      const std::string name = n;
+      if (name == "ptstore") {
+        // The defaults *are* the PTStore capability set.
+      } else if (name == "stock") {
+        cfg.s_bit = cfg.ptw_check = cfg.token_check = cfg.zero_check = false;
+        expect_breach = true;
+      } else if (name == "dpti") {
+        // Protected domain plays the secure region's role (regular stores
+        // fault); the root registry is the switch-time check; no satp.S.
+        cfg.ptw_check = false;
+        cfg.cred_unforgeable = true;
+      } else if (name == "ptauth") {
+        // No placement restriction at all — the keyed MAC authenticates
+        // every credential and every fetched PTE instead.
+        cfg.s_bit = false;
+        cfg.ptw_check = false;
+        cfg.verify_on_walk = true;
+        cfg.cred_unforgeable = true;
+        unrestricted_placement = true;
+      } else {
+        std::fprintf(stderr, "ptmc: unknown backend '%s'\n", name.c_str());
+        return usage();
+      }
     } else if (arg == "--gadget") {
       cfg.csr_gadget = true;
     } else if (arg == "--no-grow") {
@@ -164,6 +217,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ptmc: unknown argument '%s'\n", arg.c_str());
       return usage();
     }
+  }
+
+  // The second hart multiplies the closure (~10x), and PTAuth's
+  // unrestricted PT-page placement multiplies it again (its closure needs
+  // ~2.3M states / depth 17 single-hart, ~6.7M / depth 17 at two harts).
+  // Give the default bounds the same headroom so "--harts 2" and
+  // "--backend ptauth" still close exhaustively without hand-tuning.
+  if (cfg.nharts >= 2 || unrestricted_placement) {
+    if (!states_set) cfg.max_states = 8'000'000;
+    if (!depth_set) cfg.max_depth = 20;
+  }
+  // An undefended kernel violates everything; stop as soon as each checked
+  // property has its counterexample instead of sweeping the huge closure.
+  if (expect_breach && cfg.stop_after_violated == 0) {
+    cfg.stop_after_violated =
+        prop_filter == 0 ? mc::kAllProps
+                         : static_cast<u8>(1u << (prop_filter - 1));
   }
 
   if (mode == Mode::kMatrix) {
@@ -228,7 +298,8 @@ int main(int argc, char** argv) {
 
   const u8 relevant =
       prop_filter == 0 ? mc::kAllProps : static_cast<u8>(1u << (prop_filter - 1));
-  if (mode == Mode::kAll) return (res.props_violated & relevant) == 0 ? 0 : 1;
-  // --mutate: finding the violation is the expected outcome.
+  if (mode == Mode::kAll && !expect_breach)
+    return (res.props_violated & relevant) == 0 ? 0 : 1;
+  // --mutate / --backend stock: finding the violation is the expected outcome.
   return (res.props_violated & relevant) != 0 ? 0 : 1;
 }
